@@ -1,0 +1,42 @@
+//! Criterion bench: end-to-end association policies on enterprise
+//! networks of growing size (WOLT vs the baselines).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wolt_core::baselines::{Greedy, Rssi};
+use wolt_core::{AssociationPolicy, Network, Wolt};
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+
+fn enterprise_network(users: usize) -> Network {
+    let config = ScenarioConfig::enterprise(users);
+    let mut rng = ChaCha8Rng::seed_from_u64(users as u64);
+    Scenario::generate(&config, &mut rng)
+        .expect("scenario generates")
+        .network()
+        .expect("network builds")
+}
+
+fn bench_association(c: &mut Criterion) {
+    let mut group = c.benchmark_group("association");
+    group.sample_size(10);
+    for users in [12usize, 36, 72, 124] {
+        let network = enterprise_network(users);
+        group.bench_with_input(BenchmarkId::new("wolt", users), &network, |b, net| {
+            let wolt = Wolt::new();
+            b.iter(|| wolt.associate(black_box(net)).expect("wolt runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", users), &network, |b, net| {
+            let greedy = Greedy::new();
+            b.iter(|| greedy.associate(black_box(net)).expect("greedy runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("rssi", users), &network, |b, net| {
+            b.iter(|| Rssi.associate(black_box(net)).expect("rssi runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_association);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: Hungarian assignment scaling (the paper's O(|A|³)
+//! Phase-I complexity claim).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wolt_opt::{max_weight_assignment, Matrix};
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [5usize, 10, 20, 40, 80] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let matrix = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..100.0)).expect("non-empty");
+        group.bench_with_input(BenchmarkId::new("square", n), &matrix, |b, m| {
+            b.iter(|| max_weight_assignment(black_box(m)))
+        });
+    }
+    // Rectangular: many users, few extenders (the WOLT Phase-I shape).
+    for users in [30usize, 120] {
+        let mut rng = ChaCha8Rng::seed_from_u64(users as u64);
+        let matrix =
+            Matrix::from_fn(users, 15, |_, _| rng.gen_range(0.0..100.0)).expect("non-empty");
+        group.bench_with_input(
+            BenchmarkId::new("users_x_15ext", users),
+            &matrix,
+            |b, m| b.iter(|| max_weight_assignment(black_box(m))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hungarian);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: the slotted MAC micro-simulators (cost per simulated
+//! second, by station count).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wolt_plc::mac1901::{simulate_1901, Mac1901Config};
+use wolt_units::{Mbps, Seconds};
+use wolt_wifi::dcf::{simulate_dcf, DcfConfig};
+
+fn bench_macs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac_sims");
+    group.sample_size(10);
+    for n in [2usize, 8] {
+        let wifi_rates: Vec<Mbps> = (0..n).map(|i| Mbps::new(6.0 + 6.0 * i as f64)).collect();
+        let dcf_cfg = DcfConfig {
+            duration: Seconds::new(0.5),
+            ..DcfConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("dcf_half_second", n), &wifi_rates, |b, r| {
+            b.iter(|| simulate_dcf(black_box(r), &dcf_cfg, 7).expect("valid sim"))
+        });
+
+        let plc_rates: Vec<Mbps> = (0..n).map(|i| Mbps::new(60.0 + 20.0 * i as f64)).collect();
+        let mac_cfg = Mac1901Config {
+            duration: Seconds::new(0.5),
+            ..Mac1901Config::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("mac1901_half_second", n),
+            &plc_rates,
+            |b, r| b.iter(|| simulate_1901(black_box(r), &mac_cfg, 7).expect("valid sim")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_macs);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Ablations of WOLT's design choices (DESIGN.md §6).
+//!
+//! Three questions the paper's design raises but does not isolate:
+//!
+//! 1. **Airtime redistribution** — how much of the delivered throughput
+//!    comes from re-using airtime that underloaded extenders release
+//!    (Fig. 3c's +5 Mbit/s, generalized)?
+//! 2. **Phase II solver** — does the fractional NLP (+ Theorem-3
+//!    extraction) beat the pure marginal-gain greedy completion?
+//! 3. **TDMA vs CSMA backhaul** — would a static equal-slot TDMA schedule
+//!    (1901's other mode) change the aggregate?
+
+use wolt_bench::{columns, f2, header, mean, measured, row};
+use wolt_core::{
+    evaluate, evaluate_without_redistribution, AssociationPolicy, Phase1Utility, Phase2Solver,
+    Wolt,
+};
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    header(
+        "Ablations — redistribution, Phase-II solver, TDMA backhaul",
+        "(no direct paper counterpart; quantifies DESIGN.md §6 choices)",
+        "enterprise plane, 15 extenders, 36 users, 20 seeds",
+    );
+
+    let config = ScenarioConfig::enterprise(36);
+    let wolt_nlp = Wolt::new();
+    let wolt_greedy2 = Wolt::new().with_phase2_solver(Phase2Solver::Greedy);
+    let wolt_wifi_only = Wolt::new().with_phase1_utility(Phase1Utility::WifiOnly);
+    let wolt_plc_only = Wolt::new().with_phase1_utility(Phase1Utility::PlcShareOnly);
+
+    let mut with_redist = Vec::new();
+    let mut without_redist = Vec::new();
+    let mut nlp_values = Vec::new();
+    let mut greedy2_values = Vec::new();
+    let mut tdma_values = Vec::new();
+    let mut wifi_only_values = Vec::new();
+    let mut plc_only_values = Vec::new();
+
+    for seed in 0..20u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let scenario = Scenario::generate(&config, &mut rng).expect("scenario generates");
+        let network = scenario.network().expect("network builds");
+
+        let assoc = wolt_nlp.associate(&network).expect("wolt runs");
+        let full = evaluate(&network, &assoc).expect("valid");
+        let naive = evaluate_without_redistribution(&network, &assoc).expect("valid");
+        with_redist.push(full.aggregate.value());
+        without_redist.push(naive.aggregate.value());
+        nlp_values.push(full.aggregate.value());
+
+        let assoc_g2 = wolt_greedy2.associate(&network).expect("wolt-greedy2 runs");
+        greedy2_values.push(evaluate(&network, &assoc_g2).expect("valid").aggregate.value());
+
+        let assoc_wifi = wolt_wifi_only.associate(&network).expect("wifi-only runs");
+        wifi_only_values
+            .push(evaluate(&network, &assoc_wifi).expect("valid").aggregate.value());
+        let assoc_plc = wolt_plc_only.associate(&network).expect("plc-only runs");
+        plc_only_values
+            .push(evaluate(&network, &assoc_plc).expect("valid").aggregate.value());
+
+        // TDMA: equal slots regardless of demand — unused slots are wasted
+        // rather than redistributed. Equivalent to the no-redistribution
+        // evaluation, but framed as the 1901 TDMA mode.
+        let tdma = wolt_plc::tdma::TdmaSchedule::build(
+            &vec![1.0; network.extenders()],
+            network.extenders() as u32 * 10,
+        )
+        .expect("valid schedule");
+        let caps: Vec<_> = (0..network.extenders()).map(|j| network.capacity(j)).collect();
+        let tdma_caps = tdma.throughputs(&caps).expect("valid capacities");
+        // Cell throughput = min(wifi demand, TDMA grant).
+        let tdma_total: f64 = (0..network.extenders())
+            .map(|j| full.wifi_demand[j].min(tdma_caps[j]).value())
+            .sum();
+        tdma_values.push(tdma_total);
+    }
+
+    // The utility ablation only bites when the PLC side binds; repeat it at
+    // the lab scale (3 extenders, WiFi rates up to ~42 Mbit/s vs c/3
+    // shares), where min(c_j/|A|, r_ij) differs from r_ij.
+    let lab = ScenarioConfig::lab(7);
+    let mut lab_paper = Vec::new();
+    let mut lab_wifi_only = Vec::new();
+    for seed in 0..20u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+        let scenario = Scenario::generate(&lab, &mut rng).expect("scenario generates");
+        let network = scenario.network().expect("network builds");
+        let paper = wolt_nlp.associate(&network).expect("runs");
+        lab_paper.push(evaluate(&network, &paper).expect("valid").aggregate.value());
+        let blind = wolt_wifi_only.associate(&network).expect("runs");
+        lab_wifi_only.push(evaluate(&network, &blind).expect("valid").aggregate.value());
+    }
+
+    columns(&["ablation", "variant", "mean_aggregate_mbps"]);
+    row(&["redistribution".into(), "on (CSMA observed)".into(), f2(mean(&with_redist))]);
+    row(&["redistribution".into(), "off (plain c_j/A)".into(), f2(mean(&without_redist))]);
+    row(&["phase2".into(), "NLP + extraction".into(), f2(mean(&nlp_values))]);
+    row(&["phase2".into(), "marginal-gain greedy".into(), f2(mean(&greedy2_values))]);
+    row(&["backhaul".into(), "CSMA time-fair".into(), f2(mean(&with_redist))]);
+    row(&["backhaul".into(), "TDMA equal slots".into(), f2(mean(&tdma_values))]);
+    row(&["phase1 utility".into(), "paper min(c/A, r)".into(), f2(mean(&nlp_values))]);
+    row(&["phase1 utility".into(), "wifi-only r".into(), f2(mean(&wifi_only_values))]);
+    row(&["phase1 utility".into(), "plc-share-only c/A".into(), f2(mean(&plc_only_values))]);
+    row(&["phase1 utility (lab)".into(), "paper min(c/A, r)".into(), f2(mean(&lab_paper))]);
+    row(&["phase1 utility (lab)".into(), "wifi-only r".into(), f2(mean(&lab_wifi_only))]);
+
+    measured(&format!(
+        "redistribution contributes {:+.1}% aggregate; NLP phase 2 is {:+.2}% vs greedy \
+         completion; static TDMA costs {:.1}% vs CSMA redistribution; the paper's \
+         bottleneck-aware utility is {:+.1}% vs WiFi-only and {:+.1}% vs PLC-share-only \
+         at enterprise scale and {:+.1}% vs WiFi-only at lab scale — on random \
+         topologies the min() cap rarely flips the matching (Phase 2's polish washes \
+         out most residue); adversarial bottleneck-heterogeneous instances where it \
+         matters are exercised in unit tests (wifi_only_utility_can_mislead)",
+        100.0 * (mean(&with_redist) / mean(&without_redist) - 1.0),
+        100.0 * (mean(&nlp_values) / mean(&greedy2_values) - 1.0),
+        100.0 * (1.0 - mean(&tdma_values) / mean(&with_redist)),
+        100.0 * (mean(&nlp_values) / mean(&wifi_only_values) - 1.0),
+        100.0 * (mean(&nlp_values) / mean(&plc_only_values) - 1.0),
+        100.0 * (mean(&lab_paper) / mean(&lab_wifi_only) - 1.0),
+    ));
+}

@@ -1,0 +1,71 @@
+//! Fig. 2a — WiFi-only throughput-fair sharing (the performance anomaly).
+//!
+//! Paper setup: two laptops on one extender; user 2 is moved from the same
+//! spot as user 1 (location 1) to progressively farther locations 2 and 3.
+//! Both users' throughput drops together because 802.11 equalizes
+//! throughput, not airtime.
+//!
+//! We reproduce it twice: with the analytic Eq. 1 model and with the
+//! slotted DCF micro-simulator.
+
+use wolt_bench::{columns, f2, header, measured, row};
+use wolt_units::Meters;
+use wolt_wifi::cell::per_user_throughput;
+use wolt_wifi::dcf::{simulate_dcf, DcfConfig};
+use wolt_wifi::WifiRadio;
+
+fn main() {
+    header(
+        "Fig 2a — WiFi-only medium sharing",
+        "moving user 2 away degrades BOTH users' throughput (throughput-fair sharing)",
+        "1 extender, 2 users; user 1 fixed at 3 m; user 2 at 3/15/24 m; 802.11n radio",
+    );
+
+    let radio = WifiRadio::lab_80211n();
+    let user1_distance = Meters::new(3.0);
+    let locations = [(1, 3.0), (2, 15.0), (3, 24.0)];
+
+    columns(&[
+        "location",
+        "user2_distance_m",
+        "analytic_user1_mbps",
+        "analytic_user2_mbps",
+        "dcf_user1_mbps",
+        "dcf_user2_mbps",
+    ]);
+
+    let r1 = radio.rate_at_distance(user1_distance).expect("in range");
+    let phy1 = radio
+        .rate_table
+        .phy_rate(radio.rssi_at_distance(user1_distance))
+        .expect("in range");
+
+    let mut analytic_user1 = Vec::new();
+    for (loc, d2) in locations {
+        let d2 = Meters::new(d2);
+        let r2 = radio.rate_at_distance(d2).expect("in range");
+        let per_user = per_user_throughput(&[r1, r2]).expect("usable rates");
+        analytic_user1.push(per_user.value());
+
+        let phy2 = radio
+            .rate_table
+            .phy_rate(radio.rssi_at_distance(d2))
+            .expect("in range");
+        let dcf = simulate_dcf(&[phy1, phy2], &DcfConfig::default(), 42).expect("valid config");
+
+        row(&[
+            loc.to_string(),
+            f2(d2.value()),
+            f2(per_user.value()),
+            f2(per_user.value()),
+            f2(dcf.per_station[0].value()),
+            f2(dcf.per_station[1].value()),
+        ]);
+    }
+
+    let drop = 100.0 * (1.0 - analytic_user1.last().unwrap() / analytic_user1[0]);
+    measured(&format!(
+        "stationary user 1 loses {drop:.0}% of its throughput when user 2 moves \
+         from location 1 to 3 — the performance anomaly, as in the paper"
+    ));
+}

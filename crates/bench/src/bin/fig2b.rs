@@ -1,0 +1,71 @@
+//! Fig. 2b — different outlets yield different PLC isolation throughputs.
+//!
+//! Paper setup: four extenders plugged into different power outlets of the
+//! lab, each measured alone with iperf3; isolation throughputs span
+//! 60–160 Mbit/s. We regenerate the shape from the powerline wiring model:
+//! four outlets of a random building, attenuation → capacity, measured
+//! through the noisy offline estimation procedure.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wolt_bench::{columns, f2, header, measured, row};
+use wolt_plc::capacity::CapacityEstimator;
+use wolt_plc::channel::PlcChannelModel;
+use wolt_plc::topology::{random_building, BuildingConfig, OutletId};
+
+fn main() {
+    header(
+        "Fig 2b — per-outlet PLC isolation throughput",
+        "four outlets in one lab span ≈ 60–160 Mbit/s in isolation",
+        "4 outlets of a random building; attenuation → HomePlug AV2 capacity; 5-round noisy measurement",
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2020);
+    // The paper deliberately picked four outlets "of varying link
+    // qualities"; we generate a whole building and take the attenuation
+    // quartiles to match that selection.
+    let building =
+        random_building(&mut rng, 24, &BuildingConfig::default()).expect("valid config");
+    let channel = PlcChannelModel::homeplug_av2();
+    let estimator = CapacityEstimator::default();
+
+    let mut outlets: Vec<(usize, f64)> = (0..24)
+        .map(|j| {
+            let att = building.attenuation(OutletId(j)).expect("outlet exists");
+            (j, att.value())
+        })
+        .collect();
+    outlets.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite attenuation"));
+    let picks = [outlets[0].0, outlets[8].0, outlets[16].0, outlets[23].0];
+
+    columns(&[
+        "extender",
+        "attenuation_db",
+        "true_capacity_mbps",
+        "measured_capacity_mbps",
+    ]);
+
+    let mut measured_caps = Vec::new();
+    for (j, &outlet) in picks.iter().enumerate() {
+        let att = building.attenuation(OutletId(outlet)).expect("outlet exists");
+        let truth = channel
+            .capacity(att)
+            .expect("building outlets are within cutoff");
+        let estimate = estimator.estimate(truth, &mut rng).expect("usable capacity");
+        measured_caps.push(estimate.value());
+        row(&[
+            format!("E{}", j + 1),
+            f2(att.value()),
+            f2(truth.value()),
+            f2(estimate.value()),
+        ]);
+    }
+
+    let min = measured_caps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = measured_caps.iter().cloned().fold(0.0, f64::max);
+    measured(&format!(
+        "isolation throughputs span {min:.0}-{max:.0} Mbit/s across outlets \
+         (paper: 60-160 Mbit/s); heterogeneity ratio {:.1}x",
+        max / min
+    ));
+}

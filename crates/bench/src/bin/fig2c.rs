@@ -1,0 +1,73 @@
+//! Fig. 2c — time-fair PLC medium sharing.
+//!
+//! Paper setup: activate 1, 2, 3, then 4 extenders simultaneously; each
+//! active extender delivers 1/k of its isolation throughput. We regenerate
+//! it with both the analytic time-fair allocator (exact) and the IEEE 1901
+//! CSMA/CA micro-simulator (emergent).
+
+use wolt_bench::{columns, f2, header, measured, row};
+use wolt_plc::mac1901::{simulate_1901, Mac1901Config};
+use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+use wolt_units::{Mbps, Seconds};
+
+fn main() {
+    header(
+        "Fig 2c — time-fair sharing between active PLC extenders",
+        "with k extenders active, each delivers 1/k of its isolation throughput",
+        "capacities 160/120/90/60 Mbit/s; k = 1..4; analytic allocator + 1901 MAC sim (20 s)",
+    );
+
+    let capacities = [160.0, 120.0, 90.0, 60.0];
+    let mac_cfg = Mac1901Config {
+        duration: Seconds::new(20.0),
+        ..Mac1901Config::default()
+    };
+
+    // Single-extender MAC baselines for normalization.
+    let singles: Vec<f64> = capacities
+        .iter()
+        .map(|&c| {
+            simulate_1901(&[Mbps::new(c)], &mac_cfg, 99).expect("valid sim").per_station[0]
+                .value()
+        })
+        .collect();
+
+    columns(&[
+        "active_extenders",
+        "extender",
+        "analytic_mbps",
+        "analytic_fraction_of_isolation",
+        "mac1901_mbps",
+        "mac1901_fraction_of_isolation",
+    ]);
+
+    let mut worst_gap: f64 = 0.0;
+    for k in 1..=4usize {
+        let entries: Vec<ExtenderDemand> = capacities[..k]
+            .iter()
+            .map(|&c| ExtenderDemand::saturated(Mbps::new(c)))
+            .collect();
+        let analytic = allocate_time_fair(&entries).expect("valid demands");
+        let rates: Vec<Mbps> = capacities[..k].iter().map(|&c| Mbps::new(c)).collect();
+        let mac = simulate_1901(&rates, &mac_cfg, 99).expect("valid sim");
+        for j in 0..k {
+            let analytic_frac = analytic.throughput[j].value() / capacities[j];
+            let mac_frac = mac.per_station[j].value() / singles[j];
+            worst_gap = worst_gap.max((mac_frac - 1.0 / k as f64).abs() * k as f64);
+            row(&[
+                k.to_string(),
+                format!("E{}", j + 1),
+                f2(analytic.throughput[j].value()),
+                f2(analytic_frac),
+                f2(mac.per_station[j].value()),
+                f2(mac_frac),
+            ]);
+        }
+    }
+
+    measured(&format!(
+        "analytic shares are exactly 1/k; the 1901 MAC sim tracks 1/k within \
+         {:.0}% (contention overhead) — time-fair sharing as the paper observed",
+        worst_gap * 100.0
+    ));
+}

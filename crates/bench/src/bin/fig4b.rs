@@ -1,0 +1,43 @@
+//! Fig. 4b — per-user effects of WOLT on the testbed.
+//!
+//! Paper result: compared to Greedy, 35% of users do better under WOLT
+//! (65% worse); compared to RSSI, 55% do better (45% worse). WOLT
+//! maximizes the *network* objective, so individual users can lose.
+
+use wolt_bench::{columns, f2, header, measured, row};
+use wolt_testbed::experiment::{per_user_win_loss, TestbedExperiment};
+
+fn main() {
+    header(
+        "Fig 4b — fraction of users better/worse off under WOLT",
+        "vs Greedy: 35% better / 65% worse; vs RSSI: 55% better / 45% worse",
+        "same 25-topology testbed experiment as Fig 4a",
+    );
+
+    let comparisons = TestbedExperiment::default().run().expect("experiment runs");
+    let vs_greedy = per_user_win_loss(&comparisons, |c| &c.greedy);
+    let vs_rssi = per_user_win_loss(&comparisons, |c| &c.rssi);
+
+    columns(&["baseline", "better", "worse", "unchanged"]);
+    row(&[
+        "Greedy".to_string(),
+        f2(vs_greedy.better),
+        f2(vs_greedy.worse),
+        f2(vs_greedy.unchanged),
+    ]);
+    row(&[
+        "RSSI".to_string(),
+        f2(vs_rssi.better),
+        f2(vs_rssi.worse),
+        f2(vs_rssi.unchanged),
+    ]);
+
+    measured(&format!(
+        "vs Greedy {:.0}% better / {:.0}% worse (paper 35/65); \
+         vs RSSI {:.0}% better / {:.0}% worse (paper 55/45)",
+        100.0 * vs_greedy.better,
+        100.0 * vs_greedy.worse,
+        100.0 * vs_rssi.better,
+        100.0 * vs_rssi.worse,
+    ));
+}

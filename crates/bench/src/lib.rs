@@ -1,0 +1,68 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every table and figure of the WOLT paper has a binary under
+//! `src/bin/` that regenerates it (`cargo run -p wolt-bench --bin figXY`).
+//! Binaries print machine-readable CSV rows followed by a
+//! `paper:`/`measured:` summary so `EXPERIMENTS.md` can record the
+//! comparison. These helpers keep the output format consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a figure header: id, paper claim, and our setup in one place.
+pub fn header(figure: &str, claim: &str, setup: &str) {
+    println!("# {figure}");
+    println!("# paper: {claim}");
+    println!("# setup: {setup}");
+}
+
+/// Prints one CSV row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(","));
+}
+
+/// Prints a CSV header row.
+pub fn columns(names: &[&str]) {
+    println!("{}", names.join(","));
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Arithmetic mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Prints the closing `measured:` summary line.
+pub fn measured(summary: &str) {
+    println!("# measured: {summary}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_rejects_empty() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    fn f2_formats() {
+        assert_eq!(f2(1.2345), "1.23");
+    }
+}

@@ -1,0 +1,144 @@
+//! A tiny `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses `args` (excluding the program name) into a subcommand and
+    /// `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when no subcommand is present, a flag
+    /// is missing its value, a positional argument appears after the
+    /// subcommand, or a flag repeats.
+    pub fn parse<I, S>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into);
+        let command = iter.next().ok_or_else(|| CliError::Usage {
+            message: "expected a subcommand (generate | solve | compare)".into(),
+        })?;
+        if command.starts_with('-') {
+            return Err(CliError::Usage {
+                message: format!("expected a subcommand, found flag {command}"),
+            });
+        }
+        let mut options = BTreeMap::new();
+        while let Some(token) = iter.next() {
+            let key = token.strip_prefix("--").ok_or_else(|| CliError::Usage {
+                message: format!("unexpected positional argument {token}"),
+            })?;
+            let value = iter.next().ok_or_else(|| CliError::Usage {
+                message: format!("flag --{key} is missing its value"),
+            })?;
+            if options.insert(key.to_string(), value).is_some() {
+                return Err(CliError::Usage {
+                    message: format!("flag --{key} given twice"),
+                });
+            }
+        }
+        Ok(Self { command, options })
+    }
+
+    /// The value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key`, or a usage error naming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the flag is absent.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| CliError::Usage {
+            message: format!("missing required flag --{key}"),
+        })
+    }
+
+    /// Parses `--key` as a value of type `T`, or returns `default` when
+    /// absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value fails to parse.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| CliError::Usage {
+                message: format!("could not parse --{key} value {raw:?}"),
+            }),
+        }
+    }
+
+    /// Names of all provided flags.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args =
+            ParsedArgs::parse(["solve", "--input", "net.json", "--policy", "wolt"]).unwrap();
+        assert_eq!(args.command, "solve");
+        assert_eq!(args.get("input"), Some("net.json"));
+        assert_eq!(args.get("policy"), Some("wolt"));
+        assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_empty_and_flag_first() {
+        assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+        assert!(ParsedArgs::parse(["--input", "x"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value_and_positional() {
+        assert!(ParsedArgs::parse(["solve", "--input"]).is_err());
+        assert!(ParsedArgs::parse(["solve", "stray"]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_flags() {
+        assert!(ParsedArgs::parse(["solve", "--x", "1", "--x", "2"]).is_err());
+    }
+
+    #[test]
+    fn require_and_parsed_or() {
+        let args = ParsedArgs::parse(["generate", "--users", "12"]).unwrap();
+        assert_eq!(args.require("users").unwrap(), "12");
+        assert!(args.require("seed").is_err());
+        assert_eq!(args.get_parsed_or("users", 0usize).unwrap(), 12);
+        assert_eq!(args.get_parsed_or("seed", 7u64).unwrap(), 7);
+        let bad = ParsedArgs::parse(["generate", "--users", "many"]).unwrap();
+        assert!(bad.get_parsed_or("users", 0usize).is_err());
+    }
+
+    #[test]
+    fn keys_lists_flags() {
+        let args = ParsedArgs::parse(["solve", "--b", "2", "--a", "1"]).unwrap();
+        let keys: Vec<&str> = args.keys().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

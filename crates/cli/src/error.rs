@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the `wolt` CLI.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Command line could not be parsed.
+    Usage {
+        /// What went wrong.
+        message: String,
+    },
+    /// A JSON file could not be read or parsed.
+    BadInput {
+        /// What went wrong.
+        message: String,
+    },
+    /// The underlying library rejected the request.
+    Library {
+        /// What went wrong.
+        message: String,
+    },
+    /// Filesystem failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage { message } => write!(f, "usage error: {message}"),
+            CliError::BadInput { message } => write!(f, "bad input: {message}"),
+            CliError::Library { message } => write!(f, "{message}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<wolt_core::CoreError> for CliError {
+    fn from(e: wolt_core::CoreError) -> Self {
+        CliError::Library {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<wolt_sim::SimError> for CliError {
+    fn from(e: wolt_sim::SimError) -> Self {
+        CliError::Library {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::BadInput {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CliError::Usage {
+            message: "missing --input".into(),
+        };
+        assert!(e.to_string().contains("usage"));
+        let e: CliError = wolt_core::CoreError::UnreachableUser { user: 3 }.into();
+        assert!(e.to_string().contains("user 3"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Library backing the `wolt` command-line tool.
+//!
+//! The binary is a thin shell around these testable pieces:
+//!
+//! * [`args`] — a tiny dependency-free `--flag value` parser;
+//! * [`spec`] — the JSON network-specification format (`capacities` +
+//!   `rates`) and its conversion to a validated [`wolt_core::Network`];
+//! * [`commands`] — the `generate`, `solve`, and `compare` verbs as pure
+//!   functions from parsed inputs to serializable reports.
+//!
+//! # Example
+//!
+//! ```
+//! use wolt_cli::spec::NetworkSpec;
+//! use wolt_cli::commands::{solve, PolicyChoice};
+//!
+//! # fn main() -> Result<(), wolt_cli::CliError> {
+//! let spec = NetworkSpec {
+//!     capacities: vec![60.0, 20.0],
+//!     rates: vec![vec![15.0, 10.0], vec![40.0, 20.0]],
+//! };
+//! let report = solve(&spec, PolicyChoice::Wolt, 0)?;
+//! assert!((report.aggregate_mbps - 40.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod spec;
+
+mod error;
+
+pub use error::CliError;

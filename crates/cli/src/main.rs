@@ -1,0 +1,117 @@
+//! `wolt` — command-line interface to the WOLT association framework.
+//!
+//! ```text
+//! wolt generate --preset lab --users 7 --seed 1 --output net.json
+//! wolt solve    --input net.json --policy wolt
+//! wolt compare  --input net.json
+//! ```
+
+use std::process::ExitCode;
+
+use wolt_cli::args::ParsedArgs;
+use wolt_cli::commands::{compare, generate, solve, solve_explained, PolicyChoice, PresetChoice};
+use wolt_cli::spec::NetworkSpec;
+use wolt_cli::CliError;
+
+const USAGE: &str = "\
+wolt — auto-configuration of integrated PLC-WiFi networks (WOLT, ICDCS 2020)
+
+USAGE:
+  wolt generate --preset <enterprise|lab> --users <N> [--seed S] [--output FILE]
+  wolt solve    --input FILE [--policy <wolt|greedy|selfish|rssi|optimal|random>] [--seed S] [--explain true] [--output FILE]
+  wolt compare  --input FILE [--seed S]
+
+The network file is JSON: {\"capacities\": [c_j …], \"rates\": [[r_ij …] …]}.";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage { .. }) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args)?;
+    match parsed.command.as_str() {
+        "generate" => {
+            let preset = PresetChoice::parse(parsed.require("preset")?)?;
+            let users: usize = parsed.require("users")?.parse().map_err(|_| {
+                CliError::Usage {
+                    message: "--users must be a positive integer".into(),
+                }
+            })?;
+            let seed = parsed.get_parsed_or("seed", 0u64)?;
+            let spec = generate(preset, users, seed)?;
+            emit(&spec.to_json(), parsed.get("output"))?;
+            Ok(())
+        }
+        "solve" => {
+            let spec = load_spec(parsed.require("input")?)?;
+            let policy = PolicyChoice::parse(parsed.get("policy").unwrap_or("wolt"))?;
+            let seed = parsed.get_parsed_or("seed", 0u64)?;
+            if parsed.get_parsed_or("explain", false)? {
+                emit(&solve_explained(&spec, policy, seed)?, parsed.get("output"))?;
+            } else {
+                let report = solve(&spec, policy, seed)?;
+                emit(
+                    &serde_json::to_string_pretty(&report).expect("report serializes"),
+                    parsed.get("output"),
+                )?;
+            }
+            Ok(())
+        }
+        "compare" => {
+            let spec = load_spec(parsed.require("input")?)?;
+            let seed = parsed.get_parsed_or("seed", 0u64)?;
+            let reports = compare(&spec, seed)?;
+            println!("{:<16} {:>12} {:>8}", "policy", "aggregate", "jain");
+            for r in &reports {
+                println!(
+                    "{:<16} {:>9.2} Mb {:>8}",
+                    r.policy,
+                    r.aggregate_mbps,
+                    r.jain.map_or_else(|| "-".into(), |j| format!("{j:.2}")),
+                );
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage {
+            message: format!("unknown subcommand {other:?}"),
+        }),
+    }
+}
+
+fn load_spec(path: &str) -> Result<NetworkSpec, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    NetworkSpec::from_json(&text)
+}
+
+fn emit(text: &str, output: Option<&str>) -> Result<(), CliError> {
+    use std::io::Write as _;
+    match output {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            // Tolerate a closed pipe (`wolt ... | head`) instead of
+            // panicking like the println! macro would.
+            if let Err(e) = writeln!(std::io::stdout(), "{text}") {
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+    Ok(())
+}

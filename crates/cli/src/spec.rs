@@ -1,0 +1,126 @@
+//! The JSON network-specification format.
+//!
+//! A network is fully described by its PLC capacities `c_j` and the user ×
+//! extender achievable-rate matrix `r_ij` (0 = unreachable), which is what
+//! the paper's Central Controller learns at runtime. The `wolt generate`
+//! subcommand samples these from the simulator's enterprise/lab models;
+//! `wolt solve`/`compare` consume them from a file.
+
+use serde::{Deserialize, Serialize};
+use wolt_core::Network;
+
+use crate::CliError;
+
+/// Serializable network description.
+///
+/// ```json
+/// {
+///   "capacities": [60.0, 20.0],
+///   "rates": [[15.0, 10.0], [40.0, 20.0]]
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// PLC isolation capacities `c_j` in Mbit/s.
+    pub capacities: Vec<f64>,
+    /// Achievable WiFi rates `r_ij` in Mbit/s (rows = users, columns =
+    /// extenders; ≤ 0 = unreachable).
+    pub rates: Vec<Vec<f64>>,
+}
+
+impl NetworkSpec {
+    /// Validates and converts to a [`Network`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Library`] with the underlying validation
+    /// failure (unusable capacity, unreachable user, ragged rows, …).
+    pub fn to_network(&self) -> Result<Network, CliError> {
+        Network::from_raw(self.capacities.clone(), self.rates.clone()).map_err(CliError::from)
+    }
+
+    /// Builds a spec from a generated simulator scenario.
+    pub fn from_scenario(scenario: &wolt_sim::Scenario) -> Self {
+        let users = scenario.user_positions.len();
+        let exts = scenario.extender_positions.len();
+        Self {
+            capacities: scenario.capacities.iter().map(|c| c.value()).collect(),
+            rates: (0..users)
+                .map(|i| {
+                    (0..exts)
+                        .map(|j| scenario.rate(i, j).map_or(0.0, |r| r.value()))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadInput`] on malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, CliError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wolt_sim::scenario::ScenarioConfig;
+    use wolt_sim::Scenario;
+
+    #[test]
+    fn json_round_trip() {
+        let spec = NetworkSpec {
+            capacities: vec![60.0, 20.0],
+            rates: vec![vec![15.0, 10.0], vec![40.0, 20.0]],
+        };
+        let back = NetworkSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn converts_to_network() {
+        let spec = NetworkSpec {
+            capacities: vec![60.0, 20.0],
+            rates: vec![vec![15.0, 10.0], vec![40.0, 20.0]],
+        };
+        let net = spec.to_network().unwrap();
+        assert_eq!(net.users(), 2);
+        assert_eq!(net.extenders(), 2);
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let spec = NetworkSpec {
+            capacities: vec![0.0],
+            rates: vec![vec![10.0]],
+        };
+        assert!(spec.to_network().is_err());
+        assert!(NetworkSpec::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn from_scenario_matches_scenario_rates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let scenario = Scenario::generate(&ScenarioConfig::lab(5), &mut rng).unwrap();
+        let spec = NetworkSpec::from_scenario(&scenario);
+        assert_eq!(spec.capacities.len(), 3);
+        assert_eq!(spec.rates.len(), 5);
+        let net = spec.to_network().unwrap();
+        for i in 0..5 {
+            for j in 0..3 {
+                assert_eq!(net.rate(i, j), scenario.rate(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Baseline association policies the paper compares WOLT against.
+//!
+//! * [`Rssi`] — "users are associated to the extender that yields the
+//!   strongest received signal regardless of (a) the quality of the
+//!   extender's PLC link segment, (b) how many users are contending"
+//!   (§V-C). This is the factory default of commodity extenders. With a
+//!   monotone RSSI→rate table, strongest signal ⇔ highest achievable rate,
+//!   so the policy picks `argmax_j r_ij`.
+//! * [`Greedy`] — the online centralized baseline (§V-B): each arriving
+//!   user is placed on the extender that maximizes the aggregate network
+//!   throughput *given everyone already placed*; nobody is ever reassigned.
+//! * [`Optimal`] — brute-force search over complete associations (the
+//!   oracle behind the paper's Fig. 3d), feasible only at toy scale.
+//! * [`SelfishGreedy`] — the §III-B variant where each arrival maximizes
+//!   *its own* throughput instead of the aggregate (the behaviour the
+//!   paper's Fig. 3c narrative describes).
+//! * [`Random`] — a uniformly random reachable extender per user; a sanity
+//!   floor for experiments.
+
+use crate::{evaluate, Association, AssociationPolicy, CoreError, Network};
+
+/// Strongest-signal association (the commodity default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rssi;
+
+impl AssociationPolicy for Rssi {
+    fn name(&self) -> &str {
+        "RSSI"
+    }
+
+    fn associate(&self, net: &Network) -> Result<Association, CoreError> {
+        let mut assoc = Association::unassigned(net.users());
+        for i in 0..net.users() {
+            let best = best_reachable(net, i, &assoc, |j| {
+                net.rate(i, j).expect("reachable").value()
+            })?;
+            assoc.assign(i, best);
+        }
+        Ok(assoc)
+    }
+}
+
+/// Online greedy association: maximize aggregate throughput one arrival at
+/// a time, never reassigning earlier users.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Greedy {
+    /// Arrival order of the users; `None` means index order `0..U`.
+    order: Option<Vec<usize>>,
+}
+
+impl Greedy {
+    /// Greedy with users arriving in index order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Greedy with an explicit arrival order (a permutation of `0..U`).
+    pub fn with_order(order: Vec<usize>) -> Self {
+        Self { order: Some(order) }
+    }
+}
+
+impl AssociationPolicy for Greedy {
+    fn name(&self) -> &str {
+        "Greedy"
+    }
+
+    fn associate(&self, net: &Network) -> Result<Association, CoreError> {
+        let order: Vec<usize> = match &self.order {
+            Some(o) => {
+                if o.len() != net.users() {
+                    return Err(CoreError::DimensionMismatch {
+                        context: "arrival order length != number of users",
+                    });
+                }
+                o.clone()
+            }
+            None => (0..net.users()).collect(),
+        };
+
+        let mut assoc = Association::unassigned(net.users());
+        for &i in &order {
+            let best = best_reachable(net, i, &assoc, |j| {
+                let mut candidate = assoc.clone();
+                candidate.assign(i, j);
+                evaluate(net, &candidate)
+                    .map(|e| e.aggregate.value())
+                    .unwrap_or(f64::NEG_INFINITY)
+            })?;
+            assoc.assign(i, best);
+        }
+        Ok(assoc)
+    }
+}
+
+/// Brute-force optimal association (exponential; toy instances only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Optimal;
+
+impl AssociationPolicy for Optimal {
+    fn name(&self) -> &str {
+        "Optimal"
+    }
+
+    /// # Errors
+    ///
+    /// Besides infeasibility errors, panics from the underlying
+    /// brute-force iterator are avoided by pre-checking the search-space
+    /// size and returning [`CoreError::DimensionMismatch`] when it exceeds
+    /// 10⁸ candidates.
+    fn associate(&self, net: &Network) -> Result<Association, CoreError> {
+        let space = (net.extenders() as f64).powi(net.users() as i32);
+        if space > 1e8 {
+            return Err(CoreError::DimensionMismatch {
+                context: "instance too large for brute-force optimal",
+            });
+        }
+        let (targets, value) =
+            wolt_opt::brute::best_full_assignment(net.users(), net.extenders(), |targets| {
+                let assoc = Association::complete(targets.to_vec());
+                match evaluate(net, &assoc) {
+                    Ok(e) => e.aggregate.value(),
+                    Err(_) => f64::NEG_INFINITY,
+                }
+            });
+        if value == f64::NEG_INFINITY {
+            // Even the best assignment was infeasible (limits too tight).
+            return Err(CoreError::IncompleteAssociation { user: 0 });
+        }
+        Ok(Association::complete(targets))
+    }
+}
+
+/// Uniform-random reachable extender per user (seeded, reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Random {
+    seed: u64,
+}
+
+impl Random {
+    /// Random policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl AssociationPolicy for Random {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn associate(&self, net: &Network) -> Result<Association, CoreError> {
+        // SplitMix64: tiny, deterministic, and good enough for picking
+        // uniform extenders without pulling a rand dependency into core.
+        let mut state = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut assoc = Association::unassigned(net.users());
+        for i in 0..net.users() {
+            let reachable = net.reachable_extenders(i);
+            debug_assert!(!reachable.is_empty(), "network validation guarantees this");
+            let pick = reachable[(next() % reachable.len() as u64) as usize];
+            assoc.assign(i, pick);
+        }
+        Ok(assoc)
+    }
+}
+
+/// Picks the reachable, non-full extender maximizing `score`; errors if
+/// user limits leave no candidate.
+fn best_reachable<F: FnMut(usize) -> f64>(
+    net: &Network,
+    user: usize,
+    assoc: &Association,
+    mut score: F,
+) -> Result<usize, CoreError> {
+    let mut best: Option<(usize, f64)> = None;
+    for j in net.reachable_extenders(user) {
+        if let Some(limit) = net.user_limit(j) {
+            if assoc.users_of(j).len() >= limit {
+                continue;
+            }
+        }
+        let s = score(j);
+        if best.is_none_or(|(_, b)| s > b) {
+            best = Some((j, s));
+        }
+    }
+    best.map(|(j, _)| j)
+        .ok_or(CoreError::IncompleteAssociation { user })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_network() -> Network {
+        Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]]).unwrap()
+    }
+
+    #[test]
+    fn rssi_reproduces_fig3b() {
+        // Both users' best WiFi rate is on extender 1 → total ≈ 22.
+        let assoc = Rssi.associate(&fig3_network()).unwrap();
+        assert_eq!(assoc.target(0), Some(0));
+        assert_eq!(assoc.target(1), Some(0));
+        let eval = evaluate(&fig3_network(), &assoc).unwrap();
+        assert!((eval.aggregate.value() - 240.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_reproduces_fig3c() {
+        // User 1 arrives first and grabs extender 1; user 2 then prefers
+        // extender 2 → total 30 (with airtime redistribution).
+        let assoc = Greedy::new().associate(&fig3_network()).unwrap();
+        assert_eq!(assoc.target(0), Some(0));
+        assert_eq!(assoc.target(1), Some(1));
+        let eval = evaluate(&fig3_network(), &assoc).unwrap();
+        assert!((eval.aggregate.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_reproduces_fig3d() {
+        let assoc = Optimal.associate(&fig3_network()).unwrap();
+        let eval = evaluate(&fig3_network(), &assoc).unwrap();
+        assert!((eval.aggregate.value() - 40.0).abs() < 1e-9);
+        assert_eq!(assoc.target(0), Some(1));
+        assert_eq!(assoc.target(1), Some(0));
+    }
+
+    #[test]
+    fn fig3_ordering_rssi_le_greedy_le_optimal() {
+        let net = fig3_network();
+        let rssi = evaluate(&net, &Rssi.associate(&net).unwrap()).unwrap().aggregate;
+        let greedy = evaluate(&net, &Greedy::new().associate(&net).unwrap())
+            .unwrap()
+            .aggregate;
+        let optimal = evaluate(&net, &Optimal.associate(&net).unwrap())
+            .unwrap()
+            .aggregate;
+        assert!(rssi <= greedy);
+        assert!(greedy <= optimal);
+    }
+
+    #[test]
+    fn greedy_respects_arrival_order() {
+        let net = fig3_network();
+        // Reversed arrivals: user 2 first takes extender 1 (its end-to-end
+        // best), changing what user 1 sees.
+        let assoc = Greedy::with_order(vec![1, 0]).associate(&net).unwrap();
+        assert_eq!(assoc.target(1), Some(0));
+        assert!(assoc.is_complete());
+    }
+
+    #[test]
+    fn greedy_rejects_bad_order() {
+        let err = Greedy::with_order(vec![0]).associate(&fig3_network()).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn greedy_never_reassigns() {
+        // A third user arriving cannot move the first two.
+        let net = Network::from_raw(
+            vec![60.0, 20.0],
+            vec![vec![15.0, 10.0], vec![40.0, 20.0], vec![35.0, 18.0]],
+        )
+        .unwrap();
+        let two_first = Greedy::with_order(vec![0, 1, 2]).associate(&net).unwrap();
+        let fig3 = Greedy::new().associate(&fig3_network()).unwrap();
+        assert_eq!(two_first.target(0), fig3.target(0));
+        assert_eq!(two_first.target(1), fig3.target(1));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_feasible() {
+        let net = fig3_network();
+        let a = Random::new(7).associate(&net).unwrap();
+        let b = Random::new(7).associate(&net).unwrap();
+        assert_eq!(a, b);
+        assert!(net.validate_association(&a).is_ok());
+        assert!(a.is_complete());
+    }
+
+    #[test]
+    fn random_covers_extenders_across_seeds() {
+        let net = fig3_network();
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            let a = Random::new(seed).associate(&net).unwrap();
+            seen.insert(a.target(0));
+            seen.insert(a.target(1));
+        }
+        assert!(seen.contains(&Some(0)) && seen.contains(&Some(1)));
+    }
+
+    #[test]
+    fn policies_respect_user_limits() {
+        let net = Network::from_raw(
+            vec![100.0, 90.0],
+            vec![vec![30.0, 5.0], vec![28.0, 6.0], vec![26.0, 7.0]],
+        )
+        .unwrap()
+        .with_user_limits(vec![Some(1), None])
+        .unwrap();
+        for policy in [&Rssi as &dyn AssociationPolicy, &Greedy::new()] {
+            let assoc = policy.associate(&net).unwrap();
+            assert!(
+                net.validate_association(&assoc).is_ok(),
+                "{} violated limits",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn limits_too_tight_error() {
+        let net = Network::from_raw(vec![100.0], vec![vec![30.0], vec![28.0]])
+            .unwrap()
+            .with_user_limits(vec![Some(1)])
+            .unwrap();
+        assert!(matches!(
+            Rssi.associate(&net),
+            Err(CoreError::IncompleteAssociation { user: 1 })
+        ));
+    }
+
+    #[test]
+    fn optimal_rejects_huge_instances() {
+        let rates = vec![vec![10.0; 10]; 30];
+        let net = Network::from_raw(vec![100.0; 10], rates).unwrap();
+        assert!(matches!(
+            Optimal.associate(&net),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn selfish_greedy_reproduces_fig3c_on_the_case_study() {
+        // On the 2-user case study the selfish and aggregate greedies
+        // agree: user 1 takes extender 1 (own 15 > 10), user 2 takes
+        // extender 2 (own 15 via redistribution > 10.9 sharing ext 1).
+        let assoc = SelfishGreedy::new().associate(&fig3_network()).unwrap();
+        assert_eq!(assoc.target(0), Some(0));
+        assert_eq!(assoc.target(1), Some(1));
+        let eval = evaluate(&fig3_network(), &assoc).unwrap();
+        assert!((eval.aggregate.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selfish_greedy_falls_into_anomaly_traps() {
+        // One extender with a great PLC link and fast cell; a slow user
+        // joins it for selfish gain, crushing the cell. The aggregate
+        // greedy avoids this.
+        let net = Network::from_raw(
+            vec![200.0, 40.0],
+            vec![
+                vec![50.0, 10.0],
+                vec![50.0, 10.0],
+                vec![2.0, 1.9],
+            ],
+        )
+        .unwrap();
+        let selfish = evaluate(&net, &SelfishGreedy::new().associate(&net).unwrap())
+            .unwrap()
+            .aggregate;
+        let aggregate = evaluate(&net, &Greedy::new().associate(&net).unwrap())
+            .unwrap()
+            .aggregate;
+        assert!(
+            selfish < aggregate,
+            "selfish {selfish} should trail aggregate greedy {aggregate}"
+        );
+    }
+
+    #[test]
+    fn selfish_greedy_respects_order_and_validates() {
+        let net = fig3_network();
+        let assoc = SelfishGreedy::with_order(vec![1, 0]).associate(&net).unwrap();
+        assert!(assoc.is_complete());
+        assert!(net.validate_association(&assoc).is_ok());
+        let err = SelfishGreedy::with_order(vec![0]).associate(&net).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn optimal_dominates_everyone_on_small_instances() {
+        let net = Network::from_raw(
+            vec![70.0, 90.0, 50.0],
+            vec![
+                vec![20.0, 15.0, 9.0],
+                vec![11.0, 24.0, 13.0],
+                vec![8.0, 16.0, 21.0],
+                vec![17.0, 10.0, 14.0],
+            ],
+        )
+        .unwrap();
+        let optimal = evaluate(&net, &Optimal.associate(&net).unwrap())
+            .unwrap()
+            .aggregate;
+        for policy in [
+            &Rssi as &dyn AssociationPolicy,
+            &Greedy::new(),
+            &Random::new(3),
+        ] {
+            let v = evaluate(&net, &policy.associate(&net).unwrap())
+                .unwrap()
+                .aggregate;
+            assert!(
+                v <= optimal + wolt_units::Mbps::new(1e-9),
+                "{} beat optimal?!",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Selfish online greedy: each arriving user connects to the extender
+/// maximizing *its own* end-to-end throughput, indifferent to the damage
+/// its contention inflicts on others (§III-B of the paper: "users …
+/// are associated so as to maximize their own throughputs greedily").
+///
+/// This is the classic performance-anomaly trap and degrades sharply at
+/// scale, which is where the paper's largest WOLT-vs-greedy factors come
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelfishGreedy {
+    /// Arrival order; `None` means index order.
+    order: Option<Vec<usize>>,
+}
+
+impl SelfishGreedy {
+    /// Selfish greedy with users arriving in index order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selfish greedy with an explicit arrival order.
+    pub fn with_order(order: Vec<usize>) -> Self {
+        Self { order: Some(order) }
+    }
+}
+
+impl AssociationPolicy for SelfishGreedy {
+    fn name(&self) -> &str {
+        "SelfishGreedy"
+    }
+
+    fn associate(&self, net: &Network) -> Result<Association, CoreError> {
+        let order: Vec<usize> = match &self.order {
+            Some(o) => {
+                if o.len() != net.users() {
+                    return Err(CoreError::DimensionMismatch {
+                        context: "arrival order length != number of users",
+                    });
+                }
+                o.clone()
+            }
+            None => (0..net.users()).collect(),
+        };
+        let mut assoc = Association::unassigned(net.users());
+        for &i in &order {
+            let best = best_reachable(net, i, &assoc, |j| {
+                let mut candidate = assoc.clone();
+                candidate.assign(i, j);
+                evaluate(net, &candidate)
+                    .map(|e| e.per_user[i].value())
+                    .unwrap_or(f64::NEG_INFINITY)
+            })?;
+            assoc.assign(i, best);
+        }
+        Ok(assoc)
+    }
+}

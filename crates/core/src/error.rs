@@ -1,0 +1,152 @@
+use std::error::Error;
+use std::fmt;
+
+use wolt_opt::OptError;
+use wolt_plc::PlcError;
+use wolt_wifi::WifiError;
+
+/// Errors produced by the WOLT core.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The rate matrix and capacity vector disagree on the number of
+    /// extenders, or another pair of related inputs has mismatched shapes.
+    DimensionMismatch {
+        /// Human-readable description of what disagreed.
+        context: &'static str,
+    },
+    /// An extender capacity was zero, negative, or non-finite.
+    UnusableCapacity {
+        /// Index of the offending extender.
+        extender: usize,
+    },
+    /// A user cannot reach any extender (all its rates are unusable), so no
+    /// complete association exists.
+    UnreachableUser {
+        /// Index of the offending user.
+        user: usize,
+    },
+    /// An association referenced an extender index outside the network.
+    UnknownExtender {
+        /// The offending extender index.
+        extender: usize,
+    },
+    /// An association left a user unassigned where a complete association
+    /// is required (constraint (7) of Problem 1).
+    IncompleteAssociation {
+        /// Index of the unassigned user.
+        user: usize,
+    },
+    /// An association connected a user to an extender it cannot reach.
+    InfeasibleAssociation {
+        /// Index of the offending user.
+        user: usize,
+        /// The unreachable extender.
+        extender: usize,
+    },
+    /// An association exceeded an extender's user limit `B_j`
+    /// (constraint (8) of Problem 1).
+    CapacityExceeded {
+        /// Index of the overloaded extender.
+        extender: usize,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// An underlying substrate failed.
+    Substrate {
+        /// Description of the failing substrate call.
+        context: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            CoreError::UnusableCapacity { extender } => {
+                write!(f, "unusable capacity on extender {extender}")
+            }
+            CoreError::UnreachableUser { user } => {
+                write!(f, "user {user} cannot reach any extender")
+            }
+            CoreError::UnknownExtender { extender } => {
+                write!(f, "unknown extender {extender}")
+            }
+            CoreError::IncompleteAssociation { user } => {
+                write!(f, "user {user} left unassigned")
+            }
+            CoreError::InfeasibleAssociation { user, extender } => {
+                write!(f, "user {user} cannot reach extender {extender}")
+            }
+            CoreError::CapacityExceeded { extender, limit } => {
+                write!(f, "extender {extender} exceeds its limit of {limit} users")
+            }
+            CoreError::Substrate { context } => write!(f, "substrate failure: {context}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<WifiError> for CoreError {
+    fn from(e: WifiError) -> Self {
+        CoreError::Substrate {
+            context: format!("wifi: {e}"),
+        }
+    }
+}
+
+impl From<PlcError> for CoreError {
+    fn from(e: PlcError) -> Self {
+        CoreError::Substrate {
+            context: format!("plc: {e}"),
+        }
+    }
+}
+
+impl From<OptError> for CoreError {
+    fn from(e: OptError) -> Self {
+        CoreError::Substrate {
+            context: format!("opt: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::UnreachableUser { user: 2 }.to_string(),
+            "user 2 cannot reach any extender"
+        );
+        assert_eq!(
+            CoreError::CapacityExceeded {
+                extender: 1,
+                limit: 3
+            }
+            .to_string(),
+            "extender 1 exceeds its limit of 3 users"
+        );
+    }
+
+    #[test]
+    fn substrate_errors_convert() {
+        let e: CoreError = WifiError::EmptyCell.into();
+        assert!(e.to_string().contains("wifi"));
+        let e: CoreError = PlcError::UnknownOutlet { outlet: 1 }.into();
+        assert!(e.to_string().contains("plc"));
+        let e: CoreError = OptError::EmptyMatrix.into();
+        assert!(e.to_string().contains("opt"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

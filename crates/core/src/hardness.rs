@@ -1,0 +1,217 @@
+//! Executable NP-hardness reduction (Theorem 1 of the paper).
+//!
+//! Theorem 1 reduces PARTITION to Problem 1: given weights
+//! `w_1 … w_M`, build a two-extender instance with unbounded PLC rates,
+//! regular users whose "WiFi rates" are `r_i = −1/w_i`, and enough dummy
+//! users (rates −∞) to balance the cell sizes. Problem 1's objective then
+//! equals `−(n/W_1 + n/(W−W_1))` with `n` users per extender and `W_1` the
+//! weight mass on extender 1, which is maximized exactly when
+//! `W_1 = W/2` — solving PARTITION.
+//!
+//! The production [`crate::Network`] type (rightly) rejects negative
+//! rates, so this module carries the reduction at the mathematical level:
+//! [`PartitionReduction`] builds the reduced objective and
+//! [`PartitionReduction::solve`] optimizes it exhaustively, demonstrating
+//! on small instances that the Problem-1 optimum *is* the optimal
+//! partition. This is test scaffolding made public because it documents
+//! the complexity argument; it is not needed to run WOLT.
+
+use serde::{Deserialize, Serialize};
+
+/// The PARTITION → Problem 1 reduction instance of Theorem 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionReduction {
+    weights: Vec<f64>,
+}
+
+/// A solved partition: side assignment and the achieved imbalance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSolution {
+    /// `true` = the item goes to extender 1's side.
+    pub left: Vec<bool>,
+    /// `|W_left − W_right|` of the returned split.
+    pub imbalance: f64,
+    /// The reduced Problem-1 objective value of the returned split.
+    pub objective: f64,
+}
+
+impl PartitionReduction {
+    /// Builds a reduction instance from positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` has fewer than two items, more than 24 (the
+    /// solver is exhaustive), or contains non-positive/non-finite weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(weights.len() >= 2, "need at least two weights to partition");
+        assert!(weights.len() <= 24, "exhaustive reduction limited to 24 items");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        Self { weights }
+    }
+
+    /// The weights of the instance.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The reduced Problem-1 objective of a side assignment.
+    ///
+    /// With regular users of rate `−1/w_i` and dummies of rate `−∞`
+    /// padding the smaller side so both extenders hold `n = max(n_1, n_2)`
+    /// users, Eq. 1's cell throughput becomes `n_j / Σ_{i∈N_j} 1/r_ij =
+    /// −n / W_j`, so the objective is `−n·(1/W_left + 1/W_right)`.
+    /// Degenerate one-sided splits score `−∞`.
+    pub fn objective(&self, left: &[bool]) -> f64 {
+        assert_eq!(left.len(), self.weights.len(), "side vector length mismatch");
+        let w_left: f64 = self
+            .weights
+            .iter()
+            .zip(left)
+            .filter(|(_, &l)| l)
+            .map(|(w, _)| w)
+            .sum();
+        let w_total: f64 = self.weights.iter().sum();
+        let w_right = w_total - w_left;
+        if w_left <= 0.0 || w_right <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let n_left = left.iter().filter(|&&l| l).count();
+        let n_right = left.len() - n_left;
+        // Dummy users pad the smaller cell; they add count but no weight
+        // (1/−∞ = 0), exactly as in the paper's construction.
+        let n = n_left.max(n_right) as f64;
+        -n * (1.0 / w_left + 1.0 / w_right)
+    }
+
+    /// Solves PARTITION through the reduction, mirroring the paper's
+    /// procedure: for each dummy count `k` (equivalently, each left-side
+    /// cardinality `s` — `k` dummies pad the smaller cell so both hold
+    /// `max(s, M−s)` users), solve the resulting fixed-size Problem-1
+    /// instance exhaustively, then "pick the best solution across all
+    /// iterations". Within a size class the objective `−n(1/W₁ + 1/W₂)`
+    /// has constant `n`, so maximizing it is exactly balancing the weight
+    /// masses; across classes the most balanced candidate wins.
+    pub fn solve(&self) -> PartitionSolution {
+        let m = self.weights.len();
+        let w_total: f64 = self.weights.iter().sum();
+        let mut best: Option<(f64, u32, f64)> = None; // (imbalance, mask, objective)
+        for s in 1..m {
+            // Per-size-class argmax of the reduced objective.
+            let mut class_best: Option<(f64, u32)> = None;
+            for mask in 0..(1u32 << m) {
+                if mask.count_ones() as usize != s {
+                    continue;
+                }
+                let left: Vec<bool> = (0..m).map(|i| mask & (1 << i) != 0).collect();
+                let obj = self.objective(&left);
+                if class_best.is_none_or(|(o, _)| obj > o) {
+                    class_best = Some((obj, mask));
+                }
+            }
+            let (obj, mask) = class_best.expect("size class 1..m is non-empty");
+            let w_left: f64 = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| self.weights[i])
+                .sum();
+            let imbalance = (2.0 * w_left - w_total).abs();
+            if best.is_none_or(|(b, _, _)| imbalance < b) {
+                best = Some((imbalance, mask, obj));
+            }
+        }
+        let (imbalance, mask, objective) = best.expect("m >= 2 gives at least one class");
+        PartitionSolution {
+            left: (0..m).map(|i| mask & (1 << i) != 0).collect(),
+            imbalance,
+            objective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_partitionable_set_balances() {
+        let sol = PartitionReduction::new(vec![3.0, 1.0, 1.0, 2.0, 2.0, 1.0]).solve();
+        assert_eq!(sol.imbalance, 0.0, "split {:?}", sol.left);
+    }
+
+    #[test]
+    fn odd_total_leaves_minimal_gap() {
+        // Total = 7; best split is 3 vs 4 → imbalance 1.
+        let sol = PartitionReduction::new(vec![1.0, 2.0, 4.0]).solve();
+        assert_eq!(sol.imbalance, 1.0);
+    }
+
+    #[test]
+    fn balanced_split_scores_higher_than_skewed() {
+        let red = PartitionReduction::new(vec![2.0, 2.0, 2.0, 2.0]);
+        let balanced = red.objective(&[true, true, false, false]);
+        let skewed = red.objective(&[true, true, true, false]);
+        assert!(balanced > skewed);
+    }
+
+    #[test]
+    fn one_sided_split_is_infeasible() {
+        let red = PartitionReduction::new(vec![1.0, 2.0]);
+        assert_eq!(red.objective(&[true, true]), f64::NEG_INFINITY);
+        assert_eq!(red.objective(&[false, false]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn objective_symmetry_under_side_flip() {
+        let red = PartitionReduction::new(vec![1.0, 5.0, 3.0]);
+        let a = red.objective(&[true, false, true]);
+        let b = red.objective(&[false, true, false]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_objective_is_argmin_imbalance() {
+        // The crux of Theorem 1: optimizing the reduced Problem-1
+        // objective solves PARTITION. Compare against direct imbalance
+        // minimization on random-ish instances.
+        let instances = [
+            vec![7.0, 3.0, 2.0, 5.0, 8.0],
+            vec![10.0, 9.0, 8.0, 7.0, 6.0, 5.0],
+            vec![1.0, 1.0, 1.0, 1.0, 100.0],
+            vec![13.0, 4.0, 4.0, 5.0],
+        ];
+        for weights in instances {
+            let sol = PartitionReduction::new(weights.clone()).solve();
+            // Direct exhaustive imbalance minimization.
+            let m = weights.len();
+            let total: f64 = weights.iter().sum();
+            let mut best_gap = f64::INFINITY;
+            for mask in 1..((1u32 << m) - 1) {
+                let w: f64 = (0..m)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| weights[i])
+                    .sum();
+                best_gap = best_gap.min((2.0 * w - total).abs());
+            }
+            assert!(
+                (sol.imbalance - best_gap).abs() < 1e-9,
+                "{weights:?}: reduction gap {} vs true {}",
+                sol.imbalance,
+                best_gap
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_weights() {
+        let _ = PartitionReduction::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn objective_rejects_wrong_length() {
+        PartitionReduction::new(vec![1.0, 2.0]).objective(&[true]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Phase II of WOLT: assigning the remaining users.
+//!
+//! After Phase I pins one user per extender, constraint (7) returns: every
+//! remaining user (`U2`) must connect somewhere. Problem 2 of the paper
+//! assigns them to maximize the *WiFi-side* aggregate Σ_j T_wifi(j) with
+//! the Phase-I users fixed — the PLC side is already saturated by Phase I,
+//! so additional users mostly reshuffle WiFi contention. The paper solves
+//! the fractional relaxation numerically (interior point, stop at 1e-5)
+//! and proves (Theorem 3) an integral optimum exists.
+//!
+//! [`run_phase2`] mirrors that: a projected-gradient solve of the
+//! fractional program over per-user simplices, then Theorem-3-style
+//! integral extraction (each user lands on its best extender), then a
+//! discrete coordinate-ascent polish. [`run_phase2_greedy`] skips the NLP
+//! and assigns users purely by marginal gain — the ablation showing what
+//! the fractional solve buys.
+
+use wolt_opt::{Objective, ProjectedGradient, SolveReport};
+use wolt_wifi::cell::CellLoad;
+
+use crate::{Association, CoreError, Network};
+
+/// Configuration for Phase II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase2Config {
+    /// Fractional solver settings (the paper stops at 1e-5 improvement).
+    pub solver: ProjectedGradient,
+    /// Maximum discrete coordinate-ascent passes after extraction.
+    pub polish_passes: usize,
+    /// Minimum discrete improvement worth moving a user for.
+    pub polish_tol: f64,
+}
+
+impl Default for Phase2Config {
+    fn default() -> Self {
+        Self {
+            solver: ProjectedGradient::new(),
+            polish_passes: 20,
+            polish_tol: 1e-5,
+        }
+    }
+}
+
+/// Result of Phase II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase2Outcome {
+    /// The completed association (Phase-I users untouched).
+    pub association: Association,
+    /// Report of the fractional solve (`None` when `U2` was empty or the
+    /// greedy variant ran).
+    pub fractional: Option<SolveReport>,
+    /// Final discrete WiFi-side objective Σ_j T_wifi(j).
+    pub wifi_objective: f64,
+}
+
+/// The fractional Problem-2 objective over `U2` users' simplex rows.
+struct Phase2Objective {
+    /// Fixed user count per extender (from Phase I).
+    fixed_count: Vec<f64>,
+    /// Fixed harmonic weight Σ 1/r per extender (from Phase I).
+    fixed_weight: Vec<f64>,
+    /// `inv_rate[k][j] = 1 / r_{u2[k], j}` (0 where unreachable — masked).
+    inv_rate: Vec<Vec<f64>>,
+}
+
+impl Phase2Objective {
+    /// Per-extender mass `N_j` and weight `S_j` contributed by `x`.
+    fn totals(&self, x: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let n_ext = self.fixed_count.len();
+        let mut mass = self.fixed_count.clone();
+        let mut weight = self.fixed_weight.clone();
+        for (k, row) in x.iter().enumerate() {
+            for j in 0..n_ext {
+                mass[j] += row[j];
+                weight[j] += row[j] * self.inv_rate[k][j];
+            }
+        }
+        (mass, weight)
+    }
+}
+
+impl Objective for Phase2Objective {
+    fn value(&self, x: &[Vec<f64>]) -> f64 {
+        let (mass, weight) = self.totals(x);
+        mass.iter()
+            .zip(&weight)
+            .map(|(&m, &w)| if w > 1e-12 { m / w } else { 0.0 })
+            .sum()
+    }
+
+    fn gradient(&self, x: &[Vec<f64>], grad: &mut [Vec<f64>]) {
+        let (mass, weight) = self.totals(x);
+        for (k, grow) in grad.iter_mut().enumerate() {
+            for (j, g) in grow.iter_mut().enumerate() {
+                let inv_r = self.inv_rate[k][j];
+                if inv_r == 0.0 {
+                    // Masked (unreachable) coordinate; the projection keeps
+                    // it at zero regardless.
+                    *g = 0.0;
+                    continue;
+                }
+                let w = weight[j];
+                if w > 1e-12 {
+                    // d/dx of (m + x)/(w + x/r) at the current point.
+                    *g = (w - mass[j] * inv_r) / (w * w);
+                } else {
+                    // Empty extender: the first unit of mass is worth the
+                    // user's full rate.
+                    *g = 1.0 / inv_r;
+                }
+            }
+        }
+    }
+}
+
+/// Runs Phase II with the fractional solve + integral extraction.
+///
+/// `phase1` must be a (possibly partial) association valid for `net`; its
+/// assigned users are treated as fixed.
+///
+/// # Errors
+///
+/// Propagates association-validation and solver errors.
+pub fn run_phase2(
+    net: &Network,
+    phase1: &Association,
+    config: &Phase2Config,
+) -> Result<Phase2Outcome, CoreError> {
+    net.validate_association(phase1)?;
+    let u2 = phase1.unassigned_users();
+    if u2.is_empty() {
+        let wifi_objective = wifi_objective(net, phase1);
+        return Ok(Phase2Outcome {
+            association: phase1.clone(),
+            fractional: None,
+            wifi_objective,
+        });
+    }
+
+    let n_ext = net.extenders();
+    let (fixed_count, fixed_weight) = fixed_cells(net, phase1);
+
+    let inv_rate: Vec<Vec<f64>> = u2
+        .iter()
+        .map(|&i| {
+            (0..n_ext)
+                .map(|j| net.rate(i, j).map_or(0.0, |r| 1.0 / r.value()))
+                .collect()
+        })
+        .collect();
+    let masks: Vec<Vec<bool>> = u2
+        .iter()
+        .map(|&i| (0..n_ext).map(|j| net.reachable(i, j)).collect())
+        .collect();
+
+    // Uniform feasible start over each user's reachable extenders.
+    let x0: Vec<Vec<f64>> = masks
+        .iter()
+        .map(|mask| {
+            let k = mask.iter().filter(|&&b| b).count() as f64;
+            mask.iter()
+                .map(|&b| if b { 1.0 / k } else { 0.0 })
+                .collect()
+        })
+        .collect();
+
+    let objective = Phase2Objective {
+        fixed_count,
+        fixed_weight,
+        inv_rate,
+    };
+    let report = config.solver.maximize(&objective, x0, Some(&masks))?;
+
+    // Theorem-3 integral extraction: each user snaps to its largest
+    // fractional coordinate...
+    let mut association = phase1.clone();
+    for (k, &i) in u2.iter().enumerate() {
+        let row = &report.x[k];
+        let best = (0..n_ext)
+            .filter(|&j| masks[k][j])
+            .max_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("finite x"))
+            .expect("validated users reach at least one extender");
+        association.assign(i, best);
+    }
+    // ...then a discrete coordinate-ascent polish removes any extraction
+    // loss (Theorem 3 guarantees an integral optimum exists).
+    polish(net, &mut association, &u2, config);
+
+    let wifi_objective = wifi_objective(net, &association);
+    Ok(Phase2Outcome {
+        association,
+        fractional: Some(report),
+        wifi_objective,
+    })
+}
+
+/// Greedy Phase II: assigns each `U2` user (in index order) to the
+/// extender with the best marginal WiFi gain, then polishes. No fractional
+/// solve.
+///
+/// # Errors
+///
+/// Propagates association-validation failures.
+pub fn run_phase2_greedy(
+    net: &Network,
+    phase1: &Association,
+    config: &Phase2Config,
+) -> Result<Phase2Outcome, CoreError> {
+    net.validate_association(phase1)?;
+    let u2 = phase1.unassigned_users();
+    let mut association = phase1.clone();
+
+    let mut cells = build_cells(net, &association);
+    for &i in &u2 {
+        let mut best: Option<(usize, f64)> = None;
+        for j in net.reachable_extenders(i) {
+            let rate = net.rate(i, j).expect("reachable");
+            let gain = cells[j].aggregate_if_joined(rate).value() - cells[j].aggregate().value();
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((j, gain));
+            }
+        }
+        let (j, _) = best.expect("validated users reach at least one extender");
+        cells[j].join(net.rate(i, j).expect("reachable"));
+        association.assign(i, j);
+    }
+    polish(net, &mut association, &u2, config);
+
+    let wifi_objective = wifi_objective(net, &association);
+    Ok(Phase2Outcome {
+        association,
+        fractional: None,
+        wifi_objective,
+    })
+}
+
+/// Σ_j T_wifi(j) of a (partial) association — Problem 2's objective.
+pub fn wifi_objective(net: &Network, assoc: &Association) -> f64 {
+    build_cells(net, assoc)
+        .iter()
+        .map(|c| c.aggregate().value())
+        .sum()
+}
+
+fn fixed_cells(net: &Network, assoc: &Association) -> (Vec<f64>, Vec<f64>) {
+    let mut count = vec![0.0; net.extenders()];
+    let mut weight = vec![0.0; net.extenders()];
+    for (i, target) in assoc.iter().enumerate() {
+        if let Some(j) = target {
+            count[j] += 1.0;
+            weight[j] += 1.0 / net.rate(i, j).expect("validated").value();
+        }
+    }
+    (count, weight)
+}
+
+fn build_cells(net: &Network, assoc: &Association) -> Vec<CellLoad> {
+    let mut cells = vec![CellLoad::new(); net.extenders()];
+    for (i, target) in assoc.iter().enumerate() {
+        if let Some(j) = target {
+            cells[j].join(net.rate(i, j).expect("validated"));
+        }
+    }
+    cells
+}
+
+/// Discrete coordinate ascent: move one `U2` user at a time to the
+/// extender that most improves Σ_j T_wifi(j), until a full pass finds no
+/// move worth more than `polish_tol` (or the pass budget runs out).
+fn polish(net: &Network, assoc: &mut Association, movable: &[usize], config: &Phase2Config) {
+    let mut cells = build_cells(net, assoc);
+    for _ in 0..config.polish_passes {
+        let mut improved = false;
+        for &i in movable {
+            let current = assoc.target(i).expect("movable users are assigned");
+            let rate_cur = net.rate(i, current).expect("validated");
+            let leave_delta =
+                cells[current].aggregate_if_left(rate_cur).value() - cells[current].aggregate().value();
+            let mut best: Option<(usize, f64)> = None;
+            for j in net.reachable_extenders(i) {
+                if j == current {
+                    continue;
+                }
+                let rate_new = net.rate(i, j).expect("reachable");
+                let join_delta =
+                    cells[j].aggregate_if_joined(rate_new).value() - cells[j].aggregate().value();
+                let delta = leave_delta + join_delta;
+                if delta > config.polish_tol && best.is_none_or(|(_, d)| delta > d) {
+                    best = Some((j, delta));
+                }
+            }
+            if let Some((j, _)) = best {
+                cells[current].leave(rate_cur);
+                cells[j].join(net.rate(i, j).expect("reachable"));
+                assoc.assign(i, j);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::run_phase1;
+
+    fn net_3x5() -> Network {
+        Network::from_raw(
+            vec![100.0, 80.0, 60.0],
+            vec![
+                vec![30.0, 20.0, 10.0],
+                vec![25.0, 35.0, 15.0],
+                vec![12.0, 18.0, 40.0],
+                vec![22.0, 14.0, 9.0],
+                vec![16.0, 21.0, 11.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn completes_the_association() {
+        let net = net_3x5();
+        let p1 = run_phase1(&net).unwrap();
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default()).unwrap();
+        assert!(p2.association.is_complete());
+        assert!(net.validate_association(&p2.association).is_ok());
+        // Phase-I users were not moved.
+        for &i in &p1.selected_users {
+            assert_eq!(p2.association.target(i), p1.association.target(i));
+        }
+    }
+
+    #[test]
+    fn empty_u2_returns_input() {
+        let net = Network::from_raw(
+            vec![100.0, 80.0],
+            vec![vec![30.0, 20.0], vec![25.0, 35.0]],
+        )
+        .unwrap();
+        let p1 = run_phase1(&net).unwrap();
+        assert!(p1.association.is_complete());
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default()).unwrap();
+        assert_eq!(p2.association, p1.association);
+        assert!(p2.fractional.is_none());
+    }
+
+    #[test]
+    fn fractional_solve_converges() {
+        let net = net_3x5();
+        let p1 = run_phase1(&net).unwrap();
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default()).unwrap();
+        let report = p2.fractional.expect("u2 non-empty");
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn fractional_solutions_are_near_integral() {
+        // Theorem 3: the optimum is integral; the solver should end close
+        // to a vertex for generic instances.
+        let net = net_3x5();
+        let p1 = run_phase1(&net).unwrap();
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default()).unwrap();
+        let report = p2.fractional.expect("u2 non-empty");
+        for row in &report.x {
+            let max = row.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max > 0.9,
+                "fractional row not near-integral: {row:?} (max {max})"
+            );
+        }
+    }
+
+    #[test]
+    fn phase2_beats_or_matches_greedy_variant() {
+        let net = net_3x5();
+        let p1 = run_phase1(&net).unwrap();
+        let cfg = Phase2Config::default();
+        let nlp = run_phase2(&net, &p1.association, &cfg).unwrap();
+        let greedy = run_phase2_greedy(&net, &p1.association, &cfg).unwrap();
+        // Both polish to local optima of the same objective; the NLP start
+        // should never be worse after polishing.
+        assert!(nlp.wifi_objective >= greedy.wifi_objective - 1e-6);
+    }
+
+    #[test]
+    fn phase2_matches_brute_force_on_small_instance() {
+        use wolt_opt::brute::best_full_assignment;
+        let net = Network::from_raw(
+            vec![100.0, 90.0],
+            vec![
+                vec![30.0, 20.0],
+                vec![25.0, 35.0],
+                vec![12.0, 18.0],
+                vec![22.0, 14.0],
+            ],
+        )
+        .unwrap();
+        let p1 = run_phase1(&net).unwrap();
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default()).unwrap();
+
+        // Brute-force the same restricted problem: Phase-I users fixed,
+        // the rest free, objective = Σ T_wifi.
+        let u2 = p1.association.unassigned_users();
+        let (_, best) = best_full_assignment(u2.len(), net.extenders(), |targets| {
+            let mut assoc = p1.association.clone();
+            for (k, &i) in u2.iter().enumerate() {
+                assoc.assign(i, targets[k]);
+            }
+            if net.validate_association(&assoc).is_err() {
+                return f64::NEG_INFINITY;
+            }
+            wifi_objective(&net, &assoc)
+        });
+        assert!(
+            (p2.wifi_objective - best).abs() < 1e-6,
+            "phase2 {} vs brute {}",
+            p2.wifi_objective,
+            best
+        );
+    }
+
+    #[test]
+    fn greedy_variant_completes_too() {
+        let net = net_3x5();
+        let p1 = run_phase1(&net).unwrap();
+        let p2 = run_phase2_greedy(&net, &p1.association, &Phase2Config::default()).unwrap();
+        assert!(p2.association.is_complete());
+        assert!(p2.fractional.is_none());
+    }
+
+    #[test]
+    fn respects_reachability() {
+        // User 3 and 4 can only reach extender 0.
+        let net = Network::from_raw(
+            vec![100.0, 80.0],
+            vec![
+                vec![30.0, 20.0],
+                vec![25.0, 35.0],
+                vec![10.0, 0.0],
+                vec![15.0, 0.0],
+            ],
+        )
+        .unwrap();
+        let p1 = run_phase1(&net).unwrap();
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default()).unwrap();
+        for i in [2, 3] {
+            if p1.association.target(i).is_none() {
+                assert_eq!(p2.association.target(i), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn wifi_objective_counts_all_cells() {
+        let net = net_3x5();
+        let assoc = Association::complete(vec![0, 1, 2, 0, 1]);
+        let direct: f64 = (0..3)
+            .map(|j| {
+                let users = assoc.users_of(j);
+                let rates: Vec<_> = users
+                    .iter()
+                    .map(|&i| net.rate(i, j).unwrap())
+                    .collect();
+                wolt_wifi::cell::aggregate_throughput(&rates).unwrap().value()
+            })
+            .sum();
+        assert!((wifi_objective(&net, &assoc) - direct).abs() < 1e-9);
+    }
+}

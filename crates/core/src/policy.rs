@@ -1,0 +1,66 @@
+//! The association-policy abstraction.
+
+use crate::{evaluate, Association, CoreError, Evaluation, Network};
+
+/// A user-association policy: given a network, decide which extender each
+/// user connects to.
+///
+/// Implemented by [`crate::Wolt`] and every baseline in
+/// [`crate::baselines`]. Policies must return *complete* associations
+/// (constraint (7) of Problem 1) that validate against the network.
+pub trait AssociationPolicy {
+    /// Short human-readable policy name ("WOLT", "Greedy", "RSSI", …).
+    fn name(&self) -> &str;
+
+    /// Computes a complete association for `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when no feasible complete association
+    /// exists (e.g. user limits too tight) or an internal solver fails.
+    fn associate(&self, net: &Network) -> Result<Association, CoreError>;
+
+    /// Convenience: associate and evaluate in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AssociationPolicy::associate`] and evaluation errors.
+    fn associate_and_evaluate(&self, net: &Network) -> Result<(Association, Evaluation), CoreError>
+    where
+        Self: Sized,
+    {
+        let assoc = self.associate(net)?;
+        let eval = evaluate(net, &assoc)?;
+        Ok((assoc, eval))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EveryoneToZero;
+
+    impl AssociationPolicy for EveryoneToZero {
+        fn name(&self) -> &str {
+            "ToZero"
+        }
+        fn associate(&self, net: &Network) -> Result<Association, CoreError> {
+            Ok(Association::complete(vec![0; net.users()]))
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let policy: Box<dyn AssociationPolicy> = Box::new(EveryoneToZero);
+        assert_eq!(policy.name(), "ToZero");
+    }
+
+    #[test]
+    fn associate_and_evaluate_composes() {
+        let net = Network::from_raw(vec![60.0], vec![vec![15.0], vec![40.0]]).unwrap();
+        let (assoc, eval) = EveryoneToZero.associate_and_evaluate(&net).unwrap();
+        assert!(assoc.is_complete());
+        assert!(eval.aggregate.value() > 0.0);
+    }
+}

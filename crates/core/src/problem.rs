@@ -1,0 +1,294 @@
+//! Problem 1 of the paper, as an explicit object.
+//!
+//! [`crate::evaluate`] scores associations under the physical model; this
+//! module makes the *optimization problem* itself a first-class value:
+//! the constraint set (Eqs. 4–10), the objective (Eq. 3), and the lemmas
+//! the paper proves about it, executable. It exists for three audiences:
+//!
+//! * tests — Lemma 1's disconnect/connect conditions are checked on
+//!   random instances;
+//! * diagnostics — [`Problem1::check`] explains exactly which constraint
+//!   an association violates;
+//! * readers — the code ↔ paper mapping is explicit (each method names
+//!   its equation).
+
+use serde::{Deserialize, Serialize};
+use wolt_units::Mbps;
+
+use crate::{evaluate, evaluate_without_redistribution, Association, CoreError, Network};
+
+/// The PLC-WiFi user-assignment problem (Problem 1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem1 {
+    network: Network,
+}
+
+/// Which variant of the objective to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectiveModel {
+    /// The literal Eq. 3–4 objective: `Σ_j min(T_wifi(j), c_j/A)` with
+    /// `A` = active extenders and no airtime redistribution.
+    Literal,
+    /// The physical model with leftover-airtime redistribution (what the
+    /// paper's hardware — and all our experiments — actually do).
+    Physical,
+}
+
+/// Outcome of a constraint check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feasibility {
+    /// All constraints hold.
+    Feasible,
+    /// Constraint (7): some user is unassigned.
+    Unassigned {
+        /// The offending user.
+        user: usize,
+    },
+    /// Constraint (8): an extender exceeds its `B_j`.
+    OverCapacity {
+        /// The overloaded extender.
+        extender: usize,
+    },
+    /// A link outside the feasible set (user out of range, unknown
+    /// extender, wrong length).
+    InvalidLink {
+        /// Explanation from network validation.
+        reason: String,
+    },
+}
+
+impl Problem1 {
+    /// Wraps a network as a Problem-1 instance.
+    pub fn new(network: Network) -> Self {
+        Self { network }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Checks constraints (7)–(10) for `assoc` and reports the first
+    /// violation in paper terms.
+    pub fn check(&self, assoc: &Association) -> Feasibility {
+        if let Err(e) = self.network.validate_association(assoc) {
+            return match e {
+                CoreError::CapacityExceeded { extender, .. } => {
+                    Feasibility::OverCapacity { extender }
+                }
+                other => Feasibility::InvalidLink {
+                    reason: other.to_string(),
+                },
+            };
+        }
+        match assoc.require_complete() {
+            Ok(()) => Feasibility::Feasible,
+            Err(CoreError::IncompleteAssociation { user }) => Feasibility::Unassigned { user },
+            Err(other) => Feasibility::InvalidLink {
+                reason: other.to_string(),
+            },
+        }
+    }
+
+    /// The objective value (Eq. 3) of a feasible association under the
+    /// chosen model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation/evaluation failures (the association need
+    /// not be complete — Phase I evaluates partial ones).
+    pub fn objective(
+        &self,
+        assoc: &Association,
+        model: ObjectiveModel,
+    ) -> Result<Mbps, CoreError> {
+        let eval = match model {
+            ObjectiveModel::Literal => evaluate_without_redistribution(&self.network, assoc)?,
+            ObjectiveModel::Physical => evaluate(&self.network, assoc)?,
+        };
+        Ok(eval.aggregate)
+    }
+
+    /// Lemma 1, first claim: connecting user `i` to extender `j` does not
+    /// decrease that cell's WiFi throughput iff `1/r_ij ≤ (1/|N_j|) Σ
+    /// 1/r_i'j` over the current members. Returns `None` when the user is
+    /// out of range of `j`.
+    pub fn lemma1_join_improves(
+        &self,
+        assoc: &Association,
+        user: usize,
+        ext: usize,
+    ) -> Option<bool> {
+        let rate = self.network.rate(user, ext)?;
+        let members = assoc.users_of(ext);
+        if members.is_empty() {
+            // Joining an empty cell trivially raises its throughput.
+            return Some(true);
+        }
+        let mean_inv: f64 = members
+            .iter()
+            .map(|&m| 1.0 / self.network.rate(m, ext).expect("member is reachable").value())
+            .sum::<f64>()
+            / members.len() as f64;
+        Some(1.0 / rate.value() <= mean_inv + 1e-12)
+    }
+
+    /// Lemma 1, second claim: disconnecting `user` from its extender does
+    /// not decrease that cell's WiFi throughput iff the user's `1/r` is at
+    /// least the cell's mean `1/r`. Returns `None` if the user is
+    /// unassigned.
+    pub fn lemma1_leave_improves(&self, assoc: &Association, user: usize) -> Option<bool> {
+        let ext = assoc.target(user)?;
+        let members = assoc.users_of(ext);
+        let mean_inv: f64 = members
+            .iter()
+            .map(|&m| 1.0 / self.network.rate(m, ext).expect("member is reachable").value())
+            .sum::<f64>()
+            / members.len() as f64;
+        let user_inv = 1.0 / self.network.rate(user, ext).expect("assigned user reachable").value();
+        Some(user_inv >= mean_inv - 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolt_wifi::cell::aggregate_throughput;
+
+    fn fig3_problem() -> Problem1 {
+        Problem1::new(
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn feasibility_cases() {
+        let p = fig3_problem();
+        assert_eq!(
+            p.check(&Association::complete(vec![0, 1])),
+            Feasibility::Feasible
+        );
+        assert_eq!(
+            p.check(&Association::from_targets(vec![Some(0), None])),
+            Feasibility::Unassigned { user: 1 }
+        );
+        assert!(matches!(
+            p.check(&Association::complete(vec![0, 9])),
+            Feasibility::InvalidLink { .. }
+        ));
+        let limited = Problem1::new(
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
+                .unwrap()
+                .with_user_limits(vec![Some(1), None])
+                .unwrap(),
+        );
+        assert_eq!(
+            limited.check(&Association::complete(vec![0, 0])),
+            Feasibility::OverCapacity { extender: 0 }
+        );
+    }
+
+    #[test]
+    fn objectives_reproduce_fig3() {
+        let p = fig3_problem();
+        let greedy = Association::complete(vec![0, 1]);
+        let physical = p.objective(&greedy, ObjectiveModel::Physical).unwrap();
+        let literal = p.objective(&greedy, ObjectiveModel::Literal).unwrap();
+        assert!((physical.value() - 30.0).abs() < 1e-9);
+        assert!((literal.value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma1_join_matches_throughput_change() {
+        // Verify the lemma's condition against the actual Eq. 1 change on
+        // a grid of candidate rates.
+        let members = [20.0, 30.0];
+        for candidate in [5.0, 10.0, 20.0, 24.0, 30.0, 60.0] {
+            let net = Network::from_raw(
+                vec![1000.0],
+                vec![vec![members[0]], vec![members[1]], vec![candidate]],
+            )
+            .unwrap();
+            let p = Problem1::new(net);
+            let assoc = Association::from_targets(vec![Some(0), Some(0), None]);
+            let lemma = p.lemma1_join_improves(&assoc, 2, 0).unwrap();
+            let before = aggregate_throughput(&[
+                Mbps::new(members[0]),
+                Mbps::new(members[1]),
+            ])
+            .unwrap();
+            let after = aggregate_throughput(&[
+                Mbps::new(members[0]),
+                Mbps::new(members[1]),
+                Mbps::new(candidate),
+            ])
+            .unwrap();
+            assert_eq!(
+                lemma,
+                after.value() >= before.value() - 1e-9,
+                "candidate {candidate}: lemma {lemma} vs actual {} -> {}",
+                before,
+                after
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_leave_matches_throughput_change() {
+        let rates = [10.0, 20.0, 40.0];
+        let net = Network::from_raw(
+            vec![1000.0],
+            rates.iter().map(|&r| vec![r]).collect(),
+        )
+        .unwrap();
+        let p = Problem1::new(net);
+        let assoc = Association::complete(vec![0, 0, 0]);
+        for user in 0..3 {
+            let lemma = p.lemma1_leave_improves(&assoc, user).unwrap();
+            let all: Vec<Mbps> = rates.iter().map(|&r| Mbps::new(r)).collect();
+            let without: Vec<Mbps> = rates
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != user)
+                .map(|(_, &r)| Mbps::new(r))
+                .collect();
+            let before = aggregate_throughput(&all).unwrap();
+            let after = aggregate_throughput(&without).unwrap();
+            assert_eq!(
+                lemma,
+                after.value() >= before.value() - 1e-9,
+                "user {user}: lemma {lemma} vs actual {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_edge_cases() {
+        let p = fig3_problem();
+        // Joining an empty cell always improves.
+        let empty = Association::unassigned(2);
+        assert_eq!(p.lemma1_join_improves(&empty, 0, 0), Some(true));
+        // Out-of-range join and unassigned leave return None.
+        let net = Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 0.0], vec![40.0, 20.0]])
+            .unwrap();
+        let p2 = Problem1::new(net);
+        assert_eq!(p2.lemma1_join_improves(&empty, 0, 1), None);
+        assert_eq!(p2.lemma1_leave_improves(&empty, 0), None);
+    }
+
+    #[test]
+    fn physical_objective_dominates_literal() {
+        let p = fig3_problem();
+        for assoc in [
+            Association::complete(vec![0, 0]),
+            Association::complete(vec![0, 1]),
+            Association::complete(vec![1, 0]),
+            Association::complete(vec![1, 1]),
+        ] {
+            let physical = p.objective(&assoc, ObjectiveModel::Physical).unwrap();
+            let literal = p.objective(&assoc, ObjectiveModel::Literal).unwrap();
+            assert!(physical >= literal - Mbps::new(1e-9));
+        }
+    }
+}

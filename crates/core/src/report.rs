@@ -1,0 +1,250 @@
+//! Human-readable breakdowns of an evaluated association.
+//!
+//! `evaluate()` returns numbers; operators debugging a deployment want to
+//! know *why* — which segment bottlenecks each extender, who shares which
+//! cell, where airtime went. [`explain`] renders exactly that, and
+//! [`Bottleneck`] classifies each cell the way the paper's §III discussion
+//! does (WiFi-bound vs PLC-bound).
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Association, CoreError, Evaluation, Network};
+
+/// Which segment limits a cell's end-to-end throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// The cell serves no users.
+    Idle,
+    /// The WiFi side is the constraint: the cell delivers its full WiFi
+    /// demand, which sits below its equal-share PLC entitlement.
+    Wifi,
+    /// The PLC airtime grant is the constraint (delivered < WiFi demand).
+    Plc,
+    /// Both constraints bind within 1% of each other.
+    Balanced,
+}
+
+/// Per-extender diagnostic row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtenderDiagnostic {
+    /// Extender index.
+    pub extender: usize,
+    /// Users associated with it.
+    pub users: Vec<usize>,
+    /// PLC isolation capacity (Mbit/s).
+    pub capacity_mbps: f64,
+    /// Airtime share granted.
+    pub plc_share: f64,
+    /// WiFi-side demand (Mbit/s).
+    pub wifi_demand_mbps: f64,
+    /// Delivered end-to-end throughput (Mbit/s).
+    pub delivered_mbps: f64,
+    /// Which side limits the cell.
+    pub bottleneck: Bottleneck,
+}
+
+/// Classifies every extender of an evaluated association.
+///
+/// # Errors
+///
+/// Propagates association-validation failures (the evaluation must match
+/// the association/network it came from; mismatched shapes error).
+pub fn diagnose(
+    net: &Network,
+    assoc: &Association,
+    eval: &Evaluation,
+) -> Result<Vec<ExtenderDiagnostic>, CoreError> {
+    net.validate_association(assoc)?;
+    if eval.per_extender.len() != net.extenders() || eval.per_user.len() != net.users() {
+        return Err(CoreError::DimensionMismatch {
+            context: "evaluation shape differs from network",
+        });
+    }
+    let active = eval
+        .wifi_demand
+        .iter()
+        .filter(|d| d.value() > 0.0)
+        .count()
+        .max(1);
+    Ok((0..net.extenders())
+        .map(|j| {
+            let users = assoc.users_of(j);
+            let demand = eval.wifi_demand[j].value();
+            let delivered = eval.per_extender[j].value();
+            // The airtime allocator trims satisfied extenders' grants to
+            // exactly their demand, so classify against the *entitled*
+            // equal share c_j / A instead of the post-trim grant.
+            let entitled = net.capacity(j).value() / active as f64;
+            let bottleneck = if users.is_empty() {
+                Bottleneck::Idle
+            } else if delivered < demand * 0.99 {
+                Bottleneck::Plc
+            } else if demand < entitled * 0.99 {
+                Bottleneck::Wifi
+            } else {
+                Bottleneck::Balanced
+            };
+            ExtenderDiagnostic {
+                extender: j,
+                users,
+                capacity_mbps: net.capacity(j).value(),
+                plc_share: eval.plc_shares[j],
+                wifi_demand_mbps: demand,
+                delivered_mbps: eval.per_extender[j].value(),
+                bottleneck,
+            }
+        })
+        .collect())
+}
+
+/// Renders a multi-line human-readable report of an evaluated association.
+///
+/// # Errors
+///
+/// Propagates [`diagnose`] failures.
+///
+/// # Example
+///
+/// ```
+/// use wolt_core::report::explain;
+/// use wolt_core::{evaluate, Association, Network};
+///
+/// # fn main() -> Result<(), wolt_core::CoreError> {
+/// let net = Network::from_raw(
+///     vec![60.0, 20.0],
+///     vec![vec![15.0, 10.0], vec![40.0, 20.0]],
+/// )?;
+/// let assoc = Association::complete(vec![1, 0]);
+/// let eval = evaluate(&net, &assoc)?;
+/// let text = explain(&net, &assoc, &eval)?;
+/// assert!(text.contains("aggregate"));
+/// assert!(text.contains("PLC-bound"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn explain(
+    net: &Network,
+    assoc: &Association,
+    eval: &Evaluation,
+) -> Result<String, CoreError> {
+    let rows = diagnose(net, assoc, eval)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aggregate: {:.2} Mbit/s across {} users on {} extenders",
+        eval.aggregate.value(),
+        assoc.assigned_count(),
+        net.extenders()
+    );
+    for row in &rows {
+        let label = match row.bottleneck {
+            Bottleneck::Idle => "idle",
+            Bottleneck::Wifi => "WiFi-bound",
+            Bottleneck::Plc => "PLC-bound",
+            Bottleneck::Balanced => "balanced",
+        };
+        let _ = writeln!(
+            out,
+            "extender {}: {} | capacity {:.1} Mbit/s x share {:.2} | wifi demand {:.1} | \
+             delivers {:.1} | users {:?}",
+            row.extender,
+            label,
+            row.capacity_mbps,
+            row.plc_share,
+            row.wifi_demand_mbps,
+            row.delivered_mbps,
+            row.users,
+        );
+    }
+    for (i, t) in eval.per_user.iter().enumerate() {
+        let target = assoc
+            .target(i)
+            .map_or_else(|| "-".to_string(), |j| j.to_string());
+        let _ = writeln!(out, "user {i} -> extender {target}: {:.2} Mbit/s", t.value());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+
+    fn fig3() -> (Network, Association, Evaluation) {
+        let net =
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
+                .unwrap();
+        let assoc = Association::complete(vec![1, 0]);
+        let eval = evaluate(&net, &assoc).unwrap();
+        (net, assoc, eval)
+    }
+
+    #[test]
+    fn diagnose_classifies_fig3_optimal() {
+        let (net, assoc, eval) = fig3();
+        let rows = diagnose(&net, &assoc, &eval).unwrap();
+        // Extender 0 serves user 1 (rate 40) on a 30 Mbit/s grant: PLC-bound.
+        assert_eq!(rows[0].bottleneck, Bottleneck::Plc);
+        assert_eq!(rows[0].users, vec![1]);
+        // Extender 1's user demands exactly its 10 Mbit/s half-share:
+        // both constraints bind simultaneously.
+        assert_eq!(rows[1].bottleneck, Bottleneck::Balanced);
+        assert_eq!(rows[1].users, vec![0]);
+    }
+
+    #[test]
+    fn diagnose_classifies_wifi_bound_cell() {
+        // Fig. 3b: both users on extender 0 (the only active one); the
+        // 21.8 Mbit/s WiFi cell is far below the 60 Mbit/s entitlement.
+        let net =
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
+                .unwrap();
+        let assoc = Association::complete(vec![0, 0]);
+        let eval = evaluate(&net, &assoc).unwrap();
+        let rows = diagnose(&net, &assoc, &eval).unwrap();
+        assert_eq!(rows[0].bottleneck, Bottleneck::Wifi);
+    }
+
+    #[test]
+    fn diagnose_flags_idle_extenders() {
+        let net =
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
+                .unwrap();
+        let assoc = Association::complete(vec![0, 0]);
+        let eval = evaluate(&net, &assoc).unwrap();
+        let rows = diagnose(&net, &assoc, &eval).unwrap();
+        assert_eq!(rows[1].bottleneck, Bottleneck::Idle);
+        assert!(rows[1].users.is_empty());
+    }
+
+    #[test]
+    fn explain_mentions_every_user_and_extender() {
+        let (net, assoc, eval) = fig3();
+        let text = explain(&net, &assoc, &eval).unwrap();
+        assert!(text.contains("extender 0"));
+        assert!(text.contains("extender 1"));
+        assert!(text.contains("user 0"));
+        assert!(text.contains("user 1"));
+        assert!(text.contains("40.00 Mbit/s") || text.contains("aggregate: 40.00"));
+    }
+
+    #[test]
+    fn diagnose_rejects_mismatched_shapes() {
+        let (_net, assoc, eval) = fig3();
+        let other = Network::from_raw(vec![60.0], vec![vec![15.0], vec![40.0]]).unwrap();
+        assert!(diagnose(&other, &assoc, &eval).is_err());
+    }
+
+    #[test]
+    fn balanced_cells_detected() {
+        // A single extender whose WiFi demand exactly matches its full
+        // grant: capacity 30, one user at rate 30.
+        let net = Network::from_raw(vec![30.0], vec![vec![30.0]]).unwrap();
+        let assoc = Association::complete(vec![0]);
+        let eval = evaluate(&net, &assoc).unwrap();
+        let rows = diagnose(&net, &assoc, &eval).unwrap();
+        assert_eq!(rows[0].bottleneck, Bottleneck::Balanced);
+    }
+}

@@ -1,0 +1,340 @@
+//! End-to-end throughput evaluation of an association.
+//!
+//! This is the physical model every association policy is scored against,
+//! combining the two substrates exactly as §III of the paper prescribes:
+//!
+//! 1. Each extender's WiFi cell is throughput-fair (Eq. 1):
+//!    `T_wifi(j) = |N_j| / Σ_{i∈N_j} 1/r_ij`.
+//! 2. The PLC backhaul is time-fair across *active* extenders with
+//!    leftover-airtime redistribution (Eq. 2 refined by the Fig. 3c
+//!    observation), provided by [`wolt_plc::timeshare`].
+//! 3. A cell's end-to-end throughput is the min of its two segments, and
+//!    the cell's users split it equally (TCP's long-term fair sharing,
+//!    which the paper invokes to avoid modelling TCP dynamics).
+//!
+//! [`evaluate`] implements the full model; [`evaluate_without_redistribution`]
+//! is the literal objective (3)–(4) of Problem 1 (plain `c_j/A` with no
+//! airtime reuse), kept for ablations.
+
+use serde::{Deserialize, Serialize};
+use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+use wolt_units::Mbps;
+use wolt_wifi::cell::CellLoad;
+
+use crate::{Association, CoreError, Network};
+
+/// The result of evaluating an association on a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// End-to-end throughput of each user (0 for unassigned users).
+    pub per_user: Vec<Mbps>,
+    /// End-to-end throughput of each extender's cell.
+    pub per_extender: Vec<Mbps>,
+    /// WiFi-side demand `T_wifi(j)` of each cell.
+    pub wifi_demand: Vec<Mbps>,
+    /// PLC airtime share granted to each extender.
+    pub plc_shares: Vec<f64>,
+    /// Network-wide aggregate throughput (the paper's objective).
+    pub aggregate: Mbps,
+}
+
+/// Evaluates `assoc` on `net` under the full physical model (time-fair PLC
+/// with airtime redistribution).
+///
+/// Unassigned users contribute nothing; extenders with no users are
+/// inactive and take no PLC airtime.
+///
+/// # Errors
+///
+/// Propagates [`Network::validate_association`] failures and substrate
+/// errors.
+///
+/// # Example
+///
+/// The paper's Fig. 3d optimal association is worth 40 Mbit/s:
+///
+/// ```
+/// use wolt_core::{evaluate, Association, Network};
+///
+/// # fn main() -> Result<(), wolt_core::CoreError> {
+/// let net = Network::from_raw(
+///     vec![60.0, 20.0],
+///     vec![vec![15.0, 10.0], vec![40.0, 20.0]],
+/// )?;
+/// let optimal = Association::complete(vec![1, 0]); // user 1→ext 2, user 2→ext 1
+/// let eval = evaluate(&net, &optimal)?;
+/// assert!((eval.aggregate.value() - 40.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(net: &Network, assoc: &Association) -> Result<Evaluation, CoreError> {
+    net.validate_association(assoc)?;
+
+    let n_ext = net.extenders();
+    let mut cells = vec![CellLoad::new(); n_ext];
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_ext];
+    for (i, target) in assoc.iter().enumerate() {
+        if let Some(j) = target {
+            let rate = net
+                .rate(i, j)
+                .expect("validated association links are reachable");
+            cells[j].join(rate);
+            members[j].push(i);
+        }
+    }
+
+    let wifi_demand: Vec<Mbps> = cells.iter().map(CellLoad::aggregate).collect();
+    let entries: Vec<ExtenderDemand> = (0..n_ext)
+        .map(|j| ExtenderDemand {
+            capacity: net.capacity(j),
+            demand: wifi_demand[j],
+        })
+        .collect();
+    let alloc = allocate_time_fair(&entries)?;
+
+    let mut per_user = vec![Mbps::ZERO; net.users()];
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed together; zip would obscure it
+    for j in 0..n_ext {
+        let n = members[j].len();
+        if n == 0 {
+            continue;
+        }
+        let share = alloc.throughput[j] / n as f64;
+        for &i in &members[j] {
+            per_user[i] = share;
+        }
+    }
+
+    Ok(Evaluation {
+        per_user,
+        aggregate: alloc.aggregate(),
+        per_extender: alloc.throughput.clone(),
+        plc_shares: alloc.shares,
+        wifi_demand,
+    })
+}
+
+/// Evaluates `assoc` under the *literal* Problem-1 objective: each active
+/// extender is capped at `c_j / A` where `A` is the number of active
+/// extenders, with **no** redistribution of unused airtime.
+///
+/// The physical medium does redistribute (Fig. 3c of the paper), so
+/// [`evaluate`] is what experiments use; this variant quantifies how much
+/// the redistribution matters (an ablation the paper's model discussion
+/// implies).
+///
+/// # Errors
+///
+/// Propagates [`Network::validate_association`] failures.
+pub fn evaluate_without_redistribution(
+    net: &Network,
+    assoc: &Association,
+) -> Result<Evaluation, CoreError> {
+    net.validate_association(assoc)?;
+
+    let n_ext = net.extenders();
+    let mut cells = vec![CellLoad::new(); n_ext];
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_ext];
+    for (i, target) in assoc.iter().enumerate() {
+        if let Some(j) = target {
+            let rate = net
+                .rate(i, j)
+                .expect("validated association links are reachable");
+            cells[j].join(rate);
+            members[j].push(i);
+        }
+    }
+
+    let wifi_demand: Vec<Mbps> = cells.iter().map(CellLoad::aggregate).collect();
+    let active = wifi_demand.iter().filter(|d| d.value() > 0.0).count();
+    let mut per_extender = vec![Mbps::ZERO; n_ext];
+    let mut plc_shares = vec![0.0; n_ext];
+    let mut per_user = vec![Mbps::ZERO; net.users()];
+    if active > 0 {
+        let equal = 1.0 / active as f64;
+        for j in 0..n_ext {
+            if wifi_demand[j].value() > 0.0 {
+                plc_shares[j] = equal;
+                per_extender[j] = wifi_demand[j].min(net.capacity(j) * equal);
+                let n = members[j].len();
+                let share = per_extender[j] / n as f64;
+                for &i in &members[j] {
+                    per_user[i] = share;
+                }
+            }
+        }
+    }
+
+    Ok(Evaluation {
+        per_user,
+        aggregate: per_extender.iter().copied().sum(),
+        per_extender,
+        plc_shares,
+        wifi_demand,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_network() -> Network {
+        Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]]).unwrap()
+    }
+
+    fn close(a: Mbps, b: f64) -> bool {
+        (a.value() - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn fig3b_rssi_association_worth_22() {
+        // Both users on extender 1: WiFi-fair cell of (15, 40) ≈ 21.8,
+        // extender 2 idle so extender 1 gets the whole PLC medium.
+        let eval = evaluate(&fig3_network(), &Association::complete(vec![0, 0])).unwrap();
+        assert!(close(eval.aggregate, 240.0 / 11.0)); // 21.81…
+        assert!(close(eval.per_user[0], 120.0 / 11.0)); // ~10.9 each
+        assert!(close(eval.per_user[1], 120.0 / 11.0));
+        assert_eq!(eval.plc_shares[1], 0.0);
+    }
+
+    #[test]
+    fn fig3c_greedy_association_worth_30() {
+        // User 1 → ext 1, user 2 → ext 2. Ext 1's cell demands 15 (< its
+        // 30 half-share); the leftover quarter of airtime lets ext 2 reach
+        // 15 despite its 10 half-share.
+        let eval = evaluate(&fig3_network(), &Association::complete(vec![0, 1])).unwrap();
+        assert!(close(eval.per_extender[0], 15.0));
+        assert!(close(eval.per_extender[1], 15.0));
+        assert!(close(eval.aggregate, 30.0));
+        assert!((eval.plc_shares[0] - 0.25).abs() < 1e-9);
+        assert!((eval.plc_shares[1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3d_optimal_association_worth_40() {
+        // User 1 → ext 2 (10), user 2 → ext 1 (30, PLC-bottlenecked).
+        let eval = evaluate(&fig3_network(), &Association::complete(vec![1, 0])).unwrap();
+        assert!(close(eval.per_user[0], 10.0));
+        assert!(close(eval.per_user[1], 30.0));
+        assert!(close(eval.aggregate, 40.0));
+    }
+
+    #[test]
+    fn unassigned_users_get_zero() {
+        let eval = evaluate(&fig3_network(), &Association::from_targets(vec![Some(0), None]))
+            .unwrap();
+        assert!(close(eval.per_user[0], 15.0));
+        assert_eq!(eval.per_user[1], Mbps::ZERO);
+        assert!(close(eval.aggregate, 15.0));
+    }
+
+    #[test]
+    fn empty_association_is_zero() {
+        let eval = evaluate(&fig3_network(), &Association::unassigned(2)).unwrap();
+        assert_eq!(eval.aggregate, Mbps::ZERO);
+        assert!(eval.plc_shares.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn aggregate_equals_sum_of_users_and_extenders() {
+        let net = Network::from_raw(
+            vec![100.0, 50.0, 70.0],
+            vec![
+                vec![20.0, 5.0, 8.0],
+                vec![30.0, 12.0, 9.0],
+                vec![6.0, 25.0, 14.0],
+                vec![11.0, 7.0, 40.0],
+            ],
+        )
+        .unwrap();
+        let assoc = Association::complete(vec![0, 0, 1, 2]);
+        let eval = evaluate(&net, &assoc).unwrap();
+        let user_sum: Mbps = eval.per_user.iter().copied().sum();
+        let ext_sum: Mbps = eval.per_extender.iter().copied().sum();
+        assert!((user_sum.value() - eval.aggregate.value()).abs() < 1e-9);
+        assert!((ext_sum.value() - eval.aggregate.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_users_share_equally() {
+        let net = Network::from_raw(
+            vec![100.0],
+            vec![vec![50.0], vec![10.0], vec![25.0]],
+        )
+        .unwrap();
+        let eval = evaluate(&net, &Association::complete(vec![0, 0, 0])).unwrap();
+        assert!(close(eval.per_user[0], eval.per_user[1].value()));
+        assert!(close(eval.per_user[1], eval.per_user[2].value()));
+    }
+
+    #[test]
+    fn per_extender_bounded_by_both_segments() {
+        let net = Network::from_raw(
+            vec![40.0, 90.0],
+            vec![vec![60.0, 20.0], vec![35.0, 70.0]],
+        )
+        .unwrap();
+        let assoc = Association::complete(vec![0, 1]);
+        let eval = evaluate(&net, &assoc).unwrap();
+        for j in 0..2 {
+            assert!(eval.per_extender[j] <= eval.wifi_demand[j] + Mbps::new(1e-9));
+            assert!(
+                eval.per_extender[j].value()
+                    <= net.capacity(j).value() * eval.plc_shares[j] + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_association_propagates() {
+        let err = evaluate(&fig3_network(), &Association::complete(vec![0, 7])).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownExtender { extender: 7 }));
+    }
+
+    #[test]
+    fn without_redistribution_matches_plain_eq2() {
+        // Fig. 3c again, but without redistribution extender 2 is stuck at
+        // its 10 Mbit/s half-share: total 25 instead of 30.
+        let eval =
+            evaluate_without_redistribution(&fig3_network(), &Association::complete(vec![0, 1]))
+                .unwrap();
+        assert!(close(eval.per_extender[0], 15.0));
+        assert!(close(eval.per_extender[1], 10.0));
+        assert!(close(eval.aggregate, 25.0));
+    }
+
+    #[test]
+    fn redistribution_never_hurts() {
+        let net = Network::from_raw(
+            vec![80.0, 30.0, 120.0],
+            vec![
+                vec![10.0, 22.0, 14.0],
+                vec![33.0, 8.0, 19.0],
+                vec![12.0, 16.0, 28.0],
+            ],
+        )
+        .unwrap();
+        for targets in [[0, 1, 2], [0, 0, 2], [1, 1, 1], [2, 0, 1]] {
+            let assoc = Association::complete(targets.to_vec());
+            let with = evaluate(&net, &assoc).unwrap().aggregate;
+            let without = evaluate_without_redistribution(&net, &assoc)
+                .unwrap()
+                .aggregate;
+            assert!(
+                with.value() >= without.value() - 1e-9,
+                "redistribution hurt on {targets:?}: {with} < {without}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_extender_no_redistribution_difference() {
+        let net = Network::from_raw(vec![50.0], vec![vec![30.0], vec![20.0]]).unwrap();
+        let assoc = Association::complete(vec![0, 0]);
+        let a = evaluate(&net, &assoc).unwrap().aggregate;
+        let b = evaluate_without_redistribution(&net, &assoc)
+            .unwrap()
+            .aggregate;
+        assert!((a.value() - b.value()).abs() < 1e-9);
+    }
+}

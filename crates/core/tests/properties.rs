@@ -1,0 +1,117 @@
+//! Property-based tests for the WOLT core (model-level invariants; the
+//! cross-crate policy properties live in the workspace `tests` package).
+
+use proptest::prelude::*;
+use wolt_core::phase1::{phase1_utilities, run_phase1};
+use wolt_core::phase2::{run_phase2, wifi_objective, Phase2Config};
+use wolt_core::{evaluate, Association, Network};
+
+fn network() -> impl Strategy<Value = Network> {
+    (2usize..=4, 2usize..=6)
+        .prop_flat_map(|(exts, users)| {
+            (
+                proptest::collection::vec(20.0f64..200.0, exts),
+                proptest::collection::vec(
+                    proptest::collection::vec(1.0f64..50.0, exts),
+                    users,
+                ),
+            )
+        })
+        .prop_map(|(caps, rates)| Network::from_raw(caps, rates).expect("fully reachable"))
+}
+
+proptest! {
+    /// Phase-I utilities are exactly min(c_j/|A|, r_ij).
+    #[test]
+    fn utilities_formula(net in network()) {
+        let u = phase1_utilities(&net).expect("builds");
+        let a = net.extenders() as f64;
+        for i in 0..net.users() {
+            for j in 0..net.extenders() {
+                let expected = net.rate(i, j).expect("reachable").value()
+                    .min(net.capacity(j).value() / a);
+                prop_assert!((u[(i, j)] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Phase I is a matching and Phase II completes it without moving
+    /// Phase-I users.
+    #[test]
+    fn phases_compose(net in network()) {
+        let p1 = run_phase1(&net).expect("phase 1 runs");
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default())
+            .expect("phase 2 runs");
+        prop_assert!(p2.association.is_complete());
+        for &i in &p1.selected_users {
+            prop_assert_eq!(p2.association.target(i), p1.association.target(i));
+        }
+        prop_assert!(net.validate_association(&p2.association).is_ok());
+    }
+
+    /// The Phase-II WiFi objective of the final association matches a
+    /// recomputation from scratch.
+    #[test]
+    fn phase2_objective_consistent(net in network()) {
+        let p1 = run_phase1(&net).expect("phase 1 runs");
+        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default())
+            .expect("phase 2 runs");
+        let recomputed = wifi_objective(&net, &p2.association);
+        prop_assert!((p2.wifi_objective - recomputed).abs() < 1e-9);
+    }
+
+    /// Evaluation is permutation-equivariant: relabeling users permutes
+    /// per-user throughputs and preserves the aggregate.
+    #[test]
+    fn evaluation_permutation_equivariant(net in network(), rotate in 1usize..5) {
+        let users = net.users();
+        let rot = rotate % users;
+        // Original association: user i -> extender i % A.
+        let assoc = Association::complete(
+            (0..users).map(|i| i % net.extenders()).collect());
+        let eval = evaluate(&net, &assoc).expect("valid");
+
+        // Rotated network: user (i + rot) % users takes user i's rates.
+        let rates: Vec<Vec<f64>> = (0..users)
+            .map(|i| {
+                let src = (i + rot) % users;
+                (0..net.extenders())
+                    .map(|j| net.rate(src, j).expect("reachable").value())
+                    .collect()
+            })
+            .collect();
+        let net2 = Network::from_raw(
+            (0..net.extenders()).map(|j| net.capacity(j).value()).collect(),
+            rates,
+        ).expect("valid");
+        let assoc2 = Association::complete(
+            (0..users).map(|i| (i + rot) % users % net.extenders()).collect());
+        let eval2 = evaluate(&net2, &assoc2).expect("valid");
+
+        prop_assert!((eval.aggregate.value() - eval2.aggregate.value()).abs() < 1e-9);
+        for i in 0..users {
+            let moved = eval2.per_user[i].value();
+            let original = eval.per_user[(i + rot) % users].value();
+            prop_assert!((moved - original).abs() < 1e-9, "user {i} after rotation");
+        }
+    }
+
+    /// Capacity scaling: multiplying every PLC capacity by k ≥ 1 never
+    /// lowers the evaluated aggregate of a fixed association.
+    #[test]
+    fn capacity_scaling_monotone(net in network(), k in 1.0f64..4.0) {
+        let assoc = Association::complete(
+            (0..net.users()).map(|i| i % net.extenders()).collect());
+        let base = evaluate(&net, &assoc).expect("valid").aggregate;
+        let scaled = Network::from_raw(
+            (0..net.extenders()).map(|j| net.capacity(j).value() * k).collect(),
+            (0..net.users())
+                .map(|i| (0..net.extenders())
+                    .map(|j| net.rate(i, j).expect("reachable").value())
+                    .collect())
+                .collect(),
+        ).expect("valid");
+        let boosted = evaluate(&scaled, &assoc).expect("valid").aggregate;
+        prop_assert!(boosted >= base - wolt_units::Mbps::new(1e-9));
+    }
+}

@@ -1,0 +1,248 @@
+//! Exhaustive search oracles.
+//!
+//! The WOLT paper motivates its polynomial-time algorithm by noting that the
+//! brute-force optimum is out of reach at enterprise scale (30 users on 10
+//! extenders is already ≈ 30¹⁰ candidate associations) but still uses brute
+//! force at small scale: the "optimal association" of the Fig. 3 case study
+//! is found "by a brute force search". This module provides those oracles:
+//!
+//! * [`best_perfect_matching`] — exhaustive counterpart of the Hungarian
+//!   solver (one user per extender), used to validate it in tests.
+//! * [`best_full_assignment`] — exhaustive search over *complete*
+//!   associations (every user connected somewhere) with an arbitrary
+//!   objective callback; this is the optimality oracle for Problem 1.
+//!
+//! Both are exponential; callers should keep instances to a handful of users
+//! and extenders (the implementations assert generous but finite limits to
+//! avoid accidental 10²⁰-step loops).
+
+use crate::Matrix;
+
+/// Exhaustively finds the maximum-weight matching of exactly
+/// `min(rows, cols)` pairs (skipping rows only when there are more rows than
+/// columns, i.e. the same semantics as [`crate::max_weight_assignment`] on a
+/// fully-feasible matrix).
+///
+/// Returns the matched `(row, col)` pairs (sorted by row) and the total
+/// weight.
+///
+/// # Panics
+///
+/// Panics if the matrix has more than 20 columns or 20 rows (the search is
+/// exponential) or contains non-finite entries.
+pub fn best_perfect_matching(utility: &Matrix) -> (Vec<(usize, usize)>, f64) {
+    let (rows, cols) = (utility.rows(), utility.cols());
+    assert!(
+        rows <= 20 && cols <= 20,
+        "brute-force matching limited to 20x20 (got {rows}x{cols})"
+    );
+    assert!(
+        utility.is_finite(),
+        "brute-force matching requires finite utilities"
+    );
+    let target = rows.min(cols);
+
+    struct Search<'a> {
+        utility: &'a Matrix,
+        rows: usize,
+        cols: usize,
+        target: usize,
+        best_total: f64,
+        best_pairs: Vec<(usize, usize)>,
+        current: Vec<(usize, usize)>,
+    }
+
+    impl Search<'_> {
+        fn recurse(&mut self, row: usize, used_cols: u32, matched: usize, total: f64) {
+            if row == self.rows {
+                if matched == self.target && total > self.best_total {
+                    self.best_total = total;
+                    self.best_pairs = self.current.clone();
+                }
+                return;
+            }
+            // Option 1: match this row to any free column.
+            for col in 0..self.cols {
+                if used_cols & (1 << col) == 0 {
+                    self.current.push((row, col));
+                    self.recurse(
+                        row + 1,
+                        used_cols | (1 << col),
+                        matched + 1,
+                        total + self.utility[(row, col)],
+                    );
+                    self.current.pop();
+                }
+            }
+            // Option 2: skip this row, but only if enough rows remain to
+            // still reach the target matching size.
+            let remaining_after = self.rows - row - 1;
+            if matched + remaining_after >= self.target {
+                self.recurse(row + 1, used_cols, matched, total);
+            }
+        }
+    }
+
+    let mut search = Search {
+        utility,
+        rows,
+        cols,
+        target,
+        best_total: f64::NEG_INFINITY,
+        best_pairs: Vec::new(),
+        current: Vec::with_capacity(target),
+    };
+    search.recurse(0, 0, 0, 0.0);
+    (search.best_pairs, search.best_total)
+}
+
+/// Exhaustively searches over all `n_ext.pow(n_users)` complete
+/// associations, maximizing `objective`.
+///
+/// `objective` receives a slice `assignment` where `assignment[i]` is the
+/// extender index of user `i`. Returns the best assignment found and its
+/// objective value. Ties are broken in favour of the lexicographically
+/// smallest assignment (the first one enumerated).
+///
+/// # Panics
+///
+/// Panics if `n_users == 0`, `n_ext == 0`, or the search space exceeds
+/// 10⁸ candidates.
+///
+/// # Example
+///
+/// ```
+/// use wolt_opt::brute::best_full_assignment;
+///
+/// // 2 users, 2 extenders; reward spreading the users out.
+/// let (best, value) = best_full_assignment(2, 2, |a| {
+///     if a[0] != a[1] { 1.0 } else { 0.0 }
+/// });
+/// assert_eq!(value, 1.0);
+/// assert_ne!(best[0], best[1]);
+/// ```
+pub fn best_full_assignment<F>(n_users: usize, n_ext: usize, mut objective: F) -> (Vec<usize>, f64)
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    assert!(n_users > 0, "need at least one user");
+    assert!(n_ext > 0, "need at least one extender");
+    let space = (n_ext as f64).powi(n_users as i32);
+    assert!(
+        space <= 1e8,
+        "search space {space:.0} exceeds the 1e8 brute-force limit"
+    );
+
+    let mut assignment = vec![0usize; n_users];
+    let mut best = assignment.clone();
+    let mut best_value = objective(&assignment);
+
+    // Base-n_ext odometer over assignments.
+    loop {
+        // Increment.
+        let mut pos = 0;
+        loop {
+            if pos == n_users {
+                return (best, best_value);
+            }
+            assignment[pos] += 1;
+            if assignment[pos] < n_ext {
+                break;
+            }
+            assignment[pos] = 0;
+            pos += 1;
+        }
+        let value = objective(&assignment);
+        if value > best_value {
+            best_value = value;
+            best = assignment.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_trivial() {
+        let m = Matrix::from_rows(&[vec![3.0]]).unwrap();
+        let (pairs, total) = best_perfect_matching(&m);
+        assert_eq!(pairs, vec![(0, 0)]);
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn perfect_matching_picks_antidiagonal() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![10.0, 1.0]]).unwrap();
+        let (pairs, total) = best_perfect_matching(&m);
+        assert_eq!(total, 20.0);
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn perfect_matching_skips_worst_row_when_rows_exceed_cols() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![9.0], vec![4.0]]).unwrap();
+        let (pairs, total) = best_perfect_matching(&m);
+        assert_eq!(pairs, vec![(1, 0)]);
+        assert_eq!(total, 9.0);
+    }
+
+    #[test]
+    fn perfect_matching_uses_subset_of_cols_when_cols_exceed_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 5.0, 3.0], vec![2.0, 6.0, 4.0]]).unwrap();
+        let (pairs, total) = best_perfect_matching(&m);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(total, 9.0); // (0,1)=5 + (1,2)=4
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn perfect_matching_rejects_non_finite() {
+        let m = Matrix::from_rows(&[vec![f64::NEG_INFINITY]]).unwrap();
+        let _ = best_perfect_matching(&m);
+    }
+
+    #[test]
+    fn full_assignment_enumerates_whole_space() {
+        let mut seen = 0usize;
+        let _ = best_full_assignment(3, 2, |_| {
+            seen += 1;
+            0.0
+        });
+        assert_eq!(seen, 8); // 2^3
+    }
+
+    #[test]
+    fn full_assignment_finds_unique_optimum() {
+        // Reward exactly the assignment [1, 0, 2].
+        let (best, value) = best_full_assignment(3, 3, |a| {
+            if a == [1, 0, 2] {
+                10.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(best, vec![1, 0, 2]);
+        assert_eq!(value, 10.0);
+    }
+
+    #[test]
+    fn full_assignment_single_extender() {
+        let (best, value) = best_full_assignment(4, 1, |a| a.len() as f64);
+        assert_eq!(best, vec![0, 0, 0, 0]);
+        assert_eq!(value, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn full_assignment_rejects_zero_users() {
+        let _ = best_full_assignment(0, 2, |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute-force limit")]
+    fn full_assignment_rejects_huge_space() {
+        let _ = best_full_assignment(30, 10, |_| 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the optimization substrate.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; the `Display` form is lowercase and concise per Rust API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// A matrix was constructed from rows of unequal length.
+    RaggedRows {
+        /// Length of the first row (the expected width).
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A matrix dimension was zero where a non-empty matrix is required.
+    EmptyMatrix,
+    /// Dimensions of two related inputs disagree.
+    DimensionMismatch {
+        /// Human-readable description of what disagreed.
+        context: &'static str,
+    },
+    /// A numeric input was NaN or infinite where a finite value is required.
+    NonFiniteInput {
+        /// Human-readable description of which input was non-finite.
+        context: &'static str,
+    },
+    /// The solver exhausted its iteration budget before converging.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "ragged rows: row {row} has length {found}, expected {expected}"
+            ),
+            OptError::EmptyMatrix => write!(f, "matrix must have at least one row and column"),
+            OptError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            OptError::NonFiniteInput { context } => {
+                write!(f, "non-finite input: {context}")
+            }
+            OptError::DidNotConverge { iterations } => {
+                write!(f, "solver did not converge within {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = OptError::EmptyMatrix;
+        let s = e.to_string();
+        assert!(s.starts_with("matrix"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptError>();
+    }
+
+    #[test]
+    fn ragged_rows_reports_indices() {
+        let e = OptError::RaggedRows {
+            expected: 3,
+            found: 2,
+            row: 1,
+        };
+        assert!(e.to_string().contains("row 1"));
+        assert!(e.to_string().contains("length 2"));
+    }
+}

@@ -1,0 +1,328 @@
+//! A small dense row-major `f64` matrix.
+//!
+//! Utility tables in WOLT are dense (every user has a candidate utility for
+//! every extender, `-inf`/`0` standing in for unreachable pairs), so a flat
+//! `Vec<f64>` with row-major indexing is the right representation: cache
+//! friendly for the row scans the Hungarian algorithm performs, and trivially
+//! serializable for experiment records.
+
+use crate::OptError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64` values.
+///
+/// In WOLT, rows index users and columns index extenders, so `m[(i, j)]`
+/// reads "the utility (or rate) of user `i` on extender `j`".
+///
+/// # Example
+///
+/// ```
+/// use wolt_opt::Matrix;
+///
+/// # fn main() -> Result<(), wolt_opt::OptError> {
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with `fill`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::EmptyMatrix`] if either dimension is zero.
+    pub fn filled(rows: usize, cols: usize, fill: f64) -> Result<Self, OptError> {
+        if rows == 0 || cols == 0 {
+            return Err(OptError::EmptyMatrix);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        })
+    }
+
+    /// Creates a matrix of zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::EmptyMatrix`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, OptError> {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::EmptyMatrix`] if `rows` is empty or the first row
+    /// is empty, and [`OptError::RaggedRows`] if row lengths differ.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, OptError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(OptError::EmptyMatrix);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (idx, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(OptError::RaggedRows {
+                    expected: cols,
+                    found: row.len(),
+                    row: idx,
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::EmptyMatrix`] if either dimension is zero.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(
+        rows: usize,
+        cols: usize,
+        mut f: F,
+    ) -> Result<Self, OptError> {
+        if rows == 0 || cols == 0 {
+            return Err(OptError::EmptyMatrix);
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Value at `(row, col)`, or `None` if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / cols, k % cols, v))
+    }
+
+    /// Largest finite value in the matrix, or `None` if no cell is finite.
+    pub fn max_finite(&self) -> Option<f64> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut data = vec![0.0; self.data.len()];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data,
+        }
+    }
+
+    /// True if every cell is finite (no NaN or infinity).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds ({} x {})",
+            self.rows,
+            self.cols
+        );
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds ({} x {})",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.3}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert_eq!(
+            err,
+            OptError::RaggedRows {
+                expected: 1,
+                found: 2,
+                row: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Matrix::from_rows(&[]).unwrap_err(), OptError::EmptyMatrix);
+        assert_eq!(Matrix::zeros(0, 3).unwrap_err(), OptError::EmptyMatrix);
+        assert_eq!(Matrix::zeros(3, 0).unwrap_err(), OptError::EmptyMatrix);
+    }
+
+    #[test]
+    fn from_fn_fills_cells() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64).unwrap();
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(1, 0)], 10.0);
+        assert_eq!(m[(1, 1)], 11.0);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i + 2 * j) as f64).unwrap();
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed()[(1, 2)], m[(2, 1)]);
+    }
+
+    #[test]
+    fn get_bounds_checked() {
+        let m = Matrix::zeros(2, 2).unwrap();
+        assert_eq!(m.get(1, 1), Some(0.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 2), None);
+    }
+
+    #[test]
+    fn max_finite_skips_infinities() {
+        let m = Matrix::from_rows(&[vec![f64::NEG_INFINITY, 3.0], vec![1.0, f64::NAN]]).unwrap();
+        assert_eq!(m.max_finite(), Some(3.0));
+    }
+
+    #[test]
+    fn max_finite_none_when_all_nonfinite() {
+        let m = Matrix::from_rows(&[vec![f64::INFINITY, f64::NAN]]).unwrap();
+        assert_eq!(m.max_finite(), None);
+    }
+
+    #[test]
+    fn iter_visits_all_cells_in_row_major_order() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64).unwrap();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples.len(), 6);
+        assert_eq!(triples[0], (0, 0, 0.0));
+        assert_eq!(triples[4], (1, 1, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_panics_out_of_bounds() {
+        let m = Matrix::zeros(2, 2).unwrap();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i + j) as f64).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,244 @@
+//! Euclidean projection onto the probability simplex.
+//!
+//! WOLT's Phase II (Problem 2 in the paper) relaxes each user's association
+//! indicator row `x_i· ∈ {0,1}^|A|` with `Σ_j x_ij = 1` to the probability
+//! simplex `{x ≥ 0, Σx = 1}`. Our projected-gradient solver (the stand-in
+//! for the paper's interior-point method) needs an exact projection back
+//! onto that simplex after every gradient step; this module implements the
+//! standard O(n log n) sort-based algorithm (Held, Wolfe & Crowder 1974;
+//! popularized by Duchi et al. 2008).
+//!
+//! The masked variant supports restricted candidate sets: a user that is out
+//! of WiFi range of extender `j` must keep `x_ij = 0`, so the projection is
+//! performed on the sub-vector of reachable extenders only.
+
+/// Projects `v` in place onto the probability simplex
+/// `{x : x_i ≥ 0, Σ x_i = 1}`.
+///
+/// # Panics
+///
+/// Panics if `v` is empty or contains non-finite values.
+///
+/// # Example
+///
+/// ```
+/// use wolt_opt::simplex::project_simplex;
+///
+/// let mut v = vec![0.8, 0.8];
+/// project_simplex(&mut v);
+/// assert!((v[0] - 0.5).abs() < 1e-12);
+/// assert!((v[1] - 0.5).abs() < 1e-12);
+/// ```
+pub fn project_simplex(v: &mut [f64]) {
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    assert!(
+        v.iter().all(|x| x.is_finite()),
+        "cannot project non-finite values"
+    );
+
+    // Fast path: already on the simplex.
+    let sum: f64 = v.iter().sum();
+    if (sum - 1.0).abs() < 1e-12 && v.iter().all(|&x| x >= 0.0) {
+        return;
+    }
+
+    let mut sorted: Vec<f64> = v.to_vec();
+    sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+
+    // Find the threshold tau = (prefix_sum(rho) - 1) / rho for the largest
+    // rho with sorted[rho-1] - tau > 0.
+    let mut prefix = 0.0;
+    let mut tau = 0.0;
+    for (k, &u) in sorted.iter().enumerate() {
+        prefix += u;
+        let candidate = (prefix - 1.0) / (k + 1) as f64;
+        if u - candidate > 0.0 {
+            tau = candidate;
+        }
+    }
+
+    for x in v.iter_mut() {
+        *x = (*x - tau).max(0.0);
+    }
+}
+
+/// Projects `v` in place onto the simplex restricted to the coordinates
+/// where `mask` is `true`; masked-out coordinates are set to exactly `0`.
+///
+/// # Panics
+///
+/// Panics if `v` and `mask` have different lengths, if no coordinate is
+/// unmasked, or if any unmasked value is non-finite.
+pub fn project_simplex_masked(v: &mut [f64], mask: &[bool]) {
+    assert_eq!(v.len(), mask.len(), "vector and mask lengths must match");
+    let active: Vec<usize> = (0..v.len()).filter(|&i| mask[i]).collect();
+    assert!(
+        !active.is_empty(),
+        "cannot project onto simplex with no allowed coordinate"
+    );
+
+    let mut sub: Vec<f64> = active.iter().map(|&i| v[i]).collect();
+    project_simplex(&mut sub);
+    for x in v.iter_mut() {
+        *x = 0.0;
+    }
+    for (slot, &i) in active.iter().enumerate() {
+        v[i] = sub[slot];
+    }
+}
+
+/// Returns `true` if `x` lies on the probability simplex up to `tol`:
+/// all coordinates ≥ `-tol` and the sum within `tol` of 1.
+pub fn is_on_simplex(x: &[f64], tol: f64) -> bool {
+    if x.is_empty() {
+        return false;
+    }
+    let sum: f64 = x.iter().sum();
+    (sum - 1.0).abs() <= tol && x.iter().all(|&v| v >= -tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn identity_on_simplex_points() {
+        let mut v = vec![0.2, 0.3, 0.5];
+        project_simplex(&mut v);
+        assert_close(v[0], 0.2);
+        assert_close(v[1], 0.3);
+        assert_close(v[2], 0.5);
+    }
+
+    #[test]
+    fn uniform_from_equal_values() {
+        let mut v = vec![10.0; 4];
+        project_simplex(&mut v);
+        for &x in &v {
+            assert_close(x, 0.25);
+        }
+    }
+
+    #[test]
+    fn single_coordinate_becomes_one() {
+        let mut v = vec![-3.7];
+        project_simplex(&mut v);
+        assert_close(v[0], 1.0);
+    }
+
+    #[test]
+    fn dominant_coordinate_saturates() {
+        let mut v = vec![100.0, 0.0, 0.0];
+        project_simplex(&mut v);
+        assert_close(v[0], 1.0);
+        assert_close(v[1], 0.0);
+        assert_close(v[2], 0.0);
+    }
+
+    #[test]
+    fn negative_values_clamped() {
+        let mut v = vec![-1.0, 0.5, 0.6];
+        project_simplex(&mut v);
+        assert_close(v[0], 0.0);
+        assert!(is_on_simplex(&v, 1e-12));
+        // Remaining mass split to keep the relative order: 0.45 / 0.55.
+        assert_close(v[1], 0.45);
+        assert_close(v[2], 0.55);
+    }
+
+    #[test]
+    fn result_always_on_simplex() {
+        let cases = [
+            vec![0.1, 0.9, 2.3, -4.0],
+            vec![1e6, -1e6],
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0],
+        ];
+        for case in cases {
+            let mut v = case.clone();
+            project_simplex(&mut v);
+            assert!(is_on_simplex(&v, 1e-9), "{case:?} -> {v:?}");
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut v = vec![3.0, -1.0, 0.2, 0.9];
+        project_simplex(&mut v);
+        let once = v.clone();
+        project_simplex(&mut v);
+        for (a, b) in once.iter().zip(&v) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn projection_minimizes_distance_vs_grid() {
+        // Check the optimality of the projection against a dense grid
+        // search over the 2-simplex.
+        let target = [0.9, -0.3, 0.7];
+        let mut v = target.to_vec();
+        project_simplex(&mut v);
+        let proj_dist: f64 = target
+            .iter()
+            .zip(&v)
+            .map(|(t, p)| (t - p).powi(2))
+            .sum();
+        let steps = 200;
+        for i in 0..=steps {
+            for j in 0..=(steps - i) {
+                let x = [
+                    i as f64 / steps as f64,
+                    j as f64 / steps as f64,
+                    (steps - i - j) as f64 / steps as f64,
+                ];
+                let d: f64 = target.iter().zip(&x).map(|(t, p)| (t - p).powi(2)).sum();
+                assert!(proj_dist <= d + 1e-6, "grid point {x:?} beats projection");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_projection_zeroes_masked_coordinates() {
+        let mut v = vec![5.0, 5.0, 5.0];
+        project_simplex_masked(&mut v, &[true, false, true]);
+        assert_close(v[1], 0.0);
+        assert_close(v[0], 0.5);
+        assert_close(v[2], 0.5);
+    }
+
+    #[test]
+    fn masked_projection_single_allowed() {
+        let mut v = vec![0.0, -9.0];
+        project_simplex_masked(&mut v, &[false, true]);
+        assert_close(v[0], 0.0);
+        assert_close(v[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no allowed coordinate")]
+    fn masked_projection_rejects_empty_mask() {
+        let mut v = vec![1.0, 2.0];
+        project_simplex_masked(&mut v, &[false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn masked_projection_rejects_length_mismatch() {
+        let mut v = vec![1.0];
+        project_simplex_masked(&mut v, &[true, true]);
+    }
+
+    #[test]
+    fn is_on_simplex_detects_violations() {
+        assert!(is_on_simplex(&[1.0], 1e-9));
+        assert!(is_on_simplex(&[0.5, 0.5], 1e-9));
+        assert!(!is_on_simplex(&[0.5, 0.6], 1e-9));
+        assert!(!is_on_simplex(&[1.5, -0.5], 1e-9));
+        assert!(!is_on_simplex(&[], 1e-9));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the optimization substrate.
+
+use proptest::prelude::*;
+use wolt_opt::auction::auction_assignment;
+use wolt_opt::brute;
+use wolt_opt::hungarian::max_weight_assignment;
+use wolt_opt::simplex::{is_on_simplex, project_simplex, project_simplex_masked};
+use wolt_opt::Matrix;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1000.0, c), r)
+            .prop_map(|rows| Matrix::from_rows(&rows).expect("well-formed rows"))
+    })
+}
+
+proptest! {
+    /// The Hungarian solver returns a matching: each row and column used at
+    /// most once, exactly min(rows, cols) pairs on all-finite matrices.
+    #[test]
+    fn hungarian_returns_valid_matching(m in small_matrix()) {
+        let a = max_weight_assignment(&m);
+        prop_assert_eq!(a.len(), m.rows().min(m.cols()));
+        let mut rows_seen = vec![false; m.rows()];
+        let mut cols_seen = vec![false; m.cols()];
+        for &(r, c) in &a.pairs {
+            prop_assert!(!rows_seen[r], "row {} matched twice", r);
+            prop_assert!(!cols_seen[c], "col {} matched twice", c);
+            rows_seen[r] = true;
+            cols_seen[c] = true;
+        }
+        let sum: f64 = a.pairs.iter().map(|&(r, c)| m[(r, c)]).sum();
+        prop_assert!((sum - a.total).abs() < 1e-9);
+    }
+
+    /// Hungarian matches brute force exactly on small instances.
+    #[test]
+    fn hungarian_is_optimal(m in small_matrix()) {
+        let hung = max_weight_assignment(&m);
+        let (_, best) = brute::best_perfect_matching(&m);
+        prop_assert!((hung.total - best).abs() < 1e-6,
+            "hungarian={} brute={}", hung.total, best);
+    }
+
+    /// The auction algorithm agrees with the Hungarian optimum to within
+    /// its n·ε guarantee (and in practice exactly, for tiny ε).
+    #[test]
+    fn auction_matches_hungarian(m in small_matrix()) {
+        let hung = max_weight_assignment(&m);
+        let auc = auction_assignment(&m, 1e-7);
+        prop_assert!(hung.total - auc.total <= m.rows() as f64 * 1e-7 + 1e-6,
+            "hungarian={} auction={}", hung.total, auc.total);
+        // The auction result is itself a valid matching.
+        let mut cols = std::collections::BTreeSet::new();
+        for &(_, c) in &auc.pairs {
+            prop_assert!(cols.insert(c), "column {} used twice", c);
+        }
+    }
+
+    /// Hungarian total is invariant under transposition.
+    #[test]
+    fn hungarian_transpose_invariant(m in small_matrix()) {
+        let a = max_weight_assignment(&m);
+        let b = max_weight_assignment(&m.transposed());
+        prop_assert!((a.total - b.total).abs() < 1e-6);
+    }
+
+    /// Adding a constant to every utility shifts the optimum by
+    /// `constant * matching size` but preserves the argmax.
+    #[test]
+    fn hungarian_shift_invariant(m in small_matrix(), shift in 0.0f64..100.0) {
+        let a = max_weight_assignment(&m);
+        let shifted = Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] + shift).unwrap();
+        let b = max_weight_assignment(&shifted);
+        let k = m.rows().min(m.cols()) as f64;
+        prop_assert!((b.total - (a.total + shift * k)).abs() < 1e-6);
+    }
+
+    /// Simplex projection always lands on the simplex.
+    #[test]
+    fn projection_feasible(v in proptest::collection::vec(-100.0f64..100.0, 1..10)) {
+        let mut x = v;
+        project_simplex(&mut x);
+        prop_assert!(is_on_simplex(&x, 1e-9));
+    }
+
+    /// Projection is idempotent.
+    #[test]
+    fn projection_idempotent(v in proptest::collection::vec(-100.0f64..100.0, 1..10)) {
+        let mut x = v;
+        project_simplex(&mut x);
+        let once = x.clone();
+        project_simplex(&mut x);
+        for (a, b) in once.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Projection preserves coordinate order (it is a monotone map).
+    #[test]
+    fn projection_monotone(v in proptest::collection::vec(-50.0f64..50.0, 2..8)) {
+        let mut x = v.clone();
+        project_simplex(&mut x);
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] > v[j] {
+                    prop_assert!(x[i] >= x[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Masked projection puts zero mass on masked-out coordinates and is
+    /// feasible on the rest.
+    #[test]
+    fn masked_projection_feasible(
+        v in proptest::collection::vec(-50.0f64..50.0, 2..8),
+        seed in 0u64..1000,
+    ) {
+        // Derive a mask with at least one allowed coordinate.
+        let mut mask: Vec<bool> = v.iter().enumerate()
+            .map(|(i, _)| (seed >> (i % 10)) & 1 == 1)
+            .collect();
+        if !mask.iter().any(|&b| b) {
+            mask[0] = true;
+        }
+        let mut x = v;
+        project_simplex_masked(&mut x, &mask);
+        prop_assert!(is_on_simplex(&x, 1e-9));
+        for (xi, mi) in x.iter().zip(&mask) {
+            if !mi {
+                prop_assert_eq!(*xi, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PLC substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlcError {
+    /// A capacity was zero, negative, or non-finite where a usable link
+    /// rate is required.
+    UnusableCapacity {
+        /// The offending capacity in Mbit/s.
+        capacity_mbps: f64,
+    },
+    /// A demand was negative or non-finite.
+    InvalidDemand {
+        /// The offending demand in Mbit/s.
+        demand_mbps: f64,
+    },
+    /// A referenced outlet does not exist in the topology.
+    UnknownOutlet {
+        /// The offending outlet index.
+        outlet: usize,
+    },
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// Human-readable description of the parameter and its constraint.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for PlcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlcError::UnusableCapacity { capacity_mbps } => {
+                write!(f, "unusable plc capacity: {capacity_mbps} Mbit/s")
+            }
+            PlcError::InvalidDemand { demand_mbps } => {
+                write!(f, "invalid demand: {demand_mbps} Mbit/s")
+            }
+            PlcError::UnknownOutlet { outlet } => write!(f, "unknown outlet {outlet}"),
+            PlcError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+        }
+    }
+}
+
+impl Error for PlcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PlcError::UnusableCapacity { capacity_mbps: 0.0 }
+            .to_string()
+            .contains("0"));
+        assert_eq!(
+            PlcError::UnknownOutlet { outlet: 3 }.to_string(),
+            "unknown outlet 3"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlcError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! IEEE 1901 power-line-communication substrate for the WOLT framework.
+//!
+//! The WOLT paper's central observation is that a PLC backhaul behaves
+//! nothing like Ethernet: link capacities differ wildly between outlets
+//! (their Fig. 2b measures 60–160 Mbit/s across four outlets of one lab),
+//! and the medium is shared **time-fairly** between active extenders — with
+//! `k` extenders active, each delivers `1/k` of what it could in isolation
+//! (Fig. 2c), and airtime an extender cannot fill is re-allocated to the
+//! others (the +5 Mbit/s in their Fig. 3c greedy case study).
+//!
+//! This crate builds that backhaul from first principles:
+//!
+//! * [`topology`] — a powerline wiring tree (central unit at the breaker
+//!   panel, circuits, outlets) whose per-outlet attenuation comes from
+//!   cable length and branch taps, plus a random building generator.
+//! * [`channel`] — attenuation → achievable PLC capacity, calibrated to the
+//!   paper's measured 60–160 Mbit/s isolation range for HomePlug-AV2-class
+//!   extenders.
+//! * [`timeshare`] — the **analytic time-fair allocator with
+//!   leftover-airtime redistribution** (Eq. 2 of the paper plus the
+//!   water-filling refinement its Fig. 3c exposes). This is the model every
+//!   association algorithm in `wolt-core` evaluates against.
+//! * [`mac1901`] — a slotted IEEE 1901 CSMA/CA micro-simulator (priority
+//!   resolution + the 1901 deferral-counter backoff) that *derives*
+//!   time-fair airtime sharing instead of assuming it.
+//! * [`tdma`] — the 1901 TDMA scheduling mode (supported by commodity gear,
+//!   mentioned by the paper but not its default), for ablations.
+//! * [`capacity`] — the paper's offline iperf-style capacity-estimation
+//!   procedure, with measurement noise.
+//!
+//! # Example
+//!
+//! Reproduce the shape of the paper's Fig. 2c (time-fair halving):
+//!
+//! ```
+//! use wolt_units::Mbps;
+//! use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+//!
+//! # fn main() -> Result<(), wolt_plc::PlcError> {
+//! let saturated = |c: f64| ExtenderDemand::saturated(Mbps::new(c));
+//! let alloc = allocate_time_fair(&[saturated(160.0), saturated(60.0)])?;
+//! // Each active extender gets half its isolation capacity.
+//! assert_eq!(alloc.throughput[0], Mbps::new(80.0));
+//! assert_eq!(alloc.throughput[1], Mbps::new(30.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod channel;
+pub mod mac1901;
+pub mod tdma;
+pub mod timeshare;
+pub mod topology;
+
+mod error;
+
+pub use channel::PlcChannelModel;
+pub use error::PlcError;
+pub use timeshare::{allocate_time_fair, ExtenderDemand, TimeShareAllocation};
+pub use topology::PowerlineTopology;

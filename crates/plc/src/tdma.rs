@@ -1,0 +1,232 @@
+//! IEEE 1901 TDMA scheduling mode.
+//!
+//! Besides CSMA, 1901 "supports QoS classes by providing a TDMA-based
+//! medium sharing functionality. In TDMA mode, the PLC backhaul will be
+//! time-shared between clients" (§II of the paper). Commodity extenders
+//! default to CSMA, which is what WOLT models — but the TDMA mode is the
+//! natural ablation: a central beacon divides each frame into slots and
+//! grants them to extenders according to weights.
+//!
+//! [`TdmaSchedule::build`] converts fractional weights into integral slot
+//! grants with the largest-remainder method, so the slot counts always sum
+//! exactly to the frame length and the granted airtime tracks the weights
+//! as closely as an integral schedule can.
+
+use serde::{Deserialize, Serialize};
+use wolt_units::Mbps;
+
+use crate::PlcError;
+
+/// An integral TDMA slot schedule for one beacon period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdmaSchedule {
+    /// Slots granted to each extender (sums to the frame length).
+    pub slots: Vec<u32>,
+    /// Total slots in the beacon period.
+    pub frame_slots: u32,
+}
+
+impl TdmaSchedule {
+    /// Builds a schedule granting slots proportionally to `weights` using
+    /// the largest-remainder method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlcError::InvalidConfig`] if `weights` is empty, any
+    /// weight is negative or non-finite, all weights are zero, or
+    /// `frame_slots` is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wolt_plc::tdma::TdmaSchedule;
+    ///
+    /// # fn main() -> Result<(), wolt_plc::PlcError> {
+    /// let s = TdmaSchedule::build(&[2.0, 1.0, 1.0], 100)?;
+    /// assert_eq!(s.slots, vec![50, 25, 25]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(weights: &[f64], frame_slots: u32) -> Result<Self, PlcError> {
+        if weights.is_empty() {
+            return Err(PlcError::InvalidConfig {
+                context: "need at least one weight",
+            });
+        }
+        if frame_slots == 0 {
+            return Err(PlcError::InvalidConfig {
+                context: "frame must have at least one slot",
+            });
+        }
+        if weights.iter().any(|w| !(w.is_finite() && *w >= 0.0)) {
+            return Err(PlcError::InvalidConfig {
+                context: "weights must be finite and non-negative",
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(PlcError::InvalidConfig {
+                context: "at least one weight must be positive",
+            });
+        }
+
+        // Largest-remainder apportionment.
+        let quotas: Vec<f64> = weights
+            .iter()
+            .map(|w| w / total * f64::from(frame_slots))
+            .collect();
+        let mut slots: Vec<u32> = quotas.iter().map(|q| q.floor() as u32).collect();
+        let assigned: u32 = slots.iter().sum();
+        let mut leftover = frame_slots - assigned;
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - quotas[a].floor();
+            let rb = quotas[b] - quotas[b].floor();
+            rb.partial_cmp(&ra).expect("finite remainders")
+        });
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            slots[i] += 1;
+            leftover -= 1;
+        }
+
+        Ok(Self { slots, frame_slots })
+    }
+
+    /// Airtime fraction granted to extender `j`.
+    pub fn share(&self, j: usize) -> f64 {
+        f64::from(self.slots[j]) / f64::from(self.frame_slots)
+    }
+
+    /// Throughput each extender delivers under this schedule, given its
+    /// isolation capacity: `c_j × share_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlcError::InvalidConfig`] if `capacities` has a different
+    /// length than the schedule, or [`PlcError::UnusableCapacity`] for
+    /// unusable capacities.
+    pub fn throughputs(&self, capacities: &[Mbps]) -> Result<Vec<Mbps>, PlcError> {
+        if capacities.len() != self.slots.len() {
+            return Err(PlcError::InvalidConfig {
+                context: "capacities length differs from schedule",
+            });
+        }
+        capacities
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                if c.is_usable() {
+                    Ok(c * self.share(j))
+                } else {
+                    Err(PlcError::UnusableCapacity {
+                        capacity_mbps: c.value(),
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let s = TdmaSchedule::build(&[1.0; 4], 100).unwrap();
+        assert_eq!(s.slots, vec![25; 4]);
+    }
+
+    #[test]
+    fn slots_always_sum_to_frame() {
+        let cases: &[&[f64]] = &[
+            &[1.0, 1.0, 1.0],
+            &[0.3, 0.3, 0.4],
+            &[1.0, 2.0, 4.0, 8.0],
+            &[0.0, 1.0],
+            &[5.0],
+        ];
+        for &weights in cases {
+            for frame in [1u32, 7, 10, 97, 256] {
+                let s = TdmaSchedule::build(weights, frame).unwrap();
+                assert_eq!(
+                    s.slots.iter().sum::<u32>(),
+                    frame,
+                    "weights {weights:?} frame {frame}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn largest_remainder_favours_biggest_fraction() {
+        // Quotas: 3.3, 3.3, 3.4 over 10 slots → floor 3,3,3, the extra
+        // slot goes to the largest remainder.
+        let s = TdmaSchedule::build(&[0.33, 0.33, 0.34], 10).unwrap();
+        assert_eq!(s.slots, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn zero_weight_gets_zero_slots() {
+        let s = TdmaSchedule::build(&[0.0, 1.0], 10).unwrap();
+        assert_eq!(s.slots, vec![0, 10]);
+        assert_eq!(s.share(0), 0.0);
+    }
+
+    #[test]
+    fn shares_track_weights() {
+        let s = TdmaSchedule::build(&[2.0, 1.0, 1.0], 1000).unwrap();
+        assert!((s.share(0) - 0.5).abs() < 0.01);
+        assert!((s.share(1) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn throughputs_scale_capacity_by_share() {
+        let s = TdmaSchedule::build(&[1.0, 1.0], 10).unwrap();
+        let t = s
+            .throughputs(&[Mbps::new(160.0), Mbps::new(60.0)])
+            .unwrap();
+        assert_eq!(t, vec![Mbps::new(80.0), Mbps::new(30.0)]);
+    }
+
+    #[test]
+    fn throughputs_validate_inputs() {
+        let s = TdmaSchedule::build(&[1.0, 1.0], 10).unwrap();
+        assert!(s.throughputs(&[Mbps::new(10.0)]).is_err());
+        assert!(s.throughputs(&[Mbps::new(10.0), Mbps::ZERO]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(TdmaSchedule::build(&[], 10).is_err());
+        assert!(TdmaSchedule::build(&[1.0], 0).is_err());
+        assert!(TdmaSchedule::build(&[-1.0, 2.0], 10).is_err());
+        assert!(TdmaSchedule::build(&[f64::NAN], 10).is_err());
+        assert!(TdmaSchedule::build(&[0.0, 0.0], 10).is_err());
+    }
+
+    #[test]
+    fn matches_csma_time_fair_for_equal_weights() {
+        // With equal weights TDMA grants the same shares as the CSMA
+        // time-fair model for saturated extenders — the two modes agree on
+        // Eq. 2.
+        use crate::timeshare::{allocate_time_fair, ExtenderDemand};
+        let caps = [Mbps::new(160.0), Mbps::new(120.0), Mbps::new(60.0)];
+        let tdma = TdmaSchedule::build(&[1.0; 3], 300).unwrap();
+        let tdma_t = tdma.throughputs(&caps).unwrap();
+        let csma = allocate_time_fair(
+            &caps
+                .iter()
+                .map(|&c| ExtenderDemand::saturated(c))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        #[allow(clippy::needless_range_loop)] // comparing parallel result vectors
+        for j in 0..3 {
+            assert!((tdma_t[j].value() - csma.throughput[j].value()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Time-fair PLC airtime allocation with leftover redistribution.
+//!
+//! The paper's measurements (Fig. 2c) show the 1901 CSMA medium is shared
+//! *time-fairly*: `A` active extenders each get a `1/A` airtime share, so
+//! extender `j` with isolation capacity `c_j` delivers `c_j / A` (Eq. 2).
+//! Its Fig. 3c further shows that airtime an extender cannot fill (because
+//! its WiFi side demands less) is re-used by the others: with extender 1
+//! demanding only 15 of its 30 Mbit/s half-share, "half of extender 1's
+//! leftover time (i.e., one quarter of the total time) is re-allocated to
+//! extender 2, causing User 2's end-to-end throughput to increase to 15
+//! Mbps".
+//!
+//! [`allocate_time_fair`] implements exactly that as iterative
+//! water-filling over airtime: start from equal shares among active
+//! extenders; any extender whose demand needs less airtime than its share
+//! keeps just what it needs, and the surplus is split equally among the
+//! still-bottlenecked extenders; repeat until a fixed point.
+
+use serde::{Deserialize, Serialize};
+use wolt_units::Mbps;
+
+use crate::PlcError;
+
+/// One extender's view of the PLC medium: its isolation capacity `c_j` and
+/// the downstream (WiFi-side) demand it must carry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtenderDemand {
+    /// Isolation capacity of the extender's PLC link (`c_j`).
+    pub capacity: Mbps,
+    /// Throughput the extender's WiFi cell can consume (`T_wifi(j)`).
+    /// Zero means the extender is inactive and takes no airtime.
+    pub demand: Mbps,
+}
+
+impl ExtenderDemand {
+    /// An extender whose WiFi side can consume anything the PLC link
+    /// offers (demand = +∞ behaviourally; represented as demand = capacity,
+    /// which the allocator can never exceed).
+    pub fn saturated(capacity: Mbps) -> Self {
+        Self {
+            capacity,
+            demand: capacity,
+        }
+    }
+
+    /// An extender with no associated users (takes no airtime).
+    pub fn idle(capacity: Mbps) -> Self {
+        Self {
+            capacity,
+            demand: Mbps::ZERO,
+        }
+    }
+}
+
+/// Result of a time-fair allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeShareAllocation {
+    /// Airtime fraction granted to each extender (0 for inactive ones).
+    /// Active shares sum to ≤ 1; strictly less only when every extender's
+    /// demand is satisfied.
+    pub shares: Vec<f64>,
+    /// End-to-end deliverable throughput of each extender:
+    /// `min(demand_j, c_j · share_j)`.
+    pub throughput: Vec<Mbps>,
+}
+
+impl TimeShareAllocation {
+    /// Sum of per-extender throughputs.
+    pub fn aggregate(&self) -> Mbps {
+        self.throughput.iter().copied().sum()
+    }
+}
+
+/// Allocates PLC airtime time-fairly with leftover redistribution.
+///
+/// Extenders with zero demand are inactive: they receive no airtime and do
+/// not count towards the `1/A` split (the paper's `A` counts *active*
+/// extenders — an extender nobody uses does not contend).
+///
+/// # Errors
+///
+/// Returns [`PlcError::UnusableCapacity`] if any capacity is zero,
+/// negative, or non-finite, and [`PlcError::InvalidDemand`] if any demand
+/// is negative or non-finite. An empty slice is allowed and yields an
+/// empty allocation.
+///
+/// # Example
+///
+/// The paper's Fig. 3c greedy scenario: extender 1 (capacity 60) serves a
+/// 15 Mbit/s WiFi cell, extender 2 (capacity 20) a 40 Mbit/s one.
+///
+/// ```
+/// use wolt_units::Mbps;
+/// use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+///
+/// # fn main() -> Result<(), wolt_plc::PlcError> {
+/// let alloc = allocate_time_fair(&[
+///     ExtenderDemand { capacity: Mbps::new(60.0), demand: Mbps::new(15.0) },
+///     ExtenderDemand { capacity: Mbps::new(20.0), demand: Mbps::new(40.0) },
+/// ])?;
+/// assert_eq!(alloc.throughput[0], Mbps::new(15.0)); // demand met in 1/4 time
+/// assert_eq!(alloc.throughput[1], Mbps::new(15.0)); // 3/4 time × 20 Mbit/s
+/// # Ok(())
+/// # }
+/// ```
+pub fn allocate_time_fair(entries: &[ExtenderDemand]) -> Result<TimeShareAllocation, PlcError> {
+    for e in entries {
+        if !e.capacity.is_usable() {
+            return Err(PlcError::UnusableCapacity {
+                capacity_mbps: e.capacity.value(),
+            });
+        }
+        if !(e.demand.value().is_finite() && e.demand.value() >= 0.0) {
+            return Err(PlcError::InvalidDemand {
+                demand_mbps: e.demand.value(),
+            });
+        }
+    }
+
+    let n = entries.len();
+    let mut shares = vec![0.0f64; n];
+    let active: Vec<usize> = (0..n).filter(|&j| entries[j].demand.value() > 0.0).collect();
+    if active.is_empty() {
+        return Ok(TimeShareAllocation {
+            shares,
+            throughput: vec![Mbps::ZERO; n],
+        });
+    }
+
+    // Water-filling over airtime. `unsatisfied` holds extenders still
+    // capped by their airtime share; `budget` is the airtime left to split
+    // equally among them.
+    let mut unsatisfied: Vec<usize> = active.clone();
+    let mut budget = 1.0f64;
+    loop {
+        let equal = budget / unsatisfied.len() as f64;
+        // Extenders whose demand fits inside the equal share are satisfied
+        // this round; they keep exactly the airtime they need.
+        let (done, rest): (Vec<usize>, Vec<usize>) = unsatisfied
+            .iter()
+            .partition(|&&j| entries[j].demand.value() / entries[j].capacity.value() <= equal);
+        if done.is_empty() {
+            // Fixed point: everyone left is airtime-limited.
+            for &j in &rest {
+                shares[j] = equal;
+            }
+            break;
+        }
+        for &j in &done {
+            let need = entries[j].demand.value() / entries[j].capacity.value();
+            shares[j] = need;
+            budget -= need;
+        }
+        if rest.is_empty() {
+            break;
+        }
+        unsatisfied = rest;
+        // Guard against pathological float drift: a non-positive budget
+        // means the medium is fully consumed.
+        if budget <= 0.0 {
+            break;
+        }
+    }
+
+    let throughput: Vec<Mbps> = (0..n)
+        .map(|j| (entries[j].capacity * shares[j]).min(entries[j].demand))
+        .collect();
+    Ok(TimeShareAllocation { shares, throughput })
+}
+
+/// Weighted time-fair allocation: like [`allocate_time_fair`] but active
+/// extender `j` is entitled to airtime proportional to `weights[j]`
+/// (1901's TDMA-style QoS weights layered on the CSMA share model).
+/// Satisfied extenders release surplus airtime, which is re-split among
+/// the still-bottlenecked ones in proportion to *their* weights.
+///
+/// With equal weights this is exactly [`allocate_time_fair`].
+///
+/// # Errors
+///
+/// As [`allocate_time_fair`], plus [`PlcError::InvalidConfig`] when
+/// `weights` has the wrong length, contains a negative/non-finite value,
+/// or an extender with positive demand has zero weight.
+pub fn allocate_weighted(
+    entries: &[ExtenderDemand],
+    weights: &[f64],
+) -> Result<TimeShareAllocation, PlcError> {
+    if weights.len() != entries.len() {
+        return Err(PlcError::InvalidConfig {
+            context: "weights length differs from entries",
+        });
+    }
+    if weights.iter().any(|w| !(w.is_finite() && *w >= 0.0)) {
+        return Err(PlcError::InvalidConfig {
+            context: "weights must be finite and non-negative",
+        });
+    }
+    for e in entries {
+        if !e.capacity.is_usable() {
+            return Err(PlcError::UnusableCapacity {
+                capacity_mbps: e.capacity.value(),
+            });
+        }
+        if !(e.demand.value().is_finite() && e.demand.value() >= 0.0) {
+            return Err(PlcError::InvalidDemand {
+                demand_mbps: e.demand.value(),
+            });
+        }
+    }
+
+    let n = entries.len();
+    let mut shares = vec![0.0f64; n];
+    let active: Vec<usize> = (0..n).filter(|&j| entries[j].demand.value() > 0.0).collect();
+    if active.is_empty() {
+        return Ok(TimeShareAllocation {
+            shares,
+            throughput: vec![Mbps::ZERO; n],
+        });
+    }
+    if active.iter().any(|&j| weights[j] <= 0.0) {
+        return Err(PlcError::InvalidConfig {
+            context: "active extenders need positive weight",
+        });
+    }
+
+    let mut unsatisfied: Vec<usize> = active;
+    let mut budget = 1.0f64;
+    loop {
+        let weight_sum: f64 = unsatisfied.iter().map(|&j| weights[j]).sum();
+        let entitled = |j: usize| budget * weights[j] / weight_sum;
+        let (done, rest): (Vec<usize>, Vec<usize>) = unsatisfied.iter().partition(|&&j| {
+            entries[j].demand.value() / entries[j].capacity.value() <= entitled(j)
+        });
+        if done.is_empty() {
+            for &j in &rest {
+                shares[j] = entitled(j);
+            }
+            break;
+        }
+        for &j in &done {
+            let need = entries[j].demand.value() / entries[j].capacity.value();
+            shares[j] = need;
+            budget -= need;
+        }
+        if rest.is_empty() || budget <= 0.0 {
+            break;
+        }
+        unsatisfied = rest;
+    }
+
+    let throughput: Vec<Mbps> = (0..n)
+        .map(|j| (entries[j].capacity * shares[j]).min(entries[j].demand))
+        .collect();
+    Ok(TimeShareAllocation { shares, throughput })
+}
+
+/// Plain Eq. 2 of the paper: with `active` extenders all saturated, each
+/// delivers `c_j / A`. Used for Phase-I utilities, which assume every
+/// extender is active (the paper's modified constraint (8)).
+///
+/// # Errors
+///
+/// Returns [`PlcError::UnusableCapacity`] for unusable capacities. An
+/// empty slice yields an empty vector.
+pub fn equal_share_throughput(capacities: &[Mbps]) -> Result<Vec<Mbps>, PlcError> {
+    for c in capacities {
+        if !c.is_usable() {
+            return Err(PlcError::UnusableCapacity {
+                capacity_mbps: c.value(),
+            });
+        }
+    }
+    let a = capacities.len() as f64;
+    Ok(capacities.iter().map(|&c| c / a).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(v: f64) -> Mbps {
+        Mbps::new(v)
+    }
+
+    fn close(a: Mbps, b: f64) -> bool {
+        (a.value() - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn single_saturated_extender_gets_everything() {
+        let alloc = allocate_time_fair(&[ExtenderDemand::saturated(mbps(100.0))]).unwrap();
+        assert!(close(alloc.throughput[0], 100.0));
+        assert!((alloc.shares[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig2c_time_fair_halving() {
+        // Paper Fig. 2c: with k active extenders each delivers 1/k of its
+        // isolation throughput.
+        let caps = [160.0, 120.0, 90.0, 60.0];
+        for k in 1..=4 {
+            let entries: Vec<ExtenderDemand> = caps[..k]
+                .iter()
+                .map(|&c| ExtenderDemand::saturated(mbps(c)))
+                .collect();
+            let alloc = allocate_time_fair(&entries).unwrap();
+            for (j, &c) in caps[..k].iter().enumerate() {
+                assert!(
+                    close(alloc.throughput[j], c / k as f64),
+                    "k={k} j={j}: {} != {}",
+                    alloc.throughput[j],
+                    c / k as f64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig3c_redistribution() {
+        // Fig. 3c: extender 1 (cap 60) demands 15, extender 2 (cap 20)
+        // demands 40. Extender 1 needs 1/4 airtime; the leftover 1/4 goes
+        // to extender 2 which ends at 3/4 × 20 = 15 Mbit/s.
+        let alloc = allocate_time_fair(&[
+            ExtenderDemand {
+                capacity: mbps(60.0),
+                demand: mbps(15.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(20.0),
+                demand: mbps(40.0),
+            },
+        ])
+        .unwrap();
+        assert!(close(alloc.throughput[0], 15.0));
+        assert!(close(alloc.throughput[1], 15.0));
+        assert!((alloc.shares[0] - 0.25).abs() < 1e-12);
+        assert!((alloc.shares[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_extender_takes_no_airtime() {
+        let alloc = allocate_time_fair(&[
+            ExtenderDemand::saturated(mbps(100.0)),
+            ExtenderDemand::idle(mbps(50.0)),
+        ])
+        .unwrap();
+        assert!(close(alloc.throughput[0], 100.0));
+        assert!(close(alloc.throughput[1], 0.0));
+        assert_eq!(alloc.shares[1], 0.0);
+    }
+
+    #[test]
+    fn all_idle_yields_zero() {
+        let alloc = allocate_time_fair(&[
+            ExtenderDemand::idle(mbps(100.0)),
+            ExtenderDemand::idle(mbps(50.0)),
+        ])
+        .unwrap();
+        assert_eq!(alloc.aggregate(), Mbps::ZERO);
+    }
+
+    #[test]
+    fn empty_input_allowed() {
+        let alloc = allocate_time_fair(&[]).unwrap();
+        assert!(alloc.shares.is_empty());
+        assert_eq!(alloc.aggregate(), Mbps::ZERO);
+    }
+
+    #[test]
+    fn multi_round_redistribution() {
+        // Three extenders; two have tiny demands, freeing most airtime for
+        // the third. Round 1: equal share 1/3; ext 0 needs 0.05, ext 1
+        // needs 0.1, both satisfied. Ext 2 ends with 0.85 airtime.
+        let alloc = allocate_time_fair(&[
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(5.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(10.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(1000.0),
+            },
+        ])
+        .unwrap();
+        assert!(close(alloc.throughput[0], 5.0));
+        assert!(close(alloc.throughput[1], 10.0));
+        assert!(close(alloc.throughput[2], 85.0));
+    }
+
+    #[test]
+    fn cascading_rounds() {
+        // Requires two redistribution rounds: ext 0 satisfied at round 1,
+        // ext 1 only after inheriting surplus.
+        let alloc = allocate_time_fair(&[
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(10.0),
+            }, // needs 0.1 < 1/3
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(40.0),
+            }, // needs 0.4 > 1/3, but < 0.45 after round 1
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(1000.0),
+            },
+        ])
+        .unwrap();
+        assert!(close(alloc.throughput[0], 10.0));
+        assert!(close(alloc.throughput[1], 40.0));
+        assert!(close(alloc.throughput[2], 50.0));
+        let total_share: f64 = alloc.shares.iter().sum();
+        assert!((total_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_never_exceed_one_in_total() {
+        let alloc = allocate_time_fair(&[
+            ExtenderDemand::saturated(mbps(30.0)),
+            ExtenderDemand::saturated(mbps(70.0)),
+            ExtenderDemand {
+                capacity: mbps(120.0),
+                demand: mbps(3.0),
+            },
+        ])
+        .unwrap();
+        let total: f64 = alloc.shares.iter().sum();
+        assert!(total <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn throughput_never_exceeds_demand_or_capacity_share() {
+        let entries = [
+            ExtenderDemand {
+                capacity: mbps(55.0),
+                demand: mbps(20.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(80.0),
+                demand: mbps(200.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(140.0),
+                demand: mbps(60.0),
+            },
+        ];
+        let alloc = allocate_time_fair(&entries).unwrap();
+        for (j, e) in entries.iter().enumerate() {
+            assert!(alloc.throughput[j] <= e.demand + mbps(1e-9));
+            assert!(
+                alloc.throughput[j].value() <= e.capacity.value() * alloc.shares[j] + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            allocate_time_fair(&[ExtenderDemand {
+                capacity: Mbps::ZERO,
+                demand: mbps(1.0)
+            }]),
+            Err(PlcError::UnusableCapacity { .. })
+        ));
+        assert!(matches!(
+            allocate_time_fair(&[ExtenderDemand {
+                capacity: mbps(10.0),
+                demand: mbps(-1.0)
+            }]),
+            Err(PlcError::InvalidDemand { .. })
+        ));
+        assert!(matches!(
+            allocate_time_fair(&[ExtenderDemand {
+                capacity: mbps(10.0),
+                demand: mbps(f64::NAN)
+            }]),
+            Err(PlcError::InvalidDemand { .. })
+        ));
+    }
+
+    #[test]
+    fn equal_share_matches_eq2() {
+        let shares =
+            equal_share_throughput(&[mbps(160.0), mbps(120.0), mbps(90.0), mbps(60.0)]).unwrap();
+        assert!(close(shares[0], 40.0));
+        assert!(close(shares[3], 15.0));
+    }
+
+    #[test]
+    fn equal_share_rejects_unusable() {
+        assert!(equal_share_throughput(&[mbps(10.0), Mbps::ZERO]).is_err());
+        assert!(equal_share_throughput(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn aggregate_sums_throughputs() {
+        let alloc = allocate_time_fair(&[
+            ExtenderDemand::saturated(mbps(100.0)),
+            ExtenderDemand::saturated(mbps(50.0)),
+        ])
+        .unwrap();
+        assert!(close(alloc.aggregate(), 75.0));
+    }
+
+    #[test]
+    fn weighted_with_equal_weights_matches_time_fair() {
+        let entries = [
+            ExtenderDemand::saturated(mbps(160.0)),
+            ExtenderDemand {
+                capacity: mbps(80.0),
+                demand: mbps(10.0),
+            },
+            ExtenderDemand::saturated(mbps(60.0)),
+        ];
+        let equal = allocate_weighted(&entries, &[1.0; 3]).unwrap();
+        let plain = allocate_time_fair(&entries).unwrap();
+        for j in 0..3 {
+            assert!((equal.shares[j] - plain.shares[j]).abs() < 1e-12);
+            assert!(
+                (equal.throughput[j].value() - plain.throughput[j].value()).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_shares_follow_weights() {
+        let entries = [
+            ExtenderDemand::saturated(mbps(100.0)),
+            ExtenderDemand::saturated(mbps(100.0)),
+        ];
+        let alloc = allocate_weighted(&entries, &[2.0, 1.0]).unwrap();
+        assert!((alloc.shares[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((alloc.shares[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_redistribution_respects_weights() {
+        // Extender 0 is satisfied with little airtime; the surplus splits
+        // 3:1 between the two saturated ones.
+        let entries = [
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(10.0),
+            },
+            ExtenderDemand::saturated(mbps(100.0)),
+            ExtenderDemand::saturated(mbps(100.0)),
+        ];
+        let alloc = allocate_weighted(&entries, &[1.0, 3.0, 1.0]).unwrap();
+        assert!((alloc.shares[0] - 0.1).abs() < 1e-12);
+        let surplus = 0.9;
+        assert!((alloc.shares[1] - surplus * 0.75).abs() < 1e-12);
+        assert!((alloc.shares[2] - surplus * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_validates_inputs() {
+        let entries = [ExtenderDemand::saturated(mbps(100.0))];
+        assert!(allocate_weighted(&entries, &[]).is_err());
+        assert!(allocate_weighted(&entries, &[-1.0]).is_err());
+        assert!(allocate_weighted(&entries, &[f64::NAN]).is_err());
+        // Active extender with zero weight is a contradiction.
+        assert!(allocate_weighted(&entries, &[0.0]).is_err());
+        // Idle extender with zero weight is fine.
+        let mixed = [
+            ExtenderDemand::idle(mbps(50.0)),
+            ExtenderDemand::saturated(mbps(100.0)),
+        ];
+        let alloc = allocate_weighted(&mixed, &[0.0, 1.0]).unwrap();
+        assert!((alloc.shares[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redistribution_only_helps() {
+        // With redistribution the aggregate can only be >= the plain Eq. 2
+        // allocation truncated by demand.
+        let entries = [
+            ExtenderDemand {
+                capacity: mbps(90.0),
+                demand: mbps(10.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(40.0),
+                demand: mbps(100.0),
+            },
+        ];
+        let with_redistribution = allocate_time_fair(&entries).unwrap().aggregate();
+        let naive: f64 = entries
+            .iter()
+            .map(|e| (e.capacity.value() / 2.0).min(e.demand.value()))
+            .sum();
+        assert!(with_redistribution.value() >= naive - 1e-9);
+        assert!(with_redistribution.value() > naive); // strictly better here
+    }
+}

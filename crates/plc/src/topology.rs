@@ -1,0 +1,443 @@
+//! Power-line wiring topology and per-outlet attenuation.
+//!
+//! The paper calibrates its simulator "with PLC link capacities measured
+//! from different outlets in a university building" — capacity differs per
+//! outlet because the signal between the central unit (at the breaker
+//! panel) and an outlet traverses different lengths of mains cable and
+//! different branch taps. We model the wiring as a tree rooted at the
+//! central unit: circuits leave the panel, outlets hang off circuits, and
+//! the attenuation of an outlet is
+//!
+//! ```text
+//! A(outlet) = A_coupling + a_cable · path_length + A_tap · branch_taps(path)
+//! ```
+//!
+//! Typical HomePlug-class figures: 0.4–1 dB/m of mains cable and ~3 dB per
+//! branch tap, on top of a ~15 dB fixed coupling loss.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wolt_units::{Db, Meters};
+
+use crate::PlcError;
+
+/// Identifier of an outlet within a [`PowerlineTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OutletId(pub usize);
+
+/// Attenuation parameters of the wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WiringParams {
+    /// Fixed coupling loss at the two plug interfaces.
+    pub coupling_loss: Db,
+    /// Cable attenuation per metre.
+    pub loss_per_meter: f64,
+    /// Loss added by each branch tap (junction with more than one child) on
+    /// the signal path.
+    pub tap_loss: Db,
+}
+
+impl Default for WiringParams {
+    fn default() -> Self {
+        Self {
+            coupling_loss: Db::new(15.0),
+            loss_per_meter: 0.6,
+            tap_loss: Db::new(3.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Node {
+    parent: Option<usize>,
+    cable_to_parent: Meters,
+    children: Vec<usize>,
+}
+
+/// A tree of mains wiring rooted at the PLC central unit.
+///
+/// # Example
+///
+/// ```
+/// use wolt_units::Meters;
+/// use wolt_plc::PowerlineTopology;
+///
+/// # fn main() -> Result<(), wolt_plc::PlcError> {
+/// let mut building = PowerlineTopology::new(Default::default());
+/// let hallway = building.add_junction(building.root(), Meters::new(10.0))?;
+/// let office_a = building.add_outlet(hallway, Meters::new(5.0))?;
+/// let office_b = building.add_outlet(hallway, Meters::new(15.0))?;
+/// // The nearer outlet attenuates less.
+/// assert!(building.attenuation(office_a)? < building.attenuation(office_b)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerlineTopology {
+    params: WiringParams,
+    nodes: Vec<Node>,
+    outlets: Vec<usize>,
+}
+
+impl PowerlineTopology {
+    /// Creates a topology containing only the central unit (the root).
+    pub fn new(params: WiringParams) -> Self {
+        Self {
+            params,
+            nodes: vec![Node {
+                parent: None,
+                cable_to_parent: Meters::ZERO,
+                children: Vec::new(),
+            }],
+            outlets: Vec::new(),
+        }
+    }
+
+    /// Index of the root node (the central unit at the breaker panel).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Wiring parameters in use.
+    pub fn params(&self) -> WiringParams {
+        self.params
+    }
+
+    /// Adds an internal junction (a point where wiring branches) connected
+    /// to `parent` by `cable` metres of mains cable and returns its node
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlcError::UnknownOutlet`] if `parent` is not a valid node
+    /// index, or [`PlcError::InvalidConfig`] for negative/non-finite cable
+    /// lengths.
+    pub fn add_junction(&mut self, parent: usize, cable: Meters) -> Result<usize, PlcError> {
+        self.check_node(parent)?;
+        if !(cable.value().is_finite() && cable.value() >= 0.0) {
+            return Err(PlcError::InvalidConfig {
+                context: "cable length must be finite and non-negative",
+            });
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            parent: Some(parent),
+            cable_to_parent: cable,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        Ok(id)
+    }
+
+    /// Adds an outlet at a new leaf connected to `parent` by `cable` metres
+    /// of cable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PowerlineTopology::add_junction`].
+    pub fn add_outlet(&mut self, parent: usize, cable: Meters) -> Result<OutletId, PlcError> {
+        let node = self.add_junction(parent, cable)?;
+        self.outlets.push(node);
+        Ok(OutletId(self.outlets.len() - 1))
+    }
+
+    /// Number of outlets.
+    pub fn outlet_count(&self) -> usize {
+        self.outlets.len()
+    }
+
+    /// All outlet ids.
+    pub fn outlet_ids(&self) -> impl Iterator<Item = OutletId> + '_ {
+        (0..self.outlets.len()).map(OutletId)
+    }
+
+    /// Total cable length from the central unit to `outlet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlcError::UnknownOutlet`] for an invalid outlet id.
+    pub fn path_length(&self, outlet: OutletId) -> Result<Meters, PlcError> {
+        let mut node = self.outlet_node(outlet)?;
+        let mut total = Meters::ZERO;
+        while let Some(parent) = self.nodes[node].parent {
+            total += self.nodes[node].cable_to_parent;
+            node = parent;
+        }
+        Ok(total)
+    }
+
+    /// Number of branch taps (junctions with more than one child) on the
+    /// path from the central unit to `outlet`, excluding the root panel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlcError::UnknownOutlet`] for an invalid outlet id.
+    pub fn branch_taps(&self, outlet: OutletId) -> Result<usize, PlcError> {
+        let mut node = self.outlet_node(outlet)?;
+        let mut taps = 0;
+        while let Some(parent) = self.nodes[node].parent {
+            if parent != 0 && self.nodes[parent].children.len() > 1 {
+                taps += 1;
+            }
+            node = parent;
+        }
+        Ok(taps)
+    }
+
+    /// End-to-end attenuation between the central unit and `outlet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlcError::UnknownOutlet`] for an invalid outlet id.
+    pub fn attenuation(&self, outlet: OutletId) -> Result<Db, PlcError> {
+        let length = self.path_length(outlet)?;
+        let taps = self.branch_taps(outlet)?;
+        Ok(Db::new(
+            self.params.coupling_loss.value()
+                + self.params.loss_per_meter * length.value()
+                + self.params.tap_loss.value() * taps as f64,
+        ))
+    }
+
+    fn check_node(&self, node: usize) -> Result<(), PlcError> {
+        if node < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(PlcError::UnknownOutlet { outlet: node })
+        }
+    }
+
+    fn outlet_node(&self, outlet: OutletId) -> Result<usize, PlcError> {
+        self.outlets
+            .get(outlet.0)
+            .copied()
+            .ok_or(PlcError::UnknownOutlet { outlet: outlet.0 })
+    }
+}
+
+/// Configuration for [`random_building`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildingConfig {
+    /// Number of circuits leaving the breaker panel.
+    pub circuits: usize,
+    /// Cable run from the panel to the first outlet of each circuit
+    /// (sampled uniformly from this range, metres).
+    pub feeder_run: (f64, f64),
+    /// Spacing between consecutive outlets on a circuit (metres).
+    pub outlet_spacing: (f64, f64),
+    /// Wiring loss parameters.
+    pub wiring: WiringParams,
+}
+
+impl Default for BuildingConfig {
+    fn default() -> Self {
+        Self {
+            circuits: 4,
+            feeder_run: (5.0, 25.0),
+            outlet_spacing: (3.0, 12.0),
+            wiring: WiringParams::default(),
+        }
+    }
+}
+
+/// Generates a random building wiring tree with `n_outlets` outlets spread
+/// round-robin over the configured circuits — the synthetic stand-in for
+/// the paper's university-building outlet measurements.
+///
+/// # Errors
+///
+/// Returns [`PlcError::InvalidConfig`] when `n_outlets` or
+/// `config.circuits` is zero, or a sampling range is inverted.
+pub fn random_building<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_outlets: usize,
+    config: &BuildingConfig,
+) -> Result<PowerlineTopology, PlcError> {
+    if n_outlets == 0 {
+        return Err(PlcError::InvalidConfig {
+            context: "need at least one outlet",
+        });
+    }
+    if config.circuits == 0 {
+        return Err(PlcError::InvalidConfig {
+            context: "need at least one circuit",
+        });
+    }
+    for (lo, hi) in [config.feeder_run, config.outlet_spacing] {
+        if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi) {
+            return Err(PlcError::InvalidConfig {
+                context: "sampling range must satisfy 0 <= lo <= hi",
+            });
+        }
+    }
+
+    let sample = |rng: &mut R, (lo, hi): (f64, f64)| {
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    };
+
+    let mut topo = PowerlineTopology::new(config.wiring);
+    // Each circuit is a chain of junctions; outlets alternate across
+    // circuits so the outlet indices interleave circuits (as plugging
+    // extenders around a building would).
+    let mut circuit_tails: Vec<usize> = Vec::with_capacity(config.circuits);
+    for _ in 0..config.circuits {
+        let feeder = Meters::new(sample(rng, config.feeder_run));
+        let head = topo.add_junction(topo.root(), feeder)?;
+        circuit_tails.push(head);
+    }
+    for i in 0..n_outlets {
+        let circuit = i % config.circuits;
+        let spacing = Meters::new(sample(rng, config.outlet_spacing));
+        // Extend the circuit by one junction, then hang the outlet off it
+        // with a short stub (the wall-box pigtail).
+        let next = topo.add_junction(circuit_tails[circuit], spacing)?;
+        topo.add_outlet(next, Meters::new(0.5))?;
+        circuit_tails[circuit] = next;
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn chain(lengths: &[f64]) -> (PowerlineTopology, Vec<OutletId>) {
+        let mut topo = PowerlineTopology::new(WiringParams::default());
+        let mut parent = topo.root();
+        let mut outlets = Vec::new();
+        for &l in lengths {
+            parent = topo.add_junction(parent, Meters::new(l)).unwrap();
+            outlets.push(topo.add_outlet(parent, Meters::new(0.0)).unwrap());
+        }
+        (topo, outlets)
+    }
+
+    #[test]
+    fn path_length_accumulates() {
+        let (topo, outlets) = chain(&[10.0, 5.0, 7.0]);
+        assert_eq!(topo.path_length(outlets[0]).unwrap(), Meters::new(10.0));
+        assert_eq!(topo.path_length(outlets[2]).unwrap(), Meters::new(22.0));
+    }
+
+    #[test]
+    fn attenuation_grows_along_chain() {
+        let (topo, outlets) = chain(&[10.0, 5.0, 7.0]);
+        let a0 = topo.attenuation(outlets[0]).unwrap();
+        let a2 = topo.attenuation(outlets[2]).unwrap();
+        assert!(a2 > a0);
+    }
+
+    #[test]
+    fn attenuation_formula() {
+        // One junction 10 m out, outlet 0 m further: only cable loss +
+        // coupling (the junction has 2 children, but taps on the *path*
+        // count junctions between root and outlet with >1 child).
+        let mut topo = PowerlineTopology::new(WiringParams::default());
+        let j = topo.add_junction(topo.root(), Meters::new(10.0)).unwrap();
+        let o = topo.add_outlet(j, Meters::new(0.0)).unwrap();
+        let att = topo.attenuation(o).unwrap();
+        assert!((att.value() - (15.0 + 0.6 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_taps_counted() {
+        // Root -> junction J (10 m). J has the outlet-of-interest chain AND
+        // a second child, so J is a branch tap for anything below it.
+        let mut topo = PowerlineTopology::new(WiringParams::default());
+        let j = topo.add_junction(topo.root(), Meters::new(10.0)).unwrap();
+        let _side = topo.add_outlet(j, Meters::new(2.0)).unwrap();
+        let k = topo.add_junction(j, Meters::new(5.0)).unwrap();
+        let deep = topo.add_outlet(k, Meters::new(1.0)).unwrap();
+        assert_eq!(topo.branch_taps(deep).unwrap(), 1);
+        let att = topo.attenuation(deep).unwrap();
+        assert!((att.value() - (15.0 + 0.6 * 16.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_outlet_rejected() {
+        let topo = PowerlineTopology::new(WiringParams::default());
+        assert!(matches!(
+            topo.attenuation(OutletId(0)),
+            Err(PlcError::UnknownOutlet { .. })
+        ));
+        let mut topo2 = PowerlineTopology::new(WiringParams::default());
+        assert!(matches!(
+            topo2.add_junction(99, Meters::new(1.0)),
+            Err(PlcError::UnknownOutlet { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_cable_rejected() {
+        let mut topo = PowerlineTopology::new(WiringParams::default());
+        assert!(topo.add_junction(0, Meters::new(-1.0)).is_err());
+        assert!(topo.add_junction(0, Meters::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn random_building_has_requested_outlets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let topo = random_building(&mut rng, 12, &BuildingConfig::default()).unwrap();
+        assert_eq!(topo.outlet_count(), 12);
+    }
+
+    #[test]
+    fn random_building_attenuations_are_diverse_and_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let topo = random_building(&mut rng, 20, &BuildingConfig::default()).unwrap();
+        let atts: Vec<f64> = topo
+            .outlet_ids()
+            .map(|o| topo.attenuation(o).unwrap().value())
+            .collect();
+        let min = atts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = atts.iter().cloned().fold(0.0, f64::max);
+        // In-building PLC attenuations live in roughly 15-80 dB.
+        assert!(min >= 15.0, "min attenuation {min}");
+        assert!(max <= 90.0, "max attenuation {max}");
+        assert!(max - min > 5.0, "no outlet diversity: {min}..{max}");
+    }
+
+    #[test]
+    fn random_building_deterministic_per_seed() {
+        let cfg = BuildingConfig::default();
+        let a = random_building(&mut ChaCha8Rng::seed_from_u64(3), 8, &cfg).unwrap();
+        let b = random_building(&mut ChaCha8Rng::seed_from_u64(3), 8, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_building_rejects_bad_config() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(random_building(&mut rng, 0, &BuildingConfig::default()).is_err());
+        let cfg = BuildingConfig {
+            circuits: 0,
+            ..BuildingConfig::default()
+        };
+        assert!(random_building(&mut rng, 4, &cfg).is_err());
+        let cfg = BuildingConfig {
+            outlet_spacing: (10.0, 5.0),
+            ..BuildingConfig::default()
+        };
+        assert!(random_building(&mut rng, 4, &cfg).is_err());
+    }
+
+    #[test]
+    fn outlets_on_same_circuit_monotone_attenuation() {
+        // Outlets are laid round-robin; indices i and i+circuits share a
+        // circuit and the later one is strictly farther.
+        let cfg = BuildingConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let topo = random_building(&mut rng, 12, &cfg).unwrap();
+        for i in 0..(12 - cfg.circuits) {
+            let near = topo.attenuation(OutletId(i)).unwrap();
+            let far = topo.attenuation(OutletId(i + cfg.circuits)).unwrap();
+            assert!(far > near, "outlet {i}: {near:?} !< {far:?}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the IEEE 1901 substrate.
+
+use proptest::prelude::*;
+use wolt_plc::channel::PlcChannelModel;
+use wolt_plc::tdma::TdmaSchedule;
+use wolt_plc::timeshare::{
+    allocate_time_fair, allocate_weighted, equal_share_throughput, ExtenderDemand,
+};
+use wolt_units::{Db, Mbps};
+
+fn demands(max_len: usize) -> impl Strategy<Value = Vec<ExtenderDemand>> {
+    proptest::collection::vec(
+        (20.0f64..200.0, 0.0f64..150.0).prop_map(|(c, d)| ExtenderDemand {
+            capacity: Mbps::new(c),
+            demand: Mbps::new(d),
+        }),
+        1..=max_len,
+    )
+}
+
+proptest! {
+    /// Allocation feasibility: shares in [0,1], sum ≤ 1, throughput
+    /// bounded by both demand and granted capacity.
+    #[test]
+    fn time_fair_feasible(entries in demands(8)) {
+        let alloc = allocate_time_fair(&entries).expect("valid demands");
+        let total: f64 = alloc.shares.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        for (j, e) in entries.iter().enumerate() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&alloc.shares[j]));
+            prop_assert!(alloc.throughput[j] <= e.demand + Mbps::new(1e-9));
+            prop_assert!(
+                alloc.throughput[j].value() <= e.capacity.value() * alloc.shares[j] + 1e-9
+            );
+        }
+    }
+
+    /// Work conservation: if any active extender is airtime-limited, the
+    /// whole medium is in use.
+    #[test]
+    fn time_fair_work_conserving(entries in demands(8)) {
+        let alloc = allocate_time_fair(&entries).expect("valid demands");
+        let any_limited = entries.iter().zip(&alloc.throughput).any(|(e, t)| {
+            e.demand.value() > 0.0 && t.value() < e.demand.value() - 1e-9
+        });
+        if any_limited {
+            let total: f64 = alloc.shares.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "medium idle at {total} while demand unmet");
+        }
+    }
+
+    /// Satisfied extenders get exactly their demand.
+    #[test]
+    fn time_fair_exactness(entries in demands(8)) {
+        let alloc = allocate_time_fair(&entries).expect("valid demands");
+        for (e, &t) in entries.iter().zip(&alloc.throughput) {
+            // Throughput is either the full demand or the airtime cap.
+            let full = (t.value() - e.demand.value()).abs() < 1e-9;
+            let capped = t.value() <= e.demand.value() + 1e-9;
+            prop_assert!(full || capped);
+        }
+    }
+
+    /// Raising an extender's demand never lowers *its own* throughput.
+    /// (The network-wide aggregate CAN drop — demand on a low-capacity
+    /// link steals airtime from high-capacity ones, which is exactly the
+    /// misallocation WOLT exists to avoid.)
+    #[test]
+    fn more_demand_never_hurts_own_throughput(entries in demands(6), bump in 1.0f64..50.0) {
+        let base = allocate_time_fair(&entries).expect("valid");
+        for k in 0..entries.len() {
+            let mut bumped = entries.clone();
+            bumped[k].demand += Mbps::new(bump);
+            let after = allocate_time_fair(&bumped).expect("valid");
+            prop_assert!(after.throughput[k] >= base.throughput[k] - Mbps::new(1e-9),
+                "bumping extender {k} reduced its own throughput: {} -> {}",
+                base.throughput[k], after.throughput[k]);
+        }
+    }
+
+    /// Demand misallocation exists: there are instances where raising a
+    /// low-capacity extender's demand lowers the network aggregate — the
+    /// phenomenon WOLT's capacity-aware association avoids.
+    #[test]
+    fn demand_can_hurt_aggregate_elsewhere(gap in 2.0f64..8.0) {
+        let entries = [
+            ExtenderDemand { capacity: Mbps::new(20.0), demand: Mbps::new(1.0) },
+            ExtenderDemand::saturated(Mbps::new(20.0 * gap)),
+        ];
+        let base = allocate_time_fair(&entries).expect("valid").aggregate();
+        let mut bumped = entries;
+        bumped[0].demand = Mbps::new(20.0); // saturate the weak link
+        let after = allocate_time_fair(&bumped).expect("valid").aggregate();
+        prop_assert!(after < base,
+            "saturating the weak link should hurt: {base} -> {after}");
+    }
+
+    /// Weighted allocation with equal weights equals the unweighted one.
+    #[test]
+    fn weighted_equals_unweighted_for_equal_weights(entries in demands(6)) {
+        let weighted = allocate_weighted(&entries, &vec![1.0; entries.len()])
+            .expect("valid");
+        let plain = allocate_time_fair(&entries).expect("valid");
+        for j in 0..entries.len() {
+            prop_assert!((weighted.shares[j] - plain.shares[j]).abs() < 1e-9);
+        }
+    }
+
+    /// Eq. 2 sanity: equal shares sum to the mean capacity.
+    #[test]
+    fn equal_share_sums_to_mean(caps in proptest::collection::vec(10.0f64..300.0, 1..10)) {
+        let capacities: Vec<Mbps> = caps.iter().map(|&c| Mbps::new(c)).collect();
+        let shares = equal_share_throughput(&capacities).expect("usable");
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        let mean = caps.iter().sum::<f64>() / caps.len() as f64;
+        prop_assert!((total - mean).abs() < 1e-9);
+    }
+
+    /// TDMA slot grants always sum exactly to the frame and track weights
+    /// within one slot.
+    #[test]
+    fn tdma_grants_exact(weights in proptest::collection::vec(0.0f64..10.0, 1..8),
+                         frame in 1u32..500) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let schedule = TdmaSchedule::build(&weights, frame).expect("valid");
+        prop_assert_eq!(schedule.slots.iter().sum::<u32>(), frame);
+        let total: f64 = weights.iter().sum();
+        for (j, &w) in weights.iter().enumerate() {
+            let ideal = w / total * f64::from(frame);
+            prop_assert!((f64::from(schedule.slots[j]) - ideal).abs() <= 1.0 + 1e-9,
+                "slot {j} drifted more than one slot from quota");
+        }
+    }
+
+    /// The channel model is monotone and respects its cutoff.
+    #[test]
+    fn channel_monotone(a1 in 0.0f64..95.0, a2 in 0.0f64..95.0) {
+        let model = PlcChannelModel::homeplug_av2();
+        let (low, high) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        match (model.capacity(Db::new(low)), model.capacity(Db::new(high))) {
+            (Some(c_low), Some(c_high)) => prop_assert!(c_low >= c_high),
+            (None, Some(_)) => prop_assert!(false, "capacity reappeared past cutoff"),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use wolt_core::CoreError;
+use wolt_plc::PlcError;
+use wolt_wifi::WifiError;
+
+/// Errors produced by the network simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// Human-readable description of the parameter and its constraint.
+        context: &'static str,
+    },
+    /// A generated user could not be placed in range of any extender.
+    PlacementFailed {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+    /// An underlying layer failed.
+    Layer {
+        /// Description of the failing call.
+        context: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+            SimError::PlacementFailed { attempts } => {
+                write!(f, "could not place user in coverage after {attempts} attempts")
+            }
+            SimError::Layer { context } => write!(f, "layer failure: {context}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Layer {
+            context: format!("core: {e}"),
+        }
+    }
+}
+
+impl From<WifiError> for SimError {
+    fn from(e: WifiError) -> Self {
+        SimError::Layer {
+            context: format!("wifi: {e}"),
+        }
+    }
+}
+
+impl From<PlcError> for SimError {
+    fn from(e: PlcError) -> Self {
+        SimError::Layer {
+            context: format!("plc: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(SimError::PlacementFailed { attempts: 3 }
+            .to_string()
+            .contains("3 attempts"));
+        let e: SimError = CoreError::UnreachableUser { user: 0 }.into();
+        assert!(e.to_string().contains("core"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Discrete-event simulation core: a time-ordered event queue.
+//!
+//! The dynamic experiments sample their churn from a continuous-time
+//! birth–death process; this module provides the engine: events are
+//! scheduled at absolute times and popped in time order (FIFO among
+//! simultaneous events), with a monotone clock. [`crate::dynamics`] builds
+//! the Poisson arrival/departure process on top of it.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a payload with an absolute firing time.
+#[derive(Debug, Clone, PartialEq)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E: PartialEq> Eq for Scheduled<E> {}
+
+impl<E: PartialEq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: PartialEq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops
+        // first, breaking ties by insertion order (stable replay).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue with a monotone clock.
+///
+/// # Example
+///
+/// ```
+/// use wolt_sim::events::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "second");
+/// q.schedule(1.0, "first");
+/// assert_eq!(q.pop(), Some((1.0, "first")));
+/// assert_eq!(q.pop(), Some((2.0, "second")));
+/// assert_eq!(q.now(), 2.0);
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<E: PartialEq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: PartialEq> EventQueue<E> {
+    /// An empty queue with the clock at 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulation time: the firing time of the last popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is non-finite or earlier than the current clock
+    /// (events cannot fire in the past).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now,
+            "cannot schedule at {time} before the clock ({})",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` at `now() + delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or non-finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and non-negative"
+        );
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Pops the earliest event only if it fires at or before `horizon`.
+    /// The clock does not advance past `horizon` on a `None`.
+    pub fn pop_before(&mut self, horizon: f64) -> Option<(f64, E)> {
+        if self.heap.peek().is_some_and(|s| s.time <= horizon) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ());
+        q.schedule(4.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 1.0);
+        q.schedule_in(0.5, ());
+        assert_eq!(q.pop(), Some((1.5, ())));
+        q.pop();
+        assert_eq!(q.now(), 4.0);
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 'a');
+        q.schedule(5.0, 'b');
+        assert_eq!(q.pop_before(2.0), Some((1.0, 'a')));
+        assert_eq!(q.pop_before(2.0), None);
+        assert_eq!(q.now(), 1.0, "clock must not jump past the horizon");
+        assert_eq!(q.pop_before(10.0), Some((5.0, 'b')));
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, 'x');
+        assert_eq!(q.peek_time(), Some(2.5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the clock")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+}

@@ -1,0 +1,452 @@
+//! Experiment drivers: static seeded trials and the dynamic epoch loop.
+//!
+//! * [`run_static_trials`] powers the paper's Fig. 6a (100 seeded trials,
+//!   CDF of aggregate throughput) and the Jain's-fairness comparison of
+//!   §V-E.
+//! * [`DynamicSimulation`] powers Fig. 6b/6c: a Poisson-churned population
+//!   re-associated at every epoch boundary, with re-assignment counting.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use wolt_core::baselines::Rssi;
+use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
+
+use crate::dynamics::{sample_epoch, DynamicsConfig};
+use crate::perturb::{
+    apply_mobility, drift_capacities, sample_alive_extenders, CapacityDriftConfig,
+    MobilityConfig, OutageConfig,
+};
+use crate::scenario::{Scenario, ScenarioConfig};
+use crate::SimError;
+
+/// One (seed × policy) data point of a static experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Seed the scenario was generated from.
+    pub seed: u64,
+    /// Policy name.
+    pub policy: String,
+    /// Aggregate network throughput (Mbit/s).
+    pub aggregate: f64,
+    /// Jain's fairness index over per-user throughputs.
+    pub jain: Option<f64>,
+    /// Per-user throughputs (Mbit/s).
+    pub per_user: Vec<f64>,
+}
+
+/// Runs each policy on freshly generated scenarios for every seed.
+///
+/// All policies see the *same* scenario per seed, so differences are
+/// attributable to the association decisions alone.
+///
+/// # Errors
+///
+/// Propagates scenario generation, association, and evaluation failures.
+pub fn run_static_trials(
+    config: &ScenarioConfig,
+    policies: &[&dyn AssociationPolicy],
+    seeds: &[u64],
+) -> Result<Vec<TrialRecord>, SimError> {
+    let mut records = Vec::with_capacity(policies.len() * seeds.len());
+    for &seed in seeds {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let scenario = Scenario::generate(config, &mut rng)?;
+        let network = scenario.network()?;
+        for policy in policies {
+            let assoc = policy.associate(&network)?;
+            let eval = evaluate(&network, &assoc)?;
+            records.push(TrialRecord {
+                seed,
+                policy: policy.name().to_string(),
+                aggregate: eval.aggregate.value(),
+                jain: wolt_core::fairness::jain_index(&eval.per_user),
+                per_user: eval.per_user.iter().map(|t| t.value()).collect(),
+            });
+        }
+    }
+    Ok(records)
+}
+
+/// The online policies of the paper's dynamic experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnlinePolicy {
+    /// WOLT re-runs its full two-phase optimization at every epoch end,
+    /// re-assigning existing users when beneficial.
+    Wolt,
+    /// Greedy assigns each user once, on arrival, and never moves anyone.
+    GreedyOnline,
+    /// RSSI: every user sticks with its strongest-signal extender.
+    Rssi,
+}
+
+impl OnlinePolicy {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            OnlinePolicy::Wolt => "WOLT",
+            OnlinePolicy::GreedyOnline => "Greedy",
+            OnlinePolicy::Rssi => "RSSI",
+        }
+    }
+}
+
+/// One epoch of a dynamic run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch number (1-based, matching the paper's figures).
+    pub epoch: usize,
+    /// Resident users after this epoch's churn.
+    pub users: usize,
+    /// Arrivals during this epoch.
+    pub arrivals: usize,
+    /// Departures during this epoch.
+    pub departures: usize,
+    /// Aggregate throughput at epoch end (Mbit/s).
+    pub aggregate: f64,
+    /// Jain's fairness at epoch end.
+    pub jain: Option<f64>,
+    /// Users resident across the epoch boundary whose extender changed
+    /// (always 0 for the never-reassigning policies, absent perturbations).
+    pub reassignments: usize,
+    /// Extenders down this epoch (failure injection; 0 without it).
+    #[serde(default)]
+    pub down_extenders: usize,
+    /// Users who moved this epoch (mobility; 0 without it).
+    #[serde(default)]
+    pub moved_users: usize,
+}
+
+/// Dynamic epoch-driven simulation (Fig. 6b/6c), optionally perturbed by
+/// user mobility and extender outages (failure injection beyond the
+/// paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicSimulation {
+    /// Scenario (plane, extenders, radio) configuration. `users` is the
+    /// *initial* population.
+    pub scenario: ScenarioConfig,
+    /// Churn configuration.
+    pub dynamics: DynamicsConfig,
+    /// Optional per-epoch user mobility.
+    pub mobility: Option<MobilityConfig>,
+    /// Optional per-epoch extender outages.
+    pub outages: Option<OutageConfig>,
+    /// Optional per-epoch PLC capacity drift.
+    pub capacity_drift: Option<CapacityDriftConfig>,
+}
+
+impl DynamicSimulation {
+    /// Simulation with no mobility and no outages (the paper's setting).
+    pub fn new(scenario: ScenarioConfig, dynamics: DynamicsConfig) -> Self {
+        Self {
+            scenario,
+            dynamics,
+            mobility: None,
+            outages: None,
+            capacity_drift: None,
+        }
+    }
+
+    /// Enables per-epoch user mobility.
+    pub fn with_mobility(mut self, mobility: MobilityConfig) -> Self {
+        self.mobility = Some(mobility);
+        self
+    }
+
+    /// Enables per-epoch extender outages.
+    pub fn with_outages(mut self, outages: OutageConfig) -> Self {
+        self.outages = Some(outages);
+        self
+    }
+
+    /// Enables per-epoch PLC capacity drift.
+    pub fn with_capacity_drift(mut self, drift: CapacityDriftConfig) -> Self {
+        self.capacity_drift = Some(drift);
+        self
+    }
+
+    /// Runs `epochs` epochs under `policy`, returning one record per
+    /// epoch.
+    ///
+    /// Epoch 1 is the initial population already associated (as in the
+    /// paper's Fig. 6b, which starts at |U| = 36); churn applies from
+    /// epoch 2 on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario/association/evaluation failures.
+    pub fn run(
+        &self,
+        policy: OnlinePolicy,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<Vec<EpochRecord>, SimError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut scenario = Scenario::generate(&self.scenario, &mut rng)?;
+        let nominal_capacities = scenario.capacities.clone();
+
+        // Stable user identities across epochs (positions vector order
+        // changes as users depart).
+        let mut next_id: u64 = scenario.user_positions.len() as u64;
+        let mut ids: Vec<u64> = (0..next_id).collect();
+        // Current association by position index (parallel to ids).
+        let mut targets: Vec<Option<usize>> = vec![None; ids.len()];
+
+        let mut records = Vec::with_capacity(epochs);
+        for epoch in 1..=epochs {
+            let (arrivals, departures, moved_users) = if epoch == 1 {
+                (0usize, 0usize, 0usize)
+            } else {
+                let churn = sample_epoch(&self.dynamics, ids.len(), &mut rng)?;
+                for &idx in &churn.departures {
+                    scenario.remove_user(idx);
+                    ids.remove(idx);
+                    targets.remove(idx);
+                }
+                for _ in 0..churn.arrivals {
+                    let p = scenario.sample_arrival(&self.scenario, &mut rng);
+                    scenario.push_user(p);
+                    ids.push(next_id);
+                    next_id += 1;
+                    targets.push(None);
+                }
+                let moved = match &self.mobility {
+                    Some(m) => apply_mobility(&mut scenario, m, &self.scenario, &mut rng)?,
+                    None => 0,
+                };
+                (churn.arrivals, churn.departures.len(), moved)
+            };
+            if let (Some(drift), true) = (&self.capacity_drift, epoch > 1) {
+                scenario.capacities =
+                    drift_capacities(&nominal_capacities, drift, &mut rng)?;
+            }
+            let all_extenders = scenario.extender_positions.len();
+            let alive: Vec<usize> = match (&self.outages, epoch) {
+                (Some(cfg), e) if e > 1 => sample_alive_extenders(&scenario, cfg, &mut rng)?,
+                _ => (0..all_extenders).collect(),
+            };
+            let down_extenders = all_extenders - alive.len();
+
+            // A heavily-departing network can empty out entirely; record a
+            // zero epoch rather than failing.
+            if ids.is_empty() {
+                records.push(EpochRecord {
+                    epoch,
+                    users: 0,
+                    arrivals,
+                    departures,
+                    aggregate: 0.0,
+                    jain: None,
+                    reassignments: 0,
+                    down_extenders,
+                    moved_users,
+                });
+                continue;
+            }
+
+            let network = scenario.network_for_extenders(&alive)?;
+            let previous: Vec<(u64, Option<usize>)> =
+                ids.iter().copied().zip(targets.iter().copied()).collect();
+
+            // Translate current targets (original extender indices) into
+            // the alive-extender view; users on a dead extender become
+            // unassigned and must be re-placed.
+            let view_of: std::collections::HashMap<usize, usize> = alive
+                .iter()
+                .enumerate()
+                .map(|(view, &orig)| (orig, view))
+                .collect();
+            let view_targets: Vec<Option<usize>> = targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    t.and_then(|orig| view_of.get(&orig).copied())
+                        // Mobility can carry a user out of range of its
+                        // old extender; it must then be re-placed.
+                        .filter(|&view| network.reachable(i, view))
+                })
+                .collect();
+
+            let assoc = self.associate_epoch(policy, &network, &view_targets)?;
+            targets = assoc.iter().map(|t| t.map(|view| alive[view])).collect();
+
+            // Re-assignments: users resident before and after the epoch
+            // whose extender changed (new arrivals had no prior target).
+            let reassignments = previous
+                .iter()
+                .zip(&targets)
+                .filter(|((_, old), new)| old.is_some() && new.is_some() && old != *new)
+                .count();
+
+            let eval = evaluate(&network, &assoc).map_err(SimError::from)?;
+            records.push(EpochRecord {
+                epoch,
+                users: ids.len(),
+                arrivals,
+                departures,
+                aggregate: eval.aggregate.value(),
+                jain: wolt_core::fairness::jain_index(&eval.per_user),
+                reassignments,
+                down_extenders,
+                moved_users,
+            });
+        }
+        Ok(records)
+    }
+
+    /// Epoch-boundary association under the chosen online policy.
+    fn associate_epoch(
+        &self,
+        policy: OnlinePolicy,
+        network: &Network,
+        current: &[Option<usize>],
+    ) -> Result<Association, SimError> {
+        match policy {
+            // WOLT and RSSI recompute from scratch (RSSI's result is
+            // per-user stable, so recomputing never moves anyone).
+            OnlinePolicy::Wolt => Ok(Wolt::new().associate(network)?),
+            OnlinePolicy::Rssi => Ok(Rssi.associate(network)?),
+            OnlinePolicy::GreedyOnline => {
+                // Existing users keep their extender; new arrivals are
+                // placed one at a time by greedy aggregate maximization.
+                let mut assoc = Association::from_targets(current.to_vec());
+                let arrivals: Vec<usize> = assoc.unassigned_users();
+                if arrivals.is_empty() {
+                    return Ok(assoc);
+                }
+                // Reuse the offline Greedy on the subproblem: order =
+                // existing users first (already fixed), arrivals last.
+                for i in arrivals {
+                    let mut best: Option<(usize, f64)> = None;
+                    for j in network.reachable_extenders(i) {
+                        let mut candidate = assoc.clone();
+                        candidate.assign(i, j);
+                        let value = evaluate(network, &candidate)
+                            .map(|e| e.aggregate.value())
+                            .unwrap_or(f64::NEG_INFINITY);
+                        if best.is_none_or(|(_, v)| value > v) {
+                            best = Some((j, value));
+                        }
+                    }
+                    let (j, _) =
+                        best.ok_or(SimError::Layer {
+                            context: format!("greedy: user {i} has no feasible extender"),
+                        })?;
+                    assoc.assign(i, j);
+                }
+                Ok(assoc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use wolt_core::baselines::Greedy;
+
+    fn small_dynamic() -> DynamicSimulation {
+        DynamicSimulation::new(
+            ScenarioConfig::enterprise(12),
+            DynamicsConfig {
+                arrival_rate: 3.0,
+                departure_rate: 1.0,
+                epoch_length: 3.0,
+            },
+        )
+    }
+
+    #[test]
+    fn static_trials_produce_one_record_per_seed_policy() {
+        let cfg = ScenarioConfig::enterprise(10);
+        let greedy = Greedy::new();
+        let policies: Vec<&dyn AssociationPolicy> = vec![&Rssi, &greedy];
+        let records = run_static_trials(&cfg, &policies, &[1, 2, 3]).unwrap();
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| r.aggregate > 0.0));
+        assert!(records.iter().all(|r| r.per_user.len() == 10));
+    }
+
+    #[test]
+    fn static_trials_same_seed_same_scenario() {
+        let cfg = ScenarioConfig::enterprise(8);
+        let policies: Vec<&dyn AssociationPolicy> = vec![&Rssi];
+        let a = run_static_trials(&cfg, &policies, &[42]).unwrap();
+        let b = run_static_trials(&cfg, &policies, &[42]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wolt_beats_rssi_on_average() {
+        let cfg = ScenarioConfig::enterprise(20);
+        let wolt = Wolt::new();
+        let policies: Vec<&dyn AssociationPolicy> = vec![&wolt, &Rssi];
+        let seeds: Vec<u64> = (0..8).collect();
+        let records = run_static_trials(&cfg, &policies, &seeds).unwrap();
+        let mean = |name: &str| {
+            let vals: Vec<f64> = records
+                .iter()
+                .filter(|r| r.policy == name)
+                .map(|r| r.aggregate)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(
+            mean("WOLT") > mean("RSSI"),
+            "WOLT {} vs RSSI {}",
+            mean("WOLT"),
+            mean("RSSI")
+        );
+    }
+
+    #[test]
+    fn dynamic_run_produces_epoch_records() {
+        let sim = small_dynamic();
+        let records = sim.run(OnlinePolicy::Wolt, 3, 5).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].epoch, 1);
+        assert_eq!(records[0].arrivals, 0);
+        assert_eq!(records[0].reassignments, 0);
+        assert!(records.iter().all(|r| r.aggregate > 0.0));
+    }
+
+    #[test]
+    fn dynamic_population_grows_with_positive_drift() {
+        let sim = small_dynamic();
+        let records = sim.run(OnlinePolicy::Rssi, 4, 11).unwrap();
+        assert!(
+            records.last().unwrap().users > records[0].users,
+            "population did not grow: {records:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_online_never_reassigns() {
+        let sim = small_dynamic();
+        let records = sim.run(OnlinePolicy::GreedyOnline, 4, 9).unwrap();
+        assert!(records.iter().all(|r| r.reassignments == 0));
+    }
+
+    #[test]
+    fn rssi_never_reassigns() {
+        let sim = small_dynamic();
+        let records = sim.run(OnlinePolicy::Rssi, 4, 9).unwrap();
+        assert!(records.iter().all(|r| r.reassignments == 0));
+    }
+
+    #[test]
+    fn dynamic_deterministic_per_seed() {
+        let sim = small_dynamic();
+        let a = sim.run(OnlinePolicy::GreedyOnline, 3, 21).unwrap();
+        let b = sim.run(OnlinePolicy::GreedyOnline, 3, 21).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn policy_names_match_paper() {
+        assert_eq!(OnlinePolicy::Wolt.name(), "WOLT");
+        assert_eq!(OnlinePolicy::GreedyOnline.name(), "Greedy");
+        assert_eq!(OnlinePolicy::Rssi.name(), "RSSI");
+    }
+}

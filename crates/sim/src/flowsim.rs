@@ -1,0 +1,440 @@
+//! Flow-level queueing simulator: the physical two-hop pipeline.
+//!
+//! The analytic [`wolt_core::evaluate`] computes steady-state throughputs
+//! directly from the sharing laws. This module *earns* those numbers: it
+//! simulates the actual downlink pipeline over time —
+//!
+//! ```text
+//! CC ──(PLC, time-fair airtime)──► extender queue ──(WiFi, throughput-fair)──► user
+//! ```
+//!
+//! — with finite per-user queues at each extender, time-stepped service on
+//! both hops, and saturated sources (the paper's iperf traffic). Back-
+//! pressure emerges naturally: when a cell's WiFi side cannot drain what
+//! the PLC side delivers, the extender's queues fill, the PLC stops
+//! pushing (its demand is the queues' free space), and the freed airtime
+//! flows to other extenders — exactly the redistribution the paper
+//! measured in Fig. 3c. The long-run per-user throughputs converge to the
+//! analytic model, which is the fidelity check `fig4c`-style arguments
+//! rest on.
+
+use serde::{Deserialize, Serialize};
+use wolt_core::{Association, Network};
+use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+use wolt_units::{Mbps, Seconds};
+
+use crate::SimError;
+
+/// Flow-simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSimConfig {
+    /// Tick length (seconds of simulated time).
+    pub tick: Seconds,
+    /// Total simulated duration, including warmup.
+    pub duration: Seconds,
+    /// Initial fraction of the duration discarded as warmup.
+    pub warmup_fraction: f64,
+    /// Per-user queue capacity at the extender, in bits.
+    pub queue_bits: f64,
+}
+
+impl Default for FlowSimConfig {
+    fn default() -> Self {
+        Self {
+            tick: Seconds::new(0.005),
+            duration: Seconds::new(8.0),
+            warmup_fraction: 0.25,
+            queue_bits: 4.0 * 1500.0 * 8.0 * 20.0, // ~80 full-size frames
+        }
+    }
+}
+
+impl FlowSimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive durations, a
+    /// warmup fraction outside `[0, 1)`, or a non-positive queue size.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.tick.value() > 0.0 && self.tick.value().is_finite()) {
+            return Err(SimError::InvalidConfig {
+                context: "tick must be finite and positive",
+            });
+        }
+        if self.duration.value().partial_cmp(&self.tick.value())
+            != Some(std::cmp::Ordering::Greater)
+        {
+            return Err(SimError::InvalidConfig {
+                context: "duration must exceed one tick",
+            });
+        }
+        if !(self.warmup_fraction.is_finite() && (0.0..1.0).contains(&self.warmup_fraction)) {
+            return Err(SimError::InvalidConfig {
+                context: "warmup fraction must be in [0, 1)",
+            });
+        }
+        if !(self.queue_bits.is_finite() && self.queue_bits > 0.0) {
+            return Err(SimError::InvalidConfig {
+                context: "queue size must be finite and positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Measured outcome of a flow simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSimOutcome {
+    /// Long-run per-user goodput (bits delivered to the user / measured
+    /// time), zero for unassigned users.
+    pub per_user: Vec<Mbps>,
+    /// Sum of per-user goodputs.
+    pub aggregate: Mbps,
+    /// Peak queue occupancy observed per user, as a fraction of capacity.
+    pub peak_queue_fill: Vec<f64>,
+    /// Number of ticks simulated after warmup.
+    pub measured_ticks: usize,
+}
+
+/// Runs the two-hop queueing simulation for a (possibly partial)
+/// association.
+///
+/// # Errors
+///
+/// Propagates association-validation failures and config errors.
+pub fn simulate_flows(
+    net: &Network,
+    assoc: &Association,
+    config: &FlowSimConfig,
+) -> Result<FlowSimOutcome, SimError> {
+    config.validate()?;
+    net.validate_association(assoc).map_err(SimError::from)?;
+
+    let n_users = net.users();
+    let n_ext = net.extenders();
+    let dt = config.tick.value();
+
+    // Members and rates per extender.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_ext];
+    for (i, t) in assoc.iter().enumerate() {
+        if let Some(j) = t {
+            members[j].push(i);
+        }
+    }
+    let rate = |i: usize, j: usize| net.rate(i, j).expect("validated").value();
+
+    // Per-user queue at the serving extender, in bits.
+    let mut queue = vec![0.0f64; n_users];
+    let mut delivered = vec![0.0f64; n_users];
+    let mut peak_fill = vec![0.0f64; n_users];
+
+    let total_ticks = (config.duration.value() / dt).floor() as usize;
+    let warmup_ticks = (total_ticks as f64 * config.warmup_fraction).floor() as usize;
+    let mut measured_ticks = 0usize;
+
+    for tick_idx in 0..total_ticks {
+        // ---- PLC hop: push bits from the CC toward the extenders.
+        // Each extender's instantaneous demand is the rate at which its
+        // queues can absorb data this tick.
+        let entries: Vec<ExtenderDemand> = (0..n_ext)
+            .map(|j| {
+                let free_bits: f64 = members[j]
+                    .iter()
+                    .map(|&i| config.queue_bits - queue[i])
+                    .sum();
+                ExtenderDemand {
+                    capacity: net.capacity(j),
+                    // Mbit/s of absorption this tick.
+                    demand: Mbps::new((free_bits / dt / 1e6).max(0.0)),
+                }
+            })
+            .collect();
+        let alloc = allocate_time_fair(&entries).map_err(SimError::from)?;
+        #[allow(clippy::needless_range_loop)] // members/entries/alloc are parallel per-extender arrays
+        for j in 0..n_ext {
+            let inflow_bits = alloc.throughput[j].value() * 1e6 * dt;
+            if inflow_bits <= 0.0 || members[j].is_empty() {
+                continue;
+            }
+            // Split the inflow across the extender's users in proportion
+            // to their free queue space (the CC serves flows fairly and
+            // back-pressure throttles the full ones).
+            let free: Vec<f64> = members[j]
+                .iter()
+                .map(|&i| (config.queue_bits - queue[i]).max(0.0))
+                .collect();
+            let free_total: f64 = free.iter().sum();
+            if free_total <= 0.0 {
+                continue;
+            }
+            for (slot, &i) in members[j].iter().enumerate() {
+                let share = inflow_bits * free[slot] / free_total;
+                queue[i] = (queue[i] + share).min(config.queue_bits);
+            }
+        }
+
+        // ---- WiFi hop: each cell drains its queues throughput-fairly.
+        #[allow(clippy::needless_range_loop)] // members/entries/alloc are parallel per-extender arrays
+        for j in 0..n_ext {
+            if members[j].is_empty() {
+                continue;
+            }
+            let drained = fair_cell_drain(
+                &members[j]
+                    .iter()
+                    .map(|&i| (queue[i], rate(i, j)))
+                    .collect::<Vec<_>>(),
+                dt,
+            );
+            for (slot, &i) in members[j].iter().enumerate() {
+                queue[i] -= drained[slot];
+                if tick_idx >= warmup_ticks {
+                    delivered[i] += drained[slot];
+                }
+            }
+        }
+
+        if tick_idx >= warmup_ticks {
+            measured_ticks += 1;
+        }
+        for i in 0..n_users {
+            peak_fill[i] = peak_fill[i].max(queue[i] / config.queue_bits);
+        }
+    }
+
+    let measured_s = measured_ticks as f64 * dt;
+    let per_user: Vec<Mbps> = delivered
+        .iter()
+        .map(|&bits| Mbps::new(if measured_s > 0.0 { bits / 1e6 / measured_s } else { 0.0 }))
+        .collect();
+    let aggregate = per_user.iter().copied().sum();
+
+    Ok(FlowSimOutcome {
+        per_user,
+        aggregate,
+        peak_queue_fill: peak_fill,
+        measured_ticks,
+    })
+}
+
+/// Throughput-fair drain of one WiFi cell for one tick.
+///
+/// `queues[k] = (backlog_bits, rate_mbps)` for each member. All backlogged
+/// members receive the same drained volume unless their queue runs dry, in
+/// which case the freed airtime raises the equal share of the rest
+/// (water-filling over the cell's airtime budget of one tick).
+fn fair_cell_drain(queues: &[(f64, f64)], dt: f64) -> Vec<f64> {
+    let n = queues.len();
+    let mut drained = vec![0.0f64; n];
+    let mut airtime = dt; // seconds of cell airtime left this tick
+    let mut active: Vec<usize> = (0..n).filter(|&k| queues[k].0 > 0.0).collect();
+
+    while !active.is_empty() && airtime > 1e-15 {
+        // Equal-throughput rate achievable with the remaining airtime:
+        // each active user gets x bits where Σ x / r_k = airtime.
+        let inv_sum: f64 = active.iter().map(|&k| 1.0 / (queues[k].1 * 1e6)).sum();
+        let x = airtime / inv_sum; // bits per active user
+        // Users whose remaining backlog is below x finish early.
+        let finishing: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&k| queues[k].0 - drained[k] <= x)
+            .collect();
+        if finishing.is_empty() {
+            for &k in &active {
+                drained[k] += x;
+            }
+            break;
+        }
+        // Serve the finishing users to empty, charge their airtime, and
+        // re-run with the survivors.
+        for &k in &finishing {
+            let remaining = queues[k].0 - drained[k];
+            drained[k] = queues[k].0;
+            airtime -= remaining / (queues[k].1 * 1e6);
+        }
+        active.retain(|k| !finishing.contains(k));
+    }
+    drained
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolt_core::evaluate;
+
+    fn fig3_network() -> Network {
+        Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]]).unwrap()
+    }
+
+    fn run(net: &Network, assoc: &Association) -> FlowSimOutcome {
+        simulate_flows(net, assoc, &FlowSimConfig::default()).unwrap()
+    }
+
+    fn assert_matches_analytic(net: &Network, assoc: &Association, tol: f64) {
+        let analytic = evaluate(net, assoc).unwrap();
+        let flows = run(net, assoc);
+        for i in 0..net.users() {
+            let a = analytic.per_user[i].value();
+            let f = flows.per_user[i].value();
+            let err = (a - f).abs() / a.max(1e-9);
+            assert!(
+                err < tol || (a < 1e-9 && f < 1e-9),
+                "user {i}: analytic {a} vs flow {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_optimal_association_converges_to_40() {
+        let net = fig3_network();
+        let assoc = Association::complete(vec![1, 0]);
+        let flows = run(&net, &assoc);
+        assert!(
+            (flows.aggregate.value() - 40.0).abs() < 1.5,
+            "aggregate {}",
+            flows.aggregate
+        );
+        assert_matches_analytic(&net, &assoc, 0.05);
+    }
+
+    #[test]
+    fn fig3_greedy_association_reproduces_redistribution() {
+        // The queue back-pressure must reproduce the 15 + 15 split that
+        // the paper measured on hardware (Fig. 3c).
+        let net = fig3_network();
+        let assoc = Association::complete(vec![0, 1]);
+        let flows = run(&net, &assoc);
+        assert!(
+            (flows.per_user[0].value() - 15.0).abs() < 1.0,
+            "user 1: {}",
+            flows.per_user[0]
+        );
+        assert!(
+            (flows.per_user[1].value() - 15.0).abs() < 1.0,
+            "user 2: {}",
+            flows.per_user[1]
+        );
+    }
+
+    #[test]
+    fn fig3_rssi_association_reproduces_wifi_fair_split() {
+        let net = fig3_network();
+        let assoc = Association::complete(vec![0, 0]);
+        assert_matches_analytic(&net, &assoc, 0.05);
+    }
+
+    #[test]
+    fn matches_analytic_on_a_larger_network() {
+        let net = Network::from_raw(
+            vec![100.0, 50.0, 70.0],
+            vec![
+                vec![20.0, 5.0, 8.0],
+                vec![30.0, 12.0, 9.0],
+                vec![6.0, 25.0, 14.0],
+                vec![11.0, 7.0, 40.0],
+                vec![18.0, 9.0, 22.0],
+            ],
+        )
+        .unwrap();
+        let assoc = Association::complete(vec![0, 0, 1, 2, 2]);
+        assert_matches_analytic(&net, &assoc, 0.06);
+    }
+
+    #[test]
+    fn unassigned_users_receive_nothing() {
+        let net = fig3_network();
+        let assoc = Association::from_targets(vec![Some(0), None]);
+        let flows = run(&net, &assoc);
+        assert_eq!(flows.per_user[1], Mbps::ZERO);
+        assert!(flows.per_user[0].value() > 10.0);
+    }
+
+    #[test]
+    fn queues_fill_when_plc_outruns_wifi() {
+        // Extender with a fat PLC link but a slow WiFi user: the queue
+        // must hit (near) capacity and stay bounded.
+        let net = Network::from_raw(vec![200.0], vec![vec![5.0]]).unwrap();
+        let assoc = Association::complete(vec![0]);
+        let flows = run(&net, &assoc);
+        assert!(flows.peak_queue_fill[0] > 0.9, "queue never filled");
+        // Goodput equals the WiFi bottleneck.
+        assert!((flows.per_user[0].value() - 5.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn queues_stay_small_when_wifi_outruns_plc() {
+        let net = Network::from_raw(vec![10.0], vec![vec![50.0]]).unwrap();
+        let assoc = Association::complete(vec![0]);
+        let flows = run(&net, &assoc);
+        assert!(
+            flows.peak_queue_fill[0] < 0.5,
+            "queue built up despite a fast WiFi side: {}",
+            flows.peak_queue_fill[0]
+        );
+        assert!((flows.per_user[0].value() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let net = fig3_network();
+        let assoc = Association::complete(vec![1, 0]);
+        let flows = run(&net, &assoc);
+        let sum: f64 = flows.per_user.iter().map(|t| t.value()).sum();
+        assert!((sum - flows.aggregate.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_tick = FlowSimConfig {
+            tick: Seconds::ZERO,
+            ..FlowSimConfig::default()
+        };
+        assert!(bad_tick.validate().is_err());
+        let bad_warmup = FlowSimConfig {
+            warmup_fraction: 1.0,
+            ..FlowSimConfig::default()
+        };
+        assert!(bad_warmup.validate().is_err());
+        let bad_queue = FlowSimConfig {
+            queue_bits: 0.0,
+            ..FlowSimConfig::default()
+        };
+        assert!(bad_queue.validate().is_err());
+        let bad_duration = FlowSimConfig {
+            duration: Seconds::new(0.001),
+            ..FlowSimConfig::default()
+        };
+        assert!(bad_duration.validate().is_err());
+    }
+
+    #[test]
+    fn fair_cell_drain_equalizes_backlogged_users() {
+        // Two deep queues with different rates drain the same volume.
+        let drained = fair_cell_drain(&[(1e9, 10.0), (1e9, 40.0)], 0.01);
+        assert!((drained[0] - drained[1]).abs() < 1e-6);
+        // Airtime check: Σ drained/r == dt.
+        let airtime = drained[0] / 10e6 + drained[1] / 40e6;
+        assert!((airtime - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_cell_drain_redistributes_after_a_queue_empties() {
+        // A tiny queue finishes early; the deep one uses the leftover
+        // airtime at its own rate.
+        let dt = 0.01;
+        let tiny = 100.0; // bits
+        let drained = fair_cell_drain(&[(tiny, 10.0), (1e9, 40.0)], dt);
+        assert_eq!(drained[0], tiny);
+        let airtime_left = dt - tiny / 10e6;
+        assert!((drained[1] - airtime_left * 40e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fair_cell_drain_handles_empty_and_zero_cases() {
+        assert!(fair_cell_drain(&[], 0.01).is_empty());
+        let drained = fair_cell_drain(&[(0.0, 10.0)], 0.01);
+        assert_eq!(drained, vec![0.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Summary statistics and CDFs for experiment records.
+
+use serde::{Deserialize, Serialize};
+
+/// Basic summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+}
+
+/// Summarizes a sample. Returns `None` for an empty slice or one
+/// containing non-finite values.
+///
+/// # Example
+///
+/// ```
+/// use wolt_sim::metrics::summarize;
+///
+/// let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+pub fn summarize(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() || samples.iter().any(|s| !s.is_finite()) {
+        return None;
+    }
+    let count = samples.len();
+    let mean = samples.iter().sum::<f64>() / count as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    Some(Summary {
+        count,
+        mean,
+        std_dev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[count - 1],
+        median: percentile_sorted(&sorted, 0.5),
+    })
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, linear interpolation.
+/// Returns `None` for empty/non-finite input or `q` outside `[0, 1]`.
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|s| !s.is_finite()) || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    Some(percentile_sorted(&sorted, q))
+}
+
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Empirical CDF: sorted `(value, cumulative_probability)` points, one per
+/// sample. Returns an empty vector for empty input.
+///
+/// # Example
+///
+/// ```
+/// use wolt_sim::metrics::empirical_cdf;
+///
+/// let cdf = empirical_cdf(&[3.0, 1.0, 2.0]);
+/// assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+/// assert_eq!(cdf[2], (3.0, 1.0));
+/// ```
+pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = summarize(&[42.0]).unwrap();
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(summarize(&[]).is_none());
+        assert!(summarize(&[1.0, f64::NAN]).is_none());
+        assert!(summarize(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), Some(10.0));
+        assert_eq!(percentile(&data, 1.0), Some(40.0));
+        assert_eq!(percentile(&data, 0.5), Some(25.0));
+        assert!((percentile(&data, 0.25).unwrap() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_q() {
+        assert!(percentile(&[1.0], -0.1).is_none());
+        assert!(percentile(&[1.0], 1.1).is_none());
+        assert!(percentile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[5.0, 1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cdf_of_empty_is_empty() {
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+}

@@ -1,0 +1,375 @@
+//! Environment perturbations: user mobility and extender outages.
+//!
+//! The paper's dynamic experiments only churn the *user population*; two
+//! perturbations its future-work discussion implies are modelled here:
+//!
+//! * **Mobility** — laptops move between epochs (the paper physically
+//!   "moved the laptops around to create 25 different topologies"; here
+//!   they drift continuously), changing every `r_ij` and forcing
+//!   re-association to stay optimal.
+//! * **Outages** — PLC extenders are plug-and-play and get unplugged. An
+//!   outage removes the extender from the network for the epoch; users
+//!   must be re-associated around it. Outage sets that would strand a
+//!   user (no surviving extender in range) are rejected, mirroring an
+//!   installer keeping minimum coverage.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wolt_units::Point;
+
+use crate::scenario::{Scenario, ScenarioConfig};
+use crate::SimError;
+
+/// Random-step user mobility between epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Maximum displacement per epoch along each axis, in metres.
+    pub max_step: f64,
+}
+
+impl MobilityConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a negative or non-finite
+    /// step.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.max_step.is_finite() && self.max_step >= 0.0) {
+            return Err(SimError::InvalidConfig {
+                context: "mobility step must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Moves every user by an independent uniform step in
+/// `[-max_step, max_step]²`, clamped to the plane. A move that would
+/// leave the user outside all coverage is cancelled (the user stays put —
+/// people do not walk out of WiFi range and stay there).
+///
+/// # Errors
+///
+/// Propagates [`MobilityConfig::validate`].
+pub fn apply_mobility<R: Rng + ?Sized>(
+    scenario: &mut Scenario,
+    mobility: &MobilityConfig,
+    config: &ScenarioConfig,
+    rng: &mut R,
+) -> Result<usize, SimError> {
+    mobility.validate()?;
+    if mobility.max_step == 0.0 {
+        return Ok(0);
+    }
+    let mut moved = 0;
+    for i in 0..scenario.user_positions.len() {
+        let old = scenario.user_positions[i];
+        let candidate = Point::new(
+            (old.x + rng.gen_range(-mobility.max_step..=mobility.max_step))
+                .clamp(0.0, config.width),
+            (old.y + rng.gen_range(-mobility.max_step..=mobility.max_step))
+                .clamp(0.0, config.height),
+        );
+        scenario.user_positions[i] = candidate;
+        let covered = (0..scenario.extender_positions.len())
+            .any(|j| scenario.rate(i, j).is_some());
+        if covered {
+            moved += 1;
+        } else {
+            scenario.user_positions[i] = old;
+        }
+    }
+    Ok(moved)
+}
+
+/// Per-epoch PLC capacity drift.
+///
+/// PLC link quality fluctuates with appliance noise (the cyclo-stationary
+/// interference the paper's §II cites); between epochs each extender's
+/// effective capacity wanders multiplicatively around its nominal value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityDriftConfig {
+    /// Relative standard deviation of the per-epoch multiplicative factor.
+    pub sigma: f64,
+}
+
+impl CapacityDriftConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a negative or non-finite σ.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.sigma.is_finite() && self.sigma >= 0.0) {
+            return Err(SimError::InvalidConfig {
+                context: "capacity drift sigma must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Returns this epoch's effective capacities: each nominal capacity scaled
+/// by an independent factor `max(0.05, 1 + σ·z)` with `z` standard normal
+/// clamped to ±3σ (same shape as the channel model's measurement noise).
+///
+/// # Errors
+///
+/// Propagates [`CapacityDriftConfig::validate`].
+pub fn drift_capacities<R: Rng + ?Sized>(
+    nominal: &[wolt_units::Mbps],
+    drift: &CapacityDriftConfig,
+    rng: &mut R,
+) -> Result<Vec<wolt_units::Mbps>, SimError> {
+    drift.validate()?;
+    if drift.sigma == 0.0 {
+        return Ok(nominal.to_vec());
+    }
+    Ok(nominal
+        .iter()
+        .map(|&c| {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            c * (1.0 + drift.sigma * z.clamp(-3.0, 3.0)).max(0.05)
+        })
+        .collect())
+}
+
+/// Random extender outages per epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageConfig {
+    /// Probability that any given extender is down for an epoch.
+    pub probability: f64,
+    /// Hard cap on simultaneous outages.
+    pub max_concurrent: usize,
+}
+
+impl OutageConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a probability outside
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.probability.is_finite() && (0.0..=1.0).contains(&self.probability)) {
+            return Err(SimError::InvalidConfig {
+                context: "outage probability must be in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Samples the set of extenders that stay *alive* this epoch. Candidate
+/// outages that would strand any user are re-admitted (coverage is
+/// preserved), and at most `max_concurrent` extenders go down.
+///
+/// The returned list is sorted and always non-empty.
+///
+/// # Errors
+///
+/// Propagates [`OutageConfig::validate`].
+pub fn sample_alive_extenders<R: Rng + ?Sized>(
+    scenario: &Scenario,
+    outages: &OutageConfig,
+    rng: &mut R,
+) -> Result<Vec<usize>, SimError> {
+    outages.validate()?;
+    let n = scenario.extender_positions.len();
+    let mut down: Vec<usize> = (0..n)
+        .filter(|_| rng.gen_range(0.0..1.0) < outages.probability)
+        .collect();
+    down.truncate(outages.max_concurrent);
+
+    // Re-admit outages that would break coverage (or empty the network),
+    // most recently drawn first.
+    loop {
+        let alive: Vec<usize> = (0..n).filter(|j| !down.contains(j)).collect();
+        if !alive.is_empty() && scenario.covers_all_users(&alive) {
+            return Ok(alive);
+        }
+        down.pop().expect("restoring all extenders always restores coverage");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn scenario(seed: u64) -> (Scenario, ScenarioConfig) {
+        let config = ScenarioConfig::enterprise(20);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (
+            Scenario::generate(&config, &mut rng).expect("generates"),
+            config,
+        )
+    }
+
+    #[test]
+    fn mobility_moves_users_within_plane() {
+        let (mut s, config) = scenario(1);
+        let before = s.user_positions.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let moved =
+            apply_mobility(&mut s, &MobilityConfig { max_step: 5.0 }, &config, &mut rng).unwrap();
+        assert!(moved > 0);
+        assert_ne!(before, s.user_positions);
+        for p in &s.user_positions {
+            assert!((0.0..=config.width).contains(&p.x));
+            assert!((0.0..=config.height).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn mobility_preserves_coverage() {
+        let (mut s, config) = scenario(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..10 {
+            apply_mobility(&mut s, &MobilityConfig { max_step: 30.0 }, &config, &mut rng)
+                .unwrap();
+            let alive: Vec<usize> = (0..s.extender_positions.len()).collect();
+            assert!(s.covers_all_users(&alive));
+        }
+    }
+
+    #[test]
+    fn zero_step_is_identity() {
+        let (mut s, config) = scenario(5);
+        let before = s.user_positions.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let moved =
+            apply_mobility(&mut s, &MobilityConfig { max_step: 0.0 }, &config, &mut rng).unwrap();
+        assert_eq!(moved, 0);
+        assert_eq!(before, s.user_positions);
+    }
+
+    #[test]
+    fn mobility_validates() {
+        let (mut s, config) = scenario(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        assert!(apply_mobility(
+            &mut s,
+            &MobilityConfig { max_step: -1.0 },
+            &config,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn capacity_drift_centres_on_nominal() {
+        use wolt_units::Mbps;
+        let nominal = vec![Mbps::new(100.0); 4];
+        let drift = CapacityDriftConfig { sigma: 0.1 };
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let n = 4000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let drifted = drift_capacities(&nominal, &drift, &mut rng).unwrap();
+            total += drifted.iter().map(|c| c.value()).sum::<f64>() / 4.0;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "drift mean {mean}");
+    }
+
+    #[test]
+    fn capacity_drift_zero_sigma_identity() {
+        use wolt_units::Mbps;
+        let nominal = vec![Mbps::new(60.0), Mbps::new(160.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let drifted =
+            drift_capacities(&nominal, &CapacityDriftConfig { sigma: 0.0 }, &mut rng).unwrap();
+        assert_eq!(drifted, nominal);
+    }
+
+    #[test]
+    fn capacity_drift_stays_usable_and_validates() {
+        use wolt_units::Mbps;
+        let nominal = vec![Mbps::new(10.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let drifted =
+                drift_capacities(&nominal, &CapacityDriftConfig { sigma: 0.8 }, &mut rng)
+                    .unwrap();
+            assert!(drifted[0].is_usable());
+        }
+        assert!(drift_capacities(
+            &nominal,
+            &CapacityDriftConfig { sigma: -0.1 },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn outages_preserve_coverage() {
+        let (s, _) = scenario(9);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        for _ in 0..20 {
+            let alive = sample_alive_extenders(
+                &s,
+                &OutageConfig {
+                    probability: 0.4,
+                    max_concurrent: 5,
+                },
+                &mut rng,
+            )
+            .unwrap();
+            assert!(!alive.is_empty());
+            assert!(s.covers_all_users(&alive));
+            assert!(alive.len() >= s.extender_positions.len() - 5);
+        }
+    }
+
+    #[test]
+    fn zero_probability_keeps_everyone_alive() {
+        let (s, _) = scenario(11);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let alive = sample_alive_extenders(
+            &s,
+            &OutageConfig {
+                probability: 0.0,
+                max_concurrent: 3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(alive.len(), s.extender_positions.len());
+    }
+
+    #[test]
+    fn outage_probability_validated() {
+        let (s, _) = scenario(13);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        assert!(sample_alive_extenders(
+            &s,
+            &OutageConfig {
+                probability: 1.5,
+                max_concurrent: 1
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn network_for_extenders_maps_columns() {
+        let (s, _) = scenario(15);
+        let alive = vec![2usize, 5, 9];
+        if s.covers_all_users(&alive) {
+            let net = s.network_for_extenders(&alive).unwrap();
+            assert_eq!(net.extenders(), 3);
+            for (k, &j) in alive.iter().enumerate() {
+                assert_eq!(net.capacity(k), s.capacities[j]);
+            }
+        }
+        // Invalid inputs rejected.
+        assert!(s.network_for_extenders(&[]).is_err());
+        assert!(s.network_for_extenders(&[99]).is_err());
+    }
+}

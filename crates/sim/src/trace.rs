@@ -1,0 +1,187 @@
+//! Experiment trace recording and export.
+//!
+//! The figure binaries print CSV to stdout; for programmatic consumers
+//! (plotting scripts, regression dashboards) [`ExperimentTrace`]
+//! accumulates the same records with full metadata and serializes them to
+//! JSON or CSV in one shot.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{EpochRecord, TrialRecord};
+
+/// A named, reproducible experiment run: configuration fingerprint plus
+/// every record it produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExperimentTrace {
+    /// Experiment identifier (e.g. "fig6a").
+    pub name: String,
+    /// Free-form description of the setup (knobs, seeds, calibration).
+    pub setup: String,
+    /// Static (seed × policy) records.
+    pub trials: Vec<TrialRecord>,
+    /// Dynamic per-epoch records, tagged by policy.
+    pub epochs: Vec<(String, EpochRecord)>,
+}
+
+impl ExperimentTrace {
+    /// New empty trace.
+    pub fn new(name: impl Into<String>, setup: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            setup: setup.into(),
+            trials: Vec::new(),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// Appends static trial records.
+    pub fn record_trials(&mut self, records: impl IntoIterator<Item = TrialRecord>) {
+        self.trials.extend(records);
+    }
+
+    /// Appends one dynamic run's epoch records under a policy label.
+    pub fn record_epochs(
+        &mut self,
+        policy: impl Into<String>,
+        records: impl IntoIterator<Item = EpochRecord>,
+    ) {
+        let policy = policy.into();
+        self.epochs
+            .extend(records.into_iter().map(|r| (policy.clone(), r)));
+    }
+
+    /// Serializes the whole trace as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Parses a trace back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Renders the static trials as CSV (`seed,policy,aggregate,jain`).
+    pub fn trials_csv(&self) -> String {
+        let mut out = String::from("seed,policy,aggregate_mbps,jain\n");
+        for t in &self.trials {
+            out.push_str(&format!(
+                "{},{},{:.4},{}\n",
+                t.seed,
+                t.policy,
+                t.aggregate,
+                t.jain.map_or_else(|| "".into(), |j| format!("{j:.4}")),
+            ));
+        }
+        out
+    }
+
+    /// Renders the dynamic records as CSV.
+    pub fn epochs_csv(&self) -> String {
+        let mut out =
+            String::from("policy,epoch,users,arrivals,departures,aggregate_mbps,reassignments\n");
+        for (policy, r) in &self.epochs {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.4},{}\n",
+                policy, r.epoch, r.users, r.arrivals, r.departures, r.aggregate, r.reassignments,
+            ));
+        }
+        out
+    }
+
+    /// Mean aggregate of the static trials for one policy, if any exist.
+    pub fn mean_aggregate(&self, policy: &str) -> Option<f64> {
+        let values: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.policy == policy)
+            .map(|t| t.aggregate)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::run_static_trials;
+    use crate::scenario::ScenarioConfig;
+    use wolt_core::baselines::Rssi;
+    use wolt_core::AssociationPolicy;
+
+    fn sample_trace() -> ExperimentTrace {
+        let mut trace = ExperimentTrace::new("smoke", "2 seeds, RSSI only");
+        let policies: Vec<&dyn AssociationPolicy> = vec![&Rssi];
+        let records =
+            run_static_trials(&ScenarioConfig::enterprise(8), &policies, &[1, 2]).unwrap();
+        trace.record_trials(records);
+        trace
+    }
+
+    #[test]
+    fn json_round_trip() {
+        // Floats survive one JSON round trip only up to shortest-repr
+        // rounding, so compare the canonical re-serialization.
+        let trace = sample_trace();
+        let back = ExperimentTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(trace.to_json(), back.to_json());
+        assert_eq!(trace.trials.len(), back.trials.len());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_trial_plus_header() {
+        let trace = sample_trace();
+        let csv = trace.trials_csv();
+        assert_eq!(csv.lines().count(), 1 + trace.trials.len());
+        assert!(csv.starts_with("seed,policy"));
+        assert!(csv.contains("RSSI"));
+    }
+
+    #[test]
+    fn mean_aggregate_filters_by_policy() {
+        let trace = sample_trace();
+        assert!(trace.mean_aggregate("RSSI").unwrap() > 0.0);
+        assert_eq!(trace.mean_aggregate("WOLT"), None);
+    }
+
+    #[test]
+    fn epoch_records_round_trip() {
+        use crate::dynamics::DynamicsConfig;
+        use crate::experiment::{DynamicSimulation, OnlinePolicy};
+        let sim =
+            DynamicSimulation::new(ScenarioConfig::enterprise(8), DynamicsConfig::default());
+        let mut trace = ExperimentTrace::new("dyn", "tiny run");
+        trace.record_epochs("WOLT", sim.run(OnlinePolicy::Wolt, 2, 1).unwrap());
+        assert_eq!(trace.epochs.len(), 2);
+        let csv = trace.epochs_csv();
+        assert_eq!(csv.lines().count(), 3);
+        // One JSON round trip can perturb floats by an ULP (shortest-repr
+        // re-rounding); compare structurally with tolerance.
+        let back = ExperimentTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back.epochs.len(), trace.epochs.len());
+        for ((p1, r1), (p2, r2)) in trace.epochs.iter().zip(&back.epochs) {
+            assert_eq!(p1, p2);
+            assert_eq!(r1.epoch, r2.epoch);
+            assert_eq!(r1.users, r2.users);
+            assert!((r1.aggregate - r2.aggregate).abs() < 1e-9);
+            match (r1.jain, r2.jain) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                (a, b) => assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let trace = ExperimentTrace::default();
+        assert_eq!(trace.trials_csv().lines().count(), 1);
+        assert_eq!(trace.mean_aggregate("anything"), None);
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use wolt_core::CoreError;
+use wolt_sim::SimError;
+
+/// Errors produced by the testbed emulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TestbedError {
+    /// A protocol channel closed unexpectedly (an agent or the controller
+    /// panicked or exited early).
+    ChannelClosed {
+        /// Which endpoint disappeared.
+        endpoint: &'static str,
+    },
+    /// The controller failed to compute an assignment.
+    AssignmentFailed {
+        /// The underlying description.
+        context: String,
+    },
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// Human-readable description.
+        context: &'static str,
+    },
+    /// Scenario or evaluation machinery failed.
+    Layer {
+        /// Description of the failing call.
+        context: String,
+    },
+}
+
+impl fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbedError::ChannelClosed { endpoint } => {
+                write!(f, "protocol channel to {endpoint} closed unexpectedly")
+            }
+            TestbedError::AssignmentFailed { context } => {
+                write!(f, "assignment failed: {context}")
+            }
+            TestbedError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+            TestbedError::Layer { context } => write!(f, "layer failure: {context}"),
+        }
+    }
+}
+
+impl Error for TestbedError {}
+
+impl From<CoreError> for TestbedError {
+    fn from(e: CoreError) -> Self {
+        TestbedError::Layer {
+            context: format!("core: {e}"),
+        }
+    }
+}
+
+impl From<SimError> for TestbedError {
+    fn from(e: SimError) -> Self {
+        TestbedError::Layer {
+            context: format!("sim: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(TestbedError::ChannelClosed { endpoint: "cc" }
+            .to_string()
+            .contains("cc"));
+        let e: TestbedError = CoreError::UnreachableUser { user: 0 }.into();
+        assert!(e.to_string().contains("core"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TestbedError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! Testbed emulation for WOLT: the Central Controller architecture on
+//! real threads.
+//!
+//! The paper evaluates WOLT on a physical testbed of TP-Link TL-WPA8630
+//! extenders and seven laptops running "a user-space utility that runs on
+//! users' devices as well as the server" (§V-A). This crate reproduces
+//! that software architecture faithfully — minus the hardware, which is
+//! replaced by the `wolt-sim` scenario substrate:
+//!
+//! * [`protocol`] — the client ↔ Central Controller messages (scan
+//!   report, association directive, ack, departure).
+//! * [`rig`] — one controller thread plus one thread per client laptop,
+//!   joined sequentially over crossbeam channels; the CC runs WOLT /
+//!   Greedy / RSSI on *estimated* PLC capacities while outcomes are
+//!   evaluated on the true ones.
+//! * [`experiment`] — the §V-D experiment: 25 random lab topologies,
+//!   3 extenders, 7 laptops, with the Fig. 4a/4b/5 analyses.
+//!
+//! # Example
+//!
+//! ```
+//! use wolt_testbed::experiment::{aggregate_summary, TestbedExperiment};
+//!
+//! # fn main() -> Result<(), wolt_testbed::TestbedError> {
+//! let comparisons = TestbedExperiment {
+//!     topologies: 3, // the paper uses 25; keep doc examples quick
+//!     ..TestbedExperiment::default()
+//! }
+//! .run()?;
+//! let summary = aggregate_summary(&comparisons);
+//! assert!(summary.wolt > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod protocol;
+pub mod rig;
+
+mod error;
+
+pub use error::TestbedError;
+pub use rig::{
+    run_rig, run_session, ControllerPolicy, RigConfig, SessionEvent, TopologyOutcome,
+};

@@ -1,0 +1,89 @@
+//! Wire messages between client agents and the Central Controller.
+//!
+//! Mirrors the paper's software architecture (§V-A): "When a user arrives
+//! (needs association), it scans all available networks and estimate\[s\]
+//! the WiFi channel quality of each extender … The users (clients) gather
+//! this information on the reachable extenders and send it to the CC …
+//! a new user initially connects to the extender with the highest RSSI to
+//! communicate with the server and later switches extenders if needed,
+//! based on the new assignment from the CC."
+
+use wolt_units::Mbps;
+
+/// Messages a client agent sends to the Central Controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToController {
+    /// Scan report: the client's estimated achievable rate to each
+    /// extender (`None` = out of range), plus the extender it attached to
+    /// initially (highest RSSI).
+    Report {
+        /// Client index.
+        client: usize,
+        /// Estimated achievable rate per extender.
+        rates: Vec<Option<Mbps>>,
+        /// Extender the client attached to for CC connectivity.
+        attached: usize,
+    },
+    /// Acknowledgement that a directive was applied (the client finished
+    /// re-associating).
+    Ack {
+        /// Client index.
+        client: usize,
+        /// The extender the client is now associated with.
+        extender: usize,
+    },
+    /// The client has left the network.
+    Departed {
+        /// Client index.
+        client: usize,
+    },
+}
+
+/// Messages the Central Controller sends to a client agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToClient {
+    /// Associate with this extender.
+    Directive {
+        /// Target extender index.
+        extender: usize,
+    },
+    /// Experiment over; the agent thread should exit.
+    Shutdown,
+}
+
+/// Harness → client agent control messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToAgent {
+    /// Begin the join procedure (scan → attach → report).
+    Join,
+    /// Leave the network (detach and notify the CC).
+    Leave,
+    /// Exit the agent loop.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m = ToController::Report {
+            client: 1,
+            rates: vec![Some(Mbps::new(10.0)), None],
+            attached: 0,
+        };
+        assert_eq!(m.clone(), m);
+        let d = ToClient::Directive { extender: 2 };
+        assert_ne!(d, ToClient::Shutdown);
+        assert_eq!(ToAgent::Join.clone(), ToAgent::Join);
+    }
+
+    #[test]
+    fn messages_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ToController>();
+        assert_send::<ToClient>();
+        assert_send::<ToAgent>();
+    }
+}

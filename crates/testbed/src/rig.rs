@@ -1,0 +1,815 @@
+//! The testbed rig: a Central Controller and client agents on real
+//! threads, speaking the paper's protocol over channels.
+//!
+//! The paper implements WOLT "as a user-space utility that runs on users'
+//! devices as well as the server" (§V-A). This module reproduces that
+//! architecture: one controller thread (the CC) and one thread per client
+//! laptop, connected by crossbeam channels. Clients join (and may leave)
+//! sequentially, as laptops were carried around the lab: each scans,
+//! attaches to its strongest-RSSI extender, reports its rate estimates to
+//! the CC, and re-associates when a directive arrives. The CC runs the
+//! configured association policy on the *estimated* PLC capacities (from
+//! the offline iperf procedure), while the physical outcome is always
+//! evaluated on the true capacities — estimation error is part of the
+//! experiment.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
+use wolt_plc::capacity::CapacityEstimator;
+use wolt_sim::Scenario;
+use wolt_units::Mbps;
+
+use crate::protocol::{ToAgent, ToClient, ToController};
+use crate::TestbedError;
+
+/// Which association logic the Central Controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerPolicy {
+    /// Full WOLT re-optimization on every arrival/departure (directives
+    /// may move existing clients).
+    Wolt,
+    /// Greedy placement of the arriving client only; departures trigger
+    /// no re-optimization.
+    Greedy,
+    /// No directives: clients stay on their strongest-RSSI extender.
+    Rssi,
+}
+
+impl ControllerPolicy {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControllerPolicy::Wolt => "WOLT",
+            ControllerPolicy::Greedy => "Greedy",
+            ControllerPolicy::Rssi => "RSSI",
+        }
+    }
+}
+
+/// Rig configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigConfig {
+    /// Association logic at the CC.
+    pub policy: ControllerPolicy,
+    /// Offline PLC capacity estimation procedure (measurement noise).
+    pub estimator: CapacityEstimator,
+}
+
+impl RigConfig {
+    /// Rig with the given policy and the default estimator.
+    pub fn new(policy: ControllerPolicy) -> Self {
+        Self {
+            policy,
+            estimator: CapacityEstimator::default(),
+        }
+    }
+}
+
+/// One step of a testbed session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// Client `i` powers on, scans, attaches, and reports to the CC.
+    Join(usize),
+    /// Client `i` leaves the network (sends a departure notice).
+    Leave(usize),
+}
+
+/// Result of running one topology through the rig.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyOutcome {
+    /// Policy name.
+    pub policy: String,
+    /// Final association (physical state at session end; departed clients
+    /// are unassigned).
+    pub association: Association,
+    /// Aggregate throughput on the *true* capacities (Mbit/s).
+    pub aggregate: f64,
+    /// Per-user throughput on the true capacities (Mbit/s; 0 for departed
+    /// clients).
+    pub per_user: Vec<f64>,
+    /// Jain's fairness index over the *present* clients.
+    pub jain: Option<f64>,
+    /// Directives the CC sent.
+    pub directives: usize,
+    /// Present clients whose final extender differs from their initial
+    /// strongest-RSSI attachment.
+    pub switches: usize,
+}
+
+/// Runs the standard experiment: every user joins once, in index order.
+///
+/// See [`run_session`] for the general event-driven form; this wrapper
+/// additionally guarantees a complete final association.
+///
+/// # Errors
+///
+/// As [`run_session`], plus [`TestbedError::AssignmentFailed`] if the
+/// session somehow ends incomplete.
+pub fn run_rig(
+    scenario: &Scenario,
+    config: &RigConfig,
+    seed: u64,
+) -> Result<TopologyOutcome, TestbedError> {
+    let events: Vec<SessionEvent> = (0..scenario.user_positions.len())
+        .map(SessionEvent::Join)
+        .collect();
+    let outcome = run_session(scenario, config, &events, seed)?;
+    outcome
+        .association
+        .require_complete()
+        .map_err(TestbedError::from)?;
+    Ok(outcome)
+}
+
+/// Runs an arbitrary join/leave session through the threaded rig and
+/// evaluates the resulting physical association on the true capacities.
+///
+/// `seed` drives the capacity-estimation noise only; the scenario itself
+/// is supplied fully sampled.
+///
+/// # Errors
+///
+/// * [`TestbedError::InvalidConfig`] for an empty scenario, a Join of an
+///   already-present client, or a Leave of an absent one.
+/// * [`TestbedError::ChannelClosed`] if a thread dies mid-protocol.
+/// * [`TestbedError::AssignmentFailed`] if the CC's policy cannot produce
+///   an association.
+pub fn run_session(
+    scenario: &Scenario,
+    config: &RigConfig,
+    events: &[SessionEvent],
+    seed: u64,
+) -> Result<TopologyOutcome, TestbedError> {
+    let n_users = scenario.user_positions.len();
+    let n_ext = scenario.extender_positions.len();
+    if n_users == 0 || n_ext == 0 {
+        return Err(TestbedError::InvalidConfig {
+            context: "scenario needs at least one user and one extender",
+        });
+    }
+
+    // Offline capacity estimation (the paper's iperf3 procedure).
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let estimated: Vec<Mbps> = scenario
+        .capacities
+        .iter()
+        .map(|&c| config.estimator.estimate(c, &mut rng))
+        .collect::<Result<_, _>>()
+        .map_err(|e| TestbedError::Layer {
+            context: format!("capacity estimation: {e}"),
+        })?;
+
+    // Physical association state shared by all agents (the "air").
+    let physical: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(vec![None; n_users]));
+
+    let (to_cc_tx, to_cc_rx) = unbounded::<ToController>();
+    let (done_tx, done_rx) = unbounded::<Result<(), TestbedError>>();
+
+    let mut agent_handles = Vec::with_capacity(n_users);
+    let mut agent_txs: Vec<Sender<ToAgent>> = Vec::with_capacity(n_users);
+    let mut client_txs: Vec<Sender<ToClient>> = Vec::with_capacity(n_users);
+
+    for i in 0..n_users {
+        let (agent_tx, agent_rx) = unbounded::<ToAgent>();
+        let (client_tx, client_rx) = unbounded::<ToClient>();
+        agent_txs.push(agent_tx);
+        client_txs.push(client_tx);
+        let rates: Vec<Option<Mbps>> = (0..n_ext).map(|j| scenario.rate(i, j)).collect();
+        let physical = Arc::clone(&physical);
+        let to_cc = to_cc_tx.clone();
+        agent_handles.push(thread::spawn(move || {
+            client_agent(i, rates, physical, to_cc, agent_rx, client_rx)
+        }));
+    }
+
+    // The Central Controller thread.
+    let cc_state = ControllerState {
+        policy: config.policy,
+        estimated_capacities: estimated,
+        rates: vec![None; n_users],
+        association: vec![None; n_users],
+    };
+    let cc_client_txs = client_txs.clone();
+    let cc_handle =
+        thread::spawn(move || controller(cc_state, to_cc_rx, cc_client_txs, done_tx));
+
+    // Drive the session: joins and leaves are serialized, as laptops were
+    // brought online/offline one at a time.
+    let mut present = vec![false; n_users];
+    let mut initial_attach: Vec<Option<usize>> = vec![None; n_users];
+    for &event in events {
+        match event {
+            SessionEvent::Join(i) => {
+                if i >= n_users || present[i] {
+                    return Err(TestbedError::InvalidConfig {
+                        context: "join of an out-of-range or already-present client",
+                    });
+                }
+                agent_txs[i]
+                    .send(ToAgent::Join)
+                    .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
+                done_rx
+                    .recv()
+                    .map_err(|_| TestbedError::ChannelClosed {
+                        endpoint: "controller",
+                    })??;
+                present[i] = true;
+                if initial_attach[i].is_none() {
+                    initial_attach[i] = physical.lock()[i];
+                }
+            }
+            SessionEvent::Leave(i) => {
+                if i >= n_users || !present[i] {
+                    return Err(TestbedError::InvalidConfig {
+                        context: "leave of an out-of-range or absent client",
+                    });
+                }
+                agent_txs[i]
+                    .send(ToAgent::Leave)
+                    .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
+                done_rx
+                    .recv()
+                    .map_err(|_| TestbedError::ChannelClosed {
+                        endpoint: "controller",
+                    })??;
+                present[i] = false;
+            }
+        }
+    }
+
+    // Shutdown: stop agents, close the CC inbox, join threads.
+    for tx in &agent_txs {
+        let _ = tx.send(ToAgent::Shutdown);
+    }
+    for tx in &client_txs {
+        let _ = tx.send(ToClient::Shutdown);
+    }
+    drop(to_cc_tx);
+    let (directives, final_assoc_cc) = cc_handle.join().map_err(|_| TestbedError::ChannelClosed {
+        endpoint: "controller",
+    })?;
+    for h in agent_handles {
+        h.join()
+            .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
+    }
+
+    // The physical state is ground truth; the CC's view must agree.
+    let physical_assoc: Vec<Option<usize>> = physical.lock().clone();
+    debug_assert_eq!(physical_assoc, final_assoc_cc);
+    let association = Association::from_targets(physical_assoc);
+
+    // Evaluate on the TRUE capacities.
+    let network = scenario.network().map_err(TestbedError::from)?;
+    let eval = evaluate(&network, &association).map_err(TestbedError::from)?;
+
+    // A "switch" is a departure from the default RSSI attachment — the
+    // re-association overhead the paper discusses.
+    let switches = (0..n_users)
+        .filter(|&i| {
+            present[i]
+                && initial_attach[i].is_some()
+                && association.target(i) != initial_attach[i]
+        })
+        .count();
+
+    let present_throughputs: Vec<Mbps> = (0..n_users)
+        .filter(|&i| present[i])
+        .map(|i| eval.per_user[i])
+        .collect();
+
+    Ok(TopologyOutcome {
+        policy: config.policy.name().to_string(),
+        aggregate: eval.aggregate.value(),
+        per_user: eval.per_user.iter().map(|t| t.value()).collect(),
+        jain: wolt_core::fairness::jain_index(&present_throughputs),
+        association,
+        directives,
+        switches,
+    })
+}
+
+/// CC-internal state.
+struct ControllerState {
+    policy: ControllerPolicy,
+    estimated_capacities: Vec<Mbps>,
+    rates: Vec<Option<Vec<Option<Mbps>>>>,
+    association: Vec<Option<usize>>,
+}
+
+impl ControllerState {
+    fn known_clients(&self) -> Vec<usize> {
+        (0..self.rates.len())
+            .filter(|&i| self.rates[i].is_some())
+            .collect()
+    }
+
+    fn network_view(&self, known: &[usize]) -> Result<(Network, Association), TestbedError> {
+        let rates: Vec<Vec<f64>> = known
+            .iter()
+            .map(|&i| {
+                self.rates[i]
+                    .as_ref()
+                    .expect("known client has rates")
+                    .iter()
+                    .map(|r| r.map_or(0.0, |m| m.value()))
+                    .collect()
+            })
+            .collect();
+        let net = Network::from_raw(
+            self.estimated_capacities.iter().map(|c| c.value()).collect(),
+            rates,
+        )
+        .map_err(|e| TestbedError::AssignmentFailed {
+            context: e.to_string(),
+        })?;
+        let assoc =
+            Association::from_targets(known.iter().map(|&i| self.association[i]).collect());
+        Ok((net, assoc))
+    }
+}
+
+/// The Central Controller loop.
+///
+/// Returns `(directives_sent, final_association)` at shutdown.
+fn controller(
+    mut state: ControllerState,
+    rx: Receiver<ToController>,
+    client_txs: Vec<Sender<ToClient>>,
+    done: Sender<Result<(), TestbedError>>,
+) -> (usize, Vec<Option<usize>>) {
+    let mut directives = 0usize;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToController::Report {
+                client,
+                rates,
+                attached,
+            } => {
+                state.rates[client] = Some(rates);
+                state.association[client] = Some(attached);
+                let result = handle_join(&mut state, client, &client_txs, &rx, &mut directives);
+                if done.send(result).is_err() {
+                    break;
+                }
+            }
+            ToController::Ack { client, extender } => {
+                // Acks outside a transaction (shutdown races) just refresh
+                // the CC view.
+                state.association[client] = Some(extender);
+            }
+            ToController::Departed { client } => {
+                state.rates[client] = None;
+                state.association[client] = None;
+                let result = handle_leave(&mut state, &client_txs, &rx, &mut directives);
+                if done.send(result).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    (directives, state.association)
+}
+
+/// Processes one arrival at the CC: run the policy, send directives, wait
+/// for acks.
+fn handle_join(
+    state: &mut ControllerState,
+    client: usize,
+    client_txs: &[Sender<ToClient>],
+    rx: &Receiver<ToController>,
+    directives: &mut usize,
+) -> Result<(), TestbedError> {
+    let known = state.known_clients();
+    let (net, current) = state.network_view(&known)?;
+
+    let desired: Vec<usize> = match state.policy {
+        ControllerPolicy::Rssi => return Ok(()),
+        ControllerPolicy::Greedy => {
+            // Only the newcomer moves.
+            let view_idx = known
+                .iter()
+                .position(|&i| i == client)
+                .expect("reporting client is known");
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..net.extenders() {
+                if !net.reachable(view_idx, j) {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.assign(view_idx, j);
+                let value = evaluate(&net, &candidate)
+                    .map(|e| e.aggregate.value())
+                    .unwrap_or(f64::NEG_INFINITY);
+                if best.is_none_or(|(_, v)| value > v) {
+                    best = Some((j, value));
+                }
+            }
+            let (target, _) = best.ok_or_else(|| TestbedError::AssignmentFailed {
+                context: format!("client {client} has no reachable extender"),
+            })?;
+            let mut desired: Vec<usize> = known
+                .iter()
+                .map(|&i| state.association[i].expect("known clients attached"))
+                .collect();
+            desired[view_idx] = target;
+            desired
+        }
+        ControllerPolicy::Wolt => wolt_plan(&net)?,
+    };
+
+    apply_directives(state, &known, &desired, client_txs, rx, directives)
+}
+
+/// Processes a departure: WOLT re-optimizes the survivors; the baselines
+/// leave everyone where they are.
+fn handle_leave(
+    state: &mut ControllerState,
+    client_txs: &[Sender<ToClient>],
+    rx: &Receiver<ToController>,
+    directives: &mut usize,
+) -> Result<(), TestbedError> {
+    if state.policy != ControllerPolicy::Wolt {
+        return Ok(());
+    }
+    let known = state.known_clients();
+    if known.is_empty() {
+        return Ok(());
+    }
+    let (net, _) = state.network_view(&known)?;
+    let desired = wolt_plan(&net)?;
+    apply_directives(state, &known, &desired, client_txs, rx, directives)
+}
+
+/// Runs the WOLT planner on the CC's network view.
+fn wolt_plan(net: &Network) -> Result<Vec<usize>, TestbedError> {
+    let assoc = Wolt::new()
+        .associate(net)
+        .map_err(|e| TestbedError::AssignmentFailed {
+            context: e.to_string(),
+        })?;
+    Ok((0..net.users())
+        .map(|v| assoc.target(v).expect("wolt returns complete associations"))
+        .collect())
+}
+
+/// Issues directives for every known client whose target changed, then
+/// waits for all acks.
+fn apply_directives(
+    state: &mut ControllerState,
+    known: &[usize],
+    desired: &[usize],
+    client_txs: &[Sender<ToClient>],
+    rx: &Receiver<ToController>,
+    directives: &mut usize,
+) -> Result<(), TestbedError> {
+    let mut pending = Vec::new();
+    for (v, &i) in known.iter().enumerate() {
+        if state.association[i] != Some(desired[v]) {
+            client_txs[i]
+                .send(ToClient::Directive {
+                    extender: desired[v],
+                })
+                .map_err(|_| TestbedError::ChannelClosed { endpoint: "client" })?;
+            *directives += 1;
+            pending.push(i);
+        }
+    }
+    while !pending.is_empty() {
+        match rx.recv() {
+            Ok(ToController::Ack { client, extender }) => {
+                state.association[client] = Some(extender);
+                pending.retain(|&i| i != client);
+            }
+            Ok(_) => {
+                // No other message type can legally arrive mid-transaction
+                // (events are serialized by the harness).
+                return Err(TestbedError::AssignmentFailed {
+                    context: "unexpected message during directive transaction".to_string(),
+                });
+            }
+            Err(_) => return Err(TestbedError::ChannelClosed { endpoint: "client" }),
+        }
+    }
+    Ok(())
+}
+
+/// The client-agent loop: handle harness commands (join/leave/shutdown)
+/// and CC directives concurrently.
+fn client_agent(
+    id: usize,
+    rates: Vec<Option<Mbps>>,
+    physical: Arc<Mutex<Vec<Option<usize>>>>,
+    to_cc: Sender<ToController>,
+    agent_rx: Receiver<ToAgent>,
+    client_rx: Receiver<ToClient>,
+) {
+    let mut joined = false;
+    loop {
+        crossbeam::channel::select! {
+            recv(agent_rx) -> msg => match msg {
+                Ok(ToAgent::Join) => {
+                    // Scan: strongest signal = highest achievable rate
+                    // (monotone table); ties break toward the lowest
+                    // extender index, matching the offline RSSI baseline.
+                    let mut attached = 0usize;
+                    let mut best_rate = f64::NEG_INFINITY;
+                    for (j, r) in rates.iter().enumerate() {
+                        if let Some(m) = r {
+                            if m.value() > best_rate {
+                                best_rate = m.value();
+                                attached = j;
+                            }
+                        }
+                    }
+                    physical.lock()[id] = Some(attached);
+                    joined = true;
+                    if to_cc
+                        .send(ToController::Report {
+                            client: id,
+                            rates: rates.clone(),
+                            attached,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(ToAgent::Leave) => {
+                    if joined {
+                        physical.lock()[id] = None;
+                        joined = false;
+                        if to_cc.send(ToController::Departed { client: id }).is_err() {
+                            return;
+                        }
+                    }
+                }
+                Ok(ToAgent::Shutdown) | Err(_) => return,
+            },
+            recv(client_rx) -> msg => match msg {
+                Ok(ToClient::Directive { extender }) => {
+                    // A directive can race a departure at shutdown; only a
+                    // joined client applies it.
+                    if joined {
+                        physical.lock()[id] = Some(extender);
+                        if to_cc
+                            .send(ToController::Ack {
+                                client: id,
+                                extender,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                Ok(ToClient::Shutdown) | Err(_) => return,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolt_core::baselines::Greedy;
+    use wolt_sim::scenario::ScenarioConfig;
+
+    fn lab_scenario(seed: u64) -> Scenario {
+        let cfg = ScenarioConfig::lab(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Scenario::generate(&cfg, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rssi_rig_matches_offline_rssi_policy() {
+        let scenario = lab_scenario(1);
+        let outcome = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Rssi), 0).unwrap();
+        assert_eq!(outcome.directives, 0);
+        assert_eq!(outcome.switches, 0);
+        let net = scenario.network().unwrap();
+        let reference = wolt_core::baselines::Rssi.associate(&net).unwrap();
+        assert_eq!(outcome.association, reference);
+    }
+
+    #[test]
+    fn wolt_rig_produces_complete_valid_association() {
+        let scenario = lab_scenario(2);
+        let outcome = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 0).unwrap();
+        assert!(outcome.association.is_complete());
+        let net = scenario.network().unwrap();
+        assert!(net.validate_association(&outcome.association).is_ok());
+        assert!(outcome.aggregate > 0.0);
+    }
+
+    #[test]
+    fn greedy_rig_matches_offline_greedy_with_zero_estimation_noise() {
+        let scenario = lab_scenario(3);
+        let config = RigConfig {
+            policy: ControllerPolicy::Greedy,
+            estimator: CapacityEstimator {
+                rounds: 1,
+                noise_sigma: 0.0,
+            },
+        };
+        let outcome = run_rig(&scenario, &config, 0).unwrap();
+        let net = scenario.network().unwrap();
+        let reference = Greedy::new().associate(&net).unwrap();
+        let ref_eval = evaluate(&net, &reference).unwrap();
+        assert!(
+            (outcome.aggregate - ref_eval.aggregate.value()).abs() < 1e-9,
+            "rig {} vs offline {}",
+            outcome.aggregate,
+            ref_eval.aggregate
+        );
+    }
+
+    #[test]
+    fn wolt_rig_beats_rssi_rig_on_average() {
+        let mut wolt_total = 0.0;
+        let mut rssi_total = 0.0;
+        for seed in 0..8 {
+            let scenario = lab_scenario(seed);
+            wolt_total += run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 0)
+                .unwrap()
+                .aggregate;
+            rssi_total += run_rig(&scenario, &RigConfig::new(ControllerPolicy::Rssi), 0)
+                .unwrap()
+                .aggregate;
+        }
+        assert!(
+            wolt_total > rssi_total,
+            "WOLT {wolt_total} vs RSSI {rssi_total}"
+        );
+    }
+
+    #[test]
+    fn directives_track_switches_for_wolt() {
+        let scenario = lab_scenario(5);
+        let outcome = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 0).unwrap();
+        assert!(outcome.directives >= outcome.switches);
+    }
+
+    #[test]
+    fn estimation_noise_changes_little_at_default_sigma() {
+        let scenario = lab_scenario(6);
+        let a = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 1).unwrap();
+        let b = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 2).unwrap();
+        let rel = (a.aggregate - b.aggregate).abs() / a.aggregate.max(b.aggregate);
+        assert!(rel < 0.25, "estimation noise too influential: {rel}");
+    }
+
+    #[test]
+    fn rejects_empty_scenario() {
+        let scenario = Scenario {
+            extender_positions: vec![],
+            capacities: vec![],
+            user_positions: vec![],
+            radio: wolt_wifi::WifiRadio::office_default(),
+        };
+        assert!(matches!(
+            run_rig(&scenario, &RigConfig::new(ControllerPolicy::Rssi), 0),
+            Err(TestbedError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_names_match_paper() {
+        assert_eq!(ControllerPolicy::Wolt.name(), "WOLT");
+        assert_eq!(ControllerPolicy::Greedy.name(), "Greedy");
+        assert_eq!(ControllerPolicy::Rssi.name(), "RSSI");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seeds() {
+        let scenario = lab_scenario(7);
+        let a = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 3).unwrap();
+        let b = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_with_departures_leaves_them_unassigned() {
+        let scenario = lab_scenario(8);
+        let events = vec![
+            SessionEvent::Join(0),
+            SessionEvent::Join(1),
+            SessionEvent::Join(2),
+            SessionEvent::Leave(1),
+        ];
+        let outcome = run_session(
+            &scenario,
+            &RigConfig::new(ControllerPolicy::Wolt),
+            &events,
+            0,
+        )
+        .unwrap();
+        assert_eq!(outcome.association.target(1), None);
+        assert!(outcome.association.target(0).is_some());
+        assert!(outcome.association.target(2).is_some());
+        assert_eq!(outcome.per_user[1], 0.0);
+        assert!(outcome.aggregate > 0.0);
+    }
+
+    #[test]
+    fn departure_triggers_wolt_reoptimization() {
+        // With three clients on two good extenders, removing one lets
+        // WOLT re-balance; the CC must be allowed to send directives on a
+        // departure (the baselines send none).
+        let scenario = lab_scenario(9);
+        let events = vec![
+            SessionEvent::Join(0),
+            SessionEvent::Join(1),
+            SessionEvent::Join(2),
+            SessionEvent::Join(3),
+            SessionEvent::Leave(0),
+            SessionEvent::Leave(2),
+        ];
+        let wolt = run_session(
+            &scenario,
+            &RigConfig::new(ControllerPolicy::Wolt),
+            &events,
+            0,
+        )
+        .unwrap();
+        let rssi = run_session(
+            &scenario,
+            &RigConfig::new(ControllerPolicy::Rssi),
+            &events,
+            0,
+        )
+        .unwrap();
+        assert_eq!(rssi.directives, 0);
+        assert!(wolt.aggregate >= rssi.aggregate - 1e-9);
+    }
+
+    #[test]
+    fn rejoin_after_leave_is_allowed() {
+        let scenario = lab_scenario(10);
+        let events = vec![
+            SessionEvent::Join(0),
+            SessionEvent::Join(1),
+            SessionEvent::Leave(0),
+            SessionEvent::Join(0),
+        ];
+        let outcome = run_session(
+            &scenario,
+            &RigConfig::new(ControllerPolicy::Greedy),
+            &events,
+            0,
+        )
+        .unwrap();
+        assert!(outcome.association.target(0).is_some());
+        assert!(outcome.association.target(1).is_some());
+    }
+
+    #[test]
+    fn invalid_sessions_rejected() {
+        let scenario = lab_scenario(11);
+        let config = RigConfig::new(ControllerPolicy::Rssi);
+        // Leave before join.
+        assert!(matches!(
+            run_session(&scenario, &config, &[SessionEvent::Leave(0)], 0),
+            Err(TestbedError::InvalidConfig { .. })
+        ));
+        // Double join.
+        assert!(matches!(
+            run_session(
+                &scenario,
+                &config,
+                &[SessionEvent::Join(0), SessionEvent::Join(0)],
+                0
+            ),
+            Err(TestbedError::InvalidConfig { .. })
+        ));
+        // Out of range.
+        assert!(matches!(
+            run_session(&scenario, &config, &[SessionEvent::Join(99)], 0),
+            Err(TestbedError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn jain_only_counts_present_clients() {
+        let scenario = lab_scenario(12);
+        let events = vec![
+            SessionEvent::Join(0),
+            SessionEvent::Join(1),
+            SessionEvent::Leave(1),
+        ];
+        let outcome = run_session(
+            &scenario,
+            &RigConfig::new(ControllerPolicy::Rssi),
+            &events,
+            0,
+        )
+        .unwrap();
+        // A single present client with positive throughput: Jain = 1.
+        assert_eq!(outcome.jain, Some(1.0));
+    }
+}

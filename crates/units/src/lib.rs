@@ -1,0 +1,347 @@
+//! Physical-quantity newtypes shared across the WOLT workspace.
+//!
+//! The WOLT paper mixes several scalar quantities that are all "just
+//! numbers" — link rates in Mbit/s, received signal strength in dBm,
+//! distances in metres, airtime fractions — and confusing them produces
+//! plausible-looking nonsense (e.g. feeding an RSSI into a throughput sum).
+//! Following the newtype guidance of the Rust API guidelines (C-NEWTYPE),
+//! this crate gives each quantity its own type with only the arithmetic
+//! that is physically meaningful.
+//!
+//! # Example
+//!
+//! ```
+//! use wolt_units::{Mbps, Meters};
+//!
+//! let backhaul = Mbps::new(60.0);
+//! let half_airtime = backhaul * 0.5;
+//! assert_eq!(half_airtime, Mbps::new(30.0));
+//!
+//! let d = Meters::new(3.0) + Meters::new(4.0);
+//! assert_eq!(d.value(), 7.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the shared boilerplate for a scalar quantity newtype.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw value.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Raw value.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True if the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Elementwise minimum.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Elementwise maximum.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A data rate or throughput in megabits per second.
+    ///
+    /// Used for WiFi PHY rates `r_ij`, PLC rates `c_j`, and all throughputs
+    /// `T` in the paper's notation (Table I).
+    Mbps,
+    "Mbit/s"
+);
+
+quantity!(
+    /// A power level in dBm (decibels relative to one milliwatt).
+    ///
+    /// Used for transmit power and received signal strength (RSSI).
+    Dbm,
+    "dBm"
+);
+
+quantity!(
+    /// A gain or loss in decibels.
+    Db,
+    "dB"
+);
+
+quantity!(
+    /// A distance in metres.
+    Meters,
+    "m"
+);
+
+quantity!(
+    /// A duration in seconds (simulation time, not wall clock).
+    Seconds,
+    "s"
+);
+
+impl Dbm {
+    /// Applies a path loss: received power = transmitted power − loss.
+    pub fn minus_loss(self, loss: Db) -> Dbm {
+        Dbm(self.0 - loss.value())
+    }
+}
+
+impl Mbps {
+    /// True when the rate is strictly positive and finite (a usable link).
+    pub fn is_usable(self) -> bool {
+        self.0 > 0.0 && self.0.is_finite()
+    }
+}
+
+/// A point on the 2-D floor plan (coordinates in metres).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from metre coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wolt_units::{Meters, Point};
+    ///
+    /// let d = Point::new(0.0, 0.0).distance_to(Point::new(3.0, 4.0));
+    /// assert_eq!(d, Meters::new(5.0));
+    /// ```
+    pub fn distance_to(self, other: Point) -> Meters {
+        Meters::new(((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt())
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2}) m", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        assert_eq!(Mbps::new(2.0) + Mbps::new(3.0), Mbps::new(5.0));
+        assert_eq!(Mbps::new(5.0) - Mbps::new(3.0), Mbps::new(2.0));
+        assert_eq!(Mbps::new(5.0) * 2.0, Mbps::new(10.0));
+        assert_eq!(2.0 * Mbps::new(5.0), Mbps::new(10.0));
+        assert_eq!(Mbps::new(10.0) / 2.0, Mbps::new(5.0));
+        assert_eq!(Mbps::new(10.0) / Mbps::new(5.0), 2.0);
+        assert_eq!(-Mbps::new(1.0), Mbps::new(-1.0));
+    }
+
+    #[test]
+    fn add_sub_assign() {
+        let mut r = Mbps::new(1.0);
+        r += Mbps::new(2.0);
+        assert_eq!(r, Mbps::new(3.0));
+        r -= Mbps::new(1.5);
+        assert_eq!(r, Mbps::new(1.5));
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let rates = [Mbps::new(1.0), Mbps::new(2.0), Mbps::new(3.0)];
+        let total: Mbps = rates.iter().sum();
+        assert_eq!(total, Mbps::new(6.0));
+        let total2: Mbps = rates.into_iter().sum();
+        assert_eq!(total2, Mbps::new(6.0));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(Mbps::new(3.0).min(Mbps::new(2.0)), Mbps::new(2.0));
+        assert_eq!(Mbps::new(3.0).max(Mbps::new(2.0)), Mbps::new(3.0));
+        assert_eq!(
+            Mbps::new(7.0).clamp(Mbps::ZERO, Mbps::new(5.0)),
+            Mbps::new(5.0)
+        );
+    }
+
+    #[test]
+    fn rssi_minus_loss() {
+        let rx = Dbm::new(20.0).minus_loss(Db::new(75.0));
+        assert_eq!(rx, Dbm::new(-55.0));
+    }
+
+    #[test]
+    fn usability() {
+        assert!(Mbps::new(1.0).is_usable());
+        assert!(!Mbps::ZERO.is_usable());
+        assert!(!Mbps::new(-5.0).is_usable());
+        assert!(!Mbps::new(f64::INFINITY).is_usable());
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(a.distance_to(b), Meters::new(5.0));
+        assert_eq!(a.distance_to(a), Meters::ZERO);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(Mbps::new(1.5).to_string(), "1.500 Mbit/s");
+        assert_eq!(Dbm::new(-70.0).to_string(), "-70.000 dBm");
+        assert_eq!(Meters::new(2.0).to_string(), "2.000 m");
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1.00, 2.00) m");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&Mbps::new(42.0)).unwrap();
+        assert_eq!(json, "42.0");
+        let back: Mbps = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Mbps::new(42.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let m: Mbps = 3.0.into();
+        assert_eq!(m, Mbps::new(3.0));
+        let raw: f64 = m.into();
+        assert_eq!(raw, 3.0);
+    }
+}

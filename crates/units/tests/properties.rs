@@ -1,0 +1,89 @@
+//! Property-based tests for the physical-quantity newtypes.
+
+use proptest::prelude::*;
+use wolt_units::{Db, Dbm, Mbps, Meters, Point};
+
+proptest! {
+    /// Addition and subtraction are inverses.
+    #[test]
+    fn add_sub_inverse(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Mbps::new(a);
+        let y = Mbps::new(b);
+        let round = (x + y) - y;
+        prop_assert!((round.value() - a).abs() < 1e-6);
+    }
+
+    /// Scalar multiplication distributes over addition.
+    #[test]
+    fn scalar_mul_distributes(a in -1e3f64..1e3, b in -1e3f64..1e3, k in -1e3f64..1e3) {
+        let lhs = (Mbps::new(a) + Mbps::new(b)) * k;
+        let rhs = Mbps::new(a) * k + Mbps::new(b) * k;
+        prop_assert!((lhs.value() - rhs.value()).abs() < 1e-6);
+    }
+
+    /// Ratio of like quantities is dimensionless and consistent.
+    #[test]
+    fn ratio_consistent(a in 1.0f64..1e6, k in 0.1f64..100.0) {
+        let q = Mbps::new(a);
+        prop_assert!(((q * k) / q - k).abs() < 1e-9);
+    }
+
+    /// min/max/clamp agree with raw float semantics.
+    #[test]
+    fn ordering_ops(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+        let (x, y) = (Mbps::new(a), Mbps::new(b));
+        prop_assert_eq!(x.min(y).value(), a.min(b));
+        prop_assert_eq!(x.max(y).value(), a.max(b));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mid = Mbps::new((a + b) / 2.0);
+        let clamped = mid.clamp(Mbps::new(lo), Mbps::new(hi));
+        prop_assert!(clamped.value() >= lo - 1e-12 && clamped.value() <= hi + 1e-12);
+    }
+
+    /// Sum over an iterator equals the fold.
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(-1e3f64..1e3, 0..20)) {
+        let total: Mbps = values.iter().map(|&v| Mbps::new(v)).sum();
+        let folded: f64 = values.iter().sum();
+        prop_assert!((total.value() - folded).abs() < 1e-6);
+    }
+
+    /// Path-loss arithmetic: subtracting a loss then adding it back via Db
+    /// round-trips.
+    #[test]
+    fn loss_round_trip(tx in -30.0f64..30.0, loss in 0.0f64..120.0) {
+        let rx = Dbm::new(tx).minus_loss(Db::new(loss));
+        prop_assert!((rx.value() - (tx - loss)).abs() < 1e-12);
+    }
+
+    /// Distance is a metric on sampled points: symmetric, zero iff equal,
+    /// triangle inequality.
+    #[test]
+    fn distance_is_a_metric(
+        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+        bx in -100.0f64..100.0, by in -100.0f64..100.0,
+        cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+    ) {
+        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+        prop_assert!((a.distance_to(b).value() - b.distance_to(a).value()).abs() < 1e-9);
+        prop_assert_eq!(a.distance_to(a), Meters::ZERO);
+        prop_assert!(
+            a.distance_to(c).value() <= a.distance_to(b).value() + b.distance_to(c).value() + 1e-9
+        );
+    }
+
+    /// Usability is exactly "strictly positive and finite".
+    #[test]
+    fn usability_definition(v in -1e6f64..1e6) {
+        prop_assert_eq!(Mbps::new(v).is_usable(), v > 0.0);
+    }
+
+    /// Serde transparently round-trips values.
+    #[test]
+    fn serde_round_trip(v in -1e6f64..1e6) {
+        let q = Mbps::new(v);
+        let json = serde_json::to_string(&q).expect("serializes");
+        let back: Mbps = serde_json::from_str(&json).expect("parses");
+        prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12);
+    }
+}

@@ -1,0 +1,441 @@
+//! Slotted 802.11 DCF (CSMA/CA) micro-simulator.
+//!
+//! The analytic cell model of [`crate::cell`] *assumes* throughput-fair
+//! sharing; this module *derives* it. Saturated stations contend with
+//! binary-exponential backoff exactly as in the 802.11 DCF: each station
+//! draws a backoff uniformly from `[0, CW]`, counts down in idle slots,
+//! transmits at zero, doubles `CW` on collision and resets it on success.
+//! Because every station wins the channel equally often and ships the same
+//! payload per win, per-station *throughput* equalizes while per-station
+//! *airtime* does not — the performance anomaly the paper re-measures on
+//! commodity PLC-WiFi extenders in Fig. 2a.
+//!
+//! # Example
+//!
+//! ```
+//! use wolt_units::{Mbps, Seconds};
+//! use wolt_wifi::dcf::{simulate_dcf, DcfConfig};
+//!
+//! # fn main() -> Result<(), wolt_wifi::WifiError> {
+//! let out = simulate_dcf(&[Mbps::new(54.0), Mbps::new(6.0)], &DcfConfig::default(), 1)?;
+//! // Throughput-fair: the fast and slow station get nearly the same rate.
+//! let ratio = out.per_station[0] / out.per_station[1];
+//! assert!((0.8..1.25).contains(&ratio));
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use wolt_units::{Mbps, Seconds};
+
+use crate::WifiError;
+
+/// 802.11 DCF timing and backoff parameters.
+///
+/// Defaults correspond to 802.11n (OFDM, 2.4 GHz): 9 µs slots, 16 µs SIFS,
+/// DIFS = SIFS + 2·slot, CWmin 15, CWmax 1023, 1500-byte payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcfConfig {
+    /// Idle slot duration in µs.
+    pub slot_us: f64,
+    /// Short interframe space in µs.
+    pub sifs_us: f64,
+    /// DCF interframe space in µs.
+    pub difs_us: f64,
+    /// ACK frame duration (preamble + payload at basic rate) in µs.
+    pub ack_us: f64,
+    /// PHY preamble + PLCP header duration in µs.
+    pub phy_header_us: f64,
+    /// MAC payload size in bytes (MSDU).
+    pub payload_bytes: u32,
+    /// Minimum contention window (CWmin).
+    pub cw_min: u32,
+    /// Maximum contention window (CWmax).
+    pub cw_max: u32,
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// Enable the RTS/CTS handshake: successes pay an extra
+    /// `rts_cts_us`, but collisions only waste the short RTS frame
+    /// instead of the whole data frame.
+    pub rts_cts: bool,
+    /// Duration of the RTS + SIFS + CTS + SIFS exchange in µs.
+    pub rts_cts_us: f64,
+}
+
+impl Default for DcfConfig {
+    fn default() -> Self {
+        Self {
+            slot_us: 9.0,
+            sifs_us: 16.0,
+            difs_us: 34.0,
+            ack_us: 44.0,
+            phy_header_us: 40.0,
+            payload_bytes: 1500,
+            cw_min: 15,
+            cw_max: 1023,
+            duration: Seconds::new(2.0),
+            rts_cts: false,
+            rts_cts_us: 100.0,
+        }
+    }
+}
+
+impl DcfConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::InvalidConfig`] if any duration is non-positive,
+    /// `cw_min` is 0 or exceeds `cw_max`, or the payload is empty.
+    pub fn validate(&self) -> Result<(), WifiError> {
+        let positive = [
+            self.slot_us,
+            self.sifs_us,
+            self.difs_us,
+            self.ack_us,
+            self.phy_header_us,
+            self.duration.value(),
+        ];
+        if positive.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
+            return Err(WifiError::InvalidConfig {
+                context: "dcf durations must be finite and positive",
+            });
+        }
+        if self.cw_min == 0 || self.cw_min > self.cw_max {
+            return Err(WifiError::InvalidConfig {
+                context: "require 0 < cw_min <= cw_max",
+            });
+        }
+        if self.payload_bytes == 0 {
+            return Err(WifiError::InvalidConfig {
+                context: "payload must be non-empty",
+            });
+        }
+        if !(self.rts_cts_us.is_finite() && self.rts_cts_us > 0.0) {
+            return Err(WifiError::InvalidConfig {
+                context: "rts/cts duration must be finite and positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Measured outcome of a DCF simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcfOutcome {
+    /// Long-term throughput of each station.
+    pub per_station: Vec<Mbps>,
+    /// Sum of per-station throughputs.
+    pub aggregate: Mbps,
+    /// Fraction of simulated time each station spent transmitting payload.
+    pub airtime_fraction: Vec<f64>,
+    /// Number of successful transmissions.
+    pub successes: u64,
+    /// Number of collision events.
+    pub collisions: u64,
+}
+
+/// Runs a saturated DCF contention simulation for stations with the given
+/// PHY rates and returns measured throughputs.
+///
+/// All stations always have a frame queued (saturation, matching the
+/// paper's iperf-driven measurements). The simulation is deterministic for
+/// a given `seed`.
+///
+/// # Errors
+///
+/// Returns [`WifiError::EmptyCell`] with no stations,
+/// [`WifiError::UnusableRate`] if any PHY rate is unusable, or the
+/// validation errors of [`DcfConfig::validate`].
+pub fn simulate_dcf(
+    phy_rates: &[Mbps],
+    config: &DcfConfig,
+    seed: u64,
+) -> Result<DcfOutcome, WifiError> {
+    config.validate()?;
+    if phy_rates.is_empty() {
+        return Err(WifiError::EmptyCell);
+    }
+    for r in phy_rates {
+        if !r.is_usable() {
+            return Err(WifiError::UnusableRate {
+                rate_mbps: r.value(),
+            });
+        }
+    }
+
+    let n = phy_rates.len();
+    let payload_bits = f64::from(config.payload_bytes) * 8.0;
+    // Payload transmit time in µs: bits / (Mbit/s) = µs.
+    let tx_time = |station: usize| payload_bits / phy_rates[station].value();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cw = vec![config.cw_min; n];
+    let mut backoff: Vec<u32> = (0..n).map(|i| rng.gen_range(0..=cw[i])).collect();
+    let mut bits = vec![0.0f64; n];
+    let mut tx_airtime = vec![0.0f64; n];
+    let mut successes = 0u64;
+    let mut collisions = 0u64;
+
+    let horizon_us = config.duration.value() * 1e6;
+    let mut now_us = 0.0f64;
+
+    while now_us < horizon_us {
+        // Advance through idle slots until some station reaches zero.
+        let min_backoff = *backoff.iter().min().expect("n >= 1");
+        now_us += f64::from(min_backoff) * config.slot_us;
+        for b in &mut backoff {
+            *b -= min_backoff;
+        }
+
+        let transmitters: Vec<usize> = (0..n).filter(|&i| backoff[i] == 0).collect();
+        debug_assert!(!transmitters.is_empty());
+
+        if transmitters.len() == 1 {
+            let station = transmitters[0];
+            let payload_time = tx_time(station);
+            let handshake = if config.rts_cts { config.rts_cts_us } else { 0.0 };
+            let busy = config.difs_us
+                + handshake
+                + config.phy_header_us
+                + payload_time
+                + config.sifs_us
+                + config.ack_us;
+            now_us += busy;
+            bits[station] += payload_bits;
+            tx_airtime[station] += payload_time;
+            successes += 1;
+            cw[station] = config.cw_min;
+            backoff[station] = rng.gen_range(0..=cw[station]);
+        } else {
+            // Collision. With RTS/CTS only the short RTS frames collide;
+            // without it the channel is busy for the longest colliding
+            // data frame. Either way a CTS/ACK-timeout follows.
+            let wasted = if config.rts_cts {
+                config.rts_cts_us
+            } else {
+                transmitters
+                    .iter()
+                    .map(|&i| tx_time(i))
+                    .fold(0.0f64, f64::max)
+            };
+            now_us += config.difs_us
+                + config.phy_header_us
+                + wasted
+                + config.sifs_us
+                + config.ack_us;
+            collisions += 1;
+            for &station in &transmitters {
+                cw[station] = (cw[station] * 2 + 1).min(config.cw_max);
+                backoff[station] = rng.gen_range(0..=cw[station]);
+            }
+        }
+    }
+
+    // Use the actual elapsed time (we overshoot the horizon by at most one
+    // transaction) so throughputs are unbiased.
+    let elapsed_s = now_us / 1e6;
+    let per_station: Vec<Mbps> = bits
+        .iter()
+        .map(|&b| Mbps::new(b / elapsed_s / 1e6))
+        .collect();
+    let aggregate = per_station.iter().copied().sum();
+    let airtime_fraction = tx_airtime.iter().map(|&t| t / now_us).collect();
+
+    Ok(DcfOutcome {
+        per_station,
+        aggregate,
+        airtime_fraction,
+        successes,
+        collisions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rates: &[f64]) -> DcfOutcome {
+        let rates: Vec<Mbps> = rates.iter().map(|&r| Mbps::new(r)).collect();
+        simulate_dcf(&rates, &DcfConfig::default(), 42).unwrap()
+    }
+
+    #[test]
+    fn single_station_efficiency_below_phy_rate() {
+        let out = run(&[54.0]);
+        let t = out.per_station[0].value();
+        // Protocol overhead costs real throughput, but not an order of
+        // magnitude.
+        assert!(t > 20.0 && t < 54.0, "throughput {t}");
+        assert_eq!(out.collisions, 0);
+    }
+
+    #[test]
+    fn equal_stations_get_equal_shares() {
+        let out = run(&[54.0, 54.0, 54.0]);
+        let mean = out.aggregate.value() / 3.0;
+        for t in &out.per_station {
+            // Backoff randomness over a finite run leaves ~5-10% jitter.
+            assert!(
+                (t.value() - mean).abs() / mean < 0.12,
+                "station at {t} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_fairness_across_unequal_rates() {
+        // The performance anomaly: per-station throughputs equalize even
+        // with a 9x PHY-rate spread.
+        let out = run(&[54.0, 6.0]);
+        let ratio = out.per_station[0] / out.per_station[1];
+        assert!(
+            (0.85..1.18).contains(&ratio),
+            "throughput-fairness violated: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn slow_station_consumes_more_airtime() {
+        let out = run(&[54.0, 6.0]);
+        assert!(
+            out.airtime_fraction[1] > 3.0 * out.airtime_fraction[0],
+            "airtime {:?}",
+            out.airtime_fraction
+        );
+    }
+
+    #[test]
+    fn anomaly_adding_slow_station_crushes_fast_one() {
+        let alone = run(&[54.0]);
+        let mixed = run(&[54.0, 6.0]);
+        assert!(
+            mixed.per_station[0].value() < 0.4 * alone.per_station[0].value(),
+            "fast station kept {} of {}",
+            mixed.per_station[0],
+            alone.per_station[0]
+        );
+    }
+
+    #[test]
+    fn matches_analytic_harmonic_law() {
+        // Calibrate each station's effective single-station rate from the
+        // simulator, then check the multi-station per-user throughput
+        // against 1/Σ(1/r_eff) (Eq. 1 of the paper). The analytic law
+        // ignores collision costs, so the simulated value sits somewhat
+        // below the prediction; we require the right magnitude (within
+        // 35%) and exact throughput-fairness across stations.
+        let rates = [54.0, 24.0, 6.0];
+        let singles: Vec<f64> = rates.iter().map(|&r| run(&[r]).per_station[0].value()).collect();
+        let predicted_per_user = 1.0 / singles.iter().map(|r| 1.0 / r).sum::<f64>();
+        let out = run(&rates);
+        for t in &out.per_station {
+            let err = (t.value() - predicted_per_user).abs() / predicted_per_user;
+            assert!(
+                err < 0.35,
+                "per-user {} vs predicted {predicted_per_user}",
+                t.value()
+            );
+        }
+    }
+
+    #[test]
+    fn collisions_grow_with_contention() {
+        let few = run(&[54.0, 54.0]);
+        let many = run(&[54.0; 12]);
+        let few_rate = few.collisions as f64 / few.successes as f64;
+        let many_rate = many.collisions as f64 / many.successes as f64;
+        assert!(
+            many_rate > few_rate,
+            "collision rate did not grow: {few_rate} vs {many_rate}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let rates = [Mbps::new(54.0), Mbps::new(12.0)];
+        let a = simulate_dcf(&rates, &DcfConfig::default(), 9).unwrap();
+        let b = simulate_dcf(&rates, &DcfConfig::default(), 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_stay_close() {
+        let rates = [Mbps::new(54.0), Mbps::new(12.0)];
+        let a = simulate_dcf(&rates, &DcfConfig::default(), 1).unwrap();
+        let b = simulate_dcf(&rates, &DcfConfig::default(), 2).unwrap();
+        let rel = (a.aggregate.value() - b.aggregate.value()).abs() / a.aggregate.value();
+        assert!(rel < 0.1, "seed variance too high: {rel}");
+    }
+
+    #[test]
+    fn rejects_empty_and_unusable() {
+        assert_eq!(
+            simulate_dcf(&[], &DcfConfig::default(), 0).unwrap_err(),
+            WifiError::EmptyCell
+        );
+        assert!(matches!(
+            simulate_dcf(&[Mbps::ZERO], &DcfConfig::default(), 0).unwrap_err(),
+            WifiError::UnusableRate { .. }
+        ));
+    }
+
+    #[test]
+    fn rts_cts_costs_throughput_when_alone() {
+        let base = DcfConfig::default();
+        let rts = DcfConfig { rts_cts: true, ..base };
+        let alone_plain = simulate_dcf(&[Mbps::new(54.0)], &base, 1).unwrap();
+        let alone_rts = simulate_dcf(&[Mbps::new(54.0)], &rts, 1).unwrap();
+        assert!(
+            alone_rts.aggregate < alone_plain.aggregate,
+            "handshake should cost an uncontended station: {} vs {}",
+            alone_rts.aggregate,
+            alone_plain.aggregate
+        );
+    }
+
+    #[test]
+    fn rts_cts_pays_off_under_heavy_contention_with_long_frames() {
+        // Many stations with slow rates: full-frame collisions are very
+        // expensive, so the handshake wins.
+        let rates = vec![Mbps::new(2.0); 10];
+        let base = DcfConfig::default();
+        let rts = DcfConfig { rts_cts: true, ..base };
+        let plain = simulate_dcf(&rates, &base, 2).unwrap();
+        let with_rts = simulate_dcf(&rates, &rts, 2).unwrap();
+        assert!(
+            with_rts.aggregate > plain.aggregate,
+            "RTS/CTS should win here: {} vs {}",
+            with_rts.aggregate,
+            plain.aggregate
+        );
+    }
+
+    #[test]
+    fn rts_cts_duration_validated() {
+        let cfg = DcfConfig { rts_cts_us: 0.0, ..DcfConfig::default() };
+        assert!(simulate_dcf(&[Mbps::new(10.0)], &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = DcfConfig {
+            cw_min: 0,
+            ..DcfConfig::default()
+        };
+        assert!(simulate_dcf(&[Mbps::new(10.0)], &cfg, 0).is_err());
+        cfg = DcfConfig {
+            duration: Seconds::ZERO,
+            ..DcfConfig::default()
+        };
+        assert!(simulate_dcf(&[Mbps::new(10.0)], &cfg, 0).is_err());
+        cfg = DcfConfig {
+            cw_min: 64,
+            cw_max: 32,
+            ..DcfConfig::default()
+        };
+        assert!(simulate_dcf(&[Mbps::new(10.0)], &cfg, 0).is_err());
+    }
+}

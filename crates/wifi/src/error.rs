@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the WiFi substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WifiError {
+    /// A throughput computation was asked for a cell with no users.
+    EmptyCell,
+    /// A rate was zero, negative, or non-finite where a usable link rate is
+    /// required.
+    UnusableRate {
+        /// The offending rate in Mbit/s.
+        rate_mbps: f64,
+    },
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// Human-readable description of the parameter and its constraint.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for WifiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WifiError::EmptyCell => write!(f, "cell has no users"),
+            WifiError::UnusableRate { rate_mbps } => {
+                write!(f, "unusable link rate: {rate_mbps} Mbit/s")
+            }
+            WifiError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+        }
+    }
+}
+
+impl Error for WifiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(WifiError::EmptyCell.to_string(), "cell has no users");
+        assert!(WifiError::UnusableRate { rate_mbps: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WifiError>();
+    }
+}

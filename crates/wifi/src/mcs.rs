@@ -1,0 +1,424 @@
+//! RSSI → modulation-and-coding-scheme → rate tables.
+//!
+//! The paper's implementation reads "information on the modulation and
+//! coding scheme used for each WiFi channel" from the NIC driver "to
+//! estimate the transmission bit-rate between the user and the extender"
+//! (§V-A). We model that estimation step: a [`RateTable`] maps a received
+//! signal strength to the highest MCS whose receiver sensitivity it clears,
+//! and then to an *achievable* rate — the PHY rate discounted by a MAC
+//! efficiency factor (preamble, contention, ACKs, TCP overhead), which is
+//! the `r_ij` used throughout the paper's model (its Fig. 3a labels links
+//! with achievable rates like 15 or 40 Mbit/s, not raw PHY rates).
+
+use serde::{Deserialize, Serialize};
+use wolt_units::{Dbm, Mbps};
+
+use crate::WifiError;
+
+/// One MCS row: index, PHY rate, and the minimum RSSI needed to decode it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McsEntry {
+    /// MCS index (0 = most robust, highest index = fastest).
+    pub index: u8,
+    /// PHY bit rate at this MCS.
+    pub phy_rate: Mbps,
+    /// Receiver sensitivity: the minimum RSSI at which this MCS decodes.
+    pub min_rssi: Dbm,
+}
+
+/// An RSSI → rate lookup table plus MAC efficiency.
+///
+/// # Example
+///
+/// ```
+/// use wolt_units::Dbm;
+/// use wolt_wifi::RateTable;
+///
+/// let table = RateTable::ieee80211n_20mhz();
+/// let strong = table.achievable_rate(Dbm::new(-50.0)).unwrap();
+/// let weak = table.achievable_rate(Dbm::new(-80.0)).unwrap();
+/// assert!(strong > weak);
+/// assert!(table.achievable_rate(Dbm::new(-95.0)).is_none()); // out of range
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateTable {
+    entries: Vec<McsEntry>,
+    mac_efficiency: f64,
+}
+
+impl RateTable {
+    /// 802.11n, 20 MHz channel, one spatial stream, 800 ns guard interval
+    /// (MCS 0–7), with textbook receiver sensitivities.
+    ///
+    /// Achievable rates with the default 0.65 MAC efficiency span
+    /// ≈ 4–42 Mbit/s, matching the per-link WiFi rates observed in the
+    /// paper's testbed (Fig. 3a labels of 10–40 Mbit/s).
+    pub fn ieee80211n_20mhz() -> Self {
+        let rows: [(u8, f64, f64); 8] = [
+            (0, 6.5, -82.0),
+            (1, 13.0, -79.0),
+            (2, 19.5, -77.0),
+            (3, 26.0, -74.0),
+            (4, 39.0, -70.0),
+            (5, 52.0, -66.0),
+            (6, 58.5, -65.0),
+            (7, 65.0, -64.0),
+        ];
+        Self::from_entries(
+            rows.iter()
+                .map(|&(index, rate, rssi)| McsEntry {
+                    index,
+                    phy_rate: Mbps::new(rate),
+                    min_rssi: Dbm::new(rssi),
+                })
+                .collect(),
+            0.65,
+        )
+        .expect("built-in table is well-formed")
+    }
+
+    /// 802.11n, 40 MHz channel, one spatial stream, 800 ns guard interval
+    /// (MCS 0–7); the wide-channel option of dual-band extenders.
+    pub fn ieee80211n_40mhz() -> Self {
+        let rows: [(u8, f64, f64); 8] = [
+            (0, 13.5, -79.0),
+            (1, 27.0, -76.0),
+            (2, 40.5, -74.0),
+            (3, 54.0, -71.0),
+            (4, 81.0, -67.0),
+            (5, 108.0, -63.0),
+            (6, 121.5, -62.0),
+            (7, 135.0, -61.0),
+        ];
+        Self::from_entries(
+            rows.iter()
+                .map(|&(index, rate, rssi)| McsEntry {
+                    index,
+                    phy_rate: Mbps::new(rate),
+                    min_rssi: Dbm::new(rssi),
+                })
+                .collect(),
+            0.65,
+        )
+        .expect("built-in table is well-formed")
+    }
+
+
+    /// 802.11b (DSSS/CCK) rates — the Cisco Aironet 1200 class the paper's
+    /// simulation model cites for its distance → channel-quality mapping.
+    ///
+    /// Achievable rates with the default 0.65 MAC efficiency span
+    /// ≈ 0.65–7.2 Mbit/s, well below typical per-extender PLC shares —
+    /// the WiFi-bound regime of the paper's large-scale simulations.
+    pub fn ieee80211b() -> Self {
+        let rows: [(u8, f64, f64); 4] = [
+            (0, 1.0, -94.0),
+            (1, 2.0, -91.0),
+            (2, 5.5, -87.0),
+            (3, 11.0, -82.0),
+        ];
+        Self::from_entries(
+            rows.iter()
+                .map(|&(index, rate, rssi)| McsEntry {
+                    index,
+                    phy_rate: Mbps::new(rate),
+                    min_rssi: Dbm::new(rssi),
+                })
+                .collect(),
+            0.65,
+        )
+        .expect("built-in table is well-formed")
+    }
+
+    /// 802.11g (ERP-OFDM) rates 6–54 Mbit/s — the mid-generation option
+    /// between the 802.11b and 802.11n presets.
+    pub fn ieee80211g() -> Self {
+        let rows: [(u8, f64, f64); 8] = [
+            (0, 6.0, -90.0),
+            (1, 9.0, -89.0),
+            (2, 12.0, -87.0),
+            (3, 18.0, -85.0),
+            (4, 24.0, -82.0),
+            (5, 36.0, -78.0),
+            (6, 48.0, -74.0),
+            (7, 54.0, -72.0),
+        ];
+        Self::from_entries(
+            rows.iter()
+                .map(|&(index, rate, rssi)| McsEntry {
+                    index,
+                    phy_rate: Mbps::new(rate),
+                    min_rssi: Dbm::new(rssi),
+                })
+                .collect(),
+            0.65,
+        )
+        .expect("built-in table is well-formed")
+    }
+
+    /// Builds a table from explicit entries.
+    ///
+    /// Entries may be given in any order; they are sorted by sensitivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::InvalidConfig`] if `entries` is empty, any rate
+    /// is unusable, any sensitivity is non-finite, a faster MCS has a
+    /// *lower* sensitivity requirement than a slower one (non-monotone
+    /// table), or `mac_efficiency` is outside `(0, 1]`.
+    pub fn from_entries(mut entries: Vec<McsEntry>, mac_efficiency: f64) -> Result<Self, WifiError> {
+        if entries.is_empty() {
+            return Err(WifiError::InvalidConfig {
+                context: "rate table needs at least one entry",
+            });
+        }
+        if !(mac_efficiency > 0.0 && mac_efficiency <= 1.0) {
+            return Err(WifiError::InvalidConfig {
+                context: "mac efficiency must be in (0, 1]",
+            });
+        }
+        for e in &entries {
+            if !e.phy_rate.is_usable() {
+                return Err(WifiError::UnusableRate {
+                    rate_mbps: e.phy_rate.value(),
+                });
+            }
+            if !e.min_rssi.is_finite() {
+                return Err(WifiError::InvalidConfig {
+                    context: "mcs sensitivity must be finite",
+                });
+            }
+        }
+        entries.sort_by(|a, b| {
+            a.min_rssi
+                .partial_cmp(&b.min_rssi)
+                .expect("finite sensitivities compare")
+        });
+        for pair in entries.windows(2) {
+            if pair[1].phy_rate < pair[0].phy_rate {
+                return Err(WifiError::InvalidConfig {
+                    context: "rate must be non-decreasing in sensitivity",
+                });
+            }
+        }
+        Ok(Self {
+            entries,
+            mac_efficiency,
+        })
+    }
+
+    /// Returns a copy with a different MAC efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::InvalidConfig`] if `mac_efficiency` is outside
+    /// `(0, 1]`.
+    pub fn with_mac_efficiency(self, mac_efficiency: f64) -> Result<Self, WifiError> {
+        Self::from_entries(self.entries, mac_efficiency)
+    }
+
+    /// The table rows, sorted from most robust to fastest.
+    pub fn entries(&self) -> &[McsEntry] {
+        &self.entries
+    }
+
+    /// MAC efficiency factor applied by [`Self::achievable_rate`].
+    pub fn mac_efficiency(&self) -> f64 {
+        self.mac_efficiency
+    }
+
+    /// Highest MCS decodable at `rssi`, or `None` if even the most robust
+    /// MCS cannot decode (the station cannot associate).
+    pub fn mcs_for_rssi(&self, rssi: Dbm) -> Option<McsEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| rssi >= e.min_rssi)
+            .copied()
+    }
+
+    /// PHY rate at `rssi`, or `None` when out of range.
+    pub fn phy_rate(&self, rssi: Dbm) -> Option<Mbps> {
+        self.mcs_for_rssi(rssi).map(|e| e.phy_rate)
+    }
+
+    /// Achievable saturation throughput at `rssi` — PHY rate × MAC
+    /// efficiency — or `None` when out of range. This is the paper's
+    /// `r_ij`.
+    pub fn achievable_rate(&self, rssi: Dbm) -> Option<Mbps> {
+        self.phy_rate(rssi).map(|r| r * self.mac_efficiency)
+    }
+
+    /// The weakest RSSI at which a station can still associate.
+    pub fn association_threshold(&self) -> Dbm {
+        self.entries[0].min_rssi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_signal_gets_top_mcs() {
+        let t = RateTable::ieee80211n_20mhz();
+        let e = t.mcs_for_rssi(Dbm::new(-40.0)).unwrap();
+        assert_eq!(e.index, 7);
+        assert_eq!(e.phy_rate, Mbps::new(65.0));
+    }
+
+    #[test]
+    fn weak_signal_gets_bottom_mcs() {
+        let t = RateTable::ieee80211n_20mhz();
+        let e = t.mcs_for_rssi(Dbm::new(-81.0)).unwrap();
+        assert_eq!(e.index, 0);
+    }
+
+    #[test]
+    fn below_threshold_gets_nothing() {
+        let t = RateTable::ieee80211n_20mhz();
+        assert_eq!(t.mcs_for_rssi(Dbm::new(-82.5)), None);
+        assert_eq!(t.achievable_rate(Dbm::new(-100.0)), None);
+    }
+
+    #[test]
+    fn boundary_rssi_is_inclusive() {
+        let t = RateTable::ieee80211n_20mhz();
+        assert_eq!(t.mcs_for_rssi(Dbm::new(-82.0)).unwrap().index, 0);
+        assert_eq!(t.mcs_for_rssi(Dbm::new(-64.0)).unwrap().index, 7);
+    }
+
+    #[test]
+    fn achievable_applies_efficiency() {
+        let t = RateTable::ieee80211n_20mhz();
+        let phy = t.phy_rate(Dbm::new(-50.0)).unwrap();
+        let ach = t.achievable_rate(Dbm::new(-50.0)).unwrap();
+        assert!((ach.value() - phy.value() * 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_monotone_in_rssi() {
+        let t = RateTable::ieee80211n_20mhz();
+        let mut prev = Mbps::ZERO;
+        for rssi in (-85..=-40).map(|v| Dbm::new(v as f64)) {
+            if let Some(r) = t.achievable_rate(rssi) {
+                assert!(r >= prev, "rate not monotone at {rssi}");
+                prev = r;
+            } else {
+                assert_eq!(prev, Mbps::ZERO, "gap in coverage at {rssi}");
+            }
+        }
+    }
+
+    #[test]
+    fn association_threshold_is_weakest_sensitivity() {
+        let t = RateTable::ieee80211n_20mhz();
+        assert_eq!(t.association_threshold(), Dbm::new(-82.0));
+    }
+
+    #[test]
+    fn dot11b_is_slower_and_longer_ranged_than_dot11n() {
+        let b = RateTable::ieee80211b();
+        let n = RateTable::ieee80211n_20mhz();
+        // 802.11b tops out at 11 Mbit/s PHY...
+        assert_eq!(b.phy_rate(Dbm::new(-40.0)).unwrap(), Mbps::new(11.0));
+        // ...but decodes far weaker signals than 802.11n.
+        assert!(b.association_threshold() < n.association_threshold());
+        assert!(b.achievable_rate(Dbm::new(-90.0)).is_some());
+        assert!(n.achievable_rate(Dbm::new(-90.0)).is_none());
+    }
+
+    #[test]
+    fn dot11g_sits_between_b_and_n() {
+        let b = RateTable::ieee80211b();
+        let g = RateTable::ieee80211g();
+        let n = RateTable::ieee80211n_20mhz();
+        let strong = Dbm::new(-40.0);
+        assert!(g.phy_rate(strong).unwrap() > b.phy_rate(strong).unwrap());
+        assert!(g.phy_rate(strong).unwrap() < n.phy_rate(strong).unwrap());
+        // g decodes weaker signals than n but not as weak as b.
+        assert!(g.association_threshold() < n.association_threshold());
+        assert!(g.association_threshold() > b.association_threshold());
+    }
+
+    #[test]
+    fn forty_mhz_is_faster_at_same_mcs() {
+        let narrow = RateTable::ieee80211n_20mhz();
+        let wide = RateTable::ieee80211n_40mhz();
+        let rssi = Dbm::new(-50.0);
+        assert!(wide.phy_rate(rssi).unwrap() > narrow.phy_rate(rssi).unwrap());
+    }
+
+    #[test]
+    fn from_entries_rejects_empty() {
+        assert!(matches!(
+            RateTable::from_entries(vec![], 0.5),
+            Err(WifiError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn from_entries_rejects_bad_efficiency() {
+        let e = McsEntry {
+            index: 0,
+            phy_rate: Mbps::new(6.5),
+            min_rssi: Dbm::new(-82.0),
+        };
+        assert!(RateTable::from_entries(vec![e], 0.0).is_err());
+        assert!(RateTable::from_entries(vec![e], 1.5).is_err());
+        assert!(RateTable::from_entries(vec![e], 1.0).is_ok());
+    }
+
+    #[test]
+    fn from_entries_rejects_non_monotone_rates() {
+        let entries = vec![
+            McsEntry {
+                index: 0,
+                phy_rate: Mbps::new(50.0),
+                min_rssi: Dbm::new(-82.0),
+            },
+            McsEntry {
+                index: 1,
+                phy_rate: Mbps::new(10.0),
+                min_rssi: Dbm::new(-60.0),
+            },
+        ];
+        assert!(matches!(
+            RateTable::from_entries(entries, 0.65),
+            Err(WifiError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn from_entries_rejects_unusable_rate() {
+        let entries = vec![McsEntry {
+            index: 0,
+            phy_rate: Mbps::ZERO,
+            min_rssi: Dbm::new(-82.0),
+        }];
+        assert!(matches!(
+            RateTable::from_entries(entries, 0.65),
+            Err(WifiError::UnusableRate { .. })
+        ));
+    }
+
+    #[test]
+    fn from_entries_sorts_input() {
+        let entries = vec![
+            McsEntry {
+                index: 1,
+                phy_rate: Mbps::new(20.0),
+                min_rssi: Dbm::new(-60.0),
+            },
+            McsEntry {
+                index: 0,
+                phy_rate: Mbps::new(10.0),
+                min_rssi: Dbm::new(-80.0),
+            },
+        ];
+        let t = RateTable::from_entries(entries, 0.65).unwrap();
+        assert_eq!(t.entries()[0].index, 0);
+        assert_eq!(t.mcs_for_rssi(Dbm::new(-70.0)).unwrap().index, 0);
+        assert_eq!(t.mcs_for_rssi(Dbm::new(-50.0)).unwrap().index, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Log-distance path-loss channel model.
+//!
+//! The paper's simulator uses "a simple model to simulate the WiFi channel
+//! qualities where the channel quality is a function of the distance between
+//! the extender and the user" (§V-A, citing a Cisco Aironet data sheet).
+//! The standard such model for indoor 802.11 is log-distance path loss:
+//!
+//! ```text
+//! PL(d) = PL(d0) + 10·n·log10(d/d0) + X_σ
+//! ```
+//!
+//! where `n` is the path-loss exponent (≈ 3 for an office with interior
+//! walls) and `X_σ` is optional zero-mean Gaussian shadowing. Received
+//! signal strength is then `RSSI = P_tx − PL(d)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wolt_units::{Db, Dbm, Meters};
+
+use crate::WifiError;
+
+/// Log-distance path-loss model with optional log-normal shadowing.
+///
+/// # Example
+///
+/// ```
+/// use wolt_units::{Dbm, Meters};
+/// use wolt_wifi::LogDistanceModel;
+///
+/// let model = LogDistanceModel::office_2_4ghz();
+/// let near = model.rssi(Dbm::new(20.0), Meters::new(2.0));
+/// let far = model.rssi(Dbm::new(20.0), Meters::new(40.0));
+/// assert!(near > far);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDistanceModel {
+    /// Path loss at the reference distance, in dB.
+    pub reference_loss: Db,
+    /// Reference distance `d0` (usually 1 m).
+    pub reference_distance: Meters,
+    /// Path-loss exponent `n` (2 = free space, ~3 = office, ~4 = dense).
+    pub exponent: f64,
+    /// Standard deviation of log-normal shadowing in dB (0 = deterministic).
+    pub shadowing_sigma: f64,
+}
+
+impl LogDistanceModel {
+    /// Office model at 2.4 GHz: 40 dB loss at 1 m, exponent 3.0.
+    ///
+    /// Yields full-rate coverage out to ≈ 15 m and association cut-off
+    /// around 55–65 m with 20 dBm transmit power and the
+    /// [`crate::RateTable::ieee80211n_20mhz`] sensitivities — consistent
+    /// with enterprise WiFi cells and with the paper's 100 m × 100 m
+    /// 15-extender floor plan.
+    pub fn office_2_4ghz() -> Self {
+        Self {
+            reference_loss: Db::new(40.0),
+            reference_distance: Meters::new(1.0),
+            exponent: 3.0,
+            shadowing_sigma: 0.0,
+        }
+    }
+
+    /// Office model at 5 GHz: 46 dB loss at 1 m, exponent 3.2 (5 GHz
+    /// attenuates faster through walls).
+    pub fn office_5ghz() -> Self {
+        Self {
+            reference_loss: Db::new(46.0),
+            reference_distance: Meters::new(1.0),
+            exponent: 3.2,
+            shadowing_sigma: 0.0,
+        }
+    }
+
+    /// Returns a copy with log-normal shadowing of the given σ (dB).
+    pub fn with_shadowing(mut self, sigma_db: f64) -> Self {
+        self.shadowing_sigma = sigma_db;
+        self
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::InvalidConfig`] when the exponent, reference
+    /// distance, or shadowing σ is non-positive/negative respectively or
+    /// non-finite.
+    pub fn validate(&self) -> Result<(), WifiError> {
+        if !(self.exponent.is_finite() && self.exponent > 0.0) {
+            return Err(WifiError::InvalidConfig {
+                context: "path-loss exponent must be finite and positive",
+            });
+        }
+        if !(self.reference_distance.value().is_finite() && self.reference_distance.value() > 0.0)
+        {
+            return Err(WifiError::InvalidConfig {
+                context: "reference distance must be finite and positive",
+            });
+        }
+        if !(self.shadowing_sigma.is_finite() && self.shadowing_sigma >= 0.0) {
+            return Err(WifiError::InvalidConfig {
+                context: "shadowing sigma must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+
+    /// Deterministic (median) path loss at distance `d`.
+    ///
+    /// Distances below the reference distance are clamped to it, so the
+    /// loss function is monotone and never negative-slope near zero.
+    pub fn loss(&self, d: Meters) -> Db {
+        let d = d.max(self.reference_distance);
+        let ratio = d / self.reference_distance;
+        Db::new(self.reference_loss.value() + 10.0 * self.exponent * ratio.log10())
+    }
+
+    /// Path loss with a shadowing sample drawn from `rng`.
+    pub fn loss_shadowed<R: Rng + ?Sized>(&self, d: Meters, rng: &mut R) -> Db {
+        let median = self.loss(d);
+        if self.shadowing_sigma == 0.0 {
+            return median;
+        }
+        // Box-Muller transform for a standard normal sample; rand's
+        // distributions module is avoided to keep the dependency surface to
+        // the core `Rng` trait.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        Db::new(median.value() + self.shadowing_sigma * z)
+    }
+
+    /// Median received signal strength for a transmitter at `tx_power`.
+    pub fn rssi(&self, tx_power: Dbm, d: Meters) -> Dbm {
+        tx_power.minus_loss(self.loss(d))
+    }
+
+    /// Received signal strength with a shadowing sample drawn from `rng`.
+    pub fn rssi_shadowed<R: Rng + ?Sized>(&self, tx_power: Dbm, d: Meters, rng: &mut R) -> Dbm {
+        tx_power.minus_loss(self.loss_shadowed(d, rng))
+    }
+
+    /// Distance at which the median RSSI drops to `threshold` — the cell
+    /// radius for a given receiver sensitivity.
+    pub fn range_for_rssi(&self, tx_power: Dbm, threshold: Dbm) -> Meters {
+        let budget = tx_power.value() - threshold.value() - self.reference_loss.value();
+        if budget <= 0.0 {
+            return self.reference_distance;
+        }
+        Meters::new(self.reference_distance.value() * 10f64.powf(budget / (10.0 * self.exponent)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn loss_increases_with_distance() {
+        let m = LogDistanceModel::office_2_4ghz();
+        let mut prev = Db::new(0.0);
+        for d in [1.0, 2.0, 5.0, 10.0, 50.0, 100.0] {
+            let l = m.loss(Meters::new(d));
+            assert!(l > prev, "loss not monotone at {d} m");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn loss_at_reference_distance_is_reference_loss() {
+        let m = LogDistanceModel::office_2_4ghz();
+        assert_eq!(m.loss(Meters::new(1.0)), Db::new(40.0));
+    }
+
+    #[test]
+    fn loss_clamped_below_reference_distance() {
+        let m = LogDistanceModel::office_2_4ghz();
+        assert_eq!(m.loss(Meters::new(0.1)), m.loss(Meters::new(1.0)));
+        assert_eq!(m.loss(Meters::ZERO), Db::new(40.0));
+    }
+
+    #[test]
+    fn ten_x_distance_adds_10n_db() {
+        let m = LogDistanceModel::office_2_4ghz();
+        let l1 = m.loss(Meters::new(3.0));
+        let l10 = m.loss(Meters::new(30.0));
+        assert!((l10.value() - l1.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rssi_is_tx_minus_loss() {
+        let m = LogDistanceModel::office_2_4ghz();
+        let rssi = m.rssi(Dbm::new(20.0), Meters::new(10.0));
+        assert!((rssi.value() - (20.0 - 70.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_inverts_rssi() {
+        let m = LogDistanceModel::office_2_4ghz();
+        let tx = Dbm::new(20.0);
+        let threshold = Dbm::new(-75.0);
+        let range = m.range_for_rssi(tx, threshold);
+        let rssi_at_range = m.rssi(tx, range);
+        assert!((rssi_at_range.value() - threshold.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_clamps_to_reference_when_budget_negative() {
+        let m = LogDistanceModel::office_2_4ghz();
+        let range = m.range_for_rssi(Dbm::new(0.0), Dbm::new(0.0));
+        assert_eq!(range, m.reference_distance);
+    }
+
+    #[test]
+    fn shadowing_zero_is_deterministic() {
+        let m = LogDistanceModel::office_2_4ghz();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = m.loss_shadowed(Meters::new(10.0), &mut rng);
+        assert_eq!(a, m.loss(Meters::new(10.0)));
+    }
+
+    #[test]
+    fn shadowing_has_roughly_zero_mean_and_given_sigma() {
+        let m = LogDistanceModel::office_2_4ghz().with_shadowing(6.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let median = m.loss(Meters::new(10.0)).value();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.loss_shadowed(Meters::new(10.0), &mut rng).value() - median)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.2, "shadowing mean {mean} too far from 0");
+        assert!(
+            (var.sqrt() - 6.0).abs() < 0.2,
+            "shadowing sigma {} too far from 6",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn five_ghz_attenuates_faster() {
+        let m24 = LogDistanceModel::office_2_4ghz();
+        let m5 = LogDistanceModel::office_5ghz();
+        let d = Meters::new(30.0);
+        assert!(m5.loss(d) > m24.loss(d));
+    }
+
+    #[test]
+    fn validate_catches_bad_parameters() {
+        let mut m = LogDistanceModel::office_2_4ghz();
+        assert!(m.validate().is_ok());
+        m.exponent = 0.0;
+        assert!(m.validate().is_err());
+        m = LogDistanceModel::office_2_4ghz();
+        m.reference_distance = Meters::ZERO;
+        assert!(m.validate().is_err());
+        m = LogDistanceModel::office_2_4ghz();
+        m.shadowing_sigma = -1.0;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end distance → achievable-rate radio model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wolt_units::{Dbm, Mbps, Meters};
+
+use crate::{LogDistanceModel, RateTable, WifiError};
+
+/// A complete WiFi radio model: transmit power, propagation, and rate table.
+///
+/// This composes the pieces the paper's simulator needs: "the distance
+/// between every user and extender is computed and the corresponding WiFi
+/// channel is estimated" (§V-A). One `WifiRadio` describes one class of
+/// extender hardware; all extenders in an experiment typically share it.
+///
+/// # Example
+///
+/// ```
+/// use wolt_units::Meters;
+/// use wolt_wifi::WifiRadio;
+///
+/// let radio = WifiRadio::office_default();
+/// assert!(radio.rate_at_distance(Meters::new(3.0)).unwrap()
+///     > radio.rate_at_distance(Meters::new(40.0)).unwrap());
+/// assert_eq!(radio.rate_at_distance(Meters::new(500.0)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WifiRadio {
+    /// Transmit power of the extender's WiFi interface.
+    pub tx_power: Dbm,
+    /// Propagation model between extender and users.
+    pub pathloss: LogDistanceModel,
+    /// RSSI → achievable rate mapping.
+    pub rate_table: RateTable,
+}
+
+impl WifiRadio {
+    /// Default enterprise-office radio: 20 dBm transmit power, 2.4 GHz
+    /// office path loss, 802.11n 20 MHz rates.
+    pub fn office_default() -> Self {
+        Self {
+            tx_power: Dbm::new(20.0),
+            pathloss: LogDistanceModel::office_2_4ghz(),
+            rate_table: RateTable::ieee80211n_20mhz(),
+        }
+    }
+
+    /// The radio class of the paper's large-scale simulation: Cisco
+    /// Aironet 1200-era 802.11b rates over a heavily-obstructed office
+    /// (path-loss exponent 4). Achievable rates span ≈ 0.65–7.2 Mbit/s —
+    /// well below typical per-extender PLC shares, putting the network in
+    /// the WiFi-bound regime the paper's Fig. 6 experiments exercise.
+    pub fn enterprise_80211b() -> Self {
+        Self {
+            tx_power: Dbm::new(20.0),
+            pathloss: LogDistanceModel {
+                exponent: 4.0,
+                ..LogDistanceModel::office_2_4ghz()
+            },
+            rate_table: RateTable::ieee80211b(),
+        }
+    }
+
+    /// The radio class of the paper's testbed experiments: 802.11n
+    /// extenders in a cluttered lab (tables, cubicles, equipment →
+    /// exponent 4, modest transmit power), producing the 4–42 Mbit/s
+    /// per-link achievable rates visible in the paper's Fig. 3a.
+    pub fn lab_80211n() -> Self {
+        Self {
+            tx_power: Dbm::new(15.0),
+            pathloss: LogDistanceModel {
+                exponent: 4.0,
+                ..LogDistanceModel::office_2_4ghz()
+            },
+            rate_table: RateTable::ieee80211n_20mhz(),
+        }
+    }
+
+    /// Validates the composed configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WifiError::InvalidConfig`] from the path-loss model and
+    /// rejects a non-finite transmit power.
+    pub fn validate(&self) -> Result<(), WifiError> {
+        if !self.tx_power.is_finite() {
+            return Err(WifiError::InvalidConfig {
+                context: "tx power must be finite",
+            });
+        }
+        self.pathloss.validate()
+    }
+
+    /// Median RSSI observed by a user at distance `d`.
+    pub fn rssi_at_distance(&self, d: Meters) -> Dbm {
+        self.pathloss.rssi(self.tx_power, d)
+    }
+
+    /// Achievable rate (`r_ij`) at distance `d` with median propagation, or
+    /// `None` when the user is out of association range.
+    pub fn rate_at_distance(&self, d: Meters) -> Option<Mbps> {
+        self.rate_table
+            .achievable_rate(self.rssi_at_distance(d))
+    }
+
+    /// Achievable rate with a shadowing sample drawn from `rng`.
+    pub fn rate_at_distance_shadowed<R: Rng + ?Sized>(
+        &self,
+        d: Meters,
+        rng: &mut R,
+    ) -> Option<Mbps> {
+        let rssi = self.pathloss.rssi_shadowed(self.tx_power, d, rng);
+        self.rate_table.achievable_rate(rssi)
+    }
+
+    /// Maximum distance at which a user can still associate (median
+    /// propagation).
+    pub fn association_range(&self) -> Meters {
+        self.pathloss
+            .range_for_rssi(self.tx_power, self.rate_table.association_threshold())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_user_gets_top_rate() {
+        let radio = WifiRadio::office_default();
+        let r = radio.rate_at_distance(Meters::new(1.0)).unwrap();
+        assert!((r.value() - 65.0 * 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_degrades_monotonically_with_distance() {
+        let radio = WifiRadio::office_default();
+        let mut prev = Mbps::new(f64::MAX);
+        for d in [1.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0] {
+            match radio.rate_at_distance(Meters::new(d)) {
+                Some(r) => {
+                    assert!(r <= prev, "rate increased at {d} m");
+                    prev = r;
+                }
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn association_range_consistent_with_rate_lookup() {
+        let radio = WifiRadio::office_default();
+        let range = radio.association_range();
+        assert!(radio
+            .rate_at_distance(Meters::new(range.value() * 0.99))
+            .is_some());
+        assert!(radio
+            .rate_at_distance(Meters::new(range.value() * 1.01))
+            .is_none());
+    }
+
+    #[test]
+    fn association_range_is_realistic_for_enterprise() {
+        // With the default model the cell radius should land in the tens of
+        // metres (an enterprise access point, not a city-wide tower).
+        let radio = WifiRadio::office_default();
+        let range = radio.association_range().value();
+        assert!((30.0..120.0).contains(&range), "range {range} m");
+    }
+
+    #[test]
+    fn enterprise_radio_is_wifi_bound_class() {
+        let r = WifiRadio::enterprise_80211b();
+        // Nearby users get at most 11 * 0.65 ≈ 7.2 Mbit/s.
+        let near = r.rate_at_distance(Meters::new(2.0)).unwrap();
+        assert!((near.value() - 11.0 * 0.65).abs() < 1e-9);
+        // Coverage reaches most of a 100 m plane cell.
+        assert!(r.association_range().value() > 50.0);
+    }
+
+    #[test]
+    fn lab_radio_spans_the_paper_rate_range() {
+        let r = WifiRadio::lab_80211n();
+        let near = r.rate_at_distance(Meters::new(2.0)).unwrap();
+        let far_range = r.association_range().value();
+        assert!(near.value() > 35.0, "near rate {near}");
+        assert!((15.0..60.0).contains(&far_range), "range {far_range}");
+    }
+
+    #[test]
+    fn validate_propagates_pathloss_errors() {
+        let mut radio = WifiRadio::office_default();
+        assert!(radio.validate().is_ok());
+        radio.pathloss.exponent = -1.0;
+        assert!(radio.validate().is_err());
+        radio = WifiRadio::office_default();
+        radio.tx_power = Dbm::new(f64::NAN);
+        assert!(radio.validate().is_err());
+    }
+
+    #[test]
+    fn shadowed_rate_varies_but_stays_in_table() {
+        use rand::SeedableRng;
+        let mut radio = WifiRadio::office_default();
+        radio.pathloss = radio.pathloss.with_shadowing(8.0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let rates: Vec<Option<Mbps>> = (0..200)
+            .map(|_| radio.rate_at_distance_shadowed(Meters::new(30.0), &mut rng))
+            .collect();
+        let distinct: std::collections::BTreeSet<String> = rates
+            .iter()
+            .map(|r| format!("{:?}", r.map(|m| m.value())))
+            .collect();
+        assert!(distinct.len() > 1, "shadowing produced no rate diversity");
+        for r in rates.into_iter().flatten() {
+            assert!(r.value() <= 65.0 * 0.65 + 1e-9);
+            assert!(r.value() >= 6.5 * 0.65 - 1e-9);
+        }
+    }
+}

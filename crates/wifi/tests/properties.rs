@@ -1,0 +1,123 @@
+//! Property-based tests for the 802.11 substrate.
+
+use proptest::prelude::*;
+use wolt_units::{Dbm, Mbps, Meters, Seconds};
+use wolt_wifi::cell::{aggregate_throughput, per_user_throughput, CellLoad};
+use wolt_wifi::dcf::{simulate_dcf, DcfConfig};
+use wolt_wifi::{LogDistanceModel, RateTable, WifiRadio};
+
+fn rates(max_len: usize) -> impl Strategy<Value = Vec<Mbps>> {
+    proptest::collection::vec((1.0f64..60.0).prop_map(Mbps::new), 1..=max_len)
+}
+
+proptest! {
+    /// Eq. 1 invariants: aggregate = n × per-user, bounded by min/max rate.
+    #[test]
+    fn cell_model_invariants(rates in rates(8)) {
+        let per_user = per_user_throughput(&rates).expect("usable rates");
+        let aggregate = aggregate_throughput(&rates).expect("usable rates");
+        prop_assert!((aggregate.value() - per_user.value() * rates.len() as f64).abs() < 1e-9);
+        let min = rates.iter().map(|r| r.value()).fold(f64::INFINITY, f64::min);
+        let max = rates.iter().map(|r| r.value()).fold(0.0, f64::max);
+        prop_assert!(aggregate.value() <= max + 1e-9);
+        prop_assert!(aggregate.value() >= min - 1e-9);
+        prop_assert!(per_user.value() <= min + 1e-9, "per-user above slowest rate");
+    }
+
+    /// Adding a user never increases anyone's throughput (contention is
+    /// monotone).
+    #[test]
+    fn adding_user_is_monotone_decreasing(rates in rates(6), extra in 1.0f64..60.0) {
+        let before = per_user_throughput(&rates).expect("usable");
+        let mut bigger = rates.clone();
+        bigger.push(Mbps::new(extra));
+        let after = per_user_throughput(&bigger).expect("usable");
+        prop_assert!(after <= before + Mbps::new(1e-12));
+    }
+
+    /// CellLoad tracks the direct computation through arbitrary
+    /// join/leave sequences.
+    #[test]
+    fn cell_load_consistent_with_direct(rates in rates(8)) {
+        let mut cell = CellLoad::new();
+        for &r in &rates {
+            cell.join(r);
+        }
+        let direct = aggregate_throughput(&rates).expect("usable");
+        prop_assert!((cell.aggregate().value() - direct.value()).abs() < 1e-9);
+        // Leave half of them and re-check.
+        let (keep, drop) = rates.split_at(rates.len() / 2);
+        for &r in drop {
+            cell.leave(r);
+        }
+        if !keep.is_empty() {
+            let direct = aggregate_throughput(keep).expect("usable");
+            prop_assert!((cell.aggregate().value() - direct.value()).abs() < 1e-9);
+        } else {
+            prop_assert!(cell.is_empty());
+        }
+    }
+
+    /// Path loss is monotone in distance for any valid exponent.
+    #[test]
+    fn pathloss_monotone(exponent in 1.5f64..5.0, d1 in 1.0f64..100.0, d2 in 1.0f64..100.0) {
+        let model = LogDistanceModel {
+            exponent,
+            ..LogDistanceModel::office_2_4ghz()
+        };
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(model.loss(Meters::new(near)) <= model.loss(Meters::new(far)));
+    }
+
+    /// The rate tables are monotone: more signal never means less rate.
+    #[test]
+    fn rate_tables_monotone(rssi1 in -100.0f64..-30.0, rssi2 in -100.0f64..-30.0) {
+        for table in [
+            RateTable::ieee80211b(),
+            RateTable::ieee80211g(),
+            RateTable::ieee80211n_20mhz(),
+            RateTable::ieee80211n_40mhz(),
+        ] {
+            let (weak, strong) = if rssi1 <= rssi2 { (rssi1, rssi2) } else { (rssi2, rssi1) };
+            let weak_rate = table.achievable_rate(Dbm::new(weak));
+            let strong_rate = table.achievable_rate(Dbm::new(strong));
+            match (weak_rate, strong_rate) {
+                (Some(w), Some(s)) => prop_assert!(s >= w),
+                (Some(_), None) => prop_assert!(false, "stronger signal lost coverage"),
+                _ => {}
+            }
+        }
+    }
+
+    /// Radio rate lookups agree with the table applied to the computed
+    /// RSSI.
+    #[test]
+    fn radio_composes_pathloss_and_table(d in 1.0f64..120.0) {
+        let radio = WifiRadio::lab_80211n();
+        let rssi = radio.rssi_at_distance(Meters::new(d));
+        prop_assert_eq!(
+            radio.rate_at_distance(Meters::new(d)),
+            radio.rate_table.achievable_rate(rssi)
+        );
+    }
+
+    /// DCF conservation: airtime fractions sum below 1 and throughputs
+    /// are positive under saturation.
+    #[test]
+    fn dcf_conservation(n in 1usize..6, seed in 0u64..50) {
+        let rates: Vec<Mbps> = (0..n).map(|i| Mbps::new(6.0 + 8.0 * i as f64)).collect();
+        let cfg = DcfConfig {
+            duration: Seconds::new(1.0),
+            ..DcfConfig::default()
+        };
+        let out = simulate_dcf(&rates, &cfg, seed).expect("valid sim");
+        let airtime: f64 = out.airtime_fraction.iter().sum();
+        prop_assert!(airtime <= 1.0 + 1e-9);
+        prop_assert!(out.per_station.iter().all(|t| t.value() >= 0.0));
+        // Over a 1 s horizon every saturated station should have won at
+        // least once; allow a rare unlucky straggler but never a majority.
+        let starved = out.per_station.iter().filter(|t| t.value() == 0.0).count();
+        prop_assert!(starved * 2 < n.max(1) + 1, "{starved}/{n} stations starved");
+        prop_assert!(out.aggregate.value() <= rates.iter().map(|r| r.value()).fold(0.0, f64::max));
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's Fig. 3 case study, step by step.
+//!
+//! Two extenders (PLC 60 / 20 Mbit/s) and two users. Watch the three
+//! association strategies land at 22, 30, and 40 Mbit/s.
+//!
+//! ```text
+//! cargo run -p wolt-examples --bin case_study
+//! ```
+
+use wolt_core::baselines::{Greedy, Optimal, Rssi};
+use wolt_core::{evaluate, AssociationPolicy, Network, Wolt};
+use wolt_examples::{banner, mbps};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 3 case study");
+    println!("extender 1: PLC 60 Mbit/s   extender 2: PLC 20 Mbit/s");
+    println!("user 1 WiFi rates: 15 / 10  user 2 WiFi rates: 40 / 20");
+
+    let network = Network::from_raw(
+        vec![60.0, 20.0],
+        vec![vec![15.0, 10.0], vec![40.0, 20.0]],
+    )?;
+
+    let wolt = Wolt::new();
+    let greedy = Greedy::new();
+    let policies: [(&dyn AssociationPolicy, &str); 4] = [
+        (&Rssi, "both users chase the strongest signal and pile onto extender 1"),
+        (
+            &greedy,
+            "arrivals optimize one at a time; leftover PLC airtime rescues user 2",
+        ),
+        (&Optimal, "brute force over all 4 associations"),
+        (&wolt, "phase I matches users to extenders, phase II fills in the rest"),
+    ];
+
+    for (policy, story) in policies {
+        let association = policy.associate(&network)?;
+        let eval = evaluate(&network, &association)?;
+        banner(policy.name());
+        println!("{story}");
+        for user in 0..2 {
+            println!(
+                "  user {} -> extender {}: {}",
+                user + 1,
+                association.target(user).expect("complete") + 1,
+                mbps(eval.per_user[user].value())
+            );
+        }
+        println!("  aggregate: {}", mbps(eval.aggregate.value()));
+    }
+
+    banner("takeaway");
+    println!("RSSI ~22, Greedy 30, Optimal 40 — and WOLT recovers the optimum");
+    println!("in polynomial time, exactly as the paper's Fig. 3 reports.");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Online dynamics: users arrive and depart; WOLT reconfigures each epoch.
+//!
+//! Reproduces the setting of the paper's Fig. 6b/6c at example scale.
+//!
+//! ```text
+//! cargo run -p wolt-examples --bin online_dynamics
+//! ```
+
+use wolt_examples::banner;
+use wolt_sim::dynamics::DynamicsConfig;
+use wolt_sim::experiment::{DynamicSimulation, OnlinePolicy};
+use wolt_sim::scenario::ScenarioConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("online dynamics (Poisson arrivals λ=3, departures μ=1)");
+
+    let sim = DynamicSimulation::new(ScenarioConfig::enterprise(36), DynamicsConfig::default());
+    let epochs = 4;
+
+    for policy in [OnlinePolicy::Wolt, OnlinePolicy::GreedyOnline, OnlinePolicy::Rssi] {
+        banner(policy.name());
+        println!("epoch | users | arrivals | departures | aggregate Mbit/s | reassignments");
+        for record in sim.run(policy, epochs, 7)? {
+            println!(
+                "{:>5} | {:>5} | {:>8} | {:>10} | {:>16.2} | {:>13}",
+                record.epoch,
+                record.users,
+                record.arrivals,
+                record.departures,
+                record.aggregate,
+                record.reassignments
+            );
+        }
+    }
+
+    banner("takeaway");
+    println!("WOLT re-assigns a bounded handful of users per epoch and stays ahead");
+    println!("of the never-reassigning greedy policy as the population grows.");
+    Ok(())
+}

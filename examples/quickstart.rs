@@ -1,0 +1,53 @@
+//! Quickstart: build a small PLC-WiFi network by hand and let WOLT
+//! configure it.
+//!
+//! ```text
+//! cargo run -p wolt-examples --bin quickstart
+//! ```
+
+use wolt_core::{evaluate, AssociationPolicy, Network, Wolt};
+use wolt_examples::{banner, mbps};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("WOLT quickstart");
+
+    // Three extenders with different PLC backhaul capacities (Mbit/s)...
+    let capacities = vec![120.0, 45.0, 80.0];
+    // ...and five users with their achievable WiFi rate to each extender
+    // (rows = users, columns = extenders; 0.0 = out of range).
+    let rates = vec![
+        vec![40.0, 8.0, 0.0],
+        vec![35.0, 12.0, 5.0],
+        vec![6.0, 30.0, 11.0],
+        vec![0.0, 22.0, 28.0],
+        vec![9.0, 0.0, 33.0],
+    ];
+    let network = Network::from_raw(capacities, rates)?;
+
+    // Run the full two-phase WOLT algorithm.
+    let association = Wolt::new().associate(&network)?;
+
+    banner("association");
+    for user in 0..network.users() {
+        let ext = association.target(user).expect("complete association");
+        println!(
+            "user {user} -> extender {ext} (WiFi rate {})",
+            mbps(network.rate(user, ext).expect("reachable").value())
+        );
+    }
+
+    // Score it under the physical model (throughput-fair WiFi, time-fair
+    // PLC with airtime redistribution).
+    let eval = evaluate(&network, &association)?;
+    banner("throughput");
+    for (user, t) in eval.per_user.iter().enumerate() {
+        println!("user {user}: {}", mbps(t.value()));
+    }
+    println!("aggregate: {}", mbps(eval.aggregate.value()));
+    println!(
+        "fairness (Jain): {:.2}",
+        wolt_core::fairness::jain_index(&eval.per_user).expect("non-zero throughputs")
+    );
+
+    Ok(())
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure and extension experiment into results/.
+# Usage: scripts/regenerate_all.sh  (from the repository root)
+set -euo pipefail
+
+out=results
+mkdir -p "$out"
+
+bins=(fig2a fig2b fig2c fig3 fig4a fig4b fig4c fig5 fig6a fig6b fig6c fairness ablation resilience flow_fidelity)
+for bin in "${bins[@]}"; do
+    echo ">>> $bin"
+    cargo run --quiet --release -p wolt-bench --bin "$bin" | tee "$out/$bin.csv"
+done
+
+echo ">>> criterion benches (results under target/criterion/)"
+cargo bench --workspace
+
+echo "all experiment outputs written to $out/"

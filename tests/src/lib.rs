@@ -1,0 +1,47 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wolt_core::Network;
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+
+/// The paper's Fig. 3 case-study network: 2 extenders (PLC 60/20), 2 users
+/// (rates [[15, 10], [40, 20]]).
+pub fn fig3_network() -> Network {
+    Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
+        .expect("case-study network is valid")
+}
+
+/// A seeded enterprise scenario (15 extenders) with `users` users.
+pub fn enterprise_scenario(users: usize, seed: u64) -> Scenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Scenario::generate(&ScenarioConfig::enterprise(users), &mut rng)
+        .expect("enterprise scenario generates")
+}
+
+/// A seeded lab scenario (3 extenders) with `users` users.
+pub fn lab_scenario(users: usize, seed: u64) -> Scenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Scenario::generate(&ScenarioConfig::lab(users), &mut rng)
+        .expect("lab scenario generates")
+}
+
+/// A seeded [`Network`] from the enterprise scenario.
+pub fn enterprise_network(users: usize, seed: u64) -> Network {
+    enterprise_scenario(users, seed)
+        .network()
+        .expect("network builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(fig3_network().users(), 2);
+        assert_eq!(enterprise_network(10, 1).extenders(), 15);
+        assert_eq!(lab_scenario(7, 1).user_positions.len(), 7);
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration: the `wolt` CLI library pipeline, including file I/O.
+
+use std::path::PathBuf;
+
+use wolt_cli::commands::{compare, generate, solve, PolicyChoice, PresetChoice};
+use wolt_cli::spec::NetworkSpec;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wolt-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_write_read_solve_round_trip() {
+    let spec = generate(PresetChoice::Lab, 7, 42).expect("generate");
+    let path = temp_path("roundtrip.json");
+    std::fs::write(&path, spec.to_json()).expect("write");
+    let loaded = NetworkSpec::from_json(&std::fs::read_to_string(&path).expect("read"))
+        .expect("parse");
+    std::fs::remove_file(&path).ok();
+
+    // Same spec → same solve result.
+    let direct = solve(&spec, PolicyChoice::Wolt, 0).expect("solve direct");
+    let via_file = solve(&loaded, PolicyChoice::Wolt, 0).expect("solve via file");
+    assert_eq!(direct.association, via_file.association);
+    assert!((direct.aggregate_mbps - via_file.aggregate_mbps).abs() < 1e-6);
+}
+
+#[test]
+fn solve_report_is_consistent_with_library_evaluation() {
+    let spec = generate(PresetChoice::Enterprise, 20, 5).expect("generate");
+    let report = solve(&spec, PolicyChoice::Greedy, 0).expect("solve");
+    let network = spec.to_network().expect("network");
+    let assoc = wolt_core::Association::complete(report.association.clone());
+    let eval = wolt_core::evaluate(&network, &assoc).expect("evaluate");
+    assert!((report.aggregate_mbps - eval.aggregate.value()).abs() < 1e-9);
+    let sum: f64 = report.per_user_mbps.iter().sum();
+    assert!((sum - report.aggregate_mbps).abs() < 1e-6);
+}
+
+#[test]
+fn compare_is_deterministic_and_ranks_wolt_well() {
+    let spec = generate(PresetChoice::Enterprise, 24, 9).expect("generate");
+    let a = compare(&spec, 0).expect("compare");
+    let b = compare(&spec, 0).expect("compare");
+    assert_eq!(a, b);
+    let wolt = a.iter().find(|r| r.policy == "WOLT").expect("wolt ran");
+    let rssi = a.iter().find(|r| r.policy == "RSSI").expect("rssi ran");
+    assert!(wolt.aggregate_mbps >= rssi.aggregate_mbps - 1e-9);
+}
+
+#[test]
+fn fig3_through_the_cli_layer() {
+    let spec = NetworkSpec {
+        capacities: vec![60.0, 20.0],
+        rates: vec![vec![15.0, 10.0], vec![40.0, 20.0]],
+    };
+    let optimal = solve(&spec, PolicyChoice::Optimal, 0).expect("optimal");
+    let wolt = solve(&spec, PolicyChoice::Wolt, 0).expect("wolt");
+    assert!((optimal.aggregate_mbps - 40.0).abs() < 1e-9);
+    assert_eq!(optimal.association, wolt.association);
+}
+
+#[test]
+fn malformed_inputs_surface_clean_errors() {
+    assert!(NetworkSpec::from_json("[1,2,3]").is_err());
+    let bad = NetworkSpec {
+        capacities: vec![60.0],
+        rates: vec![vec![15.0, 10.0]],
+    };
+    assert!(bad.to_network().is_err());
+    assert!(PolicyChoice::parse("sorcery").is_err());
+}

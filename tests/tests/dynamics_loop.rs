@@ -1,0 +1,114 @@
+//! Integration: the dynamic epoch simulation (Fig. 6b/6c machinery).
+
+use wolt_sim::dynamics::DynamicsConfig;
+use wolt_sim::experiment::{DynamicSimulation, OnlinePolicy};
+use wolt_sim::scenario::ScenarioConfig;
+
+fn simulation() -> DynamicSimulation {
+    DynamicSimulation::new(ScenarioConfig::enterprise(36), DynamicsConfig::default())
+}
+
+#[test]
+fn population_follows_the_papers_trajectory() {
+    // 36 → ~66 → ~102 (±20% tolerance over a single run's randomness).
+    let records = simulation().run(OnlinePolicy::Rssi, 3, 42).expect("runs");
+    assert_eq!(records[0].users, 36);
+    assert!(
+        (50..=85).contains(&records[1].users),
+        "epoch 2 population {}",
+        records[1].users
+    );
+    assert!(
+        (80..=130).contains(&records[2].users),
+        "epoch 3 population {}",
+        records[2].users
+    );
+}
+
+#[test]
+fn wolt_stays_ahead_of_greedy_across_epochs() {
+    let sim = simulation();
+    let epochs = 4;
+    let mut wolt_sum = vec![0.0; epochs];
+    let mut greedy_sum = vec![0.0; epochs];
+    for seed in 0..5 {
+        let w = sim.run(OnlinePolicy::Wolt, epochs, seed).expect("runs");
+        let g = sim.run(OnlinePolicy::GreedyOnline, epochs, seed).expect("runs");
+        for e in 0..epochs {
+            wolt_sum[e] += w[e].aggregate;
+            greedy_sum[e] += g[e].aggregate;
+        }
+    }
+    for e in 0..epochs {
+        assert!(
+            wolt_sum[e] >= greedy_sum[e] * 0.98,
+            "epoch {}: WOLT {} vs Greedy {}",
+            e + 1,
+            wolt_sum[e],
+            greedy_sum[e]
+        );
+    }
+}
+
+#[test]
+fn reassignments_bounded_by_twice_arrivals() {
+    // The paper's Fig. 6c observation, as an invariant over several runs.
+    let sim = simulation();
+    for seed in 0..5 {
+        let records = sim.run(OnlinePolicy::Wolt, 5, seed).expect("runs");
+        for r in &records[1..] {
+            assert!(
+                r.reassignments <= 2 * r.arrivals + 8,
+                "seed {seed} epoch {}: {} reassignments for {} arrivals",
+                r.epoch,
+                r.reassignments,
+                r.arrivals
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregate_saturates_rather_than_collapsing() {
+    // Fig. 6b: "the aggregate throughput of the network gradually
+    // increases and saturates". Between consecutive epochs WOLT's
+    // aggregate must not drop by more than noise.
+    let records = simulation().run(OnlinePolicy::Wolt, 5, 9).expect("runs");
+    for pair in records.windows(2) {
+        assert!(
+            pair[1].aggregate > 0.85 * pair[0].aggregate,
+            "aggregate collapsed: {} -> {}",
+            pair[0].aggregate,
+            pair[1].aggregate
+        );
+    }
+}
+
+#[test]
+fn departures_never_exceed_population() {
+    let sim = DynamicSimulation::new(
+        ScenarioConfig::enterprise(5),
+        DynamicsConfig {
+            arrival_rate: 0.5,
+            departure_rate: 5.0,
+            epoch_length: 4.0,
+        },
+    );
+    // Heavy departures on a tiny population: the run must stay consistent
+    // (counts non-negative, no panics) even when the network nearly
+    // empties.
+    let records = sim.run(OnlinePolicy::Rssi, 6, 3).expect("runs");
+    for r in &records {
+        assert!(r.users < 100);
+    }
+}
+
+#[test]
+fn epoch_records_are_internally_consistent() {
+    let records = simulation().run(OnlinePolicy::GreedyOnline, 4, 11).expect("runs");
+    let mut expected_users = records[0].users as i64;
+    for r in &records[1..] {
+        expected_users += r.arrivals as i64 - r.departures as i64;
+        assert_eq!(r.users as i64, expected_users, "epoch {}", r.epoch);
+    }
+}

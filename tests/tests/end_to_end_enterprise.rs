@@ -1,0 +1,167 @@
+//! Integration: full enterprise pipeline — scenario generation → policy →
+//! physical evaluation — and its invariants.
+
+use wolt_core::baselines::{Greedy, Random, Rssi, SelfishGreedy};
+use wolt_core::{evaluate, AssociationPolicy, Wolt};
+use wolt_tests::{enterprise_network, enterprise_scenario};
+use wolt_units::Mbps;
+
+fn all_policies() -> Vec<Box<dyn AssociationPolicy>> {
+    vec![
+        Box::new(Wolt::new()),
+        Box::new(Greedy::new()),
+        Box::new(SelfishGreedy::new()),
+        Box::new(Rssi),
+        Box::new(Random::new(99)),
+    ]
+}
+
+#[test]
+fn every_policy_produces_complete_valid_associations() {
+    let net = enterprise_network(36, 1);
+    for policy in all_policies() {
+        let assoc = policy.associate(&net).expect("policy runs");
+        assert!(assoc.is_complete(), "{} left users out", policy.name());
+        assert!(
+            net.validate_association(&assoc).is_ok(),
+            "{} produced invalid association",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn throughput_conservation_holds_for_every_policy() {
+    let net = enterprise_network(24, 2);
+    for policy in all_policies() {
+        let assoc = policy.associate(&net).expect("policy runs");
+        let eval = evaluate(&net, &assoc).expect("valid");
+        let user_sum: f64 = eval.per_user.iter().map(|t| t.value()).sum();
+        let ext_sum: f64 = eval.per_extender.iter().map(|t| t.value()).sum();
+        assert!((user_sum - eval.aggregate.value()).abs() < 1e-6);
+        assert!((ext_sum - eval.aggregate.value()).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn no_extender_exceeds_its_plc_budget() {
+    let net = enterprise_network(48, 3);
+    for policy in all_policies() {
+        let assoc = policy.associate(&net).expect("policy runs");
+        let eval = evaluate(&net, &assoc).expect("valid");
+        let share_sum: f64 = eval.plc_shares.iter().sum();
+        assert!(share_sum <= 1.0 + 1e-9, "{}: airtime oversubscribed", policy.name());
+        for j in 0..net.extenders() {
+            assert!(
+                eval.per_extender[j].value()
+                    <= net.capacity(j).value() * eval.plc_shares[j] + 1e-6,
+                "{}: extender {j} over its airtime grant",
+                policy.name()
+            );
+            assert!(
+                eval.per_extender[j] <= eval.wifi_demand[j] + Mbps::new(1e-6),
+                "{}: extender {j} over its WiFi demand",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn no_user_exceeds_its_wifi_rate() {
+    let net = enterprise_network(36, 4);
+    for policy in all_policies() {
+        let assoc = policy.associate(&net).expect("policy runs");
+        let eval = evaluate(&net, &assoc).expect("valid");
+        for i in 0..net.users() {
+            let j = assoc.target(i).expect("complete");
+            let rate = net.rate(i, j).expect("reachable");
+            assert!(
+                eval.per_user[i] <= rate + Mbps::new(1e-9),
+                "{}: user {i} above its own link rate",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn wolt_beats_rssi_on_average_over_seeds() {
+    let mut wolt_total = 0.0;
+    let mut rssi_total = 0.0;
+    for seed in 10..20 {
+        let net = enterprise_network(36, seed);
+        let w = evaluate(&net, &Wolt::new().associate(&net).expect("runs")).expect("valid");
+        let r = evaluate(&net, &Rssi.associate(&net).expect("runs")).expect("valid");
+        wolt_total += w.aggregate.value();
+        rssi_total += r.aggregate.value();
+    }
+    assert!(
+        wolt_total > 1.5 * rssi_total,
+        "WOLT {wolt_total} should dominate RSSI {rssi_total} in the enterprise regime"
+    );
+}
+
+#[test]
+fn wolt_at_least_matches_greedy_on_average_over_seeds() {
+    let mut wolt_total = 0.0;
+    let mut greedy_total = 0.0;
+    for seed in 30..42 {
+        let net = enterprise_network(36, seed);
+        wolt_total += evaluate(&net, &Wolt::new().associate(&net).expect("runs"))
+            .expect("valid")
+            .aggregate
+            .value();
+        greedy_total += evaluate(&net, &Greedy::new().associate(&net).expect("runs"))
+            .expect("valid")
+            .aggregate
+            .value();
+    }
+    assert!(
+        wolt_total >= greedy_total,
+        "WOLT {wolt_total} vs Greedy {greedy_total}"
+    );
+}
+
+#[test]
+fn random_policy_is_the_floor() {
+    let net = enterprise_network(36, 5);
+    let wolt = evaluate(&net, &Wolt::new().associate(&net).expect("runs"))
+        .expect("valid")
+        .aggregate;
+    let random = evaluate(&net, &Random::new(5).associate(&net).expect("runs"))
+        .expect("valid")
+        .aggregate;
+    assert!(wolt > random, "WOLT {wolt} vs Random {random}");
+}
+
+#[test]
+fn scenario_rates_and_network_agree() {
+    let scenario = enterprise_scenario(12, 6);
+    let net = scenario.network().expect("builds");
+    for i in 0..12 {
+        for j in 0..net.extenders() {
+            assert_eq!(scenario.rate(i, j), net.rate(i, j), "({i},{j}) disagree");
+        }
+    }
+}
+
+#[test]
+fn growing_population_never_decreases_wolt_aggregate_much() {
+    // More users = more demand; with WOLT the aggregate should be
+    // (weakly) non-degrading within noise as the population doubles.
+    let small = enterprise_network(18, 7);
+    let large = enterprise_network(36, 7);
+    let small_agg = evaluate(&small, &Wolt::new().associate(&small).expect("runs"))
+        .expect("valid")
+        .aggregate
+        .value();
+    let large_agg = evaluate(&large, &Wolt::new().associate(&large).expect("runs"))
+        .expect("valid")
+        .aggregate
+        .value();
+    assert!(
+        large_agg > 0.8 * small_agg,
+        "aggregate collapsed with more users: {small_agg} -> {large_agg}"
+    );
+}

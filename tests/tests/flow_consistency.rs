@@ -1,0 +1,74 @@
+//! Integration: the flow-level queueing simulator agrees with the analytic
+//! model for every policy across scales and seeds.
+
+use wolt_core::baselines::{Greedy, Rssi};
+use wolt_core::{evaluate, AssociationPolicy, Wolt};
+use wolt_sim::flowsim::{simulate_flows, FlowSimConfig};
+use wolt_tests::{enterprise_scenario, lab_scenario};
+
+fn check(scenario: &wolt_sim::Scenario, policy: &dyn AssociationPolicy, tol: f64) {
+    let network = scenario.network().expect("builds");
+    let assoc = policy.associate(&network).expect("runs");
+    let analytic = evaluate(&network, &assoc).expect("valid");
+    let flows = simulate_flows(&network, &assoc, &FlowSimConfig::default()).expect("flows");
+    let gap = (flows.aggregate.value() - analytic.aggregate.value()).abs()
+        / analytic.aggregate.value();
+    assert!(
+        gap < tol,
+        "{}: flow {} vs analytic {} (gap {gap:.4})",
+        policy.name(),
+        flows.aggregate,
+        analytic.aggregate
+    );
+    // Per-user agreement too, not just in aggregate.
+    for i in 0..network.users() {
+        let a = analytic.per_user[i].value();
+        let f = flows.per_user[i].value();
+        assert!(
+            (a - f).abs() < tol * a.max(1.0),
+            "{}: user {i} flow {f} vs analytic {a}",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn flows_match_analytic_on_lab_scenarios() {
+    for seed in 0..4 {
+        let scenario = lab_scenario(7, seed);
+        check(&scenario, &Wolt::new(), 0.05);
+        check(&scenario, &Greedy::new(), 0.05);
+        check(&scenario, &Rssi, 0.05);
+    }
+}
+
+#[test]
+fn flows_match_analytic_on_enterprise_scenarios() {
+    for seed in 0..2 {
+        let scenario = enterprise_scenario(24, seed);
+        check(&scenario, &Wolt::new(), 0.06);
+        check(&scenario, &Rssi, 0.06);
+    }
+}
+
+#[test]
+fn flow_ordering_matches_analytic_ordering() {
+    // The queueing pipeline must preserve the policy ranking the analytic
+    // model predicts — otherwise the evaluation and the "physics" would
+    // disagree about who wins.
+    let scenario = enterprise_scenario(30, 11);
+    let network = scenario.network().expect("builds");
+    let rank = |policy: &dyn AssociationPolicy| {
+        let assoc = policy.associate(&network).expect("runs");
+        simulate_flows(&network, &assoc, &FlowSimConfig::default())
+            .expect("flows")
+            .aggregate
+            .value()
+    };
+    let wolt = rank(&Wolt::new());
+    let rssi = rank(&Rssi);
+    assert!(
+        wolt > rssi,
+        "flow-level ranking flipped: WOLT {wolt} vs RSSI {rssi}"
+    );
+}

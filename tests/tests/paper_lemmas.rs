@@ -1,0 +1,154 @@
+//! Executable checks of the paper's Lemma 2 and Theorem 2 on enumerable
+//! instances.
+//!
+//! The *modified* Problem 1 (constraint (7) relaxed — users may stay
+//! unassigned; constraint (8) tightened — every extender serves ≥ 1 user)
+//! is small enough to brute-force at toy scale: every user picks an
+//! extender or stays out, every extender must be covered, and the
+//! objective is `Σ_j min(T_wifi(j), c_j/|A|)` with all `|A|` extenders
+//! splitting the medium (the relaxation's premise). Lemma 2 says an
+//! optimal solution exists with *exactly one user per extender*; Theorem 2
+//! says that optimum equals the maximum-weight assignment under utilities
+//! `u_ij = min(c_j/|A|, r_ij)`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wolt_core::phase1::run_phase1;
+use wolt_core::Network;
+
+/// Objective of the modified Problem 1 for a partial assignment
+/// (`targets[i] = None` ⇒ user i unassigned). Returns `None` when some
+/// extender is left uncovered (infeasible for the modified problem).
+fn modified_objective(net: &Network, targets: &[Option<usize>]) -> Option<f64> {
+    let a = net.extenders();
+    let mut inv_sums = vec![0.0f64; a];
+    let mut counts = vec![0usize; a];
+    for (i, t) in targets.iter().enumerate() {
+        if let Some(j) = *t {
+            let rate = net.rate(i, j)?;
+            inv_sums[j] += 1.0 / rate.value();
+            counts[j] += 1;
+        }
+    }
+    if counts.contains(&0) {
+        return None;
+    }
+    Some(
+        (0..a)
+            .map(|j| {
+                let t_wifi = counts[j] as f64 / inv_sums[j];
+                let t_plc = net.capacity(j).value() / a as f64;
+                t_wifi.min(t_plc)
+            })
+            .sum(),
+    )
+}
+
+/// Enumerates all partial assignments of `users` users over `exts`
+/// extenders (+ "unassigned") and returns the best modified objective,
+/// overall and restricted to one-user-per-extender solutions.
+fn brute_force_modified(net: &Network) -> (f64, f64) {
+    let users = net.users();
+    let exts = net.extenders();
+    let choices = exts + 1; // extender j or unassigned
+    let total = choices.pow(users as u32);
+    let mut best_any = f64::NEG_INFINITY;
+    let mut best_one_each = f64::NEG_INFINITY;
+    for code in 0..total {
+        let mut c = code;
+        let targets: Vec<Option<usize>> = (0..users)
+            .map(|_| {
+                let pick = c % choices;
+                c /= choices;
+                (pick < exts).then_some(pick)
+            })
+            .collect();
+        if let Some(obj) = modified_objective(net, &targets) {
+            best_any = best_any.max(obj);
+            let one_each = (0..exts)
+                .all(|j| targets.iter().filter(|t| **t == Some(j)).count() == 1);
+            if one_each {
+                best_one_each = best_one_each.max(obj);
+            }
+        }
+    }
+    (best_any, best_one_each)
+}
+
+fn random_network(rng: &mut ChaCha8Rng) -> Network {
+    let exts = rng.gen_range(2..=3usize);
+    let users = rng.gen_range(exts..=5usize);
+    let caps: Vec<f64> = (0..exts).map(|_| rng.gen_range(20.0..200.0)).collect();
+    let rates: Vec<Vec<f64>> = (0..users)
+        .map(|_| (0..exts).map(|_| rng.gen_range(1.0..50.0)).collect())
+        .collect();
+    Network::from_raw(caps, rates).expect("fully reachable")
+}
+
+#[test]
+fn lemma2_one_user_per_extender_is_optimal() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for trial in 0..30 {
+        let net = random_network(&mut rng);
+        let (best_any, best_one_each) = brute_force_modified(&net);
+        assert!(
+            (best_any - best_one_each).abs() < 1e-9,
+            "trial {trial}: some multi-user solution beats every matching: \
+             {best_any} vs {best_one_each}"
+        );
+    }
+}
+
+#[test]
+fn theorem2_hungarian_attains_the_modified_optimum() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for trial in 0..30 {
+        let net = random_network(&mut rng);
+        let (best_any, _) = brute_force_modified(&net);
+        let phase1 = run_phase1(&net).expect("phase 1 runs");
+        assert!(
+            (phase1.utility_total - best_any).abs() < 1e-9,
+            "trial {trial}: assignment total {} != modified optimum {best_any}",
+            phase1.utility_total
+        );
+    }
+}
+
+#[test]
+fn lemma2_fig3_witness() {
+    // On the case study the modified optimum is 40 (the Fig. 3d pairing),
+    // achieved by a perfect matching.
+    let net = Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
+        .expect("valid");
+    let (best_any, best_one_each) = brute_force_modified(&net);
+    assert!((best_any - 40.0).abs() < 1e-9);
+    assert!((best_one_each - 40.0).abs() < 1e-9);
+}
+
+#[test]
+fn adding_a_second_user_to_a_cell_never_helps_the_modified_objective() {
+    // The disconnection argument behind Lemma 2, checked directly: start
+    // from the optimal matching and add each leftover user to each
+    // extender; the modified objective must not increase.
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for _ in 0..20 {
+        let net = random_network(&mut rng);
+        let phase1 = run_phase1(&net).expect("phase 1 runs");
+        let base: Vec<Option<usize>> =
+            (0..net.users()).map(|i| phase1.association.target(i)).collect();
+        let base_obj = modified_objective(&net, &base).expect("matching covers all extenders");
+        for i in phase1.association.unassigned_users() {
+            for j in 0..net.extenders() {
+                let mut candidate = base.clone();
+                candidate[i] = Some(j);
+                let obj = modified_objective(&net, &candidate)
+                    .expect("still covers all extenders");
+                assert!(
+                    obj <= base_obj + 1e-9,
+                    "adding user {i} to extender {j} raised the modified \
+                     objective: {base_obj} -> {obj}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration: dynamic simulation under mobility and extender outages
+//! (failure injection beyond the paper).
+
+use wolt_sim::dynamics::DynamicsConfig;
+use wolt_sim::experiment::{DynamicSimulation, OnlinePolicy};
+use wolt_sim::perturb::{CapacityDriftConfig, MobilityConfig, OutageConfig};
+use wolt_sim::scenario::ScenarioConfig;
+
+fn base() -> DynamicSimulation {
+    DynamicSimulation::new(ScenarioConfig::enterprise(24), DynamicsConfig::default())
+}
+
+#[test]
+fn mobility_runs_and_reports_moved_users() {
+    let sim = base().with_mobility(MobilityConfig { max_step: 8.0 });
+    let records = sim.run(OnlinePolicy::Wolt, 4, 1).expect("runs");
+    assert_eq!(records[0].moved_users, 0, "epoch 1 is pristine");
+    assert!(
+        records[1..].iter().any(|r| r.moved_users > 0),
+        "nobody ever moved: {records:?}"
+    );
+    assert!(records.iter().all(|r| r.aggregate > 0.0));
+}
+
+#[test]
+fn mobility_triggers_wolt_reassignments() {
+    // Even with zero population churn, moving users changes rates and
+    // WOLT re-optimizes.
+    let sim = DynamicSimulation::new(
+        ScenarioConfig::enterprise(24),
+        DynamicsConfig {
+            arrival_rate: 0.0,
+            departure_rate: 0.0,
+            epoch_length: 1.0,
+        },
+    )
+    .with_mobility(MobilityConfig { max_step: 15.0 });
+    let records = sim.run(OnlinePolicy::Wolt, 5, 2).expect("runs");
+    let total_reassignments: usize = records.iter().map(|r| r.reassignments).sum();
+    assert!(
+        total_reassignments > 0,
+        "mobility never triggered a re-association"
+    );
+}
+
+#[test]
+fn outages_run_and_report_down_extenders() {
+    let sim = base().with_outages(OutageConfig {
+        probability: 0.3,
+        max_concurrent: 4,
+    });
+    let records = sim.run(OnlinePolicy::Wolt, 5, 3).expect("runs");
+    assert_eq!(records[0].down_extenders, 0, "epoch 1 is pristine");
+    assert!(
+        records[1..].iter().any(|r| r.down_extenders > 0),
+        "no outage ever sampled: {records:?}"
+    );
+    // The network keeps serving everyone.
+    assert!(records.iter().all(|r| r.aggregate > 0.0));
+}
+
+#[test]
+fn outages_respect_the_concurrency_cap() {
+    let sim = base().with_outages(OutageConfig {
+        probability: 0.9,
+        max_concurrent: 2,
+    });
+    let records = sim.run(OnlinePolicy::Rssi, 6, 4).expect("runs");
+    assert!(records.iter().all(|r| r.down_extenders <= 2));
+}
+
+#[test]
+fn greedy_survives_outages_by_replacing_stranded_users() {
+    // Users on a dead extender lose their assignment; the greedy online
+    // policy must re-place them even though it "never reassigns".
+    let sim = base().with_outages(OutageConfig {
+        probability: 0.4,
+        max_concurrent: 5,
+    });
+    let records = sim.run(OnlinePolicy::GreedyOnline, 6, 5).expect("runs");
+    assert!(records.iter().all(|r| r.aggregate > 0.0));
+}
+
+#[test]
+fn combined_perturbations_stay_consistent() {
+    let sim = base()
+        .with_mobility(MobilityConfig { max_step: 5.0 })
+        .with_outages(OutageConfig {
+            probability: 0.2,
+            max_concurrent: 3,
+        });
+    for policy in [OnlinePolicy::Wolt, OnlinePolicy::GreedyOnline, OnlinePolicy::Rssi] {
+        let records = sim.run(policy, 5, 6).expect("runs");
+        let mut expected_users = records[0].users as i64;
+        for r in &records[1..] {
+            expected_users += r.arrivals as i64 - r.departures as i64;
+            assert_eq!(r.users as i64, expected_users);
+        }
+    }
+}
+
+#[test]
+fn perturbed_runs_are_deterministic_per_seed() {
+    let sim = base()
+        .with_mobility(MobilityConfig { max_step: 5.0 })
+        .with_outages(OutageConfig {
+            probability: 0.2,
+            max_concurrent: 3,
+        });
+    let a = sim.run(OnlinePolicy::Wolt, 4, 9).expect("runs");
+    let b = sim.run(OnlinePolicy::Wolt, 4, 9).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn capacity_drift_runs_and_stays_reasonable() {
+    let drifting = base().with_capacity_drift(CapacityDriftConfig { sigma: 0.1 });
+    let records = drifting.run(OnlinePolicy::Wolt, 5, 7).expect("runs");
+    assert!(records.iter().all(|r| r.aggregate > 0.0));
+    // Mild drift should leave the mean aggregate within ~15% of the
+    // drift-free baseline.
+    let clean = base().run(OnlinePolicy::Wolt, 5, 7).expect("runs");
+    let drift_mean: f64 =
+        records.iter().map(|r| r.aggregate).sum::<f64>() / records.len() as f64;
+    let clean_mean: f64 = clean.iter().map(|r| r.aggregate).sum::<f64>() / clean.len() as f64;
+    assert!(
+        (drift_mean - clean_mean).abs() / clean_mean < 0.15,
+        "drift {drift_mean} vs clean {clean_mean}"
+    );
+}
+
+#[test]
+fn capacity_drift_is_deterministic_per_seed() {
+    let sim = base().with_capacity_drift(CapacityDriftConfig { sigma: 0.2 });
+    let a = sim.run(OnlinePolicy::GreedyOnline, 4, 3).expect("runs");
+    let b = sim.run(OnlinePolicy::GreedyOnline, 4, 3).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn wolt_degrades_gracefully_under_outages() {
+    // Losing extenders costs throughput but not catastrophically when
+    // coverage is preserved (at most ~linearly in the lost share).
+    let clean = base().run(OnlinePolicy::Wolt, 5, 10).expect("runs");
+    let faulty = base()
+        .with_outages(OutageConfig {
+            probability: 0.25,
+            max_concurrent: 4,
+        })
+        .run(OnlinePolicy::Wolt, 5, 10)
+        .expect("runs");
+    let clean_mean: f64 =
+        clean.iter().map(|r| r.aggregate).sum::<f64>() / clean.len() as f64;
+    let faulty_mean: f64 =
+        faulty.iter().map(|r| r.aggregate).sum::<f64>() / faulty.len() as f64;
+    assert!(
+        faulty_mean > 0.5 * clean_mean,
+        "outages crushed the network: {faulty_mean} vs {clean_mean}"
+    );
+}

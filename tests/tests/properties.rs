@@ -1,0 +1,236 @@
+//! Cross-crate property-based tests: algorithm invariants on random
+//! networks.
+
+use proptest::prelude::*;
+use wolt_core::baselines::{Greedy, Optimal, Rssi};
+use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
+
+/// Random small network: 2-4 extenders, 2-7 users, rates 1-50 Mbit/s with
+/// some unreachable pairs, capacities 20-200 Mbit/s.
+fn small_network() -> impl Strategy<Value = Network> {
+    (2usize..=4, 2usize..=7)
+        .prop_flat_map(|(exts, users)| {
+            let caps = proptest::collection::vec(20.0f64..200.0, exts);
+            let rates = proptest::collection::vec(
+                proptest::collection::vec(
+                    prop_oneof![3 => 1.0f64..50.0, 1 => Just(0.0)],
+                    exts,
+                ),
+                users,
+            );
+            (caps, rates)
+        })
+        .prop_filter_map("every user must reach some extender", |(caps, mut rates)| {
+            for row in &mut rates {
+                if row.iter().all(|&r| r == 0.0) {
+                    row[0] = 10.0;
+                }
+            }
+            Network::from_raw(caps, rates).ok()
+        })
+}
+
+/// Like [`small_network`], but every (user, extender) pair is reachable
+/// and there are at least as many users as extenders (the paper's
+/// enterprise setting; Phase I's `c_j/|A|` utility assumes all extenders
+/// end up active, which needs `|U| ≥ |A|`).
+fn fully_reachable_network() -> impl Strategy<Value = Network> {
+    (2usize..=4)
+        .prop_flat_map(|exts| (Just(exts), exts..=7))
+        .prop_flat_map(|(exts, users)| {
+            let caps = proptest::collection::vec(20.0f64..200.0, exts);
+            let rates = proptest::collection::vec(
+                proptest::collection::vec(1.0f64..50.0, exts),
+                users,
+            );
+            (caps, rates)
+        })
+        .prop_map(|(caps, rates)| {
+            Network::from_raw(caps, rates).expect("fully reachable networks are valid")
+        })
+}
+
+/// Regression documenting a known limitation of Algorithm 1: Phase I
+/// requires every extender to serve a user, so when only one user can
+/// reach some extender, that user is conscripted even if it wastes a far
+/// better link. The paper's relaxation (modification (b) of Problem 1)
+/// assumes rich reachability; this instance shows what happens without it.
+#[test]
+fn wolt_limitation_forced_coverage() {
+    let net = Network::from_raw(
+        vec![142.0, 101.0, 20.0, 20.0],
+        vec![
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![47.0, 1.0, 1.0, 1.0], // the only user who reaches ext 3
+            vec![1.0, 1.0, 1.0, 0.0],
+        ],
+    )
+    .expect("valid network");
+    let wolt = evaluate(&net, &Wolt::new().associate(&net).expect("runs"))
+        .expect("valid")
+        .aggregate
+        .value();
+    let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
+        .expect("valid")
+        .aggregate
+        .value();
+    // WOLT sacrifices user 2's 47 Mbit/s link to cover extender 3.
+    assert!(wolt < 0.2 * optimal, "expected the documented gap: {wolt} vs {optimal}");
+}
+
+/// Statistical near-optimality: across 40 seeded random instances WOLT's
+/// mean aggregate reaches ≥ 90% of the brute-force optimum's mean, and at
+/// least 80% of instances land within 70% of their optimum.
+#[test]
+fn wolt_is_near_optimal_on_average() {
+    use rand::{Rng, SeedableRng};
+    let mut wolt_total = 0.0;
+    let mut optimal_total = 0.0;
+    let mut within_70 = 0usize;
+    let trials = 40;
+    for seed in 0..trials {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let exts = rng.gen_range(2..=4usize);
+        let users = rng.gen_range(exts..=7usize);
+        let caps: Vec<f64> = (0..exts).map(|_| rng.gen_range(20.0..200.0)).collect();
+        let rates: Vec<Vec<f64>> = (0..users)
+            .map(|_| (0..exts).map(|_| rng.gen_range(1.0..50.0)).collect())
+            .collect();
+        let net = Network::from_raw(caps, rates).expect("valid");
+        let wolt = evaluate(&net, &Wolt::new().associate(&net).expect("runs"))
+            .expect("valid")
+            .aggregate
+            .value();
+        let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
+            .expect("valid")
+            .aggregate
+            .value();
+        wolt_total += wolt;
+        optimal_total += optimal;
+        if wolt >= 0.7 * optimal {
+            within_70 += 1;
+        }
+    }
+    assert!(
+        wolt_total >= 0.9 * optimal_total,
+        "mean WOLT {wolt_total} vs mean optimal {optimal_total}"
+    );
+    assert!(
+        within_70 * 10 >= trials as usize * 8,
+        "only {within_70}/{trials} instances within 70% of optimal"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// WOLT always returns a complete, valid association.
+    #[test]
+    fn wolt_always_complete_and_valid(net in small_network()) {
+        let assoc = Wolt::new().associate(&net).expect("wolt runs");
+        prop_assert!(assoc.is_complete());
+        prop_assert!(net.validate_association(&assoc).is_ok());
+    }
+
+    /// The brute-force optimum dominates every polynomial policy.
+    #[test]
+    fn optimal_dominates_all_policies(net in small_network()) {
+        let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
+            .expect("valid").aggregate.value();
+        let greedy = Greedy::new();
+        let wolt = Wolt::new();
+        for policy in [&wolt as &dyn AssociationPolicy, &greedy, &Rssi] {
+            let v = evaluate(&net, &policy.associate(&net).expect("runs"))
+                .expect("valid").aggregate.value();
+            prop_assert!(v <= optimal + 1e-6,
+                "{} = {v} beat optimal = {optimal}", policy.name());
+        }
+    }
+
+    /// WOLT is never *wildly* suboptimal on fully reachable instances
+    /// with |U| ≥ |A| (the paper's setting). WOLT is a heuristic with no
+    /// worst-case guarantee, so the per-case bar is deliberately loose;
+    /// the statistical bar lives in `wolt_is_near_optimal_on_average`.
+    #[test]
+    fn wolt_within_constant_factor_of_optimal(net in fully_reachable_network()) {
+        let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
+            .expect("valid").aggregate.value();
+        let wolt = evaluate(&net, &Wolt::new().associate(&net).expect("runs"))
+            .expect("valid").aggregate.value();
+        prop_assert!(wolt >= 0.35 * optimal, "wolt {wolt} vs optimal {optimal}");
+    }
+
+    /// Evaluation invariants: conservation and per-segment caps hold on
+    /// arbitrary complete associations.
+    #[test]
+    fn evaluation_invariants(net in small_network(), picker in 0u64..10_000) {
+        // Derive a pseudo-random complete association from `picker`.
+        let mut targets = Vec::with_capacity(net.users());
+        let mut state = picker;
+        for i in 0..net.users() {
+            let reachable = net.reachable_extenders(i);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            targets.push(reachable[(state >> 33) as usize % reachable.len()]);
+        }
+        let assoc = Association::complete(targets);
+        let eval = evaluate(&net, &assoc).expect("valid association");
+
+        let user_sum: f64 = eval.per_user.iter().map(|t| t.value()).sum();
+        prop_assert!((user_sum - eval.aggregate.value()).abs() < 1e-6);
+        let share_sum: f64 = eval.plc_shares.iter().sum();
+        prop_assert!(share_sum <= 1.0 + 1e-9);
+        for j in 0..net.extenders() {
+            prop_assert!(eval.per_extender[j].value()
+                <= net.capacity(j).value() * eval.plc_shares[j] + 1e-6);
+        }
+    }
+
+    /// Redistribution can only help: the full model's aggregate is at
+    /// least the no-redistribution objective for the same association.
+    #[test]
+    fn redistribution_monotone(net in small_network()) {
+        let assoc = Rssi.associate(&net).expect("runs");
+        let with = evaluate(&net, &assoc).expect("valid").aggregate.value();
+        let without = wolt_core::evaluate_without_redistribution(&net, &assoc)
+            .expect("valid").aggregate.value();
+        prop_assert!(with >= without - 1e-9, "{with} < {without}");
+    }
+
+    /// Policies are deterministic: same network, same answer.
+    #[test]
+    fn policies_are_deterministic(net in small_network()) {
+        let w1 = Wolt::new().associate(&net).expect("runs");
+        let w2 = Wolt::new().associate(&net).expect("runs");
+        prop_assert_eq!(w1, w2);
+        let g1 = Greedy::new().associate(&net).expect("runs");
+        let g2 = Greedy::new().associate(&net).expect("runs");
+        prop_assert_eq!(g1, g2);
+    }
+
+    /// Phase I alone never assigns more users than extenders, and its
+    /// utility bound dominates the physical single-user throughput.
+    #[test]
+    fn phase1_structure(net in small_network()) {
+        let outcome = wolt_core::phase1::run_phase1(&net).expect("phase 1 runs");
+        prop_assert!(outcome.selected_users.len() <= net.extenders());
+        for j in 0..net.extenders() {
+            prop_assert!(outcome.association.users_of(j).len() <= 1);
+        }
+        // The relaxation's utility assumes *equal* airtime shares, so the
+        // physical model (with redistribution) can exceed it — but never
+        // the hard per-pair bound min(c_j, r_ij).
+        let eval = evaluate(&net, &outcome.association).expect("valid");
+        let hard_bound: f64 = outcome
+            .association
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|j| (i, j)))
+            .map(|(i, j)| {
+                net.rate(i, j).expect("reachable").value().min(net.capacity(j).value())
+            })
+            .sum();
+        prop_assert!(eval.aggregate.value() <= hard_bound + 1e-6,
+            "physical {} above hard bound {hard_bound}", eval.aggregate);
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration: the MAC micro-simulators agree with the analytic sharing
+//! models that the association algorithms actually optimize against.
+
+use wolt_plc::mac1901::{simulate_1901, Mac1901Config};
+use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+use wolt_units::{Mbps, Seconds};
+use wolt_wifi::cell::per_user_throughput;
+use wolt_wifi::dcf::{simulate_dcf, DcfConfig};
+
+#[test]
+fn dcf_micro_sim_confirms_throughput_fairness() {
+    // Eq. 1's core claim: per-user throughputs equalize regardless of PHY
+    // rate. The micro-sim derives this from backoff mechanics.
+    let rates = [Mbps::new(54.0), Mbps::new(18.0), Mbps::new(6.0)];
+    let cfg = DcfConfig {
+        duration: Seconds::new(4.0),
+        ..DcfConfig::default()
+    };
+    let out = simulate_dcf(&rates, &cfg, 11).expect("valid sim");
+    let max = out.per_station.iter().map(|t| t.value()).fold(0.0, f64::max);
+    let min = out
+        .per_station
+        .iter()
+        .map(|t| t.value())
+        .fold(f64::INFINITY, f64::min);
+    assert!(max / min < 1.25, "throughput-fairness violated: {out:?}");
+}
+
+#[test]
+fn dcf_relative_ordering_matches_analytic_model() {
+    // Adding a slow station must shrink the per-user share in both the
+    // analytic model and the micro-sim, by a comparable factor.
+    let fast_only = [Mbps::new(54.0), Mbps::new(54.0)];
+    let with_slow = [Mbps::new(54.0), Mbps::new(54.0), Mbps::new(6.0)];
+    let cfg = DcfConfig {
+        duration: Seconds::new(4.0),
+        ..DcfConfig::default()
+    };
+    let sim_ratio = {
+        let a = simulate_dcf(&fast_only, &cfg, 5).expect("valid").per_station[0].value();
+        let b = simulate_dcf(&with_slow, &cfg, 5).expect("valid").per_station[0].value();
+        b / a
+    };
+    let analytic_ratio = {
+        let a = per_user_throughput(&fast_only).expect("usable").value();
+        let b = per_user_throughput(&with_slow).expect("usable").value();
+        b / a
+    };
+    assert!(
+        (sim_ratio - analytic_ratio).abs() < 0.15,
+        "degradation factors diverge: sim {sim_ratio} vs analytic {analytic_ratio}"
+    );
+}
+
+#[test]
+fn mac1901_micro_sim_confirms_time_fair_shares() {
+    // Eq. 2's core claim: airtime (not throughput) equalizes on the PLC
+    // medium.
+    let rates = [Mbps::new(160.0), Mbps::new(60.0)];
+    let cfg = Mac1901Config {
+        duration: Seconds::new(20.0),
+        ..Mac1901Config::default()
+    };
+    let out = simulate_1901(&rates, &cfg, 13).expect("valid sim");
+    let airtime_ratio = out.airtime_fraction[0] / out.airtime_fraction[1];
+    assert!(
+        (0.8..1.25).contains(&airtime_ratio),
+        "airtime shares diverged: {airtime_ratio}"
+    );
+    // Throughput stays proportional to rate under equal airtime.
+    let throughput_ratio = out.per_station[0] / out.per_station[1];
+    assert!(
+        (throughput_ratio - 160.0 / 60.0).abs() / (160.0 / 60.0) < 0.25,
+        "throughput not rate-proportional: {throughput_ratio}"
+    );
+}
+
+#[test]
+fn analytic_timeshare_matches_mac_sim_shape_at_k2() {
+    let caps = [Mbps::new(160.0), Mbps::new(60.0)];
+    let analytic = allocate_time_fair(&[
+        ExtenderDemand::saturated(caps[0]),
+        ExtenderDemand::saturated(caps[1]),
+    ])
+    .expect("valid demands");
+    let cfg = Mac1901Config {
+        duration: Seconds::new(20.0),
+        ..Mac1901Config::default()
+    };
+    let singles: Vec<f64> = caps
+        .iter()
+        .map(|&c| simulate_1901(&[c], &cfg, 13).expect("valid").per_station[0].value())
+        .collect();
+    let pair = simulate_1901(&caps, &cfg, 13).expect("valid");
+    for j in 0..2 {
+        let analytic_frac = analytic.throughput[j].value() / caps[j].value();
+        let sim_frac = pair.per_station[j].value() / singles[j];
+        assert!(
+            (analytic_frac - sim_frac).abs() < 0.12,
+            "extender {j}: analytic {analytic_frac} vs sim {sim_frac}"
+        );
+    }
+}
+
+#[test]
+fn building_pipeline_produces_papers_capacity_band() {
+    use rand::SeedableRng;
+    use wolt_plc::capacity::sample_outlet_capacities;
+    use wolt_plc::channel::PlcChannelModel;
+    use wolt_plc::topology::BuildingConfig;
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    let caps = sample_outlet_capacities(
+        &mut rng,
+        60,
+        &BuildingConfig::default(),
+        &PlcChannelModel::homeplug_av2(),
+    )
+    .expect("sampling works");
+    let in_band = caps
+        .iter()
+        .filter(|c| (40.0..=200.0).contains(&c.value()))
+        .count();
+    // The bulk of outlets should land around the paper's measured
+    // 60–160 Mbit/s band.
+    assert!(
+        in_band as f64 / caps.len() as f64 > 0.7,
+        "only {in_band}/60 outlets in band"
+    );
+}
+
+#[test]
+fn wifi_radio_rate_diversity_spans_the_table() {
+    // The enterprise radio must produce both fast and slow users across a
+    // 100 m plane — without diversity none of the association results are
+    // meaningful.
+    use wolt_units::Meters;
+    use wolt_wifi::WifiRadio;
+
+    let radio = WifiRadio::enterprise_80211b();
+    let near = radio.rate_at_distance(Meters::new(3.0)).expect("in range");
+    let far = radio
+        .rate_at_distance(Meters::new(radio.association_range().value() * 0.95))
+        .expect("in range");
+    assert!(near.value() / far.value() > 5.0, "near {near} vs far {far}");
+}
