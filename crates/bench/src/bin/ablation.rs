@@ -12,14 +12,13 @@
 
 use wolt_bench::{columns, f2, header, mean, measured, row};
 use wolt_core::{
-    evaluate, evaluate_without_redistribution, AssociationPolicy, Phase1Utility, Phase2Solver,
-    Wolt,
+    evaluate, evaluate_without_redistribution, AssociationPolicy, Phase1Utility, Phase2Solver, Wolt,
 };
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 fn main() {
     header(
@@ -55,14 +54,27 @@ fn main() {
         nlp_values.push(full.aggregate.value());
 
         let assoc_g2 = wolt_greedy2.associate(&network).expect("wolt-greedy2 runs");
-        greedy2_values.push(evaluate(&network, &assoc_g2).expect("valid").aggregate.value());
+        greedy2_values.push(
+            evaluate(&network, &assoc_g2)
+                .expect("valid")
+                .aggregate
+                .value(),
+        );
 
         let assoc_wifi = wolt_wifi_only.associate(&network).expect("wifi-only runs");
-        wifi_only_values
-            .push(evaluate(&network, &assoc_wifi).expect("valid").aggregate.value());
+        wifi_only_values.push(
+            evaluate(&network, &assoc_wifi)
+                .expect("valid")
+                .aggregate
+                .value(),
+        );
         let assoc_plc = wolt_plc_only.associate(&network).expect("plc-only runs");
-        plc_only_values
-            .push(evaluate(&network, &assoc_plc).expect("valid").aggregate.value());
+        plc_only_values.push(
+            evaluate(&network, &assoc_plc)
+                .expect("valid")
+                .aggregate
+                .value(),
+        );
 
         // TDMA: equal slots regardless of demand — unused slots are wasted
         // rather than redistributed. Equivalent to the no-redistribution
@@ -72,7 +84,9 @@ fn main() {
             network.extenders() as u32 * 10,
         )
         .expect("valid schedule");
-        let caps: Vec<_> = (0..network.extenders()).map(|j| network.capacity(j)).collect();
+        let caps: Vec<_> = (0..network.extenders())
+            .map(|j| network.capacity(j))
+            .collect();
         let tdma_caps = tdma.throughputs(&caps).expect("valid capacities");
         // Cell throughput = min(wifi demand, TDMA grant).
         let tdma_total: f64 = (0..network.extenders())
@@ -98,17 +112,61 @@ fn main() {
     }
 
     columns(&["ablation", "variant", "mean_aggregate_mbps"]);
-    row(&["redistribution".into(), "on (CSMA observed)".into(), f2(mean(&with_redist))]);
-    row(&["redistribution".into(), "off (plain c_j/A)".into(), f2(mean(&without_redist))]);
-    row(&["phase2".into(), "NLP + extraction".into(), f2(mean(&nlp_values))]);
-    row(&["phase2".into(), "marginal-gain greedy".into(), f2(mean(&greedy2_values))]);
-    row(&["backhaul".into(), "CSMA time-fair".into(), f2(mean(&with_redist))]);
-    row(&["backhaul".into(), "TDMA equal slots".into(), f2(mean(&tdma_values))]);
-    row(&["phase1 utility".into(), "paper min(c/A, r)".into(), f2(mean(&nlp_values))]);
-    row(&["phase1 utility".into(), "wifi-only r".into(), f2(mean(&wifi_only_values))]);
-    row(&["phase1 utility".into(), "plc-share-only c/A".into(), f2(mean(&plc_only_values))]);
-    row(&["phase1 utility (lab)".into(), "paper min(c/A, r)".into(), f2(mean(&lab_paper))]);
-    row(&["phase1 utility (lab)".into(), "wifi-only r".into(), f2(mean(&lab_wifi_only))]);
+    row(&[
+        "redistribution".into(),
+        "on (CSMA observed)".into(),
+        f2(mean(&with_redist)),
+    ]);
+    row(&[
+        "redistribution".into(),
+        "off (plain c_j/A)".into(),
+        f2(mean(&without_redist)),
+    ]);
+    row(&[
+        "phase2".into(),
+        "NLP + extraction".into(),
+        f2(mean(&nlp_values)),
+    ]);
+    row(&[
+        "phase2".into(),
+        "marginal-gain greedy".into(),
+        f2(mean(&greedy2_values)),
+    ]);
+    row(&[
+        "backhaul".into(),
+        "CSMA time-fair".into(),
+        f2(mean(&with_redist)),
+    ]);
+    row(&[
+        "backhaul".into(),
+        "TDMA equal slots".into(),
+        f2(mean(&tdma_values)),
+    ]);
+    row(&[
+        "phase1 utility".into(),
+        "paper min(c/A, r)".into(),
+        f2(mean(&nlp_values)),
+    ]);
+    row(&[
+        "phase1 utility".into(),
+        "wifi-only r".into(),
+        f2(mean(&wifi_only_values)),
+    ]);
+    row(&[
+        "phase1 utility".into(),
+        "plc-share-only c/A".into(),
+        f2(mean(&plc_only_values)),
+    ]);
+    row(&[
+        "phase1 utility (lab)".into(),
+        "paper min(c/A, r)".into(),
+        f2(mean(&lab_paper)),
+    ]);
+    row(&[
+        "phase1 utility (lab)".into(),
+        "wifi-only r".into(),
+        f2(mean(&lab_wifi_only)),
+    ]);
 
     measured(&format!(
         "redistribution contributes {:+.1}% aggregate; NLP phase 2 is {:+.2}% vs greedy \

@@ -1,0 +1,36 @@
+//! Micro-benchmark: end-to-end association policies on enterprise
+//! networks of growing size (WOLT vs the baselines).
+
+use wolt_bench::harness::{black_box, Group};
+use wolt_core::baselines::{Greedy, Rssi};
+use wolt_core::{AssociationPolicy, Network, Wolt};
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
+
+fn enterprise_network(users: usize) -> Network {
+    let config = ScenarioConfig::enterprise(users);
+    let mut rng = ChaCha8Rng::seed_from_u64(users as u64);
+    Scenario::generate(&config, &mut rng)
+        .expect("scenario generates")
+        .network()
+        .expect("network builds")
+}
+
+fn main() {
+    let mut group = Group::new("association");
+    for users in [12usize, 36, 72, 124] {
+        let network = enterprise_network(users);
+        let wolt = Wolt::new();
+        group.bench(&format!("wolt/{users}"), || {
+            wolt.associate(black_box(&network)).expect("wolt runs")
+        });
+        let greedy = Greedy::new();
+        group.bench(&format!("greedy/{users}"), || {
+            greedy.associate(black_box(&network)).expect("greedy runs")
+        });
+        group.bench(&format!("rssi/{users}"), || {
+            Rssi.associate(black_box(&network)).expect("rssi runs")
+        });
+    }
+}

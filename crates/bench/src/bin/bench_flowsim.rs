@@ -1,14 +1,13 @@
-//! Criterion bench: the flow-level queueing simulator (cost per simulated
+//! Micro-benchmark: the flow-level queueing simulator (cost per simulated
 //! second, by network size).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use wolt_bench::harness::{black_box, Group};
 use wolt_core::baselines::Rssi;
 use wolt_core::{Association, AssociationPolicy, Network};
 use wolt_sim::flowsim::{simulate_flows, FlowSimConfig};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_units::Seconds;
 
 fn network_and_assoc(users: usize) -> (Network, Association) {
@@ -22,25 +21,16 @@ fn network_and_assoc(users: usize) -> (Network, Association) {
     (network, assoc)
 }
 
-fn bench_flowsim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flowsim");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("flowsim");
     let config = FlowSimConfig {
         duration: Seconds::new(1.0),
         ..FlowSimConfig::default()
     };
     for users in [7usize, 36, 72] {
         let (network, assoc) = network_and_assoc(users);
-        group.bench_with_input(
-            BenchmarkId::new("one_second", users),
-            &(network, assoc),
-            |b, (net, a)| {
-                b.iter(|| simulate_flows(black_box(net), black_box(a), &config).expect("runs"))
-            },
-        );
+        group.bench(&format!("one_second/{users}"), || {
+            simulate_flows(black_box(&network), black_box(&assoc), &config).expect("runs")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_flowsim);
-criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Micro-benchmark: Hungarian assignment scaling (the paper's O(|A|³)
+//! Phase-I complexity claim).
+
+use wolt_bench::harness::{black_box, Group};
+use wolt_opt::{max_weight_assignment, Matrix};
+use wolt_support::rng::{ChaCha8Rng, Rng, SeedableRng};
+
+fn main() {
+    let mut group = Group::new("hungarian");
+    for n in [5usize, 10, 20, 40, 80] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let matrix = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..100.0)).expect("non-empty");
+        group.bench(&format!("square/{n}"), || {
+            max_weight_assignment(black_box(&matrix))
+        });
+    }
+    // Rectangular: many users, few extenders (the WOLT Phase-I shape).
+    for users in [30usize, 120] {
+        let mut rng = ChaCha8Rng::seed_from_u64(users as u64);
+        let matrix =
+            Matrix::from_fn(users, 15, |_, _| rng.gen_range(0.0..100.0)).expect("non-empty");
+        group.bench(&format!("users_x_15ext/{users}"), || {
+            max_weight_assignment(black_box(&matrix))
+        });
+    }
+}

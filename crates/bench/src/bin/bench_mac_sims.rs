@@ -1,0 +1,30 @@
+//! Micro-benchmark: the slotted MAC micro-simulators (cost per simulated
+//! second, by station count).
+
+use wolt_bench::harness::{black_box, Group};
+use wolt_plc::mac1901::{simulate_1901, Mac1901Config};
+use wolt_units::{Mbps, Seconds};
+use wolt_wifi::dcf::{simulate_dcf, DcfConfig};
+
+fn main() {
+    let mut group = Group::new("mac_sims");
+    for n in [2usize, 8] {
+        let wifi_rates: Vec<Mbps> = (0..n).map(|i| Mbps::new(6.0 + 6.0 * i as f64)).collect();
+        let dcf_cfg = DcfConfig {
+            duration: Seconds::new(0.5),
+            ..DcfConfig::default()
+        };
+        group.bench(&format!("dcf_half_second/{n}"), || {
+            simulate_dcf(black_box(&wifi_rates), &dcf_cfg, 7).expect("valid sim")
+        });
+
+        let plc_rates: Vec<Mbps> = (0..n).map(|i| Mbps::new(60.0 + 20.0 * i as f64)).collect();
+        let mac_cfg = Mac1901Config {
+            duration: Seconds::new(0.5),
+            ..Mac1901Config::default()
+        };
+        group.bench(&format!("mac1901_half_second/{n}"), || {
+            simulate_1901(black_box(&plc_rates), &mac_cfg, 7).expect("valid sim")
+        });
+    }
+}

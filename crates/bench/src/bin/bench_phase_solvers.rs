@@ -1,0 +1,74 @@
+//! Micro-benchmark: Phase-I assignment backends (Hungarian vs auction)
+//! and the Phase-II solvers (NLP vs greedy completion).
+
+use wolt_bench::harness::{black_box, Group};
+use wolt_core::phase1::{phase1_utilities, run_phase1_with, Phase1Solver};
+use wolt_core::phase2::{run_phase2, run_phase2_greedy, Phase2Config};
+use wolt_core::Network;
+use wolt_opt::auction::auction_assignment;
+use wolt_opt::dynamic::IncrementalAssignment;
+use wolt_opt::max_weight_assignment;
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+use wolt_support::rng::{ChaCha8Rng, Rng, SeedableRng};
+
+fn enterprise_network(users: usize) -> Network {
+    let config = ScenarioConfig::enterprise(users);
+    let mut rng = ChaCha8Rng::seed_from_u64(users as u64);
+    Scenario::generate(&config, &mut rng)
+        .expect("scenario generates")
+        .network()
+        .expect("network builds")
+}
+
+fn main() {
+    let mut group = Group::new("phase_solvers");
+
+    for users in [36usize, 124] {
+        let network = enterprise_network(users);
+        let utilities = phase1_utilities(&network).expect("utilities build");
+
+        group.bench(&format!("phase1_hungarian/{users}"), || {
+            max_weight_assignment(black_box(&utilities))
+        });
+        group.bench(&format!("phase1_auction/{users}"), || {
+            auction_assignment(black_box(&utilities), 1e-9)
+        });
+
+        let phase1 = run_phase1_with(&network, Phase1Solver::Hungarian).expect("phase 1 runs");
+        let config = Phase2Config::default();
+        group.bench(&format!("phase2_nlp/{users}"), || {
+            run_phase2(black_box(&network), &phase1.association, &config).expect("runs")
+        });
+        group.bench(&format!("phase2_greedy/{users}"), || {
+            run_phase2_greedy(black_box(&network), &phase1.association, &config).expect("runs")
+        });
+    }
+
+    // Dynamic repair (paper ref [25]) vs batch re-solve: one arriving user
+    // on a 15-extender Phase-I matching.
+    let cols = 15usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let rows: Vec<Vec<f64>> = (0..cols - 1)
+        .map(|_| (0..cols).map(|_| rng.gen_range(1.0..50.0)).collect())
+        .collect();
+    let newcomer: Vec<f64> = (0..cols).map(|_| rng.gen_range(1.0..50.0)).collect();
+
+    group.bench_batched(
+        "arrival_incremental_repair",
+        || {
+            let mut inc = IncrementalAssignment::new(cols);
+            for r in &rows {
+                inc.add_row(r.clone()).expect("capacity available");
+            }
+            inc
+        },
+        |mut inc| inc.add_row(black_box(newcomer.clone())).expect("capacity"),
+    );
+    let mut all = rows.clone();
+    all.push(newcomer.clone());
+    let matrix = wolt_opt::Matrix::from_rows(&all).expect("well-formed");
+    group.bench("arrival_batch_resolve", || {
+        max_weight_assignment(black_box(&matrix))
+    });
+}

@@ -1,22 +1,23 @@
-//! Criterion bench: the analytic sharing-model kernels (evaluation is the
+//! Micro-benchmark: the analytic sharing-model kernels (evaluation is the
 //! inner loop of every policy).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use wolt_bench::harness::{black_box, Group};
 use wolt_core::{evaluate, Association, Network};
 use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+use wolt_support::rng::{ChaCha8Rng, Rng, SeedableRng};
 use wolt_units::Mbps;
 use wolt_wifi::cell::aggregate_throughput;
 
-fn bench_sharing(c: &mut Criterion) {
+fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
 
-    let mut group = c.benchmark_group("sharing_models");
+    let mut group = Group::new("sharing_models");
     for n in [4usize, 16, 64] {
-        let rates: Vec<Mbps> = (0..n).map(|_| Mbps::new(rng.gen_range(1.0..50.0))).collect();
-        group.bench_with_input(BenchmarkId::new("wifi_cell", n), &rates, |b, r| {
-            b.iter(|| aggregate_throughput(black_box(r)).expect("usable rates"))
+        let rates: Vec<Mbps> = (0..n)
+            .map(|_| Mbps::new(rng.gen_range(1.0..50.0)))
+            .collect();
+        group.bench(&format!("wifi_cell/{n}"), || {
+            aggregate_throughput(black_box(&rates)).expect("usable rates")
         });
 
         let demands: Vec<ExtenderDemand> = (0..n)
@@ -25,8 +26,8 @@ fn bench_sharing(c: &mut Criterion) {
                 demand: Mbps::new(rng.gen_range(0.0..80.0)),
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("plc_timeshare", n), &demands, |b, d| {
-            b.iter(|| allocate_time_fair(black_box(d)).expect("valid demands"))
+        group.bench(&format!("plc_timeshare/{n}"), || {
+            allocate_time_fair(black_box(&demands)).expect("valid demands")
         });
     }
 
@@ -39,11 +40,7 @@ fn bench_sharing(c: &mut Criterion) {
     let caps: Vec<f64> = (0..exts).map(|_| rng.gen_range(60.0..160.0)).collect();
     let net = Network::from_raw(caps, rates).expect("valid network");
     let assoc = Association::complete((0..users).map(|i| i % exts).collect());
-    group.bench_function("evaluate_60u_15e", |b| {
-        b.iter(|| evaluate(black_box(&net), black_box(&assoc)).expect("valid"))
+    group.bench("evaluate_60u_15e", || {
+        evaluate(black_box(&net), black_box(&assoc)).expect("valid")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_sharing);
-criterion_main!(benches);

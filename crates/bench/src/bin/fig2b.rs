@@ -6,12 +6,12 @@
 //! four outlets of a random building, attenuation → capacity, measured
 //! through the noisy offline estimation procedure.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_bench::{columns, f2, header, measured, row};
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_plc::channel::PlcChannelModel;
 use wolt_plc::topology::{random_building, BuildingConfig, OutletId};
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 fn main() {
     header(
@@ -24,8 +24,7 @@ fn main() {
     // The paper deliberately picked four outlets "of varying link
     // qualities"; we generate a whole building and take the attenuation
     // quartiles to match that selection.
-    let building =
-        random_building(&mut rng, 24, &BuildingConfig::default()).expect("valid config");
+    let building = random_building(&mut rng, 24, &BuildingConfig::default()).expect("valid config");
     let channel = PlcChannelModel::homeplug_av2();
     let estimator = CapacityEstimator::default();
 
@@ -47,11 +46,15 @@ fn main() {
 
     let mut measured_caps = Vec::new();
     for (j, &outlet) in picks.iter().enumerate() {
-        let att = building.attenuation(OutletId(outlet)).expect("outlet exists");
+        let att = building
+            .attenuation(OutletId(outlet))
+            .expect("outlet exists");
         let truth = channel
             .capacity(att)
             .expect("building outlets are within cutoff");
-        let estimate = estimator.estimate(truth, &mut rng).expect("usable capacity");
+        let estimate = estimator
+            .estimate(truth, &mut rng)
+            .expect("usable capacity");
         measured_caps.push(estimate.value());
         row(&[
             format!("E{}", j + 1),

@@ -27,7 +27,9 @@ fn main() {
     let singles: Vec<f64> = capacities
         .iter()
         .map(|&c| {
-            simulate_1901(&[Mbps::new(c)], &mac_cfg, 99).expect("valid sim").per_station[0]
+            simulate_1901(&[Mbps::new(c)], &mac_cfg, 99)
+                .expect("valid sim")
+                .per_station[0]
                 .value()
         })
         .collect();

@@ -6,14 +6,14 @@
 //! "testbed") and (b) the offline policies on the same network (the
 //! "simulation"), expecting near-identical aggregates.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_bench::{columns, f2, header, measured, row};
 use wolt_core::baselines::{Greedy, Rssi};
 use wolt_core::{evaluate, AssociationPolicy, Wolt};
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 use wolt_testbed::{run_rig, ControllerPolicy, RigConfig};
 
 fn main() {

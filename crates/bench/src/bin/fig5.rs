@@ -30,20 +30,10 @@ fn main() {
 
     columns(&["group", "user_rank", "wolt_mbps", "greedy_mbps"]);
     for (rank, (w, g)) in bw.worst.iter().enumerate() {
-        row(&[
-            "worst".to_string(),
-            (rank + 1).to_string(),
-            f2(*w),
-            f2(*g),
-        ]);
+        row(&["worst".to_string(), (rank + 1).to_string(), f2(*w), f2(*g)]);
     }
     for (rank, (w, g)) in bw.best.iter().enumerate() {
-        row(&[
-            "best".to_string(),
-            (rank + 1).to_string(),
-            f2(*w),
-            f2(*g),
-        ]);
+        row(&["best".to_string(), (rank + 1).to_string(), f2(*w), f2(*g)]);
     }
 
     let worst_delta: f64 = bw.worst.iter().map(|(w, g)| w - g).sum();

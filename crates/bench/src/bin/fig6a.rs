@@ -39,7 +39,13 @@ fn main() {
     let selfish_v = values("SelfishGreedy");
     let rssi_v = values("RSSI");
 
-    columns(&["percentile", "wolt_mbps", "greedy_mbps", "selfish_greedy_mbps", "rssi_mbps"]);
+    columns(&[
+        "percentile",
+        "wolt_mbps",
+        "greedy_mbps",
+        "selfish_greedy_mbps",
+        "rssi_mbps",
+    ]);
     for p in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
         row(&[
             f2(p),
@@ -50,11 +56,7 @@ fn main() {
         ]);
     }
 
-    let wins = wolt_v
-        .iter()
-        .zip(&greedy_v)
-        .filter(|(w, g)| w >= g)
-        .count();
+    let wins = wolt_v.iter().zip(&greedy_v).filter(|(w, g)| w >= g).count();
     measured(&format!(
         "mean WOLT = {:.1}, Greedy = {:.1}, SelfishGreedy = {:.1}, RSSI = {:.1} Mbit/s; \
          WOLT ≥ Greedy in {wins}/100 trials; improvement ratios: {:.2}x vs Greedy, \

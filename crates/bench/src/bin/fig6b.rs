@@ -23,7 +23,11 @@ fn main() {
     // Per-epoch means across runs for each policy.
     let mut means = std::collections::BTreeMap::new();
     let mut user_counts = vec![0.0f64; epochs];
-    for policy in [OnlinePolicy::Wolt, OnlinePolicy::GreedyOnline, OnlinePolicy::Rssi] {
+    for policy in [
+        OnlinePolicy::Wolt,
+        OnlinePolicy::GreedyOnline,
+        OnlinePolicy::Rssi,
+    ] {
         let mut per_epoch = vec![0.0f64; epochs];
         for &seed in &runs {
             let records = sim.run(policy, epochs, seed).expect("dynamic run");
@@ -37,7 +41,13 @@ fn main() {
         means.insert(policy.name(), per_epoch);
     }
 
-    columns(&["epoch", "mean_users", "wolt_mbps", "greedy_mbps", "rssi_mbps"]);
+    columns(&[
+        "epoch",
+        "mean_users",
+        "wolt_mbps",
+        "greedy_mbps",
+        "rssi_mbps",
+    ]);
     for e in 0..epochs {
         row(&[
             (e + 1).to_string(),

@@ -23,7 +23,9 @@ fn main() {
     let mut arrivals = vec![0.0f64; epochs];
     let mut reassignments = vec![0.0f64; epochs];
     for &seed in &runs {
-        let records = sim.run(OnlinePolicy::Wolt, epochs, seed).expect("dynamic run");
+        let records = sim
+            .run(OnlinePolicy::Wolt, epochs, seed)
+            .expect("dynamic run");
         for (e, r) in records.iter().enumerate() {
             arrivals[e] += r.arrivals as f64 / runs.len() as f64;
             reassignments[e] += r.reassignments as f64 / runs.len() as f64;

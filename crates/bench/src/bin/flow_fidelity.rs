@@ -6,14 +6,14 @@
 //! to the analytic `evaluate()` numbers every association policy
 //! optimizes against.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_bench::{columns, f2, header, measured, row};
 use wolt_core::baselines::{Greedy, Rssi};
 use wolt_core::{evaluate, AssociationPolicy, Wolt};
 use wolt_sim::flowsim::{simulate_flows, FlowSimConfig};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 fn main() {
     header(
@@ -49,11 +49,7 @@ fn main() {
             let gap = 100.0 * (flows.aggregate.value() - analytic.aggregate.value()).abs()
                 / analytic.aggregate.value();
             worst_gap = worst_gap.max(gap);
-            let peak = flows
-                .peak_queue_fill
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let peak = flows.peak_queue_fill.iter().cloned().fold(0.0f64, f64::max);
             row(&[
                 seed.to_string(),
                 policy.name().to_string(),

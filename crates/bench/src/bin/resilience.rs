@@ -9,8 +9,6 @@
 //! 2. How much throughput does capping WOLT's re-associations per epoch
 //!    cost (the Fig. 6c overhead, made controllable via `OnlineWolt`)?
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_bench::{columns, f2, header, mean, measured, row};
 use wolt_core::baselines::Rssi;
 use wolt_core::{evaluate, AssociationPolicy, OnlineWolt, Wolt};
@@ -19,6 +17,8 @@ use wolt_sim::experiment::{DynamicSimulation, OnlinePolicy};
 use wolt_sim::perturb::{MobilityConfig, OutageConfig};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 fn main() {
     header(
@@ -37,10 +37,19 @@ fn main() {
             max_concurrent: 3,
         });
 
-    columns(&["environment", "policy", "mean_aggregate_mbps", "mean_reassignments"]);
+    columns(&[
+        "environment",
+        "policy",
+        "mean_aggregate_mbps",
+        "mean_reassignments",
+    ]);
     let mut degradation = Vec::new();
     for (label, sim) in [("clean", &clean), ("perturbed", &perturbed)] {
-        for policy in [OnlinePolicy::Wolt, OnlinePolicy::GreedyOnline, OnlinePolicy::Rssi] {
+        for policy in [
+            OnlinePolicy::Wolt,
+            OnlinePolicy::GreedyOnline,
+            OnlinePolicy::Rssi,
+        ] {
             let mut aggregates = Vec::new();
             let mut reassignments = Vec::new();
             for seed in 0..10u64 {
@@ -76,12 +85,21 @@ fn main() {
         .aggregate
         .value();
 
-    columns(&["move_budget", "aggregate_mbps", "fraction_of_full_wolt", "moves_used"]);
+    columns(&[
+        "move_budget",
+        "aggregate_mbps",
+        "fraction_of_full_wolt",
+        "moves_used",
+    ]);
     for budget in [0usize, 1, 2, 4, 8, 16, usize::MAX] {
         let online = OnlineWolt::new().with_move_budget(budget);
         let outcome = online.reconfigure(&network, &start).expect("reconfigures");
         row(&[
-            if budget == usize::MAX { "inf".to_string() } else { budget.to_string() },
+            if budget == usize::MAX {
+                "inf".to_string()
+            } else {
+                budget.to_string()
+            },
             f2(outcome.aggregate.value()),
             f2(outcome.aggregate.value() / full),
             outcome.moves.to_string(),

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 /// Prints a figure header: id, paper claim, and our setup in one place.
 pub fn header(figure: &str, claim: &str, setup: &str) {
     println!("# {figure}");

@@ -99,8 +99,7 @@ mod tests {
 
     #[test]
     fn parses_command_and_flags() {
-        let args =
-            ParsedArgs::parse(["solve", "--input", "net.json", "--policy", "wolt"]).unwrap();
+        let args = ParsedArgs::parse(["solve", "--input", "net.json", "--policy", "wolt"]).unwrap();
         assert_eq!(args.command, "solve");
         assert_eq!(args.get("input"), Some("net.json"));
         assert_eq!(args.get("policy"), Some("wolt"));

@@ -1,10 +1,10 @@
 //! The CLI verbs as pure, testable functions.
 
-use serde::{Deserialize, Serialize};
 use wolt_core::baselines::{Greedy, Optimal, Random, Rssi, SelfishGreedy};
 use wolt_core::{evaluate, AssociationPolicy, Wolt};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::spec::NetworkSpec;
 use crate::CliError;
@@ -66,7 +66,7 @@ impl PolicyChoice {
 }
 
 /// Result of a `solve`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
     /// Policy that produced the association.
     pub policy: String,
@@ -78,6 +78,30 @@ pub struct SolveReport {
     pub aggregate_mbps: f64,
     /// Jain's fairness index.
     pub jain: Option<f64>,
+}
+
+impl ToJson for SolveReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("policy", self.policy.to_json()),
+            ("association", self.association.to_json()),
+            ("per_user_mbps", self.per_user_mbps.to_json()),
+            ("aggregate_mbps", self.aggregate_mbps.to_json()),
+            ("jain", self.jain.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SolveReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            policy: String::from_json(value.field("policy")?)?,
+            association: Vec::<usize>::from_json(value.field("association")?)?,
+            per_user_mbps: Vec::<f64>::from_json(value.field("per_user_mbps")?)?,
+            aggregate_mbps: f64::from_json(value.field("aggregate_mbps")?)?,
+            jain: Option::<f64>::from_json(value.field("jain")?)?,
+        })
+    }
 }
 
 /// Runs one policy on a network spec.
@@ -93,7 +117,11 @@ pub fn solve(spec: &NetworkSpec, policy: PolicyChoice, seed: u64) -> Result<Solv
     Ok(SolveReport {
         policy: instance.name().to_string(),
         association: (0..network.users())
-            .map(|i| assoc.target(i).expect("policies return complete associations"))
+            .map(|i| {
+                assoc
+                    .target(i)
+                    .expect("policies return complete associations")
+            })
             .collect(),
         per_user_mbps: eval.per_user.iter().map(|t| t.value()).collect(),
         aggregate_mbps: eval.aggregate.value(),
@@ -165,12 +193,12 @@ impl PresetChoice {
 ///
 /// Propagates scenario-generation failures.
 pub fn generate(preset: PresetChoice, users: usize, seed: u64) -> Result<NetworkSpec, CliError> {
-    use rand::SeedableRng;
+    use wolt_support::rng::SeedableRng;
     let config = match preset {
         PresetChoice::Enterprise => ScenarioConfig::enterprise(users),
         PresetChoice::Lab => ScenarioConfig::lab(users),
     };
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = wolt_support::rng::ChaCha8Rng::seed_from_u64(seed);
     let scenario = Scenario::generate(&config, &mut rng)?;
     Ok(NetworkSpec::from_scenario(&scenario))
 }
@@ -258,8 +286,8 @@ mod tests {
     #[test]
     fn report_serializes() {
         let report = solve(&fig3_spec(), PolicyChoice::Optimal, 0).unwrap();
-        let json = serde_json::to_string(&report).unwrap();
-        let back: SolveReport = serde_json::from_str(&json).unwrap();
+        let json = report.to_json().to_compact();
+        let back = SolveReport::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(report, back);
     }
 }

@@ -66,8 +66,8 @@ impl From<wolt_sim::SimError> for CliError {
     }
 }
 
-impl From<serde_json::Error> for CliError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<wolt_support::json::JsonError> for CliError {
+    fn from(e: wolt_support::json::JsonError) -> Self {
         CliError::BadInput {
             message: e.to_string(),
         }

@@ -12,6 +12,7 @@ use wolt_cli::args::ParsedArgs;
 use wolt_cli::commands::{compare, generate, solve, solve_explained, PolicyChoice, PresetChoice};
 use wolt_cli::spec::NetworkSpec;
 use wolt_cli::CliError;
+use wolt_support::json::ToJson;
 
 const USAGE: &str = "\
 wolt — auto-configuration of integrated PLC-WiFi networks (WOLT, ICDCS 2020)
@@ -41,11 +42,12 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
     match parsed.command.as_str() {
         "generate" => {
             let preset = PresetChoice::parse(parsed.require("preset")?)?;
-            let users: usize = parsed.require("users")?.parse().map_err(|_| {
-                CliError::Usage {
+            let users: usize = parsed
+                .require("users")?
+                .parse()
+                .map_err(|_| CliError::Usage {
                     message: "--users must be a positive integer".into(),
-                }
-            })?;
+                })?;
             let seed = parsed.get_parsed_or("seed", 0u64)?;
             let spec = generate(preset, users, seed)?;
             emit(&spec.to_json(), parsed.get("output"))?;
@@ -59,10 +61,7 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
                 emit(&solve_explained(&spec, policy, seed)?, parsed.get("output"))?;
             } else {
                 let report = solve(&spec, policy, seed)?;
-                emit(
-                    &serde_json::to_string_pretty(&report).expect("report serializes"),
-                    parsed.get("output"),
-                )?;
+                emit(&report.to_json().to_pretty(), parsed.get("output"))?;
             }
             Ok(())
         }

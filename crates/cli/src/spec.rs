@@ -6,8 +6,8 @@
 //! subcommand samples these from the simulator's enterprise/lab models;
 //! `wolt solve`/`compare` consume them from a file.
 
-use serde::{Deserialize, Serialize};
 use wolt_core::Network;
+use wolt_support::json::{FromJson, Json, ToJson};
 
 use crate::CliError;
 
@@ -19,7 +19,7 @@ use crate::CliError;
 ///   "rates": [[15.0, 10.0], [40.0, 20.0]]
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     /// PLC isolation capacities `c_j` in Mbit/s.
     pub capacities: Vec<f64>,
@@ -61,22 +61,30 @@ impl NetworkSpec {
     ///
     /// Returns [`CliError::BadInput`] on malformed JSON.
     pub fn from_json(text: &str) -> Result<Self, CliError> {
-        Ok(serde_json::from_str(text)?)
+        let value = Json::parse(text)?;
+        Ok(Self {
+            capacities: Vec::<f64>::from_json(value.field("capacities")?)?,
+            rates: <Vec<Vec<f64>>>::from_json(value.field("rates")?)?,
+        })
     }
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serializes")
+        Json::obj(vec![
+            ("capacities", self.capacities.to_json()),
+            ("rates", self.rates.to_json()),
+        ])
+        .to_pretty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use wolt_sim::scenario::ScenarioConfig;
     use wolt_sim::Scenario;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     #[test]
     fn json_round_trip() {
@@ -107,6 +115,25 @@ mod tests {
         };
         assert!(spec.to_network().is_err());
         assert!(NetworkSpec::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn malformed_json_specs_rejected() {
+        // Missing required fields.
+        assert!(NetworkSpec::from_json(r#"{"capacities": [60.0]}"#).is_err());
+        assert!(NetworkSpec::from_json(r#"{"rates": [[10.0]]}"#).is_err());
+        // Wrong field types.
+        assert!(NetworkSpec::from_json(r#"{"capacities": "sixty", "rates": [[10.0]]}"#).is_err());
+        assert!(NetworkSpec::from_json(r#"{"capacities": [60.0], "rates": [10.0]}"#).is_err());
+        assert!(
+            NetworkSpec::from_json(r#"{"capacities": [60.0, null], "rates": [[10.0]]}"#).is_err()
+        );
+        // Structurally valid JSON that fails network validation downstream.
+        let ragged = NetworkSpec::from_json(
+            r#"{"capacities": [60.0, 20.0], "rates": [[10.0, 5.0], [10.0]]}"#,
+        )
+        .unwrap();
+        assert!(ragged.to_network().is_err());
     }
 
     #[test]

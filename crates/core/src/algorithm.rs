@@ -114,9 +114,7 @@ impl Wolt {
         let p1 = run_phase1_full(net, self.phase1_solver, self.phase1_utility)?;
         let mut p2 = match self.phase2_solver {
             Phase2Solver::Nlp => run_phase2(net, &p1.association, &self.phase2_config)?,
-            Phase2Solver::Greedy => {
-                run_phase2_greedy(net, &p1.association, &self.phase2_config)?
-            }
+            Phase2Solver::Greedy => run_phase2_greedy(net, &p1.association, &self.phase2_config)?,
         };
         repair_user_limits(net, &mut p2.association)?;
         Ok((p1, p2))

@@ -236,7 +236,9 @@ mod tests {
     #[test]
     fn fig3_ordering_rssi_le_greedy_le_optimal() {
         let net = fig3_network();
-        let rssi = evaluate(&net, &Rssi.associate(&net).unwrap()).unwrap().aggregate;
+        let rssi = evaluate(&net, &Rssi.associate(&net).unwrap())
+            .unwrap()
+            .aggregate;
         let greedy = evaluate(&net, &Greedy::new().associate(&net).unwrap())
             .unwrap()
             .aggregate;
@@ -259,7 +261,9 @@ mod tests {
 
     #[test]
     fn greedy_rejects_bad_order() {
-        let err = Greedy::with_order(vec![0]).associate(&fig3_network()).unwrap_err();
+        let err = Greedy::with_order(vec![0])
+            .associate(&fig3_network())
+            .unwrap_err();
         assert!(matches!(err, CoreError::DimensionMismatch { .. }));
     }
 
@@ -359,11 +363,7 @@ mod tests {
         // greedy avoids this.
         let net = Network::from_raw(
             vec![200.0, 40.0],
-            vec![
-                vec![50.0, 10.0],
-                vec![50.0, 10.0],
-                vec![2.0, 1.9],
-            ],
+            vec![vec![50.0, 10.0], vec![50.0, 10.0], vec![2.0, 1.9]],
         )
         .unwrap();
         let selfish = evaluate(&net, &SelfishGreedy::new().associate(&net).unwrap())
@@ -381,10 +381,14 @@ mod tests {
     #[test]
     fn selfish_greedy_respects_order_and_validates() {
         let net = fig3_network();
-        let assoc = SelfishGreedy::with_order(vec![1, 0]).associate(&net).unwrap();
+        let assoc = SelfishGreedy::with_order(vec![1, 0])
+            .associate(&net)
+            .unwrap();
         assert!(assoc.is_complete());
         assert!(net.validate_association(&assoc).is_ok());
-        let err = SelfishGreedy::with_order(vec![0]).associate(&net).unwrap_err();
+        let err = SelfishGreedy::with_order(vec![0])
+            .associate(&net)
+            .unwrap_err();
         assert!(matches!(err, CoreError::DimensionMismatch { .. }));
     }
 

@@ -16,16 +16,14 @@
 //! partition. This is test scaffolding made public because it documents
 //! the complexity argument; it is not needed to run WOLT.
 
-use serde::{Deserialize, Serialize};
-
 /// The PARTITION → Problem 1 reduction instance of Theorem 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionReduction {
     weights: Vec<f64>,
 }
 
 /// A solved partition: side assignment and the achieved imbalance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionSolution {
     /// `true` = the item goes to extender 1's side.
     pub left: Vec<bool>,
@@ -44,7 +42,10 @@ impl PartitionReduction {
     /// solver is exhaustive), or contains non-positive/non-finite weights.
     pub fn new(weights: Vec<f64>) -> Self {
         assert!(weights.len() >= 2, "need at least two weights to partition");
-        assert!(weights.len() <= 24, "exhaustive reduction limited to 24 items");
+        assert!(
+            weights.len() <= 24,
+            "exhaustive reduction limited to 24 items"
+        );
         assert!(
             weights.iter().all(|w| w.is_finite() && *w > 0.0),
             "weights must be positive and finite"
@@ -65,7 +66,11 @@ impl PartitionReduction {
     /// −n / W_j`, so the objective is `−n·(1/W_left + 1/W_right)`.
     /// Degenerate one-sided splits score `−∞`.
     pub fn objective(&self, left: &[bool]) -> f64 {
-        assert_eq!(left.len(), self.weights.len(), "side vector length mismatch");
+        assert_eq!(
+            left.len(),
+            self.weights.len(),
+            "side vector length mismatch"
+        );
         let w_left: f64 = self
             .weights
             .iter()

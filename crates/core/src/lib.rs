@@ -73,9 +73,9 @@ mod policy;
 mod throughput;
 
 pub use algorithm::{Phase2Solver, Wolt};
-pub use phase1::{Phase1Solver, Phase1Utility};
-pub use online::{OnlineOutcome, OnlineWolt};
 pub use error::CoreError;
 pub use model::{Association, Network};
+pub use online::{OnlineOutcome, OnlineWolt};
+pub use phase1::{Phase1Solver, Phase1Utility};
 pub use policy::AssociationPolicy;
 pub use throughput::{evaluate, evaluate_without_redistribution, Evaluation};

@@ -12,8 +12,8 @@
 //! | `x_ij` — association indicator | [`Association`] |
 //! | `N_j` — users on extender j | `Association::users_of(j)` |
 
-use serde::{Deserialize, Serialize};
 use wolt_opt::Matrix;
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
 use wolt_units::Mbps;
 
 use crate::CoreError;
@@ -44,7 +44,7 @@ use crate::CoreError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     capacities: Vec<Mbps>,
     rates: Matrix,
@@ -226,11 +226,35 @@ fn usable(rate: f64) -> bool {
     rate.is_finite() && rate > 0.0
 }
 
+impl ToJson for Network {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("capacities", self.capacities.to_json()),
+            ("rates", self.rates.to_json()),
+            ("user_limits", self.user_limits.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Network {
+    /// Deserializes and re-validates: malformed shapes (mismatched
+    /// dimensions, unusable capacities, unreachable users) are rejected
+    /// with the same checks as [`Network::new`].
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let capacities = Vec::<Mbps>::from_json(value.field("capacities")?)?;
+        let rates = Matrix::from_json(value.field("rates")?)?;
+        let user_limits = Vec::<Option<usize>>::from_json(value.field("user_limits")?)?;
+        Network::new(capacities, rates)
+            .and_then(|net| net.with_user_limits(user_limits))
+            .map_err(|e| JsonError::shape(format!("invalid network: {e}")))
+    }
+}
+
 /// An association of users to extenders: `assoc[i] = Some(j)` connects user
 /// `i` to extender `j`; `None` leaves the user unassigned.
 ///
 /// This is the paper's `x_ij` in one-hot form.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Association {
     targets: Vec<Option<usize>>,
 }
@@ -397,9 +421,8 @@ mod tests {
 
     #[test]
     fn rejects_unreachable_user() {
-        let err =
-            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![0.0, -3.0]])
-                .unwrap_err();
+        let err = Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![0.0, -3.0]])
+            .unwrap_err();
         assert_eq!(err, CoreError::UnreachableUser { user: 1 });
     }
 
@@ -459,7 +482,10 @@ mod tests {
         let infeasible = Association::from_targets(vec![Some(1), None]);
         assert!(matches!(
             net2.validate_association(&infeasible),
-            Err(CoreError::InfeasibleAssociation { user: 0, extender: 1 })
+            Err(CoreError::InfeasibleAssociation {
+                user: 0,
+                extender: 1
+            })
         ));
         // Capacity limit.
         let limited = fig3_network()
@@ -468,7 +494,10 @@ mod tests {
         let crowded = Association::complete(vec![0, 0]);
         assert!(matches!(
             limited.validate_association(&crowded),
-            Err(CoreError::CapacityExceeded { extender: 0, limit: 1 })
+            Err(CoreError::CapacityExceeded {
+                extender: 0,
+                limit: 1
+            })
         ));
         // A valid association passes.
         let ok = Association::complete(vec![1, 0]);
@@ -492,10 +521,37 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let net = fig3_network();
-        let json = serde_json::to_string(&net).unwrap();
-        let back: Network = serde_json::from_str(&json).unwrap();
+    fn json_round_trip() {
+        let net = fig3_network()
+            .with_user_limits(vec![Some(3), None])
+            .unwrap();
+        let json = net.to_json().to_compact();
+        let back = Network::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(net, back);
+    }
+
+    #[test]
+    fn json_rejects_malformed_networks() {
+        // Structurally valid JSON that violates the model invariants must
+        // not deserialize into a Network.
+        let cases = [
+            // Rate-matrix width disagrees with the capacity count.
+            r#"{"capacities":[60.0],"rates":{"rows":1,"cols":2,"data":[15.0,10.0]},"user_limits":[null]}"#,
+            // Unusable (zero) capacity.
+            r#"{"capacities":[60.0,0.0],"rates":{"rows":1,"cols":2,"data":[15.0,10.0]},"user_limits":[null,null]}"#,
+            // A user with no usable rate anywhere.
+            r#"{"capacities":[60.0,20.0],"rates":{"rows":1,"cols":2,"data":[0.0,-3.0]},"user_limits":[null,null]}"#,
+            // User-limit vector of the wrong length.
+            r#"{"capacities":[60.0,20.0],"rates":{"rows":1,"cols":2,"data":[15.0,10.0]},"user_limits":[null]}"#,
+            // Missing field entirely.
+            r#"{"capacities":[60.0,20.0],"rates":{"rows":1,"cols":2,"data":[15.0,10.0]}}"#,
+        ];
+        for text in cases {
+            let parsed = Json::parse(text).unwrap();
+            assert!(
+                Network::from_json(&parsed).is_err(),
+                "accepted malformed network: {text}"
+            );
+        }
     }
 }

@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn unbounded_budget_reaches_wolt_quality() {
         let net = fig3_network();
-        let outcome = OnlineWolt::new().reconfigure(&net, &rssi_start(&net)).unwrap();
+        let outcome = OnlineWolt::new()
+            .reconfigure(&net, &rssi_start(&net))
+            .unwrap();
         // Full WOLT reaches 40 on the case study; the greedy move
         // application must reach at least the greedy outcome (30) and in
         // this instance the optimum.
@@ -222,7 +224,11 @@ mod tests {
                 .with_move_budget(budget)
                 .reconfigure(&net, &start)
                 .unwrap();
-            assert!(outcome.moves <= budget, "budget {budget}: {}", outcome.moves);
+            assert!(
+                outcome.moves <= budget,
+                "budget {budget}: {}",
+                outcome.moves
+            );
         }
     }
 
@@ -268,7 +274,7 @@ mod tests {
     fn hysteresis_suppresses_small_moves() {
         let net = fig3_network();
         let start = rssi_start(&net); // worth 21.8; optimum 40
-        // A huge threshold suppresses everything.
+                                      // A huge threshold suppresses everything.
         let frozen = OnlineWolt::new()
             .with_min_gain(Mbps::new(1000.0))
             .reconfigure(&net, &start)

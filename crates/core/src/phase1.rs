@@ -88,20 +88,15 @@ pub fn phase1_utilities(net: &Network) -> Result<Matrix, CoreError> {
 /// # Errors
 ///
 /// As [`phase1_utilities`].
-pub fn phase1_utilities_with(
-    net: &Network,
-    utility: Phase1Utility,
-) -> Result<Matrix, CoreError> {
+pub fn phase1_utilities_with(net: &Network, utility: Phase1Utility) -> Result<Matrix, CoreError> {
     let a = net.extenders() as f64;
-    let m = Matrix::from_fn(net.users(), net.extenders(), |i, j| {
-        match net.rate(i, j) {
-            Some(r) => match utility {
-                Phase1Utility::Paper => r.min(net.capacity(j) / a).value(),
-                Phase1Utility::WifiOnly => r.value(),
-                Phase1Utility::PlcShareOnly => (net.capacity(j) / a).value(),
-            },
-            None => f64::NEG_INFINITY,
-        }
+    let m = Matrix::from_fn(net.users(), net.extenders(), |i, j| match net.rate(i, j) {
+        Some(r) => match utility {
+            Phase1Utility::Paper => r.min(net.capacity(j) / a).value(),
+            Phase1Utility::WifiOnly => r.value(),
+            Phase1Utility::PlcShareOnly => (net.capacity(j) / a).value(),
+        },
+        None => f64::NEG_INFINITY,
     })?;
     Ok(m)
 }
@@ -261,11 +256,8 @@ mod tests {
 
     #[test]
     fn extender_reachable_by_nobody_stays_empty() {
-        let net = Network::from_raw(
-            vec![100.0, 80.0],
-            vec![vec![30.0, 0.0], vec![25.0, 0.0]],
-        )
-        .unwrap();
+        let net =
+            Network::from_raw(vec![100.0, 80.0], vec![vec![30.0, 0.0], vec![25.0, 0.0]]).unwrap();
         let out = run_phase1(&net).unwrap();
         assert!(out.association.users_of(1).is_empty());
         assert_eq!(out.selected_users.len(), 1);
@@ -307,15 +299,11 @@ mod tests {
         // terrible PLC backhaul; the paper utility steers the fast user to
         // the healthy extender while the WiFi-only ablation walks into the
         // bottleneck.
-        let net = Network::from_raw(
-            vec![8.0, 80.0],
-            vec![vec![45.0, 28.0], vec![5.0, 4.0]],
-        )
-        .unwrap();
-        let paper = run_phase1_full(&net, Phase1Solver::Hungarian, Phase1Utility::Paper)
-            .unwrap();
-        let blind = run_phase1_full(&net, Phase1Solver::Hungarian, Phase1Utility::WifiOnly)
-            .unwrap();
+        let net =
+            Network::from_raw(vec![8.0, 80.0], vec![vec![45.0, 28.0], vec![5.0, 4.0]]).unwrap();
+        let paper = run_phase1_full(&net, Phase1Solver::Hungarian, Phase1Utility::Paper).unwrap();
+        let blind =
+            run_phase1_full(&net, Phase1Solver::Hungarian, Phase1Utility::WifiOnly).unwrap();
         let eval_paper = crate::evaluate(&net, &paper.association).unwrap();
         let eval_blind = crate::evaluate(&net, &blind.association).unwrap();
         assert!(

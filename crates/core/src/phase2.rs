@@ -274,8 +274,8 @@ fn polish(net: &Network, assoc: &mut Association, movable: &[usize], config: &Ph
         for &i in movable {
             let current = assoc.target(i).expect("movable users are assigned");
             let rate_cur = net.rate(i, current).expect("validated");
-            let leave_delta =
-                cells[current].aggregate_if_left(rate_cur).value() - cells[current].aggregate().value();
+            let leave_delta = cells[current].aggregate_if_left(rate_cur).value()
+                - cells[current].aggregate().value();
             let mut best: Option<(usize, f64)> = None;
             for j in net.reachable_extenders(i) {
                 if j == current {
@@ -336,11 +336,8 @@ mod tests {
 
     #[test]
     fn empty_u2_returns_input() {
-        let net = Network::from_raw(
-            vec![100.0, 80.0],
-            vec![vec![30.0, 20.0], vec![25.0, 35.0]],
-        )
-        .unwrap();
+        let net =
+            Network::from_raw(vec![100.0, 80.0], vec![vec![30.0, 20.0], vec![25.0, 35.0]]).unwrap();
         let p1 = run_phase1(&net).unwrap();
         assert!(p1.association.is_complete());
         let p2 = run_phase2(&net, &p1.association, &Phase2Config::default()).unwrap();
@@ -461,11 +458,10 @@ mod tests {
         let direct: f64 = (0..3)
             .map(|j| {
                 let users = assoc.users_of(j);
-                let rates: Vec<_> = users
-                    .iter()
-                    .map(|&i| net.rate(i, j).unwrap())
-                    .collect();
-                wolt_wifi::cell::aggregate_throughput(&rates).unwrap().value()
+                let rates: Vec<_> = users.iter().map(|&i| net.rate(i, j).unwrap()).collect();
+                wolt_wifi::cell::aggregate_throughput(&rates)
+                    .unwrap()
+                    .value()
             })
             .sum();
         assert!((wifi_objective(&net, &assoc) - direct).abs() < 1e-9);

@@ -12,7 +12,6 @@
 //! * readers — the code ↔ paper mapping is explicit (each method names
 //!   its equation).
 
-use serde::{Deserialize, Serialize};
 use wolt_units::Mbps;
 
 use crate::{evaluate, evaluate_without_redistribution, Association, CoreError, Network};
@@ -24,7 +23,7 @@ pub struct Problem1 {
 }
 
 /// Which variant of the objective to evaluate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ObjectiveModel {
     /// The literal Eq. 3–4 objective: `Σ_j min(T_wifi(j), c_j/A)` with
     /// `A` = active extenders and no airtime redistribution.
@@ -97,11 +96,7 @@ impl Problem1 {
     ///
     /// Propagates validation/evaluation failures (the association need
     /// not be complete — Phase I evaluates partial ones).
-    pub fn objective(
-        &self,
-        assoc: &Association,
-        model: ObjectiveModel,
-    ) -> Result<Mbps, CoreError> {
+    pub fn objective(&self, assoc: &Association, model: ObjectiveModel) -> Result<Mbps, CoreError> {
         let eval = match model {
             ObjectiveModel::Literal => evaluate_without_redistribution(&self.network, assoc)?,
             ObjectiveModel::Physical => evaluate(&self.network, assoc)?,
@@ -127,7 +122,13 @@ impl Problem1 {
         }
         let mean_inv: f64 = members
             .iter()
-            .map(|&m| 1.0 / self.network.rate(m, ext).expect("member is reachable").value())
+            .map(|&m| {
+                1.0 / self
+                    .network
+                    .rate(m, ext)
+                    .expect("member is reachable")
+                    .value()
+            })
             .sum::<f64>()
             / members.len() as f64;
         Some(1.0 / rate.value() <= mean_inv + 1e-12)
@@ -142,10 +143,21 @@ impl Problem1 {
         let members = assoc.users_of(ext);
         let mean_inv: f64 = members
             .iter()
-            .map(|&m| 1.0 / self.network.rate(m, ext).expect("member is reachable").value())
+            .map(|&m| {
+                1.0 / self
+                    .network
+                    .rate(m, ext)
+                    .expect("member is reachable")
+                    .value()
+            })
             .sum::<f64>()
             / members.len() as f64;
-        let user_inv = 1.0 / self.network.rate(user, ext).expect("assigned user reachable").value();
+        let user_inv = 1.0
+            / self
+                .network
+                .rate(user, ext)
+                .expect("assigned user reachable")
+                .value();
         Some(user_inv >= mean_inv - 1e-12)
     }
 }
@@ -157,8 +169,7 @@ mod tests {
 
     fn fig3_problem() -> Problem1 {
         Problem1::new(
-            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
-                .unwrap(),
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]]).unwrap(),
         )
     }
 
@@ -213,11 +224,8 @@ mod tests {
             let p = Problem1::new(net);
             let assoc = Association::from_targets(vec![Some(0), Some(0), None]);
             let lemma = p.lemma1_join_improves(&assoc, 2, 0).unwrap();
-            let before = aggregate_throughput(&[
-                Mbps::new(members[0]),
-                Mbps::new(members[1]),
-            ])
-            .unwrap();
+            let before =
+                aggregate_throughput(&[Mbps::new(members[0]), Mbps::new(members[1])]).unwrap();
             let after = aggregate_throughput(&[
                 Mbps::new(members[0]),
                 Mbps::new(members[1]),
@@ -237,11 +245,8 @@ mod tests {
     #[test]
     fn lemma1_leave_matches_throughput_change() {
         let rates = [10.0, 20.0, 40.0];
-        let net = Network::from_raw(
-            vec![1000.0],
-            rates.iter().map(|&r| vec![r]).collect(),
-        )
-        .unwrap();
+        let net =
+            Network::from_raw(vec![1000.0], rates.iter().map(|&r| vec![r]).collect()).unwrap();
         let p = Problem1::new(net);
         let assoc = Association::complete(vec![0, 0, 0]);
         for user in 0..3 {
@@ -270,8 +275,8 @@ mod tests {
         let empty = Association::unassigned(2);
         assert_eq!(p.lemma1_join_improves(&empty, 0, 0), Some(true));
         // Out-of-range join and unassigned leave return None.
-        let net = Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 0.0], vec![40.0, 20.0]])
-            .unwrap();
+        let net =
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 0.0], vec![40.0, 20.0]]).unwrap();
         let p2 = Problem1::new(net);
         assert_eq!(p2.lemma1_join_improves(&empty, 0, 1), None);
         assert_eq!(p2.lemma1_leave_improves(&empty, 0), None);

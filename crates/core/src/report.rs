@@ -8,12 +8,10 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Association, CoreError, Evaluation, Network};
 
 /// Which segment limits a cell's end-to-end throughput.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bottleneck {
     /// The cell serves no users.
     Idle,
@@ -27,7 +25,7 @@ pub enum Bottleneck {
 }
 
 /// Per-extender diagnostic row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtenderDiagnostic {
     /// Extender index.
     pub extender: usize,
@@ -124,11 +122,7 @@ pub fn diagnose(
 /// # Ok(())
 /// # }
 /// ```
-pub fn explain(
-    net: &Network,
-    assoc: &Association,
-    eval: &Evaluation,
-) -> Result<String, CoreError> {
+pub fn explain(net: &Network, assoc: &Association, eval: &Evaluation) -> Result<String, CoreError> {
     let rows = diagnose(net, assoc, eval)?;
     let mut out = String::new();
     let _ = writeln!(
@@ -162,7 +156,11 @@ pub fn explain(
         let target = assoc
             .target(i)
             .map_or_else(|| "-".to_string(), |j| j.to_string());
-        let _ = writeln!(out, "user {i} -> extender {target}: {:.2} Mbit/s", t.value());
+        let _ = writeln!(
+            out,
+            "user {i} -> extender {target}: {:.2} Mbit/s",
+            t.value()
+        );
     }
     Ok(out)
 }
@@ -174,8 +172,7 @@ mod tests {
 
     fn fig3() -> (Network, Association, Evaluation) {
         let net =
-            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
-                .unwrap();
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]]).unwrap();
         let assoc = Association::complete(vec![1, 0]);
         let eval = evaluate(&net, &assoc).unwrap();
         (net, assoc, eval)
@@ -199,8 +196,7 @@ mod tests {
         // Fig. 3b: both users on extender 0 (the only active one); the
         // 21.8 Mbit/s WiFi cell is far below the 60 Mbit/s entitlement.
         let net =
-            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
-                .unwrap();
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]]).unwrap();
         let assoc = Association::complete(vec![0, 0]);
         let eval = evaluate(&net, &assoc).unwrap();
         let rows = diagnose(&net, &assoc, &eval).unwrap();
@@ -210,8 +206,7 @@ mod tests {
     #[test]
     fn diagnose_flags_idle_extenders() {
         let net =
-            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])
-                .unwrap();
+            Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]]).unwrap();
         let assoc = Association::complete(vec![0, 0]);
         let eval = evaluate(&net, &assoc).unwrap();
         let rows = diagnose(&net, &assoc, &eval).unwrap();

@@ -16,7 +16,6 @@
 //! is the literal objective (3)–(4) of Problem 1 (plain `c_j/A` with no
 //! airtime reuse), kept for ablations.
 
-use serde::{Deserialize, Serialize};
 use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
 use wolt_units::Mbps;
 use wolt_wifi::cell::CellLoad;
@@ -24,7 +23,7 @@ use wolt_wifi::cell::CellLoad;
 use crate::{Association, CoreError, Network};
 
 /// The result of evaluating an association on a network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
     /// End-to-end throughput of each user (0 for unassigned users).
     pub per_user: Vec<Mbps>,
@@ -221,8 +220,11 @@ mod tests {
 
     #[test]
     fn unassigned_users_get_zero() {
-        let eval = evaluate(&fig3_network(), &Association::from_targets(vec![Some(0), None]))
-            .unwrap();
+        let eval = evaluate(
+            &fig3_network(),
+            &Association::from_targets(vec![Some(0), None]),
+        )
+        .unwrap();
         assert!(close(eval.per_user[0], 15.0));
         assert_eq!(eval.per_user[1], Mbps::ZERO);
         assert!(close(eval.aggregate, 15.0));
@@ -257,11 +259,7 @@ mod tests {
 
     #[test]
     fn cell_users_share_equally() {
-        let net = Network::from_raw(
-            vec![100.0],
-            vec![vec![50.0], vec![10.0], vec![25.0]],
-        )
-        .unwrap();
+        let net = Network::from_raw(vec![100.0], vec![vec![50.0], vec![10.0], vec![25.0]]).unwrap();
         let eval = evaluate(&net, &Association::complete(vec![0, 0, 0])).unwrap();
         assert!(close(eval.per_user[0], eval.per_user[1].value()));
         assert!(close(eval.per_user[1], eval.per_user[2].value()));
@@ -269,18 +267,14 @@ mod tests {
 
     #[test]
     fn per_extender_bounded_by_both_segments() {
-        let net = Network::from_raw(
-            vec![40.0, 90.0],
-            vec![vec![60.0, 20.0], vec![35.0, 70.0]],
-        )
-        .unwrap();
+        let net =
+            Network::from_raw(vec![40.0, 90.0], vec![vec![60.0, 20.0], vec![35.0, 70.0]]).unwrap();
         let assoc = Association::complete(vec![0, 1]);
         let eval = evaluate(&net, &assoc).unwrap();
         for j in 0..2 {
             assert!(eval.per_extender[j] <= eval.wifi_demand[j] + Mbps::new(1e-9));
             assert!(
-                eval.per_extender[j].value()
-                    <= net.capacity(j).value() * eval.plc_shares[j] + 1e-9
+                eval.per_extender[j].value() <= net.capacity(j).value() * eval.plc_shares[j] + 1e-9
             );
         }
     }

@@ -1,117 +1,171 @@
 //! Property-based tests for the WOLT core (model-level invariants; the
-//! cross-crate policy properties live in the workspace `tests` package).
+//! cross-crate policy properties live in the workspace `tests` package),
+//! on the in-tree `wolt_support::check` harness.
 
-use proptest::prelude::*;
 use wolt_core::phase1::{phase1_utilities, run_phase1};
 use wolt_core::phase2::{run_phase2, wifi_objective, Phase2Config};
 use wolt_core::{evaluate, Association, Network};
+use wolt_support::check::Runner;
+use wolt_support::rng::{ChaCha8Rng, Rng};
 
-fn network() -> impl Strategy<Value = Network> {
-    (2usize..=4, 2usize..=6)
-        .prop_flat_map(|(exts, users)| {
-            (
-                proptest::collection::vec(20.0f64..200.0, exts),
-                proptest::collection::vec(
-                    proptest::collection::vec(1.0f64..50.0, exts),
-                    users,
-                ),
-            )
-        })
-        .prop_map(|(caps, rates)| Network::from_raw(caps, rates).expect("fully reachable"))
+fn network(rng: &mut ChaCha8Rng) -> Network {
+    let exts = rng.gen_range(2..=4usize);
+    let users = rng.gen_range(2..=6usize);
+    let caps: Vec<f64> = (0..exts).map(|_| rng.gen_range(20.0..200.0)).collect();
+    let rates: Vec<Vec<f64>> = (0..users)
+        .map(|_| (0..exts).map(|_| rng.gen_range(1.0..50.0)).collect())
+        .collect();
+    Network::from_raw(caps, rates).expect("fully reachable")
 }
 
-proptest! {
-    /// Phase-I utilities are exactly min(c_j/|A|, r_ij).
-    #[test]
-    fn utilities_formula(net in network()) {
-        let u = phase1_utilities(&net).expect("builds");
+/// Phase-I utilities are exactly min(c_j/|A|, r_ij).
+#[test]
+fn utilities_formula() {
+    Runner::new("utilities_formula").run(network, |net| {
+        let u = phase1_utilities(net).expect("builds");
         let a = net.extenders() as f64;
         for i in 0..net.users() {
             for j in 0..net.extenders() {
-                let expected = net.rate(i, j).expect("reachable").value()
+                let expected = net
+                    .rate(i, j)
+                    .expect("reachable")
+                    .value()
                     .min(net.capacity(j).value() / a);
-                prop_assert!((u[(i, j)] - expected).abs() < 1e-12);
+                if (u[(i, j)] - expected).abs() >= 1e-12 {
+                    return Err(format!(
+                        "u[({i}, {j})] = {} != min(c/A, r) = {expected}",
+                        u[(i, j)]
+                    ));
+                }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Phase I is a matching and Phase II completes it without moving
-    /// Phase-I users.
-    #[test]
-    fn phases_compose(net in network()) {
-        let p1 = run_phase1(&net).expect("phase 1 runs");
-        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default())
-            .expect("phase 2 runs");
-        prop_assert!(p2.association.is_complete());
+/// Phase I is a matching and Phase II completes it without moving
+/// Phase-I users.
+#[test]
+fn phases_compose() {
+    Runner::new("phases_compose").run(network, |net| {
+        let p1 = run_phase1(net).expect("phase 1 runs");
+        let p2 = run_phase2(net, &p1.association, &Phase2Config::default()).expect("phase 2 runs");
+        if !p2.association.is_complete() {
+            return Err("phase 2 left a user unassigned".into());
+        }
         for &i in &p1.selected_users {
-            prop_assert_eq!(p2.association.target(i), p1.association.target(i));
+            if p2.association.target(i) != p1.association.target(i) {
+                return Err(format!("phase 2 moved phase-1 user {i}"));
+            }
         }
-        prop_assert!(net.validate_association(&p2.association).is_ok());
-    }
+        if net.validate_association(&p2.association).is_err() {
+            return Err("final association is invalid".into());
+        }
+        Ok(())
+    });
+}
 
-    /// The Phase-II WiFi objective of the final association matches a
-    /// recomputation from scratch.
-    #[test]
-    fn phase2_objective_consistent(net in network()) {
-        let p1 = run_phase1(&net).expect("phase 1 runs");
-        let p2 = run_phase2(&net, &p1.association, &Phase2Config::default())
-            .expect("phase 2 runs");
-        let recomputed = wifi_objective(&net, &p2.association);
-        prop_assert!((p2.wifi_objective - recomputed).abs() < 1e-9);
-    }
+/// The Phase-II WiFi objective of the final association matches a
+/// recomputation from scratch.
+#[test]
+fn phase2_objective_consistent() {
+    Runner::new("phase2_objective_consistent").run(network, |net| {
+        let p1 = run_phase1(net).expect("phase 1 runs");
+        let p2 = run_phase2(net, &p1.association, &Phase2Config::default()).expect("phase 2 runs");
+        let recomputed = wifi_objective(net, &p2.association);
+        if (p2.wifi_objective - recomputed).abs() < 1e-9 {
+            Ok(())
+        } else {
+            Err(format!(
+                "stored objective {} != recomputed {recomputed}",
+                p2.wifi_objective
+            ))
+        }
+    });
+}
 
-    /// Evaluation is permutation-equivariant: relabeling users permutes
-    /// per-user throughputs and preserves the aggregate.
-    #[test]
-    fn evaluation_permutation_equivariant(net in network(), rotate in 1usize..5) {
-        let users = net.users();
-        let rot = rotate % users;
-        // Original association: user i -> extender i % A.
-        let assoc = Association::complete(
-            (0..users).map(|i| i % net.extenders()).collect());
-        let eval = evaluate(&net, &assoc).expect("valid");
+/// Evaluation is permutation-equivariant: relabeling users permutes
+/// per-user throughputs and preserves the aggregate.
+#[test]
+fn evaluation_permutation_equivariant() {
+    Runner::new("evaluation_permutation_equivariant").run(
+        |rng| (network(rng), rng.gen_range(1..5usize)),
+        |(net, rotate)| {
+            let users = net.users();
+            let rot = rotate % users;
+            // Original association: user i -> extender i % A.
+            let assoc = Association::complete((0..users).map(|i| i % net.extenders()).collect());
+            let eval = evaluate(net, &assoc).expect("valid");
 
-        // Rotated network: user (i + rot) % users takes user i's rates.
-        let rates: Vec<Vec<f64>> = (0..users)
-            .map(|i| {
-                let src = (i + rot) % users;
+            // Rotated network: user (i + rot) % users takes user i's rates.
+            let rates: Vec<Vec<f64>> = (0..users)
+                .map(|i| {
+                    let src = (i + rot) % users;
+                    (0..net.extenders())
+                        .map(|j| net.rate(src, j).expect("reachable").value())
+                        .collect()
+                })
+                .collect();
+            let net2 = Network::from_raw(
                 (0..net.extenders())
-                    .map(|j| net.rate(src, j).expect("reachable").value())
-                    .collect()
-            })
-            .collect();
-        let net2 = Network::from_raw(
-            (0..net.extenders()).map(|j| net.capacity(j).value()).collect(),
-            rates,
-        ).expect("valid");
-        let assoc2 = Association::complete(
-            (0..users).map(|i| (i + rot) % users % net.extenders()).collect());
-        let eval2 = evaluate(&net2, &assoc2).expect("valid");
+                    .map(|j| net.capacity(j).value())
+                    .collect(),
+                rates,
+            )
+            .expect("valid");
+            let assoc2 = Association::complete(
+                (0..users)
+                    .map(|i| (i + rot) % users % net.extenders())
+                    .collect(),
+            );
+            let eval2 = evaluate(&net2, &assoc2).expect("valid");
 
-        prop_assert!((eval.aggregate.value() - eval2.aggregate.value()).abs() < 1e-9);
-        for i in 0..users {
-            let moved = eval2.per_user[i].value();
-            let original = eval.per_user[(i + rot) % users].value();
-            prop_assert!((moved - original).abs() < 1e-9, "user {i} after rotation");
-        }
-    }
+            if (eval.aggregate.value() - eval2.aggregate.value()).abs() >= 1e-9 {
+                return Err("rotation changed the aggregate".into());
+            }
+            for i in 0..users {
+                let moved = eval2.per_user[i].value();
+                let original = eval.per_user[(i + rot) % users].value();
+                if (moved - original).abs() >= 1e-9 {
+                    return Err(format!("user {i} throughput changed after rotation"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Capacity scaling: multiplying every PLC capacity by k ≥ 1 never
-    /// lowers the evaluated aggregate of a fixed association.
-    #[test]
-    fn capacity_scaling_monotone(net in network(), k in 1.0f64..4.0) {
-        let assoc = Association::complete(
-            (0..net.users()).map(|i| i % net.extenders()).collect());
-        let base = evaluate(&net, &assoc).expect("valid").aggregate;
-        let scaled = Network::from_raw(
-            (0..net.extenders()).map(|j| net.capacity(j).value() * k).collect(),
-            (0..net.users())
-                .map(|i| (0..net.extenders())
-                    .map(|j| net.rate(i, j).expect("reachable").value())
-                    .collect())
-                .collect(),
-        ).expect("valid");
-        let boosted = evaluate(&scaled, &assoc).expect("valid").aggregate;
-        prop_assert!(boosted >= base - wolt_units::Mbps::new(1e-9));
-    }
+/// Capacity scaling: multiplying every PLC capacity by k ≥ 1 never
+/// lowers the evaluated aggregate of a fixed association.
+#[test]
+fn capacity_scaling_monotone() {
+    Runner::new("capacity_scaling_monotone").run(
+        |rng| (network(rng), rng.gen_range(1.0..4.0)),
+        |(net, k)| {
+            let assoc =
+                Association::complete((0..net.users()).map(|i| i % net.extenders()).collect());
+            let base = evaluate(net, &assoc).expect("valid").aggregate;
+            let scaled = Network::from_raw(
+                (0..net.extenders())
+                    .map(|j| net.capacity(j).value() * k)
+                    .collect(),
+                (0..net.users())
+                    .map(|i| {
+                        (0..net.extenders())
+                            .map(|j| net.rate(i, j).expect("reachable").value())
+                            .collect()
+                    })
+                    .collect(),
+            )
+            .expect("valid");
+            let boosted = evaluate(&scaled, &assoc).expect("valid").aggregate;
+            if boosted >= base - wolt_units::Mbps::new(1e-9) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "scaling capacities by {k} dropped aggregate {base} -> {boosted}"
+                ))
+            }
+        },
+    );
 }

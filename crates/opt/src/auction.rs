@@ -97,7 +97,8 @@ fn solve_oriented(utility: &Matrix, flipped: bool, epsilon: f64) -> Assignment {
         // Find the bidder's best and second-best net values.
         let mut best: Option<(usize, f64)> = None;
         let mut second: f64 = f64::NEG_INFINITY;
-        #[allow(clippy::needless_range_loop)] // parallel arrays indexed together; zip would obscure it
+        #[allow(clippy::needless_range_loop)]
+        // parallel arrays indexed together; zip would obscure it
         for j in 0..m {
             let v = value(bidder, j);
             if v == f64::NEG_INFINITY {
@@ -151,7 +152,13 @@ fn solve_oriented(utility: &Matrix, flipped: bool, epsilon: f64) -> Assignment {
     pairs.sort_unstable();
 
     let (out_rows, out_cols) = if flipped { (m, n) } else { (n, m) };
-    let lookup = |i: usize, j: usize| if flipped { utility[(j, i)] } else { utility[(i, j)] };
+    let lookup = |i: usize, j: usize| {
+        if flipped {
+            utility[(j, i)]
+        } else {
+            utility[(i, j)]
+        }
+    };
     let mut row_to_col = vec![None; out_rows];
     let mut col_to_row = vec![None; out_cols];
     let mut total = 0.0;
@@ -172,8 +179,8 @@ fn solve_oriented(utility: &Matrix, flipped: bool, epsilon: f64) -> Assignment {
 mod tests {
     use super::*;
     use crate::max_weight_assignment;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::{Rng, SeedableRng};
 
     fn matrix(rows: &[Vec<f64>]) -> Matrix {
         Matrix::from_rows(rows).unwrap()

@@ -216,13 +216,7 @@ mod tests {
     #[test]
     fn full_assignment_finds_unique_optimum() {
         // Reward exactly the assignment [1, 0, 2].
-        let (best, value) = best_full_assignment(3, 3, |a| {
-            if a == [1, 0, 2] {
-                10.0
-            } else {
-                0.0
-            }
-        });
+        let (best, value) = best_full_assignment(3, 3, |a| if a == [1, 0, 2] { 10.0 } else { 0.0 });
         assert_eq!(best, vec![1, 0, 2]);
         assert_eq!(value, 10.0);
     }

@@ -253,9 +253,7 @@ impl IncrementalAssignment {
     }
 
     fn feasible(&self, row: usize, col: usize) -> bool {
-        self.rows[row]
-            .as_ref()
-            .is_some_and(|r| r[col].is_finite())
+        self.rows[row].as_ref().is_some_and(|r| r[col].is_finite())
     }
 
     fn feasible_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
@@ -387,8 +385,8 @@ pub fn resolve_from_scratch(inc: &IncrementalAssignment) -> Result<Assignment, O
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::{Rng, SeedableRng};
 
     fn assert_matches_batch(inc: &IncrementalAssignment) {
         let batch = resolve_from_scratch(inc).expect("live rows exist");
@@ -440,8 +438,11 @@ mod tests {
             }
             for _ in 0..8 {
                 let &victim = ids.get(rng.gen_range(0..ids.len())).unwrap();
-                inc.update_row(victim, (0..cols).map(|_| rng.gen_range(0.0..100.0)).collect())
-                    .unwrap();
+                inc.update_row(
+                    victim,
+                    (0..cols).map(|_| rng.gen_range(0.0..100.0)).collect(),
+                )
+                .unwrap();
                 assert_matches_batch(&inc);
             }
         }

@@ -14,7 +14,6 @@
 //! infeasible" (e.g. the user is out of WiFi range of the extender).
 
 use crate::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Result of a maximum-weight assignment.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// `(row, col)` pairs; `row_to_col`/`col_to_row` give O(1) lookups in both
 /// directions (`None` for unmatched rows/columns, which occur when the
 /// matrix is rectangular or when a row has no feasible column).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Matched `(row, col)` pairs, in increasing row order.
     pub pairs: Vec<(usize, usize)>,
@@ -327,8 +326,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_square_matrices() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        use wolt_support::rng::{Rng, SeedableRng};
+        let mut rng = wolt_support::rng::ChaCha8Rng::seed_from_u64(42);
         for n in 2..=6 {
             for _ in 0..20 {
                 let m = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..100.0)).unwrap();
@@ -346,8 +345,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_rectangular_matrices() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        use wolt_support::rng::{Rng, SeedableRng};
+        let mut rng = wolt_support::rng::ChaCha8Rng::seed_from_u64(7);
         for (rows, cols) in [(2usize, 5usize), (5, 2), (3, 4), (4, 3), (6, 3)] {
             for _ in 0..20 {
                 let m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(0.0..50.0)).unwrap();

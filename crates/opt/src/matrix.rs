@@ -7,9 +7,9 @@
 //! serializable for experiment records.
 
 use crate::OptError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// Dense row-major matrix of `f64` values.
 ///
@@ -29,7 +29,7 @@ use std::ops::{Index, IndexMut};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -191,6 +191,34 @@ impl Matrix {
     }
 }
 
+impl ToJson for Matrix {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let rows = usize::from_json(value.field("rows")?)?;
+        let cols = usize::from_json(value.field("cols")?)?;
+        let data: Vec<f64> = Vec::from_json(value.field("data")?)?;
+        if rows == 0 || cols == 0 {
+            return Err(JsonError::shape("matrix dimensions must be positive"));
+        }
+        if rows.checked_mul(cols) != Some(data.len()) {
+            return Err(JsonError::shape(format!(
+                "matrix data length {} != {rows} x {cols}",
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
@@ -319,10 +347,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let m = Matrix::from_fn(2, 2, |i, j| (i + j) as f64).unwrap();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Matrix = serde_json::from_str(&json).unwrap();
+        let json = m.to_json().to_compact();
+        let back = Matrix::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(m, back);
+        // Shape violations are rejected, not trusted.
+        let bad = Json::parse(r#"{"rows":2,"cols":2,"data":[1.0]}"#).unwrap();
+        assert!(Matrix::from_json(&bad).is_err());
+        let empty = Json::parse(r#"{"rows":0,"cols":0,"data":[]}"#).unwrap();
+        assert!(Matrix::from_json(&empty).is_err());
     }
 }

@@ -183,11 +183,7 @@ mod tests {
         let target = [0.9, -0.3, 0.7];
         let mut v = target.to_vec();
         project_simplex(&mut v);
-        let proj_dist: f64 = target
-            .iter()
-            .zip(&v)
-            .map(|(t, p)| (t - p).powi(2))
-            .sum();
+        let proj_dist: f64 = target.iter().zip(&v).map(|(t, p)| (t - p).powi(2)).sum();
         let steps = 200;
         for i in 0..=steps {
             for j in 0..=(steps - i) {

@@ -1,136 +1,222 @@
-//! Property-based tests for the optimization substrate.
+//! Property-based tests for the optimization substrate, on the in-tree
+//! `wolt_support::check` harness.
 
-use proptest::prelude::*;
 use wolt_opt::auction::auction_assignment;
 use wolt_opt::brute;
 use wolt_opt::hungarian::max_weight_assignment;
 use wolt_opt::simplex::{is_on_simplex, project_simplex, project_simplex_masked};
 use wolt_opt::Matrix;
+use wolt_support::check::Runner;
+use wolt_support::rng::{ChaCha8Rng, Rng};
 
-fn small_matrix() -> impl Strategy<Value = Matrix> {
-    (1usize..=5, 1usize..=5).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(proptest::collection::vec(0.0f64..1000.0, c), r)
-            .prop_map(|rows| Matrix::from_rows(&rows).expect("well-formed rows"))
-    })
+fn small_matrix(rng: &mut ChaCha8Rng) -> Matrix {
+    let r = rng.gen_range(1..=5usize);
+    let c = rng.gen_range(1..=5usize);
+    Matrix::from_fn(r, c, |_, _| rng.gen_range(0.0..1000.0)).expect("well-formed dims")
 }
 
-proptest! {
-    /// The Hungarian solver returns a matching: each row and column used at
-    /// most once, exactly min(rows, cols) pairs on all-finite matrices.
-    #[test]
-    fn hungarian_returns_valid_matching(m in small_matrix()) {
-        let a = max_weight_assignment(&m);
-        prop_assert_eq!(a.len(), m.rows().min(m.cols()));
+fn small_vec(rng: &mut ChaCha8Rng, len_lo: usize, len_hi: usize, bound: f64) -> Vec<f64> {
+    let n = rng.gen_range(len_lo..len_hi);
+    (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// The Hungarian solver returns a matching: each row and column used at
+/// most once, exactly min(rows, cols) pairs on all-finite matrices.
+#[test]
+fn hungarian_returns_valid_matching() {
+    Runner::new("hungarian_returns_valid_matching").run(small_matrix, |m| {
+        let a = max_weight_assignment(m);
+        if a.len() != m.rows().min(m.cols()) {
+            return Err(format!(
+                "matching size {} != min(rows, cols) {}",
+                a.len(),
+                m.rows().min(m.cols())
+            ));
+        }
         let mut rows_seen = vec![false; m.rows()];
         let mut cols_seen = vec![false; m.cols()];
         for &(r, c) in &a.pairs {
-            prop_assert!(!rows_seen[r], "row {} matched twice", r);
-            prop_assert!(!cols_seen[c], "col {} matched twice", c);
+            if rows_seen[r] {
+                return Err(format!("row {r} matched twice"));
+            }
+            if cols_seen[c] {
+                return Err(format!("col {c} matched twice"));
+            }
             rows_seen[r] = true;
             cols_seen[c] = true;
         }
         let sum: f64 = a.pairs.iter().map(|&(r, c)| m[(r, c)]).sum();
-        prop_assert!((sum - a.total).abs() < 1e-9);
-    }
+        if (sum - a.total).abs() < 1e-9 {
+            Ok(())
+        } else {
+            Err(format!("reported total {} != pair sum {sum}", a.total))
+        }
+    });
+}
 
-    /// Hungarian matches brute force exactly on small instances.
-    #[test]
-    fn hungarian_is_optimal(m in small_matrix()) {
-        let hung = max_weight_assignment(&m);
-        let (_, best) = brute::best_perfect_matching(&m);
-        prop_assert!((hung.total - best).abs() < 1e-6,
-            "hungarian={} brute={}", hung.total, best);
-    }
+/// Hungarian matches brute force exactly on small instances.
+#[test]
+fn hungarian_is_optimal() {
+    Runner::new("hungarian_is_optimal").run(small_matrix, |m| {
+        let hung = max_weight_assignment(m);
+        let (_, best) = brute::best_perfect_matching(m);
+        if (hung.total - best).abs() < 1e-6 {
+            Ok(())
+        } else {
+            Err(format!("hungarian={} brute={best}", hung.total))
+        }
+    });
+}
 
-    /// The auction algorithm agrees with the Hungarian optimum to within
-    /// its n·ε guarantee (and in practice exactly, for tiny ε).
-    #[test]
-    fn auction_matches_hungarian(m in small_matrix()) {
-        let hung = max_weight_assignment(&m);
-        let auc = auction_assignment(&m, 1e-7);
-        prop_assert!(hung.total - auc.total <= m.rows() as f64 * 1e-7 + 1e-6,
-            "hungarian={} auction={}", hung.total, auc.total);
+/// The auction algorithm agrees with the Hungarian optimum to within
+/// its n·ε guarantee (and in practice exactly, for tiny ε).
+#[test]
+fn auction_matches_hungarian() {
+    Runner::new("auction_matches_hungarian").run(small_matrix, |m| {
+        let hung = max_weight_assignment(m);
+        let auc = auction_assignment(m, 1e-7);
+        if hung.total - auc.total > m.rows() as f64 * 1e-7 + 1e-6 {
+            return Err(format!("hungarian={} auction={}", hung.total, auc.total));
+        }
         // The auction result is itself a valid matching.
         let mut cols = std::collections::BTreeSet::new();
         for &(_, c) in &auc.pairs {
-            prop_assert!(cols.insert(c), "column {} used twice", c);
+            if !cols.insert(c) {
+                return Err(format!("column {c} used twice"));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Hungarian total is invariant under transposition.
-    #[test]
-    fn hungarian_transpose_invariant(m in small_matrix()) {
-        let a = max_weight_assignment(&m);
+/// Hungarian total is invariant under transposition.
+#[test]
+fn hungarian_transpose_invariant() {
+    Runner::new("hungarian_transpose_invariant").run(small_matrix, |m| {
+        let a = max_weight_assignment(m);
         let b = max_weight_assignment(&m.transposed());
-        prop_assert!((a.total - b.total).abs() < 1e-6);
-    }
-
-    /// Adding a constant to every utility shifts the optimum by
-    /// `constant * matching size` but preserves the argmax.
-    #[test]
-    fn hungarian_shift_invariant(m in small_matrix(), shift in 0.0f64..100.0) {
-        let a = max_weight_assignment(&m);
-        let shifted = Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] + shift).unwrap();
-        let b = max_weight_assignment(&shifted);
-        let k = m.rows().min(m.cols()) as f64;
-        prop_assert!((b.total - (a.total + shift * k)).abs() < 1e-6);
-    }
-
-    /// Simplex projection always lands on the simplex.
-    #[test]
-    fn projection_feasible(v in proptest::collection::vec(-100.0f64..100.0, 1..10)) {
-        let mut x = v;
-        project_simplex(&mut x);
-        prop_assert!(is_on_simplex(&x, 1e-9));
-    }
-
-    /// Projection is idempotent.
-    #[test]
-    fn projection_idempotent(v in proptest::collection::vec(-100.0f64..100.0, 1..10)) {
-        let mut x = v;
-        project_simplex(&mut x);
-        let once = x.clone();
-        project_simplex(&mut x);
-        for (a, b) in once.iter().zip(&x) {
-            prop_assert!((a - b).abs() < 1e-9);
+        if (a.total - b.total).abs() < 1e-6 {
+            Ok(())
+        } else {
+            Err(format!("direct={} transposed={}", a.total, b.total))
         }
-    }
+    });
+}
 
-    /// Projection preserves coordinate order (it is a monotone map).
-    #[test]
-    fn projection_monotone(v in proptest::collection::vec(-50.0f64..50.0, 2..8)) {
-        let mut x = v.clone();
-        project_simplex(&mut x);
-        for i in 0..v.len() {
-            for j in 0..v.len() {
-                if v[i] > v[j] {
-                    prop_assert!(x[i] >= x[j] - 1e-12);
+/// Adding a constant to every utility shifts the optimum by
+/// `constant * matching size` but preserves the argmax.
+#[test]
+fn hungarian_shift_invariant() {
+    Runner::new("hungarian_shift_invariant").run(
+        |rng| (small_matrix(rng), rng.gen_range(0.0..100.0)),
+        |(m, shift)| {
+            let a = max_weight_assignment(m);
+            let shifted = Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] + shift).unwrap();
+            let b = max_weight_assignment(&shifted);
+            let k = m.rows().min(m.cols()) as f64;
+            if (b.total - (a.total + shift * k)).abs() < 1e-6 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "shifted total {} != {} + {shift} * {k}",
+                    b.total, a.total
+                ))
+            }
+        },
+    );
+}
+
+/// Simplex projection always lands on the simplex.
+#[test]
+fn projection_feasible() {
+    Runner::new("projection_feasible").run(
+        |rng| small_vec(rng, 1, 10, 100.0),
+        |v| {
+            let mut x = v.clone();
+            project_simplex(&mut x);
+            if is_on_simplex(&x, 1e-9) {
+                Ok(())
+            } else {
+                Err(format!("projection left the simplex: {x:?}"))
+            }
+        },
+    );
+}
+
+/// Projection is idempotent.
+#[test]
+fn projection_idempotent() {
+    Runner::new("projection_idempotent").run(
+        |rng| small_vec(rng, 1, 10, 100.0),
+        |v| {
+            let mut x = v.clone();
+            project_simplex(&mut x);
+            let once = x.clone();
+            project_simplex(&mut x);
+            for (a, b) in once.iter().zip(&x) {
+                if (a - b).abs() >= 1e-9 {
+                    return Err(format!("second projection moved {a} to {b}"));
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Masked projection puts zero mass on masked-out coordinates and is
-    /// feasible on the rest.
-    #[test]
-    fn masked_projection_feasible(
-        v in proptest::collection::vec(-50.0f64..50.0, 2..8),
-        seed in 0u64..1000,
-    ) {
-        // Derive a mask with at least one allowed coordinate.
-        let mut mask: Vec<bool> = v.iter().enumerate()
-            .map(|(i, _)| (seed >> (i % 10)) & 1 == 1)
-            .collect();
-        if !mask.iter().any(|&b| b) {
-            mask[0] = true;
-        }
-        let mut x = v;
-        project_simplex_masked(&mut x, &mask);
-        prop_assert!(is_on_simplex(&x, 1e-9));
-        for (xi, mi) in x.iter().zip(&mask) {
-            if !mi {
-                prop_assert_eq!(*xi, 0.0);
+/// Projection preserves coordinate order (it is a monotone map).
+#[test]
+fn projection_monotone() {
+    Runner::new("projection_monotone").run(
+        |rng| small_vec(rng, 2, 8, 50.0),
+        |v| {
+            let mut x = v.clone();
+            project_simplex(&mut x);
+            for i in 0..v.len() {
+                for j in 0..v.len() {
+                    if v[i] > v[j] && x[i] < x[j] - 1e-12 {
+                        return Err(format!(
+                            "order inverted: v[{i}]={} > v[{j}]={} but x[{i}]={} < x[{j}]={}",
+                            v[i], v[j], x[i], x[j]
+                        ));
+                    }
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Masked projection puts zero mass on masked-out coordinates and is
+/// feasible on the rest.
+#[test]
+fn masked_projection_feasible() {
+    Runner::new("masked_projection_feasible").run(
+        |rng| {
+            let v = small_vec(rng, 2, 8, 50.0);
+            let seed = rng.gen_range(0..1000u64);
+            (v, seed)
+        },
+        |(v, seed)| {
+            // Derive a mask with at least one allowed coordinate.
+            let mut mask: Vec<bool> = v
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (seed >> (i % 10)) & 1 == 1)
+                .collect();
+            if !mask.iter().any(|&b| b) {
+                mask[0] = true;
+            }
+            let mut x = v.clone();
+            project_simplex_masked(&mut x, &mask);
+            if !is_on_simplex(&x, 1e-9) {
+                return Err(format!("masked projection left the simplex: {x:?}"));
+            }
+            for (xi, mi) in x.iter().zip(&mask) {
+                if !mi && *xi != 0.0 {
+                    return Err(format!("masked-out coordinate carries mass {xi}"));
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -9,8 +9,7 @@
 //! saturated measurements with noise, averaged — and provides the
 //! calibrated outlet-capacity sampler the large-scale simulation uses.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::Rng;
 use wolt_units::Mbps;
 
 use crate::channel::PlcChannelModel;
@@ -18,7 +17,7 @@ use crate::topology::{random_building, BuildingConfig};
 use crate::PlcError;
 
 /// Emulates the paper's offline iperf3 capacity-measurement procedure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacityEstimator {
     /// Number of measurement rounds averaged.
     pub rounds: usize,
@@ -118,8 +117,8 @@ pub fn sample_outlet_capacities<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     #[test]
     fn estimate_close_to_truth() {
@@ -155,9 +154,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(42);
             let trials = 500;
             (0..trials)
-                .map(|_| {
-                    (est.estimate(truth, &mut rng).unwrap().value() - truth.value()).abs()
-                })
+                .map(|_| (est.estimate(truth, &mut rng).unwrap().value() - truth.value()).abs())
                 .sum::<f64>()
                 / trials as f64
         };
@@ -205,10 +202,10 @@ mod tests {
     fn sampled_capacities_deterministic_per_seed() {
         let cfg = BuildingConfig::default();
         let model = PlcChannelModel::homeplug_av2();
-        let a = sample_outlet_capacities(&mut ChaCha8Rng::seed_from_u64(9), 10, &cfg, &model)
-            .unwrap();
-        let b = sample_outlet_capacities(&mut ChaCha8Rng::seed_from_u64(9), 10, &cfg, &model)
-            .unwrap();
+        let a =
+            sample_outlet_capacities(&mut ChaCha8Rng::seed_from_u64(9), 10, &cfg, &model).unwrap();
+        let b =
+            sample_outlet_capacities(&mut ChaCha8Rng::seed_from_u64(9), 10, &cfg, &model).unwrap();
         assert_eq!(a, b);
     }
 }

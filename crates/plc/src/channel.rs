@@ -9,8 +9,7 @@
 //! high attenuation falls off towards the robust-mode floor, and beyond a
 //! cutoff the link is unusable.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::Rng;
 use wolt_units::{Db, Mbps};
 
 use crate::PlcError;
@@ -29,7 +28,7 @@ use crate::PlcError;
 /// assert!(good > poor);
 /// assert!(model.capacity(Db::new(95.0)).is_none()); // beyond cutoff
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlcChannelModel {
     /// `(attenuation_db, capacity_mbps)` knots, sorted by attenuation.
     knots: Vec<(f64, f64)>,
@@ -89,10 +88,9 @@ impl PlcChannelModel {
                 });
             }
         }
-        if knots
-            .iter()
-            .any(|&(a, c)| !a.is_finite() || c.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater))
-        {
+        if knots.iter().any(|&(a, c)| {
+            !a.is_finite() || c.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        }) {
             return Err(PlcError::InvalidConfig {
                 context: "knots must be finite with positive capacity",
             });
@@ -162,8 +160,8 @@ impl PlcChannelModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     #[test]
     fn capacity_decreases_with_attenuation() {
@@ -212,18 +210,10 @@ mod tests {
     #[test]
     fn from_knots_validation() {
         assert!(PlcChannelModel::from_knots(vec![(0.0, 10.0)], Db::new(0.0)).is_err());
-        assert!(
-            PlcChannelModel::from_knots(vec![(0.0, 10.0), (0.0, 5.0)], Db::new(0.0)).is_err()
-        );
-        assert!(
-            PlcChannelModel::from_knots(vec![(0.0, 10.0), (5.0, 20.0)], Db::new(5.0)).is_err()
-        );
-        assert!(
-            PlcChannelModel::from_knots(vec![(0.0, 10.0), (5.0, 0.0)], Db::new(5.0)).is_err()
-        );
-        assert!(
-            PlcChannelModel::from_knots(vec![(0.0, 10.0), (5.0, 5.0)], Db::new(10.0)).is_err()
-        );
+        assert!(PlcChannelModel::from_knots(vec![(0.0, 10.0), (0.0, 5.0)], Db::new(0.0)).is_err());
+        assert!(PlcChannelModel::from_knots(vec![(0.0, 10.0), (5.0, 20.0)], Db::new(5.0)).is_err());
+        assert!(PlcChannelModel::from_knots(vec![(0.0, 10.0), (5.0, 0.0)], Db::new(5.0)).is_err());
+        assert!(PlcChannelModel::from_knots(vec![(0.0, 10.0), (5.0, 5.0)], Db::new(10.0)).is_err());
         assert!(PlcChannelModel::from_knots(vec![(0.0, 10.0), (5.0, 5.0)], Db::new(5.0)).is_ok());
     }
 
@@ -234,10 +224,17 @@ mod tests {
         let base = m.capacity(Db::new(40.0)).unwrap().value();
         let n = 5000;
         let mean: f64 = (0..n)
-            .map(|_| m.capacity_noisy(Db::new(40.0), 0.05, &mut rng).unwrap().value())
+            .map(|_| {
+                m.capacity_noisy(Db::new(40.0), 0.05, &mut rng)
+                    .unwrap()
+                    .value()
+            })
             .sum::<f64>()
             / n as f64;
-        assert!((mean - base).abs() / base < 0.01, "mean {mean} vs base {base}");
+        assert!(
+            (mean - base).abs() / base < 0.01,
+            "mean {mean} vs base {base}"
+        );
     }
 
     #[test]

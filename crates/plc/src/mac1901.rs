@@ -17,15 +17,14 @@
 //! each station's throughput is `rate × share` — time-fair sharing, unlike
 //! WiFi's throughput-fair sharing.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::{Rng, SeedableRng};
 use wolt_units::{Mbps, Seconds};
 
 use crate::PlcError;
 
 /// IEEE 1901 CSMA/CA parameters (CA0/CA1 priority class).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mac1901Config {
     /// Contention window per backoff stage.
     pub cw_per_stage: Vec<u32>,
@@ -53,8 +52,8 @@ impl Default for Mac1901Config {
             cw_per_stage: vec![8, 16, 32, 64],
             dc_per_stage: vec![0, 1, 3, 15],
             slot_us: 35.84,
-            overhead_us: 182.0,      // 2 PRS slots + preamble + frame control
-            ack_exchange_us: 350.0,  // RIFS + SACK + CIFS
+            overhead_us: 182.0,     // 2 PRS slots + preamble + frame control
+            ack_exchange_us: 350.0, // RIFS + SACK + CIFS
             frame_airtime_us: 2000.0,
             duration: Seconds::new(2.0),
         }
@@ -113,7 +112,7 @@ impl Mac1901Config {
 }
 
 /// Measured outcome of a 1901 MAC simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mac1901Outcome {
     /// Long-term throughput of each station (extender).
     pub per_station: Vec<Mbps>,
@@ -405,8 +404,14 @@ mod tests {
         // in the same horizon) despite slightly more collisions.
         let rates = [Mbps::new(100.0); 4];
         let dur = Seconds::new(10.0);
-        let ca01 = Mac1901Config { duration: dur, ..Mac1901Config::ca01() };
-        let ca23 = Mac1901Config { duration: dur, ..Mac1901Config::ca23() };
+        let ca01 = Mac1901Config {
+            duration: dur,
+            ..Mac1901Config::ca01()
+        };
+        let ca23 = Mac1901Config {
+            duration: dur,
+            ..Mac1901Config::ca23()
+        };
         let low = simulate_1901(&rates, &ca01, 5).unwrap();
         let high = simulate_1901(&rates, &ca23, 5).unwrap();
         assert!(

@@ -12,13 +12,12 @@
 //! exactly to the frame length and the granted airtime tracks the weights
 //! as closely as an integral schedule can.
 
-use serde::{Deserialize, Serialize};
 use wolt_units::Mbps;
 
 use crate::PlcError;
 
 /// An integral TDMA slot schedule for one beacon period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TdmaSchedule {
     /// Slots granted to each extender (sums to the frame length).
     pub slots: Vec<u32>,
@@ -186,9 +185,7 @@ mod tests {
     #[test]
     fn throughputs_scale_capacity_by_share() {
         let s = TdmaSchedule::build(&[1.0, 1.0], 10).unwrap();
-        let t = s
-            .throughputs(&[Mbps::new(160.0), Mbps::new(60.0)])
-            .unwrap();
+        let t = s.throughputs(&[Mbps::new(160.0), Mbps::new(60.0)]).unwrap();
         assert_eq!(t, vec![Mbps::new(80.0), Mbps::new(30.0)]);
     }
 

@@ -16,14 +16,13 @@
 //! keeps just what it needs, and the surplus is split equally among the
 //! still-bottlenecked extenders; repeat until a fixed point.
 
-use serde::{Deserialize, Serialize};
 use wolt_units::Mbps;
 
 use crate::PlcError;
 
 /// One extender's view of the PLC medium: its isolation capacity `c_j` and
 /// the downstream (WiFi-side) demand it must carry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExtenderDemand {
     /// Isolation capacity of the extender's PLC link (`c_j`).
     pub capacity: Mbps,
@@ -53,7 +52,7 @@ impl ExtenderDemand {
 }
 
 /// Result of a time-fair allocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeShareAllocation {
     /// Airtime fraction granted to each extender (0 for inactive ones).
     /// Active shares sum to ≤ 1; strictly less only when every extender's
@@ -119,7 +118,9 @@ pub fn allocate_time_fair(entries: &[ExtenderDemand]) -> Result<TimeShareAllocat
 
     let n = entries.len();
     let mut shares = vec![0.0f64; n];
-    let active: Vec<usize> = (0..n).filter(|&j| entries[j].demand.value() > 0.0).collect();
+    let active: Vec<usize> = (0..n)
+        .filter(|&j| entries[j].demand.value() > 0.0)
+        .collect();
     if active.is_empty() {
         return Ok(TimeShareAllocation {
             shares,
@@ -210,7 +211,9 @@ pub fn allocate_weighted(
 
     let n = entries.len();
     let mut shares = vec![0.0f64; n];
-    let active: Vec<usize> = (0..n).filter(|&j| entries[j].demand.value() > 0.0).collect();
+    let active: Vec<usize> = (0..n)
+        .filter(|&j| entries[j].demand.value() > 0.0)
+        .collect();
     if active.is_empty() {
         return Ok(TimeShareAllocation {
             shares,
@@ -451,9 +454,7 @@ mod tests {
         let alloc = allocate_time_fair(&entries).unwrap();
         for (j, e) in entries.iter().enumerate() {
             assert!(alloc.throughput[j] <= e.demand + mbps(1e-9));
-            assert!(
-                alloc.throughput[j].value() <= e.capacity.value() * alloc.shares[j] + 1e-9
-            );
+            assert!(alloc.throughput[j].value() <= e.capacity.value() * alloc.shares[j] + 1e-9);
         }
     }
 
@@ -520,9 +521,7 @@ mod tests {
         let plain = allocate_time_fair(&entries).unwrap();
         for j in 0..3 {
             assert!((equal.shares[j] - plain.shares[j]).abs() < 1e-12);
-            assert!(
-                (equal.throughput[j].value() - plain.throughput[j].value()).abs() < 1e-12
-            );
+            assert!((equal.throughput[j].value() - plain.throughput[j].value()).abs() < 1e-12);
         }
     }
 

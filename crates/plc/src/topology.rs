@@ -15,18 +15,17 @@
 //! Typical HomePlug-class figures: 0.4–1 dB/m of mains cable and ~3 dB per
 //! branch tap, on top of a ~15 dB fixed coupling loss.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::Rng;
 use wolt_units::{Db, Meters};
 
 use crate::PlcError;
 
 /// Identifier of an outlet within a [`PowerlineTopology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OutletId(pub usize);
 
 /// Attenuation parameters of the wiring.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WiringParams {
     /// Fixed coupling loss at the two plug interfaces.
     pub coupling_loss: Db,
@@ -47,7 +46,7 @@ impl Default for WiringParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Node {
     parent: Option<usize>,
     cable_to_parent: Meters,
@@ -72,7 +71,7 @@ struct Node {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerlineTopology {
     params: WiringParams,
     nodes: Vec<Node>,
@@ -216,7 +215,7 @@ impl PowerlineTopology {
 }
 
 /// Configuration for [`random_building`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BuildingConfig {
     /// Number of circuits leaving the breaker panel.
     pub circuits: usize,
@@ -304,8 +303,8 @@ pub fn random_building<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     fn chain(lengths: &[f64]) -> (PowerlineTopology, Vec<OutletId>) {
         let mut topo = PowerlineTopology::new(WiringParams::default());

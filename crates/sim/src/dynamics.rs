@@ -10,13 +10,12 @@
 //! an epoch spans enough time units for the net drift `(λ − μ) ·
 //! epoch_length` to match the paper's ≈ 33.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::Rng;
 
 use crate::SimError;
 
 /// Birth–death configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicsConfig {
     /// Poisson arrival rate λ (users per time unit).
     pub arrival_rate: f64,
@@ -73,7 +72,7 @@ impl DynamicsConfig {
 
 /// The churn of one epoch: how many users arrive and which residents
 /// leave.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochChurn {
     /// Number of new arrivals this epoch.
     pub arrivals: usize,
@@ -183,8 +182,8 @@ pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     #[test]
     fn default_matches_paper_trajectory() {
@@ -199,8 +198,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let n = 20_000;
         for lambda in [0.5, 3.0, 20.0, 50.0] {
-            let mean: f64 =
-                (0..n).map(|_| poisson(lambda, &mut rng) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| poisson(lambda, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda).abs() / lambda < 0.05,
                 "lambda {lambda}: mean {mean}"

@@ -31,7 +31,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
             SimError::PlacementFailed { attempts } => {
-                write!(f, "could not place user in coverage after {attempts} attempts")
+                write!(
+                    f,
+                    "could not place user in coverage after {attempts} attempts"
+                )
             }
             SimError::Layer { context } => write!(f, "layer failure: {context}"),
         }

@@ -6,22 +6,21 @@
 //! * [`DynamicSimulation`] powers Fig. 6b/6c: a Poisson-churned population
 //!   re-associated at every epoch boundary, with re-assignment counting.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use wolt_core::baselines::Rssi;
 use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 
 use crate::dynamics::{sample_epoch, DynamicsConfig};
 use crate::perturb::{
-    apply_mobility, drift_capacities, sample_alive_extenders, CapacityDriftConfig,
-    MobilityConfig, OutageConfig,
+    apply_mobility, drift_capacities, sample_alive_extenders, CapacityDriftConfig, MobilityConfig,
+    OutageConfig,
 };
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::SimError;
 
 /// One (seed × policy) data point of a static experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
     /// Seed the scenario was generated from.
     pub seed: u64,
@@ -33,6 +32,30 @@ pub struct TrialRecord {
     pub jain: Option<f64>,
     /// Per-user throughputs (Mbit/s).
     pub per_user: Vec<f64>,
+}
+
+impl ToJson for TrialRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", self.seed.to_json()),
+            ("policy", self.policy.to_json()),
+            ("aggregate", self.aggregate.to_json()),
+            ("jain", self.jain.to_json()),
+            ("per_user", self.per_user.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TrialRecord {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            seed: u64::from_json(value.field("seed")?)?,
+            policy: String::from_json(value.field("policy")?)?,
+            aggregate: f64::from_json(value.field("aggregate")?)?,
+            jain: Option::<f64>::from_json(value.field("jain")?)?,
+            per_user: Vec::<f64>::from_json(value.field("per_user")?)?,
+        })
+    }
 }
 
 /// Runs each policy on freshly generated scenarios for every seed.
@@ -69,7 +92,7 @@ pub fn run_static_trials(
 }
 
 /// The online policies of the paper's dynamic experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OnlinePolicy {
     /// WOLT re-runs its full two-phase optimization at every epoch end,
     /// re-assigning existing users when beneficial.
@@ -92,7 +115,7 @@ impl OnlinePolicy {
 }
 
 /// One epoch of a dynamic run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
     /// Epoch number (1-based, matching the paper's figures).
     pub epoch: usize,
@@ -110,11 +133,49 @@ pub struct EpochRecord {
     /// (always 0 for the never-reassigning policies, absent perturbations).
     pub reassignments: usize,
     /// Extenders down this epoch (failure injection; 0 without it).
-    #[serde(default)]
     pub down_extenders: usize,
     /// Users who moved this epoch (mobility; 0 without it).
-    #[serde(default)]
     pub moved_users: usize,
+}
+
+impl ToJson for EpochRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("epoch", self.epoch.to_json()),
+            ("users", self.users.to_json()),
+            ("arrivals", self.arrivals.to_json()),
+            ("departures", self.departures.to_json()),
+            ("aggregate", self.aggregate.to_json()),
+            ("jain", self.jain.to_json()),
+            ("reassignments", self.reassignments.to_json()),
+            ("down_extenders", self.down_extenders.to_json()),
+            ("moved_users", self.moved_users.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EpochRecord {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        // Perturbation counters default to zero when absent, so traces
+        // written before failure injection existed still load.
+        let opt_usize = |key: &str| -> Result<usize, JsonError> {
+            match value.get(key) {
+                Some(v) => usize::from_json(v),
+                None => Ok(0),
+            }
+        };
+        Ok(Self {
+            epoch: usize::from_json(value.field("epoch")?)?,
+            users: usize::from_json(value.field("users")?)?,
+            arrivals: usize::from_json(value.field("arrivals")?)?,
+            departures: usize::from_json(value.field("departures")?)?,
+            aggregate: f64::from_json(value.field("aggregate")?)?,
+            jain: Option::<f64>::from_json(value.field("jain")?)?,
+            reassignments: usize::from_json(value.field("reassignments")?)?,
+            down_extenders: opt_usize("down_extenders")?,
+            moved_users: opt_usize("moved_users")?,
+        })
+    }
 }
 
 /// Dynamic epoch-driven simulation (Fig. 6b/6c), optionally perturbed by
@@ -217,8 +278,7 @@ impl DynamicSimulation {
                 (churn.arrivals, churn.departures.len(), moved)
             };
             if let (Some(drift), true) = (&self.capacity_drift, epoch > 1) {
-                scenario.capacities =
-                    drift_capacities(&nominal_capacities, drift, &mut rng)?;
+                scenario.capacities = drift_capacities(&nominal_capacities, drift, &mut rng)?;
             }
             let all_extenders = scenario.extender_positions.len();
             let alive: Vec<usize> = match (&self.outages, epoch) {
@@ -328,10 +388,9 @@ impl DynamicSimulation {
                             best = Some((j, value));
                         }
                     }
-                    let (j, _) =
-                        best.ok_or(SimError::Layer {
-                            context: format!("greedy: user {i} has no feasible extender"),
-                        })?;
+                    let (j, _) = best.ok_or(SimError::Layer {
+                        context: format!("greedy: user {i} has no feasible extender"),
+                    })?;
                     assoc.assign(i, j);
                 }
                 Ok(assoc)

@@ -18,7 +18,6 @@
 //! analytic model, which is the fidelity check `fig4c`-style arguments
 //! rest on.
 
-use serde::{Deserialize, Serialize};
 use wolt_core::{Association, Network};
 use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
 use wolt_units::{Mbps, Seconds};
@@ -26,7 +25,7 @@ use wolt_units::{Mbps, Seconds};
 use crate::SimError;
 
 /// Flow-simulation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSimConfig {
     /// Tick length (seconds of simulated time).
     pub tick: Seconds,
@@ -84,7 +83,7 @@ impl FlowSimConfig {
 }
 
 /// Measured outcome of a flow simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSimOutcome {
     /// Long-run per-user goodput (bits delivered to the user / measured
     /// time), zero for unassigned users.
@@ -151,7 +150,8 @@ pub fn simulate_flows(
             })
             .collect();
         let alloc = allocate_time_fair(&entries).map_err(SimError::from)?;
-        #[allow(clippy::needless_range_loop)] // members/entries/alloc are parallel per-extender arrays
+        #[allow(clippy::needless_range_loop)]
+        // members/entries/alloc are parallel per-extender arrays
         for j in 0..n_ext {
             let inflow_bits = alloc.throughput[j].value() * 1e6 * dt;
             if inflow_bits <= 0.0 || members[j].is_empty() {
@@ -175,7 +175,8 @@ pub fn simulate_flows(
         }
 
         // ---- WiFi hop: each cell drains its queues throughput-fairly.
-        #[allow(clippy::needless_range_loop)] // members/entries/alloc are parallel per-extender arrays
+        #[allow(clippy::needless_range_loop)]
+        // members/entries/alloc are parallel per-extender arrays
         for j in 0..n_ext {
             if members[j].is_empty() {
                 continue;
@@ -206,7 +207,13 @@ pub fn simulate_flows(
     let measured_s = measured_ticks as f64 * dt;
     let per_user: Vec<Mbps> = delivered
         .iter()
-        .map(|&bits| Mbps::new(if measured_s > 0.0 { bits / 1e6 / measured_s } else { 0.0 }))
+        .map(|&bits| {
+            Mbps::new(if measured_s > 0.0 {
+                bits / 1e6 / measured_s
+            } else {
+                0.0
+            })
+        })
         .collect();
     let aggregate = per_user.iter().copied().sum();
 
@@ -235,7 +242,7 @@ fn fair_cell_drain(queues: &[(f64, f64)], dt: f64) -> Vec<f64> {
         // each active user gets x bits where Σ x / r_k = airtime.
         let inv_sum: f64 = active.iter().map(|&k| 1.0 / (queues[k].1 * 1e6)).sum();
         let x = airtime / inv_sum; // bits per active user
-        // Users whose remaining backlog is below x finish early.
+                                   // Users whose remaining backlog is below x finish early.
         let finishing: Vec<usize> = active
             .iter()
             .copied()

@@ -1,9 +1,7 @@
 //! Summary statistics and CDFs for experiment records.
 
-use serde::{Deserialize, Serialize};
-
 /// Basic summary statistics of a sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,

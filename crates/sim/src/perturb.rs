@@ -13,15 +13,14 @@
 //!   user (no surviving extender in range) are rejected, mirroring an
 //!   installer keeping minimum coverage.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::Rng;
 use wolt_units::Point;
 
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::SimError;
 
 /// Random-step user mobility between epochs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MobilityConfig {
     /// Maximum displacement per epoch along each axis, in metres.
     pub max_step: f64,
@@ -72,8 +71,7 @@ pub fn apply_mobility<R: Rng + ?Sized>(
                 .clamp(0.0, config.height),
         );
         scenario.user_positions[i] = candidate;
-        let covered = (0..scenario.extender_positions.len())
-            .any(|j| scenario.rate(i, j).is_some());
+        let covered = (0..scenario.extender_positions.len()).any(|j| scenario.rate(i, j).is_some());
         if covered {
             moved += 1;
         } else {
@@ -88,7 +86,7 @@ pub fn apply_mobility<R: Rng + ?Sized>(
 /// PLC link quality fluctuates with appliance noise (the cyclo-stationary
 /// interference the paper's §II cites); between epochs each extender's
 /// effective capacity wanders multiplicatively around its nominal value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacityDriftConfig {
     /// Relative standard deviation of the per-epoch multiplicative factor.
     pub sigma: f64,
@@ -138,7 +136,7 @@ pub fn drift_capacities<R: Rng + ?Sized>(
 }
 
 /// Random extender outages per epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OutageConfig {
     /// Probability that any given extender is down for an epoch.
     pub probability: f64,
@@ -191,15 +189,16 @@ pub fn sample_alive_extenders<R: Rng + ?Sized>(
         if !alive.is_empty() && scenario.covers_all_users(&alive) {
             return Ok(alive);
         }
-        down.pop().expect("restoring all extenders always restores coverage");
+        down.pop()
+            .expect("restoring all extenders always restores coverage");
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     fn scenario(seed: u64) -> (Scenario, ScenarioConfig) {
         let config = ScenarioConfig::enterprise(20);
@@ -230,8 +229,13 @@ mod tests {
         let (mut s, config) = scenario(3);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         for _ in 0..10 {
-            apply_mobility(&mut s, &MobilityConfig { max_step: 30.0 }, &config, &mut rng)
-                .unwrap();
+            apply_mobility(
+                &mut s,
+                &MobilityConfig { max_step: 30.0 },
+                &config,
+                &mut rng,
+            )
+            .unwrap();
             let alive: Vec<usize> = (0..s.extender_positions.len()).collect();
             assert!(s.covers_all_users(&alive));
         }
@@ -294,16 +298,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         for _ in 0..1000 {
             let drifted =
-                drift_capacities(&nominal, &CapacityDriftConfig { sigma: 0.8 }, &mut rng)
-                    .unwrap();
+                drift_capacities(&nominal, &CapacityDriftConfig { sigma: 0.8 }, &mut rng).unwrap();
             assert!(drifted[0].is_usable());
         }
-        assert!(drift_capacities(
-            &nominal,
-            &CapacityDriftConfig { sigma: -0.1 },
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            drift_capacities(&nominal, &CapacityDriftConfig { sigma: -0.1 }, &mut rng).is_err()
+        );
     }
 
     #[test]

@@ -12,19 +12,18 @@
 //! explicit list), places users, and [`Scenario::network`] assembles the
 //! `wolt-core` rate matrix from the `wolt-wifi` radio model.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use wolt_core::Network;
 use wolt_plc::capacity::sample_outlet_capacities;
 use wolt_plc::channel::PlcChannelModel;
 use wolt_plc::topology::BuildingConfig;
+use wolt_support::rng::Rng;
 use wolt_units::{Mbps, Point};
 use wolt_wifi::WifiRadio;
 
 use crate::SimError;
 
 /// How extenders are positioned on the floor plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExtenderPlacement {
     /// Jittered grid covering the plane (outlets are spread through a
     /// building, and an installer plugs extenders roughly evenly).
@@ -34,7 +33,7 @@ pub enum ExtenderPlacement {
 }
 
 /// How extender PLC capacities are chosen.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CapacitySource {
     /// Sample from a random `wolt-plc` building (the calibrated default).
     Building(BuildingConfig),
@@ -43,7 +42,7 @@ pub enum CapacitySource {
 }
 
 /// Scenario generation parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Plane width in metres.
     pub width: f64,
@@ -142,7 +141,7 @@ impl ScenarioConfig {
 
 /// A concrete sampled scenario: extender positions + capacities and user
 /// positions, ready to be turned into a [`Network`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Extender positions.
     pub extender_positions: Vec<Point>,
@@ -253,14 +252,16 @@ impl Scenario {
                     .collect()
             })
             .collect();
-        Network::from_raw(alive.iter().map(|&j| self.capacities[j].value()).collect(), rates)
-            .map_err(SimError::from)
+        Network::from_raw(
+            alive.iter().map(|&j| self.capacities[j].value()).collect(),
+            rates,
+        )
+        .map_err(SimError::from)
     }
 
     /// True when every user can reach at least one extender in `alive`.
     pub fn covers_all_users(&self, alive: &[usize]) -> bool {
-        (0..self.user_positions.len())
-            .all(|i| alive.iter().any(|&j| self.rate(i, j).is_some()))
+        (0..self.user_positions.len()).all(|i| alive.iter().any(|&j| self.rate(i, j).is_some()))
     }
 
     /// Adds a user at `position` (used by the dynamic simulation).
@@ -278,11 +279,7 @@ impl Scenario {
     }
 
     /// Samples a position for a new arrival under `config`'s rules.
-    pub fn sample_arrival<R: Rng + ?Sized>(
-        &self,
-        config: &ScenarioConfig,
-        rng: &mut R,
-    ) -> Point {
+    pub fn sample_arrival<R: Rng + ?Sized>(&self, config: &ScenarioConfig, rng: &mut R) -> Point {
         place_user(config, &self.extender_positions, rng)
     }
 }
@@ -317,11 +314,7 @@ fn jittered_grid<R: Rng + ?Sized>(config: &ScenarioConfig, rng: &mut R) -> Vec<P
         .collect()
 }
 
-fn place_user<R: Rng + ?Sized>(
-    config: &ScenarioConfig,
-    extenders: &[Point],
-    rng: &mut R,
-) -> Point {
+fn place_user<R: Rng + ?Sized>(config: &ScenarioConfig, extenders: &[Point], rng: &mut R) -> Point {
     let in_coverage = |p: Point| {
         extenders
             .iter()
@@ -340,8 +333,8 @@ fn place_user<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     fn rng(seed: u64) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(seed)
@@ -415,7 +408,11 @@ mod tests {
         let cfg = ScenarioConfig::enterprise(10);
         let s = Scenario::generate(&cfg, &mut rng(5)).unwrap();
         assert!(s.capacities.iter().all(|c| c.is_usable()));
-        let min = s.capacities.iter().map(|c| c.value()).fold(f64::INFINITY, f64::min);
+        let min = s
+            .capacities
+            .iter()
+            .map(|c| c.value())
+            .fold(f64::INFINITY, f64::min);
         let max = s.capacities.iter().map(|c| c.value()).fold(0.0, f64::max);
         assert!(max > min, "no PLC heterogeneity");
     }

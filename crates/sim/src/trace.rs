@@ -4,14 +4,13 @@
 //! (plotting scripts, regression dashboards) [`ExperimentTrace`]
 //! accumulates the same records with full metadata and serializes them to
 //! JSON or CSV in one shot.
-
-use serde::{Deserialize, Serialize};
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::experiment::{EpochRecord, TrialRecord};
 
 /// A named, reproducible experiment run: configuration fingerprint plus
 /// every record it produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExperimentTrace {
     /// Experiment identifier (e.g. "fig6a").
     pub name: String,
@@ -52,16 +51,28 @@ impl ExperimentTrace {
 
     /// Serializes the whole trace as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serializes")
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("setup", self.setup.to_json()),
+            ("trials", self.trials.to_json()),
+            ("epochs", self.epochs.to_json()),
+        ])
+        .to_pretty()
     }
 
     /// Parses a trace back from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error on malformed input.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    /// Returns a [`JsonError`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let value = Json::parse(text)?;
+        Ok(Self {
+            name: String::from_json(value.field("name")?)?,
+            setup: String::from_json(value.field("setup")?)?,
+            trials: Vec::<TrialRecord>::from_json(value.field("trials")?)?,
+            epochs: Vec::<(String, EpochRecord)>::from_json(value.field("epochs")?)?,
+        })
     }
 
     /// Renders the static trials as CSV (`seed,policy,aggregate,jain`).
@@ -155,8 +166,7 @@ mod tests {
     fn epoch_records_round_trip() {
         use crate::dynamics::DynamicsConfig;
         use crate::experiment::{DynamicSimulation, OnlinePolicy};
-        let sim =
-            DynamicSimulation::new(ScenarioConfig::enterprise(8), DynamicsConfig::default());
+        let sim = DynamicSimulation::new(ScenarioConfig::enterprise(8), DynamicsConfig::default());
         let mut trace = ExperimentTrace::new("dyn", "tiny run");
         trace.record_epochs("WOLT", sim.run(OnlinePolicy::Wolt, 2, 1).unwrap());
         assert_eq!(trace.epochs.len(), 2);

@@ -1,0 +1,410 @@
+//! A mini property-testing harness with bounded shrinking and a
+//! regression-seed corpus format.
+//!
+//! Replaces the external `proptest` dependency for the workspace's needs:
+//! generate random inputs from a closure over [`ChaCha8Rng`], assert a
+//! property, and on failure shrink the counterexample with a bounded
+//! greedy search, reporting the case seed so it can be pinned.
+//!
+//! # Determinism and case seeds
+//!
+//! Each run derives one seed per case from the runner seed with
+//! [`SplitMix64`]: case `k` uses `SplitMix64(runner_seed)` output `k`.
+//! A failure report names the *case seed*; replaying it reproduces the
+//! exact generated input regardless of which case index it occupied.
+//!
+//! # Regression corpus format
+//!
+//! A corpus file is line-oriented: blank lines and `#` comments are
+//! ignored, every other line is `cc <case-seed>` with the seed in
+//! hexadecimal (`cc 0x1f2e...`) or decimal. Corpus seeds are replayed
+//! before any novel cases, mirroring the `proptest-regressions`
+//! convention:
+//!
+//! ```text
+//! # Seeds for failure cases the harness found in the past.
+//! cc 0x00000000deadbeef  # shrank to Network { ... }
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use wolt_support::check::Runner;
+//! use wolt_support::rng::Rng;
+//!
+//! Runner::new("addition_commutes").cases(64).run(
+//!     |rng| (rng.gen_range(0.0..1e6), rng.gen_range(0.0..1e6)),
+//!     |&(a, b)| {
+//!         if a + b == b + a {
+//!             Ok(())
+//!         } else {
+//!             Err(format!("{a} + {b} not commutative"))
+//!         }
+//!     },
+//! );
+//! ```
+
+use std::fmt::Debug;
+use std::path::Path;
+
+use crate::rng::{ChaCha8Rng, RngCore, SeedableRng, SplitMix64};
+
+/// Default number of novel cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Default bound on shrink attempts.
+pub const DEFAULT_SHRINK_STEPS: u32 = 1024;
+
+/// Configures and executes one property.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    name: String,
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+    corpus: Vec<u64>,
+}
+
+impl Runner {
+    /// A runner with the default configuration. `name` appears in failure
+    /// reports; use the test function's name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            cases: DEFAULT_CASES,
+            seed: 0,
+            max_shrink_steps: DEFAULT_SHRINK_STEPS,
+            corpus: Vec::new(),
+        }
+    }
+
+    /// Sets the number of novel cases.
+    #[must_use]
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the runner seed (novel case seeds derive from it).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bounds the shrinking search.
+    #[must_use]
+    pub fn max_shrink_steps(mut self, steps: u32) -> Self {
+        self.max_shrink_steps = steps;
+        self
+    }
+
+    /// Adds explicit regression case seeds, replayed before novel cases.
+    #[must_use]
+    pub fn regression_seeds(mut self, seeds: &[u64]) -> Self {
+        self.corpus.extend_from_slice(seeds);
+        self
+    }
+
+    /// Loads a regression corpus file (see the module docs for the
+    /// format). A missing file is fine — there are no regressions yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file exists but a line cannot be parsed: a corrupt
+    /// corpus silently dropping cases would defeat its purpose.
+    #[must_use]
+    pub fn corpus_file(mut self, path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return self;
+        };
+        self.corpus
+            .extend(parse_corpus(&text).unwrap_or_else(|line| {
+                panic!(
+                    "corrupt corpus {}: unparseable line {line:?}",
+                    path.display()
+                )
+            }));
+        self
+    }
+
+    /// Runs the property without shrinking.
+    ///
+    /// `generate` builds an input from the per-case RNG; `property`
+    /// returns `Err(reason)` to fail the case.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a counterexample report on the first failing case.
+    pub fn run<T, G, P>(self, generate: G, property: P)
+    where
+        T: Debug,
+        G: Fn(&mut ChaCha8Rng) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        self.run_shrink(generate, |_| Vec::new(), property);
+    }
+
+    /// Runs the property with shrinking.
+    ///
+    /// On failure, `shrink` proposes simpler variants of the failing
+    /// input; the search greedily follows the first variant that still
+    /// fails, up to the configured step bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a counterexample report on the first failing case.
+    pub fn run_shrink<T, G, S, P>(self, generate: G, shrink: S, property: P)
+    where
+        T: Debug,
+        G: Fn(&mut ChaCha8Rng) -> T,
+        S: Fn(&T) -> Vec<T>,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let mut sm = SplitMix64::new(self.seed);
+        let novel = (0..self.cases).map(|_| sm.next_u64());
+        let replay = self.corpus.iter().copied();
+        for (idx, case_seed) in replay.chain(novel).enumerate() {
+            let replayed = idx < self.corpus.len();
+            let mut rng = ChaCha8Rng::seed_from_u64(case_seed);
+            let input = generate(&mut rng);
+            if let Err(reason) = property(&input) {
+                let (smallest, small_reason, steps) =
+                    shrink_failure(input, reason, &shrink, &property, self.max_shrink_steps);
+                panic!(
+                    "property {name:?} failed on {kind} case seed {seed:#018x}\n\
+                     reason: {small_reason}\n\
+                     counterexample (after {steps} shrink steps): {smallest:#?}\n\
+                     to pin this case, add the line below to the test's corpus file:\n\
+                     cc {seed:#018x}",
+                    name = self.name,
+                    kind = if replayed { "replayed" } else { "novel" },
+                    seed = case_seed,
+                    small_reason = small_reason,
+                    steps = steps,
+                    smallest = smallest,
+                );
+            }
+        }
+    }
+}
+
+/// Greedy bounded shrink: repeatedly move to the first proposed variant
+/// that still fails. Returns the final counterexample, its failure
+/// reason, and the number of accepted shrink steps.
+fn shrink_failure<T, S, P>(
+    mut current: T,
+    mut reason: String,
+    shrink: &S,
+    property: &P,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut accepted = 0u32;
+    let mut budget = max_steps;
+    'outer: while budget > 0 {
+        for candidate in shrink(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(r) = property(&candidate) {
+                current = candidate;
+                reason = r;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, reason, accepted)
+}
+
+/// Parses corpus text; `Err` carries the first malformed line.
+fn parse_corpus(text: &str) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(value) = line.strip_prefix("cc").map(str::trim) else {
+            return Err(raw.to_string());
+        };
+        let parsed = if let Some(hex) = value.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            value.parse()
+        };
+        match parsed {
+            Ok(seed) => seeds.push(seed),
+            Err(_) => return Err(raw.to_string()),
+        }
+    }
+    Ok(seeds)
+}
+
+/// Shrink helpers for common input shapes.
+pub mod shrinkers {
+    /// Simpler variants of a float: zero, the rounded value, and halves
+    /// toward `anchor` (typically the generator's lower bound).
+    pub fn f64_toward(value: f64, anchor: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if value != anchor {
+            out.push(anchor);
+        }
+        let rounded = value.round();
+        if rounded != value && rounded != anchor {
+            out.push(rounded);
+        }
+        let halfway = anchor + (value - anchor) / 2.0;
+        if halfway != value && halfway != anchor {
+            out.push(halfway);
+        }
+        out
+    }
+
+    /// Vectors with one element removed, in order.
+    pub fn vec_remove_each<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+        (0..items.len())
+            .map(|skip| {
+                items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, v)| v.clone())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn passing_property_is_silent() {
+        Runner::new("tautology").cases(32).run(
+            |rng| rng.gen_range(0..100u64),
+            |&v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err("impossible".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_counterexample() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("always_fails").cases(4).run(
+                |rng| rng.gen_range(0..10u64),
+                |_| Err("forced failure".into()),
+            );
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("always_fails"), "{message}");
+        assert!(message.contains("forced failure"), "{message}");
+        assert!(message.contains("cc 0x"), "{message}");
+    }
+
+    #[test]
+    fn failure_is_deterministic() {
+        let run = || {
+            catch_unwind(AssertUnwindSafe(|| {
+                Runner::new("det").cases(16).seed(5).run(
+                    |rng| rng.gen_range(0.0..100.0),
+                    |&v| {
+                        if v < 90.0 {
+                            Ok(())
+                        } else {
+                            Err(format!("{v}"))
+                        }
+                    },
+                )
+            }))
+            .unwrap_err()
+            .downcast::<String>()
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shrinking_reaches_a_local_minimum() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("shrinks").cases(50).run_shrink(
+                |rng| rng.gen_range(0..1000u64),
+                |&v| (0..v).rev().take(8).collect(),
+                |&v| {
+                    if v < 10 {
+                        Ok(())
+                    } else {
+                        Err("too big".into())
+                    }
+                },
+            );
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        // Greedy descent by 1 always lands on the boundary value 10.
+        assert!(message.contains("counterexample"), "{message}");
+        assert!(message.contains("10"), "{message}");
+    }
+
+    #[test]
+    fn corpus_seeds_replay_first() {
+        // 0xBAD is a seed whose first draw we force to fail below.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("replay")
+                .regression_seeds(&[0xBAD])
+                .cases(0)
+                .run(|rng| rng.next_u64(), |_| Err("replayed".into()));
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            message.contains("replayed case seed 0x0000000000000bad"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn corpus_parsing_accepts_comments_and_both_radixes() {
+        let text = "# header\n\ncc 0x10 # shrank to Foo\ncc 17\n";
+        assert_eq!(parse_corpus(text).unwrap(), vec![16, 17]);
+        assert!(parse_corpus("sc 12").is_err());
+        assert!(parse_corpus("cc notanumber").is_err());
+    }
+
+    #[test]
+    fn corpus_file_loads_and_missing_is_fine() {
+        let dir = std::env::temp_dir().join("wolt-support-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.corpus");
+        std::fs::write(&path, "cc 0x2a\n").unwrap();
+        let runner = Runner::new("io").corpus_file(&path);
+        assert_eq!(runner.corpus, vec![42]);
+        let runner = Runner::new("io").corpus_file(dir.join("absent.corpus"));
+        assert!(runner.corpus.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shrink_helpers_propose_simpler_values() {
+        let candidates = shrinkers::f64_toward(80.0, 20.0);
+        assert!(candidates.contains(&20.0));
+        assert!(candidates.contains(&50.0));
+        assert!(shrinkers::f64_toward(20.0, 20.0).is_empty());
+
+        let vecs = shrinkers::vec_remove_each(&[1, 2, 3]);
+        assert_eq!(vecs, vec![vec![2, 3], vec![1, 3], vec![1, 2]]);
+    }
+}

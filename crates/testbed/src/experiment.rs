@@ -12,11 +12,10 @@
 //! * Fig. 5  — per-user throughput of WOLT's worst-3 and best-3 users
 //!   against the greedy baseline on one topology.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 use crate::rig::{run_rig, ControllerPolicy, RigConfig, TopologyOutcome};
 use crate::TestbedError;
@@ -85,7 +84,7 @@ impl TestbedExperiment {
 }
 
 /// Fig. 4a row: mean aggregate throughput per policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggregateSummary {
     /// Mean aggregate under WOLT (Mbit/s).
     pub wolt: f64,
@@ -112,7 +111,7 @@ pub fn aggregate_summary(comparisons: &[TopologyComparison]) -> AggregateSummary
 
 /// Fig. 4b row: fraction of (user, topology) pairs better / worse off
 /// under WOLT than under the baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WinLoss {
     /// Fraction of users with strictly higher throughput under WOLT.
     pub better: f64,
@@ -158,7 +157,7 @@ where
 
 /// Fig. 5 rows for one topology: `(wolt_throughput, greedy_throughput)`
 /// per user, for WOLT's `k` worst and `k` best users.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BestWorstUsers {
     /// WOLT's `k` lowest-throughput users: `(wolt, greedy)` pairs.
     pub worst: Vec<(f64, f64)>,

@@ -10,7 +10,7 @@
 //! * [`protocol`] — the client ↔ Central Controller messages (scan
 //!   report, association directive, ack, departure).
 //! * [`rig`] — one controller thread plus one thread per client laptop,
-//!   joined sequentially over crossbeam channels; the CC runs WOLT /
+//!   joined sequentially over mpsc channels; the CC runs WOLT /
 //!   Greedy / RSSI on *estimated* PLC capacities while outcomes are
 //!   evaluated on the true ones.
 //! * [`experiment`] — the §V-D experiment: 25 random lab topologies,
@@ -43,6 +43,4 @@ pub mod rig;
 mod error;
 
 pub use error::TestbedError;
-pub use rig::{
-    run_rig, run_session, ControllerPolicy, RigConfig, SessionEvent, TopologyOutcome,
-};
+pub use rig::{run_rig, run_session, ControllerPolicy, RigConfig, SessionEvent, TopologyOutcome};

@@ -4,7 +4,7 @@
 //! The paper implements WOLT "as a user-space utility that runs on users'
 //! devices as well as the server" (§V-A). This module reproduces that
 //! architecture: one controller thread (the CC) and one thread per client
-//! laptop, connected by crossbeam channels. Clients join (and may leave)
+//! laptop, connected by mpsc channels. Clients join (and may leave)
 //! sequentially, as laptops were carried around the lab: each scans,
 //! attaches to its strongest-RSSI extender, reports its rate estimates to
 //! the CC, and re-associates when a directive arrives. The CC runs the
@@ -13,16 +13,14 @@
 //! evaluated on the true capacities — estimation error is part of the
 //! experiment.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::Scenario;
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_units::Mbps;
 
 use crate::protocol::{ToAgent, ToClient, ToController};
@@ -168,23 +166,23 @@ pub fn run_session(
     // Physical association state shared by all agents (the "air").
     let physical: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(vec![None; n_users]));
 
-    let (to_cc_tx, to_cc_rx) = unbounded::<ToController>();
-    let (done_tx, done_rx) = unbounded::<Result<(), TestbedError>>();
+    let (to_cc_tx, to_cc_rx) = channel::<ToController>();
+    let (done_tx, done_rx) = channel::<Result<(), TestbedError>>();
 
     let mut agent_handles = Vec::with_capacity(n_users);
-    let mut agent_txs: Vec<Sender<ToAgent>> = Vec::with_capacity(n_users);
-    let mut client_txs: Vec<Sender<ToClient>> = Vec::with_capacity(n_users);
+    let mut agent_txs: Vec<Sender<AgentInbox>> = Vec::with_capacity(n_users);
 
     for i in 0..n_users {
-        let (agent_tx, agent_rx) = unbounded::<ToAgent>();
-        let (client_tx, client_rx) = unbounded::<ToClient>();
+        // One inbox per agent: harness commands and CC directives are
+        // serialized by the session loop, so a single merged queue
+        // replaces a two-channel select without reordering anything.
+        let (agent_tx, agent_rx) = channel::<AgentInbox>();
         agent_txs.push(agent_tx);
-        client_txs.push(client_tx);
         let rates: Vec<Option<Mbps>> = (0..n_ext).map(|j| scenario.rate(i, j)).collect();
         let physical = Arc::clone(&physical);
         let to_cc = to_cc_tx.clone();
         agent_handles.push(thread::spawn(move || {
-            client_agent(i, rates, physical, to_cc, agent_rx, client_rx)
+            client_agent(i, rates, physical, to_cc, agent_rx)
         }));
     }
 
@@ -195,9 +193,8 @@ pub fn run_session(
         rates: vec![None; n_users],
         association: vec![None; n_users],
     };
-    let cc_client_txs = client_txs.clone();
-    let cc_handle =
-        thread::spawn(move || controller(cc_state, to_cc_rx, cc_client_txs, done_tx));
+    let cc_client_txs = agent_txs.clone();
+    let cc_handle = thread::spawn(move || controller(cc_state, to_cc_rx, cc_client_txs, done_tx));
 
     // Drive the session: joins and leaves are serialized, as laptops were
     // brought online/offline one at a time.
@@ -212,16 +209,14 @@ pub fn run_session(
                     });
                 }
                 agent_txs[i]
-                    .send(ToAgent::Join)
+                    .send(AgentInbox::Harness(ToAgent::Join))
                     .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
-                done_rx
-                    .recv()
-                    .map_err(|_| TestbedError::ChannelClosed {
-                        endpoint: "controller",
-                    })??;
+                done_rx.recv().map_err(|_| TestbedError::ChannelClosed {
+                    endpoint: "controller",
+                })??;
                 present[i] = true;
                 if initial_attach[i].is_none() {
-                    initial_attach[i] = physical.lock()[i];
+                    initial_attach[i] = physical.lock().expect("physical state lock")[i];
                 }
             }
             SessionEvent::Leave(i) => {
@@ -231,13 +226,11 @@ pub fn run_session(
                     });
                 }
                 agent_txs[i]
-                    .send(ToAgent::Leave)
+                    .send(AgentInbox::Harness(ToAgent::Leave))
                     .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
-                done_rx
-                    .recv()
-                    .map_err(|_| TestbedError::ChannelClosed {
-                        endpoint: "controller",
-                    })??;
+                done_rx.recv().map_err(|_| TestbedError::ChannelClosed {
+                    endpoint: "controller",
+                })??;
                 present[i] = false;
             }
         }
@@ -245,22 +238,20 @@ pub fn run_session(
 
     // Shutdown: stop agents, close the CC inbox, join threads.
     for tx in &agent_txs {
-        let _ = tx.send(ToAgent::Shutdown);
-    }
-    for tx in &client_txs {
-        let _ = tx.send(ToClient::Shutdown);
+        let _ = tx.send(AgentInbox::Harness(ToAgent::Shutdown));
     }
     drop(to_cc_tx);
-    let (directives, final_assoc_cc) = cc_handle.join().map_err(|_| TestbedError::ChannelClosed {
-        endpoint: "controller",
-    })?;
+    let (directives, final_assoc_cc) =
+        cc_handle.join().map_err(|_| TestbedError::ChannelClosed {
+            endpoint: "controller",
+        })?;
     for h in agent_handles {
         h.join()
             .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
     }
 
     // The physical state is ground truth; the CC's view must agree.
-    let physical_assoc: Vec<Option<usize>> = physical.lock().clone();
+    let physical_assoc: Vec<Option<usize>> = physical.lock().expect("physical state lock").clone();
     debug_assert_eq!(physical_assoc, final_assoc_cc);
     let association = Association::from_targets(physical_assoc);
 
@@ -272,9 +263,7 @@ pub fn run_session(
     // re-association overhead the paper discusses.
     let switches = (0..n_users)
         .filter(|&i| {
-            present[i]
-                && initial_attach[i].is_some()
-                && association.target(i) != initial_attach[i]
+            present[i] && initial_attach[i].is_some() && association.target(i) != initial_attach[i]
         })
         .count();
 
@@ -292,6 +281,15 @@ pub fn run_session(
         directives,
         switches,
     })
+}
+
+/// Everything a client-agent thread can receive, merged into one queue:
+/// harness lifecycle commands and CC directives.
+enum AgentInbox {
+    /// Join/Leave/Shutdown from the session driver.
+    Harness(ToAgent),
+    /// Directive (or shutdown) from the Central Controller.
+    Cc(ToClient),
 }
 
 /// CC-internal state.
@@ -322,14 +320,16 @@ impl ControllerState {
             })
             .collect();
         let net = Network::from_raw(
-            self.estimated_capacities.iter().map(|c| c.value()).collect(),
+            self.estimated_capacities
+                .iter()
+                .map(|c| c.value())
+                .collect(),
             rates,
         )
         .map_err(|e| TestbedError::AssignmentFailed {
             context: e.to_string(),
         })?;
-        let assoc =
-            Association::from_targets(known.iter().map(|&i| self.association[i]).collect());
+        let assoc = Association::from_targets(known.iter().map(|&i| self.association[i]).collect());
         Ok((net, assoc))
     }
 }
@@ -340,7 +340,7 @@ impl ControllerState {
 fn controller(
     mut state: ControllerState,
     rx: Receiver<ToController>,
-    client_txs: Vec<Sender<ToClient>>,
+    client_txs: Vec<Sender<AgentInbox>>,
     done: Sender<Result<(), TestbedError>>,
 ) -> (usize, Vec<Option<usize>>) {
     let mut directives = 0usize;
@@ -381,7 +381,7 @@ fn controller(
 fn handle_join(
     state: &mut ControllerState,
     client: usize,
-    client_txs: &[Sender<ToClient>],
+    client_txs: &[Sender<AgentInbox>],
     rx: &Receiver<ToController>,
     directives: &mut usize,
 ) -> Result<(), TestbedError> {
@@ -430,7 +430,7 @@ fn handle_join(
 /// leave everyone where they are.
 fn handle_leave(
     state: &mut ControllerState,
-    client_txs: &[Sender<ToClient>],
+    client_txs: &[Sender<AgentInbox>],
     rx: &Receiver<ToController>,
     directives: &mut usize,
 ) -> Result<(), TestbedError> {
@@ -464,7 +464,7 @@ fn apply_directives(
     state: &mut ControllerState,
     known: &[usize],
     desired: &[usize],
-    client_txs: &[Sender<ToClient>],
+    client_txs: &[Sender<AgentInbox>],
     rx: &Receiver<ToController>,
     directives: &mut usize,
 ) -> Result<(), TestbedError> {
@@ -472,9 +472,9 @@ fn apply_directives(
     for (v, &i) in known.iter().enumerate() {
         if state.association[i] != Some(desired[v]) {
             client_txs[i]
-                .send(ToClient::Directive {
+                .send(AgentInbox::Cc(ToClient::Directive {
                     extender: desired[v],
-                })
+                }))
                 .map_err(|_| TestbedError::ChannelClosed { endpoint: "client" })?;
             *directives += 1;
             pending.push(i);
@@ -506,70 +506,69 @@ fn client_agent(
     rates: Vec<Option<Mbps>>,
     physical: Arc<Mutex<Vec<Option<usize>>>>,
     to_cc: Sender<ToController>,
-    agent_rx: Receiver<ToAgent>,
-    client_rx: Receiver<ToClient>,
+    inbox: Receiver<AgentInbox>,
 ) {
     let mut joined = false;
     loop {
-        crossbeam::channel::select! {
-            recv(agent_rx) -> msg => match msg {
-                Ok(ToAgent::Join) => {
-                    // Scan: strongest signal = highest achievable rate
-                    // (monotone table); ties break toward the lowest
-                    // extender index, matching the offline RSSI baseline.
-                    let mut attached = 0usize;
-                    let mut best_rate = f64::NEG_INFINITY;
-                    for (j, r) in rates.iter().enumerate() {
-                        if let Some(m) = r {
-                            if m.value() > best_rate {
-                                best_rate = m.value();
-                                attached = j;
-                            }
+        let msg = match inbox.recv() {
+            Ok(msg) => msg,
+            Err(_) => return,
+        };
+        match msg {
+            AgentInbox::Harness(ToAgent::Join) => {
+                // Scan: strongest signal = highest achievable rate
+                // (monotone table); ties break toward the lowest
+                // extender index, matching the offline RSSI baseline.
+                let mut attached = 0usize;
+                let mut best_rate = f64::NEG_INFINITY;
+                for (j, r) in rates.iter().enumerate() {
+                    if let Some(m) = r {
+                        if m.value() > best_rate {
+                            best_rate = m.value();
+                            attached = j;
                         }
                     }
-                    physical.lock()[id] = Some(attached);
-                    joined = true;
+                }
+                physical.lock().expect("physical state lock")[id] = Some(attached);
+                joined = true;
+                if to_cc
+                    .send(ToController::Report {
+                        client: id,
+                        rates: rates.clone(),
+                        attached,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            AgentInbox::Harness(ToAgent::Leave) => {
+                if joined {
+                    physical.lock().expect("physical state lock")[id] = None;
+                    joined = false;
+                    if to_cc.send(ToController::Departed { client: id }).is_err() {
+                        return;
+                    }
+                }
+            }
+            AgentInbox::Harness(ToAgent::Shutdown) => return,
+            AgentInbox::Cc(ToClient::Directive { extender }) => {
+                // A directive can race a departure at shutdown; only a
+                // joined client applies it.
+                if joined {
+                    physical.lock().expect("physical state lock")[id] = Some(extender);
                     if to_cc
-                        .send(ToController::Report {
+                        .send(ToController::Ack {
                             client: id,
-                            rates: rates.clone(),
-                            attached,
+                            extender,
                         })
                         .is_err()
                     {
                         return;
                     }
                 }
-                Ok(ToAgent::Leave) => {
-                    if joined {
-                        physical.lock()[id] = None;
-                        joined = false;
-                        if to_cc.send(ToController::Departed { client: id }).is_err() {
-                            return;
-                        }
-                    }
-                }
-                Ok(ToAgent::Shutdown) | Err(_) => return,
-            },
-            recv(client_rx) -> msg => match msg {
-                Ok(ToClient::Directive { extender }) => {
-                    // A directive can race a departure at shutdown; only a
-                    // joined client applies it.
-                    if joined {
-                        physical.lock()[id] = Some(extender);
-                        if to_cc
-                            .send(ToController::Ack {
-                                client: id,
-                                extender,
-                            })
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                }
-                Ok(ToClient::Shutdown) | Err(_) => return,
-            },
+            }
+            AgentInbox::Cc(ToClient::Shutdown) => return,
         }
     }
 }

@@ -24,17 +24,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// Implements the shared boilerplate for a scalar quantity newtype.
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -168,6 +167,19 @@ macro_rules! quantity {
                 q.0
             }
         }
+
+        impl ToJson for $name {
+            /// Serializes transparently as the bare number.
+            fn to_json(&self) -> Json {
+                Json::Num(self.0)
+            }
+        }
+
+        impl FromJson for $name {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                f64::from_json(value).map(Self)
+            }
+        }
     };
 }
 
@@ -221,7 +233,7 @@ impl Mbps {
 }
 
 /// A point on the 2-D floor plan (coordinates in metres).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// X coordinate in metres.
     pub x: f64,
@@ -253,6 +265,21 @@ impl Point {
 impl fmt::Display for Point {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({:.2}, {:.2}) m", self.x, self.y)
+    }
+}
+
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        Json::obj([("x", Json::Num(self.x)), ("y", Json::Num(self.y))])
+    }
+}
+
+impl FromJson for Point {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            x: f64::from_json(value.field("x")?)?,
+            y: f64::from_json(value.field("y")?)?,
+        })
     }
 }
 
@@ -330,11 +357,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent() {
-        let json = serde_json::to_string(&Mbps::new(42.0)).unwrap();
+    fn json_is_transparent() {
+        let json = Mbps::new(42.0).to_json().to_compact();
         assert_eq!(json, "42.0");
-        let back: Mbps = serde_json::from_str(&json).unwrap();
+        let back = Mbps::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, Mbps::new(42.0));
+        let p = Point::new(1.5, -2.0);
+        let back = Point::from_json(&Json::parse(&p.to_json().to_compact()).unwrap()).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

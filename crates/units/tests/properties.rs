@@ -1,89 +1,184 @@
-//! Property-based tests for the physical-quantity newtypes.
+//! Property-based tests for the physical-quantity newtypes, on the
+//! in-tree `wolt_support::check` harness.
 
-use proptest::prelude::*;
+use wolt_support::check::Runner;
+use wolt_support::json::{FromJson, Json, ToJson};
+use wolt_support::rng::Rng;
 use wolt_units::{Db, Dbm, Mbps, Meters, Point};
 
-proptest! {
-    /// Addition and subtraction are inverses.
-    #[test]
-    fn add_sub_inverse(a in -1e6f64..1e6, b in -1e6f64..1e6) {
-        let x = Mbps::new(a);
-        let y = Mbps::new(b);
-        let round = (x + y) - y;
-        prop_assert!((round.value() - a).abs() < 1e-6);
-    }
+/// Addition and subtraction are inverses.
+#[test]
+fn add_sub_inverse() {
+    Runner::new("add_sub_inverse").run(
+        |rng| (rng.gen_range(-1e6..1e6), rng.gen_range(-1e6..1e6)),
+        |&(a, b)| {
+            let round = (Mbps::new(a) + Mbps::new(b)) - Mbps::new(b);
+            if (round.value() - a).abs() < 1e-6 {
+                Ok(())
+            } else {
+                Err(format!("({a} + {b}) - {b} drifted to {}", round.value()))
+            }
+        },
+    );
+}
 
-    /// Scalar multiplication distributes over addition.
-    #[test]
-    fn scalar_mul_distributes(a in -1e3f64..1e3, b in -1e3f64..1e3, k in -1e3f64..1e3) {
-        let lhs = (Mbps::new(a) + Mbps::new(b)) * k;
-        let rhs = Mbps::new(a) * k + Mbps::new(b) * k;
-        prop_assert!((lhs.value() - rhs.value()).abs() < 1e-6);
-    }
+/// Scalar multiplication distributes over addition.
+#[test]
+fn scalar_mul_distributes() {
+    Runner::new("scalar_mul_distributes").run(
+        |rng| {
+            (
+                rng.gen_range(-1e3..1e3),
+                rng.gen_range(-1e3..1e3),
+                rng.gen_range(-1e3..1e3),
+            )
+        },
+        |&(a, b, k)| {
+            let lhs = (Mbps::new(a) + Mbps::new(b)) * k;
+            let rhs = Mbps::new(a) * k + Mbps::new(b) * k;
+            if (lhs.value() - rhs.value()).abs() < 1e-6 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "distribution failed: {} vs {}",
+                    lhs.value(),
+                    rhs.value()
+                ))
+            }
+        },
+    );
+}
 
-    /// Ratio of like quantities is dimensionless and consistent.
-    #[test]
-    fn ratio_consistent(a in 1.0f64..1e6, k in 0.1f64..100.0) {
-        let q = Mbps::new(a);
-        prop_assert!(((q * k) / q - k).abs() < 1e-9);
-    }
+/// Ratio of like quantities is dimensionless and consistent.
+#[test]
+fn ratio_consistent() {
+    Runner::new("ratio_consistent").run(
+        |rng| (rng.gen_range(1.0..1e6), rng.gen_range(0.1..100.0)),
+        |&(a, k)| {
+            let q = Mbps::new(a);
+            if ((q * k) / q - k).abs() < 1e-9 {
+                Ok(())
+            } else {
+                Err(format!("(q*{k})/q != {k} for q = {a}"))
+            }
+        },
+    );
+}
 
-    /// min/max/clamp agree with raw float semantics.
-    #[test]
-    fn ordering_ops(a in -1e3f64..1e3, b in -1e3f64..1e3) {
-        let (x, y) = (Mbps::new(a), Mbps::new(b));
-        prop_assert_eq!(x.min(y).value(), a.min(b));
-        prop_assert_eq!(x.max(y).value(), a.max(b));
-        let (lo, hi) = (a.min(b), a.max(b));
-        let mid = Mbps::new((a + b) / 2.0);
-        let clamped = mid.clamp(Mbps::new(lo), Mbps::new(hi));
-        prop_assert!(clamped.value() >= lo - 1e-12 && clamped.value() <= hi + 1e-12);
-    }
+/// min/max/clamp agree with raw float semantics.
+#[test]
+fn ordering_ops() {
+    Runner::new("ordering_ops").run(
+        |rng| (rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3)),
+        |&(a, b)| {
+            let (x, y) = (Mbps::new(a), Mbps::new(b));
+            if x.min(y).value() != a.min(b) || x.max(y).value() != a.max(b) {
+                return Err(format!("min/max disagree with f64 for {a}, {b}"));
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            let clamped = Mbps::new((a + b) / 2.0).clamp(Mbps::new(lo), Mbps::new(hi));
+            if clamped.value() >= lo - 1e-12 && clamped.value() <= hi + 1e-12 {
+                Ok(())
+            } else {
+                Err(format!("clamp escaped [{lo}, {hi}]: {}", clamped.value()))
+            }
+        },
+    );
+}
 
-    /// Sum over an iterator equals the fold.
-    #[test]
-    fn sum_matches_fold(values in proptest::collection::vec(-1e3f64..1e3, 0..20)) {
-        let total: Mbps = values.iter().map(|&v| Mbps::new(v)).sum();
-        let folded: f64 = values.iter().sum();
-        prop_assert!((total.value() - folded).abs() < 1e-6);
-    }
+/// Sum over an iterator equals the fold.
+#[test]
+fn sum_matches_fold() {
+    Runner::new("sum_matches_fold").run(
+        |rng| {
+            let n = rng.gen_range(0..20usize);
+            (0..n)
+                .map(|_| rng.gen_range(-1e3..1e3))
+                .collect::<Vec<f64>>()
+        },
+        |values| {
+            let total: Mbps = values.iter().map(|&v| Mbps::new(v)).sum();
+            let folded: f64 = values.iter().sum();
+            if (total.value() - folded).abs() < 1e-6 {
+                Ok(())
+            } else {
+                Err(format!("sum {} != fold {folded}", total.value()))
+            }
+        },
+    );
+}
 
-    /// Path-loss arithmetic: subtracting a loss then adding it back via Db
-    /// round-trips.
-    #[test]
-    fn loss_round_trip(tx in -30.0f64..30.0, loss in 0.0f64..120.0) {
-        let rx = Dbm::new(tx).minus_loss(Db::new(loss));
-        prop_assert!((rx.value() - (tx - loss)).abs() < 1e-12);
-    }
+/// Path-loss arithmetic: subtracting a loss round-trips.
+#[test]
+fn loss_round_trip() {
+    Runner::new("loss_round_trip").run(
+        |rng| (rng.gen_range(-30.0..30.0), rng.gen_range(0.0..120.0)),
+        |&(tx, loss)| {
+            let rx = Dbm::new(tx).minus_loss(Db::new(loss));
+            if (rx.value() - (tx - loss)).abs() < 1e-12 {
+                Ok(())
+            } else {
+                Err(format!("{tx} dBm - {loss} dB gave {}", rx.value()))
+            }
+        },
+    );
+}
 
-    /// Distance is a metric on sampled points: symmetric, zero iff equal,
-    /// triangle inequality.
-    #[test]
-    fn distance_is_a_metric(
-        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
-        bx in -100.0f64..100.0, by in -100.0f64..100.0,
-        cx in -100.0f64..100.0, cy in -100.0f64..100.0,
-    ) {
-        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
-        prop_assert!((a.distance_to(b).value() - b.distance_to(a).value()).abs() < 1e-9);
-        prop_assert_eq!(a.distance_to(a), Meters::ZERO);
-        prop_assert!(
-            a.distance_to(c).value() <= a.distance_to(b).value() + b.distance_to(c).value() + 1e-9
-        );
-    }
+/// Distance is a metric on sampled points: symmetric, zero iff equal,
+/// triangle inequality.
+#[test]
+fn distance_is_a_metric() {
+    Runner::new("distance_is_a_metric").run(
+        |rng| {
+            let mut point =
+                || Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0));
+            (point(), point(), point())
+        },
+        |&(a, b, c)| {
+            if (a.distance_to(b).value() - b.distance_to(a).value()).abs() >= 1e-9 {
+                return Err("asymmetric distance".into());
+            }
+            if a.distance_to(a) != Meters::ZERO {
+                return Err("nonzero self-distance".into());
+            }
+            if a.distance_to(c).value() > a.distance_to(b).value() + b.distance_to(c).value() + 1e-9
+            {
+                return Err("triangle inequality violated".into());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Usability is exactly "strictly positive and finite".
-    #[test]
-    fn usability_definition(v in -1e6f64..1e6) {
-        prop_assert_eq!(Mbps::new(v).is_usable(), v > 0.0);
-    }
+/// Usability is exactly "strictly positive and finite".
+#[test]
+fn usability_definition() {
+    Runner::new("usability_definition").run(
+        |rng| rng.gen_range(-1e6..1e6),
+        |&v| {
+            if Mbps::new(v).is_usable() == (v > 0.0) {
+                Ok(())
+            } else {
+                Err(format!("is_usable({v}) mismatch"))
+            }
+        },
+    );
+}
 
-    /// Serde transparently round-trips values.
-    #[test]
-    fn serde_round_trip(v in -1e6f64..1e6) {
-        let q = Mbps::new(v);
-        let json = serde_json::to_string(&q).expect("serializes");
-        let back: Mbps = serde_json::from_str(&json).expect("parses");
-        prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12);
-    }
+/// JSON transparently round-trips values.
+#[test]
+fn json_round_trip() {
+    Runner::new("json_round_trip").run(
+        |rng| rng.gen_range(-1e6..1e6),
+        |&v| {
+            let q = Mbps::new(v);
+            let text = q.to_json().to_compact();
+            let back = Mbps::from_json(&Json::parse(&text).expect("parses")).expect("converts");
+            if (back.value() - v).abs() <= v.abs() * 1e-12 {
+                Ok(())
+            } else {
+                Err(format!("{v} round-tripped to {}", back.value()))
+            }
+        },
+    );
 }

@@ -14,7 +14,6 @@
 //! greedy baseline and Phase-II local search can evaluate "what if user *i*
 //! joined/left extender *j*" in O(1).
 
-use serde::{Deserialize, Serialize};
 use wolt_units::Mbps;
 
 use crate::WifiError;
@@ -84,7 +83,7 @@ pub fn per_user_throughput(rates: &[Mbps]) -> Result<Mbps, WifiError> {
 /// cell.join(Mbps::new(40.0));
 /// assert_eq!(cell.aggregate(), with_both);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CellLoad {
     users: usize,
     harmonic_weight: f64,

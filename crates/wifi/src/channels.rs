@@ -8,7 +8,6 @@
 //! audit reports any residual conflicts (which occur only when the
 //! deployment is denser than the channel budget allows).
 
-use serde::{Deserialize, Serialize};
 use wolt_units::{Meters, Point};
 
 use crate::WifiError;
@@ -20,7 +19,7 @@ pub const CHANNELS_2_4GHZ: &[u16] = &[1, 6, 11];
 pub const CHANNELS_5GHZ: &[u16] = &[36, 40, 44, 48, 149, 153, 157, 161];
 
 /// A channel plan: one channel per extender plus a conflict audit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelPlan {
     /// Channel assigned to each extender (parallel to the input positions).
     pub assignment: Vec<u16>,

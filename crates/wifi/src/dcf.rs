@@ -25,9 +25,8 @@
 //! # }
 //! ```
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::{Rng, SeedableRng};
 use wolt_units::{Mbps, Seconds};
 
 use crate::WifiError;
@@ -36,7 +35,7 @@ use crate::WifiError;
 ///
 /// Defaults correspond to 802.11n (OFDM, 2.4 GHz): 9 µs slots, 16 µs SIFS,
 /// DIFS = SIFS + 2·slot, CWmin 15, CWmax 1023, 1500-byte payloads.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DcfConfig {
     /// Idle slot duration in µs.
     pub slot_us: f64,
@@ -123,7 +122,7 @@ impl DcfConfig {
 }
 
 /// Measured outcome of a DCF simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DcfOutcome {
     /// Long-term throughput of each station.
     pub per_station: Vec<Mbps>,
@@ -196,7 +195,11 @@ pub fn simulate_dcf(
         if transmitters.len() == 1 {
             let station = transmitters[0];
             let payload_time = tx_time(station);
-            let handshake = if config.rts_cts { config.rts_cts_us } else { 0.0 };
+            let handshake = if config.rts_cts {
+                config.rts_cts_us
+            } else {
+                0.0
+            };
             let busy = config.difs_us
                 + handshake
                 + config.phy_header_us
@@ -221,11 +224,8 @@ pub fn simulate_dcf(
                     .map(|&i| tx_time(i))
                     .fold(0.0f64, f64::max)
             };
-            now_us += config.difs_us
-                + config.phy_header_us
-                + wasted
-                + config.sifs_us
-                + config.ack_us;
+            now_us +=
+                config.difs_us + config.phy_header_us + wasted + config.sifs_us + config.ack_us;
             collisions += 1;
             for &station in &transmitters {
                 cw[station] = (cw[station] * 2 + 1).min(config.cw_max);
@@ -328,7 +328,10 @@ mod tests {
         // below the prediction; we require the right magnitude (within
         // 35%) and exact throughput-fairness across stations.
         let rates = [54.0, 24.0, 6.0];
-        let singles: Vec<f64> = rates.iter().map(|&r| run(&[r]).per_station[0].value()).collect();
+        let singles: Vec<f64> = rates
+            .iter()
+            .map(|&r| run(&[r]).per_station[0].value())
+            .collect();
         let predicted_per_user = 1.0 / singles.iter().map(|r| 1.0 / r).sum::<f64>();
         let out = run(&rates);
         for t in &out.per_station {
@@ -385,7 +388,10 @@ mod tests {
     #[test]
     fn rts_cts_costs_throughput_when_alone() {
         let base = DcfConfig::default();
-        let rts = DcfConfig { rts_cts: true, ..base };
+        let rts = DcfConfig {
+            rts_cts: true,
+            ..base
+        };
         let alone_plain = simulate_dcf(&[Mbps::new(54.0)], &base, 1).unwrap();
         let alone_rts = simulate_dcf(&[Mbps::new(54.0)], &rts, 1).unwrap();
         assert!(
@@ -402,7 +408,10 @@ mod tests {
         // expensive, so the handshake wins.
         let rates = vec![Mbps::new(2.0); 10];
         let base = DcfConfig::default();
-        let rts = DcfConfig { rts_cts: true, ..base };
+        let rts = DcfConfig {
+            rts_cts: true,
+            ..base
+        };
         let plain = simulate_dcf(&rates, &base, 2).unwrap();
         let with_rts = simulate_dcf(&rates, &rts, 2).unwrap();
         assert!(
@@ -415,7 +424,10 @@ mod tests {
 
     #[test]
     fn rts_cts_duration_validated() {
-        let cfg = DcfConfig { rts_cts_us: 0.0, ..DcfConfig::default() };
+        let cfg = DcfConfig {
+            rts_cts_us: 0.0,
+            ..DcfConfig::default()
+        };
         assert!(simulate_dcf(&[Mbps::new(10.0)], &cfg, 0).is_err());
     }
 

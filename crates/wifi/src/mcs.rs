@@ -10,13 +10,12 @@
 //! the `r_ij` used throughout the paper's model (its Fig. 3a labels links
 //! with achievable rates like 15 or 40 Mbit/s, not raw PHY rates).
 
-use serde::{Deserialize, Serialize};
 use wolt_units::{Dbm, Mbps};
 
 use crate::WifiError;
 
 /// One MCS row: index, PHY rate, and the minimum RSSI needed to decode it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McsEntry {
     /// MCS index (0 = most robust, highest index = fastest).
     pub index: u8,
@@ -40,7 +39,7 @@ pub struct McsEntry {
 /// assert!(strong > weak);
 /// assert!(table.achievable_rate(Dbm::new(-95.0)).is_none()); // out of range
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateTable {
     entries: Vec<McsEntry>,
     mac_efficiency: f64,
@@ -102,7 +101,6 @@ impl RateTable {
         )
         .expect("built-in table is well-formed")
     }
-
 
     /// 802.11b (DSSS/CCK) rates — the Cisco Aironet 1200 class the paper's
     /// simulation model cites for its distance → channel-quality mapping.
@@ -166,7 +164,10 @@ impl RateTable {
     /// is unusable, any sensitivity is non-finite, a faster MCS has a
     /// *lower* sensitivity requirement than a slower one (non-monotone
     /// table), or `mac_efficiency` is outside `(0, 1]`.
-    pub fn from_entries(mut entries: Vec<McsEntry>, mac_efficiency: f64) -> Result<Self, WifiError> {
+    pub fn from_entries(
+        mut entries: Vec<McsEntry>,
+        mac_efficiency: f64,
+    ) -> Result<Self, WifiError> {
         if entries.is_empty() {
             return Err(WifiError::InvalidConfig {
                 context: "rate table needs at least one entry",

@@ -13,8 +13,7 @@
 //! walls) and `X_σ` is optional zero-mean Gaussian shadowing. Received
 //! signal strength is then `RSSI = P_tx − PL(d)`.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::Rng;
 use wolt_units::{Db, Dbm, Meters};
 
 use crate::WifiError;
@@ -32,7 +31,7 @@ use crate::WifiError;
 /// let far = model.rssi(Dbm::new(20.0), Meters::new(40.0));
 /// assert!(near > far);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogDistanceModel {
     /// Path loss at the reference distance, in dB.
     pub reference_loss: Db,
@@ -91,8 +90,7 @@ impl LogDistanceModel {
                 context: "path-loss exponent must be finite and positive",
             });
         }
-        if !(self.reference_distance.value().is_finite() && self.reference_distance.value() > 0.0)
-        {
+        if !(self.reference_distance.value().is_finite() && self.reference_distance.value() > 0.0) {
             return Err(WifiError::InvalidConfig {
                 context: "reference distance must be finite and positive",
             });
@@ -154,8 +152,8 @@ impl LogDistanceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use wolt_support::rng::ChaCha8Rng;
+    use wolt_support::rng::SeedableRng;
 
     #[test]
     fn loss_increases_with_distance() {

@@ -1,7 +1,6 @@
 //! End-to-end distance → achievable-rate radio model.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wolt_support::rng::Rng;
 use wolt_units::{Dbm, Mbps, Meters};
 
 use crate::{LogDistanceModel, RateTable, WifiError};
@@ -24,7 +23,7 @@ use crate::{LogDistanceModel, RateTable, WifiError};
 ///     > radio.rate_at_distance(Meters::new(40.0)).unwrap());
 /// assert_eq!(radio.rate_at_distance(Meters::new(500.0)), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WifiRadio {
     /// Transmit power of the extender's WiFi interface.
     pub tx_power: Dbm,
@@ -99,8 +98,7 @@ impl WifiRadio {
     /// Achievable rate (`r_ij`) at distance `d` with median propagation, or
     /// `None` when the user is out of association range.
     pub fn rate_at_distance(&self, d: Meters) -> Option<Mbps> {
-        self.rate_table
-            .achievable_rate(self.rssi_at_distance(d))
+        self.rate_table.achievable_rate(self.rssi_at_distance(d))
     }
 
     /// Achievable rate with a shadowing sample drawn from `rng`.
@@ -200,10 +198,10 @@ mod tests {
 
     #[test]
     fn shadowed_rate_varies_but_stays_in_table() {
-        use rand::SeedableRng;
+        use wolt_support::rng::SeedableRng;
         let mut radio = WifiRadio::office_default();
         radio.pathloss = radio.pathloss.with_shadowing(8.0);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut rng = wolt_support::rng::ChaCha8Rng::seed_from_u64(3);
         let rates: Vec<Option<Mbps>> = (0..200)
             .map(|_| radio.rate_at_distance_shadowed(Meters::new(30.0), &mut rng))
             .collect();

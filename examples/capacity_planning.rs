@@ -10,12 +10,12 @@
 //! cargo run -p wolt-examples --bin capacity_planning
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_core::{evaluate, AssociationPolicy, Wolt};
 use wolt_examples::{banner, mbps};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("capacity planning: extender-count sweep (36 users, 100 m x 100 m)");
@@ -41,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if mean > best.1 {
             best = (extenders, mean);
         }
-        println!(
-            "{extenders:>9} | {} | {}",
-            mbps(mean),
-            mbps(mean / 36.0)
-        );
+        println!("{extenders:>9} | {} | {}", mbps(mean), mbps(mean / 36.0));
     }
 
     banner("takeaway");

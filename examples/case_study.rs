@@ -16,21 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("extender 1: PLC 60 Mbit/s   extender 2: PLC 20 Mbit/s");
     println!("user 1 WiFi rates: 15 / 10  user 2 WiFi rates: 40 / 20");
 
-    let network = Network::from_raw(
-        vec![60.0, 20.0],
-        vec![vec![15.0, 10.0], vec![40.0, 20.0]],
-    )?;
+    let network = Network::from_raw(vec![60.0, 20.0], vec![vec![15.0, 10.0], vec![40.0, 20.0]])?;
 
     let wolt = Wolt::new();
     let greedy = Greedy::new();
     let policies: [(&dyn AssociationPolicy, &str); 4] = [
-        (&Rssi, "both users chase the strongest signal and pile onto extender 1"),
+        (
+            &Rssi,
+            "both users chase the strongest signal and pile onto extender 1",
+        ),
         (
             &greedy,
             "arrivals optimize one at a time; leftover PLC airtime rescues user 2",
         ),
         (&Optimal, "brute force over all 4 associations"),
-        (&wolt, "phase I matches users to extenders, phase II fills in the rest"),
+        (
+            &wolt,
+            "phase I matches users to extenders, phase II fills in the rest",
+        ),
     ];
 
     for (policy, story) in policies {

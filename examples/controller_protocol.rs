@@ -8,11 +8,11 @@
 //! cargo run -p wolt-examples --bin controller_protocol
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_examples::{banner, mbps};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 use wolt_testbed::{run_rig, ControllerPolicy, RigConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -8,13 +8,13 @@
 //! cargo run -p wolt-examples --bin enterprise_floor [seed]
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_core::baselines::{Greedy, Random, Rssi, SelfishGreedy};
 use wolt_core::{evaluate, AssociationPolicy, Wolt};
 use wolt_examples::{banner, mbps};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = std::env::args()

@@ -8,8 +8,6 @@
 //! cargo run -p wolt-examples --bin fault_tolerance
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_core::baselines::Rssi;
 use wolt_core::{evaluate, AssociationPolicy, OnlineWolt, Wolt};
 use wolt_examples::{banner, mbps};
@@ -18,6 +16,8 @@ use wolt_sim::experiment::{DynamicSimulation, OnlinePolicy};
 use wolt_sim::perturb::{MobilityConfig, OutageConfig};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("part 1: WOLT vs RSSI while extenders fail and users move");

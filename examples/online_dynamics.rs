@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = DynamicSimulation::new(ScenarioConfig::enterprise(36), DynamicsConfig::default());
     let epochs = 4;
 
-    for policy in [OnlinePolicy::Wolt, OnlinePolicy::GreedyOnline, OnlinePolicy::Rssi] {
+    for policy in [
+        OnlinePolicy::Wolt,
+        OnlinePolicy::GreedyOnline,
+        OnlinePolicy::Rssi,
+    ] {
         banner(policy.name());
         println!("epoch | users | arrivals | departures | aggregate Mbit/s | reassignments");
         for record in sim.run(policy, epochs, 7)? {

@@ -12,7 +12,11 @@ for bin in "${bins[@]}"; do
     cargo run --quiet --release -p wolt-bench --bin "$bin" | tee "$out/$bin.csv"
 done
 
-echo ">>> criterion benches (results under target/criterion/)"
-cargo bench --workspace
+echo ">>> micro-benchmarks (plain harness binaries; CSV on stdout)"
+benches=(bench_hungarian bench_association bench_flowsim bench_mac_sims bench_phase_solvers bench_sharing_models)
+for bench in "${benches[@]}"; do
+    echo ">>> $bench"
+    cargo run --quiet --release -p wolt-bench --bin "$bench" | tee "$out/$bench.csv"
+done
 
 echo "all experiment outputs written to $out/"

@@ -1,10 +1,10 @@
 //! Shared fixtures for the cross-crate integration tests.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_core::Network;
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 
 /// The paper's Fig. 3 case-study network: 2 extenders (PLC 60/20), 2 users
 /// (rates [[15, 10], [40, 20]]).
@@ -23,8 +23,7 @@ pub fn enterprise_scenario(users: usize, seed: u64) -> Scenario {
 /// A seeded lab scenario (3 extenders) with `users` users.
 pub fn lab_scenario(users: usize, seed: u64) -> Scenario {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Scenario::generate(&ScenarioConfig::lab(users), &mut rng)
-        .expect("lab scenario generates")
+    Scenario::generate(&ScenarioConfig::lab(users), &mut rng).expect("lab scenario generates")
 }
 
 /// A seeded [`Network`] from the enterprise scenario.

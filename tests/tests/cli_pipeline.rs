@@ -16,8 +16,8 @@ fn generate_write_read_solve_round_trip() {
     let spec = generate(PresetChoice::Lab, 7, 42).expect("generate");
     let path = temp_path("roundtrip.json");
     std::fs::write(&path, spec.to_json()).expect("write");
-    let loaded = NetworkSpec::from_json(&std::fs::read_to_string(&path).expect("read"))
-        .expect("parse");
+    let loaded =
+        NetworkSpec::from_json(&std::fs::read_to_string(&path).expect("read")).expect("parse");
     std::fs::remove_file(&path).ok();
 
     // Same spec → same solve result.

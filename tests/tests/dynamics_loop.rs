@@ -33,7 +33,9 @@ fn wolt_stays_ahead_of_greedy_across_epochs() {
     let mut greedy_sum = vec![0.0; epochs];
     for seed in 0..5 {
         let w = sim.run(OnlinePolicy::Wolt, epochs, seed).expect("runs");
-        let g = sim.run(OnlinePolicy::GreedyOnline, epochs, seed).expect("runs");
+        let g = sim
+            .run(OnlinePolicy::GreedyOnline, epochs, seed)
+            .expect("runs");
         for e in 0..epochs {
             wolt_sum[e] += w[e].aggregate;
             greedy_sum[e] += g[e].aggregate;
@@ -105,7 +107,9 @@ fn departures_never_exceed_population() {
 
 #[test]
 fn epoch_records_are_internally_consistent() {
-    let records = simulation().run(OnlinePolicy::GreedyOnline, 4, 11).expect("runs");
+    let records = simulation()
+        .run(OnlinePolicy::GreedyOnline, 4, 11)
+        .expect("runs");
     let mut expected_users = records[0].users as i64;
     for r in &records[1..] {
         expected_users += r.arrivals as i64 - r.departures as i64;

@@ -50,11 +50,14 @@ fn no_extender_exceeds_its_plc_budget() {
         let assoc = policy.associate(&net).expect("policy runs");
         let eval = evaluate(&net, &assoc).expect("valid");
         let share_sum: f64 = eval.plc_shares.iter().sum();
-        assert!(share_sum <= 1.0 + 1e-9, "{}: airtime oversubscribed", policy.name());
+        assert!(
+            share_sum <= 1.0 + 1e-9,
+            "{}: airtime oversubscribed",
+            policy.name()
+        );
         for j in 0..net.extenders() {
             assert!(
-                eval.per_extender[j].value()
-                    <= net.capacity(j).value() * eval.plc_shares[j] + 1e-6,
+                eval.per_extender[j].value() <= net.capacity(j).value() * eval.plc_shares[j] + 1e-6,
                 "{}: extender {j} over its airtime grant",
                 policy.name()
             );

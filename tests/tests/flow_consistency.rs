@@ -11,8 +11,8 @@ fn check(scenario: &wolt_sim::Scenario, policy: &dyn AssociationPolicy, tol: f64
     let assoc = policy.associate(&network).expect("runs");
     let analytic = evaluate(&network, &assoc).expect("valid");
     let flows = simulate_flows(&network, &assoc, &FlowSimConfig::default()).expect("flows");
-    let gap = (flows.aggregate.value() - analytic.aggregate.value()).abs()
-        / analytic.aggregate.value();
+    let gap =
+        (flows.aggregate.value() - analytic.aggregate.value()).abs() / analytic.aggregate.value();
     assert!(
         gap < tol,
         "{}: flow {} vs analytic {} (gap {gap:.4})",

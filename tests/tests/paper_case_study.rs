@@ -11,7 +11,10 @@ use wolt_tests::fig3_network;
 fn aggregate_of(policy: &dyn AssociationPolicy) -> f64 {
     let net = fig3_network();
     let assoc = policy.associate(&net).expect("policy runs");
-    evaluate(&net, &assoc).expect("valid association").aggregate.value()
+    evaluate(&net, &assoc)
+        .expect("valid association")
+        .aggregate
+        .value()
 }
 
 #[test]

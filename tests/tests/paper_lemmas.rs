@@ -11,10 +11,10 @@
 //! says that optimum equals the maximum-weight assignment under utilities
 //! `u_ij = min(c_j/|A|, r_ij)`.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use wolt_core::phase1::run_phase1;
 use wolt_core::Network;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::{Rng, SeedableRng};
 
 /// Objective of the modified Problem 1 for a partial assignment
 /// (`targets[i] = None` ⇒ user i unassigned). Returns `None` when some
@@ -65,8 +65,8 @@ fn brute_force_modified(net: &Network) -> (f64, f64) {
             .collect();
         if let Some(obj) = modified_objective(net, &targets) {
             best_any = best_any.max(obj);
-            let one_each = (0..exts)
-                .all(|j| targets.iter().filter(|t| **t == Some(j)).count() == 1);
+            let one_each =
+                (0..exts).all(|j| targets.iter().filter(|t| **t == Some(j)).count() == 1);
             if one_each {
                 best_one_each = best_one_each.max(obj);
             }
@@ -134,15 +134,15 @@ fn adding_a_second_user_to_a_cell_never_helps_the_modified_objective() {
     for _ in 0..20 {
         let net = random_network(&mut rng);
         let phase1 = run_phase1(&net).expect("phase 1 runs");
-        let base: Vec<Option<usize>> =
-            (0..net.users()).map(|i| phase1.association.target(i)).collect();
+        let base: Vec<Option<usize>> = (0..net.users())
+            .map(|i| phase1.association.target(i))
+            .collect();
         let base_obj = modified_objective(&net, &base).expect("matching covers all extenders");
         for i in phase1.association.unassigned_users() {
             for j in 0..net.extenders() {
                 let mut candidate = base.clone();
                 candidate[i] = Some(j);
-                let obj = modified_objective(&net, &candidate)
-                    .expect("still covers all extenders");
+                let obj = modified_objective(&net, &candidate).expect("still covers all extenders");
                 assert!(
                     obj <= base_obj + 1e-9,
                     "adding user {i} to extender {j} raised the modified \

@@ -89,7 +89,11 @@ fn combined_perturbations_stay_consistent() {
             probability: 0.2,
             max_concurrent: 3,
         });
-    for policy in [OnlinePolicy::Wolt, OnlinePolicy::GreedyOnline, OnlinePolicy::Rssi] {
+    for policy in [
+        OnlinePolicy::Wolt,
+        OnlinePolicy::GreedyOnline,
+        OnlinePolicy::Rssi,
+    ] {
         let records = sim.run(policy, 5, 6).expect("runs");
         let mut expected_users = records[0].users as i64;
         for r in &records[1..] {
@@ -120,8 +124,7 @@ fn capacity_drift_runs_and_stays_reasonable() {
     // Mild drift should leave the mean aggregate within ~15% of the
     // drift-free baseline.
     let clean = base().run(OnlinePolicy::Wolt, 5, 7).expect("runs");
-    let drift_mean: f64 =
-        records.iter().map(|r| r.aggregate).sum::<f64>() / records.len() as f64;
+    let drift_mean: f64 = records.iter().map(|r| r.aggregate).sum::<f64>() / records.len() as f64;
     let clean_mean: f64 = clean.iter().map(|r| r.aggregate).sum::<f64>() / clean.len() as f64;
     assert!(
         (drift_mean - clean_mean).abs() / clean_mean < 0.15,
@@ -149,10 +152,8 @@ fn wolt_degrades_gracefully_under_outages() {
         })
         .run(OnlinePolicy::Wolt, 5, 10)
         .expect("runs");
-    let clean_mean: f64 =
-        clean.iter().map(|r| r.aggregate).sum::<f64>() / clean.len() as f64;
-    let faulty_mean: f64 =
-        faulty.iter().map(|r| r.aggregate).sum::<f64>() / faulty.len() as f64;
+    let clean_mean: f64 = clean.iter().map(|r| r.aggregate).sum::<f64>() / clean.len() as f64;
+    let faulty_mean: f64 = faulty.iter().map(|r| r.aggregate).sum::<f64>() / faulty.len() as f64;
     assert!(
         faulty_mean > 0.5 * clean_mean,
         "outages crushed the network: {faulty_mean} vs {clean_mean}"

@@ -1,53 +1,56 @@
 //! Cross-crate property-based tests: algorithm invariants on random
-//! networks.
+//! networks, on the in-tree `wolt_support::check` harness.
+//!
+//! The explicit `regression_*` tests at the bottom preserve the shrunk
+//! failure cases proptest saved in `properties.proptest-regressions`
+//! before the harness migration, with their exact network values.
 
-use proptest::prelude::*;
 use wolt_core::baselines::{Greedy, Optimal, Rssi};
 use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
+use wolt_support::check::Runner;
+use wolt_support::rng::{ChaCha8Rng, Rng};
 
 /// Random small network: 2-4 extenders, 2-7 users, rates 1-50 Mbit/s with
 /// some unreachable pairs, capacities 20-200 Mbit/s.
-fn small_network() -> impl Strategy<Value = Network> {
-    (2usize..=4, 2usize..=7)
-        .prop_flat_map(|(exts, users)| {
-            let caps = proptest::collection::vec(20.0f64..200.0, exts);
-            let rates = proptest::collection::vec(
-                proptest::collection::vec(
-                    prop_oneof![3 => 1.0f64..50.0, 1 => Just(0.0)],
-                    exts,
-                ),
-                users,
-            );
-            (caps, rates)
+fn small_network(rng: &mut ChaCha8Rng) -> Network {
+    let exts = rng.gen_range(2..=4usize);
+    let users = rng.gen_range(2..=7usize);
+    let caps: Vec<f64> = (0..exts).map(|_| rng.gen_range(20.0..200.0)).collect();
+    let mut rates: Vec<Vec<f64>> = (0..users)
+        .map(|_| {
+            (0..exts)
+                .map(|_| {
+                    // 3:1 odds of a usable rate vs an unreachable pair.
+                    if rng.gen_range(0..4u32) < 3 {
+                        rng.gen_range(1.0..50.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
         })
-        .prop_filter_map("every user must reach some extender", |(caps, mut rates)| {
-            for row in &mut rates {
-                if row.iter().all(|&r| r == 0.0) {
-                    row[0] = 10.0;
-                }
-            }
-            Network::from_raw(caps, rates).ok()
-        })
+        .collect();
+    // Every user must reach some extender.
+    for row in &mut rates {
+        if row.iter().all(|&r| r == 0.0) {
+            row[0] = 10.0;
+        }
+    }
+    Network::from_raw(caps, rates).expect("patched networks are valid")
 }
 
 /// Like [`small_network`], but every (user, extender) pair is reachable
 /// and there are at least as many users as extenders (the paper's
 /// enterprise setting; Phase I's `c_j/|A|` utility assumes all extenders
 /// end up active, which needs `|U| ≥ |A|`).
-fn fully_reachable_network() -> impl Strategy<Value = Network> {
-    (2usize..=4)
-        .prop_flat_map(|exts| (Just(exts), exts..=7))
-        .prop_flat_map(|(exts, users)| {
-            let caps = proptest::collection::vec(20.0f64..200.0, exts);
-            let rates = proptest::collection::vec(
-                proptest::collection::vec(1.0f64..50.0, exts),
-                users,
-            );
-            (caps, rates)
-        })
-        .prop_map(|(caps, rates)| {
-            Network::from_raw(caps, rates).expect("fully reachable networks are valid")
-        })
+fn fully_reachable_network(rng: &mut ChaCha8Rng) -> Network {
+    let exts = rng.gen_range(2..=4usize);
+    let users = rng.gen_range(exts..=7usize);
+    let caps: Vec<f64> = (0..exts).map(|_| rng.gen_range(20.0..200.0)).collect();
+    let rates: Vec<Vec<f64>> = (0..users)
+        .map(|_| (0..exts).map(|_| rng.gen_range(1.0..50.0)).collect())
+        .collect();
+    Network::from_raw(caps, rates).expect("fully reachable networks are valid")
 }
 
 /// Regression documenting a known limitation of Algorithm 1: Phase I
@@ -76,7 +79,10 @@ fn wolt_limitation_forced_coverage() {
         .aggregate
         .value();
     // WOLT sacrifices user 2's 47 Mbit/s link to cover extender 3.
-    assert!(wolt < 0.2 * optimal, "expected the documented gap: {wolt} vs {optimal}");
+    assert!(
+        wolt < 0.2 * optimal,
+        "expected the documented gap: {wolt} vs {optimal}"
+    );
 }
 
 /// Statistical near-optimality: across 40 seeded random instances WOLT's
@@ -84,13 +90,13 @@ fn wolt_limitation_forced_coverage() {
 /// least 80% of instances land within 70% of their optimum.
 #[test]
 fn wolt_is_near_optimal_on_average() {
-    use rand::{Rng, SeedableRng};
+    use wolt_support::rng::SeedableRng;
     let mut wolt_total = 0.0;
     let mut optimal_total = 0.0;
     let mut within_70 = 0usize;
     let trials = 40;
     for seed in 0..trials {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let exts = rng.gen_range(2..=4usize);
         let users = rng.gen_range(exts..=7usize);
         let caps: Vec<f64> = (0..exts).map(|_| rng.gen_range(20.0..200.0)).collect();
@@ -122,115 +128,280 @@ fn wolt_is_near_optimal_on_average() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// WOLT always returns a complete, valid association.
-    #[test]
-    fn wolt_always_complete_and_valid(net in small_network()) {
-        let assoc = Wolt::new().associate(&net).expect("wolt runs");
-        prop_assert!(assoc.is_complete());
-        prop_assert!(net.validate_association(&assoc).is_ok());
+/// WOLT returns a complete, valid association on one network.
+fn check_wolt_complete_and_valid(net: &Network) -> Result<(), String> {
+    let assoc = Wolt::new().associate(net).expect("wolt runs");
+    if !assoc.is_complete() {
+        return Err("wolt left a user unassigned".into());
     }
+    if let Err(e) = net.validate_association(&assoc) {
+        return Err(format!("wolt association invalid: {e}"));
+    }
+    Ok(())
+}
 
-    /// The brute-force optimum dominates every polynomial policy.
-    #[test]
-    fn optimal_dominates_all_policies(net in small_network()) {
-        let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
-            .expect("valid").aggregate.value();
-        let greedy = Greedy::new();
-        let wolt = Wolt::new();
-        for policy in [&wolt as &dyn AssociationPolicy, &greedy, &Rssi] {
-            let v = evaluate(&net, &policy.associate(&net).expect("runs"))
-                .expect("valid").aggregate.value();
-            prop_assert!(v <= optimal + 1e-6,
-                "{} = {v} beat optimal = {optimal}", policy.name());
+/// The brute-force optimum dominates every polynomial policy on one
+/// network.
+fn check_optimal_dominates(net: &Network) -> Result<(), String> {
+    let optimal = evaluate(net, &Optimal.associate(net).expect("runs"))
+        .expect("valid")
+        .aggregate
+        .value();
+    let greedy = Greedy::new();
+    let wolt = Wolt::new();
+    for policy in [&wolt as &dyn AssociationPolicy, &greedy, &Rssi] {
+        let v = evaluate(net, &policy.associate(net).expect("runs"))
+            .expect("valid")
+            .aggregate
+            .value();
+        if v > optimal + 1e-6 {
+            return Err(format!("{} = {v} beat optimal = {optimal}", policy.name()));
         }
     }
+    Ok(())
+}
 
-    /// WOLT is never *wildly* suboptimal on fully reachable instances
-    /// with |U| ≥ |A| (the paper's setting). WOLT is a heuristic with no
-    /// worst-case guarantee, so the per-case bar is deliberately loose;
-    /// the statistical bar lives in `wolt_is_near_optimal_on_average`.
-    #[test]
-    fn wolt_within_constant_factor_of_optimal(net in fully_reachable_network()) {
-        let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
-            .expect("valid").aggregate.value();
-        let wolt = evaluate(&net, &Wolt::new().associate(&net).expect("runs"))
-            .expect("valid").aggregate.value();
-        prop_assert!(wolt >= 0.35 * optimal, "wolt {wolt} vs optimal {optimal}");
+/// Redistribution never hurts a fixed association on one network.
+fn check_redistribution_monotone(net: &Network) -> Result<(), String> {
+    let assoc = Rssi.associate(net).expect("runs");
+    let with = evaluate(net, &assoc).expect("valid").aggregate.value();
+    let without = wolt_core::evaluate_without_redistribution(net, &assoc)
+        .expect("valid")
+        .aggregate
+        .value();
+    if with >= without - 1e-9 {
+        Ok(())
+    } else {
+        Err(format!("{with} < {without}"))
     }
+}
 
-    /// Evaluation invariants: conservation and per-segment caps hold on
-    /// arbitrary complete associations.
-    #[test]
-    fn evaluation_invariants(net in small_network(), picker in 0u64..10_000) {
-        // Derive a pseudo-random complete association from `picker`.
-        let mut targets = Vec::with_capacity(net.users());
-        let mut state = picker;
-        for i in 0..net.users() {
-            let reachable = net.reachable_extenders(i);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            targets.push(reachable[(state >> 33) as usize % reachable.len()]);
-        }
-        let assoc = Association::complete(targets);
-        let eval = evaluate(&net, &assoc).expect("valid association");
-
-        let user_sum: f64 = eval.per_user.iter().map(|t| t.value()).sum();
-        prop_assert!((user_sum - eval.aggregate.value()).abs() < 1e-6);
-        let share_sum: f64 = eval.plc_shares.iter().sum();
-        prop_assert!(share_sum <= 1.0 + 1e-9);
-        for j in 0..net.extenders() {
-            prop_assert!(eval.per_extender[j].value()
-                <= net.capacity(j).value() * eval.plc_shares[j] + 1e-6);
+/// Phase-I structure invariants on one network.
+fn check_phase1_structure(net: &Network) -> Result<(), String> {
+    let outcome = wolt_core::phase1::run_phase1(net).expect("phase 1 runs");
+    if outcome.selected_users.len() > net.extenders() {
+        return Err("phase 1 selected more users than extenders".into());
+    }
+    for j in 0..net.extenders() {
+        if outcome.association.users_of(j).len() > 1 {
+            return Err(format!("phase 1 put two users on extender {j}"));
         }
     }
-
-    /// Redistribution can only help: the full model's aggregate is at
-    /// least the no-redistribution objective for the same association.
-    #[test]
-    fn redistribution_monotone(net in small_network()) {
-        let assoc = Rssi.associate(&net).expect("runs");
-        let with = evaluate(&net, &assoc).expect("valid").aggregate.value();
-        let without = wolt_core::evaluate_without_redistribution(&net, &assoc)
-            .expect("valid").aggregate.value();
-        prop_assert!(with >= without - 1e-9, "{with} < {without}");
+    // The relaxation's utility assumes *equal* airtime shares, so the
+    // physical model (with redistribution) can exceed it — but never the
+    // hard per-pair bound min(c_j, r_ij).
+    let eval = evaluate(net, &outcome.association).expect("valid");
+    let hard_bound: f64 = outcome
+        .association
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|j| (i, j)))
+        .map(|(i, j)| {
+            net.rate(i, j)
+                .expect("reachable")
+                .value()
+                .min(net.capacity(j).value())
+        })
+        .sum();
+    if eval.aggregate.value() > hard_bound + 1e-6 {
+        return Err(format!(
+            "physical {} above hard bound {hard_bound}",
+            eval.aggregate
+        ));
     }
+    Ok(())
+}
 
-    /// Policies are deterministic: same network, same answer.
-    #[test]
-    fn policies_are_deterministic(net in small_network()) {
-        let w1 = Wolt::new().associate(&net).expect("runs");
-        let w2 = Wolt::new().associate(&net).expect("runs");
-        prop_assert_eq!(w1, w2);
-        let g1 = Greedy::new().associate(&net).expect("runs");
-        let g2 = Greedy::new().associate(&net).expect("runs");
-        prop_assert_eq!(g1, g2);
+/// WOLT always returns a complete, valid association.
+#[test]
+fn wolt_always_complete_and_valid() {
+    Runner::new("wolt_always_complete_and_valid").run(small_network, check_wolt_complete_and_valid);
+}
+
+/// The brute-force optimum dominates every polynomial policy.
+#[test]
+fn optimal_dominates_all_policies() {
+    Runner::new("optimal_dominates_all_policies").run(small_network, check_optimal_dominates);
+}
+
+/// WOLT is never *wildly* suboptimal on fully reachable instances
+/// with |U| ≥ |A| (the paper's setting). WOLT is a heuristic with no
+/// worst-case guarantee, so the per-case bar is deliberately loose;
+/// the statistical bar lives in `wolt_is_near_optimal_on_average`.
+#[test]
+fn wolt_within_constant_factor_of_optimal() {
+    Runner::new("wolt_within_constant_factor_of_optimal").run(fully_reachable_network, |net| {
+        check_wolt_within_factor(net, 0.35)
+    });
+}
+
+fn check_wolt_within_factor(net: &Network, factor: f64) -> Result<(), String> {
+    let optimal = evaluate(net, &Optimal.associate(net).expect("runs"))
+        .expect("valid")
+        .aggregate
+        .value();
+    let wolt = evaluate(net, &Wolt::new().associate(net).expect("runs"))
+        .expect("valid")
+        .aggregate
+        .value();
+    if wolt >= factor * optimal {
+        Ok(())
+    } else {
+        Err(format!("wolt {wolt} vs optimal {optimal}"))
     }
+}
 
-    /// Phase I alone never assigns more users than extenders, and its
-    /// utility bound dominates the physical single-user throughput.
-    #[test]
-    fn phase1_structure(net in small_network()) {
-        let outcome = wolt_core::phase1::run_phase1(&net).expect("phase 1 runs");
-        prop_assert!(outcome.selected_users.len() <= net.extenders());
-        for j in 0..net.extenders() {
-            prop_assert!(outcome.association.users_of(j).len() <= 1);
+/// Evaluation invariants: conservation and per-segment caps hold on
+/// arbitrary complete associations.
+#[test]
+fn evaluation_invariants() {
+    Runner::new("evaluation_invariants").run(
+        |rng| (small_network(rng), rng.gen_range(0..10_000u64)),
+        |(net, picker)| {
+            // Derive a pseudo-random complete association from `picker`.
+            let mut targets = Vec::with_capacity(net.users());
+            let mut state = *picker;
+            for i in 0..net.users() {
+                let reachable = net.reachable_extenders(i);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                targets.push(reachable[(state >> 33) as usize % reachable.len()]);
+            }
+            let assoc = Association::complete(targets);
+            let eval = evaluate(net, &assoc).expect("valid association");
+
+            let user_sum: f64 = eval.per_user.iter().map(|t| t.value()).sum();
+            if (user_sum - eval.aggregate.value()).abs() >= 1e-6 {
+                return Err("per-user sum != aggregate".into());
+            }
+            let share_sum: f64 = eval.plc_shares.iter().sum();
+            if share_sum > 1.0 + 1e-9 {
+                return Err(format!("PLC shares sum to {share_sum} > 1"));
+            }
+            for j in 0..net.extenders() {
+                if eval.per_extender[j].value()
+                    > net.capacity(j).value() * eval.plc_shares[j] + 1e-6
+                {
+                    return Err(format!("extender {j} exceeds its granted PLC share"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Redistribution can only help: the full model's aggregate is at
+/// least the no-redistribution objective for the same association.
+#[test]
+fn redistribution_monotone() {
+    Runner::new("redistribution_monotone").run(small_network, check_redistribution_monotone);
+}
+
+/// Policies are deterministic: same network, same answer.
+#[test]
+fn policies_are_deterministic() {
+    Runner::new("policies_are_deterministic").run(small_network, |net| {
+        let w1 = Wolt::new().associate(net).expect("runs");
+        let w2 = Wolt::new().associate(net).expect("runs");
+        if w1 != w2 {
+            return Err("wolt is nondeterministic".into());
         }
-        // The relaxation's utility assumes *equal* airtime shares, so the
-        // physical model (with redistribution) can exceed it — but never
-        // the hard per-pair bound min(c_j, r_ij).
-        let eval = evaluate(&net, &outcome.association).expect("valid");
-        let hard_bound: f64 = outcome
-            .association
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.map(|j| (i, j)))
-            .map(|(i, j)| {
-                net.rate(i, j).expect("reachable").value().min(net.capacity(j).value())
-            })
-            .sum();
-        prop_assert!(eval.aggregate.value() <= hard_bound + 1e-6,
-            "physical {} above hard bound {hard_bound}", eval.aggregate);
-    }
+        let g1 = Greedy::new().associate(net).expect("runs");
+        let g2 = Greedy::new().associate(net).expect("runs");
+        if g1 != g2 {
+            return Err("greedy is nondeterministic".into());
+        }
+        Ok(())
+    });
+}
+
+/// Phase I alone never assigns more users than extenders, and its
+/// utility bound dominates the physical single-user throughput.
+#[test]
+fn phase1_structure() {
+    Runner::new("phase1_structure").run(small_network, check_phase1_structure);
+}
+
+/// Runs every small-network invariant on one explicit instance.
+fn assert_all_invariants(net: &Network) {
+    check_wolt_complete_and_valid(net).expect("complete and valid");
+    check_optimal_dominates(net).expect("optimal dominates");
+    check_redistribution_monotone(net).expect("redistribution monotone");
+    check_phase1_structure(net).expect("phase 1 structure");
+}
+
+// ---------------------------------------------------------------------------
+// Saved proptest regressions (exact shrunk values from the retired
+// `properties.proptest-regressions` corpus).
+// ---------------------------------------------------------------------------
+
+/// Shrunk case: one strong link next to a much larger capacity — an early
+/// Phase-I tie-breaking failure.
+#[test]
+fn regression_strong_link_small_capacity() {
+    let net = Network::from_raw(
+        vec![20.0, 177.19761470204833],
+        vec![vec![43.65787102951061, 1.0], vec![1.0, 1.0]],
+    )
+    .expect("valid network");
+    assert_all_invariants(&net);
+    check_wolt_within_factor(&net, 0.35).expect("within constant factor");
+}
+
+/// Shrunk case: extender 3 reachable by exactly one user (the exact
+/// ancestor of `wolt_limitation_forced_coverage`).
+#[test]
+fn regression_forced_coverage_exact_values() {
+    let net = Network::from_raw(
+        vec![142.52439847076798, 101.70184562149888, 20.0, 20.0],
+        vec![
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![47.212232280963406, 1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 0.0],
+        ],
+    )
+    .expect("valid network");
+    assert_all_invariants(&net);
+}
+
+/// Shrunk case: fewer users than extenders, so Phase I cannot cover
+/// every extender.
+#[test]
+fn regression_fewer_users_than_extenders() {
+    let net = Network::from_raw(
+        vec![
+            99.17804805470061,
+            71.88138937757529,
+            67.69469821400483,
+            20.0,
+        ],
+        vec![
+            vec![1.0, 1.0, 28.131345989555417, 1.0],
+            vec![18.234473759488914, 38.455977479898905, 1.0, 1.0],
+        ],
+    )
+    .expect("valid network");
+    assert_all_invariants(&net);
+}
+
+/// Shrunk case: seven users on three extenders with a handful of strong
+/// outlier links.
+#[test]
+fn regression_many_users_sparse_strong_links() {
+    let net = Network::from_raw(
+        vec![149.70238667679428, 20.0, 20.0],
+        vec![
+            vec![1.0, 45.15367790391419, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 4.947310766762266],
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 47.501362809023014],
+            vec![12.510883825551288, 1.0, 1.0],
+        ],
+    )
+    .expect("valid network");
+    assert_all_invariants(&net);
 }

@@ -17,7 +17,11 @@ fn dcf_micro_sim_confirms_throughput_fairness() {
         ..DcfConfig::default()
     };
     let out = simulate_dcf(&rates, &cfg, 11).expect("valid sim");
-    let max = out.per_station.iter().map(|t| t.value()).fold(0.0, f64::max);
+    let max = out
+        .per_station
+        .iter()
+        .map(|t| t.value())
+        .fold(0.0, f64::max);
     let min = out
         .per_station
         .iter()
@@ -37,8 +41,14 @@ fn dcf_relative_ordering_matches_analytic_model() {
         ..DcfConfig::default()
     };
     let sim_ratio = {
-        let a = simulate_dcf(&fast_only, &cfg, 5).expect("valid").per_station[0].value();
-        let b = simulate_dcf(&with_slow, &cfg, 5).expect("valid").per_station[0].value();
+        let a = simulate_dcf(&fast_only, &cfg, 5)
+            .expect("valid")
+            .per_station[0]
+            .value();
+        let b = simulate_dcf(&with_slow, &cfg, 5)
+            .expect("valid")
+            .per_station[0]
+            .value();
         b / a
     };
     let analytic_ratio = {
@@ -104,12 +114,12 @@ fn analytic_timeshare_matches_mac_sim_shape_at_k2() {
 
 #[test]
 fn building_pipeline_produces_papers_capacity_band() {
-    use rand::SeedableRng;
     use wolt_plc::capacity::sample_outlet_capacities;
     use wolt_plc::channel::PlcChannelModel;
     use wolt_plc::topology::BuildingConfig;
+    use wolt_support::rng::SeedableRng;
 
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    let mut rng = wolt_support::rng::ChaCha8Rng::seed_from_u64(77);
     let caps = sample_outlet_capacities(
         &mut rng,
         60,

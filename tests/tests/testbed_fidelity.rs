@@ -4,8 +4,8 @@
 use wolt_core::baselines::{Greedy, Rssi};
 use wolt_core::{evaluate, AssociationPolicy, Wolt};
 use wolt_plc::capacity::CapacityEstimator;
-use wolt_tests::lab_scenario;
 use wolt_testbed::{run_rig, ControllerPolicy, RigConfig};
+use wolt_tests::lab_scenario;
 
 fn noiseless(policy: ControllerPolicy) -> RigConfig {
     RigConfig {

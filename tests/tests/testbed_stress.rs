@@ -6,10 +6,10 @@
 //! several rigs running concurrently — to flush out deadlocks and
 //! cross-talk.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
+use wolt_support::rng::ChaCha8Rng;
+use wolt_support::rng::SeedableRng;
 use wolt_testbed::{run_rig, run_session, ControllerPolicy, RigConfig, SessionEvent};
 
 fn scenario(users: usize, seed: u64) -> Scenario {
@@ -22,8 +22,8 @@ fn scenario(users: usize, seed: u64) -> Scenario {
 #[test]
 fn thirty_client_rig_completes() {
     let scenario = scenario(30, 1);
-    let outcome = run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 0)
-        .expect("rig completes");
+    let outcome =
+        run_rig(&scenario, &RigConfig::new(ControllerPolicy::Wolt), 0).expect("rig completes");
     assert!(outcome.association.is_complete());
     assert!(outcome.aggregate > 0.0);
     assert_eq!(outcome.per_user.len(), 30);
@@ -60,18 +60,26 @@ fn concurrent_rigs_do_not_interfere() {
     // threads must produce exactly what they produce in isolation.
     let expected: Vec<f64> = (0..4)
         .map(|seed| {
-            run_rig(&scenario(8, seed), &RigConfig::new(ControllerPolicy::Wolt), 0)
-                .expect("rig runs")
-                .aggregate
+            run_rig(
+                &scenario(8, seed),
+                &RigConfig::new(ControllerPolicy::Wolt),
+                0,
+            )
+            .expect("rig runs")
+            .aggregate
         })
         .collect();
 
     let handles: Vec<_> = (0..4u64)
         .map(|seed| {
             std::thread::spawn(move || {
-                run_rig(&scenario(8, seed), &RigConfig::new(ControllerPolicy::Wolt), 0)
-                    .expect("rig runs")
-                    .aggregate
+                run_rig(
+                    &scenario(8, seed),
+                    &RigConfig::new(ControllerPolicy::Wolt),
+                    0,
+                )
+                .expect("rig runs")
+                .aggregate
             })
         })
         .collect();
