@@ -31,7 +31,8 @@ fn main() {
     let wolt = Wolt::new();
     let greedy = Greedy::new();
     let selfish = SelfishGreedy::new();
-    let policies: [&dyn AssociationPolicy; 5] = [&Rssi, &greedy, &selfish, &Optimal, &wolt];
+    let optimal = Optimal::new();
+    let policies: [&dyn AssociationPolicy; 5] = [&Rssi, &greedy, &selfish, &optimal, &wolt];
     let mut results = Vec::new();
     for policy in policies {
         let assoc = policy.associate(&net).expect("feasible case study");

@@ -87,6 +87,20 @@ impl ParsedArgs {
         }
     }
 
+    /// Parses `--key` as a value of type `T`, or `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value fails to parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| CliError::Usage {
+                message: format!("could not parse --{key} value {raw:?}"),
+            }),
+        }
+    }
+
     /// Names of all provided flags.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.options.keys().map(String::as_str)

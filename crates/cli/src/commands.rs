@@ -53,13 +53,19 @@ impl PolicyChoice {
         [Self::Wolt, Self::Greedy, Self::SelfishGreedy, Self::Rssi]
     }
 
-    fn instantiate(self, seed: u64) -> Box<dyn AssociationPolicy> {
+    fn instantiate(self, seed: u64, threads: Option<usize>) -> Box<dyn AssociationPolicy> {
         match self {
             Self::Wolt => Box::new(Wolt::new()),
             Self::Greedy => Box::new(Greedy::new()),
             Self::SelfishGreedy => Box::new(SelfishGreedy::new()),
             Self::Rssi => Box::new(Rssi),
-            Self::Optimal => Box::new(Optimal),
+            // Optimal is the only policy that fans out internally; the
+            // others are sequential and ignore the knob. Reports are
+            // byte-identical at every thread count either way.
+            Self::Optimal => match threads {
+                Some(t) => Box::new(Optimal::with_threads(t)),
+                None => Box::new(Optimal::new()),
+            },
             Self::Random => Box::new(Random::new(seed)),
         }
     }
@@ -110,8 +116,24 @@ impl FromJson for SolveReport {
 ///
 /// Propagates spec validation and policy failures.
 pub fn solve(spec: &NetworkSpec, policy: PolicyChoice, seed: u64) -> Result<SolveReport, CliError> {
+    solve_with_threads(spec, policy, seed, None)
+}
+
+/// Like [`solve`], with an explicit worker-thread count for policies that
+/// fan out internally (`--threads`). The report is byte-identical at any
+/// thread count; `None` defers to `WOLT_THREADS` / machine parallelism.
+///
+/// # Errors
+///
+/// Propagates spec validation and policy failures.
+pub fn solve_with_threads(
+    spec: &NetworkSpec,
+    policy: PolicyChoice,
+    seed: u64,
+    threads: Option<usize>,
+) -> Result<SolveReport, CliError> {
     let network = spec.to_network()?;
-    let instance = policy.instantiate(seed);
+    let instance = policy.instantiate(seed, threads);
     let assoc = instance.associate(&network)?;
     let eval = evaluate(&network, &assoc)?;
     Ok(SolveReport {
@@ -140,8 +162,23 @@ pub fn solve_explained(
     policy: PolicyChoice,
     seed: u64,
 ) -> Result<String, CliError> {
+    solve_explained_with_threads(spec, policy, seed, None)
+}
+
+/// Like [`solve_explained`], with an explicit worker-thread count
+/// (`--threads`); see [`solve_with_threads`].
+///
+/// # Errors
+///
+/// Propagates spec validation and policy failures.
+pub fn solve_explained_with_threads(
+    spec: &NetworkSpec,
+    policy: PolicyChoice,
+    seed: u64,
+    threads: Option<usize>,
+) -> Result<String, CliError> {
     let network = spec.to_network()?;
-    let instance = policy.instantiate(seed);
+    let instance = policy.instantiate(seed, threads);
     let assoc = instance.associate(&network)?;
     let eval = evaluate(&network, &assoc)?;
     let mut text = format!("policy: {}\n", instance.name());
@@ -155,9 +192,23 @@ pub fn solve_explained(
 ///
 /// Propagates the first failing solve.
 pub fn compare(spec: &NetworkSpec, seed: u64) -> Result<Vec<SolveReport>, CliError> {
+    compare_with_threads(spec, seed, None)
+}
+
+/// Like [`compare`], with an explicit worker-thread count (`--threads`);
+/// see [`solve_with_threads`].
+///
+/// # Errors
+///
+/// Propagates the first failing solve.
+pub fn compare_with_threads(
+    spec: &NetworkSpec,
+    seed: u64,
+    threads: Option<usize>,
+) -> Result<Vec<SolveReport>, CliError> {
     PolicyChoice::comparable()
         .into_iter()
-        .map(|p| solve(spec, p, seed))
+        .map(|p| solve_with_threads(spec, p, seed, threads))
         .collect()
 }
 

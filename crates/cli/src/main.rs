@@ -9,7 +9,10 @@
 use std::process::ExitCode;
 
 use wolt_cli::args::ParsedArgs;
-use wolt_cli::commands::{compare, generate, solve, solve_explained, PolicyChoice, PresetChoice};
+use wolt_cli::commands::{
+    compare_with_threads, generate, solve_explained_with_threads, solve_with_threads, PolicyChoice,
+    PresetChoice,
+};
 use wolt_cli::spec::NetworkSpec;
 use wolt_cli::CliError;
 use wolt_support::json::ToJson;
@@ -19,10 +22,13 @@ wolt — auto-configuration of integrated PLC-WiFi networks (WOLT, ICDCS 2020)
 
 USAGE:
   wolt generate --preset <enterprise|lab> --users <N> [--seed S] [--output FILE]
-  wolt solve    --input FILE [--policy <wolt|greedy|selfish|rssi|optimal|random>] [--seed S] [--explain true] [--output FILE]
-  wolt compare  --input FILE [--seed S]
+  wolt solve    --input FILE [--policy <wolt|greedy|selfish|rssi|optimal|random>] [--seed S] [--threads T] [--explain true] [--output FILE]
+  wolt compare  --input FILE [--seed S] [--threads T]
 
-The network file is JSON: {\"capacities\": [c_j …], \"rates\": [[r_ij …] …]}.";
+The network file is JSON: {\"capacities\": [c_j …], \"rates\": [[r_ij …] …]}.
+--threads caps the worker threads of policies that fan out internally
+(currently `optimal`); it defaults to WOLT_THREADS, then the machine's
+parallelism. Reports are byte-identical at every thread count.";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1)) {
@@ -57,10 +63,14 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
             let spec = load_spec(parsed.require("input")?)?;
             let policy = PolicyChoice::parse(parsed.get("policy").unwrap_or("wolt"))?;
             let seed = parsed.get_parsed_or("seed", 0u64)?;
+            let threads = parsed.get_parsed::<usize>("threads")?;
             if parsed.get_parsed_or("explain", false)? {
-                emit(&solve_explained(&spec, policy, seed)?, parsed.get("output"))?;
+                emit(
+                    &solve_explained_with_threads(&spec, policy, seed, threads)?,
+                    parsed.get("output"),
+                )?;
             } else {
-                let report = solve(&spec, policy, seed)?;
+                let report = solve_with_threads(&spec, policy, seed, threads)?;
                 emit(&report.to_json().to_pretty(), parsed.get("output"))?;
             }
             Ok(())
@@ -68,7 +78,8 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
         "compare" => {
             let spec = load_spec(parsed.require("input")?)?;
             let seed = parsed.get_parsed_or("seed", 0u64)?;
-            let reports = compare(&spec, seed)?;
+            let threads = parsed.get_parsed::<usize>("threads")?;
+            let reports = compare_with_threads(&spec, seed, threads)?;
             println!("{:<16} {:>12} {:>8}", "policy", "aggregate", "jain");
             for r in &reports {
                 println!(

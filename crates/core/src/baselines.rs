@@ -17,7 +17,7 @@
 //! * [`Random`] — a uniformly random reachable extender per user; a sanity
 //!   floor for experiments.
 
-use crate::{evaluate, Association, AssociationPolicy, CoreError, Network};
+use crate::{evaluate, Association, AssociationPolicy, CoreError, IncrementalEvaluator, Network};
 
 /// Strongest-signal association (the commodity default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,24 +78,52 @@ impl AssociationPolicy for Greedy {
             None => (0..net.users()).collect(),
         };
 
-        let mut assoc = Association::unassigned(net.users());
+        // Place arrivals through the incremental evaluator: each candidate
+        // extender is scored with an O(A·rounds) probe instead of a full
+        // clone + O(U·A) re-evaluation.
+        let mut evaluator = IncrementalEvaluator::new(net, &Association::unassigned(net.users()))?;
         for &i in &order {
-            let best = best_reachable(net, i, &assoc, |j| {
-                let mut candidate = assoc.clone();
-                candidate.assign(i, j);
-                evaluate(net, &candidate)
-                    .map(|e| e.aggregate.value())
-                    .unwrap_or(f64::NEG_INFINITY)
-            })?;
-            assoc.assign(i, best);
+            let mut best: Option<(usize, f64)> = None;
+            for j in net.reachable_extenders(i) {
+                // Full cells (user limits) and other inadmissible targets
+                // are simply not candidates.
+                let Ok(value) = evaluator.probe_move(i, Some(j)) else {
+                    continue;
+                };
+                let s = value.value();
+                if best.is_none_or(|(_, b)| s > b) {
+                    best = Some((j, s));
+                }
+            }
+            let (j, _) = best.ok_or(CoreError::IncompleteAssociation { user: i })?;
+            evaluator.apply_move(i, Some(j))?;
         }
-        Ok(assoc)
+        Ok(evaluator.into_association())
     }
 }
 
 /// Brute-force optimal association (exponential; toy instances only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Optimal;
+pub struct Optimal {
+    /// Worker threads for the enumeration; `None` resolves from
+    /// `WOLT_THREADS` / machine parallelism.
+    threads: Option<usize>,
+}
+
+impl Optimal {
+    /// Optimal with the thread count resolved from the environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Optimal with an explicit worker-thread count (the CLI's
+    /// `--threads`). The winning association is identical at any count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads),
+        }
+    }
+}
 
 impl AssociationPolicy for Optimal {
     fn name(&self) -> &str {
@@ -108,6 +136,11 @@ impl AssociationPolicy for Optimal {
     /// brute-force iterator are avoided by pre-checking the search-space
     /// size and returning [`CoreError::DimensionMismatch`] when it exceeds
     /// 10⁸ candidates.
+    ///
+    /// The enumeration fans out over the deterministic
+    /// [`wolt_support::pool`] (thread count from `WOLT_THREADS`, else the
+    /// machine's parallelism); the winning association is identical at any
+    /// thread count.
     fn associate(&self, net: &Network) -> Result<Association, CoreError> {
         let space = (net.extenders() as f64).powi(net.users() as i32);
         if space > 1e8 {
@@ -115,14 +148,19 @@ impl AssociationPolicy for Optimal {
                 context: "instance too large for brute-force optimal",
             });
         }
-        let (targets, value) =
-            wolt_opt::brute::best_full_assignment(net.users(), net.extenders(), |targets| {
+        let threads = wolt_support::pool::resolve_threads(self.threads);
+        let (targets, value) = wolt_opt::brute::best_full_assignment_parallel(
+            threads,
+            net.users(),
+            net.extenders(),
+            |targets| {
                 let assoc = Association::complete(targets.to_vec());
                 match evaluate(net, &assoc) {
                     Ok(e) => e.aggregate.value(),
                     Err(_) => f64::NEG_INFINITY,
                 }
-            });
+            },
+        );
         if value == f64::NEG_INFINITY {
             // Even the best assignment was infeasible (limits too tight).
             return Err(CoreError::IncompleteAssociation { user: 0 });
@@ -226,7 +264,7 @@ mod tests {
 
     #[test]
     fn optimal_reproduces_fig3d() {
-        let assoc = Optimal.associate(&fig3_network()).unwrap();
+        let assoc = Optimal::new().associate(&fig3_network()).unwrap();
         let eval = evaluate(&fig3_network(), &assoc).unwrap();
         assert!((eval.aggregate.value() - 40.0).abs() < 1e-9);
         assert_eq!(assoc.target(0), Some(1));
@@ -242,7 +280,7 @@ mod tests {
         let greedy = evaluate(&net, &Greedy::new().associate(&net).unwrap())
             .unwrap()
             .aggregate;
-        let optimal = evaluate(&net, &Optimal.associate(&net).unwrap())
+        let optimal = evaluate(&net, &Optimal::new().associate(&net).unwrap())
             .unwrap()
             .aggregate;
         assert!(rssi <= greedy);
@@ -339,7 +377,7 @@ mod tests {
         let rates = vec![vec![10.0; 10]; 30];
         let net = Network::from_raw(vec![100.0; 10], rates).unwrap();
         assert!(matches!(
-            Optimal.associate(&net),
+            Optimal::new().associate(&net),
             Err(CoreError::DimensionMismatch { .. })
         ));
     }
@@ -404,7 +442,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let optimal = evaluate(&net, &Optimal.associate(&net).unwrap())
+        let optimal = evaluate(&net, &Optimal::new().associate(&net).unwrap())
             .unwrap()
             .aggregate;
         for policy in [
@@ -467,17 +505,23 @@ impl AssociationPolicy for SelfishGreedy {
             }
             None => (0..net.users()).collect(),
         };
-        let mut assoc = Association::unassigned(net.users());
+        // Each arrival probes its *own* prospective throughput on every
+        // reachable extender via the incremental evaluator.
+        let mut evaluator = IncrementalEvaluator::new(net, &Association::unassigned(net.users()))?;
         for &i in &order {
-            let best = best_reachable(net, i, &assoc, |j| {
-                let mut candidate = assoc.clone();
-                candidate.assign(i, j);
-                evaluate(net, &candidate)
-                    .map(|e| e.per_user[i].value())
-                    .unwrap_or(f64::NEG_INFINITY)
-            })?;
-            assoc.assign(i, best);
+            let mut best: Option<(usize, f64)> = None;
+            for j in net.reachable_extenders(i) {
+                let Ok(own) = evaluator.probe_move_user(i, Some(j)) else {
+                    continue; // full cell — not a candidate
+                };
+                let s = own.value();
+                if best.is_none_or(|(_, b)| s > b) {
+                    best = Some((j, s));
+                }
+            }
+            let (j, _) = best.ok_or(CoreError::IncompleteAssociation { user: i })?;
+            evaluator.apply_move(i, Some(j))?;
         }
-        Ok(assoc)
+        Ok(evaluator.into_association())
     }
 }

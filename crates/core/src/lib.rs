@@ -60,6 +60,7 @@
 pub mod baselines;
 pub mod fairness;
 pub mod hardness;
+pub mod incremental;
 pub mod online;
 pub mod phase1;
 pub mod phase2;
@@ -74,6 +75,7 @@ mod throughput;
 
 pub use algorithm::{Phase2Solver, Wolt};
 pub use error::CoreError;
+pub use incremental::IncrementalEvaluator;
 pub use model::{Association, Network};
 pub use online::{OnlineOutcome, OnlineWolt};
 pub use phase1::{Phase1Solver, Phase1Utility};

@@ -21,7 +21,9 @@
 
 use wolt_units::Mbps;
 
-use crate::{evaluate, Association, AssociationPolicy, CoreError, Network, Wolt};
+use crate::{
+    evaluate, Association, AssociationPolicy, CoreError, IncrementalEvaluator, Network, Wolt,
+};
 
 /// Outcome of one online reconfiguration step.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,12 +110,13 @@ impl OnlineWolt {
             working.assign(i, plan.target(i).expect("wolt plans are complete"));
             placements += 1;
         }
-        let base_aggregate = evaluate(net, &working)?.aggregate;
-
         // Step 2: ration the re-assignments. Candidates are users whose
-        // plan target differs from their current extender.
+        // plan target differs from their current extender, scored by
+        // incremental probes — O(A·rounds) each instead of a full O(U·A)
+        // re-evaluation per candidate.
+        let mut evaluator = IncrementalEvaluator::new(net, &working)?;
+        let base_aggregate = evaluator.aggregate();
         let mut budget = self.move_budget.unwrap_or(usize::MAX);
-        let mut aggregate = base_aggregate;
         let mut moves = 0;
         loop {
             if budget == 0 {
@@ -122,15 +125,16 @@ impl OnlineWolt {
             // Best single move toward the plan.
             let mut best: Option<(usize, usize, Mbps)> = None;
             for i in 0..net.users() {
-                let cur = working.target(i).expect("working is complete");
+                let cur = evaluator
+                    .association()
+                    .target(i)
+                    .expect("working is complete");
                 let want = plan.target(i).expect("plans are complete");
                 if cur == want {
                     continue;
                 }
-                let mut candidate = working.clone();
-                candidate.assign(i, want);
-                let value = evaluate(net, &candidate)?.aggregate;
-                let gain = value - aggregate;
+                let value = evaluator.probe_move(i, Some(want))?;
+                let gain = value - evaluator.aggregate();
                 if gain >= self.min_gain.max(Mbps::new(f64::MIN_POSITIVE))
                     && best.is_none_or(|(_, _, g)| gain > g)
                 {
@@ -138,15 +142,15 @@ impl OnlineWolt {
                 }
             }
             match best {
-                Some((i, want, gain)) => {
-                    working.assign(i, want);
-                    aggregate += gain;
+                Some((i, want, _)) => {
+                    evaluator.apply_move(i, Some(want))?;
                     moves += 1;
                     budget -= 1;
                 }
                 None => break,
             }
         }
+        let working = evaluator.into_association();
 
         // Re-evaluate exactly (the incremental sum accumulates float dust).
         let aggregate = evaluate(net, &working)?.aggregate;
@@ -299,7 +303,7 @@ mod tests {
     #[test]
     fn already_optimal_network_needs_no_moves() {
         let net = fig3_network();
-        let optimal = crate::baselines::Optimal.associate(&net).unwrap();
+        let optimal = crate::baselines::Optimal::new().associate(&net).unwrap();
         let outcome = OnlineWolt::new().reconfigure(&net, &optimal).unwrap();
         assert_eq!(outcome.moves, 0);
         assert_eq!(outcome.association, optimal);

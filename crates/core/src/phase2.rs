@@ -18,7 +18,7 @@
 use wolt_opt::{Objective, ProjectedGradient, SolveReport};
 use wolt_wifi::cell::CellLoad;
 
-use crate::{Association, CoreError, Network};
+use crate::{Association, CoreError, IncrementalEvaluator, Network};
 
 /// Configuration for Phase II.
 #[derive(Debug, Clone, PartialEq)]
@@ -184,7 +184,7 @@ pub fn run_phase2(
     }
     // ...then a discrete coordinate-ascent polish removes any extraction
     // loss (Theorem 3 guarantees an integral optimum exists).
-    polish(net, &mut association, &u2, config);
+    polish(net, &mut association, &u2, config)?;
 
     let wifi_objective = wifi_objective(net, &association);
     Ok(Phase2Outcome {
@@ -224,7 +224,7 @@ pub fn run_phase2_greedy(
         cells[j].join(net.rate(i, j).expect("reachable"));
         association.assign(i, j);
     }
-    polish(net, &mut association, &u2, config);
+    polish(net, &mut association, &u2, config)?;
 
     let wifi_objective = wifi_objective(net, &association);
     Ok(Phase2Outcome {
@@ -267,32 +267,39 @@ fn build_cells(net: &Network, assoc: &Association) -> Vec<CellLoad> {
 /// Discrete coordinate ascent: move one `U2` user at a time to the
 /// extender that most improves Σ_j T_wifi(j), until a full pass finds no
 /// move worth more than `polish_tol` (or the pass budget runs out).
-fn polish(net: &Network, assoc: &mut Association, movable: &[usize], config: &Phase2Config) {
-    let mut cells = build_cells(net, assoc);
+///
+/// Scored through [`IncrementalEvaluator::probe_wifi_delta`] — O(1) per
+/// candidate instead of rebuilding cells — with the same float operations
+/// as the original direct-cell scoring, so the chosen moves are identical.
+/// Candidates that would overflow an extender's user limit are skipped.
+fn polish(
+    net: &Network,
+    assoc: &mut Association,
+    movable: &[usize],
+    config: &Phase2Config,
+) -> Result<(), CoreError> {
+    let mut evaluator = IncrementalEvaluator::new(net, assoc)?;
     for _ in 0..config.polish_passes {
         let mut improved = false;
         for &i in movable {
-            let current = assoc.target(i).expect("movable users are assigned");
-            let rate_cur = net.rate(i, current).expect("validated");
-            let leave_delta = cells[current].aggregate_if_left(rate_cur).value()
-                - cells[current].aggregate().value();
+            let current = evaluator
+                .association()
+                .target(i)
+                .expect("movable users are assigned");
             let mut best: Option<(usize, f64)> = None;
             for j in net.reachable_extenders(i) {
                 if j == current {
                     continue;
                 }
-                let rate_new = net.rate(i, j).expect("reachable");
-                let join_delta =
-                    cells[j].aggregate_if_joined(rate_new).value() - cells[j].aggregate().value();
-                let delta = leave_delta + join_delta;
+                let Ok(delta) = evaluator.probe_wifi_delta(i, Some(j)) else {
+                    continue; // full cell — inadmissible candidate
+                };
                 if delta > config.polish_tol && best.is_none_or(|(_, d)| delta > d) {
                     best = Some((j, delta));
                 }
             }
             if let Some((j, _)) = best {
-                cells[current].leave(rate_cur);
-                cells[j].join(net.rate(i, j).expect("reachable"));
-                assoc.assign(i, j);
+                evaluator.apply_move(i, Some(j))?;
                 improved = true;
             }
         }
@@ -300,6 +307,8 @@ fn polish(net: &Network, assoc: &mut Association, movable: &[usize], config: &Ph
             break;
         }
     }
+    *assoc = evaluator.into_association();
+    Ok(())
 }
 
 #[cfg(test)]

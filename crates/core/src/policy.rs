@@ -8,7 +8,11 @@ use crate::{evaluate, Association, CoreError, Evaluation, Network};
 /// Implemented by [`crate::Wolt`] and every baseline in
 /// [`crate::baselines`]. Policies must return *complete* associations
 /// (constraint (7) of Problem 1) that validate against the network.
-pub trait AssociationPolicy {
+///
+/// Policies are `Send + Sync` so experiment drivers can fan trials out
+/// across the [`wolt_support::pool`] worker threads; implementations are
+/// plain configuration data, so this costs nothing.
+pub trait AssociationPolicy: Send + Sync {
     /// Short human-readable policy name ("WOLT", "Greedy", "RSSI", …).
     fn name(&self) -> &str;
 

@@ -169,3 +169,85 @@ fn capacity_scaling_monotone() {
         },
     );
 }
+
+/// The incremental evaluation engine agrees with a fresh `evaluate()` to
+/// within 1e-9 across random move sequences: every successful
+/// `probe_move` predicts exactly the aggregate that `apply_move` then
+/// realizes, and the running aggregate never drifts from a from-scratch
+/// rebuild — over partial associations, unassignment moves, and networks
+/// with per-extender user limits.
+#[test]
+fn incremental_engine_matches_fresh_evaluation() {
+    use wolt_core::IncrementalEvaluator;
+
+    #[derive(Debug)]
+    struct Case {
+        net: Network,
+        start: Association,
+        moves: Vec<(usize, Option<usize>)>,
+    }
+
+    fn case(rng: &mut ChaCha8Rng) -> Case {
+        let net = network(rng);
+        let (users, exts) = (net.users(), net.extenders());
+        // Occasionally constrain an extender so full-cell rejections and
+        // the stay-in-full-cell edge case get exercised too.
+        let net = if rng.gen_range(0.0..1.0) < 0.3 {
+            let limits: Vec<Option<usize>> = (0..exts)
+                .map(|_| (rng.gen_range(0.0..1.0) < 0.5).then(|| rng.gen_range(1..=users)))
+                .collect();
+            net.with_user_limits(limits).expect("right length")
+        } else {
+            net
+        };
+        // A partial start: each user is unassigned with probability 1/3.
+        let start = Association::from_targets(
+            (0..users)
+                .map(|i| (rng.gen_range(0.0..1.0) < 2.0 / 3.0).then(|| i % exts))
+                .collect(),
+        );
+        let start = if net.validate_association(&start).is_ok() {
+            start
+        } else {
+            Association::unassigned(users)
+        };
+        let moves = (0..30)
+            .map(|_| {
+                let user = rng.gen_range(0..users);
+                // 1-in-5 moves unassign the user instead of relocating it.
+                let to = (rng.gen_range(0.0..1.0) < 0.8).then(|| rng.gen_range(0..exts));
+                (user, to)
+            })
+            .collect();
+        Case { net, start, moves }
+    }
+
+    Runner::new("incremental_engine_matches_fresh_evaluation").run(case, |c| {
+        let mut evaluator =
+            IncrementalEvaluator::new(&c.net, &c.start).expect("validated start");
+        for &(user, to) in &c.moves {
+            // Inadmissible moves (unreachable extender, full cell) are
+            // simply skipped — the engine must reject them without
+            // corrupting its state, which the drift check below verifies.
+            let Ok(probed) = evaluator.probe_move(user, to) else {
+                continue;
+            };
+            let applied = evaluator.apply_move(user, to).expect("probed move applies");
+            if (probed - applied).value().abs() >= 1e-9 {
+                return Err(format!(
+                    "probe promised {probed} but apply delivered {applied} for user {user} -> {to:?}"
+                ));
+            }
+            let fresh = evaluate(&c.net, evaluator.association())
+                .expect("engine keeps the association valid")
+                .aggregate;
+            if (evaluator.aggregate() - fresh).value().abs() >= 1e-9 {
+                return Err(format!(
+                    "incremental aggregate {} drifted from fresh evaluation {fresh}",
+                    evaluator.aggregate()
+                ));
+            }
+        }
+        Ok(())
+    });
+}

@@ -160,6 +160,91 @@ where
     }
 }
 
+/// Parallel variant of [`best_full_assignment`]: partitions the search
+/// space on the most-significant odometer digit (user `n_users - 1`'s
+/// extender) into `n_ext` independent chunks mapped over
+/// [`wolt_support::pool::par_map`], then merges chunk winners **in chunk
+/// order with a strict comparison** — exactly the sequential enumeration
+/// order — so the result (including tie-breaks toward the lexicographically
+/// smallest assignment) is identical at any thread count.
+///
+/// `objective` must be `Fn + Sync` rather than `FnMut`, since chunks call
+/// it concurrently.
+///
+/// # Panics
+///
+/// As [`best_full_assignment`].
+///
+/// # Example
+///
+/// ```
+/// use wolt_opt::brute::{best_full_assignment, best_full_assignment_parallel};
+///
+/// let objective = |a: &[usize]| a.iter().map(|&j| (j as f64).sin()).sum::<f64>();
+/// let seq = best_full_assignment(4, 3, objective);
+/// let par = best_full_assignment_parallel(8, 4, 3, objective);
+/// assert_eq!(seq, par);
+/// ```
+pub fn best_full_assignment_parallel<F>(
+    threads: usize,
+    n_users: usize,
+    n_ext: usize,
+    objective: F,
+) -> (Vec<usize>, f64)
+where
+    F: Fn(&[usize]) -> f64 + Sync,
+{
+    assert!(n_users > 0, "need at least one user");
+    assert!(n_ext > 0, "need at least one extender");
+    let space = (n_ext as f64).powi(n_users as i32);
+    assert!(
+        space <= 1e8,
+        "search space {space:.0} exceeds the 1e8 brute-force limit"
+    );
+
+    // Each chunk fixes the most-significant digit (which the sequential
+    // odometer varies *last*) and enumerates the remaining prefix in the
+    // sequential order, so chunk d's candidates are exactly the d-th
+    // contiguous block of the sequential enumeration.
+    let digits: Vec<usize> = (0..n_ext).collect();
+    let chunk_bests = wolt_support::pool::par_map(threads, &digits, |_, &d| {
+        let mut assignment = vec![0usize; n_users];
+        assignment[n_users - 1] = d;
+        let mut best = assignment.clone();
+        let mut best_value = objective(&assignment);
+        if n_users == 1 {
+            return (best, best_value);
+        }
+        let prefix = n_users - 1;
+        loop {
+            let mut pos = 0;
+            loop {
+                if pos == prefix {
+                    return (best, best_value);
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < n_ext {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+            let value = objective(&assignment);
+            if value > best_value {
+                best_value = value;
+                best = assignment.clone();
+            }
+        }
+    });
+
+    // Merge in chunk (= enumeration) order; strict `>` keeps the earliest
+    // chunk's winner on ties, matching the sequential tie-break.
+    chunk_bests
+        .into_iter()
+        .reduce(|acc, cand| if cand.1 > acc.1 { cand } else { acc })
+        .expect("n_ext >= 1 chunks")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +323,52 @@ mod tests {
     #[should_panic(expected = "brute-force limit")]
     fn full_assignment_rejects_huge_space() {
         let _ = best_full_assignment(30, 10, |_| 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_incl_tie_breaks() {
+        // An objective with massive tie plateaus: parallel must return the
+        // exact same (lexicographically-smallest) winner as sequential at
+        // every thread count.
+        let objective = |a: &[usize]| a.iter().filter(|&&j| j == 1).count() as f64;
+        let seq = best_full_assignment(5, 3, objective);
+        for threads in [1, 2, 4, 8] {
+            let par = best_full_assignment_parallel(threads, 5, 3, objective);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_float_objective() {
+        let objective = |a: &[usize]| {
+            a.iter()
+                .enumerate()
+                .map(|(i, &j)| ((i + 1) as f64 * (j as f64 + 0.5)).sin())
+                .sum::<f64>()
+        };
+        let seq = best_full_assignment(6, 4, objective);
+        for threads in [2, 3, 16] {
+            let par = best_full_assignment_parallel(threads, 6, 4, objective);
+            assert_eq!(par.0, seq.0, "threads={threads}");
+            assert_eq!(par.1.to_bits(), seq.1.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_single_user_covers_all_digits() {
+        let (best, value) = best_full_assignment_parallel(4, 1, 5, |a| a[0] as f64);
+        assert_eq!(best, vec![4]);
+        assert_eq!(value, 4.0);
+    }
+
+    #[test]
+    fn parallel_enumerates_whole_space() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = AtomicUsize::new(0);
+        let _ = best_full_assignment_parallel(4, 3, 2, |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            0.0
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 8); // 2^3
     }
 }

@@ -152,15 +152,23 @@ pub fn allocate_time_fair(entries: &[ExtenderDemand]) -> Result<TimeShareAllocat
             shares[j] = need;
             budget -= need;
         }
+        // Float drift can nudge the running budget a hair below zero when
+        // the satisfied extenders consume (within rounding) the whole
+        // medium; clamp so no later round can compute a negative share.
+        budget = budget.max(0.0);
         if rest.is_empty() {
             break;
         }
-        unsatisfied = rest;
-        // Guard against pathological float drift: a non-positive budget
-        // means the medium is fully consumed.
-        if budget <= 0.0 {
+        if budget == 0.0 {
+            // Medium fully consumed with extenders still unsatisfied:
+            // grant each its entitled share — zero — explicitly instead of
+            // falling out of the loop with their slots merely untouched.
+            for &j in &rest {
+                shares[j] = 0.0;
+            }
             break;
         }
+        unsatisfied = rest;
     }
 
     let throughput: Vec<Mbps> = (0..n)
@@ -245,7 +253,17 @@ pub fn allocate_weighted(
             shares[j] = need;
             budget -= need;
         }
-        if rest.is_empty() || budget <= 0.0 {
+        // Same drift clamp as `allocate_time_fair`: the budget must never
+        // go negative, and an exhausted medium assigns the remaining
+        // extenders their entitled (zero) share explicitly.
+        budget = budget.max(0.0);
+        if rest.is_empty() {
+            break;
+        }
+        if budget == 0.0 {
+            for &j in &rest {
+                shares[j] = 0.0;
+            }
             break;
         }
         unsatisfied = rest;
@@ -570,6 +588,68 @@ mod tests {
         ];
         let alloc = allocate_weighted(&mixed, &[0.0, 1.0]).unwrap();
         assert!((alloc.shares[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_exhaustion_assigns_entitled_shares_time_fair() {
+        // Airtime needs 0.10 + 0.35 + 0.55 consume the whole medium to
+        // within float error, across three cascading rounds; the last
+        // subtraction lands the budget on (or a hair past) zero. Every
+        // active extender must still end with its exact entitled share —
+        // never a silently-skipped slot or a negative share.
+        let entries = [
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(10.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(35.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(55.0),
+            },
+        ];
+        let alloc = allocate_time_fair(&entries).unwrap();
+        let total: f64 = alloc.shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "shares sum to {total}");
+        for (j, e) in entries.iter().enumerate() {
+            assert!(alloc.shares[j] >= 0.0, "share {j} negative");
+            let need = e.demand.value() / e.capacity.value();
+            assert!(
+                (alloc.shares[j] - need).abs() < 1e-12,
+                "extender {j} did not get its entitled share"
+            );
+        }
+        assert!(close(alloc.aggregate(), 100.0));
+    }
+
+    #[test]
+    fn budget_exhaustion_with_remaining_extenders_weighted() {
+        // A near-zero weight makes extender 1's entitlement vanish inside
+        // f64 rounding: round 1 grants extender 0 the entire budget
+        // (1.0 / (1.0 + 1e-18) == 1.0 in f64), its need consumes it
+        // exactly, and extender 1 — active, still unsatisfied — hits the
+        // budget-exhausted exit. It must receive an explicit zero share,
+        // not be skipped, and nothing may go negative.
+        let entries = [
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(100.0),
+            },
+            ExtenderDemand {
+                capacity: mbps(100.0),
+                demand: mbps(50.0),
+            },
+        ];
+        let alloc = allocate_weighted(&entries, &[1.0, 1e-18]).unwrap();
+        assert!((alloc.shares[0] - 1.0).abs() < 1e-12);
+        assert_eq!(alloc.shares[1], 0.0);
+        assert_eq!(alloc.throughput[1], Mbps::ZERO);
+        let total: f64 = alloc.shares.iter().sum();
+        assert!(total <= 1.0 + 1e-12);
+        assert!(alloc.shares.iter().all(|&s| s >= 0.0));
     }
 
     #[test]

@@ -262,10 +262,8 @@ fn channel_monotone() {
             let model = PlcChannelModel::homeplug_av2();
             let (low, high) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
             match (model.capacity(Db::new(low)), model.capacity(Db::new(high))) {
-                (Some(c_low), Some(c_high)) => {
-                    if c_low < c_high {
-                        return Err("capacity rose with more attenuation".into());
-                    }
+                (Some(c_low), Some(c_high)) if c_low < c_high => {
+                    return Err("capacity rose with more attenuation".into());
                 }
                 (None, Some(_)) => return Err("capacity reappeared past cutoff".into()),
                 _ => {}

@@ -24,6 +24,12 @@ pub enum SimError {
         /// Description of the failing call.
         context: String,
     },
+    /// A metrics routine received an empty sample, a non-finite sample
+    /// value, or an out-of-range quantile.
+    BadSample {
+        /// Which precondition the sample violated.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +43,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Layer { context } => write!(f, "layer failure: {context}"),
+            SimError::BadSample { context } => write!(f, "bad sample: {context}"),
         }
     }
 }

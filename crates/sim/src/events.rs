@@ -29,10 +29,13 @@ impl<E: PartialEq> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest time pops
         // first, breaking ties by insertion order (stable replay).
+        // `total_cmp` keeps this a genuine total order: non-finite times
+        // are rejected at scheduling time, so the comparator itself must
+        // never be able to panic mid-heap-operation (which would leave the
+        // queue in an inconsistent state).
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -216,8 +219,35 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "finite")]
-    fn non_finite_time_panics() {
+    fn nan_time_rejected_at_scheduling() {
         let mut q: EventQueue<()> = EventQueue::new();
         q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_time_rejected_at_scheduling() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_delay_rejected_at_scheduling() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_in(f64::NAN, ());
+    }
+
+    #[test]
+    fn negative_zero_time_orders_like_zero() {
+        // `total_cmp` puts -0.0 before +0.0; both are valid times and must
+        // pop before anything later, with insertion order preserved among
+        // genuinely equal times.
+        let mut q = EventQueue::new();
+        q.schedule(0.0, 'a');
+        q.schedule(-0.0, 'b');
+        q.schedule(1.0, 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['b', 'a', 'c']);
     }
 }

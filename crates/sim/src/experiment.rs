@@ -7,8 +7,9 @@
 //!   re-associated at every epoch boundary, with re-assignment counting.
 
 use wolt_core::baselines::Rssi;
-use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
+use wolt_core::{evaluate, Association, AssociationPolicy, IncrementalEvaluator, Network, Wolt};
 use wolt_support::json::{FromJson, Json, JsonError, ToJson};
+use wolt_support::pool;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 
 use crate::dynamics::{sample_epoch, DynamicsConfig};
@@ -63,6 +64,11 @@ impl FromJson for TrialRecord {
 /// All policies see the *same* scenario per seed, so differences are
 /// attributable to the association decisions alone.
 ///
+/// Thread count comes from `WOLT_THREADS` or the machine's parallelism
+/// (see [`wolt_support::pool::resolve_threads`]); use
+/// [`run_static_trials_with_threads`] for an explicit count. Records are
+/// identical at any thread count.
+///
 /// # Errors
 ///
 /// Propagates scenario generation, association, and evaluation failures.
@@ -71,11 +77,32 @@ pub fn run_static_trials(
     policies: &[&dyn AssociationPolicy],
     seeds: &[u64],
 ) -> Result<Vec<TrialRecord>, SimError> {
-    let mut records = Vec::with_capacity(policies.len() * seeds.len());
-    for &seed in seeds {
+    run_static_trials_with_threads(config, policies, seeds, pool::resolve_threads(None))
+}
+
+/// [`run_static_trials`] with an explicit worker-thread count.
+///
+/// Each seed is an independent trial (its own scenario and RNG stream), so
+/// seeds fan out over the order-preserving [`pool::par_map`]: the record
+/// vector — seeds in input order, policies in slice order within each seed
+/// — is byte-identical at any `threads`, including 1.
+///
+/// # Errors
+///
+/// Propagates scenario generation, association, and evaluation failures;
+/// with several failing seeds, the error reported is the earliest seed's
+/// (input order), regardless of completion order.
+pub fn run_static_trials_with_threads(
+    config: &ScenarioConfig,
+    policies: &[&dyn AssociationPolicy],
+    seeds: &[u64],
+    threads: usize,
+) -> Result<Vec<TrialRecord>, SimError> {
+    let per_seed = pool::par_map(threads, seeds, |_, &seed| -> Result<_, SimError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let scenario = Scenario::generate(config, &mut rng)?;
         let network = scenario.network()?;
+        let mut records = Vec::with_capacity(policies.len());
         for policy in policies {
             let assoc = policy.associate(&network)?;
             let eval = evaluate(&network, &assoc)?;
@@ -87,6 +114,11 @@ pub fn run_static_trials(
                 per_user: eval.per_user.iter().map(|t| t.value()).collect(),
             });
         }
+        Ok(records)
+    });
+    let mut records = Vec::with_capacity(policies.len() * seeds.len());
+    for result in per_seed {
+        records.extend(result?);
     }
     Ok(records)
 }
@@ -368,32 +400,32 @@ impl DynamicSimulation {
             OnlinePolicy::Rssi => Ok(Rssi.associate(network)?),
             OnlinePolicy::GreedyOnline => {
                 // Existing users keep their extender; new arrivals are
-                // placed one at a time by greedy aggregate maximization.
-                let mut assoc = Association::from_targets(current.to_vec());
+                // placed one at a time by greedy aggregate maximization,
+                // each candidate scored by an incremental probe instead of
+                // a full clone-and-evaluate.
+                let assoc = Association::from_targets(current.to_vec());
                 let arrivals: Vec<usize> = assoc.unassigned_users();
                 if arrivals.is_empty() {
                     return Ok(assoc);
                 }
-                // Reuse the offline Greedy on the subproblem: order =
-                // existing users first (already fixed), arrivals last.
+                let mut evaluator = IncrementalEvaluator::new(network, &assoc)?;
                 for i in arrivals {
                     let mut best: Option<(usize, f64)> = None;
                     for j in network.reachable_extenders(i) {
-                        let mut candidate = assoc.clone();
-                        candidate.assign(i, j);
-                        let value = evaluate(network, &candidate)
-                            .map(|e| e.aggregate.value())
-                            .unwrap_or(f64::NEG_INFINITY);
-                        if best.is_none_or(|(_, v)| value > v) {
-                            best = Some((j, value));
+                        let Ok(value) = evaluator.probe_move(i, Some(j)) else {
+                            continue; // full cell — not a candidate
+                        };
+                        let v = value.value();
+                        if best.is_none_or(|(_, b)| v > b) {
+                            best = Some((j, v));
                         }
                     }
                     let (j, _) = best.ok_or(SimError::Layer {
                         context: format!("greedy: user {i} has no feasible extender"),
                     })?;
-                    assoc.assign(i, j);
+                    evaluator.apply_move(i, Some(j))?;
                 }
-                Ok(assoc)
+                Ok(evaluator.into_association())
             }
         }
     }
@@ -425,6 +457,22 @@ mod tests {
         assert_eq!(records.len(), 6);
         assert!(records.iter().all(|r| r.aggregate > 0.0));
         assert!(records.iter().all(|r| r.per_user.len() == 10));
+    }
+
+    #[test]
+    fn static_trials_thread_count_invariant() {
+        // The acceptance contract: records (floats included) identical at
+        // any worker-thread count.
+        let cfg = ScenarioConfig::enterprise(10);
+        let wolt = Wolt::new();
+        let greedy = Greedy::new();
+        let policies: Vec<&dyn AssociationPolicy> = vec![&wolt, &Rssi, &greedy];
+        let seeds: Vec<u64> = (0..6).collect();
+        let seq = run_static_trials_with_threads(&cfg, &policies, &seeds, 1).unwrap();
+        for threads in [2, 8] {
+            let par = run_static_trials_with_threads(&cfg, &policies, &seeds, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads} changed trial records");
+        }
     }
 
     #[test]

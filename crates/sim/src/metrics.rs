@@ -1,4 +1,12 @@
 //! Summary statistics and CDFs for experiment records.
+//!
+//! Every routine validates its sample up front and reports violations as
+//! [`SimError::BadSample`] instead of panicking (or silently returning
+//! `None`): a NaN smuggled into a throughput vector by an upstream bug
+//! surfaces as a diagnosable error at the experiment layer, never as a
+//! sort-comparator panic halfway through a report.
+
+use crate::SimError;
 
 /// Basic summary statistics of a sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,29 +25,48 @@ pub struct Summary {
     pub median: f64,
 }
 
-/// Summarizes a sample. Returns `None` for an empty slice or one
-/// containing non-finite values.
+fn validate(samples: &[f64]) -> Result<(), SimError> {
+    if samples.is_empty() {
+        return Err(SimError::BadSample {
+            context: "empty sample",
+        });
+    }
+    if samples.iter().any(|s| !s.is_finite()) {
+        return Err(SimError::BadSample {
+            context: "sample contains a non-finite value",
+        });
+    }
+    Ok(())
+}
+
+/// Summarizes a sample.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSample`] for an empty slice or one containing a
+/// non-finite value.
 ///
 /// # Example
 ///
 /// ```
 /// use wolt_sim::metrics::summarize;
 ///
-/// let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// # fn main() -> Result<(), wolt_sim::SimError> {
+/// let s = summarize(&[1.0, 2.0, 3.0, 4.0])?;
 /// assert_eq!(s.mean, 2.5);
 /// assert_eq!(s.min, 1.0);
 /// assert_eq!(s.max, 4.0);
+/// # Ok(())
+/// # }
 /// ```
-pub fn summarize(samples: &[f64]) -> Option<Summary> {
-    if samples.is_empty() || samples.iter().any(|s| !s.is_finite()) {
-        return None;
-    }
+pub fn summarize(samples: &[f64]) -> Result<Summary, SimError> {
+    validate(samples)?;
     let count = samples.len();
     let mean = samples.iter().sum::<f64>() / count as f64;
     let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
     let mut sorted = samples.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-    Some(Summary {
+    sorted.sort_unstable_by(f64::total_cmp);
+    Ok(Summary {
         count,
         mean,
         std_dev: var.sqrt(),
@@ -50,14 +77,21 @@ pub fn summarize(samples: &[f64]) -> Option<Summary> {
 }
 
 /// The `q`-quantile (0 ≤ q ≤ 1) of a sample, linear interpolation.
-/// Returns `None` for empty/non-finite input or `q` outside `[0, 1]`.
-pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
-    if samples.is_empty() || samples.iter().any(|s| !s.is_finite()) || !(0.0..=1.0).contains(&q) {
-        return None;
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSample`] for empty/non-finite input or a `q`
+/// outside `[0, 1]` (including NaN).
+pub fn percentile(samples: &[f64], q: f64) -> Result<f64, SimError> {
+    validate(samples)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(SimError::BadSample {
+            context: "quantile outside [0, 1]",
+        });
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-    Some(percentile_sorted(&sorted, q))
+    sorted.sort_unstable_by(f64::total_cmp);
+    Ok(percentile_sorted(&sorted, q))
 }
 
 fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
@@ -73,26 +107,40 @@ fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Empirical CDF: sorted `(value, cumulative_probability)` points, one per
-/// sample. Returns an empty vector for empty input.
+/// sample. An empty sample yields an empty vector (a CDF with no mass is
+/// well-defined, unlike an empty mean).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSample`] when the sample contains a non-finite
+/// value.
 ///
 /// # Example
 ///
 /// ```
 /// use wolt_sim::metrics::empirical_cdf;
 ///
-/// let cdf = empirical_cdf(&[3.0, 1.0, 2.0]);
+/// # fn main() -> Result<(), wolt_sim::SimError> {
+/// let cdf = empirical_cdf(&[3.0, 1.0, 2.0])?;
 /// assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
 /// assert_eq!(cdf[2], (3.0, 1.0));
+/// # Ok(())
+/// # }
 /// ```
-pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+pub fn empirical_cdf(samples: &[f64]) -> Result<Vec<(f64, f64)>, SimError> {
+    if samples.iter().any(|s| !s.is_finite()) {
+        return Err(SimError::BadSample {
+            context: "sample contains a non-finite value",
+        });
+    }
     let mut sorted = samples.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_unstable_by(f64::total_cmp);
     let n = sorted.len() as f64;
-    sorted
+    Ok(sorted
         .into_iter()
         .enumerate()
         .map(|(i, v)| (v, (i + 1) as f64 / n))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -119,31 +167,59 @@ mod tests {
     }
 
     #[test]
-    fn summary_rejects_bad_input() {
-        assert!(summarize(&[]).is_none());
-        assert!(summarize(&[1.0, f64::NAN]).is_none());
-        assert!(summarize(&[f64::INFINITY]).is_none());
+    fn nan_sample_is_an_error_not_a_panic() {
+        // Regression: these used to be `Option` (losing the reason) and
+        // the CDF sort would panic outright on NaN.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                summarize(&[1.0, bad]),
+                Err(SimError::BadSample {
+                    context: "sample contains a non-finite value"
+                })
+            );
+            assert_eq!(
+                percentile(&[1.0, bad], 0.5),
+                Err(SimError::BadSample {
+                    context: "sample contains a non-finite value"
+                })
+            );
+            assert_eq!(
+                empirical_cdf(&[1.0, bad]),
+                Err(SimError::BadSample {
+                    context: "sample contains a non-finite value"
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sample_is_an_error() {
+        assert!(matches!(summarize(&[]), Err(SimError::BadSample { .. })));
+        assert!(matches!(
+            percentile(&[], 0.5),
+            Err(SimError::BadSample { .. })
+        ));
     }
 
     #[test]
     fn percentiles_interpolate() {
         let data = [10.0, 20.0, 30.0, 40.0];
-        assert_eq!(percentile(&data, 0.0), Some(10.0));
-        assert_eq!(percentile(&data, 1.0), Some(40.0));
-        assert_eq!(percentile(&data, 0.5), Some(25.0));
+        assert_eq!(percentile(&data, 0.0), Ok(10.0));
+        assert_eq!(percentile(&data, 1.0), Ok(40.0));
+        assert_eq!(percentile(&data, 0.5), Ok(25.0));
         assert!((percentile(&data, 0.25).unwrap() - 17.5).abs() < 1e-12);
     }
 
     #[test]
     fn percentile_rejects_bad_q() {
-        assert!(percentile(&[1.0], -0.1).is_none());
-        assert!(percentile(&[1.0], 1.1).is_none());
-        assert!(percentile(&[], 0.5).is_none());
+        assert!(percentile(&[1.0], -0.1).is_err());
+        assert!(percentile(&[1.0], 1.1).is_err());
+        assert!(percentile(&[1.0], f64::NAN).is_err());
     }
 
     #[test]
     fn cdf_is_monotone_and_ends_at_one() {
-        let cdf = empirical_cdf(&[5.0, 1.0, 3.0, 3.0, 2.0]);
+        let cdf = empirical_cdf(&[5.0, 1.0, 3.0, 3.0, 2.0]).unwrap();
         assert_eq!(cdf.len(), 5);
         for w in cdf.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -154,6 +230,6 @@ mod tests {
 
     #[test]
     fn cdf_of_empty_is_empty() {
-        assert!(empirical_cdf(&[]).is_empty());
+        assert!(empirical_cdf(&[]).unwrap().is_empty());
     }
 }

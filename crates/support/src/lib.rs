@@ -15,10 +15,13 @@
 //!   shapes exchanged by `wolt-cli` and the bench binaries.
 //! * [`check`] — a mini property-testing harness with bounded shrinking
 //!   and a regression-seed corpus file format.
+//! * [`pool`] — a scoped thread pool with an order-preserving `par_map`,
+//!   so parallel experiment sweeps stay byte-identical to sequential runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;

@@ -1,0 +1,213 @@
+//! A small scoped thread pool with an order-preserving `par_map`.
+//!
+//! The workspace is hermetic — no rayon, no crossbeam — so this module
+//! provides the one parallel primitive the optimizers and experiment
+//! drivers need: map a function over a slice on `n` worker threads and get
+//! the results back **in input order**, so parallel runs are byte-for-byte
+//! identical to sequential ones. Workers pull indices from a shared atomic
+//! counter (dynamic load balancing); each worker collects `(index, result)`
+//! pairs privately and the results are stitched back into input order at
+//! the end, which keeps the whole module free of `unsafe`.
+//!
+//! # Determinism contract
+//!
+//! For a pure `f`, `par_map(threads, items, f)` returns exactly
+//! `items.iter().map(f).collect()` for every `threads >= 1`. Only the
+//! wall-clock schedule varies with the thread count — never the output.
+//! Tests in this module and the workspace CLI byte-determinism suite
+//! enforce this.
+//!
+//! # Example
+//!
+//! ```
+//! use wolt_support::pool::par_map;
+//!
+//! let squares = par_map(4, &[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable consulted by [`resolve_threads`] when no explicit
+/// thread count is given (the CLI's `--threads` flag overrides it).
+pub const THREADS_ENV: &str = "WOLT_THREADS";
+
+/// Resolves a worker-thread count from, in priority order: an explicit
+/// request (e.g. a `--threads` CLI flag), the `WOLT_THREADS` environment
+/// variable, and finally the machine's available parallelism. The result
+/// is always at least 1; unparseable or zero values fall through to the
+/// next source.
+///
+/// # Example
+///
+/// ```
+/// use wolt_support::pool::resolve_threads;
+///
+/// assert_eq!(resolve_threads(Some(3)), 3);
+/// assert!(resolve_threads(None) >= 1);
+/// ```
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n >= 1 {
+            return n;
+        }
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order.
+///
+/// `f` receives `(index, &item)` so callers can key work off the input
+/// position without threading it through the item type. With `threads <= 1`
+/// (or a single item) the map runs inline on the calling thread — no
+/// spawn overhead, identical results.
+///
+/// Work is distributed dynamically: workers claim the next unclaimed index
+/// from an atomic counter, so a few slow items cannot stall a static
+/// chunk. Results are reassembled into input order before returning, which
+/// is what makes the output independent of scheduling.
+///
+/// # Panics
+///
+/// If `f` panics on any item the panic is propagated to the caller once
+/// all workers have stopped (the scope joins every thread).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    // Stitch the per-worker buckets back into input order.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for bucket in &mut buckets {
+        for (i, r) in bucket.drain(..) {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Parallel fold: maps `f` over `items` with [`par_map`], then folds the
+/// results **in input order** with `combine`. Because the fold order is
+/// fixed, the result is identical at any thread count even for
+/// non-associative float reductions.
+pub fn par_map_reduce<T, R, A, F, G>(threads: usize, items: &[T], init: A, f: F, combine: G) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_map(threads, items, f).into_iter().fold(init, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_sequentially() {
+        let out = par_map(1, &[10, 20, 30], |i, &x| (i, x + 1));
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+
+    #[test]
+    fn maps_in_order_in_parallel() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = par_map(1, &items, |_, &x| x * 3 + 1);
+        for threads in [2, 4, 8] {
+            let par = par_map(threads, &items, |_, &x| x * 3 + 1);
+            assert_eq!(par, seq, "thread count {threads} changed the output");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = par_map(4, &[], |_, x: &i32| *x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(4, &[7], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map(64, &[1, 2, 3], |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = par_map(2, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn reduce_is_thread_count_invariant() {
+        // A float sum whose result depends on fold order: identical at any
+        // thread count because the fold happens in input order.
+        let items: Vec<f64> = (1..200).map(|i| 1.0 / i as f64).collect();
+        let seq = par_map_reduce(1, &items, 0.0f64, |_, &x| x.sin(), |a, r| a + r);
+        for threads in [2, 3, 8] {
+            let par = par_map_reduce(threads, &items, 0.0f64, |_, &x| x.sin(), |a, r| a + r);
+            assert_eq!(par.to_bits(), seq.to_bits(), "bitwise float divergence");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(2, &[1, 2, 3, 4], |_, &x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn resolve_threads_priority() {
+        assert_eq!(resolve_threads(Some(5)), 5);
+        // Zero is not a valid explicit count; falls through to env/machine.
+        assert!(resolve_threads(Some(0)) >= 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -386,7 +386,7 @@ mod tests {
             assert!((-1.0..=1.0).contains(&w));
         }
         let tiny = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        assert!(tiny >= f64::MIN_POSITIVE && tiny < 1.0);
+        assert!((f64::MIN_POSITIVE..1.0).contains(&tiny));
     }
 
     #[test]

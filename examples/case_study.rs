@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let wolt = Wolt::new();
     let greedy = Greedy::new();
+    let optimal = Optimal::new();
     let policies: [(&dyn AssociationPolicy, &str); 4] = [
         (
             &Rssi,
@@ -29,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &greedy,
             "arrivals optimize one at a time; leftover PLC airtime rescues user 2",
         ),
-        (&Optimal, "brute force over all 4 associations"),
+        (&optimal, "brute force over all 4 associations"),
         (
             &wolt,
             "phase I matches users to extenders, phase II fills in the rest",

@@ -6,7 +6,9 @@
 //! JSON writer emits fields in a fixed order with a deterministic float
 //! representation, so two runs cannot differ even at the byte level.
 
-use wolt_cli::commands::{generate, solve, PolicyChoice, PresetChoice};
+use wolt_cli::commands::{
+    compare_with_threads, generate, solve, solve_with_threads, PolicyChoice, PresetChoice,
+};
 use wolt_support::json::ToJson;
 
 /// Runs the whole pipeline and returns the pretty report JSON exactly as
@@ -38,6 +40,44 @@ fn different_seeds_differ() {
     let a = pipeline_json(PresetChoice::Enterprise, 24, 42, 0);
     let b = pipeline_json(PresetChoice::Enterprise, 24, 43, 0);
     assert_ne!(a, b, "different generation seeds must change the report");
+}
+
+#[test]
+fn thread_count_never_changes_report_bytes() {
+    // `--threads` must be a pure throughput knob: the report bytes that
+    // `wolt solve`/`wolt compare` print are identical at 1, 2, and 8
+    // workers, including for the brute-force Optimal policy whose
+    // enumeration actually fans out across the pool.
+    let spec = generate(PresetChoice::Lab, 7, 42).expect("generate succeeds");
+    for policy in [PolicyChoice::Wolt, PolicyChoice::Optimal] {
+        let reference = solve_with_threads(&spec, policy, 0, Some(1))
+            .expect("solve succeeds")
+            .to_json()
+            .to_pretty();
+        for threads in [2usize, 8] {
+            let candidate = solve_with_threads(&spec, policy, 0, Some(threads))
+                .expect("solve succeeds")
+                .to_json()
+                .to_pretty();
+            assert_eq!(
+                reference, candidate,
+                "{policy:?} report changed at {threads} threads"
+            );
+        }
+    }
+    let reference: Vec<String> = compare_with_threads(&spec, 0, Some(1))
+        .expect("compare succeeds")
+        .iter()
+        .map(|r| r.to_json().to_pretty())
+        .collect();
+    for threads in [2usize, 8] {
+        let candidate: Vec<String> = compare_with_threads(&spec, 0, Some(threads))
+            .expect("compare succeeds")
+            .iter()
+            .map(|r| r.to_json().to_pretty())
+            .collect();
+        assert_eq!(reference, candidate);
+    }
 }
 
 #[test]

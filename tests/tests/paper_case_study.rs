@@ -40,7 +40,7 @@ fn selfish_greedy_also_lands_at_30_here() {
 #[test]
 fn optimal_lands_at_40() {
     // "Total throughput = 10+30 = 40 Mbps" (Fig. 3d).
-    assert!((aggregate_of(&Optimal) - 40.0).abs() < 1e-9);
+    assert!((aggregate_of(&Optimal::new()) - 40.0).abs() < 1e-9);
 }
 
 #[test]
@@ -52,7 +52,7 @@ fn wolt_recovers_the_optimum() {
 fn wolt_matches_optimal_assignment_exactly() {
     let net = fig3_network();
     let wolt = Wolt::new().associate(&net).expect("wolt runs");
-    let optimal = Optimal.associate(&net).expect("optimal runs");
+    let optimal = Optimal::new().associate(&net).expect("optimal runs");
     assert_eq!(wolt, optimal);
 }
 
@@ -81,7 +81,7 @@ fn greedy_per_user_includes_redistribution_bonus() {
 fn strategy_ordering_is_strict_on_the_case_study() {
     let rssi = aggregate_of(&Rssi);
     let greedy = aggregate_of(&Greedy::new());
-    let optimal = aggregate_of(&Optimal);
+    let optimal = aggregate_of(&Optimal::new());
     assert!(rssi < greedy);
     assert!(greedy < optimal);
 }

@@ -74,7 +74,7 @@ fn wolt_limitation_forced_coverage() {
         .expect("valid")
         .aggregate
         .value();
-    let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
+    let optimal = evaluate(&net, &Optimal::new().associate(&net).expect("runs"))
         .expect("valid")
         .aggregate
         .value();
@@ -108,7 +108,7 @@ fn wolt_is_near_optimal_on_average() {
             .expect("valid")
             .aggregate
             .value();
-        let optimal = evaluate(&net, &Optimal.associate(&net).expect("runs"))
+        let optimal = evaluate(&net, &Optimal::new().associate(&net).expect("runs"))
             .expect("valid")
             .aggregate
             .value();
@@ -143,7 +143,7 @@ fn check_wolt_complete_and_valid(net: &Network) -> Result<(), String> {
 /// The brute-force optimum dominates every polynomial policy on one
 /// network.
 fn check_optimal_dominates(net: &Network) -> Result<(), String> {
-    let optimal = evaluate(net, &Optimal.associate(net).expect("runs"))
+    let optimal = evaluate(net, &Optimal::new().associate(net).expect("runs"))
         .expect("valid")
         .aggregate
         .value();
@@ -236,7 +236,7 @@ fn wolt_within_constant_factor_of_optimal() {
 }
 
 fn check_wolt_within_factor(net: &Network, factor: f64) -> Result<(), String> {
-    let optimal = evaluate(net, &Optimal.associate(net).expect("runs"))
+    let optimal = evaluate(net, &Optimal::new().associate(net).expect("runs"))
         .expect("valid")
         .aggregate
         .value();
