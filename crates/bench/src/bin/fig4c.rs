@@ -48,8 +48,8 @@ fn main() {
         let rig_outcome = run_rig(
             &scenario,
             &RigConfig {
-                policy: rig_policy,
                 estimator: noiseless,
+                ..RigConfig::new(rig_policy)
             },
             0,
         )

@@ -1,0 +1,241 @@
+//! Last-known-good client telemetry for a resilient Central Controller.
+//!
+//! The paper's CC plans on rate estimates that clients *report* over a
+//! real network (§V-A): reports can be lost, delayed, or duplicated, and
+//! clients vanish without notice. This module gives the controller a
+//! cache of the last rates each client reported, smoothed exponentially
+//! (successive reports of a noisy link converge instead of whiplashing
+//! the planner) and aged with a staleness counter, so the CC can keep
+//! planning — degrading to slightly stale data — instead of stalling or
+//! panicking when a report goes missing.
+//!
+//! Duplicate delivery is first-class: a retransmitted or fault-duplicated
+//! report carries the epoch of the event that produced it, and
+//! [`TelemetryCache::record`] applies each `(client, epoch)` pair at most
+//! once. That keeps the smoothed state — and therefore every association
+//! decision derived from it — independent of how many copies of a report
+//! the network happened to deliver.
+
+use wolt_units::Mbps;
+
+/// What the cache knows about one client.
+#[derive(Debug, Clone, PartialEq)]
+struct ClientEntry {
+    /// Smoothed per-extender achievable rates (`None` = unreachable).
+    rates: Vec<Option<Mbps>>,
+    /// Epochs elapsed since the last accepted report.
+    staleness: u64,
+    /// Epoch of the last accepted report (duplicate suppression).
+    last_epoch: u64,
+}
+
+/// Per-client last-known-good rate cache with exponential smoothing and
+/// staleness ages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryCache {
+    alpha: f64,
+    entries: Vec<Option<ClientEntry>>,
+}
+
+impl TelemetryCache {
+    /// An empty cache for `clients` clients with smoothing factor
+    /// `alpha` ∈ (0, 1]: each accepted report contributes `alpha` of the
+    /// new sample and `1 - alpha` of the cached value. `alpha = 1.0`
+    /// disables smoothing (the cache holds the latest report verbatim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]` — a zero or negative weight
+    /// would ignore every report, which is never what a controller wants.
+    pub fn new(clients: usize, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && 0.0 < alpha && alpha <= 1.0,
+            "smoothing alpha must be in (0, 1], got {alpha}"
+        );
+        Self {
+            alpha,
+            entries: vec![None; clients],
+        }
+    }
+
+    /// Number of client slots.
+    pub fn clients(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Accepts a report from `client` produced at `epoch`, unless that
+    /// epoch was already applied (a retransmission or network duplicate),
+    /// and returns whether the report was applied.
+    ///
+    /// A first report (or a report from a client previously
+    /// [forgotten](Self::forget)) is stored verbatim; later reports are
+    /// blended per-extender with weight `alpha`. A reachability change
+    /// (`Some` ↔ `None`) takes the new sample outright: averaging a rate
+    /// with "out of range" is meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn record(&mut self, client: usize, epoch: u64, rates: &[Option<Mbps>]) -> bool {
+        match &mut self.entries[client] {
+            Some(entry) => {
+                if entry.last_epoch == epoch {
+                    return false;
+                }
+                for (cached, &new) in entry.rates.iter_mut().zip(rates) {
+                    *cached = match (*cached, new) {
+                        (Some(old), Some(new)) => Some(Mbps::new(
+                            self.alpha * new.value() + (1.0 - self.alpha) * old.value(),
+                        )),
+                        _ => new,
+                    };
+                }
+                entry.staleness = 0;
+                entry.last_epoch = epoch;
+                true
+            }
+            slot @ None => {
+                *slot = Some(ClientEntry {
+                    rates: rates.to_vec(),
+                    staleness: 0,
+                    last_epoch: epoch,
+                });
+                true
+            }
+        }
+    }
+
+    /// Ages every known client by one epoch.
+    pub fn advance_epoch(&mut self) {
+        for entry in self.entries.iter_mut().flatten() {
+            entry.staleness += 1;
+        }
+    }
+
+    /// Drops everything known about `client` (departure, or a client the
+    /// controller has declared dead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn forget(&mut self, client: usize) {
+        self.entries[client] = None;
+    }
+
+    /// Whether the cache holds rates for `client`.
+    pub fn is_known(&self, client: usize) -> bool {
+        self.entries.get(client).is_some_and(Option::is_some)
+    }
+
+    /// The smoothed last-known-good rates of `client`, if any.
+    pub fn rates(&self, client: usize) -> Option<&[Option<Mbps>]> {
+        self.entries[client].as_ref().map(|e| e.rates.as_slice())
+    }
+
+    /// Epochs since `client` last reported, if it is known.
+    pub fn staleness(&self, client: usize) -> Option<u64> {
+        self.entries[client].as_ref().map(|e| e.staleness)
+    }
+
+    /// Indices of all known clients, ascending.
+    pub fn known_clients(&self) -> Vec<usize> {
+        (0..self.entries.len())
+            .filter(|&i| self.entries[i].is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(v: f64) -> Option<Mbps> {
+        Some(Mbps::new(v))
+    }
+
+    #[test]
+    fn first_report_stored_verbatim() {
+        let mut cache = TelemetryCache::new(3, 0.5);
+        assert!(cache.record(1, 0, &[mb(10.0), None]));
+        assert_eq!(cache.rates(1).unwrap(), &[mb(10.0), None]);
+        assert_eq!(cache.staleness(1), Some(0));
+        assert!(!cache.is_known(0));
+        assert_eq!(cache.known_clients(), vec![1]);
+    }
+
+    #[test]
+    fn smoothing_blends_toward_new_samples() {
+        let mut cache = TelemetryCache::new(1, 0.5);
+        cache.record(0, 0, &[mb(10.0)]);
+        cache.record(0, 1, &[mb(20.0)]);
+        let got = cache.rates(0).unwrap()[0].unwrap().value();
+        assert!(
+            (got - 15.0).abs() < 1e-12,
+            "EWMA(10, 20; 0.5) = 15, got {got}"
+        );
+        // Repeated identical samples are a fixed point.
+        cache.record(0, 2, &[mb(15.0)]);
+        assert!((cache.rates(0).unwrap()[0].unwrap().value() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_keeps_latest_report() {
+        let mut cache = TelemetryCache::new(1, 1.0);
+        cache.record(0, 0, &[mb(10.0)]);
+        cache.record(0, 1, &[mb(40.0)]);
+        assert_eq!(cache.rates(0).unwrap(), &[mb(40.0)]);
+    }
+
+    #[test]
+    fn duplicate_epoch_is_ignored() {
+        let mut cache = TelemetryCache::new(1, 0.5);
+        assert!(cache.record(0, 7, &[mb(10.0)]));
+        // A duplicated delivery of the same report must not re-smooth.
+        assert!(!cache.record(0, 7, &[mb(10.0)]));
+        cache.record(0, 8, &[mb(20.0)]);
+        assert!(!cache.record(0, 8, &[mb(20.0)]));
+        let got = cache.rates(0).unwrap()[0].unwrap().value();
+        assert!(
+            (got - 15.0).abs() < 1e-12,
+            "duplicate shifted EWMA to {got}"
+        );
+    }
+
+    #[test]
+    fn reachability_change_takes_new_sample() {
+        let mut cache = TelemetryCache::new(1, 0.25);
+        cache.record(0, 0, &[mb(10.0), None]);
+        cache.record(0, 1, &[None, mb(30.0)]);
+        assert_eq!(cache.rates(0).unwrap(), &[None, mb(30.0)]);
+    }
+
+    #[test]
+    fn staleness_ages_and_resets() {
+        let mut cache = TelemetryCache::new(2, 1.0);
+        cache.record(0, 0, &[mb(5.0)]);
+        cache.advance_epoch();
+        cache.advance_epoch();
+        assert_eq!(cache.staleness(0), Some(2));
+        assert_eq!(cache.staleness(1), None);
+        cache.record(0, 2, &[mb(5.0)]);
+        assert_eq!(cache.staleness(0), Some(0));
+    }
+
+    #[test]
+    fn forget_then_rejoin_starts_fresh() {
+        let mut cache = TelemetryCache::new(1, 0.5);
+        cache.record(0, 0, &[mb(10.0)]);
+        cache.forget(0);
+        assert!(!cache.is_known(0));
+        assert_eq!(cache.rates(0), None);
+        // Rejoin: stored verbatim, not blended with the forgotten value.
+        assert!(cache.record(0, 5, &[mb(40.0)]));
+        assert_eq!(cache.rates(0).unwrap(), &[mb(40.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing alpha")]
+    fn zero_alpha_rejected() {
+        let _ = TelemetryCache::new(1, 0.0);
+    }
+}

@@ -14,8 +14,8 @@ use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 
 use crate::dynamics::{sample_epoch, DynamicsConfig};
 use crate::perturb::{
-    apply_mobility, drift_capacities, sample_alive_extenders, CapacityDriftConfig, MobilityConfig,
-    OutageConfig,
+    apply_link_flaps, apply_mobility, drift_capacities, sample_alive_extenders,
+    CapacityDriftConfig, LinkFlapConfig, MobilityConfig, OutageConfig,
 };
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::SimError;
@@ -168,6 +168,9 @@ pub struct EpochRecord {
     pub down_extenders: usize,
     /// Users who moved this epoch (mobility; 0 without it).
     pub moved_users: usize,
+    /// PLC links that flapped this epoch (failure injection; 0 without
+    /// it).
+    pub flapped_links: usize,
 }
 
 impl ToJson for EpochRecord {
@@ -182,6 +185,7 @@ impl ToJson for EpochRecord {
             ("reassignments", self.reassignments.to_json()),
             ("down_extenders", self.down_extenders.to_json()),
             ("moved_users", self.moved_users.to_json()),
+            ("flapped_links", self.flapped_links.to_json()),
         ])
     }
 }
@@ -206,6 +210,7 @@ impl FromJson for EpochRecord {
             reassignments: usize::from_json(value.field("reassignments")?)?,
             down_extenders: opt_usize("down_extenders")?,
             moved_users: opt_usize("moved_users")?,
+            flapped_links: opt_usize("flapped_links")?,
         })
     }
 }
@@ -226,6 +231,9 @@ pub struct DynamicSimulation {
     pub outages: Option<OutageConfig>,
     /// Optional per-epoch PLC capacity drift.
     pub capacity_drift: Option<CapacityDriftConfig>,
+    /// Optional per-epoch PLC link flaps (mid-epoch capacity collapse
+    /// and recovery).
+    pub link_flaps: Option<LinkFlapConfig>,
 }
 
 impl DynamicSimulation {
@@ -237,6 +245,7 @@ impl DynamicSimulation {
             mobility: None,
             outages: None,
             capacity_drift: None,
+            link_flaps: None,
         }
     }
 
@@ -255,6 +264,12 @@ impl DynamicSimulation {
     /// Enables per-epoch PLC capacity drift.
     pub fn with_capacity_drift(mut self, drift: CapacityDriftConfig) -> Self {
         self.capacity_drift = Some(drift);
+        self
+    }
+
+    /// Enables per-epoch PLC link flaps.
+    pub fn with_link_flaps(mut self, flaps: LinkFlapConfig) -> Self {
+        self.link_flaps = Some(flaps);
         self
     }
 
@@ -312,6 +327,22 @@ impl DynamicSimulation {
             if let (Some(drift), true) = (&self.capacity_drift, epoch > 1) {
                 scenario.capacities = drift_capacities(&nominal_capacities, drift, &mut rng)?;
             }
+            let flapped_links = match (&self.link_flaps, epoch > 1) {
+                (Some(flaps), true) => {
+                    // Flaps modulate this epoch's (possibly drifted)
+                    // capacities; without drift, start from nominal so a
+                    // link's degradation never compounds across epochs.
+                    let base = if self.capacity_drift.is_some() {
+                        scenario.capacities.clone()
+                    } else {
+                        nominal_capacities.clone()
+                    };
+                    let (caps, flapped) = apply_link_flaps(&base, flaps, &mut rng)?;
+                    scenario.capacities = caps;
+                    flapped
+                }
+                _ => 0,
+            };
             let all_extenders = scenario.extender_positions.len();
             let alive: Vec<usize> = match (&self.outages, epoch) {
                 (Some(cfg), e) if e > 1 => sample_alive_extenders(&scenario, cfg, &mut rng)?,
@@ -332,6 +363,7 @@ impl DynamicSimulation {
                     reassignments: 0,
                     down_extenders,
                     moved_users,
+                    flapped_links,
                 });
                 continue;
             }
@@ -381,6 +413,7 @@ impl DynamicSimulation {
                 reassignments,
                 down_extenders,
                 moved_users,
+                flapped_links,
             });
         }
         Ok(records)
@@ -555,5 +588,81 @@ mod tests {
         assert_eq!(OnlinePolicy::Wolt.name(), "WOLT");
         assert_eq!(OnlinePolicy::GreedyOnline.name(), "Greedy");
         assert_eq!(OnlinePolicy::Rssi.name(), "RSSI");
+    }
+
+    #[test]
+    fn link_flaps_are_counted_and_deterministic() {
+        let sim = small_dynamic().with_link_flaps(LinkFlapConfig {
+            probability: 0.6,
+            degraded_fraction: 0.2,
+            max_dwell: 0.8,
+        });
+        let a = sim.run(OnlinePolicy::Wolt, 5, 17).unwrap();
+        let b = sim.run(OnlinePolicy::Wolt, 5, 17).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0].flapped_links, 0, "epoch 1 is unperturbed");
+        assert!(
+            a.iter().any(|r| r.flapped_links > 0),
+            "no link ever flapped at p=0.6: {a:?}"
+        );
+        assert!(a.iter().all(|r| r.aggregate > 0.0));
+    }
+
+    #[test]
+    fn link_flaps_never_compound_across_epochs() {
+        // Without drift, every epoch restarts from nominal capacities:
+        // even at p=1 with a deep collapse, the effective capacity stays
+        // within one flap of nominal instead of decaying to the floor.
+        let sim = small_dynamic().with_link_flaps(LinkFlapConfig {
+            probability: 1.0,
+            degraded_fraction: 0.5,
+            max_dwell: 0.5,
+        });
+        let clean = small_dynamic();
+        let flapped = sim.run(OnlinePolicy::Rssi, 6, 23).unwrap();
+        let baseline = clean.run(OnlinePolicy::Rssi, 6, 23).unwrap();
+        for (f, b) in flapped.iter().zip(&baseline) {
+            // One flap removes at most dwell·(1-fraction) = 25% of any
+            // link; PLC redistribution makes the aggregate effect even
+            // smaller. Compounding would push this toward the 5% floor.
+            assert!(
+                f.aggregate > 0.5 * b.aggregate,
+                "epoch {}: flapped {} vs baseline {}",
+                f.epoch,
+                f.aggregate,
+                b.aggregate
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_record_json_roundtrip_and_legacy_default() {
+        let record = EpochRecord {
+            epoch: 3,
+            users: 9,
+            arrivals: 2,
+            departures: 1,
+            aggregate: 123.5,
+            jain: Some(0.9),
+            reassignments: 4,
+            down_extenders: 1,
+            moved_users: 2,
+            flapped_links: 3,
+        };
+        let json = record.to_json();
+        assert_eq!(EpochRecord::from_json(&json).unwrap(), record);
+        // Traces written before link flaps existed must still load.
+        let legacy = Json::obj(vec![
+            ("epoch", 1usize.to_json()),
+            ("users", 5usize.to_json()),
+            ("arrivals", 0usize.to_json()),
+            ("departures", 0usize.to_json()),
+            ("aggregate", 50.0f64.to_json()),
+            ("jain", Option::<f64>::None.to_json()),
+            ("reassignments", 0usize.to_json()),
+        ]);
+        let parsed = EpochRecord::from_json(&legacy).unwrap();
+        assert_eq!(parsed.flapped_links, 0);
+        assert_eq!(parsed.down_extenders, 0);
     }
 }

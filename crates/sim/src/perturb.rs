@@ -12,6 +12,9 @@
 //!   must be re-associated around it. Outage sets that would strand a
 //!   user (no surviving extender in range) are rejected, mirroring an
 //!   installer keeping minimum coverage.
+//! * **Link flaps** — a PLC link collapses to a degraded fraction of its
+//!   nominal capacity mid-epoch (appliance interference) and recovers;
+//!   the epoch sees the time-averaged effective capacity.
 
 use wolt_support::rng::Rng;
 use wolt_units::Point;
@@ -133,6 +136,89 @@ pub fn drift_capacities<R: Rng + ?Sized>(
             c * (1.0 + drift.sigma * z.clamp(-3.0, 3.0)).max(0.05)
         })
         .collect())
+}
+
+/// Per-epoch PLC link flaps.
+///
+/// Unlike [drift](CapacityDriftConfig) (small multiplicative wander) or
+/// [outages](OutageConfig) (the extender disappears entirely), a *flap*
+/// is the paper's §II interference story at its worst: an appliance
+/// switches on mid-epoch, the powerline link collapses to a fraction of
+/// its nominal capacity for part of the epoch, then recovers. The
+/// epoch-averaged effective capacity interpolates between nominal and
+/// the degraded floor by the fraction of the epoch spent degraded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFlapConfig {
+    /// Probability that any given extender's PLC link flaps this epoch.
+    pub probability: f64,
+    /// Capacity fraction while degraded, in `[0, 1]` (0 = dead link
+    /// during the flap, 1 = no degradation).
+    pub degraded_fraction: f64,
+    /// Maximum fraction of the epoch spent degraded, in `(0, 1]`; the
+    /// actual dwell is uniform in `(0, max_dwell]`.
+    pub max_dwell: f64,
+}
+
+impl LinkFlapConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a probability or degraded
+    /// fraction outside `[0, 1]`, or a dwell outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.probability.is_finite() && (0.0..=1.0).contains(&self.probability)) {
+            return Err(SimError::InvalidConfig {
+                context: "link flap probability must be in [0, 1]",
+            });
+        }
+        if !(self.degraded_fraction.is_finite() && (0.0..=1.0).contains(&self.degraded_fraction)) {
+            return Err(SimError::InvalidConfig {
+                context: "link flap degraded fraction must be in [0, 1]",
+            });
+        }
+        if !(self.max_dwell.is_finite() && 0.0 < self.max_dwell && self.max_dwell <= 1.0) {
+            return Err(SimError::InvalidConfig {
+                context: "link flap max dwell must be in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Returns this epoch's effective capacities under link flaps, plus how
+/// many links flapped. A flapped link's capacity is scaled by
+/// `1 - dwell · (1 - degraded_fraction)` with `dwell` uniform in
+/// `(0, max_dwell]`, floored at 5% of nominal (same floor as
+/// [`drift_capacities`]) so the extender never becomes unusable — the
+/// link recovers within the epoch.
+///
+/// # Errors
+///
+/// Propagates [`LinkFlapConfig::validate`].
+pub fn apply_link_flaps<R: Rng + ?Sized>(
+    nominal: &[wolt_units::Mbps],
+    flaps: &LinkFlapConfig,
+    rng: &mut R,
+) -> Result<(Vec<wolt_units::Mbps>, usize), SimError> {
+    flaps.validate()?;
+    if flaps.probability == 0.0 {
+        return Ok((nominal.to_vec(), 0));
+    }
+    let mut flapped = 0usize;
+    let capacities = nominal
+        .iter()
+        .map(|&c| {
+            if rng.gen_range(0.0..1.0) >= flaps.probability {
+                return c;
+            }
+            flapped += 1;
+            let dwell = rng.gen_range(f64::MIN_POSITIVE..=flaps.max_dwell);
+            let factor = 1.0 - dwell * (1.0 - flaps.degraded_fraction);
+            c * factor.max(0.05)
+        })
+        .collect();
+    Ok((capacities, flapped))
 }
 
 /// Random extender outages per epoch.
@@ -304,6 +390,91 @@ mod tests {
         assert!(
             drift_capacities(&nominal, &CapacityDriftConfig { sigma: -0.1 }, &mut rng).is_err()
         );
+    }
+
+    #[test]
+    fn link_flaps_degrade_but_keep_links_usable() {
+        use wolt_units::Mbps;
+        let nominal = vec![Mbps::new(100.0); 8];
+        let flaps = LinkFlapConfig {
+            probability: 1.0,
+            degraded_fraction: 0.0,
+            max_dwell: 1.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        for _ in 0..200 {
+            let (caps, flapped) = apply_link_flaps(&nominal, &flaps, &mut rng).unwrap();
+            assert_eq!(flapped, 8);
+            for c in &caps {
+                assert!(c.is_usable());
+                assert!(c.value() <= 100.0);
+                // Worst case: dwell 1 at fraction 0 hits the 5% floor.
+                assert!(c.value() >= 5.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn link_flaps_zero_probability_identity() {
+        use wolt_units::Mbps;
+        let nominal = vec![Mbps::new(60.0), Mbps::new(160.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let flaps = LinkFlapConfig {
+            probability: 0.0,
+            degraded_fraction: 0.5,
+            max_dwell: 0.5,
+        };
+        let (caps, flapped) = apply_link_flaps(&nominal, &flaps, &mut rng).unwrap();
+        assert_eq!(caps, nominal);
+        assert_eq!(flapped, 0);
+    }
+
+    #[test]
+    fn link_flaps_respect_degraded_floor() {
+        use wolt_units::Mbps;
+        let nominal = vec![Mbps::new(100.0); 4];
+        let flaps = LinkFlapConfig {
+            probability: 1.0,
+            degraded_fraction: 0.6,
+            max_dwell: 0.5,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(52);
+        for _ in 0..200 {
+            let (caps, _) = apply_link_flaps(&nominal, &flaps, &mut rng).unwrap();
+            for c in &caps {
+                // factor = 1 - dwell·(1-0.6) ≥ 1 - 0.5·0.4 = 0.8
+                assert!(c.value() >= 80.0 - 1e-9 && c.value() <= 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn link_flap_config_validated() {
+        use wolt_units::Mbps;
+        let nominal = vec![Mbps::new(100.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        for bad in [
+            LinkFlapConfig {
+                probability: 1.5,
+                degraded_fraction: 0.5,
+                max_dwell: 0.5,
+            },
+            LinkFlapConfig {
+                probability: 0.5,
+                degraded_fraction: -0.1,
+                max_dwell: 0.5,
+            },
+            LinkFlapConfig {
+                probability: 0.5,
+                degraded_fraction: 0.5,
+                max_dwell: 0.0,
+            },
+        ] {
+            assert!(
+                apply_link_flaps(&nominal, &bad, &mut rng).is_err(),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub enum TestbedError {
         /// Description of the failing call.
         context: String,
     },
+    /// A protocol deadline expired: the awaited message never arrived
+    /// within the configured retry budget. This is the bounded-time
+    /// replacement for blocking forever on a dead or wedged endpoint.
+    Timeout {
+        /// What the waiter was blocked on (e.g. `"join of client 3"`).
+        waiting_for: String,
+    },
 }
 
 impl fmt::Display for TestbedError {
@@ -42,6 +49,9 @@ impl fmt::Display for TestbedError {
             }
             TestbedError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
             TestbedError::Layer { context } => write!(f, "layer failure: {context}"),
+            TestbedError::Timeout { waiting_for } => {
+                write!(f, "deadline expired waiting for {waiting_for}")
+            }
         }
     }
 }
@@ -75,6 +85,10 @@ mod tests {
             .contains("cc"));
         let e: TestbedError = CoreError::UnreachableUser { user: 0 }.into();
         assert!(e.to_string().contains("core"));
+        let t = TestbedError::Timeout {
+            waiting_for: "join of client 3".to_string(),
+        };
+        assert!(t.to_string().contains("join of client 3"));
     }
 
     #[test]

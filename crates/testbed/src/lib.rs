@@ -13,6 +13,9 @@
 //!   joined sequentially over mpsc channels; the CC runs WOLT /
 //!   Greedy / RSSI on *estimated* PLC capacities while outcomes are
 //!   evaluated on the true ones.
+//! * [`faults`] — seeded deterministic fault injection (message drop /
+//!   delay / duplication, crashed and wedged agents) for exercising the
+//!   resilient control loop.
 //! * [`experiment`] — the §V-D experiment: 25 random lab topologies,
 //!   3 extenders, 7 laptops, with the Fig. 4a/4b/5 analyses.
 //!
@@ -37,10 +40,15 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod faults;
 pub mod protocol;
 pub mod rig;
 
 mod error;
 
 pub use error::TestbedError;
-pub use rig::{run_rig, run_session, ControllerPolicy, RigConfig, SessionEvent, TopologyOutcome};
+pub use faults::{FaultPlan, LinkFaults};
+pub use rig::{
+    run_faulty_session, run_rig, run_session, ControllerPolicy, Deadlines, RigConfig, SessionEvent,
+    SessionReport, TopologyOutcome,
+};

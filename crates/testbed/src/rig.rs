@@ -12,19 +12,53 @@
 //! the offline iperf procedure), while the physical outcome is always
 //! evaluated on the true capacities — estimation error is part of the
 //! experiment.
+//!
+//! # Resilience
+//!
+//! A real deployment's control plane is lossy: reports and directives
+//! cross the same contended medium they configure, and laptops crash or
+//! hang without notice. [`run_faulty_session`] runs the same protocol
+//! under a seeded [`FaultPlan`], and the control loop is built to survive
+//! it:
+//!
+//! * every wait is a `recv_timeout` against a [`Deadlines`] budget — the
+//!   rig returns [`TestbedError::Timeout`] rather than hanging forever;
+//! * directives carry monotone sequence numbers and are retransmitted
+//!   with bounded exponential backoff; agents apply each sequence once
+//!   and re-ack retries, so duplication and reordering are harmless;
+//! * a client that misses its whole ack retry budget is declared dead:
+//!   the CC forgets its telemetry and re-optimizes the survivors instead
+//!   of stranding the transaction;
+//! * the CC plans on a [`TelemetryCache`] of last-known-good smoothed
+//!   rates, and degrades to the previous association when a solve fails
+//!   mid-faults instead of panicking.
+//!
+//! The outcome of a faulty session is deterministic for a fixed scenario,
+//! seed, and plan (see [`crate::faults`]): fault decisions are keyed by
+//! message identity, so scheduling jitter only shifts *when* retries
+//! happen, never *what* the session decides — provided the plan's delays
+//! stay well below the ack retry budget.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
+use std::time::{Duration, Instant};
 
-use wolt_core::{evaluate, Association, AssociationPolicy, Network, Wolt};
+use wolt_core::{evaluate, Association, AssociationPolicy, Network, TelemetryCache, Wolt};
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::Scenario;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_units::Mbps;
 
+use crate::faults::{FaultPlan, Link, MessageKey};
 use crate::protocol::{ToAgent, ToClient, ToController};
 use crate::TestbedError;
+
+/// Smoothing factor for the CC's telemetry cache. With one report per
+/// join and forget-on-departure this is exact in fault-free sessions;
+/// under faults it damps duplicate-epoch noise (which the cache already
+/// suppresses) and repeated-report jitter.
+const TELEMETRY_ALPHA: f64 = 0.5;
 
 /// Which association logic the Central Controller runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +84,50 @@ impl ControllerPolicy {
     }
 }
 
+/// Deadline and retry budgets for the control loop. Every blocking wait
+/// in the rig is bounded by one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadlines {
+    /// How long the harness waits for one join/leave transaction to
+    /// complete before retransmitting the command.
+    pub event: Duration,
+    /// Harness retransmissions per event before giving up (≥ 1).
+    pub event_attempts: u32,
+    /// Base ack deadline for a directive; retries back off exponentially
+    /// from here.
+    pub ack: Duration,
+    /// Directive transmissions per sequence number before the CC declares
+    /// the client dead (≥ 1).
+    pub ack_attempts: u32,
+    /// Upper bound on the backed-off ack deadline.
+    pub ack_backoff_cap: Duration,
+    /// Poll interval of the CC's idle loop (shutdown detection).
+    pub idle: Duration,
+}
+
+impl Default for Deadlines {
+    fn default() -> Self {
+        Self {
+            event: Duration::from_secs(2),
+            event_attempts: 8,
+            ack: Duration::from_millis(25),
+            ack_attempts: 6,
+            ack_backoff_cap: Duration::from_millis(200),
+            idle: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Deadlines {
+    /// The ack deadline for the given (1-based) transmission attempt:
+    /// exponential backoff from [`ack`](Self::ack), capped at
+    /// [`ack_backoff_cap`](Self::ack_backoff_cap).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.ack.saturating_mul(factor).min(self.ack_backoff_cap)
+    }
+}
+
 /// Rig configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RigConfig {
@@ -57,14 +135,17 @@ pub struct RigConfig {
     pub policy: ControllerPolicy,
     /// Offline PLC capacity estimation procedure (measurement noise).
     pub estimator: CapacityEstimator,
+    /// Deadline and retry budgets for the control loop.
+    pub deadlines: Deadlines,
 }
 
 impl RigConfig {
-    /// Rig with the given policy and the default estimator.
+    /// Rig with the given policy and the default estimator and deadlines.
     pub fn new(policy: ControllerPolicy) -> Self {
         Self {
             policy,
             estimator: CapacityEstimator::default(),
+            deadlines: Deadlines::default(),
         }
     }
 }
@@ -83,21 +164,77 @@ pub enum SessionEvent {
 pub struct TopologyOutcome {
     /// Policy name.
     pub policy: String,
-    /// Final association (physical state at session end; departed clients
-    /// are unassigned).
+    /// Final association (physical state at session end; departed and
+    /// non-surviving clients are unassigned).
     pub association: Association,
     /// Aggregate throughput on the *true* capacities (Mbit/s).
     pub aggregate: f64,
     /// Per-user throughput on the true capacities (Mbit/s; 0 for departed
     /// clients).
     pub per_user: Vec<f64>,
-    /// Jain's fairness index over the *present* clients.
+    /// Jain's fairness index over the surviving clients.
     pub jain: Option<f64>,
-    /// Directives the CC sent.
+    /// Distinct directives the CC issued (retransmissions not counted).
     pub directives: usize,
-    /// Present clients whose final extender differs from their initial
+    /// Surviving clients whose final extender differs from their initial
     /// strongest-RSSI attachment.
     pub switches: usize,
+}
+
+/// Everything [`run_faulty_session`] observed: the physical outcome plus
+/// the fault bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The evaluated physical outcome over the surviving clients.
+    pub outcome: TopologyOutcome,
+    /// Clients present, responsive, and fault-free at session end,
+    /// ascending. Only these contribute throughput.
+    pub survivors: Vec<usize>,
+    /// Clients the plan crashed, ascending.
+    pub crashed: Vec<usize>,
+    /// Clients the plan wedged, ascending.
+    pub wedged: Vec<usize>,
+    /// Clients the CC declared dead after exhausting an ack retry
+    /// budget, ascending.
+    pub declared_dead: Vec<usize>,
+    /// Clients whose join/leave never completed within the harness retry
+    /// budget (expected agent faults only), ascending.
+    pub unresponsive: Vec<usize>,
+    /// Times the CC kept the previous association because a solve failed.
+    pub degraded_solves: usize,
+    /// Total retransmissions (harness events + CC directives). Timing
+    /// dependent; excluded from [`canonical`](Self::canonical).
+    pub retries: usize,
+}
+
+impl SessionReport {
+    /// A canonical, timing-independent rendering of the session outcome.
+    ///
+    /// Two runs with the same scenario, seed, and fault plan produce
+    /// byte-identical canonical reports regardless of thread count or
+    /// scheduling. `retries` is the one timing-dependent field (a slow
+    /// scheduler can trip a retransmission deadline without changing any
+    /// decision), so it is deliberately excluded.
+    pub fn canonical(&self) -> String {
+        let targets: Vec<Option<usize>> = self.outcome.association.iter().collect();
+        format!(
+            "policy={} association={targets:?} aggregate={:?} per_user={:?} jain={:?} \
+             directives={} switches={} survivors={:?} crashed={:?} wedged={:?} \
+             declared_dead={:?} unresponsive={:?} degraded_solves={}",
+            self.outcome.policy,
+            self.outcome.aggregate,
+            self.outcome.per_user,
+            self.outcome.jain,
+            self.outcome.directives,
+            self.outcome.switches,
+            self.survivors,
+            self.crashed,
+            self.wedged,
+            self.declared_dead,
+            self.unresponsive,
+            self.degraded_solves,
+        )
+    }
 }
 
 /// Runs the standard experiment: every user joins once, in index order.
@@ -125,8 +262,9 @@ pub fn run_rig(
     Ok(outcome)
 }
 
-/// Runs an arbitrary join/leave session through the threaded rig and
-/// evaluates the resulting physical association on the true capacities.
+/// Runs an arbitrary join/leave session through the threaded rig on a
+/// fault-free network and evaluates the resulting physical association
+/// on the true capacities.
 ///
 /// `seed` drives the capacity-estimation noise only; the scenario itself
 /// is supplied fully sampled.
@@ -138,12 +276,40 @@ pub fn run_rig(
 /// * [`TestbedError::ChannelClosed`] if a thread dies mid-protocol.
 /// * [`TestbedError::AssignmentFailed`] if the CC's policy cannot produce
 ///   an association.
+/// * [`TestbedError::Timeout`] if an endpoint stops responding (a bug on
+///   a fault-free network, but bounded rather than a hang).
 pub fn run_session(
     scenario: &Scenario,
     config: &RigConfig,
     events: &[SessionEvent],
     seed: u64,
 ) -> Result<TopologyOutcome, TestbedError> {
+    run_faulty_session(scenario, config, events, seed, &FaultPlan::none()).map(|r| r.outcome)
+}
+
+/// Runs a join/leave session under a seeded [`FaultPlan`] and reports the
+/// surviving physical outcome plus the fault bookkeeping.
+///
+/// With [`FaultPlan::none`] the rig is *strict*: it behaves exactly like
+/// the lossless protocol and an unresponsive endpoint or failed solve is
+/// a hard error. With any fault configured the rig is *resilient*: an
+/// event that exhausts its retry budget against a planned agent fault
+/// marks the client unresponsive, a failed solve keeps the previous
+/// association, and the session always terminates within its deadline
+/// budget.
+///
+/// # Errors
+///
+/// As [`run_session`]. [`TestbedError::Timeout`] is returned when an
+/// event exhausts its retries and the plan does not explain the silence
+/// with a crashed or wedged agent.
+pub fn run_faulty_session(
+    scenario: &Scenario,
+    config: &RigConfig,
+    events: &[SessionEvent],
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<SessionReport, TestbedError> {
     let n_users = scenario.user_positions.len();
     let n_ext = scenario.extender_positions.len();
     if n_users == 0 || n_ext == 0 {
@@ -151,6 +317,25 @@ pub fn run_session(
             context: "scenario needs at least one user and one extender",
         });
     }
+    plan.validate()?;
+    if plan
+        .crashed
+        .iter()
+        .chain(plan.wedged.iter())
+        .any(|&c| c >= n_users)
+    {
+        return Err(TestbedError::InvalidConfig {
+            context: "fault plan names an out-of-range client",
+        });
+    }
+    let deadlines = config.deadlines;
+    if deadlines.event_attempts == 0 || deadlines.ack_attempts == 0 {
+        return Err(TestbedError::InvalidConfig {
+            context: "deadlines need at least one attempt per message",
+        });
+    }
+    let strict = plan.is_none();
+    let plan = Arc::new(plan.clone());
 
     // Offline capacity estimation (the paper's iperf3 procedure).
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -167,7 +352,7 @@ pub fn run_session(
     let physical: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(vec![None; n_users]));
 
     let (to_cc_tx, to_cc_rx) = channel::<ToController>();
-    let (done_tx, done_rx) = channel::<Result<(), TestbedError>>();
+    let (done_tx, done_rx) = channel::<DoneEvent>();
 
     let mut agent_handles = Vec::with_capacity(n_users);
     let mut agent_txs: Vec<Sender<AgentInbox>> = Vec::with_capacity(n_users);
@@ -181,58 +366,127 @@ pub fn run_session(
         let rates: Vec<Option<Mbps>> = (0..n_ext).map(|j| scenario.rate(i, j)).collect();
         let physical = Arc::clone(&physical);
         let to_cc = to_cc_tx.clone();
+        let plan = Arc::clone(&plan);
         agent_handles.push(thread::spawn(move || {
-            client_agent(i, rates, physical, to_cc, agent_rx)
+            client_agent(i, rates, physical, to_cc, agent_rx, plan)
         }));
     }
 
     // The Central Controller thread.
-    let cc_state = ControllerState {
+    let ctx = ControllerCtx {
         policy: config.policy,
         estimated_capacities: estimated,
-        rates: vec![None; n_users],
+        deadlines,
+        plan: Arc::clone(&plan),
+        strict,
+    };
+    let state = ControllerState {
+        telemetry: TelemetryCache::new(n_users, TELEMETRY_ALPHA),
         association: vec![None; n_users],
+        dead: vec![false; n_users],
+        latest_seq: vec![None; n_users],
+        next_seq: 0,
+        watermark: None,
+        directives: 0,
+        retries: 0,
+        degraded_solves: 0,
+        declared_dead: Vec::new(),
     };
     let cc_client_txs = agent_txs.clone();
-    let cc_handle = thread::spawn(move || controller(cc_state, to_cc_rx, cc_client_txs, done_tx));
+    let cc_handle = thread::spawn(move || controller(ctx, state, to_cc_rx, cc_client_txs, done_tx));
 
     // Drive the session: joins and leaves are serialized, as laptops were
-    // brought online/offline one at a time.
+    // brought online/offline one at a time. Each event is retransmitted
+    // up to `event_attempts` times before the harness gives up.
     let mut present = vec![false; n_users];
+    let mut unresponsive = vec![false; n_users];
     let mut initial_attach: Vec<Option<usize>> = vec![None; n_users];
-    for &event in events {
-        match event {
-            SessionEvent::Join(i) => {
-                if i >= n_users || present[i] {
-                    return Err(TestbedError::InvalidConfig {
-                        context: "join of an out-of-range or already-present client",
-                    });
+    let mut harness_retries = 0usize;
+
+    for (idx, &event) in events.iter().enumerate() {
+        let epoch = idx as u64;
+        let (i, is_join) = match event {
+            SessionEvent::Join(i) => (i, true),
+            SessionEvent::Leave(i) => (i, false),
+        };
+        if i < n_users && unresponsive[i] {
+            // A client whose earlier event never completed is out of the
+            // session: later events for it are skipped, not errors.
+            continue;
+        }
+        let valid = i < n_users && if is_join { !present[i] } else { present[i] };
+        if !valid {
+            return Err(TestbedError::InvalidConfig {
+                context: if is_join {
+                    "join of an out-of-range or already-present client"
+                } else {
+                    "leave of an out-of-range or absent client"
+                },
+            });
+        }
+
+        let mut completed = false;
+        let mut agent_gone = false;
+        'attempts: for attempt in 1..=deadlines.event_attempts {
+            if attempt > 1 {
+                harness_retries += 1;
+            }
+            let cmd = if is_join {
+                ToAgent::Join { epoch, attempt }
+            } else {
+                ToAgent::Leave { epoch, attempt }
+            };
+            if agent_txs[i].send(AgentInbox::Harness(cmd)).is_err() {
+                if plan.expects_agent_fault(i) {
+                    agent_gone = true;
+                    break 'attempts;
                 }
-                agent_txs[i]
-                    .send(AgentInbox::Harness(ToAgent::Join))
-                    .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
-                done_rx.recv().map_err(|_| TestbedError::ChannelClosed {
-                    endpoint: "controller",
-                })??;
+                return Err(TestbedError::ChannelClosed { endpoint: "agent" });
+            }
+            let deadline = Instant::now() + deadlines.event;
+            loop {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match done_rx.recv_timeout(wait) {
+                    Ok(DoneEvent { epoch: e, result }) if e == epoch => {
+                        result?;
+                        completed = true;
+                        break 'attempts;
+                    }
+                    // Stale completion of an earlier retransmitted event.
+                    Ok(_) => continue,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(TestbedError::ChannelClosed {
+                            endpoint: "controller",
+                        })
+                    }
+                }
+            }
+        }
+
+        if completed {
+            if is_join {
                 present[i] = true;
                 if initial_attach[i].is_none() {
-                    initial_attach[i] = physical.lock().expect("physical state lock")[i];
+                    initial_attach[i] = lock_physical(&physical)[i];
                 }
-            }
-            SessionEvent::Leave(i) => {
-                if i >= n_users || !present[i] {
-                    return Err(TestbedError::InvalidConfig {
-                        context: "leave of an out-of-range or absent client",
-                    });
-                }
-                agent_txs[i]
-                    .send(AgentInbox::Harness(ToAgent::Leave))
-                    .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
-                done_rx.recv().map_err(|_| TestbedError::ChannelClosed {
-                    endpoint: "controller",
-                })??;
+            } else {
                 present[i] = false;
             }
+        } else if agent_gone || plan.expects_agent_fault(i) {
+            // Planned silence: a crashed agent's channel is gone (or its
+            // only report was dropped). Its join can never complete; a
+            // leave already happened physically or the radio is simply
+            // abandoned to the survivor mask.
+            if is_join {
+                unresponsive[i] = true;
+            } else {
+                present[i] = false;
+            }
+        } else {
+            return Err(TestbedError::Timeout {
+                waiting_for: format!("completion of event {epoch} (client {i})"),
+            });
         }
     }
 
@@ -241,19 +495,31 @@ pub fn run_session(
         let _ = tx.send(AgentInbox::Harness(ToAgent::Shutdown));
     }
     drop(to_cc_tx);
-    let (directives, final_assoc_cc) =
-        cc_handle.join().map_err(|_| TestbedError::ChannelClosed {
-            endpoint: "controller",
-        })?;
+    let cc = cc_handle.join().map_err(|_| TestbedError::ChannelClosed {
+        endpoint: "controller",
+    })?;
     for h in agent_handles {
         h.join()
             .map_err(|_| TestbedError::ChannelClosed { endpoint: "agent" })?;
     }
 
-    // The physical state is ground truth; the CC's view must agree.
-    let physical_assoc: Vec<Option<usize>> = physical.lock().expect("physical state lock").clone();
-    debug_assert_eq!(physical_assoc, final_assoc_cc);
-    let association = Association::from_targets(physical_assoc);
+    // The physical state is ground truth; on a fault-free network the
+    // CC's view must agree with it exactly.
+    let physical_assoc: Vec<Option<usize>> = lock_physical(&physical).clone();
+    if strict {
+        debug_assert_eq!(physical_assoc, cc.association);
+    }
+
+    // Only survivors carry traffic: present, responsive, and not faulted
+    // by the plan. Everything else is masked out of the evaluation (a
+    // crashed laptop's abandoned radio association moves no data).
+    let survivor = |i: usize| {
+        present[i] && !unresponsive[i] && !plan.crashed.contains(&i) && !plan.wedged.contains(&i)
+    };
+    let masked: Vec<Option<usize>> = (0..n_users)
+        .map(|i| if survivor(i) { physical_assoc[i] } else { None })
+        .collect();
+    let association = Association::from_targets(masked);
 
     // Evaluate on the TRUE capacities.
     let network = scenario.network().map_err(TestbedError::from)?;
@@ -263,24 +529,54 @@ pub fn run_session(
     // re-association overhead the paper discusses.
     let switches = (0..n_users)
         .filter(|&i| {
-            present[i] && initial_attach[i].is_some() && association.target(i) != initial_attach[i]
+            survivor(i) && initial_attach[i].is_some() && association.target(i) != initial_attach[i]
         })
         .count();
 
-    let present_throughputs: Vec<Mbps> = (0..n_users)
-        .filter(|&i| present[i])
+    let survivor_throughputs: Vec<Mbps> = (0..n_users)
+        .filter(|&i| survivor(i))
         .map(|i| eval.per_user[i])
         .collect();
 
-    Ok(TopologyOutcome {
+    let outcome = TopologyOutcome {
         policy: config.policy.name().to_string(),
         aggregate: eval.aggregate.value(),
         per_user: eval.per_user.iter().map(|t| t.value()).collect(),
-        jain: wolt_core::fairness::jain_index(&present_throughputs),
+        jain: wolt_core::fairness::jain_index(&survivor_throughputs),
         association,
-        directives,
+        directives: cc.directives,
         switches,
+    };
+
+    let mut declared_dead = cc.declared_dead;
+    declared_dead.sort_unstable();
+    declared_dead.dedup();
+    let mut crashed = plan.crashed.clone();
+    crashed.sort_unstable();
+    crashed.dedup();
+    let mut wedged = plan.wedged.clone();
+    wedged.sort_unstable();
+    wedged.dedup();
+
+    Ok(SessionReport {
+        outcome,
+        survivors: (0..n_users).filter(|&i| survivor(i)).collect(),
+        crashed,
+        wedged,
+        declared_dead,
+        unresponsive: (0..n_users).filter(|&i| unresponsive[i]).collect(),
+        degraded_solves: cc.degraded_solves,
+        retries: cc.retries + harness_retries,
     })
+}
+
+/// Locks the shared physical-association state, recovering from a
+/// poisoned mutex. The vector is plain data with no invariant spanning
+/// the critical section (each agent writes only its own slot), so the
+/// last written state is always safe to reuse even if another thread
+/// panicked while holding the lock.
+fn lock_physical(m: &Mutex<Vec<Option<usize>>>) -> MutexGuard<'_, Vec<Option<usize>>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Everything a client-agent thread can receive, merged into one queue:
@@ -292,105 +588,305 @@ enum AgentInbox {
     Cc(ToClient),
 }
 
-/// CC-internal state.
-struct ControllerState {
+/// Completion notice for one harness event, tagged with its epoch so the
+/// harness can discard stale notices from retransmitted events.
+struct DoneEvent {
+    epoch: u64,
+    result: Result<(), TestbedError>,
+}
+
+/// Immutable controller context.
+struct ControllerCtx {
     policy: ControllerPolicy,
     estimated_capacities: Vec<Mbps>,
-    rates: Vec<Option<Vec<Option<Mbps>>>>,
+    deadlines: Deadlines,
+    plan: Arc<FaultPlan>,
+    strict: bool,
+}
+
+/// CC-internal state.
+struct ControllerState {
+    /// Last-known-good smoothed client telemetry (the planning input).
+    telemetry: TelemetryCache,
+    /// The CC's view of each client's current extender.
     association: Vec<Option<usize>>,
+    /// Clients declared dead after a missed ack budget.
+    dead: Vec<bool>,
+    /// Newest directive sequence issued to each client; only its ack is
+    /// accepted.
+    latest_seq: Vec<Option<u64>>,
+    next_seq: u64,
+    /// Highest event epoch processed; lower epochs are duplicates.
+    watermark: Option<u64>,
+    directives: usize,
+    retries: usize,
+    degraded_solves: usize,
+    declared_dead: Vec<usize>,
 }
 
 impl ControllerState {
-    fn known_clients(&self) -> Vec<usize> {
-        (0..self.rates.len())
-            .filter(|&i| self.rates[i].is_some())
-            .collect()
+    fn is_duplicate(&self, epoch: u64) -> bool {
+        self.watermark.is_some_and(|w| epoch <= w)
     }
 
-    fn network_view(&self, known: &[usize]) -> Result<(Network, Association), TestbedError> {
-        let rates: Vec<Vec<f64>> = known
-            .iter()
-            .map(|&i| {
-                self.rates[i]
-                    .as_ref()
-                    .expect("known client has rates")
-                    .iter()
-                    .map(|r| r.map_or(0.0, |m| m.value()))
-                    .collect()
-            })
-            .collect();
-        let net = Network::from_raw(
-            self.estimated_capacities
-                .iter()
-                .map(|c| c.value())
-                .collect(),
-            rates,
-        )
-        .map_err(|e| TestbedError::AssignmentFailed {
-            context: e.to_string(),
-        })?;
-        let assoc = Association::from_targets(known.iter().map(|&i| self.association[i]).collect());
-        Ok((net, assoc))
+    fn begin_epoch(&mut self, epoch: u64) {
+        self.watermark = Some(epoch);
+        self.telemetry.advance_epoch();
     }
 }
 
-/// The Central Controller loop.
-///
-/// Returns `(directives_sent, final_association)` at shutdown.
+/// What the controller learned, returned at shutdown.
+struct ControllerReturn {
+    directives: usize,
+    retries: usize,
+    degraded_solves: usize,
+    declared_dead: Vec<usize>,
+    association: Vec<Option<usize>>,
+}
+
+/// A directive awaiting its ack.
+struct PendingDirective {
+    client: usize,
+    extender: usize,
+    seq: u64,
+    attempt: u32,
+    deadline: Instant,
+}
+
+/// The Central Controller loop: dedup incoming events by epoch, run one
+/// directive transaction per genuine event, absorb late acks in between.
 fn controller(
+    ctx: ControllerCtx,
     mut state: ControllerState,
     rx: Receiver<ToController>,
     client_txs: Vec<Sender<AgentInbox>>,
-    done: Sender<Result<(), TestbedError>>,
-) -> (usize, Vec<Option<usize>>) {
-    let mut directives = 0usize;
-    while let Ok(msg) = rx.recv() {
+    done: Sender<DoneEvent>,
+) -> ControllerReturn {
+    loop {
+        let msg = match rx.recv_timeout(ctx.deadlines.idle) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
         match msg {
             ToController::Report {
                 client,
+                epoch,
                 rates,
                 attached,
             } => {
-                state.rates[client] = Some(rates);
+                if state.is_duplicate(epoch) {
+                    continue;
+                }
+                state.begin_epoch(epoch);
+                state.telemetry.record(client, epoch, &rates);
                 state.association[client] = Some(attached);
-                let result = handle_join(&mut state, client, &client_txs, &rx, &mut directives);
-                if done.send(result).is_err() {
+                state.dead[client] = false;
+                state.latest_seq[client] = None;
+                let result =
+                    run_transaction(&mut state, &ctx, Some(client), epoch, &rx, &client_txs);
+                if done.send(DoneEvent { epoch, result }).is_err() {
                     break;
                 }
             }
-            ToController::Ack { client, extender } => {
-                // Acks outside a transaction (shutdown races) just refresh
-                // the CC view.
-                state.association[client] = Some(extender);
-            }
-            ToController::Departed { client } => {
-                state.rates[client] = None;
+            ToController::Departed { client, epoch } => {
+                if state.is_duplicate(epoch) {
+                    continue;
+                }
+                state.begin_epoch(epoch);
+                state.telemetry.forget(client);
                 state.association[client] = None;
-                let result = handle_leave(&mut state, &client_txs, &rx, &mut directives);
-                if done.send(result).is_err() {
+                state.dead[client] = false;
+                state.latest_seq[client] = None;
+                // WOLT re-optimizes the survivors; the baselines leave
+                // everyone where they are.
+                let result = if ctx.policy == ControllerPolicy::Wolt {
+                    run_transaction(&mut state, &ctx, None, epoch, &rx, &client_txs)
+                } else {
+                    Ok(())
+                };
+                if done.send(DoneEvent { epoch, result }).is_err() {
                     break;
+                }
+            }
+            ToController::Ack {
+                client,
+                seq,
+                extender,
+            } => {
+                // A late ack (post-transaction retransmission) refreshes
+                // the CC view iff it matches the newest directive.
+                if !state.dead[client] && state.latest_seq[client] == Some(seq) {
+                    state.association[client] = Some(extender);
                 }
             }
         }
     }
-    (directives, state.association)
+    ControllerReturn {
+        directives: state.directives,
+        retries: state.retries,
+        degraded_solves: state.degraded_solves,
+        declared_dead: state.declared_dead,
+        association: state.association,
+    }
 }
 
-/// Processes one arrival at the CC: run the policy, send directives, wait
-/// for acks.
-fn handle_join(
+/// One directive transaction: plan, issue, then retransmit with backoff
+/// until every pending directive is acked or its client is declared dead
+/// (which triggers a survivor replan).
+fn run_transaction(
     state: &mut ControllerState,
-    client: usize,
-    client_txs: &[Sender<AgentInbox>],
+    ctx: &ControllerCtx,
+    arriving: Option<usize>,
+    epoch: u64,
     rx: &Receiver<ToController>,
-    directives: &mut usize,
+    client_txs: &[Sender<AgentInbox>],
 ) -> Result<(), TestbedError> {
-    let known = state.known_clients();
-    let (net, current) = state.network_view(&known)?;
+    let mut pending: Vec<PendingDirective> = Vec::new();
+    plan_and_issue(state, ctx, arriving, client_txs, &mut pending)?;
+    while !pending.is_empty() {
+        let now = Instant::now();
+        // Sweep expired directives: retry with backoff, or declare the
+        // client dead after the retry budget and replan the survivors.
+        let mut d = 0;
+        while d < pending.len() {
+            if pending[d].deadline > now {
+                d += 1;
+                continue;
+            }
+            if pending[d].attempt >= ctx.deadlines.ack_attempts {
+                let casualty = pending.remove(d).client;
+                state.dead[casualty] = true;
+                state.telemetry.forget(casualty);
+                state.association[casualty] = None;
+                state.latest_seq[casualty] = None;
+                state.declared_dead.push(casualty);
+                // The dead client's load vanishes: re-optimize the
+                // survivors (may supersede other in-flight directives).
+                plan_and_issue(state, ctx, None, client_txs, &mut pending)?;
+                d = 0;
+            } else {
+                let p = &mut pending[d];
+                p.attempt += 1;
+                state.retries += 1;
+                p.deadline = now + ctx.deadlines.backoff(p.attempt);
+                send_directive(ctx, client_txs, p.client, p.extender, p.seq, p.attempt)?;
+                d += 1;
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        let next = pending
+            .iter()
+            .map(|p| p.deadline)
+            .min()
+            .expect("pending is non-empty");
+        let wait = next.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(ToController::Ack {
+                client,
+                seq,
+                extender,
+            }) => {
+                if !state.dead[client] && state.latest_seq[client] == Some(seq) {
+                    state.association[client] = Some(extender);
+                    pending.retain(|p| !(p.client == client && p.seq == seq));
+                }
+            }
+            Ok(ToController::Report { epoch: e, .. })
+            | Ok(ToController::Departed { epoch: e, .. }) => {
+                // Retransmissions and duplicates of the current (or an
+                // older) event are expected under faults; a genuinely new
+                // event mid-transaction means serialization broke.
+                if e > epoch {
+                    return Err(TestbedError::AssignmentFailed {
+                        context: "unexpected message during directive transaction".to_string(),
+                    });
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(TestbedError::ChannelClosed { endpoint: "client" })
+            }
+        }
+    }
+    Ok(())
+}
 
-    let desired: Vec<usize> = match state.policy {
-        ControllerPolicy::Rssi => return Ok(()),
+/// Runs the policy on the telemetry view and issues a directive to every
+/// live client whose target changed. New directives supersede in-flight
+/// ones for the same client. A failed solve is a hard error in strict
+/// mode and a degrade-to-previous-association in resilient mode.
+fn plan_and_issue(
+    state: &mut ControllerState,
+    ctx: &ControllerCtx,
+    arriving: Option<usize>,
+    client_txs: &[Sender<AgentInbox>],
+    pending: &mut Vec<PendingDirective>,
+) -> Result<(), TestbedError> {
+    if ctx.policy == ControllerPolicy::Rssi {
+        return Ok(());
+    }
+    let known: Vec<usize> = state
+        .telemetry
+        .known_clients()
+        .into_iter()
+        .filter(|&i| !state.dead[i])
+        .collect();
+    if known.is_empty() {
+        return Ok(());
+    }
+    let desired = match plan_targets(state, ctx, &known, arriving) {
+        Ok(d) => d,
+        Err(e) if ctx.strict => return Err(e),
+        Err(_) => {
+            state.degraded_solves += 1;
+            return Ok(());
+        }
+    };
+    for (v, &i) in known.iter().enumerate() {
+        if state.association[i] == Some(desired[v]) {
+            continue;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.latest_seq[i] = Some(seq);
+        state.directives += 1;
+        pending.retain(|p| p.client != i);
+        pending.push(PendingDirective {
+            client: i,
+            extender: desired[v],
+            seq,
+            attempt: 1,
+            deadline: Instant::now() + ctx.deadlines.backoff(1),
+        });
+        send_directive(ctx, client_txs, i, desired[v], seq, 1)?;
+    }
+    Ok(())
+}
+
+/// Computes each known client's desired extender under the configured
+/// policy, in `known` order.
+fn plan_targets(
+    state: &ControllerState,
+    ctx: &ControllerCtx,
+    known: &[usize],
+    arriving: Option<usize>,
+) -> Result<Vec<usize>, TestbedError> {
+    let (net, current) = network_view(state, ctx, known)?;
+    match ctx.policy {
+        ControllerPolicy::Rssi => Err(TestbedError::AssignmentFailed {
+            context: "RSSI policy plans no directives".to_string(),
+        }),
         ControllerPolicy::Greedy => {
+            let Some(client) = arriving else {
+                // Greedy never re-optimizes existing clients.
+                return Ok(known
+                    .iter()
+                    .map(|&i| state.association[i].expect("known clients are attached"))
+                    .collect());
+            };
             // Only the newcomer moves.
             let view_idx = known
                 .iter()
@@ -415,35 +911,43 @@ fn handle_join(
             })?;
             let mut desired: Vec<usize> = known
                 .iter()
-                .map(|&i| state.association[i].expect("known clients attached"))
+                .map(|&i| state.association[i].expect("known clients are attached"))
                 .collect();
             desired[view_idx] = target;
-            desired
+            Ok(desired)
         }
-        ControllerPolicy::Wolt => wolt_plan(&net)?,
-    };
-
-    apply_directives(state, &known, &desired, client_txs, rx, directives)
+        ControllerPolicy::Wolt => wolt_plan(&net),
+    }
 }
 
-/// Processes a departure: WOLT re-optimizes the survivors; the baselines
-/// leave everyone where they are.
-fn handle_leave(
-    state: &mut ControllerState,
-    client_txs: &[Sender<AgentInbox>],
-    rx: &Receiver<ToController>,
-    directives: &mut usize,
-) -> Result<(), TestbedError> {
-    if state.policy != ControllerPolicy::Wolt {
-        return Ok(());
-    }
-    let known = state.known_clients();
-    if known.is_empty() {
-        return Ok(());
-    }
-    let (net, _) = state.network_view(&known)?;
-    let desired = wolt_plan(&net)?;
-    apply_directives(state, &known, &desired, client_txs, rx, directives)
+/// The CC's network view: estimated PLC capacities plus the telemetry
+/// cache's last-known-good rates for the given clients.
+fn network_view(
+    state: &ControllerState,
+    ctx: &ControllerCtx,
+    known: &[usize],
+) -> Result<(Network, Association), TestbedError> {
+    let rates: Vec<Vec<f64>> = known
+        .iter()
+        .map(|&i| {
+            state
+                .telemetry
+                .rates(i)
+                .expect("known client has rates")
+                .iter()
+                .map(|r| r.map_or(0.0, |m| m.value()))
+                .collect()
+        })
+        .collect();
+    let net = Network::from_raw(
+        ctx.estimated_capacities.iter().map(|c| c.value()).collect(),
+        rates,
+    )
+    .map_err(|e| TestbedError::AssignmentFailed {
+        context: e.to_string(),
+    })?;
+    let assoc = Association::from_targets(known.iter().map(|&i| state.association[i]).collect());
+    Ok((net, assoc))
 }
 
 /// Runs the WOLT planner on the CC's network view.
@@ -453,122 +957,197 @@ fn wolt_plan(net: &Network) -> Result<Vec<usize>, TestbedError> {
         .map_err(|e| TestbedError::AssignmentFailed {
             context: e.to_string(),
         })?;
-    Ok((0..net.users())
-        .map(|v| assoc.target(v).expect("wolt returns complete associations"))
-        .collect())
+    (0..net.users())
+        .map(|v| {
+            assoc
+                .target(v)
+                .ok_or_else(|| TestbedError::AssignmentFailed {
+                    context: format!("planner left user {v} unassociated"),
+                })
+        })
+        .collect()
 }
 
-/// Issues directives for every known client whose target changed, then
-/// waits for all acks.
-fn apply_directives(
-    state: &mut ControllerState,
-    known: &[usize],
-    desired: &[usize],
+/// Sends one directive transmission through the fault layer. A closed
+/// inbox is a crashed agent — indistinguishable from a lost directive, so
+/// in resilient mode the ack-deadline machinery handles both uniformly.
+fn send_directive(
+    ctx: &ControllerCtx,
     client_txs: &[Sender<AgentInbox>],
-    rx: &Receiver<ToController>,
-    directives: &mut usize,
+    client: usize,
+    extender: usize,
+    seq: u64,
+    attempt: u32,
 ) -> Result<(), TestbedError> {
-    let mut pending = Vec::new();
-    for (v, &i) in known.iter().enumerate() {
-        if state.association[i] != Some(desired[v]) {
-            client_txs[i]
-                .send(AgentInbox::Cc(ToClient::Directive {
-                    extender: desired[v],
-                }))
-                .map_err(|_| TestbedError::ChannelClosed { endpoint: "client" })?;
-            *directives += 1;
-            pending.push(i);
-        }
+    let decision = ctx
+        .plan
+        .decide(Link::ToClient, MessageKey::directive(client, seq, attempt));
+    if decision.drop {
+        return Ok(());
     }
-    while !pending.is_empty() {
-        match rx.recv() {
-            Ok(ToController::Ack { client, extender }) => {
-                state.association[client] = Some(extender);
-                pending.retain(|&i| i != client);
-            }
-            Ok(_) => {
-                // No other message type can legally arrive mid-transaction
-                // (events are serialized by the harness).
-                return Err(TestbedError::AssignmentFailed {
-                    context: "unexpected message during directive transaction".to_string(),
-                });
-            }
-            Err(_) => return Err(TestbedError::ChannelClosed { endpoint: "client" }),
+    let copies = if decision.duplicate { 2 } else { 1 };
+    for _ in 0..copies {
+        let sent = client_txs[client]
+            .send(AgentInbox::Cc(ToClient::Directive {
+                extender,
+                seq,
+                attempt,
+            }))
+            .is_ok();
+        if !sent && ctx.strict {
+            return Err(TestbedError::ChannelClosed { endpoint: "client" });
         }
     }
     Ok(())
 }
 
+/// Applies the plan's decision for `key` to one client → CC transmission
+/// (delay served in-line, drop swallowed, duplicate sent twice). Returns
+/// `false` only when the CC inbox is gone (session shutdown).
+fn faulty_send(
+    plan: &FaultPlan,
+    key: MessageKey,
+    to_cc: &Sender<ToController>,
+    msg: ToController,
+) -> bool {
+    let decision = plan.decide(Link::ToCc, key);
+    if !decision.delay.is_zero() {
+        thread::sleep(decision.delay);
+    }
+    if decision.drop {
+        return true;
+    }
+    if decision.duplicate && to_cc.send(msg.clone()).is_err() {
+        return false;
+    }
+    to_cc.send(msg).is_ok()
+}
+
 /// The client-agent loop: handle harness commands (join/leave/shutdown)
-/// and CC directives concurrently.
+/// and CC directives concurrently, replaying the fault plan's decisions
+/// for every transmission.
 fn client_agent(
     id: usize,
     rates: Vec<Option<Mbps>>,
     physical: Arc<Mutex<Vec<Option<usize>>>>,
     to_cc: Sender<ToController>,
     inbox: Receiver<AgentInbox>,
+    plan: Arc<FaultPlan>,
 ) {
+    let crashes = plan.crashed.contains(&id);
+    let wedged = plan.wedged.contains(&id);
     let mut joined = false;
+    let mut attached = 0usize;
+    let mut last_applied: Option<u64> = None;
     loop {
         let msg = match inbox.recv() {
             Ok(msg) => msg,
             Err(_) => return,
         };
         match msg {
-            AgentInbox::Harness(ToAgent::Join) => {
-                // Scan: strongest signal = highest achievable rate
-                // (monotone table); ties break toward the lowest
-                // extender index, matching the offline RSSI baseline.
-                let mut attached = 0usize;
-                let mut best_rate = f64::NEG_INFINITY;
-                for (j, r) in rates.iter().enumerate() {
-                    if let Some(m) = r {
-                        if m.value() > best_rate {
-                            best_rate = m.value();
-                            attached = j;
+            AgentInbox::Harness(ToAgent::Join { epoch, attempt }) => {
+                if !joined {
+                    // Scan: strongest signal = highest achievable rate
+                    // (monotone table); ties break toward the lowest
+                    // extender index, matching the offline RSSI baseline.
+                    let mut best = 0usize;
+                    let mut best_rate = f64::NEG_INFINITY;
+                    for (j, r) in rates.iter().enumerate() {
+                        if let Some(m) = r {
+                            if m.value() > best_rate {
+                                best_rate = m.value();
+                                best = j;
+                            }
                         }
                     }
+                    attached = best;
+                    lock_physical(&physical)[id] = Some(attached);
+                    joined = true;
+                    last_applied = None;
                 }
-                physical.lock().expect("physical state lock")[id] = Some(attached);
-                joined = true;
-                if to_cc
-                    .send(ToController::Report {
+                // Retransmitted joins re-send the report without
+                // re-scanning, so an applied directive is never clobbered.
+                let delivered = faulty_send(
+                    &plan,
+                    MessageKey::report(id, epoch, attempt),
+                    &to_cc,
+                    ToController::Report {
                         client: id,
+                        epoch,
                         rates: rates.clone(),
                         attached,
-                    })
-                    .is_err()
-                {
+                    },
+                );
+                if !delivered {
+                    return;
+                }
+                if crashes {
+                    // Planned crash: exit silently right after the first
+                    // scan report, leaving the radio attached and the CC
+                    // uninformed. No Departed, no acks, channel closed.
                     return;
                 }
             }
-            AgentInbox::Harness(ToAgent::Leave) => {
+            AgentInbox::Harness(ToAgent::Leave { epoch, attempt }) => {
                 if joined {
-                    physical.lock().expect("physical state lock")[id] = None;
+                    lock_physical(&physical)[id] = None;
                     joined = false;
-                    if to_cc.send(ToController::Departed { client: id }).is_err() {
-                        return;
-                    }
+                }
+                // Always (re-)notify: the CC dedups by epoch.
+                let delivered = faulty_send(
+                    &plan,
+                    MessageKey::departed(id, epoch, attempt),
+                    &to_cc,
+                    ToController::Departed { client: id, epoch },
+                );
+                if !delivered {
+                    return;
                 }
             }
-            AgentInbox::Harness(ToAgent::Shutdown) => return,
-            AgentInbox::Cc(ToClient::Directive { extender }) => {
+            AgentInbox::Harness(ToAgent::Shutdown) | AgentInbox::Cc(ToClient::Shutdown) => return,
+            AgentInbox::Cc(ToClient::Directive {
+                extender,
+                seq,
+                attempt,
+            }) => {
+                if wedged {
+                    // Planned wedge: alive and reporting, but never
+                    // applies or acknowledges a directive.
+                    continue;
+                }
+                // The CC → client delay is served receiver-side so the CC
+                // thread never blocks on an in-flight directive.
+                let decision = plan.decide(Link::ToClient, MessageKey::directive(id, seq, attempt));
+                if !decision.delay.is_zero() {
+                    thread::sleep(decision.delay);
+                }
                 // A directive can race a departure at shutdown; only a
                 // joined client applies it.
-                if joined {
-                    physical.lock().expect("physical state lock")[id] = Some(extender);
-                    if to_cc
-                        .send(ToController::Ack {
-                            client: id,
-                            extender,
-                        })
-                        .is_err()
-                    {
-                        return;
-                    }
+                if !joined {
+                    continue;
+                }
+                if last_applied.is_none_or(|s| seq > s) {
+                    attached = extender;
+                    lock_physical(&physical)[id] = Some(extender);
+                    last_applied = Some(seq);
+                }
+                // Ack every received transmission (idempotent at the CC);
+                // report the *current* attachment, which for the newest
+                // sequence is the directive's target.
+                let delivered = faulty_send(
+                    &plan,
+                    MessageKey::ack(id, seq, attempt),
+                    &to_cc,
+                    ToController::Ack {
+                        client: id,
+                        seq,
+                        extender: attached,
+                    },
+                );
+                if !delivered {
+                    return;
                 }
             }
-            AgentInbox::Cc(ToClient::Shutdown) => return,
         }
     }
 }
@@ -576,6 +1155,7 @@ fn client_agent(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::LinkFaults;
     use wolt_core::baselines::Greedy;
     use wolt_sim::scenario::ScenarioConfig;
 
@@ -610,11 +1190,11 @@ mod tests {
     fn greedy_rig_matches_offline_greedy_with_zero_estimation_noise() {
         let scenario = lab_scenario(3);
         let config = RigConfig {
-            policy: ControllerPolicy::Greedy,
             estimator: CapacityEstimator {
                 rounds: 1,
                 noise_sigma: 0.0,
             },
+            ..RigConfig::new(ControllerPolicy::Greedy)
         };
         let outcome = run_rig(&scenario, &config, 0).unwrap();
         let net = scenario.network().unwrap();
@@ -810,5 +1390,139 @@ mod tests {
         .unwrap();
         // A single present client with positive throughput: Jain = 1.
         assert_eq!(outcome.jain, Some(1.0));
+    }
+
+    #[test]
+    fn lock_physical_recovers_from_poison() {
+        let shared = Arc::new(Mutex::new(vec![Some(1usize), None]));
+        let poisoner = Arc::clone(&shared);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "lock should be poisoned");
+        // The state is plain data: recover the guard and keep going.
+        lock_physical(&shared)[1] = Some(2);
+        assert_eq!(*lock_physical(&shared), vec![Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let d = Deadlines::default();
+        assert_eq!(d.backoff(1), Duration::from_millis(25));
+        assert_eq!(d.backoff(2), Duration::from_millis(50));
+        assert_eq!(d.backoff(3), Duration::from_millis(100));
+        assert_eq!(d.backoff(4), Duration::from_millis(200));
+        assert_eq!(d.backoff(9), Duration::from_millis(200), "capped");
+    }
+
+    #[test]
+    fn fault_free_plan_reproduces_run_session() {
+        let scenario = lab_scenario(13);
+        let config = RigConfig::new(ControllerPolicy::Wolt);
+        let events = vec![
+            SessionEvent::Join(0),
+            SessionEvent::Join(1),
+            SessionEvent::Join(2),
+            SessionEvent::Leave(0),
+        ];
+        let plain = run_session(&scenario, &config, &events, 0).unwrap();
+        let report =
+            run_faulty_session(&scenario, &config, &events, 0, &FaultPlan::none()).unwrap();
+        assert_eq!(report.outcome, plain);
+        assert_eq!(report.survivors, vec![1, 2]);
+        assert!(report.declared_dead.is_empty());
+        assert!(report.unresponsive.is_empty());
+        assert_eq!(report.degraded_solves, 0);
+    }
+
+    #[test]
+    fn crashed_agent_session_completes_and_masks_casualty() {
+        let scenario = lab_scenario(14);
+        let config = RigConfig::new(ControllerPolicy::Wolt);
+        let events: Vec<SessionEvent> = (0..7).map(SessionEvent::Join).collect();
+        let plan = FaultPlan {
+            crashed: vec![2],
+            ..FaultPlan::none()
+        };
+        let report = run_faulty_session(&scenario, &config, &events, 0, &plan).unwrap();
+        assert_eq!(report.crashed, vec![2]);
+        assert!(!report.survivors.contains(&2));
+        assert_eq!(report.outcome.association.target(2), None);
+        for &i in &report.survivors {
+            assert!(
+                report.outcome.association.target(i).is_some(),
+                "survivor {i} stranded"
+            );
+        }
+        assert!(report.outcome.aggregate > 0.0);
+    }
+
+    #[test]
+    fn total_loss_yields_bounded_timeout() {
+        let scenario = lab_scenario(15);
+        let config = RigConfig {
+            deadlines: Deadlines {
+                event: Duration::from_millis(50),
+                event_attempts: 2,
+                ..Deadlines::default()
+            },
+            ..RigConfig::new(ControllerPolicy::Wolt)
+        };
+        let plan = FaultPlan {
+            to_cc: LinkFaults {
+                drop: 1.0,
+                duplicate: 0.0,
+                max_delay: Duration::ZERO,
+            },
+            ..FaultPlan::none()
+        };
+        let start = Instant::now();
+        let err =
+            run_faulty_session(&scenario, &config, &[SessionEvent::Join(0)], 0, &plan).unwrap_err();
+        assert!(
+            matches!(err, TestbedError::Timeout { ref waiting_for } if waiting_for.contains("client 0")),
+            "expected timeout, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "timeout not bounded: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn fault_plan_validation_enforced_at_session_start() {
+        let scenario = lab_scenario(16);
+        let config = RigConfig::new(ControllerPolicy::Rssi);
+        let out_of_range = FaultPlan {
+            crashed: vec![99],
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            run_faulty_session(&scenario, &config, &[], 0, &out_of_range),
+            Err(TestbedError::InvalidConfig { .. })
+        ));
+        let bad_prob = FaultPlan {
+            to_cc: LinkFaults {
+                drop: 2.0,
+                duplicate: 0.0,
+                max_delay: Duration::ZERO,
+            },
+            ..FaultPlan::none()
+        };
+        assert!(run_faulty_session(&scenario, &config, &[], 0, &bad_prob).is_err());
+        let no_attempts = RigConfig {
+            deadlines: Deadlines {
+                event_attempts: 0,
+                ..Deadlines::default()
+            },
+            ..config
+        };
+        assert!(matches!(
+            run_faulty_session(&scenario, &no_attempts, &[], 0, &FaultPlan::none()),
+            Err(TestbedError::InvalidConfig { .. })
+        ));
     }
 }

@@ -53,6 +53,65 @@ fn fully_reachable_network(rng: &mut ChaCha8Rng) -> Network {
     Network::from_raw(caps, rates).expect("fully reachable networks are valid")
 }
 
+/// Arbitrary finite, frequently degenerate raw network inputs: empty
+/// dimensions, zero or negative capacities, all-unreachable users, and
+/// the occasional ragged rate row.
+fn degenerate_raw_inputs(rng: &mut ChaCha8Rng) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let exts = rng.gen_range(0..=4usize);
+    let users = rng.gen_range(0..=5usize);
+    let caps: Vec<f64> = (0..exts)
+        .map(|_| match rng.gen_range(0..4u32) {
+            0 => 0.0,
+            1 => -rng.gen_range(0.0..50.0),
+            _ => rng.gen_range(0.1..200.0),
+        })
+        .collect();
+    let mut rates: Vec<Vec<f64>> = (0..users)
+        .map(|_| {
+            (0..exts)
+                .map(|_| {
+                    // Half the pairs unreachable, so all-unreachable
+                    // users (and fully dark extenders) are common.
+                    if rng.gen_range(0..2u32) == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..50.0)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    if !rates.is_empty() && rng.gen_range(0..8u32) == 0 {
+        rates[0].pop();
+    }
+    (caps, rates)
+}
+
+/// Robustness: the scenario → policy → evaluate pipeline never panics on
+/// degenerate inputs. Malformed networks are rejected with a typed error
+/// at construction; a network that does build may still defeat a policy
+/// (an `Err` is acceptable), but nothing in the chain may panic.
+#[test]
+fn pipeline_is_panic_free_on_degenerate_inputs() {
+    Runner::new("pipeline_is_panic_free_on_degenerate_inputs").run(
+        degenerate_raw_inputs,
+        |(caps, rates)| {
+            let net = match Network::from_raw(caps.clone(), rates.clone()) {
+                Ok(net) => net,
+                Err(_) => return Ok(()),
+            };
+            let greedy = Greedy::new();
+            let wolt = Wolt::new();
+            for policy in [&wolt as &dyn AssociationPolicy, &greedy, &Rssi] {
+                if let Ok(assoc) = policy.associate(&net) {
+                    let _ = evaluate(&net, &assoc);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Regression documenting a known limitation of Algorithm 1: Phase I
 /// requires every extender to serve a user, so when only one user can
 /// reach some extender, that user is conscripted even if it wastes a far

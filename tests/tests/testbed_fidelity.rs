@@ -9,11 +9,11 @@ use wolt_tests::lab_scenario;
 
 fn noiseless(policy: ControllerPolicy) -> RigConfig {
     RigConfig {
-        policy,
         estimator: CapacityEstimator {
             rounds: 1,
             noise_sigma: 0.0,
         },
+        ..RigConfig::new(policy)
     }
 }
 
