@@ -1,0 +1,168 @@
+//! `loadgen` — load generator for the `wolt-daemon` Central Controller.
+//!
+//! Boots the daemon on a loopback port, connects one agent per user, and
+//! drives a long churn session (every user joins, then repeated
+//! leave/join cycles round-robin) so the controller re-solves hundreds of
+//! times under sustained protocol traffic. Reports:
+//!
+//! * sustained protocol throughput (messages/second into the CC), and
+//! * re-solve latency percentiles — receipt of the triggering report or
+//!   departure to the last directive ack of the transaction.
+//!
+//! Fully offline: 127.0.0.1 only, no external services. Writes
+//! `BENCH_daemon.json` (canonical workspace JSON) into the current
+//! directory alongside the usual CSV rows.
+//!
+//! ```text
+//! cargo run --release -p wolt-bench --bin loadgen -- [users] [cycles] [output]
+//! ```
+
+use std::thread;
+use std::time::Duration;
+
+use wolt_bench::{columns, f2, header, measured, row};
+use wolt_daemon::{run_agent, Daemon, DaemonConfig, DaemonOutcome};
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+use wolt_support::json::{Json, ToJson};
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
+use wolt_testbed::{ControllerPolicy, SessionEvent};
+
+const SCENARIO_SEED: u64 = 42;
+const NOISE_SEED: u64 = 7;
+
+fn churn_events(users: usize, cycles: usize) -> Vec<SessionEvent> {
+    let mut events: Vec<SessionEvent> = (0..users).map(SessionEvent::Join).collect();
+    for c in 0..cycles {
+        let i = c % users;
+        events.push(SessionEvent::Leave(i));
+        events.push(SessionEvent::Join(i));
+    }
+    events
+}
+
+fn run_load(scenario: &Scenario, events: &[SessionEvent]) -> DaemonOutcome {
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    let daemon = Daemon::bind("127.0.0.1:0", scenario.clone(), events.to_vec(), config)
+        .expect("loopback bind");
+    let addr = daemon.local_addr().expect("bound address");
+    let agents: Vec<_> = (0..scenario.user_positions.len())
+        .map(|i| {
+            let scenario = scenario.clone();
+            thread::spawn(move || run_agent(addr, &scenario, i, &format!("load-{i}")))
+        })
+        .collect();
+    let outcome = daemon.run().expect("session runs");
+    for handle in agents {
+        handle
+            .join()
+            .expect("agent thread")
+            .expect("agent exits cleanly");
+    }
+    outcome
+}
+
+/// Nearest-rank percentile over sorted samples.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    assert!(!sorted.is_empty(), "no latency samples");
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let users: usize = args.next().map_or(7, |a| a.parse().expect("users"));
+    let cycles: usize = args.next().map_or(60, |a| a.parse().expect("cycles"));
+    let output = args.next().unwrap_or_else(|| "BENCH_daemon.json".into());
+
+    header(
+        "loadgen — wolt-daemon sustained load over loopback TCP",
+        "the networked CC sustains agent traffic and re-solves within interactive latencies",
+        &format!(
+            "lab scenario seed {SCENARIO_SEED}, {users} users, {cycles} leave/join churn cycles, \
+             WOLT policy, 127.0.0.1"
+        ),
+    );
+
+    let scenario_config = ScenarioConfig::lab(users);
+    let mut rng = ChaCha8Rng::seed_from_u64(SCENARIO_SEED);
+    let scenario = Scenario::generate(&scenario_config, &mut rng).expect("scenario generates");
+
+    let events = churn_events(users, cycles);
+    let outcome = run_load(&scenario, &events);
+    assert!(outcome.completed, "load session did not complete");
+    assert_eq!(outcome.epochs_done, events.len());
+
+    let stats = &outcome.stats;
+    let elapsed_s = stats.elapsed.as_secs_f64();
+    let msgs_per_sec = stats.msgs_in as f64 / elapsed_s;
+    let mut sorted = stats.resolve_latencies.clone();
+    sorted.sort();
+    let (p50, p90, p99) = (
+        percentile(&sorted, 50.0),
+        percentile(&sorted, 90.0),
+        percentile(&sorted, 99.0),
+    );
+    let max = *sorted.last().expect("samples exist");
+
+    columns(&[
+        "users",
+        "epochs",
+        "msgs_in",
+        "elapsed_ms",
+        "msgs_per_sec",
+        "resolve_p50_us",
+        "resolve_p90_us",
+        "resolve_p99_us",
+        "resolve_max_us",
+    ]);
+    row(&[
+        users.to_string(),
+        outcome.epochs_done.to_string(),
+        stats.msgs_in.to_string(),
+        f2(elapsed_s * 1e3),
+        f2(msgs_per_sec),
+        f2(micros(p50)),
+        f2(micros(p90)),
+        f2(micros(p99)),
+        f2(micros(max)),
+    ]);
+
+    let json = Json::obj(vec![
+        ("bench", "loadgen".to_string().to_json()),
+        ("scenario", "lab".to_string().to_json()),
+        ("scenario_seed", SCENARIO_SEED.to_json()),
+        ("users", users.to_json()),
+        ("churn_cycles", cycles.to_json()),
+        ("epochs", outcome.epochs_done.to_json()),
+        ("msgs_in", stats.msgs_in.to_json()),
+        ("elapsed_ms", (elapsed_s * 1e3).to_json()),
+        ("msgs_per_sec", msgs_per_sec.to_json()),
+        (
+            "resolve_latency_us",
+            Json::obj(vec![
+                ("p50", micros(p50).to_json()),
+                ("p90", micros(p90).to_json()),
+                ("p99", micros(p99).to_json()),
+                ("max", micros(max).to_json()),
+                ("samples", sorted.len().to_json()),
+            ]),
+        ),
+        ("canonical_report", outcome.report.canonical().to_json()),
+    ]);
+    std::fs::write(&output, format!("{}\n", json.to_pretty())).expect("write bench json");
+    eprintln!("wrote {output}");
+
+    measured(&format!(
+        "sustained {msgs_per_sec:.0} msgs/s over {} epochs; re-solve latency p50 = {:.0} us, \
+         p99 = {:.0} us (loopback TCP, directive acks included)",
+        outcome.epochs_done,
+        micros(p50),
+        micros(p99),
+    ));
+}

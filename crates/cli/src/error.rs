@@ -22,6 +22,12 @@ pub enum CliError {
     },
     /// Filesystem failure.
     Io(std::io::Error),
+    /// Network failure: a socket could not be bound or connected, or a
+    /// connection died mid-session (`serve` / `agent`).
+    Net {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -31,6 +37,7 @@ impl fmt::Display for CliError {
             CliError::BadInput { message } => write!(f, "bad input: {message}"),
             CliError::Library { message } => write!(f, "{message}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Net { message } => write!(f, "network error: {message}"),
         }
     }
 }
@@ -62,6 +69,20 @@ impl From<wolt_sim::SimError> for CliError {
     fn from(e: wolt_sim::SimError) -> Self {
         CliError::Library {
             message: e.to_string(),
+        }
+    }
+}
+
+impl From<wolt_daemon::DaemonError> for CliError {
+    fn from(e: wolt_daemon::DaemonError) -> Self {
+        use wolt_daemon::DaemonError as D;
+        let message = e.to_string();
+        match e {
+            // Transport-level failures get the typed network variant so
+            // the binary can exit nonzero with a diagnosable message
+            // instead of panicking on an io::Error.
+            D::Io(_) | D::Timeout { .. } | D::Protocol { .. } => CliError::Net { message },
+            _ => CliError::Library { message },
         }
     }
 }

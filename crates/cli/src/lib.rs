@@ -6,7 +6,9 @@
 //! * [`spec`] — the JSON network-specification format (`capacities` +
 //!   `rates`) and its conversion to a validated [`wolt_core::Network`];
 //! * [`commands`] — the `generate`, `solve`, and `compare` verbs as pure
-//!   functions from parsed inputs to serializable reports.
+//!   functions from parsed inputs to serializable reports;
+//! * [`service`] — the `serve` and `agent` verbs, wrapping
+//!   [`wolt_daemon`]'s networked Central Controller and agent client.
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod service;
 pub mod spec;
 
 mod error;

@@ -4,6 +4,8 @@
 //! wolt generate --preset lab --users 7 --seed 1 --output net.json
 //! wolt solve    --input net.json --policy wolt
 //! wolt compare  --input net.json
+//! wolt serve    --addr 127.0.0.1:0 --users 7 --seed 1 --addr-file addr.txt
+//! wolt agent    --addr 127.0.0.1:4800 --users 7 --seed 1 --client 3
 //! ```
 
 use std::process::ExitCode;
@@ -13,6 +15,7 @@ use wolt_cli::commands::{
     compare_with_threads, generate, solve_explained_with_threads, solve_with_threads, PolicyChoice,
     PresetChoice,
 };
+use wolt_cli::service::{self, ServeOptions};
 use wolt_cli::spec::NetworkSpec;
 use wolt_cli::CliError;
 use wolt_support::json::ToJson;
@@ -24,11 +27,19 @@ USAGE:
   wolt generate --preset <enterprise|lab> --users <N> [--seed S] [--output FILE]
   wolt solve    --input FILE [--policy <wolt|greedy|selfish|rssi|optimal|random>] [--seed S] [--threads T] [--explain true] [--output FILE]
   wolt compare  --input FILE [--seed S] [--threads T]
+  wolt serve    --addr HOST:PORT [--preset P] [--users N] [--seed S] [--policy <wolt|greedy|rssi>] [--noise-seed S] [--snapshot FILE] [--addr-file FILE] [--output FILE]
+  wolt agent    --addr HOST:PORT --client I [--preset P] [--users N] [--seed S] [--name NAME]
 
 The network file is JSON: {\"capacities\": [c_j …], \"rates\": [[r_ij …] …]}.
 --threads caps the worker threads of policies that fan out internally
 (currently `optimal`); it defaults to WOLT_THREADS, then the machine's
-parallelism. Reports are byte-identical at every thread count.";
+parallelism. Reports are byte-identical at every thread count.
+
+serve runs the Central Controller daemon for one session in which all N
+users join; agent connects one laptop to it. Both sides regenerate the
+scenario from the same (--preset, --users, --seed), so no network file
+changes hands. Pass --addr 127.0.0.1:0 with --addr-file to let the OS
+pick a port and hand it to the agents.";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1)) {
@@ -89,6 +100,38 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
                     r.jain.map_or_else(|| "-".into(), |j| format!("{j:.2}")),
                 );
             }
+            Ok(())
+        }
+        "serve" => {
+            let opts = ServeOptions {
+                addr: parsed.require("addr")?.to_string(),
+                preset: PresetChoice::parse(parsed.get("preset").unwrap_or("lab"))?,
+                users: parsed.get_parsed_or("users", 7usize)?,
+                seed: parsed.get_parsed_or("seed", 0u64)?,
+                policy: service::parse_controller_policy(parsed.get("policy").unwrap_or("wolt"))?,
+                noise_seed: parsed.get_parsed_or("noise-seed", 0u64)?,
+                snapshot: parsed.get("snapshot").map(Into::into),
+                addr_file: parsed.get("addr-file").map(Into::into),
+            };
+            let text = service::serve(&opts)?;
+            emit(&text, parsed.get("output"))?;
+            Ok(())
+        }
+        "agent" => {
+            let summary = service::agent(
+                parsed.require("addr")?,
+                PresetChoice::parse(parsed.get("preset").unwrap_or("lab"))?,
+                parsed.get_parsed_or("users", 7usize)?,
+                parsed.get_parsed_or("seed", 0u64)?,
+                parsed
+                    .require("client")?
+                    .parse()
+                    .map_err(|_| CliError::Usage {
+                        message: "--client must be a user index".into(),
+                    })?,
+                parsed.get("name").unwrap_or("agent"),
+            )?;
+            eprintln!("{summary}");
             Ok(())
         }
         "help" | "--help" | "-h" => {

@@ -1,0 +1,197 @@
+//! The `serve` and `agent` verbs: the networked Central Controller as
+//! CLI commands.
+//!
+//! Both sides regenerate the scenario from the same `(preset, users,
+//! seed)` triple instead of shipping rate tables over the wire — the
+//! agent needs the scenario only for its scan results, and a shared seed
+//! keeps the two binaries in lockstep without a file exchange.
+
+use std::path::PathBuf;
+
+use wolt_daemon::{run_agent, Daemon, DaemonConfig};
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+use wolt_support::json::{Json, ToJson};
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
+use wolt_testbed::{ControllerPolicy, SessionEvent};
+
+use crate::commands::PresetChoice;
+use crate::CliError;
+
+/// Parses a controller policy name for the session daemon (`serve`
+/// drives one of the three online controllers, not the offline solvers).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] listing the accepted names.
+pub fn parse_controller_policy(name: &str) -> Result<ControllerPolicy, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "wolt" => Ok(ControllerPolicy::Wolt),
+        "greedy" => Ok(ControllerPolicy::Greedy),
+        "rssi" => Ok(ControllerPolicy::Rssi),
+        other => Err(CliError::Usage {
+            message: format!("unknown controller policy {other:?} (try wolt | greedy | rssi)"),
+        }),
+    }
+}
+
+/// Regenerates the scenario both `serve` and `agent` run against.
+///
+/// # Errors
+///
+/// Propagates scenario-generation failures as [`CliError::Library`].
+pub fn scenario_for(preset: PresetChoice, users: usize, seed: u64) -> Result<Scenario, CliError> {
+    let config = match preset {
+        PresetChoice::Enterprise => ScenarioConfig::enterprise(users),
+        PresetChoice::Lab => ScenarioConfig::lab(users),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Ok(Scenario::generate(&config, &mut rng)?)
+}
+
+/// Everything `wolt serve` needs, parsed off the command line.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Scenario preset shared with the agents.
+    pub preset: PresetChoice,
+    /// Number of users (= expected agents).
+    pub users: usize,
+    /// Scenario seed shared with the agents.
+    pub seed: u64,
+    /// Online controller to run.
+    pub policy: ControllerPolicy,
+    /// Seed for the capacity-estimation noise.
+    pub noise_seed: u64,
+    /// Snapshot file for crash/restart resume.
+    pub snapshot: Option<PathBuf>,
+    /// File to write the bound address to, for scripts that pass port 0.
+    pub addr_file: Option<PathBuf>,
+}
+
+/// Boots the daemon, runs one session where every user joins in index
+/// order, and returns the session report as pretty JSON.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the address cannot be bound (e.g. the port is
+/// already taken) or the session fails on the wire; [`CliError::Io`] for
+/// snapshot/addr-file filesystem failures.
+pub fn serve(opts: &ServeOptions) -> Result<String, CliError> {
+    let scenario = scenario_for(opts.preset, opts.users, opts.seed)?;
+    let events: Vec<SessionEvent> = (0..opts.users).map(SessionEvent::Join).collect();
+    let mut config = DaemonConfig::new(opts.policy);
+    config.noise_seed = opts.noise_seed;
+    config.snapshot_path = opts.snapshot.clone();
+    let daemon = Daemon::bind(opts.addr.as_str(), scenario, events, config)?;
+    let bound = daemon.local_addr()?;
+    if let Some(path) = &opts.addr_file {
+        std::fs::write(path, format!("{bound}\n"))?;
+    }
+    eprintln!(
+        "wolt-daemon listening on {bound} ({} agents expected)",
+        opts.users
+    );
+    let outcome = daemon.run()?;
+    let json = Json::obj(vec![
+        ("completed", outcome.completed.to_json()),
+        ("epochs_done", outcome.epochs_done.to_json()),
+        ("msgs_in", outcome.stats.msgs_in.to_json()),
+        ("canonical", outcome.report.canonical().to_json()),
+    ]);
+    Ok(json.to_pretty())
+}
+
+/// Connects one agent to a running daemon and serves the session; the
+/// returned line summarizes what the agent did.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the daemon cannot be reached or the connection
+/// drops mid-session.
+pub fn agent(
+    addr: &str,
+    preset: PresetChoice,
+    users: usize,
+    seed: u64,
+    client: usize,
+    name: &str,
+) -> Result<String, CliError> {
+    let scenario = scenario_for(preset, users, seed)?;
+    let outcome = run_agent(addr, &scenario, client, name)?;
+    Ok(format!(
+        "agent {client} ({name}) done: attached={} directives_applied={}",
+        outcome
+            .attached
+            .map_or_else(|| "-".into(), |e| e.to_string()),
+        outcome.directives_applied,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab_opts(addr: &str) -> ServeOptions {
+        ServeOptions {
+            addr: addr.to_string(),
+            preset: PresetChoice::Lab,
+            users: 7,
+            seed: 1,
+            policy: ControllerPolicy::Wolt,
+            noise_seed: 0,
+            snapshot: None,
+            addr_file: None,
+        }
+    }
+
+    #[test]
+    fn controller_policy_names_parse() {
+        assert!(matches!(
+            parse_controller_policy("WOLT").unwrap(),
+            ControllerPolicy::Wolt
+        ));
+        assert!(matches!(
+            parse_controller_policy("rssi").unwrap(),
+            ControllerPolicy::Rssi
+        ));
+        assert!(matches!(
+            parse_controller_policy("optimal"),
+            Err(CliError::Usage { .. })
+        ));
+    }
+
+    #[test]
+    fn serve_on_an_occupied_port_is_a_typed_net_error() {
+        // Hold the port for the duration of the test; std's TcpListener
+        // does not set SO_REUSEADDR, so the second bind must fail.
+        let guard = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = guard.local_addr().unwrap().to_string();
+        let err = serve(&lab_opts(&addr)).unwrap_err();
+        assert!(
+            matches!(err, CliError::Net { .. }),
+            "expected CliError::Net, got {err:?}"
+        );
+        assert!(err.to_string().contains("network error"));
+    }
+
+    #[test]
+    fn agent_against_a_dead_port_is_a_typed_net_error() {
+        // Grab a free port, then close the listener so nothing accepts.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let err = agent(&addr, PresetChoice::Lab, 7, 1, 0, "lonely").unwrap_err();
+        assert!(
+            matches!(err, CliError::Net { .. }),
+            "expected CliError::Net, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn agent_with_out_of_range_client_is_not_a_net_error() {
+        let err = agent("127.0.0.1:1", PresetChoice::Lab, 7, 1, 99, "ghost").unwrap_err();
+        assert!(matches!(err, CliError::Library { .. }));
+    }
+}

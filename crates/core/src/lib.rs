@@ -81,5 +81,5 @@ pub use model::{Association, Network};
 pub use online::{OnlineOutcome, OnlineWolt};
 pub use phase1::{Phase1Solver, Phase1Utility};
 pub use policy::AssociationPolicy;
-pub use telemetry::TelemetryCache;
+pub use telemetry::{TelemetryCache, TelemetryEntry};
 pub use throughput::{evaluate, evaluate_without_redistribution, Evaluation};

@@ -143,6 +143,75 @@ impl TelemetryCache {
             .filter(|&i| self.entries[i].is_some())
             .collect()
     }
+
+    /// The smoothing factor this cache was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Evicts every client whose last accepted report is more than
+    /// `max_staleness` epochs old, returning the evicted indices
+    /// ascending. A long-running controller calls this each epoch so the
+    /// cache stays bounded by the *live* population: clients that
+    /// departed or died silently (and were never explicitly
+    /// [forgotten](Self::forget)) age out instead of accumulating.
+    pub fn evict_stale(&mut self, max_staleness: u64) -> Vec<usize> {
+        let mut evicted = Vec::new();
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|e| e.staleness > max_staleness) {
+                *slot = None;
+                evicted.push(i);
+            }
+        }
+        evicted
+    }
+
+    /// A copy of every client slot, for snapshotting a controller to
+    /// disk. Pair with [`from_entries`](Self::from_entries) to restore.
+    pub fn entries(&self) -> Vec<Option<TelemetryEntry>> {
+        self.entries
+            .iter()
+            .map(|slot| {
+                slot.as_ref().map(|e| TelemetryEntry {
+                    rates: e.rates.clone(),
+                    staleness: e.staleness,
+                    last_epoch: e.last_epoch,
+                })
+            })
+            .collect()
+    }
+
+    /// Rebuilds a cache from a snapshot taken with
+    /// [`entries`](Self::entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`, as [`new`](Self::new) does.
+    pub fn from_entries(alpha: f64, entries: Vec<Option<TelemetryEntry>>) -> Self {
+        let mut cache = Self::new(entries.len(), alpha);
+        cache.entries = entries
+            .into_iter()
+            .map(|slot| {
+                slot.map(|e| ClientEntry {
+                    rates: e.rates,
+                    staleness: e.staleness,
+                    last_epoch: e.last_epoch,
+                })
+            })
+            .collect();
+        cache
+    }
+}
+
+/// One client's cache slot as exposed for snapshot/restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEntry {
+    /// Smoothed per-extender achievable rates (`None` = unreachable).
+    pub rates: Vec<Option<Mbps>>,
+    /// Epochs elapsed since the last accepted report.
+    pub staleness: u64,
+    /// Epoch of the last accepted report.
+    pub last_epoch: u64,
 }
 
 #[cfg(test)]
@@ -237,5 +306,48 @@ mod tests {
     #[should_panic(expected = "smoothing alpha")]
     fn zero_alpha_rejected() {
         let _ = TelemetryCache::new(1, 0.0);
+    }
+
+    #[test]
+    fn evict_stale_drops_only_aged_out_clients() {
+        // Regression: a long-running controller must not accumulate
+        // entries for clients that silently vanished — staleness-bounded
+        // eviction keeps the cache bounded by the live population.
+        let mut cache = TelemetryCache::new(3, 0.5);
+        cache.record(0, 0, &[mb(10.0)]);
+        cache.record(1, 0, &[mb(20.0)]);
+        for _ in 0..3 {
+            cache.advance_epoch();
+        }
+        // Client 1 keeps reporting; client 0 went silent at epoch 0.
+        cache.record(1, 3, &[mb(20.0)]);
+        assert_eq!(cache.evict_stale(2), vec![0]);
+        assert!(!cache.is_known(0));
+        assert!(cache.is_known(1));
+        assert_eq!(cache.known_clients(), vec![1]);
+        // At the bound (staleness == max) the entry survives.
+        cache.advance_epoch();
+        cache.advance_epoch();
+        assert_eq!(cache.staleness(1), Some(2));
+        assert_eq!(cache.evict_stale(2), Vec::<usize>::new());
+        assert!(cache.is_known(1));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_entries() {
+        let mut cache = TelemetryCache::new(3, 0.5);
+        cache.record(0, 4, &[mb(10.0), None]);
+        cache.record(2, 5, &[None, mb(30.0)]);
+        cache.advance_epoch();
+        let restored = TelemetryCache::from_entries(cache.alpha(), cache.entries());
+        assert_eq!(restored, cache);
+        // The restored cache keeps behaving identically: duplicate
+        // suppression and smoothing state survive the round trip.
+        assert!(!restored.clone().record(2, 5, &[None, mb(30.0)]));
+        let mut a = cache;
+        let mut b = restored;
+        a.record(0, 6, &[mb(20.0), None]);
+        b.record(0, 6, &[mb(20.0), None]);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,168 @@
+//! The agent client: one laptop's user-space utility, speaking the
+//! daemon's wire protocol over TCP.
+//!
+//! This is the networked twin of the rig's in-process `client_agent`
+//! thread, minus the fault layer: scan on join (strongest signal =
+//! highest achievable rate, ties toward the lowest extender index),
+//! report rates to the controller, apply directives newest-sequence-wins
+//! and ack every received transmission. A reconnecting agent adopts the
+//! attachment the daemon hands back in the handshake — the radio stayed
+//! associated while the controller was down.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use wolt_sim::Scenario;
+use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
+use wolt_units::Mbps;
+
+use crate::wire::{self, Envelope};
+use crate::DaemonError;
+
+/// What the agent observed, returned when the daemon dismisses it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentOutcome {
+    /// The extender the agent is attached to at exit (None if departed).
+    pub attached: Option<usize>,
+    /// Directives applied (newest-sequence transmissions only).
+    pub directives_applied: usize,
+}
+
+/// Runs one agent to completion: connect, handshake, then serve
+/// join/leave commands and directives until the daemon says shutdown or
+/// closes the connection.
+///
+/// `client` is this agent's index in `scenario`; the scenario must be
+/// the same one the daemon runs (both sides regenerate it from the same
+/// seed), since the agent's scan rates come from it.
+///
+/// # Errors
+///
+/// [`DaemonError::Io`] when the daemon cannot be reached or the
+/// connection drops mid-frame; [`DaemonError::InvalidConfig`] for an
+/// out-of-range client index; [`DaemonError::Protocol`] when the daemon
+/// violates the handshake.
+pub fn run_agent(
+    addr: impl ToSocketAddrs,
+    scenario: &Scenario,
+    client: usize,
+    name: &str,
+) -> Result<AgentOutcome, DaemonError> {
+    let n_users = scenario.user_positions.len();
+    let n_ext = scenario.extender_positions.len();
+    if client >= n_users {
+        return Err(DaemonError::InvalidConfig {
+            context: format!("client {client} out of range for {n_users} users"),
+        });
+    }
+    let rates: Vec<Option<Mbps>> = (0..n_ext).map(|j| scenario.rate(client, j)).collect();
+
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    wire::send(
+        &mut stream,
+        &Envelope::Hello {
+            client,
+            name: name.to_string(),
+        },
+    )?;
+    let mut attached = match wire::recv(&mut stream)? {
+        Some(Envelope::HelloAck { attached }) => attached,
+        other => {
+            return Err(DaemonError::Protocol {
+                context: format!("expected hello_ack, got {other:?}"),
+            })
+        }
+    };
+    // A restored attachment means this client was mid-session when the
+    // controller died: the radio is still associated.
+    let mut joined = attached.is_some();
+    let mut last_applied: Option<u64> = None;
+    let mut directives_applied = 0usize;
+
+    // Serve until the daemon says shutdown or closes the connection.
+    while let Some(envelope) = wire::recv(&mut stream)? {
+        match envelope {
+            Envelope::Agent(ToAgent::Join { epoch, attempt: _ }) => {
+                if !joined {
+                    // Scan: strongest signal = highest achievable rate
+                    // (monotone table); ties break toward the lowest
+                    // extender index, matching the offline RSSI baseline.
+                    let mut best = 0usize;
+                    let mut best_rate = f64::NEG_INFINITY;
+                    for (j, r) in rates.iter().enumerate() {
+                        if let Some(m) = r {
+                            if m.value() > best_rate {
+                                best_rate = m.value();
+                                best = j;
+                            }
+                        }
+                    }
+                    attached = Some(best);
+                    joined = true;
+                    last_applied = None;
+                }
+                // Retransmitted joins re-send the report without
+                // re-scanning, so an applied directive is never
+                // clobbered.
+                wire::send(
+                    &mut stream,
+                    &Envelope::Ctrl(ToController::Report {
+                        client,
+                        epoch,
+                        rates: rates.clone(),
+                        attached: attached.expect("joined agent is attached"),
+                    }),
+                )?;
+            }
+            Envelope::Agent(ToAgent::Leave { epoch, attempt: _ }) => {
+                if joined {
+                    joined = false;
+                    attached = None;
+                }
+                // Always (re-)notify: the CC dedups by epoch.
+                wire::send(
+                    &mut stream,
+                    &Envelope::Ctrl(ToController::Departed { client, epoch }),
+                )?;
+            }
+            Envelope::Agent(ToAgent::Shutdown)
+            | Envelope::Client(ToClient::Shutdown)
+            | Envelope::Shutdown { .. } => break,
+            Envelope::Client(ToClient::Directive {
+                extender,
+                seq,
+                attempt: _,
+            }) => {
+                // A directive can race a departure at shutdown; only a
+                // joined client applies it.
+                if !joined {
+                    continue;
+                }
+                if last_applied.is_none_or(|s| seq > s) {
+                    attached = Some(extender);
+                    last_applied = Some(seq);
+                    directives_applied += 1;
+                }
+                // Ack every received transmission (idempotent at the
+                // CC); report the *current* attachment.
+                wire::send(
+                    &mut stream,
+                    &Envelope::Ctrl(ToController::Ack {
+                        client,
+                        seq,
+                        extender: attached.expect("joined agent is attached"),
+                    }),
+                )?;
+            }
+            other => {
+                return Err(DaemonError::Protocol {
+                    context: format!("unexpected envelope for an agent: {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(AgentOutcome {
+        attached,
+        directives_applied,
+    })
+}

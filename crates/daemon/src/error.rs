@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use wolt_testbed::TestbedError;
+
+/// Errors surfaced by the daemon server and agent client.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DaemonError {
+    /// A socket or filesystem operation failed.
+    Io(io::Error),
+    /// The peer violated the wire protocol (bad handshake, unexpected
+    /// envelope, malformed snapshot).
+    Protocol {
+        /// What went wrong.
+        context: String,
+    },
+    /// The shared controller/session machinery rejected the session.
+    Testbed(TestbedError),
+    /// A bounded wait expired (e.g. not every agent connected in time).
+    Timeout {
+        /// What the daemon was blocked on.
+        waiting_for: String,
+    },
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "io error: {e}"),
+            DaemonError::Protocol { context } => write!(f, "protocol error: {context}"),
+            DaemonError::Testbed(e) => write!(f, "{e}"),
+            DaemonError::Timeout { waiting_for } => {
+                write!(f, "deadline expired waiting for {waiting_for}")
+            }
+            DaemonError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+        }
+    }
+}
+
+impl Error for DaemonError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DaemonError::Io(e) => Some(e),
+            DaemonError::Testbed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DaemonError {
+    fn from(e: io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<TestbedError> for DaemonError {
+    fn from(e: TestbedError) -> Self {
+        DaemonError::Testbed(e)
+    }
+}
+
+impl From<wolt_support::json::JsonError> for DaemonError {
+    fn from(e: wolt_support::json::JsonError) -> Self {
+        DaemonError::Protocol {
+            context: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: DaemonError = io::Error::new(io::ErrorKind::AddrInUse, "busy").into();
+        assert!(e.to_string().contains("busy"));
+        let e: DaemonError = TestbedError::ChannelClosed { endpoint: "agent" }.into();
+        assert!(e.to_string().contains("agent"));
+        let e = DaemonError::Timeout {
+            waiting_for: "agent 3 to connect".into(),
+        };
+        assert!(e.to_string().contains("agent 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DaemonError>();
+    }
+}

@@ -1,0 +1,37 @@
+//! `wolt-daemon` — the WOLT Central Controller as a networked service.
+//!
+//! The paper's §V-A architecture is a server ("the CC") that laptops
+//! talk to over the network. The in-process testbed
+//! ([`wolt_testbed::rig`]) emulates that with threads and channels; this
+//! crate runs it for real: a TCP [`server::Daemon`] speaking a
+//! length-prefixed JSON wire protocol ([`wire`]), an agent client
+//! ([`agent::run_agent`]) for the laptop side, and durable
+//! [`snapshot::DaemonSnapshot`]s so a restarted controller resumes
+//! mid-session without re-issuing directives.
+//!
+//! Every association *decision* lives in the shared
+//! [`wolt_testbed::ControllerCore`]; this crate contributes only
+//! transport. That is what makes the daemon's clean-session
+//! [`wolt_testbed::SessionReport`] canonically byte-identical to
+//! [`wolt_testbed::run_session`] for the same (scenario, seed, policy):
+//! both transports feed the identical core the identical inputs in the
+//! identical order.
+//!
+//! Hermetic like the rest of the workspace: `std::net` only, no external
+//! crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+mod error;
+
+pub use agent::{run_agent, AgentOutcome};
+pub use error::DaemonError;
+pub use server::{Daemon, DaemonConfig, DaemonOutcome, DaemonStats};
+pub use snapshot::DaemonSnapshot;
+pub use wire::Envelope;

@@ -1,0 +1,840 @@
+//! The `wolt-daemon` server: the Central Controller as a long-running
+//! TCP service.
+//!
+//! The in-process rig ([`wolt_testbed::rig`]) wires the controller and
+//! the client agents together with mpsc channels inside one process. The
+//! daemon replaces the channel transport with TCP — agents connect over
+//! loopback (or a LAN), handshake with [`Envelope::Hello`], and then
+//! speak exactly the [`wolt_testbed::protocol`] messages the rig speaks —
+//! while every *decision* (planning, sequencing, epoch dedup,
+//! declared-dead bookkeeping) stays in the shared
+//! [`ControllerCore`]. Because both transports drive the same core with
+//! the same inputs in the same order, a clean TCP session produces a
+//! [`SessionReport`] whose canonical rendering is byte-identical to the
+//! in-process run for the same scenario, seed, and policy.
+//!
+//! # Concurrency
+//!
+//! One reader task per connection (on a [`TaskPool`]) parses frames and
+//! forwards them into a single mpsc queue; the session loop is the only
+//! thread that touches the [`ControllerCore`] or writes to agent
+//! sockets. The accept loop runs on its own thread with a nonblocking
+//! listener so shutdown is prompt.
+//!
+//! # Persistence
+//!
+//! After every completed epoch the daemon snapshots its full state (see
+//! [`DaemonSnapshot`]) to `snapshot_path`, atomically. A restarted
+//! daemon restores the snapshot, hands each reconnecting agent its saved
+//! attachment in the handshake (the radio association outlives the
+//! controller process), and resumes at the saved epoch — issuing no
+//! extra directives for work already done.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use wolt_plc::capacity::CapacityEstimator;
+use wolt_sim::Scenario;
+use wolt_support::pool::TaskPool;
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
+use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
+use wolt_testbed::{
+    assemble_report, ControllerConfig, ControllerCore, ControllerPolicy, Deadlines, Directive,
+    SessionEvent, SessionLedger, SessionReport, TestbedError,
+};
+use wolt_units::Mbps;
+
+use crate::snapshot::DaemonSnapshot;
+use crate::wire::{self, Envelope};
+use crate::DaemonError;
+
+/// Daemon configuration beyond the scenario and event list.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Association logic at the CC.
+    pub policy: ControllerPolicy,
+    /// Offline PLC capacity estimation procedure (measurement noise).
+    pub estimator: CapacityEstimator,
+    /// Deadline and retry budgets, shared with the in-process rig.
+    pub deadlines: Deadlines,
+    /// Seed for the capacity-estimation noise (the rig's `seed`).
+    pub noise_seed: u64,
+    /// Where to persist [`DaemonSnapshot`]s; `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
+    /// Stop (snapshot + graceful shutdown) after this many events have
+    /// completed in total — an operational kill switch and the hook the
+    /// restart tests use to stop deterministically mid-session.
+    pub stop_after: Option<usize>,
+    /// How long to wait for every agent to connect before giving up.
+    pub connect_deadline: Duration,
+    /// Reader-pool workers; `0` sizes the pool to `n_users + 2` (one per
+    /// expected agent plus slack for an operator connection).
+    pub workers: usize,
+    /// Evict telemetry entries staler than this many epochs after each
+    /// event. Off by default: agents report once at join, so a client's
+    /// staleness grows with every later epoch and an aggressive bound
+    /// would evict *live* clients (and change planning inputs). Enable
+    /// only for open-ended deployments where departed clients may vanish
+    /// without a notice.
+    pub max_staleness: Option<u64>,
+}
+
+impl DaemonConfig {
+    /// Config with the given policy and defaults for everything else.
+    pub fn new(policy: ControllerPolicy) -> Self {
+        Self {
+            policy,
+            estimator: CapacityEstimator::default(),
+            deadlines: Deadlines::default(),
+            noise_seed: 0,
+            snapshot_path: None,
+            stop_after: None,
+            connect_deadline: Duration::from_secs(30),
+            workers: 0,
+            max_staleness: None,
+        }
+    }
+}
+
+/// Transport-level counters from one daemon run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Protocol messages received from agents (reports, acks,
+    /// departures).
+    pub msgs_in: usize,
+    /// Per-event re-solve latency: from receiving the triggering report
+    /// to the directive transaction completing (all acks in).
+    pub resolve_latencies: Vec<Duration>,
+    /// Wall-clock time spent driving the session (agents connected →
+    /// last event done).
+    pub elapsed: Duration,
+}
+
+/// What one daemon run produced.
+#[derive(Debug, Clone)]
+pub struct DaemonOutcome {
+    /// The evaluated session outcome (partial if the run was stopped).
+    pub report: SessionReport,
+    /// Whether every configured event completed.
+    pub completed: bool,
+    /// Events completed in total (including ones restored from a
+    /// snapshot).
+    pub epochs_done: usize,
+    /// Transport counters.
+    pub stats: DaemonStats,
+}
+
+/// Everything a reader task can feed the session loop.
+enum Incoming {
+    /// A connection completed its handshake for `client`.
+    Register { client: usize, writer: TcpStream },
+    /// A protocol message from a registered agent.
+    Msg(ToController),
+    /// An operator asked the daemon to stop.
+    Stop { reason: String },
+    /// A registered agent's connection ended.
+    Gone { client: usize },
+}
+
+/// How one driven event ended.
+enum EventEnd {
+    Completed,
+    Unresponsive,
+    Stopped,
+}
+
+/// The Central Controller as a TCP server.
+pub struct Daemon {
+    listener: TcpListener,
+    scenario: Scenario,
+    events: Vec<SessionEvent>,
+    config: DaemonConfig,
+}
+
+impl Daemon {
+    /// Binds the daemon's listening socket.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the address cannot be bound;
+    /// [`DaemonError::InvalidConfig`] for an empty scenario or zero
+    /// retry budgets.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        scenario: Scenario,
+        events: Vec<SessionEvent>,
+        config: DaemonConfig,
+    ) -> Result<Self, DaemonError> {
+        if scenario.user_positions.is_empty() || scenario.extender_positions.is_empty() {
+            return Err(DaemonError::InvalidConfig {
+                context: "scenario needs at least one user and one extender".into(),
+            });
+        }
+        if config.deadlines.event_attempts == 0 || config.deadlines.ack_attempts == 0 {
+            return Err(DaemonError::InvalidConfig {
+                context: "deadlines need at least one attempt per message".into(),
+            });
+        }
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            scenario,
+            events,
+            config,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS failure to report the socket address.
+    pub fn local_addr(&self) -> Result<SocketAddr, DaemonError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the session to completion (or a stop request) and returns
+    /// the evaluated outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Timeout`] when the expected agents never connect;
+    /// [`DaemonError::Testbed`] for session-machinery failures;
+    /// [`DaemonError::Io`] for socket failures.
+    pub fn run(self) -> Result<DaemonOutcome, DaemonError> {
+        let n_users = self.scenario.user_positions.len();
+
+        // Offline capacity estimation — identical to the rig's.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.noise_seed);
+        let estimated: Vec<Mbps> = self
+            .scenario
+            .capacities
+            .iter()
+            .map(|&c| self.config.estimator.estimate(c, &mut rng))
+            .collect::<Result<_, _>>()
+            .map_err(|e| {
+                DaemonError::from(TestbedError::Layer {
+                    context: format!("capacity estimation: {e}"),
+                })
+            })?;
+        let core_config = ControllerConfig {
+            policy: self.config.policy,
+            estimated_capacities: estimated,
+            strict: false,
+        };
+
+        // Cold start or snapshot restore.
+        let restored = match &self.config.snapshot_path {
+            Some(path) => DaemonSnapshot::load(path)?,
+            None => None,
+        };
+        let (core, mut epochs_done, mut present, mut unresponsive, mut initial_attach, retries) =
+            match restored {
+                Some(snap) => {
+                    if snap.present.len() != n_users {
+                        return Err(DaemonError::Protocol {
+                            context: "snapshot is for a different scenario size".into(),
+                        });
+                    }
+                    let core = ControllerCore::restore(core_config, snap.core)?;
+                    (
+                        core,
+                        snap.epochs_done,
+                        snap.present,
+                        snap.unresponsive,
+                        snap.initial_attach,
+                        snap.retries,
+                    )
+                }
+                None => (
+                    ControllerCore::new(n_users, core_config),
+                    0,
+                    vec![false; n_users],
+                    vec![false; n_users],
+                    vec![None; n_users],
+                    0,
+                ),
+            };
+
+        // What reconnecting agents are told in the handshake: the saved
+        // association at startup (always `None` on a cold start).
+        let greeting: Arc<Vec<Option<usize>>> = Arc::new(core.association().to_vec());
+
+        let (tx, rx) = channel::<Incoming>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            n_users + 2
+        };
+        let pool = TaskPool::new(workers);
+        self.listener.set_nonblocking(true)?;
+        let acceptor = {
+            let listener = self.listener.try_clone()?;
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            let greeting = Arc::clone(&greeting);
+            thread::spawn(move || {
+                // The pool lives (and joins its readers) on this thread.
+                let pool = pool;
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let tx = tx.clone();
+                            let greeting = Arc::clone(&greeting);
+                            pool.execute(move || serve_connection(stream, greeting, tx));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        drop(tx);
+
+        let mut session = Session {
+            core,
+            deadlines: self.config.deadlines,
+            writers: (0..n_users).map(|_| None).collect(),
+            rx,
+            retries,
+            msgs_in: 0,
+            latencies: Vec::new(),
+            stop_reason: None,
+        };
+
+        let result = session
+            .wait_for_agents(self.config.connect_deadline)
+            .and_then(|()| {
+                self.drive(
+                    &mut session,
+                    &mut epochs_done,
+                    &mut present,
+                    &mut unresponsive,
+                    &mut initial_attach,
+                )
+            });
+        let started = Instant::now();
+        // Graceful teardown happens even on error paths: tell every
+        // connected agent to exit so their sockets close and the reader
+        // pool can drain.
+        session.shutdown_agents();
+        stop.store(true, Ordering::Relaxed);
+        // Agents that registered after the session loop stopped reading
+        // still need a dismissal, or their reader tasks (and the pool
+        // join inside the acceptor thread) would wait forever.
+        while !acceptor.is_finished() {
+            match session.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(Incoming::Register { mut writer, .. }) => {
+                    let _ = wire::send(&mut writer, &Envelope::Agent(ToAgent::Shutdown));
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let _ = acceptor.join();
+        let elapsed_teardown = started.elapsed();
+        let (drive_elapsed, stopped) = result?;
+
+        let physical_assoc = session.core.association().to_vec();
+        let report = assemble_report(
+            &self.scenario,
+            &physical_assoc,
+            SessionLedger {
+                policy_name: self.config.policy.name().to_string(),
+                present,
+                unresponsive,
+                initial_attach,
+                crashed: Vec::new(),
+                wedged: Vec::new(),
+                declared_dead: session.core.declared_dead().to_vec(),
+                directives: session.core.directives(),
+                degraded_solves: session.core.degraded_solves(),
+                retries: session.retries,
+            },
+        )?;
+        let completed = !stopped && epochs_done == self.events.len();
+        Ok(DaemonOutcome {
+            report,
+            completed,
+            epochs_done,
+            stats: DaemonStats {
+                msgs_in: session.msgs_in,
+                resolve_latencies: session.latencies.clone(),
+                elapsed: drive_elapsed + elapsed_teardown,
+            },
+        })
+    }
+
+    /// Drives the configured events from `epochs_done` onward, mirroring
+    /// the in-process rig's harness loop. Returns the wall-clock time
+    /// spent and whether the run was stopped before finishing.
+    fn drive(
+        &self,
+        session: &mut Session,
+        epochs_done: &mut usize,
+        present: &mut [bool],
+        unresponsive: &mut [bool],
+        initial_attach: &mut [Option<usize>],
+    ) -> Result<(Duration, bool), DaemonError> {
+        let started = Instant::now();
+        let mut stopped = false;
+        if self.config.stop_after.is_some_and(|k| *epochs_done >= k) {
+            return Ok((started.elapsed(), true));
+        }
+        for (idx, &event) in self.events.iter().enumerate().skip(*epochs_done) {
+            let epoch = idx as u64;
+            let (i, is_join) = match event {
+                SessionEvent::Join(i) => (i, true),
+                SessionEvent::Leave(i) => (i, false),
+            };
+            if i < self.scenario.user_positions.len() && unresponsive[i] {
+                // A client whose earlier event never completed is out of
+                // the session: later events for it are skipped.
+                *epochs_done = idx + 1;
+                continue;
+            }
+            let n_users = self.scenario.user_positions.len();
+            let valid = i < n_users && if is_join { !present[i] } else { present[i] };
+            if !valid {
+                return Err(TestbedError::InvalidConfig {
+                    context: if is_join {
+                        "join of an out-of-range or already-present client"
+                    } else {
+                        "leave of an out-of-range or absent client"
+                    },
+                }
+                .into());
+            }
+
+            match session.drive_event(epoch, i, is_join)? {
+                EventEnd::Completed => {
+                    if is_join {
+                        present[i] = true;
+                        if initial_attach[i].is_none() {
+                            // Strict-equivalent to the rig's read of the
+                            // physical state: on a fault-free network the
+                            // CC view after the join transaction *is* the
+                            // physical attachment.
+                            initial_attach[i] = session.core.association()[i];
+                        }
+                    } else {
+                        present[i] = false;
+                    }
+                }
+                EventEnd::Unresponsive => {
+                    if is_join {
+                        unresponsive[i] = true;
+                    } else {
+                        present[i] = false;
+                    }
+                }
+                EventEnd::Stopped => {
+                    stopped = true;
+                    break;
+                }
+            }
+            *epochs_done = idx + 1;
+            if let Some(bound) = self.config.max_staleness {
+                session.core.evict_stale(bound);
+            }
+            if let Some(path) = &self.config.snapshot_path {
+                DaemonSnapshot {
+                    epochs_done: *epochs_done,
+                    present: present.to_vec(),
+                    unresponsive: unresponsive.to_vec(),
+                    initial_attach: initial_attach.to_vec(),
+                    retries: session.retries,
+                    core: session.core.snapshot(),
+                }
+                .save(path)?;
+            }
+            if session.stop_reason.is_some() || self.config.stop_after == Some(*epochs_done) {
+                stopped = true;
+                break;
+            }
+        }
+        Ok((started.elapsed(), stopped))
+    }
+}
+
+/// Per-connection reader: handshake, then forward frames to the session
+/// loop until the connection ends.
+fn serve_connection(
+    mut stream: TcpStream,
+    greeting: Arc<Vec<Option<usize>>>,
+    tx: Sender<Incoming>,
+) {
+    let _ = stream.set_nodelay(true);
+    let client = match wire::recv(&mut stream) {
+        Ok(Some(Envelope::Hello { client, .. })) if client < greeting.len() => client,
+        Ok(Some(Envelope::Shutdown { reason })) => {
+            // A bare control connection: deliver the stop request and
+            // close.
+            let _ = tx.send(Incoming::Stop { reason });
+            return;
+        }
+        _ => return,
+    };
+    if wire::send(
+        &mut stream,
+        &Envelope::HelloAck {
+            attached: greeting[client],
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    if tx.send(Incoming::Register { client, writer }).is_err() {
+        return;
+    }
+    loop {
+        match wire::recv(&mut stream) {
+            Ok(Some(Envelope::Ctrl(msg))) => {
+                if tx.send(Incoming::Msg(msg)).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Envelope::Shutdown { reason })) => {
+                let _ = tx.send(Incoming::Stop { reason });
+            }
+            Ok(Some(_)) | Ok(None) | Err(_) => {
+                let _ = tx.send(Incoming::Gone { client });
+                return;
+            }
+        }
+    }
+}
+
+/// The session loop's mutable state: the decision core plus the TCP
+/// transport bookkeeping.
+struct Session {
+    core: ControllerCore,
+    deadlines: Deadlines,
+    writers: Vec<Option<TcpStream>>,
+    rx: Receiver<Incoming>,
+    retries: usize,
+    msgs_in: usize,
+    latencies: Vec<Duration>,
+    stop_reason: Option<String>,
+}
+
+/// A directive awaiting its ack over TCP.
+struct PendingDirective {
+    client: usize,
+    extender: usize,
+    seq: u64,
+    attempt: u32,
+    deadline: Instant,
+}
+
+impl Session {
+    /// Blocks until every expected agent has registered.
+    fn wait_for_agents(&mut self, budget: Duration) -> Result<(), DaemonError> {
+        let deadline = Instant::now() + budget;
+        while self.writers.iter().any(Option::is_none) {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(wait) {
+                Ok(Incoming::Register { client, writer }) => {
+                    self.writers[client] = Some(writer);
+                }
+                Ok(Incoming::Gone { client }) => {
+                    self.writers[client] = None;
+                }
+                Ok(Incoming::Stop { reason }) => {
+                    self.stop_reason = Some(reason);
+                    return Ok(());
+                }
+                Ok(Incoming::Msg(_)) => {
+                    // Agents do not speak before their first command;
+                    // drop pre-session noise.
+                    self.msgs_in += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let missing: Vec<usize> = self
+                        .writers
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, w)| w.is_none().then_some(i))
+                        .collect();
+                    return Err(DaemonError::Timeout {
+                        waiting_for: format!("agents {missing:?} to connect"),
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(TestbedError::ChannelClosed {
+                        endpoint: "acceptor",
+                    }
+                    .into())
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives one join/leave event: send the command, process the
+    /// resulting report/departure through the core, run the directive
+    /// transaction, retransmitting the command on the rig's schedule.
+    fn drive_event(
+        &mut self,
+        epoch: u64,
+        client: usize,
+        is_join: bool,
+    ) -> Result<EventEnd, DaemonError> {
+        if self.stop_reason.is_some() {
+            return Ok(EventEnd::Stopped);
+        }
+        for attempt in 1..=self.deadlines.event_attempts {
+            if attempt > 1 {
+                self.retries += 1;
+            }
+            let cmd = if is_join {
+                ToAgent::Join { epoch, attempt }
+            } else {
+                ToAgent::Leave { epoch, attempt }
+            };
+            if !self.send_agent(client, &cmd) {
+                // No connection to the client: its event can never
+                // complete. Treat like the rig's silent-agent path.
+                return Ok(EventEnd::Unresponsive);
+            }
+            let deadline = Instant::now() + self.deadlines.event;
+            loop {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                let incoming = match self.rx.recv_timeout(wait) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(TestbedError::ChannelClosed {
+                            endpoint: "acceptor",
+                        }
+                        .into())
+                    }
+                };
+                match incoming {
+                    Incoming::Register { client: c, writer } => {
+                        self.writers[c] = Some(writer);
+                    }
+                    Incoming::Gone { client: c } => {
+                        self.writers[c] = None;
+                    }
+                    Incoming::Stop { reason } => {
+                        self.stop_reason = Some(reason);
+                        return Ok(EventEnd::Stopped);
+                    }
+                    Incoming::Msg(msg) => {
+                        self.msgs_in += 1;
+                        if let Some(done_epoch) = self.process_event_msg(msg)? {
+                            if done_epoch == epoch {
+                                return Ok(EventEnd::Completed);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(EventEnd::Unresponsive)
+    }
+
+    /// Feeds one protocol message through the core; returns the epoch of
+    /// a completed event transaction, if this message triggered one.
+    fn process_event_msg(&mut self, msg: ToController) -> Result<Option<u64>, DaemonError> {
+        match msg {
+            ToController::Report {
+                client,
+                epoch,
+                rates,
+                attached,
+            } => {
+                if self.core.is_duplicate(epoch) {
+                    return Ok(None);
+                }
+                let t0 = Instant::now();
+                let directives = self.core.handle_report(client, epoch, &rates, attached)?;
+                self.transact(directives, epoch)?;
+                self.latencies.push(t0.elapsed());
+                Ok(Some(epoch))
+            }
+            ToController::Departed { client, epoch } => {
+                if self.core.is_duplicate(epoch) {
+                    return Ok(None);
+                }
+                let t0 = Instant::now();
+                let directives = self.core.handle_departed(client, epoch)?;
+                self.transact(directives, epoch)?;
+                self.latencies.push(t0.elapsed());
+                Ok(Some(epoch))
+            }
+            ToController::Ack {
+                client,
+                seq,
+                extender,
+            } => {
+                // A late ack refreshes the CC view iff it matches the
+                // newest directive.
+                self.core.handle_ack(client, seq, extender);
+                Ok(None)
+            }
+        }
+    }
+
+    /// One directive transaction over TCP — the rig's `run_transaction`
+    /// with socket writes for sends and the merged queue for receives.
+    fn transact(&mut self, directives: Vec<Directive>, epoch: u64) -> Result<(), DaemonError> {
+        let mut pending: Vec<PendingDirective> = Vec::new();
+        self.enqueue(&mut pending, directives);
+        while !pending.is_empty() {
+            let now = Instant::now();
+            let mut d = 0;
+            while d < pending.len() {
+                if pending[d].deadline > now {
+                    d += 1;
+                    continue;
+                }
+                if pending[d].attempt >= self.deadlines.ack_attempts {
+                    let casualty = pending.remove(d).client;
+                    // The dead client's load vanishes: re-optimize the
+                    // survivors (may supersede other in-flight
+                    // directives).
+                    let replan = self.core.declare_dead(casualty)?;
+                    self.enqueue(&mut pending, replan);
+                    d = 0;
+                } else {
+                    let p = &mut pending[d];
+                    p.attempt += 1;
+                    self.retries += 1;
+                    p.deadline = now + self.deadlines.backoff(p.attempt);
+                    let (client, extender, seq, attempt) = (p.client, p.extender, p.seq, p.attempt);
+                    self.send_directive(client, extender, seq, attempt);
+                    d += 1;
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            let next = pending
+                .iter()
+                .map(|p| p.deadline)
+                .min()
+                .expect("pending is non-empty");
+            let wait = next.saturating_duration_since(Instant::now());
+            let incoming = match self.rx.recv_timeout(wait) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(TestbedError::ChannelClosed { endpoint: "client" }.into())
+                }
+            };
+            match incoming {
+                Incoming::Msg(ToController::Ack {
+                    client,
+                    seq,
+                    extender,
+                }) => {
+                    self.msgs_in += 1;
+                    if self.core.handle_ack(client, seq, extender) {
+                        pending.retain(|p| !(p.client == client && p.seq == seq));
+                    }
+                }
+                Incoming::Msg(ToController::Report { epoch: e, .. })
+                | Incoming::Msg(ToController::Departed { epoch: e, .. }) => {
+                    self.msgs_in += 1;
+                    // Retransmissions of the current (or an older) event
+                    // are expected; a genuinely new event mid-transaction
+                    // means serialization broke.
+                    if e > epoch {
+                        return Err(TestbedError::AssignmentFailed {
+                            context: "unexpected message during directive transaction".to_string(),
+                        }
+                        .into());
+                    }
+                }
+                Incoming::Register { client, writer } => {
+                    self.writers[client] = Some(writer);
+                }
+                Incoming::Gone { client } => {
+                    // The ack deadline machinery turns a dead connection
+                    // into a declared-dead client.
+                    self.writers[client] = None;
+                }
+                Incoming::Stop { reason } => {
+                    // Finish converging first; the driver stops after
+                    // this event.
+                    self.stop_reason.get_or_insert(reason);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds planned directives to the pending set (superseding in-flight
+    /// ones for the same client) and performs their first transmission.
+    fn enqueue(&mut self, pending: &mut Vec<PendingDirective>, directives: Vec<Directive>) {
+        for dir in directives {
+            pending.retain(|p| p.client != dir.client);
+            pending.push(PendingDirective {
+                client: dir.client,
+                extender: dir.extender,
+                seq: dir.seq,
+                attempt: 1,
+                deadline: Instant::now() + self.deadlines.backoff(1),
+            });
+            self.send_directive(dir.client, dir.extender, dir.seq, 1);
+        }
+    }
+
+    /// Sends one directive transmission; a broken pipe drops the writer
+    /// and lets the ack machinery handle the silence.
+    fn send_directive(&mut self, client: usize, extender: usize, seq: u64, attempt: u32) {
+        let env = Envelope::Client(ToClient::Directive {
+            extender,
+            seq,
+            attempt,
+        });
+        if let Some(w) = self.writers[client].as_mut() {
+            if wire::send(w, &env).is_err() {
+                self.writers[client] = None;
+            }
+        }
+    }
+
+    /// Sends one harness command; `false` when the client has no usable
+    /// connection.
+    fn send_agent(&mut self, client: usize, cmd: &ToAgent) -> bool {
+        let env = Envelope::Agent(cmd.clone());
+        match self.writers[client].as_mut() {
+            Some(w) => {
+                if wire::send(w, &env).is_err() {
+                    self.writers[client] = None;
+                    false
+                } else {
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Tells every connected agent to exit (so sockets close and reader
+    /// tasks drain) and flushes the writers.
+    fn shutdown_agents(&mut self) {
+        for w in self.writers.iter_mut().flatten() {
+            let _ = wire::send(w, &Envelope::Agent(ToAgent::Shutdown));
+            let _ = w.flush();
+        }
+    }
+}

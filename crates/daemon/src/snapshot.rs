@@ -1,0 +1,166 @@
+//! Daemon state persistence: the controller's decision state plus the
+//! session driver's bookkeeping, written as canonical JSON after every
+//! completed epoch and restored on restart.
+//!
+//! The snapshot is everything a restarted daemon needs to resume exactly
+//! where the dead one stopped: the [`ControllerSnapshot`] (telemetry,
+//! association view, sequence counters) and the driver ledger (which
+//! events completed, who is present, the initial attachments used for
+//! switch counting). Because `wolt_support::json` is deterministic, two
+//! snapshots of equal state are byte-identical on disk.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
+use wolt_testbed::ControllerSnapshot;
+
+use crate::DaemonError;
+
+/// The persisted daemon state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonSnapshot {
+    /// Events completed so far; the daemon resumes at this index.
+    pub epochs_done: usize,
+    /// Per-client presence (joined and not departed) at snapshot time.
+    pub present: Vec<bool>,
+    /// Per-client unresponsiveness at snapshot time.
+    pub unresponsive: Vec<bool>,
+    /// Each client's first post-join attachment (for switch counting).
+    pub initial_attach: Vec<Option<usize>>,
+    /// Retransmissions so far (timing-dependent bookkeeping, excluded
+    /// from canonical reports but carried for observability).
+    pub retries: usize,
+    /// The controller's full decision state.
+    pub core: ControllerSnapshot,
+}
+
+impl ToJson for DaemonSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epochs_done", self.epochs_done.to_json()),
+            ("present", self.present.to_json()),
+            ("unresponsive", self.unresponsive.to_json()),
+            ("initial_attach", self.initial_attach.to_json()),
+            ("retries", self.retries.to_json()),
+            ("core", self.core.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DaemonSnapshot {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            epochs_done: usize::from_json(value.field("epochs_done")?)?,
+            present: Vec::<bool>::from_json(value.field("present")?)?,
+            unresponsive: Vec::<bool>::from_json(value.field("unresponsive")?)?,
+            initial_attach: Vec::<Option<usize>>::from_json(value.field("initial_attach")?)?,
+            retries: usize::from_json(value.field("retries")?)?,
+            core: ControllerSnapshot::from_json(value.field("core")?)?,
+        })
+    }
+}
+
+impl DaemonSnapshot {
+    /// Writes the snapshot atomically: serialize to a sibling temp file,
+    /// then rename over the target, so a crash mid-write never leaves a
+    /// truncated snapshot behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), DaemonError> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.to_json().to_compact())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a snapshot, or `Ok(None)` when the file does not exist yet
+    /// (a cold start).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; a present-but-malformed snapshot
+    /// is [`DaemonError::Protocol`], not silently ignored.
+    pub fn load(path: &Path) -> Result<Option<Self>, DaemonError> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let json = Json::parse(&text).map_err(|e| DaemonError::Protocol {
+            context: format!("corrupt snapshot {}: {e}", path.display()),
+        })?;
+        DaemonSnapshot::from_json(&json)
+            .map(Some)
+            .map_err(|e| DaemonError::Protocol {
+                context: format!("corrupt snapshot {}: {e}", path.display()),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolt_testbed::{ControllerConfig, ControllerCore, ControllerPolicy};
+    use wolt_units::Mbps;
+
+    fn sample() -> DaemonSnapshot {
+        let mut core = ControllerCore::new(
+            2,
+            ControllerConfig {
+                policy: ControllerPolicy::Wolt,
+                estimated_capacities: vec![Mbps::new(50.0), Mbps::new(30.0)],
+                strict: false,
+            },
+        );
+        core.handle_report(0, 0, &[Some(Mbps::new(20.0)), Some(Mbps::new(5.0))], 0)
+            .unwrap();
+        DaemonSnapshot {
+            epochs_done: 1,
+            present: vec![true, false],
+            unresponsive: vec![false, false],
+            initial_attach: vec![Some(0), None],
+            retries: 3,
+            core: core.snapshot(),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let text = snap.to_json().to_compact();
+        let back = DaemonSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        // Canonical encoder: equal state, identical bytes.
+        assert_eq!(back.to_json().to_compact(), text);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_missing_file_is_none() {
+        let dir = std::env::temp_dir().join("wolt-daemon-snap-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let _ = fs::remove_file(&path);
+        assert!(DaemonSnapshot::load(&path).unwrap().is_none());
+        let snap = sample();
+        snap.save(&path).unwrap();
+        assert_eq!(DaemonSnapshot::load(&path).unwrap(), Some(snap));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_a_cold_start() {
+        let dir = std::env::temp_dir().join("wolt-daemon-snap-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            DaemonSnapshot::load(&path),
+            Err(DaemonError::Protocol { .. })
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+}

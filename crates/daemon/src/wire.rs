@@ -1,0 +1,194 @@
+//! The daemon's wire envelope: the protocol enums of
+//! [`wolt_testbed::protocol`] plus the connection-level messages TCP
+//! needs (handshake, restore handoff, operator shutdown).
+//!
+//! The in-process rig needs no handshake — channel identity *is* client
+//! identity. Over TCP the daemon learns who connected from the first
+//! frame ([`Envelope::Hello`]) and answers with the client's last known
+//! attachment ([`Envelope::HelloAck`]), which is how a restarted daemon
+//! hands a reconnecting agent its pre-crash state (the data plane — the
+//! radio association — survives a controller reboot).
+//!
+//! Every envelope serializes to a `{"t": ...}` tagged object through the
+//! deterministic `wolt_support::json` encoder and travels as one
+//! length-prefixed frame (see [`wolt_testbed::codec`]).
+
+use std::io::{self, Read, Write};
+
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
+use wolt_testbed::codec::{read_frame, write_frame};
+use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
+
+/// One daemon wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// First frame on every agent connection: who is calling. `name` is a
+    /// free-form label for logs (it may contain any Unicode, including
+    /// control characters — the codec must round-trip it untouched).
+    Hello {
+        /// Client index in the scenario.
+        client: usize,
+        /// Free-form agent label.
+        name: String,
+    },
+    /// The daemon's handshake reply: the client's attachment according to
+    /// the (possibly restored) controller state, which the agent adopts.
+    HelloAck {
+        /// Saved extender attachment, if the controller knows one.
+        attached: Option<usize>,
+    },
+    /// An agent → controller protocol message.
+    Ctrl(ToController),
+    /// A controller → client directive or shutdown.
+    Client(ToClient),
+    /// A session-driver command (join/leave/shutdown).
+    Agent(ToAgent),
+    /// Operator request: snapshot and stop the daemon gracefully.
+    Shutdown {
+        /// Free-form reason, echoed into the daemon's logs.
+        reason: String,
+    },
+}
+
+impl ToJson for Envelope {
+    fn to_json(&self) -> Json {
+        match self {
+            Envelope::Hello { client, name } => Json::obj([
+                ("t", Json::Str("hello".into())),
+                ("client", client.to_json()),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Envelope::HelloAck { attached } => Json::obj([
+                ("t", Json::Str("hello_ack".into())),
+                ("attached", attached.to_json()),
+            ]),
+            Envelope::Ctrl(m) => Json::obj([("t", Json::Str("ctrl".into())), ("m", m.to_json())]),
+            Envelope::Client(m) => {
+                Json::obj([("t", Json::Str("client".into())), ("m", m.to_json())])
+            }
+            Envelope::Agent(m) => Json::obj([("t", Json::Str("agent".into())), ("m", m.to_json())]),
+            Envelope::Shutdown { reason } => Json::obj([
+                ("t", Json::Str("stop".into())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Envelope {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let tag = value
+            .field("t")?
+            .as_str()
+            .ok_or_else(|| JsonError::shape("envelope tag must be a string"))?;
+        match tag {
+            "hello" => Ok(Envelope::Hello {
+                client: usize::from_json(value.field("client")?)?,
+                name: String::from_json(value.field("name")?)?,
+            }),
+            "hello_ack" => Ok(Envelope::HelloAck {
+                attached: Option::<usize>::from_json(value.field("attached")?)?,
+            }),
+            "ctrl" => Ok(Envelope::Ctrl(ToController::from_json(value.field("m")?)?)),
+            "client" => Ok(Envelope::Client(ToClient::from_json(value.field("m")?)?)),
+            "agent" => Ok(Envelope::Agent(ToAgent::from_json(value.field("m")?)?)),
+            "stop" => Ok(Envelope::Shutdown {
+                reason: String::from_json(value.field("reason")?)?,
+            }),
+            other => Err(JsonError::shape(format!("unknown envelope tag {other:?}"))),
+        }
+    }
+}
+
+/// Writes one envelope as a length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn send(w: &mut impl Write, envelope: &Envelope) -> io::Result<()> {
+    write_frame(w, &envelope.to_json())
+}
+
+/// Reads one envelope. `Ok(None)` is a cleanly closed connection.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`io::ErrorKind::InvalidData`] when the frame
+/// decodes to JSON that is not a valid envelope.
+pub fn recv(r: &mut impl Read) -> io::Result<Option<Envelope>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(json) => Envelope::from_json(&json)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad envelope: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolt_units::Mbps;
+
+    fn round_trip(env: Envelope) {
+        let mut buf = Vec::new();
+        send(&mut buf, &env).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(recv(&mut r).unwrap().expect("one envelope"), env);
+        assert!(recv(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn every_envelope_variant_round_trips() {
+        round_trip(Envelope::Hello {
+            client: 4,
+            name: "laptop-4".into(),
+        });
+        round_trip(Envelope::HelloAck { attached: Some(2) });
+        round_trip(Envelope::HelloAck { attached: None });
+        round_trip(Envelope::Ctrl(ToController::Report {
+            client: 0,
+            epoch: 1,
+            rates: vec![Some(Mbps::new(33.25)), None],
+            attached: 1,
+        }));
+        round_trip(Envelope::Client(ToClient::Directive {
+            extender: 1,
+            seq: 5,
+            attempt: 2,
+        }));
+        round_trip(Envelope::Agent(ToAgent::Join {
+            epoch: 0,
+            attempt: 1,
+        }));
+        round_trip(Envelope::Shutdown {
+            reason: "operator".into(),
+        });
+    }
+
+    #[test]
+    fn nasty_strings_survive_the_wire() {
+        for name in [
+            "tabs\tand\nnewlines\r",
+            "nul\u{0}and bell\u{7}",
+            "quotes \" backslash \\ slash /",
+            "非ASCII → λ ∀ 🦀",
+            "escape-looking \\u0041 literal",
+        ] {
+            round_trip(Envelope::Hello {
+                client: 0,
+                name: name.into(),
+            });
+            round_trip(Envelope::Shutdown {
+                reason: name.into(),
+            });
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj([("t", Json::Str("warp".into()))])).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(recv(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+}

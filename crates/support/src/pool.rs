@@ -1,10 +1,11 @@
-//! A small scoped thread pool with an order-preserving `par_map`.
+//! A small scoped thread pool with an order-preserving `par_map`, plus a
+//! long-lived [`TaskPool`] for daemon-style blocking tasks.
 //!
 //! The workspace is hermetic — no rayon, no crossbeam — so this module
-//! provides the one parallel primitive the optimizers and experiment
-//! drivers need: map a function over a slice on `n` worker threads and get
-//! the results back **in input order**, so parallel runs are byte-for-byte
-//! identical to sequential ones. Workers pull indices from a shared atomic
+//! provides the parallel primitives the optimizers, experiment drivers,
+//! and the network daemon need: map a function over a slice on `n` worker
+//! threads and get the results back **in input order**, so parallel runs
+//! are byte-for-byte identical to sequential ones. Workers pull indices from a shared atomic
 //! counter (dynamic load balancing); each worker collects `(index, result)`
 //! pairs privately and the results are stitched back into input order at
 //! the end, which keeps the whole module free of `unsafe`.
@@ -27,6 +28,9 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Environment variable consulted by [`resolve_threads`] when no explicit
 /// thread count is given (the CLI's `--threads` flag overrides it).
@@ -140,6 +144,80 @@ where
     par_map(threads, items, f).into_iter().fold(init, combine)
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads executing submitted
+/// closures, for workloads that are *not* a finite `par_map` — e.g. a
+/// network daemon handling one blocking connection per task.
+///
+/// Jobs are claimed from a shared queue in submission order, but may run
+/// (and block) concurrently, so a task is allowed to live for the whole
+/// life of a connection. Dropping the pool closes the queue and joins
+/// every worker after in-flight jobs finish.
+///
+/// Unlike [`par_map`] there is no determinism contract here: tasks
+/// communicate through their own channels, and anything that must be
+/// reproducible should be serialized by the consumer of those channels.
+pub struct TaskPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawns `workers` worker threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while claiming, never while
+                    // running: a blocking job must not starve the queue.
+                    let job = match receiver.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => return,
+                    }
+                })
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job. Returns `false` if the pool is shutting down (the
+    /// job was not queued).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain the queue and exit.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            // A panicked job already printed its message; don't double-panic
+            // the pool's owner during unwinding.
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +279,52 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn task_pool_runs_all_jobs() {
+        let pool = TaskPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins workers after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn task_pool_supports_long_lived_blocking_tasks() {
+        // Two tasks that must run concurrently to finish: a pool that ran
+        // them sequentially would deadlock on the rendezvous.
+        let pool = TaskPool::new(2);
+        let (atx, arx) = channel::<u32>();
+        let (btx, brx) = channel::<u32>();
+        pool.execute(move || {
+            btx.send(1).unwrap();
+            assert_eq!(arx.recv().unwrap(), 2);
+        });
+        pool.execute(move || {
+            atx.send(2).unwrap();
+            assert_eq!(brx.recv().unwrap(), 1);
+        });
+        drop(pool);
+    }
+
+    #[test]
+    fn task_pool_zero_workers_clamps_to_one() {
+        let pool = TaskPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
     }
 
     #[test]

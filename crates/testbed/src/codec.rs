@@ -1,0 +1,389 @@
+//! Wire codec for the Central Controller protocol: tagged JSON message
+//! bodies and length-prefixed framing over byte streams.
+//!
+//! The in-process rig moves [`protocol`](crate::protocol) enums over mpsc
+//! channels; the networked daemon moves the *same* enums over TCP. This
+//! module is the boundary between them: every protocol message gains a
+//! canonical JSON form (a `{"t": ...}` tagged object via
+//! [`ToJson`]/[`FromJson`]), and [`write_frame`]/[`read_frame`] move one
+//! JSON value per frame — a 4-byte big-endian length prefix followed by
+//! the compact UTF-8 serialization.
+//!
+//! Because `wolt_support::json` is deterministic (insertion-ordered keys,
+//! shortest-round-trip floats), equal messages always encode to identical
+//! bytes — the property that makes wire traffic diffable and replayable.
+
+use std::io::{self, Read, Write};
+
+use wolt_support::json::{FromJson, Json, JsonError, ToJson};
+use wolt_units::Mbps;
+
+use crate::protocol::{ToAgent, ToClient, ToController};
+
+/// Hard cap on one frame's payload, over which [`read_frame`] rejects the
+/// stream as corrupt: no protocol message comes close, and a garbage
+/// length prefix must not trigger a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// Writes one JSON value as a length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_frame(w: &mut impl Write, value: &Json) -> io::Result<()> {
+    let body = value.to_compact();
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean
+/// end of stream (EOF at a frame boundary).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::UnexpectedEof`] for a stream truncated
+/// mid-frame and [`io::ErrorKind::InvalidData`] for an oversized length
+/// prefix, a non-UTF-8 body, or malformed JSON.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte is a closed connection, not an
+    // error; EOF mid-prefix is truncation.
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream truncated inside a frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))?;
+    Json::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame JSON: {e}")))
+}
+
+/// Reads the `"t"` tag of a protocol message object.
+fn tag(value: &Json) -> Result<&str, JsonError> {
+    value
+        .field("t")?
+        .as_str()
+        .ok_or_else(|| JsonError::shape("message tag must be a string"))
+}
+
+fn rates_to_json(rates: &[Option<Mbps>]) -> Json {
+    Json::Arr(
+        rates
+            .iter()
+            .map(|r| match r {
+                Some(m) => Json::Num(m.value()),
+                None => Json::Null,
+            })
+            .collect(),
+    )
+}
+
+fn rates_from_json(value: &Json) -> Result<Vec<Option<Mbps>>, JsonError> {
+    value
+        .as_arr()
+        .ok_or_else(|| JsonError::shape("rates must be an array"))?
+        .iter()
+        .map(|r| {
+            if r.is_null() {
+                Ok(None)
+            } else {
+                r.as_f64()
+                    .map(|v| Some(Mbps::new(v)))
+                    .ok_or_else(|| JsonError::shape("rate must be a number or null"))
+            }
+        })
+        .collect()
+}
+
+impl ToJson for ToController {
+    fn to_json(&self) -> Json {
+        match self {
+            ToController::Report {
+                client,
+                epoch,
+                rates,
+                attached,
+            } => Json::obj([
+                ("t", Json::Str("report".into())),
+                ("client", client.to_json()),
+                ("epoch", epoch.to_json()),
+                ("rates", rates_to_json(rates)),
+                ("attached", attached.to_json()),
+            ]),
+            ToController::Ack {
+                client,
+                seq,
+                extender,
+            } => Json::obj([
+                ("t", Json::Str("ack".into())),
+                ("client", client.to_json()),
+                ("seq", seq.to_json()),
+                ("extender", extender.to_json()),
+            ]),
+            ToController::Departed { client, epoch } => Json::obj([
+                ("t", Json::Str("departed".into())),
+                ("client", client.to_json()),
+                ("epoch", epoch.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ToController {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match tag(value)? {
+            "report" => Ok(ToController::Report {
+                client: usize::from_json(value.field("client")?)?,
+                epoch: u64::from_json(value.field("epoch")?)?,
+                rates: rates_from_json(value.field("rates")?)?,
+                attached: usize::from_json(value.field("attached")?)?,
+            }),
+            "ack" => Ok(ToController::Ack {
+                client: usize::from_json(value.field("client")?)?,
+                seq: u64::from_json(value.field("seq")?)?,
+                extender: usize::from_json(value.field("extender")?)?,
+            }),
+            "departed" => Ok(ToController::Departed {
+                client: usize::from_json(value.field("client")?)?,
+                epoch: u64::from_json(value.field("epoch")?)?,
+            }),
+            other => Err(JsonError::shape(format!(
+                "unknown ToController tag {other:?}"
+            ))),
+        }
+    }
+}
+
+impl ToJson for ToClient {
+    fn to_json(&self) -> Json {
+        match self {
+            ToClient::Directive {
+                extender,
+                seq,
+                attempt,
+            } => Json::obj([
+                ("t", Json::Str("directive".into())),
+                ("extender", extender.to_json()),
+                ("seq", seq.to_json()),
+                ("attempt", attempt.to_json()),
+            ]),
+            ToClient::Shutdown => Json::obj([("t", Json::Str("shutdown".into()))]),
+        }
+    }
+}
+
+impl FromJson for ToClient {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match tag(value)? {
+            "directive" => Ok(ToClient::Directive {
+                extender: usize::from_json(value.field("extender")?)?,
+                seq: u64::from_json(value.field("seq")?)?,
+                attempt: u32::from_json(value.field("attempt")?)?,
+            }),
+            "shutdown" => Ok(ToClient::Shutdown),
+            other => Err(JsonError::shape(format!("unknown ToClient tag {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for ToAgent {
+    fn to_json(&self) -> Json {
+        match self {
+            ToAgent::Join { epoch, attempt } => Json::obj([
+                ("t", Json::Str("join".into())),
+                ("epoch", epoch.to_json()),
+                ("attempt", attempt.to_json()),
+            ]),
+            ToAgent::Leave { epoch, attempt } => Json::obj([
+                ("t", Json::Str("leave".into())),
+                ("epoch", epoch.to_json()),
+                ("attempt", attempt.to_json()),
+            ]),
+            ToAgent::Shutdown => Json::obj([("t", Json::Str("shutdown".into()))]),
+        }
+    }
+}
+
+impl FromJson for ToAgent {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match tag(value)? {
+            "join" => Ok(ToAgent::Join {
+                epoch: u64::from_json(value.field("epoch")?)?,
+                attempt: u32::from_json(value.field("attempt")?)?,
+            }),
+            "leave" => Ok(ToAgent::Leave {
+                epoch: u64::from_json(value.field("epoch")?)?,
+                attempt: u32::from_json(value.field("attempt")?)?,
+            }),
+            "shutdown" => Ok(ToAgent::Shutdown),
+            other => Err(JsonError::shape(format!("unknown ToAgent tag {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(msg: T) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg.to_json()).unwrap();
+        let mut r = buf.as_slice();
+        let json = read_frame(&mut r).unwrap().expect("one frame");
+        assert_eq!(T::from_json(&json).unwrap(), msg);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn every_protocol_variant_round_trips() {
+        round_trip(ToController::Report {
+            client: 3,
+            epoch: 7,
+            rates: vec![Some(Mbps::new(12.5)), None, Some(Mbps::new(0.1))],
+            attached: 2,
+        });
+        round_trip(ToController::Ack {
+            client: 1,
+            seq: 9,
+            extender: 0,
+        });
+        round_trip(ToController::Departed {
+            client: 5,
+            epoch: 2,
+        });
+        round_trip(ToClient::Directive {
+            extender: 2,
+            seq: 11,
+            attempt: 3,
+        });
+        round_trip(ToClient::Shutdown);
+        round_trip(ToAgent::Join {
+            epoch: 0,
+            attempt: 1,
+        });
+        round_trip(ToAgent::Leave {
+            epoch: 4,
+            attempt: 2,
+        });
+        round_trip(ToAgent::Shutdown);
+    }
+
+    #[test]
+    fn frames_are_byte_deterministic() {
+        let msg = ToController::Report {
+            client: 0,
+            epoch: 0,
+            rates: vec![Some(Mbps::new(10.0))],
+            attached: 0,
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_frame(&mut a, &msg.to_json()).unwrap();
+        write_frame(&mut b, &msg.clone().to_json()).unwrap();
+        assert_eq!(a, b);
+        // Length prefix is big-endian and covers exactly the body.
+        let len = u32::from_be_bytes([a[0], a[1], a[2], a[3]]) as usize;
+        assert_eq!(len, a.len() - 4);
+    }
+
+    #[test]
+    fn multiple_frames_stream_in_order() {
+        let msgs = [
+            ToAgent::Join {
+                epoch: 0,
+                attempt: 1,
+            },
+            ToAgent::Leave {
+                epoch: 1,
+                attempt: 1,
+            },
+            ToAgent::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, &m.to_json()).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for m in &msgs {
+            let json = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(&ToAgent::from_json(&json).unwrap(), m);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &ToAgent::Join {
+                epoch: 0,
+                attempt: 1,
+            }
+            .to_json(),
+        )
+        .unwrap();
+        // Truncated mid-prefix.
+        let mut r = &buf[..2];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Truncated mid-body.
+        let mut r = &buf[..buf.len() - 3];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Giant length prefix: rejected before allocating.
+        let giant = u32::try_from(MAX_FRAME_BYTES + 1).unwrap().to_be_bytes();
+        let mut r = giant.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Valid prefix, garbage JSON body.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&3u32.to_be_bytes());
+        bad.extend_from_slice(b"{{{");
+        let mut r = bad.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_shape_errors() {
+        let v = Json::parse(r#"{"t":"warp","client":0}"#).unwrap();
+        assert!(ToController::from_json(&v).is_err());
+        assert!(ToClient::from_json(&v).is_err());
+        assert!(ToAgent::from_json(&v).is_err());
+        let untagged = Json::parse(r#"{"client":0}"#).unwrap();
+        assert!(ToController::from_json(&untagged).is_err());
+    }
+}

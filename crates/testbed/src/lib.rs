@@ -13,6 +13,13 @@
 //!   joined sequentially over mpsc channels; the CC runs WOLT /
 //!   Greedy / RSSI on *estimated* PLC capacities while outcomes are
 //!   evaluated on the true ones.
+//! * [`controller`] — the transport-agnostic Central Controller brain
+//!   ([`controller::ControllerCore`]): epoch dedup, telemetry ingest,
+//!   policy planning, monotone directive sequencing, declared-dead
+//!   bookkeeping, and JSON snapshot/restore. Both the in-process [`rig`]
+//!   and the networked `wolt-daemon` drive it.
+//! * [`codec`] — the length-prefixed JSON wire codec for [`protocol`]
+//!   messages, used by the daemon's TCP transport.
 //! * [`faults`] — seeded deterministic fault injection (message drop /
 //!   delay / duplication, crashed and wedged agents) for exercising the
 //!   resilient control loop.
@@ -39,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
+pub mod controller;
 pub mod experiment;
 pub mod faults;
 pub mod protocol;
@@ -46,9 +55,10 @@ pub mod rig;
 
 mod error;
 
+pub use controller::{ControllerConfig, ControllerCore, ControllerSnapshot, Directive};
 pub use error::TestbedError;
 pub use faults::{FaultPlan, LinkFaults};
 pub use rig::{
-    run_faulty_session, run_rig, run_session, ControllerPolicy, Deadlines, RigConfig, SessionEvent,
-    SessionReport, TopologyOutcome,
+    assemble_report, run_faulty_session, run_rig, run_session, ControllerPolicy, Deadlines,
+    RigConfig, SessionEvent, SessionLedger, SessionReport, TopologyOutcome,
 };

@@ -44,21 +44,16 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use wolt_core::{evaluate, Association, AssociationPolicy, Network, TelemetryCache, Wolt};
+use wolt_core::{evaluate, Association};
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::Scenario;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_units::Mbps;
 
+use crate::controller::{ControllerConfig, ControllerCore, Directive};
 use crate::faults::{FaultPlan, Link, MessageKey};
 use crate::protocol::{ToAgent, ToClient, ToController};
 use crate::TestbedError;
-
-/// Smoothing factor for the CC's telemetry cache. With one report per
-/// join and forget-on-departure this is exact in fault-free sessions;
-/// under faults it damps duplicate-epoch noise (which the cache already
-/// suppresses) and repeated-report jitter.
-const TELEMETRY_ALPHA: f64 = 0.5;
 
 /// Which association logic the Central Controller runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,8 +116,10 @@ impl Default for Deadlines {
 impl Deadlines {
     /// The ack deadline for the given (1-based) transmission attempt:
     /// exponential backoff from [`ack`](Self::ack), capped at
-    /// [`ack_backoff_cap`](Self::ack_backoff_cap).
-    fn backoff(&self, attempt: u32) -> Duration {
+    /// [`ack_backoff_cap`](Self::ack_backoff_cap). Public so alternate
+    /// transports (the `wolt-daemon` TCP server) retransmit on the same
+    /// schedule as the in-process rig.
+    pub fn backoff(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.saturating_sub(1).min(16);
         self.ack.saturating_mul(factor).min(self.ack_backoff_cap)
     }
@@ -372,28 +369,23 @@ pub fn run_faulty_session(
         }));
     }
 
-    // The Central Controller thread.
+    // The Central Controller thread: the shared decision core plus this
+    // rig's mpsc transport.
     let ctx = ControllerCtx {
-        policy: config.policy,
-        estimated_capacities: estimated,
         deadlines,
         plan: Arc::clone(&plan),
         strict,
     };
-    let state = ControllerState {
-        telemetry: TelemetryCache::new(n_users, TELEMETRY_ALPHA),
-        association: vec![None; n_users],
-        dead: vec![false; n_users],
-        latest_seq: vec![None; n_users],
-        next_seq: 0,
-        watermark: None,
-        directives: 0,
-        retries: 0,
-        degraded_solves: 0,
-        declared_dead: Vec::new(),
-    };
+    let core = ControllerCore::new(
+        n_users,
+        ControllerConfig {
+            policy: config.policy,
+            estimated_capacities: estimated,
+            strict,
+        },
+    );
     let cc_client_txs = agent_txs.clone();
-    let cc_handle = thread::spawn(move || controller(ctx, state, to_cc_rx, cc_client_txs, done_tx));
+    let cc_handle = thread::spawn(move || controller(ctx, core, to_cc_rx, cc_client_txs, done_tx));
 
     // Drive the session: joins and leaves are serialized, as laptops were
     // brought online/offline one at a time. Each event is retransmitted
@@ -510,11 +502,75 @@ pub fn run_faulty_session(
         debug_assert_eq!(physical_assoc, cc.association);
     }
 
+    assemble_report(
+        scenario,
+        &physical_assoc,
+        SessionLedger {
+            policy_name: config.policy.name().to_string(),
+            present,
+            unresponsive,
+            initial_attach,
+            crashed: plan.crashed.clone(),
+            wedged: plan.wedged.clone(),
+            declared_dead: cc.declared_dead,
+            directives: cc.directives,
+            degraded_solves: cc.degraded_solves,
+            retries: cc.retries + harness_retries,
+        },
+    )
+}
+
+/// Everything a session driver observed, handed to [`assemble_report`]
+/// for evaluation. Both transports fill one: the in-process rig from its
+/// harness loop, the `wolt-daemon` from its TCP session loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionLedger {
+    /// Display name of the policy that ran.
+    pub policy_name: String,
+    /// Whether each client was present (joined, not departed) at the end.
+    pub present: Vec<bool>,
+    /// Whether each client's join/leave never completed within the retry
+    /// budget.
+    pub unresponsive: Vec<bool>,
+    /// Each client's first strongest-RSSI attachment, if it joined.
+    pub initial_attach: Vec<Option<usize>>,
+    /// Clients the fault plan crashed (empty for a fault-free transport).
+    pub crashed: Vec<usize>,
+    /// Clients the fault plan wedged (empty for a fault-free transport).
+    pub wedged: Vec<usize>,
+    /// Clients declared dead by the controller, any order.
+    pub declared_dead: Vec<usize>,
+    /// Distinct directives the controller issued.
+    pub directives: usize,
+    /// Solves that degraded to the previous association.
+    pub degraded_solves: usize,
+    /// Total retransmissions (timing-dependent).
+    pub retries: usize,
+}
+
+/// Evaluates a finished session on the scenario's TRUE capacities and
+/// assembles the [`SessionReport`]: survivor masking, aggregate and
+/// per-user throughput, Jain's index, and switch counting. Shared by the
+/// in-process rig and the networked daemon so both produce canonical
+/// reports from the identical code path.
+///
+/// # Errors
+///
+/// Propagates scenario/evaluation failures as [`TestbedError::Layer`].
+pub fn assemble_report(
+    scenario: &Scenario,
+    physical_assoc: &[Option<usize>],
+    ledger: SessionLedger,
+) -> Result<SessionReport, TestbedError> {
+    let n_users = scenario.user_positions.len();
     // Only survivors carry traffic: present, responsive, and not faulted
     // by the plan. Everything else is masked out of the evaluation (a
     // crashed laptop's abandoned radio association moves no data).
     let survivor = |i: usize| {
-        present[i] && !unresponsive[i] && !plan.crashed.contains(&i) && !plan.wedged.contains(&i)
+        ledger.present[i]
+            && !ledger.unresponsive[i]
+            && !ledger.crashed.contains(&i)
+            && !ledger.wedged.contains(&i)
     };
     let masked: Vec<Option<usize>> = (0..n_users)
         .map(|i| if survivor(i) { physical_assoc[i] } else { None })
@@ -529,7 +585,9 @@ pub fn run_faulty_session(
     // re-association overhead the paper discusses.
     let switches = (0..n_users)
         .filter(|&i| {
-            survivor(i) && initial_attach[i].is_some() && association.target(i) != initial_attach[i]
+            survivor(i)
+                && ledger.initial_attach[i].is_some()
+                && association.target(i) != ledger.initial_attach[i]
         })
         .count();
 
@@ -539,34 +597,35 @@ pub fn run_faulty_session(
         .collect();
 
     let outcome = TopologyOutcome {
-        policy: config.policy.name().to_string(),
+        policy: ledger.policy_name,
         aggregate: eval.aggregate.value(),
         per_user: eval.per_user.iter().map(|t| t.value()).collect(),
         jain: wolt_core::fairness::jain_index(&survivor_throughputs),
         association,
-        directives: cc.directives,
+        directives: ledger.directives,
         switches,
     };
 
-    let mut declared_dead = cc.declared_dead;
+    let survivors: Vec<usize> = (0..n_users).filter(|&i| survivor(i)).collect();
+    let mut declared_dead = ledger.declared_dead;
     declared_dead.sort_unstable();
     declared_dead.dedup();
-    let mut crashed = plan.crashed.clone();
+    let mut crashed = ledger.crashed;
     crashed.sort_unstable();
     crashed.dedup();
-    let mut wedged = plan.wedged.clone();
+    let mut wedged = ledger.wedged;
     wedged.sort_unstable();
     wedged.dedup();
 
     Ok(SessionReport {
         outcome,
-        survivors: (0..n_users).filter(|&i| survivor(i)).collect(),
+        survivors,
         crashed,
         wedged,
         declared_dead,
-        unresponsive: (0..n_users).filter(|&i| unresponsive[i]).collect(),
-        degraded_solves: cc.degraded_solves,
-        retries: cc.retries + harness_retries,
+        unresponsive: (0..n_users).filter(|&i| ledger.unresponsive[i]).collect(),
+        degraded_solves: ledger.degraded_solves,
+        retries: ledger.retries,
     })
 }
 
@@ -595,44 +654,12 @@ struct DoneEvent {
     result: Result<(), TestbedError>,
 }
 
-/// Immutable controller context.
+/// Immutable transport-side controller context. Planning state lives in
+/// [`ControllerCore`]; this is only what the channel loop itself needs.
 struct ControllerCtx {
-    policy: ControllerPolicy,
-    estimated_capacities: Vec<Mbps>,
     deadlines: Deadlines,
     plan: Arc<FaultPlan>,
     strict: bool,
-}
-
-/// CC-internal state.
-struct ControllerState {
-    /// Last-known-good smoothed client telemetry (the planning input).
-    telemetry: TelemetryCache,
-    /// The CC's view of each client's current extender.
-    association: Vec<Option<usize>>,
-    /// Clients declared dead after a missed ack budget.
-    dead: Vec<bool>,
-    /// Newest directive sequence issued to each client; only its ack is
-    /// accepted.
-    latest_seq: Vec<Option<u64>>,
-    next_seq: u64,
-    /// Highest event epoch processed; lower epochs are duplicates.
-    watermark: Option<u64>,
-    directives: usize,
-    retries: usize,
-    degraded_solves: usize,
-    declared_dead: Vec<usize>,
-}
-
-impl ControllerState {
-    fn is_duplicate(&self, epoch: u64) -> bool {
-        self.watermark.is_some_and(|w| epoch <= w)
-    }
-
-    fn begin_epoch(&mut self, epoch: u64) {
-        self.watermark = Some(epoch);
-        self.telemetry.advance_epoch();
-    }
 }
 
 /// What the controller learned, returned at shutdown.
@@ -653,15 +680,17 @@ struct PendingDirective {
     deadline: Instant,
 }
 
-/// The Central Controller loop: dedup incoming events by epoch, run one
-/// directive transaction per genuine event, absorb late acks in between.
+/// The Central Controller loop: dedup incoming events by epoch, hand each
+/// genuine event to the [`ControllerCore`] for planning, run one directive
+/// transaction per event, absorb late acks in between.
 fn controller(
     ctx: ControllerCtx,
-    mut state: ControllerState,
+    mut core: ControllerCore,
     rx: Receiver<ToController>,
     client_txs: Vec<Sender<AgentInbox>>,
     done: Sender<DoneEvent>,
 ) -> ControllerReturn {
+    let mut retries = 0usize;
     loop {
         let msg = match rx.recv_timeout(ctx.deadlines.idle) {
             Ok(msg) => msg,
@@ -675,36 +704,43 @@ fn controller(
                 rates,
                 attached,
             } => {
-                if state.is_duplicate(epoch) {
+                if core.is_duplicate(epoch) {
                     continue;
                 }
-                state.begin_epoch(epoch);
-                state.telemetry.record(client, epoch, &rates);
-                state.association[client] = Some(attached);
-                state.dead[client] = false;
-                state.latest_seq[client] = None;
-                let result =
-                    run_transaction(&mut state, &ctx, Some(client), epoch, &rx, &client_txs);
+                let result = core
+                    .handle_report(client, epoch, &rates, attached)
+                    .and_then(|directives| {
+                        run_transaction(
+                            &mut core,
+                            &ctx,
+                            &mut retries,
+                            directives,
+                            epoch,
+                            &rx,
+                            &client_txs,
+                        )
+                    });
                 if done.send(DoneEvent { epoch, result }).is_err() {
                     break;
                 }
             }
             ToController::Departed { client, epoch } => {
-                if state.is_duplicate(epoch) {
+                if core.is_duplicate(epoch) {
                     continue;
                 }
-                state.begin_epoch(epoch);
-                state.telemetry.forget(client);
-                state.association[client] = None;
-                state.dead[client] = false;
-                state.latest_seq[client] = None;
-                // WOLT re-optimizes the survivors; the baselines leave
-                // everyone where they are.
-                let result = if ctx.policy == ControllerPolicy::Wolt {
-                    run_transaction(&mut state, &ctx, None, epoch, &rx, &client_txs)
-                } else {
-                    Ok(())
-                };
+                // WOLT re-optimizes the survivors; the baselines plan
+                // nothing, so the transaction completes immediately.
+                let result = core.handle_departed(client, epoch).and_then(|directives| {
+                    run_transaction(
+                        &mut core,
+                        &ctx,
+                        &mut retries,
+                        directives,
+                        epoch,
+                        &rx,
+                        &client_txs,
+                    )
+                });
                 if done.send(DoneEvent { epoch, result }).is_err() {
                     break;
                 }
@@ -716,34 +752,56 @@ fn controller(
             } => {
                 // A late ack (post-transaction retransmission) refreshes
                 // the CC view iff it matches the newest directive.
-                if !state.dead[client] && state.latest_seq[client] == Some(seq) {
-                    state.association[client] = Some(extender);
-                }
+                core.handle_ack(client, seq, extender);
             }
         }
     }
     ControllerReturn {
-        directives: state.directives,
-        retries: state.retries,
-        degraded_solves: state.degraded_solves,
-        declared_dead: state.declared_dead,
-        association: state.association,
+        directives: core.directives(),
+        retries,
+        degraded_solves: core.degraded_solves(),
+        declared_dead: core.declared_dead().to_vec(),
+        association: core.association().to_vec(),
     }
 }
 
-/// One directive transaction: plan, issue, then retransmit with backoff
-/// until every pending directive is acked or its client is declared dead
-/// (which triggers a survivor replan).
-fn run_transaction(
-    state: &mut ControllerState,
+/// Adds freshly planned directives to the pending set (superseding any
+/// in-flight directive for the same client) and performs their first
+/// transmission through the fault layer.
+fn enqueue_directives(
     ctx: &ControllerCtx,
-    arriving: Option<usize>,
+    client_txs: &[Sender<AgentInbox>],
+    pending: &mut Vec<PendingDirective>,
+    directives: Vec<Directive>,
+) -> Result<(), TestbedError> {
+    for dir in directives {
+        pending.retain(|p| p.client != dir.client);
+        pending.push(PendingDirective {
+            client: dir.client,
+            extender: dir.extender,
+            seq: dir.seq,
+            attempt: 1,
+            deadline: Instant::now() + ctx.deadlines.backoff(1),
+        });
+        send_directive(ctx, client_txs, dir.client, dir.extender, dir.seq, 1)?;
+    }
+    Ok(())
+}
+
+/// One directive transaction: issue the planned directives, then
+/// retransmit with backoff until every pending directive is acked or its
+/// client is declared dead (which triggers a survivor replan).
+fn run_transaction(
+    core: &mut ControllerCore,
+    ctx: &ControllerCtx,
+    retries: &mut usize,
+    directives: Vec<Directive>,
     epoch: u64,
     rx: &Receiver<ToController>,
     client_txs: &[Sender<AgentInbox>],
 ) -> Result<(), TestbedError> {
     let mut pending: Vec<PendingDirective> = Vec::new();
-    plan_and_issue(state, ctx, arriving, client_txs, &mut pending)?;
+    enqueue_directives(ctx, client_txs, &mut pending, directives)?;
     while !pending.is_empty() {
         let now = Instant::now();
         // Sweep expired directives: retry with backoff, or declare the
@@ -756,19 +814,15 @@ fn run_transaction(
             }
             if pending[d].attempt >= ctx.deadlines.ack_attempts {
                 let casualty = pending.remove(d).client;
-                state.dead[casualty] = true;
-                state.telemetry.forget(casualty);
-                state.association[casualty] = None;
-                state.latest_seq[casualty] = None;
-                state.declared_dead.push(casualty);
                 // The dead client's load vanishes: re-optimize the
                 // survivors (may supersede other in-flight directives).
-                plan_and_issue(state, ctx, None, client_txs, &mut pending)?;
+                let replan = core.declare_dead(casualty)?;
+                enqueue_directives(ctx, client_txs, &mut pending, replan)?;
                 d = 0;
             } else {
                 let p = &mut pending[d];
                 p.attempt += 1;
-                state.retries += 1;
+                *retries += 1;
                 p.deadline = now + ctx.deadlines.backoff(p.attempt);
                 send_directive(ctx, client_txs, p.client, p.extender, p.seq, p.attempt)?;
                 d += 1;
@@ -789,8 +843,7 @@ fn run_transaction(
                 seq,
                 extender,
             }) => {
-                if !state.dead[client] && state.latest_seq[client] == Some(seq) {
-                    state.association[client] = Some(extender);
+                if core.handle_ack(client, seq, extender) {
                     pending.retain(|p| !(p.client == client && p.seq == seq));
                 }
             }
@@ -812,160 +865,6 @@ fn run_transaction(
         }
     }
     Ok(())
-}
-
-/// Runs the policy on the telemetry view and issues a directive to every
-/// live client whose target changed. New directives supersede in-flight
-/// ones for the same client. A failed solve is a hard error in strict
-/// mode and a degrade-to-previous-association in resilient mode.
-fn plan_and_issue(
-    state: &mut ControllerState,
-    ctx: &ControllerCtx,
-    arriving: Option<usize>,
-    client_txs: &[Sender<AgentInbox>],
-    pending: &mut Vec<PendingDirective>,
-) -> Result<(), TestbedError> {
-    if ctx.policy == ControllerPolicy::Rssi {
-        return Ok(());
-    }
-    let known: Vec<usize> = state
-        .telemetry
-        .known_clients()
-        .into_iter()
-        .filter(|&i| !state.dead[i])
-        .collect();
-    if known.is_empty() {
-        return Ok(());
-    }
-    let desired = match plan_targets(state, ctx, &known, arriving) {
-        Ok(d) => d,
-        Err(e) if ctx.strict => return Err(e),
-        Err(_) => {
-            state.degraded_solves += 1;
-            return Ok(());
-        }
-    };
-    for (v, &i) in known.iter().enumerate() {
-        if state.association[i] == Some(desired[v]) {
-            continue;
-        }
-        let seq = state.next_seq;
-        state.next_seq += 1;
-        state.latest_seq[i] = Some(seq);
-        state.directives += 1;
-        pending.retain(|p| p.client != i);
-        pending.push(PendingDirective {
-            client: i,
-            extender: desired[v],
-            seq,
-            attempt: 1,
-            deadline: Instant::now() + ctx.deadlines.backoff(1),
-        });
-        send_directive(ctx, client_txs, i, desired[v], seq, 1)?;
-    }
-    Ok(())
-}
-
-/// Computes each known client's desired extender under the configured
-/// policy, in `known` order.
-fn plan_targets(
-    state: &ControllerState,
-    ctx: &ControllerCtx,
-    known: &[usize],
-    arriving: Option<usize>,
-) -> Result<Vec<usize>, TestbedError> {
-    let (net, current) = network_view(state, ctx, known)?;
-    match ctx.policy {
-        ControllerPolicy::Rssi => Err(TestbedError::AssignmentFailed {
-            context: "RSSI policy plans no directives".to_string(),
-        }),
-        ControllerPolicy::Greedy => {
-            let Some(client) = arriving else {
-                // Greedy never re-optimizes existing clients.
-                return Ok(known
-                    .iter()
-                    .map(|&i| state.association[i].expect("known clients are attached"))
-                    .collect());
-            };
-            // Only the newcomer moves.
-            let view_idx = known
-                .iter()
-                .position(|&i| i == client)
-                .expect("reporting client is known");
-            let mut best: Option<(usize, f64)> = None;
-            for j in 0..net.extenders() {
-                if !net.reachable(view_idx, j) {
-                    continue;
-                }
-                let mut candidate = current.clone();
-                candidate.assign(view_idx, j);
-                let value = evaluate(&net, &candidate)
-                    .map(|e| e.aggregate.value())
-                    .unwrap_or(f64::NEG_INFINITY);
-                if best.is_none_or(|(_, v)| value > v) {
-                    best = Some((j, value));
-                }
-            }
-            let (target, _) = best.ok_or_else(|| TestbedError::AssignmentFailed {
-                context: format!("client {client} has no reachable extender"),
-            })?;
-            let mut desired: Vec<usize> = known
-                .iter()
-                .map(|&i| state.association[i].expect("known clients are attached"))
-                .collect();
-            desired[view_idx] = target;
-            Ok(desired)
-        }
-        ControllerPolicy::Wolt => wolt_plan(&net),
-    }
-}
-
-/// The CC's network view: estimated PLC capacities plus the telemetry
-/// cache's last-known-good rates for the given clients.
-fn network_view(
-    state: &ControllerState,
-    ctx: &ControllerCtx,
-    known: &[usize],
-) -> Result<(Network, Association), TestbedError> {
-    let rates: Vec<Vec<f64>> = known
-        .iter()
-        .map(|&i| {
-            state
-                .telemetry
-                .rates(i)
-                .expect("known client has rates")
-                .iter()
-                .map(|r| r.map_or(0.0, |m| m.value()))
-                .collect()
-        })
-        .collect();
-    let net = Network::from_raw(
-        ctx.estimated_capacities.iter().map(|c| c.value()).collect(),
-        rates,
-    )
-    .map_err(|e| TestbedError::AssignmentFailed {
-        context: e.to_string(),
-    })?;
-    let assoc = Association::from_targets(known.iter().map(|&i| state.association[i]).collect());
-    Ok((net, assoc))
-}
-
-/// Runs the WOLT planner on the CC's network view.
-fn wolt_plan(net: &Network) -> Result<Vec<usize>, TestbedError> {
-    let assoc = Wolt::new()
-        .associate(net)
-        .map_err(|e| TestbedError::AssignmentFailed {
-            context: e.to_string(),
-        })?;
-    (0..net.users())
-        .map(|v| {
-            assoc
-                .target(v)
-                .ok_or_else(|| TestbedError::AssignmentFailed {
-                    context: format!("planner left user {v} unassociated"),
-                })
-        })
-        .collect()
 }
 
 /// Sends one directive transmission through the fault layer. A closed
@@ -1157,6 +1056,7 @@ mod tests {
     use super::*;
     use crate::faults::LinkFaults;
     use wolt_core::baselines::Greedy;
+    use wolt_core::AssociationPolicy;
     use wolt_sim::scenario::ScenarioConfig;
 
     fn lab_scenario(seed: u64) -> Scenario {

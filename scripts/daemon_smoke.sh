@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the wolt daemon: boot the Central Controller on
+# 127.0.0.1 with an OS-assigned port, connect one agent per user, and
+# require a clean converged session. Used by CI (with a hard timeout and
+# WOLT_THREADS=2) and runnable locally:
+#
+#   cargo build --release -p wolt-cli && bash scripts/daemon_smoke.sh
+set -euo pipefail
+
+BIN="${BIN:-target/release/wolt}"
+USERS="${USERS:-7}"
+SEED="${SEED:-1}"
+
+WORK="$(mktemp -d)"
+cleanup() {
+    rm -rf "$WORK"
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$BIN" serve --addr 127.0.0.1:0 --preset lab --users "$USERS" --seed "$SEED" \
+    --addr-file "$WORK/addr" --output "$WORK/report.json" &
+SERVE_PID=$!
+
+# The daemon writes its bound address once the listener is up.
+for _ in $(seq 1 200); do
+    [ -s "$WORK/addr" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "daemon exited before binding" >&2; exit 1; }
+    sleep 0.05
+done
+[ -s "$WORK/addr" ] || { echo "daemon never published its address" >&2; exit 1; }
+ADDR="$(cat "$WORK/addr")"
+
+for i in $(seq 0 $((USERS - 1))); do
+    "$BIN" agent --addr "$ADDR" --preset lab --users "$USERS" --seed "$SEED" \
+        --client "$i" --name "smoke-$i" &
+done
+
+wait "$SERVE_PID"
+if ! grep -q '"completed": true' "$WORK/report.json"; then
+    echo "session did not converge:" >&2
+    cat "$WORK/report.json" >&2
+    exit 1
+fi
+wait
+echo "daemon smoke: clean converged session over $ADDR with $USERS agents"

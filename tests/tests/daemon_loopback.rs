@@ -1,0 +1,198 @@
+//! End-to-end loopback tests for `wolt-daemon`: the networked Central
+//! Controller must be *indistinguishable* from the in-process rig.
+//!
+//! The acceptance bar is byte-identity: a clean TCP session over
+//! 127.0.0.1 must produce a [`SessionReport`] whose canonical rendering
+//! equals the in-process [`run_faulty_session`] outcome for the same
+//! (scenario, seed, policy) — and a daemon killed mid-session must
+//! restore from its snapshot and finish with that same report, issuing
+//! no extra directives for work already done.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::thread;
+
+use wolt_daemon::{run_agent, Daemon, DaemonConfig, DaemonOutcome};
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
+use wolt_testbed::{
+    run_faulty_session, ControllerPolicy, FaultPlan, RigConfig, SessionEvent, SessionReport,
+};
+
+const NOISE_SEED: u64 = 7;
+
+fn lab_scenario(seed: u64) -> Scenario {
+    let cfg = ScenarioConfig::lab(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Scenario::generate(&cfg, &mut rng).unwrap()
+}
+
+fn rig_reference(
+    scenario: &Scenario,
+    policy: ControllerPolicy,
+    events: &[SessionEvent],
+) -> SessionReport {
+    run_faulty_session(
+        scenario,
+        &RigConfig::new(policy),
+        events,
+        NOISE_SEED,
+        &FaultPlan::none(),
+    )
+    .unwrap()
+}
+
+/// Boots a daemon on a fresh loopback port, connects one agent thread
+/// per scenario user, and runs the session to the end.
+fn run_loopback(
+    scenario: &Scenario,
+    events: &[SessionEvent],
+    config: DaemonConfig,
+) -> DaemonOutcome {
+    let daemon = Daemon::bind("127.0.0.1:0", scenario.clone(), events.to_vec(), config).unwrap();
+    let addr: SocketAddr = daemon.local_addr().unwrap();
+    let agents: Vec<_> = (0..scenario.user_positions.len())
+        .map(|i| {
+            let scenario = scenario.clone();
+            thread::spawn(move || run_agent(addr, &scenario, i, &format!("laptop-{i}")))
+        })
+        .collect();
+    let outcome = daemon.run().unwrap();
+    for handle in agents {
+        handle.join().unwrap().unwrap();
+    }
+    outcome
+}
+
+fn join_all(n: usize) -> Vec<SessionEvent> {
+    (0..n).map(SessionEvent::Join).collect()
+}
+
+#[test]
+fn loopback_session_is_byte_identical_to_in_process_rig() {
+    // The paper's lab shape: 3 extenders, 7 laptops.
+    let scenario = lab_scenario(42);
+    assert_eq!(scenario.extender_positions.len(), 3);
+    let events = join_all(7);
+    for policy in [
+        ControllerPolicy::Wolt,
+        ControllerPolicy::Greedy,
+        ControllerPolicy::Rssi,
+    ] {
+        let reference = rig_reference(&scenario, policy, &events);
+        let mut config = DaemonConfig::new(policy);
+        config.noise_seed = NOISE_SEED;
+        let outcome = run_loopback(&scenario, &events, config);
+        assert!(outcome.completed, "{policy:?} session did not complete");
+        assert_eq!(
+            outcome.report.canonical(),
+            reference.canonical(),
+            "daemon diverged from the rig under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn loopback_churn_session_matches_rig() {
+    let scenario = lab_scenario(3);
+    let mut events = join_all(7);
+    events.push(SessionEvent::Leave(2));
+    events.push(SessionEvent::Leave(5));
+    events.push(SessionEvent::Join(2));
+    let reference = rig_reference(&scenario, ControllerPolicy::Wolt, &events);
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    let outcome = run_loopback(&scenario, &events, config);
+    assert!(outcome.completed);
+    assert_eq!(outcome.report.canonical(), reference.canonical());
+}
+
+#[test]
+fn snapshot_restore_resumes_with_no_resolve_regression() {
+    let scenario = lab_scenario(11);
+    let mut events = join_all(7);
+    events.push(SessionEvent::Leave(1));
+    events.push(SessionEvent::Leave(4));
+    let reference = rig_reference(&scenario, ControllerPolicy::Wolt, &events);
+
+    let snap_path: PathBuf =
+        std::env::temp_dir().join(format!("wolt-daemon-restart-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snap_path);
+
+    // First incarnation: dies (gracefully, but mid-session) after five
+    // completed epochs, leaving its snapshot behind.
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.snapshot_path = Some(snap_path.clone());
+    config.stop_after = Some(5);
+    let first = run_loopback(&scenario, &events, config);
+    assert!(!first.completed);
+    assert_eq!(first.epochs_done, 5);
+
+    // Second incarnation: restores the snapshot, hands reconnecting
+    // agents their saved attachments, and resumes at epoch 5.
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.snapshot_path = Some(snap_path.clone());
+    let second = run_loopback(&scenario, &events, config);
+    std::fs::remove_file(&snap_path).unwrap();
+
+    assert!(second.completed);
+    assert_eq!(second.epochs_done, events.len());
+    // Byte-identical outcome, and no re-solve regression: the resumed
+    // run issues exactly as many directives as an uninterrupted one
+    // (canonical() covers the directive count, but assert it explicitly
+    // since it is the acceptance criterion).
+    assert_eq!(second.report.canonical(), reference.canonical());
+    assert_eq!(
+        second.report.outcome.directives,
+        reference.outcome.directives
+    );
+}
+
+#[test]
+fn operator_stop_envelope_halts_the_daemon_gracefully() {
+    use wolt_daemon::{wire, Envelope};
+    use wolt_testbed::TopologyOutcome;
+
+    let scenario = lab_scenario(5);
+    let events = join_all(7);
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        scenario.clone(),
+        events,
+        DaemonConfig::new(ControllerPolicy::Rssi),
+    )
+    .unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let agents: Vec<_> = (0..7)
+        .map(|i| {
+            let scenario = scenario.clone();
+            thread::spawn(move || run_agent(addr, &scenario, i, "agent"))
+        })
+        .collect();
+    // A bare control connection sends the stop request before the
+    // session can finish all events (it may land at any epoch — the
+    // assertion is only that the daemon exits cleanly and reports an
+    // honest `completed` flag).
+    let ctl = thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        wire::send(
+            &mut stream,
+            &Envelope::Shutdown {
+                reason: "test operator".into(),
+            },
+        )
+        .unwrap();
+    });
+    let outcome = daemon.run().unwrap();
+    ctl.join().unwrap();
+    for handle in agents {
+        handle.join().unwrap().unwrap();
+    }
+    let TopologyOutcome { ref policy, .. } = outcome.report.outcome;
+    assert_eq!(policy, "RSSI");
+    assert!(outcome.epochs_done <= 7);
+    assert_eq!(outcome.completed, outcome.epochs_done == 7);
+}
