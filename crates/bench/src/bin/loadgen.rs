@@ -20,11 +20,12 @@
 use std::thread;
 use std::time::Duration;
 
-use wolt_bench::{columns, f2, header, measured, row};
+use wolt_bench::{columns, f2, header, measured, percentile_sorted, row};
 use wolt_daemon::{run_agent, Daemon, DaemonConfig, DaemonOutcome};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
 use wolt_support::json::{Json, ToJson};
+use wolt_support::obs;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_testbed::{ControllerPolicy, SessionEvent};
 
@@ -63,11 +64,10 @@ fn run_load(scenario: &Scenario, events: &[SessionEvent]) -> DaemonOutcome {
     outcome
 }
 
-/// Nearest-rank percentile over sorted samples.
+/// Nearest-rank percentile over sorted samples; zero when there are
+/// none (shared edge-case contract — see [`percentile_sorted`]).
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    assert!(!sorted.is_empty(), "no latency samples");
-    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank]
+    percentile_sorted(sorted, p).unwrap_or(Duration::ZERO)
 }
 
 fn micros(d: Duration) -> f64 {
@@ -108,7 +108,7 @@ fn main() {
         percentile(&sorted, 90.0),
         percentile(&sorted, 99.0),
     );
-    let max = *sorted.last().expect("samples exist");
+    let max = sorted.last().copied().unwrap_or(Duration::ZERO);
 
     columns(&[
         "users",
@@ -154,6 +154,9 @@ fn main() {
             ]),
         ),
         ("canonical_report", outcome.report.canonical().to_json()),
+        // The process-wide observability snapshot: daemon wire traffic,
+        // controller decisions, solver work — all counted during the run.
+        ("metrics", obs::snapshot().to_json()),
     ]);
     std::fs::write(&output, format!("{}\n", json.to_pretty())).expect("write bench json");
     eprintln!("wrote {output}");

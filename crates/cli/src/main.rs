@@ -6,6 +6,7 @@
 //! wolt compare  --input net.json
 //! wolt serve    --addr 127.0.0.1:0 --users 7 --seed 1 --addr-file addr.txt
 //! wolt agent    --addr 127.0.0.1:4800 --users 7 --seed 1 --client 3
+//! wolt metrics  --addr 127.0.0.1:4800
 //! ```
 
 use std::process::ExitCode;
@@ -27,8 +28,9 @@ USAGE:
   wolt generate --preset <enterprise|lab> --users <N> [--seed S] [--output FILE]
   wolt solve    --input FILE [--policy <wolt|greedy|selfish|rssi|optimal|random>] [--seed S] [--threads T] [--explain true] [--output FILE]
   wolt compare  --input FILE [--seed S] [--threads T]
-  wolt serve    --addr HOST:PORT [--preset P] [--users N] [--seed S] [--policy <wolt|greedy|rssi>] [--noise-seed S] [--snapshot FILE] [--addr-file FILE] [--output FILE]
+  wolt serve    --addr HOST:PORT [--preset P] [--users N] [--seed S] [--policy <wolt|greedy|rssi>] [--noise-seed S] [--snapshot FILE] [--addr-file FILE] [--metrics-out FILE] [--linger-ms MS] [--output FILE]
   wolt agent    --addr HOST:PORT --client I [--preset P] [--users N] [--seed S] [--name NAME]
+  wolt metrics  --addr HOST:PORT [--output FILE]
 
 The network file is JSON: {\"capacities\": [c_j …], \"rates\": [[r_ij …] …]}.
 --threads caps the worker threads of policies that fan out internally
@@ -39,7 +41,12 @@ serve runs the Central Controller daemon for one session in which all N
 users join; agent connects one laptop to it. Both sides regenerate the
 scenario from the same (--preset, --users, --seed), so no network file
 changes hands. Pass --addr 127.0.0.1:0 with --addr-file to let the OS
-pick a port and hand it to the agents.";
+pick a port and hand it to the agents.
+
+metrics queries a live daemon's counters and histograms over the wire
+(a WOLT_OBS snapshot as JSON). serve's --metrics-out dumps the same
+snapshot to a file when the session ends; --linger-ms keeps the daemon
+answering metrics queries that long after the last event completes.";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1)) {
@@ -112,6 +119,8 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
                 noise_seed: parsed.get_parsed_or("noise-seed", 0u64)?,
                 snapshot: parsed.get("snapshot").map(Into::into),
                 addr_file: parsed.get("addr-file").map(Into::into),
+                metrics_out: parsed.get("metrics-out").map(Into::into),
+                linger: std::time::Duration::from_millis(parsed.get_parsed_or("linger-ms", 0u64)?),
             };
             let text = service::serve(&opts)?;
             emit(&text, parsed.get("output"))?;
@@ -132,6 +141,11 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
                 parsed.get("name").unwrap_or("agent"),
             )?;
             eprintln!("{summary}");
+            Ok(())
+        }
+        "metrics" => {
+            let text = service::metrics(parsed.require("addr")?)?;
+            emit(&text, parsed.get("output"))?;
             Ok(())
         }
         "help" | "--help" | "-h" => {

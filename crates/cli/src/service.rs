@@ -6,12 +6,15 @@
 //! agent needs the scenario only for its scan results, and a shared seed
 //! keeps the two binaries in lockstep without a file exchange.
 
-use std::path::PathBuf;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use wolt_daemon::{run_agent, Daemon, DaemonConfig};
+use wolt_daemon::{run_agent, wire, Daemon, DaemonConfig, Envelope};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
 use wolt_support::json::{Json, ToJson};
+use wolt_support::obs;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_testbed::{ControllerPolicy, SessionEvent};
 
@@ -68,6 +71,12 @@ pub struct ServeOptions {
     pub snapshot: Option<PathBuf>,
     /// File to write the bound address to, for scripts that pass port 0.
     pub addr_file: Option<PathBuf>,
+    /// File to dump the final metrics snapshot to (atomic write) once the
+    /// session ends.
+    pub metrics_out: Option<PathBuf>,
+    /// How long the daemon keeps serving metrics queries after the last
+    /// event, before dismissing agents.
+    pub linger: Duration,
 }
 
 /// Boots the daemon, runs one session where every user joins in index
@@ -84,6 +93,7 @@ pub fn serve(opts: &ServeOptions) -> Result<String, CliError> {
     let mut config = DaemonConfig::new(opts.policy);
     config.noise_seed = opts.noise_seed;
     config.snapshot_path = opts.snapshot.clone();
+    config.linger = opts.linger;
     let daemon = Daemon::bind(opts.addr.as_str(), scenario, events, config)?;
     let bound = daemon.local_addr()?;
     if let Some(path) = &opts.addr_file {
@@ -94,6 +104,10 @@ pub fn serve(opts: &ServeOptions) -> Result<String, CliError> {
         opts.users
     );
     let outcome = daemon.run()?;
+    if let Some(path) = &opts.metrics_out {
+        write_atomic(path, &obs::snapshot().to_json().to_pretty())?;
+        eprintln!("wrote metrics to {}", path.display());
+    }
     let json = Json::obj(vec![
         ("completed", outcome.completed.to_json()),
         ("epochs_done", outcome.epochs_done.to_json()),
@@ -101,6 +115,44 @@ pub fn serve(opts: &ServeOptions) -> Result<String, CliError> {
         ("canonical", outcome.report.canonical().to_json()),
     ]);
     Ok(json.to_pretty())
+}
+
+/// Writes `text` to `path` via a sibling temp file and a rename, so a
+/// reader never observes a partial dump.
+fn write_atomic(path: &Path, text: &str) -> Result<(), CliError> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Connects to a running daemon as a control client, requests its
+/// metrics snapshot, and returns it as pretty JSON.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the daemon cannot be reached, closes the
+/// connection without answering, or replies with the wrong envelope.
+pub fn metrics(addr: &str) -> Result<String, CliError> {
+    let net = |message: String| CliError::Net { message };
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| net(format!("connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| net(format!("configure socket: {e}")))?;
+    wire::send(&mut stream, &Envelope::MetricsRequest)
+        .map_err(|e| net(format!("send metrics request: {e}")))?;
+    match wire::recv(&mut stream).map_err(|e| net(format!("read metrics reply: {e}")))? {
+        Some(Envelope::Metrics { metrics }) => Ok(metrics.to_json().to_pretty()),
+        Some(other) => Err(net(format!(
+            "unexpected reply to metrics request: {other:?}"
+        ))),
+        None => Err(net(
+            "daemon closed the connection without a metrics reply".into()
+        )),
+    }
 }
 
 /// Connects one agent to a running daemon and serves the session; the
@@ -143,6 +195,8 @@ mod tests {
             noise_seed: 0,
             snapshot: None,
             addr_file: None,
+            metrics_out: None,
+            linger: Duration::ZERO,
         }
     }
 

@@ -15,6 +15,8 @@
 //! approach"; the final association is scored by [`crate::evaluate`], which
 //! models that redistribution explicitly.
 
+use wolt_support::obs;
+
 use crate::phase1::{run_phase1_full, Phase1Outcome, Phase1Solver, Phase1Utility};
 use crate::phase2::{run_phase2, run_phase2_greedy, Phase2Config, Phase2Outcome};
 use crate::{Association, AssociationPolicy, CoreError, Network};
@@ -111,12 +113,19 @@ impl Wolt {
         &self,
         net: &Network,
     ) -> Result<(Phase1Outcome, Phase2Outcome), CoreError> {
+        let started = std::time::Instant::now();
         let p1 = run_phase1_full(net, self.phase1_solver, self.phase1_utility)?;
+        obs::counter_inc("core.phase1_solves");
         let mut p2 = match self.phase2_solver {
             Phase2Solver::Nlp => run_phase2(net, &p1.association, &self.phase2_config)?,
             Phase2Solver::Greedy => run_phase2_greedy(net, &p1.association, &self.phase2_config)?,
         };
+        if let Some(report) = &p2.fractional {
+            obs::counter_add("core.phase2_iterations", report.iterations as u64);
+        }
         repair_user_limits(net, &mut p2.association)?;
+        obs::counter_inc("core.solves");
+        obs::observe_duration("core.solve_us", started.elapsed());
         Ok((p1, p2))
     }
 }

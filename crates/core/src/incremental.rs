@@ -37,10 +37,23 @@
 //! byte-determinism guarantee.
 
 use wolt_plc::timeshare::{allocate_time_fair, ExtenderDemand};
+use wolt_support::obs;
 use wolt_units::Mbps;
 use wolt_wifi::cell::CellLoad;
 
 use crate::{Association, CoreError, Evaluation, Network};
+
+/// Probe/apply call counters, cached so the hot search loops pay one
+/// atomic add per call instead of a registry lookup.
+fn probes_counter() -> &'static obs::Counter {
+    static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::counter("core.incremental_probes"))
+}
+
+fn applies_counter() -> &'static obs::Counter {
+    static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::counter("core.incremental_applies"))
+}
 
 /// Incrementally-maintained evaluation state for one association on one
 /// network (see the module docs).
@@ -199,6 +212,7 @@ impl<'n> IncrementalEvaluator<'n> {
     /// Runs the shared probe: hypothetical demands for the (at most two)
     /// touched cells, then one PLC water-filling pass.
     fn probe(&mut self, i: usize, to: Option<usize>) -> Result<Probe, CoreError> {
+        probes_counter().inc();
         let from = self.assoc.target(i);
         if let Some(j) = to {
             self.check_move(i, from, j)?;
@@ -299,6 +313,7 @@ impl<'n> IncrementalEvaluator<'n> {
     ///
     /// Panics if `user` is out of range.
     pub fn probe_wifi_delta(&self, user: usize, to: Option<usize>) -> Result<f64, CoreError> {
+        probes_counter().inc();
         let from = self.assoc.target(user);
         if let Some(j) = to {
             self.check_move(user, from, j)?;
@@ -332,6 +347,7 @@ impl<'n> IncrementalEvaluator<'n> {
     ///
     /// Panics if `user` is out of range.
     pub fn apply_move(&mut self, user: usize, to: Option<usize>) -> Result<Mbps, CoreError> {
+        applies_counter().inc();
         let from = self.assoc.target(user);
         if let Some(j) = to {
             self.check_move(user, from, j)?;

@@ -279,7 +279,9 @@ fn polish(
     config: &Phase2Config,
 ) -> Result<(), CoreError> {
     let mut evaluator = IncrementalEvaluator::new(net, assoc)?;
+    let mut rounds: u64 = 0;
     for _ in 0..config.polish_passes {
+        rounds += 1;
         let mut improved = false;
         for &i in movable {
             let current = evaluator
@@ -307,6 +309,7 @@ fn polish(
             break;
         }
     }
+    wolt_support::obs::counter_add("core.polish_rounds", rounds);
     *assoc = evaluator.into_association();
     Ok(())
 }

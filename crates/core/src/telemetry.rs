@@ -80,8 +80,10 @@ impl TelemetryCache {
         match &mut self.entries[client] {
             Some(entry) => {
                 if entry.last_epoch == epoch {
+                    wolt_support::obs::counter_inc("cc.telemetry_dups");
                     return false;
                 }
+                wolt_support::obs::counter_inc("cc.telemetry_hits");
                 for (cached, &new) in entry.rates.iter_mut().zip(rates) {
                     *cached = match (*cached, new) {
                         (Some(old), Some(new)) => Some(Mbps::new(
@@ -163,6 +165,7 @@ impl TelemetryCache {
                 evicted.push(i);
             }
         }
+        wolt_support::obs::counter_add("cc.telemetry_evictions", evicted.len() as u64);
         evicted
     }
 

@@ -41,6 +41,7 @@ use std::time::{Duration, Instant};
 
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::Scenario;
+use wolt_support::obs;
 use wolt_support::pool::TaskPool;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
@@ -53,6 +54,30 @@ use wolt_units::Mbps;
 use crate::snapshot::DaemonSnapshot;
 use crate::wire::{self, Envelope};
 use crate::DaemonError;
+
+/// Wire-traffic counters, cached: the reader tasks account every frame
+/// and byte that crosses the daemon's sockets, in both directions.
+fn note_frame_in(bytes: usize) {
+    static FRAMES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    static BYTES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    FRAMES
+        .get_or_init(|| obs::counter("daemon.frames_in"))
+        .inc();
+    BYTES
+        .get_or_init(|| obs::counter("daemon.bytes_in"))
+        .add(bytes as u64);
+}
+
+fn note_frame_out(bytes: usize) {
+    static FRAMES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    static BYTES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    FRAMES
+        .get_or_init(|| obs::counter("daemon.frames_out"))
+        .inc();
+    BYTES
+        .get_or_init(|| obs::counter("daemon.bytes_out"))
+        .add(bytes as u64);
+}
 
 /// Daemon configuration beyond the scenario and event list.
 #[derive(Debug, Clone)]
@@ -83,6 +108,12 @@ pub struct DaemonConfig {
     /// only for open-ended deployments where departed clients may vanish
     /// without a notice.
     pub max_staleness: Option<u64>,
+    /// How long to keep the listener (and metrics service) alive after
+    /// the last event completes, before dismissing agents and shutting
+    /// down. Zero by default. Gives external scrapers a deterministic
+    /// window to read the finished session's counters over the
+    /// [`Envelope::MetricsRequest`] envelope.
+    pub linger: Duration,
 }
 
 impl DaemonConfig {
@@ -98,6 +129,7 @@ impl DaemonConfig {
             connect_deadline: Duration::from_secs(30),
             workers: 0,
             max_staleness: None,
+            linger: Duration::ZERO,
         }
     }
 }
@@ -322,6 +354,12 @@ impl Daemon {
                     &mut initial_attach,
                 )
             });
+        // Linger: keep the listener (and with it the metrics service)
+        // alive for a beat before dismissing agents, so scrapers polling
+        // over TCP deterministically observe the finished session.
+        if !self.config.linger.is_zero() {
+            thread::sleep(self.config.linger);
+        }
         let started = Instant::now();
         // Graceful teardown happens even on error paths: tell every
         // connected agent to exit so their sockets close and the reader
@@ -448,6 +486,7 @@ impl Daemon {
                 session.core.evict_stale(bound);
             }
             if let Some(path) = &self.config.snapshot_path {
+                let t0 = Instant::now();
                 DaemonSnapshot {
                     epochs_done: *epochs_done,
                     present: present.to_vec(),
@@ -457,6 +496,8 @@ impl Daemon {
                     core: session.core.snapshot(),
                 }
                 .save(path)?;
+                obs::counter_inc("daemon.snapshots");
+                obs::observe_duration("daemon.snapshot_write_us", t0.elapsed());
             }
             if session.stop_reason.is_some() || self.config.stop_after == Some(*epochs_done) {
                 stopped = true;
@@ -475,25 +516,44 @@ fn serve_connection(
     tx: Sender<Incoming>,
 ) {
     let _ = stream.set_nodelay(true);
-    let client = match wire::recv(&mut stream) {
-        Ok(Some(Envelope::Hello { client, .. })) if client < greeting.len() => client,
-        Ok(Some(Envelope::Shutdown { reason })) => {
-            // A bare control connection: deliver the stop request and
-            // close.
-            let _ = tx.send(Incoming::Stop { reason });
-            return;
+    // Pre-handshake: the connection is a control channel until it sends
+    // `Hello`. Control connections may issue any number of metrics
+    // queries (each answered inline — safe here because no session-loop
+    // writer shares this stream yet) and/or a stop request.
+    let client = loop {
+        match wire::recv_counted(&mut stream) {
+            Ok(Some((Envelope::Hello { client, .. }, bytes))) if client < greeting.len() => {
+                note_frame_in(bytes);
+                break client;
+            }
+            Ok(Some((Envelope::Shutdown { reason }, bytes))) => {
+                note_frame_in(bytes);
+                obs::trace("daemon", format!("operator stop: {reason}"));
+                let _ = tx.send(Incoming::Stop { reason });
+                return;
+            }
+            Ok(Some((Envelope::MetricsRequest, bytes))) => {
+                note_frame_in(bytes);
+                obs::counter_inc("daemon.metrics_requests");
+                let reply = Envelope::Metrics {
+                    metrics: obs::snapshot(),
+                };
+                match wire::send_counted(&mut stream, &reply) {
+                    Ok(sent) => note_frame_out(sent),
+                    Err(_) => return,
+                }
+            }
+            _ => return,
         }
-        _ => return,
     };
-    if wire::send(
+    match wire::send_counted(
         &mut stream,
         &Envelope::HelloAck {
             attached: greeting[client],
         },
-    )
-    .is_err()
-    {
-        return;
+    ) {
+        Ok(sent) => note_frame_out(sent),
+        Err(_) => return,
     }
     let writer = match stream.try_clone() {
         Ok(w) => w,
@@ -503,14 +563,24 @@ fn serve_connection(
         return;
     }
     loop {
-        match wire::recv(&mut stream) {
-            Ok(Some(Envelope::Ctrl(msg))) => {
+        match wire::recv_counted(&mut stream) {
+            Ok(Some((Envelope::Ctrl(msg), bytes))) => {
+                note_frame_in(bytes);
                 if tx.send(Incoming::Msg(msg)).is_err() {
                     return;
                 }
             }
-            Ok(Some(Envelope::Shutdown { reason })) => {
+            Ok(Some((Envelope::Shutdown { reason }, bytes))) => {
+                note_frame_in(bytes);
+                obs::trace("daemon", format!("operator stop: {reason}"));
                 let _ = tx.send(Incoming::Stop { reason });
+            }
+            Ok(Some((Envelope::MetricsRequest, bytes))) => {
+                // A registered agent connection shares its write half
+                // with the session loop; replying here could interleave
+                // frames. Count and drop.
+                note_frame_in(bytes);
+                obs::counter_inc("daemon.metrics_requests");
             }
             Ok(Some(_)) | Ok(None) | Err(_) => {
                 let _ = tx.send(Incoming::Gone { client });
@@ -666,7 +736,9 @@ impl Session {
                 let t0 = Instant::now();
                 let directives = self.core.handle_report(client, epoch, &rates, attached)?;
                 self.transact(directives, epoch)?;
-                self.latencies.push(t0.elapsed());
+                let took = t0.elapsed();
+                obs::observe_duration("daemon.resolve_us", took);
+                self.latencies.push(took);
                 Ok(Some(epoch))
             }
             ToController::Departed { client, epoch } => {
@@ -676,7 +748,9 @@ impl Session {
                 let t0 = Instant::now();
                 let directives = self.core.handle_departed(client, epoch)?;
                 self.transact(directives, epoch)?;
-                self.latencies.push(t0.elapsed());
+                let took = t0.elapsed();
+                obs::observe_duration("daemon.resolve_us", took);
+                self.latencies.push(took);
                 Ok(Some(epoch))
             }
             ToController::Ack {
@@ -806,8 +880,9 @@ impl Session {
             attempt,
         });
         if let Some(w) = self.writers[client].as_mut() {
-            if wire::send(w, &env).is_err() {
-                self.writers[client] = None;
+            match wire::send_counted(w, &env) {
+                Ok(sent) => note_frame_out(sent),
+                Err(_) => self.writers[client] = None,
             }
         }
     }
@@ -817,14 +892,16 @@ impl Session {
     fn send_agent(&mut self, client: usize, cmd: &ToAgent) -> bool {
         let env = Envelope::Agent(cmd.clone());
         match self.writers[client].as_mut() {
-            Some(w) => {
-                if wire::send(w, &env).is_err() {
-                    self.writers[client] = None;
-                    false
-                } else {
+            Some(w) => match wire::send_counted(w, &env) {
+                Ok(sent) => {
+                    note_frame_out(sent);
                     true
                 }
-            }
+                Err(_) => {
+                    self.writers[client] = None;
+                    false
+                }
+            },
             None => false,
         }
     }
@@ -833,7 +910,9 @@ impl Session {
     /// tasks drain) and flushes the writers.
     fn shutdown_agents(&mut self) {
         for w in self.writers.iter_mut().flatten() {
-            let _ = wire::send(w, &Envelope::Agent(ToAgent::Shutdown));
+            if let Ok(sent) = wire::send_counted(w, &Envelope::Agent(ToAgent::Shutdown)) {
+                note_frame_out(sent);
+            }
             let _ = w.flush();
         }
     }

@@ -16,7 +16,8 @@
 use std::io::{self, Read, Write};
 
 use wolt_support::json::{FromJson, Json, JsonError, ToJson};
-use wolt_testbed::codec::{read_frame, write_frame};
+use wolt_support::obs::ObsSnapshot;
+use wolt_testbed::codec::{read_frame_counted, write_frame_counted};
 use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
 
 /// One daemon wire message.
@@ -48,6 +49,19 @@ pub enum Envelope {
         /// Free-form reason, echoed into the daemon's logs.
         reason: String,
     },
+    /// Operator request: reply with the daemon's metrics snapshot.
+    /// Answered on any control connection (one that has not completed an
+    /// agent handshake) — the daemon replies with [`Envelope::Metrics`]
+    /// on the same stream and keeps the connection open for more
+    /// requests.
+    MetricsRequest,
+    /// The daemon's reply to [`Envelope::MetricsRequest`]: a
+    /// deterministic-JSON dump of every registered counter, gauge, and
+    /// histogram.
+    Metrics {
+        /// The process-wide metrics snapshot at reply time.
+        metrics: ObsSnapshot,
+    },
 }
 
 impl ToJson for Envelope {
@@ -70,6 +84,11 @@ impl ToJson for Envelope {
             Envelope::Shutdown { reason } => Json::obj([
                 ("t", Json::Str("stop".into())),
                 ("reason", Json::Str(reason.clone())),
+            ]),
+            Envelope::MetricsRequest => Json::obj([("t", Json::Str("metrics".into()))]),
+            Envelope::Metrics { metrics } => Json::obj([
+                ("t", Json::Str("metrics_reply".into())),
+                ("m", metrics.to_json()),
             ]),
         }
     }
@@ -95,6 +114,10 @@ impl FromJson for Envelope {
             "stop" => Ok(Envelope::Shutdown {
                 reason: String::from_json(value.field("reason")?)?,
             }),
+            "metrics" => Ok(Envelope::MetricsRequest),
+            "metrics_reply" => Ok(Envelope::Metrics {
+                metrics: ObsSnapshot::from_json(value.field("m")?)?,
+            }),
             other => Err(JsonError::shape(format!("unknown envelope tag {other:?}"))),
         }
     }
@@ -106,20 +129,41 @@ impl FromJson for Envelope {
 ///
 /// Propagates I/O failures from the underlying writer.
 pub fn send(w: &mut impl Write, envelope: &Envelope) -> io::Result<()> {
-    write_frame(w, &envelope.to_json())
+    send_counted(w, envelope).map(|_| ())
+}
+
+/// [`send`], additionally returning the bytes put on the wire so the
+/// daemon can meter its outbound traffic.
+///
+/// # Errors
+///
+/// As [`send`].
+pub fn send_counted(w: &mut impl Write, envelope: &Envelope) -> io::Result<usize> {
+    write_frame_counted(w, &envelope.to_json())
 }
 
 /// Reads one envelope. `Ok(None)` is a cleanly closed connection.
 ///
 /// # Errors
 ///
-/// As [`read_frame`], plus [`io::ErrorKind::InvalidData`] when the frame
-/// decodes to JSON that is not a valid envelope.
+/// As [`wolt_testbed::codec::read_frame`], plus
+/// [`io::ErrorKind::InvalidData`] when the frame decodes to JSON that is
+/// not a valid envelope.
 pub fn recv(r: &mut impl Read) -> io::Result<Option<Envelope>> {
-    match read_frame(r)? {
+    recv_counted(r).map(|msg| msg.map(|(envelope, _)| envelope))
+}
+
+/// [`recv`], additionally returning the bytes consumed from the wire so
+/// the daemon can meter its inbound traffic.
+///
+/// # Errors
+///
+/// As [`recv`].
+pub fn recv_counted(r: &mut impl Read) -> io::Result<Option<(Envelope, usize)>> {
+    match read_frame_counted(r)? {
         None => Ok(None),
-        Some(json) => Envelope::from_json(&json)
-            .map(Some)
+        Some((json, bytes)) => Envelope::from_json(&json)
+            .map(|envelope| Some((envelope, bytes)))
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad envelope: {e}"))),
     }
 }
@@ -127,6 +171,8 @@ pub fn recv(r: &mut impl Read) -> io::Result<Option<Envelope>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wolt_support::obs::HistogramSnapshot;
+    use wolt_testbed::codec::write_frame;
     use wolt_units::Mbps;
 
     fn round_trip(env: Envelope) {
@@ -162,6 +208,24 @@ mod tests {
         }));
         round_trip(Envelope::Shutdown {
             reason: "operator".into(),
+        });
+        round_trip(Envelope::MetricsRequest);
+        let mut metrics = ObsSnapshot::default();
+        metrics.counters.insert("daemon.frames_in".into(), 12);
+        metrics.gauges.insert("daemon.connections".into(), 3);
+        metrics.histograms.insert(
+            "daemon.resolve_us".into(),
+            HistogramSnapshot {
+                bounds: vec![100, 1_000],
+                counts: vec![2, 1, 0],
+                count: 3,
+                sum: 900,
+                max: 600,
+            },
+        );
+        round_trip(Envelope::Metrics { metrics });
+        round_trip(Envelope::Metrics {
+            metrics: ObsSnapshot::default(),
         });
     }
 

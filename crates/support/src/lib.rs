@@ -17,11 +17,15 @@
 //!   and a regression-seed corpus file format.
 //! * [`pool`] — a scoped thread pool with an order-preserving `par_map`,
 //!   so parallel experiment sweeps stay byte-identical to sequential runs.
+//! * [`obs`] — a process-wide metrics registry (counters, gauges,
+//!   fixed-bucket histograms, trace ring) whose totals are deterministic
+//!   at any thread count and whose presence never perturbs results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod check;
 pub mod json;
+pub mod obs;
 pub mod pool;
 pub mod rng;

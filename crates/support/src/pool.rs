@@ -18,6 +18,12 @@
 //! Tests in this module and the workspace CLI byte-determinism suite
 //! enforce this.
 //!
+//! The contract extends to observability: each `par_map` worker records
+//! [`crate::obs`] counters and histograms into a private shard, and the
+//! shards are merged back into the global registry **in worker index
+//! order** after all workers have joined, so metric totals are identical
+//! at any thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -96,10 +102,14 @@ where
     }
     let workers = threads.min(items.len());
     let next = AtomicUsize::new(0);
-    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let joined: Vec<(Vec<(usize, R)>, crate::obs::Shard)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    // Buffer this worker's metric records in a private
+                    // shard; the caller merges all shards in worker
+                    // index order so totals are thread-count invariant.
+                    crate::obs::shard_install();
                     let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -108,7 +118,7 @@ where
                         }
                         out.push((i, f(i, &items[i])));
                     }
-                    out
+                    (out, crate::obs::shard_take())
                 })
             })
             .collect();
@@ -117,6 +127,12 @@ where
             .map(|h| h.join().expect("par_map worker panicked"))
             .collect()
     });
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(joined.len());
+    for (bucket, shard) in joined {
+        // Merge in worker index order (the join order above).
+        crate::obs::shard_merge(shard);
+        buckets.push(bucket);
+    }
     // Stitch the per-worker buckets back into input order.
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for bucket in &mut buckets {

@@ -31,12 +31,23 @@ pub const MAX_FRAME_BYTES: usize = 1 << 24;
 ///
 /// Propagates I/O failures from the underlying writer.
 pub fn write_frame(w: &mut impl Write, value: &Json) -> io::Result<()> {
+    write_frame_counted(w, value).map(|_| ())
+}
+
+/// [`write_frame`], additionally returning the number of bytes put on
+/// the wire (prefix + body) so transports can meter their traffic.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_frame_counted(w: &mut impl Write, value: &Json) -> io::Result<usize> {
     let body = value.to_compact();
     let len = u32::try_from(body.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(body.as_bytes())?;
-    w.flush()
+    w.flush()?;
+    Ok(4 + body.len())
 }
 
 /// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean
@@ -48,6 +59,16 @@ pub fn write_frame(w: &mut impl Write, value: &Json) -> io::Result<()> {
 /// mid-frame and [`io::ErrorKind::InvalidData`] for an oversized length
 /// prefix, a non-UTF-8 body, or malformed JSON.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    read_frame_counted(r).map(|frame| frame.map(|(json, _)| json))
+}
+
+/// [`read_frame`], additionally returning the number of bytes consumed
+/// from the wire (prefix + body) so transports can meter their traffic.
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_counted(r: &mut impl Read) -> io::Result<Option<(Json, usize)>> {
     let mut len_bytes = [0u8; 4];
     // A clean EOF before any length byte is a closed connection, not an
     // error; EOF mid-prefix is truncation.
@@ -78,7 +99,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
     let text = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))?;
     Json::parse(&text)
-        .map(Some)
+        .map(|json| Some((json, 4 + len)))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame JSON: {e}")))
 }
 

@@ -24,6 +24,7 @@ use wolt_core::{
     evaluate, Association, AssociationPolicy, Network, TelemetryCache, TelemetryEntry, Wolt,
 };
 use wolt_support::json::{FromJson, Json, JsonError, ToJson};
+use wolt_support::obs;
 use wolt_units::Mbps;
 
 use crate::rig::ControllerPolicy;
@@ -138,6 +139,7 @@ impl ControllerCore {
         rates: &[Option<Mbps>],
         attached: usize,
     ) -> Result<Vec<Directive>, TestbedError> {
+        obs::counter_inc("cc.reports");
         self.begin_epoch(epoch);
         self.telemetry.record(client, epoch, rates);
         self.association[client] = Some(attached);
@@ -158,6 +160,7 @@ impl ControllerCore {
         client: usize,
         epoch: u64,
     ) -> Result<Vec<Directive>, TestbedError> {
+        obs::counter_inc("cc.departures");
         self.begin_epoch(epoch);
         self.telemetry.forget(client);
         self.association[client] = None;
@@ -176,9 +179,11 @@ impl ControllerCore {
     /// declared-dead clients return `false` and change nothing.
     pub fn handle_ack(&mut self, client: usize, seq: u64, extender: usize) -> bool {
         if !self.dead[client] && self.latest_seq[client] == Some(seq) {
+            obs::counter_inc("cc.acks_accepted");
             self.association[client] = Some(extender);
             true
         } else {
+            obs::counter_inc("cc.acks_stale");
             false
         }
     }
@@ -192,6 +197,7 @@ impl ControllerCore {
     ///
     /// As [`handle_report`](Self::handle_report).
     pub fn declare_dead(&mut self, client: usize) -> Result<Vec<Directive>, TestbedError> {
+        obs::counter_inc("cc.declared_dead");
         self.dead[client] = true;
         self.telemetry.forget(client);
         self.association[client] = None;
@@ -235,6 +241,7 @@ impl ControllerCore {
             Err(e) if self.config.strict => return Err(e),
             Err(_) => {
                 self.degraded_solves += 1;
+                obs::counter_inc("cc.degraded_solves");
                 return Ok(Vec::new());
             }
         };
@@ -253,6 +260,7 @@ impl ControllerCore {
                 seq,
             });
         }
+        obs::counter_add("cc.directives", out.len() as u64);
         Ok(out)
     }
 

@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 use wolt_core::{evaluate, Association};
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::Scenario;
+use wolt_support::obs;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_units::Mbps;
 
@@ -422,6 +423,7 @@ pub fn run_faulty_session(
         'attempts: for attempt in 1..=deadlines.event_attempts {
             if attempt > 1 {
                 harness_retries += 1;
+                obs::counter_inc("harness.retransmissions");
             }
             let cmd = if is_join {
                 ToAgent::Join { epoch, attempt }
@@ -812,6 +814,7 @@ fn run_transaction(
                 d += 1;
                 continue;
             }
+            obs::counter_inc("cc.ack_timeouts");
             if pending[d].attempt >= ctx.deadlines.ack_attempts {
                 let casualty = pending.remove(d).client;
                 // The dead client's load vanishes: re-optimize the
@@ -823,6 +826,7 @@ fn run_transaction(
                 let p = &mut pending[d];
                 p.attempt += 1;
                 *retries += 1;
+                obs::counter_inc("cc.retransmissions");
                 p.deadline = now + ctx.deadlines.backoff(p.attempt);
                 send_directive(ctx, client_txs, p.client, p.extender, p.seq, p.attempt)?;
                 d += 1;

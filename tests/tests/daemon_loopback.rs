@@ -196,3 +196,79 @@ fn operator_stop_envelope_halts_the_daemon_gracefully() {
     assert!(outcome.epochs_done <= 7);
     assert_eq!(outcome.completed, outcome.epochs_done == 7);
 }
+
+#[test]
+fn live_daemon_answers_metrics_envelope_over_the_wire() {
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+    use wolt_daemon::{wire, Envelope};
+    use wolt_support::obs::ObsSnapshot;
+
+    let scenario = lab_scenario(42);
+    let events = join_all(7);
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    // Keep the listener serving metrics queries for a beat after the
+    // last event, so the poller deterministically observes the finished
+    // session even if it connects late.
+    config.linger = Duration::from_millis(1500);
+    let daemon = Daemon::bind("127.0.0.1:0", scenario.clone(), events, config).unwrap();
+    let addr: SocketAddr = daemon.local_addr().unwrap();
+
+    let agents: Vec<_> = (0..7)
+        .map(|i| {
+            let scenario = scenario.clone();
+            thread::spawn(move || run_agent(addr, &scenario, i, &format!("laptop-{i}")))
+        })
+        .collect();
+
+    // A control connection polling the live daemon until the counters
+    // show real work. Several requests ride the same connection — the
+    // daemon must keep a control channel open across replies.
+    let poller = thread::spawn(move || -> ObsSnapshot {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("could not reach the daemon: {e}"),
+            }
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        loop {
+            wire::send(&mut stream, &Envelope::MetricsRequest).expect("metrics request sends");
+            match wire::recv(&mut stream).expect("metrics reply arrives") {
+                Some(Envelope::Metrics { metrics }) => {
+                    if metrics.counter("core.solves") > 0 && metrics.counter("cc.directives") > 0 {
+                        return metrics;
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "daemon never reported a non-zero solve count; last snapshot: {metrics:?}"
+                    );
+                    thread::sleep(Duration::from_millis(50));
+                }
+                other => panic!("expected a metrics reply, got {other:?}"),
+            }
+        }
+    });
+
+    let outcome = daemon.run().unwrap();
+    let live = poller.join().expect("metrics poller");
+    for handle in agents {
+        handle.join().unwrap().unwrap();
+    }
+
+    assert!(outcome.completed);
+    // The live snapshot saw a working controller: frames flowed both
+    // ways and the wire answered at least one metrics request (its own).
+    assert!(live.counter("daemon.frames_in") > 0);
+    assert!(live.counter("daemon.frames_out") > 0);
+    assert!(live.counter("daemon.bytes_in") > 0);
+    assert!(live.counter("daemon.metrics_requests") > 0);
+}

@@ -4,9 +4,14 @@
 //! escape-sequence look-alikes, non-ASCII) in the envelope's free-form
 //! fields.
 
+use std::io;
+
 use wolt_daemon::{wire, Envelope};
 use wolt_support::check::Runner;
+use wolt_support::json::Json;
+use wolt_support::obs::{HistogramSnapshot, ObsSnapshot};
 use wolt_support::rng::Rng;
+use wolt_testbed::codec::{write_frame, MAX_FRAME_BYTES};
 use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
 use wolt_units::Mbps;
 
@@ -46,8 +51,57 @@ fn rates(rng: &mut impl Rng) -> Vec<Option<Mbps>> {
         .collect()
 }
 
+/// Metric names stress the JSON object-key escaper the same way the
+/// free-form fields stress string bodies.
+fn metric_name(rng: &mut impl Rng) -> String {
+    if rng.gen_range(0..3u32) == 0 {
+        nasty_string(rng)
+    } else {
+        format!("daemon.metric_{}", rng.gen_range(0..32u32))
+    }
+}
+
+fn arbitrary_snapshot(rng: &mut impl Rng) -> ObsSnapshot {
+    let mut snap = ObsSnapshot::default();
+    for _ in 0..rng.gen_range(0..5usize) {
+        snap.counters
+            .insert(metric_name(rng), rng.gen_range(0..u64::MAX / 2));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        let magnitude = rng.gen_range(0..1_000_000u64) as i64;
+        let value = if rng.gen_range(0..2u32) == 0 {
+            -magnitude
+        } else {
+            magnitude
+        };
+        snap.gauges.insert(metric_name(rng), value);
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        let n_bounds = rng.gen_range(1..6usize);
+        let mut bounds = Vec::with_capacity(n_bounds);
+        let mut edge = 0u64;
+        for _ in 0..n_bounds {
+            edge += rng.gen_range(1..1_000u64);
+            bounds.push(edge);
+        }
+        let counts: Vec<u64> = (0..=n_bounds).map(|_| rng.gen_range(0..50u64)).collect();
+        let count = counts.iter().sum();
+        snap.histograms.insert(
+            metric_name(rng),
+            HistogramSnapshot {
+                bounds,
+                counts,
+                count,
+                sum: rng.gen_range(0..u64::MAX / 2),
+                max: rng.gen_range(0..u64::MAX / 2),
+            },
+        );
+    }
+    snap
+}
+
 fn arbitrary_envelope(rng: &mut impl Rng) -> Envelope {
-    match rng.gen_range(0..10u32) {
+    match rng.gen_range(0..12u32) {
         0 => Envelope::Hello {
             client: rng.gen_range(0..64usize),
             name: nasty_string(rng),
@@ -88,8 +142,12 @@ fn arbitrary_envelope(rng: &mut impl Rng) -> Envelope {
             epoch: rng.gen_range(0..1_000_000u64),
             attempt: rng.gen_range(1..10u32),
         }),
-        _ => Envelope::Shutdown {
+        9 => Envelope::Shutdown {
             reason: nasty_string(rng),
+        },
+        10 => Envelope::MetricsRequest,
+        _ => Envelope::Metrics {
+            metrics: arbitrary_snapshot(rng),
         },
     }
 }
@@ -148,5 +206,109 @@ fn streamed_envelopes_preserve_order_and_boundaries() {
                 other => Err(format!("expected clean EOF, got {other:?}")),
             }
         },
+    );
+}
+
+#[test]
+fn metrics_envelopes_round_trip_byte_identically() {
+    // A focused run over metrics payloads only: deep nested snapshots
+    // with hostile metric names get far more coverage than their 2-in-12
+    // share of the general envelope property.
+    Runner::new("daemon_metrics_round_trip").cases(200).run(
+        |rng| Envelope::Metrics {
+            metrics: arbitrary_snapshot(rng),
+        },
+        |env| {
+            let mut frame = Vec::new();
+            wire::send(&mut frame, env).map_err(|e| format!("send failed: {e}"))?;
+            let mut r = frame.as_slice();
+            let back = wire::recv(&mut r)
+                .map_err(|e| format!("recv failed: {e}"))?
+                .ok_or("frame produced no envelope")?;
+            if &back != env {
+                return Err(format!("decoded {back:?} != original"));
+            }
+            let mut again = Vec::new();
+            wire::send(&mut again, &back).map_err(|e| format!("re-send failed: {e}"))?;
+            if again != frame {
+                return Err("re-encoded frame differs from the original bytes".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncated_metrics_frames_are_unexpected_eof() {
+    let mut metrics = ObsSnapshot::default();
+    metrics.counters.insert("daemon.frames_in".into(), 42);
+    metrics.histograms.insert(
+        "daemon.resolve_us".into(),
+        HistogramSnapshot {
+            bounds: vec![100, 1_000],
+            counts: vec![1, 2, 0],
+            count: 3,
+            sum: 500,
+            max: 400,
+        },
+    );
+    let mut buf = Vec::new();
+    wire::send(&mut buf, &Envelope::Metrics { metrics }).unwrap();
+    // Every strict prefix of the frame must fail with UnexpectedEof —
+    // never a panic, never a bogus decoded envelope.
+    for cut in [1, 2, 3, 4, 5, buf.len() / 2, buf.len() - 1] {
+        let mut r = &buf[..cut];
+        assert_eq!(
+            wire::recv(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof,
+            "prefix of {cut} bytes"
+        );
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocating() {
+    // A hostile peer claims a frame just past the cap. The reader must
+    // refuse on the prefix alone — it never tries to allocate or read
+    // the claimed body (there are only 4 bytes here to read anyway).
+    let giant = u32::try_from(MAX_FRAME_BYTES + 1).unwrap().to_be_bytes();
+    let mut r = giant.as_slice();
+    let err = wire::recv(&mut r).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("exceeds"),
+        "cap rejection should name the cap, got: {err}"
+    );
+    // u32::MAX, the worst case a 4-byte prefix can claim.
+    let mut r: &[u8] = &[0xff; 4];
+    assert_eq!(
+        wire::recv(&mut r).unwrap_err().kind(),
+        io::ErrorKind::InvalidData
+    );
+}
+
+#[test]
+fn unknown_envelope_kinds_are_typed_errors() {
+    for tag in ["metrics_v2", "Metrics", "METRICS", "", "metrics "] {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj([("t", Json::Str(tag.into()))])).unwrap();
+        let mut r = buf.as_slice();
+        let err = wire::recv(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "tag {tag:?}");
+        assert!(err.to_string().contains("bad envelope"), "tag {tag:?}");
+    }
+    // A metrics reply whose payload is structurally wrong (counts array
+    // length disagrees with bounds) must be rejected, not silently
+    // mis-parsed.
+    let bad = Json::parse(
+        r#"{"t":"metrics_reply","m":{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[10],"counts":[1],"count":1,"sum":1,"max":1}}}}"#,
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &bad).unwrap();
+    let mut r = buf.as_slice();
+    assert_eq!(
+        wire::recv(&mut r).unwrap_err().kind(),
+        io::ErrorKind::InvalidData
     );
 }

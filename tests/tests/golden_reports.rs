@@ -1,0 +1,146 @@
+//! Golden snapshots of canonical session reports.
+//!
+//! The canonical rendering of a clean session is the workspace's
+//! determinism contract: for a fixed (scenario, seed, policy) it must be
+//! byte-identical run over run, thread count over thread count — and,
+//! since the observability layer landed, with metrics collection enabled
+//! *or* disabled. These tests pin the exact strings for all three online
+//! controller policies on both scenario presets, so any change to
+//! solver decisions, report assembly, or float formatting — and any
+//! observation that perturbs a result — fails a golden comparison
+//! instead of drifting silently.
+//!
+//! Regenerate after an *intentional* behavior change with:
+//!
+//! ```text
+//! cargo test -p wolt-tests --test golden_reports -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed `GOLDEN` lines back into [`GOLDENS`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use wolt_sim::Scenario;
+use wolt_support::obs;
+use wolt_testbed::{run_faulty_session, ControllerPolicy, FaultPlan, RigConfig, SessionEvent};
+use wolt_tests::{enterprise_scenario, lab_scenario};
+
+const SCENARIO_SEED: u64 = 42;
+const NOISE_SEED: u64 = 0;
+
+/// The pinned canonical reports: (scenario preset, policy, exact string).
+const GOLDENS: &[(&str, &str, &str)] = &[
+    (
+        "lab",
+        "wolt",
+        "policy=WOLT association=[Some(1), Some(1), Some(2), Some(0), Some(0), Some(0), Some(1)] aggregate=59.78445182724253 per_user=[2.947674418604652, 2.947674418604652, 42.25, 2.897142857142857, 2.897142857142857, 2.897142857142857, 2.947674418604652] jain=Some(0.27805625008638674) directives=4 switches=2 survivors=[0, 1, 2, 3, 4, 5, 6] crashed=[] wedged=[] declared_dead=[] unresponsive=[] degraded_solves=0",
+    ),
+    (
+        "lab",
+        "greedy",
+        "policy=Greedy association=[Some(1), Some(2), Some(0), Some(0), Some(0), Some(0), Some(1)] aggregate=33.157558139534885 per_user=[9.75, 4.2250000000000005, 2.3581395348837213, 2.3581395348837213, 2.3581395348837213, 2.3581395348837213, 9.75] jain=Some(0.682222502418346) directives=2 switches=0 survivors=[0, 1, 2, 3, 4, 5, 6] crashed=[] wedged=[] declared_dead=[] unresponsive=[] degraded_solves=0",
+    ),
+    (
+        "lab",
+        "rssi",
+        "policy=RSSI association=[Some(1), Some(1), Some(2), Some(0), Some(0), Some(0), Some(1)] aggregate=59.78445182724253 per_user=[2.947674418604652, 2.947674418604652, 42.25, 2.897142857142857, 2.897142857142857, 2.897142857142857, 2.947674418604652] jain=Some(0.27805625008638674) directives=0 switches=0 survivors=[0, 1, 2, 3, 4, 5, 6] crashed=[] wedged=[] declared_dead=[] unresponsive=[] degraded_solves=0",
+    ),
+    (
+        "enterprise",
+        "wolt",
+        "policy=WOLT association=[Some(0), Some(5), Some(7), Some(3), Some(2), Some(1), Some(6), Some(14), Some(9), Some(10)] aggregate=71.50000000000001 per_user=[7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.15] jain=Some(1.0000000000000002) directives=6 switches=0 survivors=[0, 1, 2, 3, 4, 5, 6, 7, 8, 9] crashed=[] wedged=[] declared_dead=[] unresponsive=[] degraded_solves=0",
+    ),
+    (
+        "enterprise",
+        "greedy",
+        "policy=Greedy association=[Some(0), Some(5), Some(4), Some(3), Some(2), Some(1), Some(6), Some(9), Some(12), Some(10)] aggregate=71.50000000000001 per_user=[7.150000000000001, 7.150000000000001, 7.15, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.150000000000001, 7.15] jain=Some(1.0000000000000002) directives=5 switches=0 survivors=[0, 1, 2, 3, 4, 5, 6, 7, 8, 9] crashed=[] wedged=[] declared_dead=[] unresponsive=[] degraded_solves=0",
+    ),
+    (
+        "enterprise",
+        "rssi",
+        "policy=RSSI association=[Some(0), Some(5), Some(4), Some(3), Some(0), Some(1), Some(1), Some(5), Some(5), Some(0)] aggregate=35.75 per_user=[2.3833333333333337, 2.3833333333333337, 7.15, 7.150000000000001, 2.3833333333333337, 3.5750000000000006, 3.5750000000000006, 2.3833333333333337, 2.3833333333333337, 2.3833333333333337] jain=Some(0.7894736842105261) directives=0 switches=0 survivors=[0, 1, 2, 3, 4, 5, 6, 7, 8, 9] crashed=[] wedged=[] declared_dead=[] unresponsive=[] degraded_solves=0",
+    ),
+];
+
+/// Serializes tests that flip the process-global obs switch.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn scenario_for(name: &str) -> Scenario {
+    match name {
+        "lab" => lab_scenario(7, SCENARIO_SEED),
+        "enterprise" => enterprise_scenario(10, SCENARIO_SEED),
+        other => panic!("unknown scenario preset {other:?}"),
+    }
+}
+
+fn policy_for(name: &str) -> ControllerPolicy {
+    match name {
+        "wolt" => ControllerPolicy::Wolt,
+        "greedy" => ControllerPolicy::Greedy,
+        "rssi" => ControllerPolicy::Rssi,
+        other => panic!("unknown policy {other:?}"),
+    }
+}
+
+fn canonical(scenario: &Scenario, policy: ControllerPolicy) -> String {
+    let events: Vec<SessionEvent> = (0..scenario.user_positions.len())
+        .map(SessionEvent::Join)
+        .collect();
+    run_faulty_session(
+        scenario,
+        &RigConfig::new(policy),
+        &events,
+        NOISE_SEED,
+        &FaultPlan::none(),
+    )
+    .expect("clean session completes")
+    .canonical()
+}
+
+fn check_goldens(label: &str) {
+    for (preset, policy_name, expect) in GOLDENS {
+        let got = canonical(&scenario_for(preset), policy_for(policy_name));
+        assert_eq!(
+            got.as_str(),
+            *expect,
+            "canonical report drifted for {preset}/{policy_name} ({label})"
+        );
+    }
+}
+
+#[test]
+fn golden_canonical_reports_with_obs_enabled() {
+    let _guard = obs_lock();
+    obs::set_enabled(true);
+    check_goldens("obs enabled");
+}
+
+#[test]
+fn golden_canonical_reports_with_obs_disabled() {
+    let _guard = obs_lock();
+    obs::set_enabled(false);
+    // Metrics collection must be a pure observer: disabling it cannot
+    // change a single byte of any report.
+    let result = std::panic::catch_unwind(|| check_goldens("obs disabled"));
+    obs::set_enabled(true);
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Regeneration helper — prints the current canonical strings in the
+/// `GOLDENS` layout. Ignored in normal runs.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn print_goldens() {
+    let _guard = obs_lock();
+    for (preset, policy_name, _) in GOLDENS {
+        let got = canonical(&scenario_for(preset), policy_for(policy_name));
+        println!("GOLDEN\t{preset}\t{policy_name}\t{got}");
+    }
+}
