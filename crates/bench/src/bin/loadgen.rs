@@ -9,6 +9,17 @@
 //! * re-solve latency percentiles — receipt of the triggering report or
 //!   departure to the last directive ack of the transaction.
 //!
+//! After the load run, three short chaos probes measure the robustness
+//! surface and land in the report's `chaos` block:
+//!
+//! * crash recovery — a session interrupted mid-way with its newest
+//!   snapshot generation torn in half (the exact state the mid-write
+//!   crash point leaves behind), then restarted: wall-clock recovery
+//!   time, rollback count, and byte-identity against the clean rig;
+//! * overload — a flood client past a tiny inbox cap plus over-cap
+//!   connection probes: exact shed and busy-rejection counts;
+//! * read deadline — a mid-frame staller: timeout count.
+//!
 //! Fully offline: 127.0.0.1 only, no external services. Writes
 //! `BENCH_daemon.json` (canonical workspace JSON) into the current
 //! directory alongside the usual CSV rows.
@@ -17,17 +28,20 @@
 //! cargo run --release -p wolt-bench --bin loadgen -- [users] [cycles] [output]
 //! ```
 
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wolt_bench::{columns, f2, header, measured, percentile_sorted, row};
-use wolt_daemon::{run_agent, Daemon, DaemonConfig, DaemonOutcome};
+use wolt_daemon::{run_agent, wire, Daemon, DaemonConfig, DaemonOutcome, Envelope};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
 use wolt_support::json::{Json, ToJson};
 use wolt_support::obs;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
-use wolt_testbed::{ControllerPolicy, SessionEvent};
+use wolt_testbed::protocol::ToController;
+use wolt_testbed::{run_faulty_session, ControllerPolicy, FaultPlan, RigConfig, SessionEvent};
 
 const SCENARIO_SEED: u64 = 42;
 const NOISE_SEED: u64 = 7;
@@ -42,9 +56,7 @@ fn churn_events(users: usize, cycles: usize) -> Vec<SessionEvent> {
     events
 }
 
-fn run_load(scenario: &Scenario, events: &[SessionEvent]) -> DaemonOutcome {
-    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
-    config.noise_seed = NOISE_SEED;
+fn run_with(scenario: &Scenario, events: &[SessionEvent], config: DaemonConfig) -> DaemonOutcome {
     let daemon = Daemon::bind("127.0.0.1:0", scenario.clone(), events.to_vec(), config)
         .expect("loopback bind");
     let addr = daemon.local_addr().expect("bound address");
@@ -62,6 +74,297 @@ fn run_load(scenario: &Scenario, events: &[SessionEvent]) -> DaemonOutcome {
             .expect("agent exits cleanly");
     }
     outcome
+}
+
+fn run_load(scenario: &Scenario, events: &[SessionEvent]) -> DaemonOutcome {
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    run_with(scenario, events, config)
+}
+
+/// Everything the three chaos probes measure, destined for the report's
+/// `chaos` block.
+struct ChaosProbe {
+    recovery_ms: f64,
+    replayed_epochs: usize,
+    snapshot_rollbacks: u64,
+    canonical_match: bool,
+    busy_rejections: u64,
+    frames_shed: u64,
+    read_timeouts: u64,
+}
+
+fn probe_scenario(users: usize, seed: u64) -> Scenario {
+    let cfg = ScenarioConfig::lab(users);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Scenario::generate(&cfg, &mut rng).expect("probe scenario generates")
+}
+
+fn probe_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wolt-loadgen-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn newest_generation(dir: &Path) -> PathBuf {
+    std::fs::read_dir(dir)
+        .expect("snapshot dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .max_by_key(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("snapshot."))
+                .and_then(|n| n.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+        .expect("at least one generation")
+}
+
+/// Polls the daemon's metrics endpoint over `stream` until `done`
+/// approves a snapshot, then returns it. The caller owns the stream so
+/// connection-slot accounting stays explicit.
+fn await_metrics(
+    stream: &mut TcpStream,
+    what: &str,
+    done: impl Fn(&obs::ObsSnapshot) -> bool,
+) -> obs::ObsSnapshot {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        wire::send(stream, &Envelope::MetricsRequest).expect("metrics request sends");
+        match wire::recv(stream).expect("metrics reply arrives") {
+            Some(Envelope::Metrics { metrics }) => {
+                if done(&metrics) {
+                    return metrics;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "daemon never reached the expected state ({what})"
+                );
+                thread::sleep(Duration::from_millis(25));
+            }
+            other => panic!("expected a metrics reply, got {other:?}"),
+        }
+    }
+}
+
+/// Crash-recovery probe: run a short session that stops after the join
+/// wave, tear the newest snapshot generation in half (the on-disk state
+/// the mid-write crash point leaves behind), then restart against the
+/// same store and time the run back to a completed, byte-identical
+/// report.
+fn recovery_probe(users: usize) -> (f64, usize, u64, bool) {
+    let scenario = probe_scenario(users, SCENARIO_SEED);
+    let mut events: Vec<SessionEvent> = (0..users).map(SessionEvent::Join).collect();
+    events.push(SessionEvent::Leave(0));
+    events.push(SessionEvent::Join(0));
+    let reference = run_faulty_session(
+        &scenario,
+        &RigConfig::new(ControllerPolicy::Wolt),
+        &events,
+        NOISE_SEED,
+        &FaultPlan::none(),
+    )
+    .expect("rig reference");
+
+    let snap_dir = probe_dir("recovery");
+    let stop_after = users;
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.snapshot_dir = Some(snap_dir.clone());
+    config.stop_after = Some(stop_after);
+    let first = run_with(&scenario, &events, config);
+    assert_eq!(first.epochs_done, stop_after, "probe stopped where asked");
+
+    let newest = newest_generation(&snap_dir);
+    let bytes = std::fs::read(&newest).expect("newest generation reads");
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).expect("torn write lands");
+
+    let rollbacks_before = obs::snapshot().counter("daemon.snapshot_rollbacks");
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.snapshot_dir = Some(snap_dir.clone());
+    let started = Instant::now();
+    let second = run_with(&scenario, &events, config);
+    let recovery = started.elapsed();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    assert!(second.completed, "recovery probe must complete");
+    let rollbacks = obs::snapshot().counter("daemon.snapshot_rollbacks") - rollbacks_before;
+    // The restart rolls back one generation and replays from there.
+    let replayed = events.len() - (stop_after - 1);
+    let matched = second.report.canonical() == reference.canonical();
+    (recovery.as_secs_f64() * 1e3, replayed, rollbacks, matched)
+}
+
+/// Overload probe: with the connection cap provably full (agent, flood
+/// client, metrics poller) and the session provably inside its linger
+/// window, fire over-cap connection probes and a telemetry flood past a
+/// tiny inbox cap. Rejections are exact (5); sheds are at least
+/// 20 − 4 = 16, plus any agent retransmit that lands in the flood
+/// window.
+fn overload_probe() -> (u64, u64) {
+    let before = obs::snapshot();
+    let scenario = probe_scenario(2, SCENARIO_SEED + 1);
+    let n_ext = scenario.extender_positions.len();
+    let snap_dir = probe_dir("overload");
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.inbox_cap = 4;
+    config.max_connections = 3;
+    config.snapshot_dir = Some(snap_dir.clone());
+    config.linger = Duration::from_secs(4);
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        scenario.clone(),
+        vec![SessionEvent::Join(0)],
+        config,
+    )
+    .expect("loopback bind");
+    let addr = daemon.local_addr().expect("bound address");
+    let agent = {
+        let scenario = scenario.clone();
+        thread::spawn(move || run_agent(addr, &scenario, 0, "load-0"))
+    };
+    let daemon = thread::spawn(move || daemon.run());
+
+    // Flood client: a real handshake so its frames reach the session
+    // inbox, but never the subject of any event.
+    let mut flooder = TcpStream::connect(addr).expect("flooder connects");
+    flooder
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    wire::send(
+        &mut flooder,
+        &Envelope::Hello {
+            client: 1,
+            name: "flooder".into(),
+        },
+    )
+    .expect("flooder hello");
+    assert!(matches!(
+        wire::recv(&mut flooder).expect("flooder ack"),
+        Some(Envelope::HelloAck { .. })
+    ));
+    let mut poller = TcpStream::connect(addr).expect("poller connects");
+    poller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    await_metrics(&mut poller, "one snapshot saved", |m| {
+        m.counter("daemon.snapshots") > before.counter("daemon.snapshots")
+    });
+
+    // Cap full: agent + flooder + poller hold all three slots.
+    for _ in 0..5 {
+        let mut extra = TcpStream::connect(addr).expect("probe connects");
+        extra
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        match wire::recv(&mut extra).expect("busy reply") {
+            Some(Envelope::Busy { limit }) => assert_eq!(limit, 3),
+            other => panic!("expected a busy reply, got {other:?}"),
+        }
+    }
+    for _ in 0..20 {
+        wire::send(
+            &mut flooder,
+            &Envelope::Ctrl(ToController::Report {
+                client: 1,
+                epoch: 999,
+                rates: vec![None; n_ext],
+                attached: 0,
+            }),
+        )
+        .expect("flood frame sends");
+    }
+    await_metrics(&mut poller, "16 frames shed", |m| {
+        m.counter("daemon.frames_shed") >= before.counter("daemon.frames_shed") + 16
+    });
+    drop(flooder);
+    drop(poller);
+
+    let outcome = daemon.join().expect("daemon thread").expect("session runs");
+    agent.join().expect("agent thread").expect("agent exits");
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    assert!(outcome.completed, "overload probe must complete");
+    let after = obs::snapshot();
+    (
+        after.counter("daemon.conns_rejected") - before.counter("daemon.conns_rejected"),
+        after.counter("daemon.frames_shed") - before.counter("daemon.frames_shed"),
+    )
+}
+
+/// Read-deadline probe: a connection that starts a frame and never
+/// finishes it must be closed at the mid-frame deadline and counted.
+fn stall_probe() -> u64 {
+    let before = obs::snapshot();
+    let scenario = probe_scenario(1, SCENARIO_SEED + 2);
+    let snap_dir = probe_dir("stall");
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.read_stall = Duration::from_millis(200);
+    config.snapshot_dir = Some(snap_dir.clone());
+    config.linger = Duration::from_secs(3);
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        scenario.clone(),
+        vec![SessionEvent::Join(0)],
+        config,
+    )
+    .expect("loopback bind");
+    let addr = daemon.local_addr().expect("bound address");
+    let agent = {
+        let scenario = scenario.clone();
+        thread::spawn(move || run_agent(addr, &scenario, 0, "load-0"))
+    };
+    let daemon = thread::spawn(move || daemon.run());
+    let mut poller = TcpStream::connect(addr).expect("poller connects");
+    poller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    await_metrics(&mut poller, "one snapshot saved", |m| {
+        m.counter("daemon.snapshots") > before.counter("daemon.snapshots")
+    });
+
+    let mut staller = TcpStream::connect(addr).expect("staller connects");
+    staller
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    {
+        use std::io::Write as _;
+        staller.write_all(&16u32.to_be_bytes()).unwrap();
+        staller.write_all(b"{\"t\"").unwrap();
+        staller.flush().unwrap();
+    }
+    // The daemon hangs up — that EOF is the deadline firing.
+    {
+        use std::io::Read as _;
+        let mut buf = [0u8; 16];
+        let n = staller.read(&mut buf).expect("staller read");
+        assert_eq!(n, 0, "daemon should close the stalled connection");
+    }
+    drop(poller);
+
+    let outcome = daemon.join().expect("daemon thread").expect("session runs");
+    agent.join().expect("agent thread").expect("agent exits");
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    assert!(outcome.completed, "stall probe must complete");
+    obs::snapshot().counter("daemon.read_timeouts") - before.counter("daemon.read_timeouts")
+}
+
+fn chaos_probes(users: usize) -> ChaosProbe {
+    let (recovery_ms, replayed_epochs, snapshot_rollbacks, canonical_match) = recovery_probe(users);
+    let (busy_rejections, frames_shed) = overload_probe();
+    let read_timeouts = stall_probe();
+    ChaosProbe {
+        recovery_ms,
+        replayed_epochs,
+        snapshot_rollbacks,
+        canonical_match,
+        busy_rejections,
+        frames_shed,
+        read_timeouts,
+    }
 }
 
 /// Nearest-rank percentile over sorted samples; zero when there are
@@ -133,6 +436,34 @@ fn main() {
         f2(micros(max)),
     ]);
 
+    // Freeze the load run's observability snapshot before the chaos
+    // probes add their own traffic to the process-global counters.
+    let load_metrics = obs::snapshot();
+    let chaos = chaos_probes(users);
+    assert!(
+        chaos.canonical_match,
+        "recovered session diverged from the clean rig"
+    );
+
+    columns(&[
+        "chaos_recovery_ms",
+        "chaos_replayed_epochs",
+        "chaos_rollbacks",
+        "busy_rejections",
+        "frames_shed",
+        "read_timeouts",
+        "canonical_match",
+    ]);
+    row(&[
+        f2(chaos.recovery_ms),
+        chaos.replayed_epochs.to_string(),
+        chaos.snapshot_rollbacks.to_string(),
+        chaos.busy_rejections.to_string(),
+        chaos.frames_shed.to_string(),
+        chaos.read_timeouts.to_string(),
+        chaos.canonical_match.to_string(),
+    ]);
+
     let json = Json::obj(vec![
         ("bench", "loadgen".to_string().to_json()),
         ("scenario", "lab".to_string().to_json()),
@@ -154,9 +485,24 @@ fn main() {
             ]),
         ),
         ("canonical_report", outcome.report.canonical().to_json()),
-        // The process-wide observability snapshot: daemon wire traffic,
-        // controller decisions, solver work — all counted during the run.
-        ("metrics", obs::snapshot().to_json()),
+        // The load run's observability snapshot: daemon wire traffic,
+        // controller decisions, solver work — counted before the chaos
+        // probes touch the process-global counters.
+        ("metrics", load_metrics.to_json()),
+        // The robustness surface, measured live: torn-store recovery,
+        // inbox shedding, connection-cap rejections, read deadlines.
+        (
+            "chaos",
+            Json::obj(vec![
+                ("recovery_ms", chaos.recovery_ms.to_json()),
+                ("replayed_epochs", chaos.replayed_epochs.to_json()),
+                ("snapshot_rollbacks", chaos.snapshot_rollbacks.to_json()),
+                ("canonical_match", chaos.canonical_match.to_json()),
+                ("busy_rejections", chaos.busy_rejections.to_json()),
+                ("frames_shed", chaos.frames_shed.to_json()),
+                ("read_timeouts", chaos.read_timeouts.to_json()),
+            ]),
+        ),
     ]);
     std::fs::write(&output, format!("{}\n", json.to_pretty())).expect("write bench json");
     eprintln!("wrote {output}");
@@ -167,5 +513,15 @@ fn main() {
         outcome.epochs_done,
         micros(p50),
         micros(p99),
+    ));
+    measured(&format!(
+        "torn-store recovery in {:.0} ms ({} epochs replayed, {} rollback, byte-identical); \
+         overload shed {} frames, rejected {} over-cap connections, deadlined {} staller",
+        chaos.recovery_ms,
+        chaos.replayed_epochs,
+        chaos.snapshot_rollbacks,
+        chaos.frames_shed,
+        chaos.busy_rejections,
+        chaos.read_timeouts,
     ));
 }

@@ -236,6 +236,14 @@ impl PresetChoice {
             }),
         }
     }
+
+    /// The canonical spelling [`Self::parse`] accepts for this preset.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Enterprise => "enterprise",
+            Self::Lab => "lab",
+        }
+    }
 }
 
 /// Samples a network spec from a scenario preset.

@@ -81,7 +81,11 @@ impl From<wolt_daemon::DaemonError> for CliError {
             // Transport-level failures get the typed network variant so
             // the binary can exit nonzero with a diagnosable message
             // instead of panicking on an io::Error.
-            D::Io(_) | D::Timeout { .. } | D::Protocol { .. } => CliError::Net { message },
+            D::Io(_)
+            | D::Timeout { .. }
+            | D::Protocol { .. }
+            | D::GaveUp { .. }
+            | D::Busy { .. } => CliError::Net { message },
             _ => CliError::Library { message },
         }
     }

@@ -8,7 +8,10 @@
 //! * [`commands`] — the `generate`, `solve`, and `compare` verbs as pure
 //!   functions from parsed inputs to serializable reports;
 //! * [`service`] — the `serve` and `agent` verbs, wrapping
-//!   [`wolt_daemon`]'s networked Central Controller and agent client.
+//!   [`wolt_daemon`]'s networked Central Controller and agent client;
+//! * [`chaos`] — the `chaos` verb, a crash-recovery supervisor that
+//!   kills `wolt serve` children at seeded crash points and proves the
+//!   restarted daemon converges to a byte-identical session report.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod chaos;
 pub mod commands;
 pub mod service;
 pub mod spec;

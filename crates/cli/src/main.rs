@@ -12,6 +12,7 @@
 use std::process::ExitCode;
 
 use wolt_cli::args::ParsedArgs;
+use wolt_cli::chaos::{self, ChaosOptions};
 use wolt_cli::commands::{
     compare_with_threads, generate, solve_explained_with_threads, solve_with_threads, PolicyChoice,
     PresetChoice,
@@ -28,9 +29,10 @@ USAGE:
   wolt generate --preset <enterprise|lab> --users <N> [--seed S] [--output FILE]
   wolt solve    --input FILE [--policy <wolt|greedy|selfish|rssi|optimal|random>] [--seed S] [--threads T] [--explain true] [--output FILE]
   wolt compare  --input FILE [--seed S] [--threads T]
-  wolt serve    --addr HOST:PORT [--preset P] [--users N] [--seed S] [--policy <wolt|greedy|rssi>] [--noise-seed S] [--snapshot FILE] [--addr-file FILE] [--metrics-out FILE] [--linger-ms MS] [--output FILE]
+  wolt serve    --addr HOST:PORT [--preset P] [--users N] [--seed S] [--policy <wolt|greedy|rssi>] [--noise-seed S] [--snapshot DIR] [--addr-file FILE] [--metrics-out FILE] [--linger-ms MS] [--output FILE]
   wolt agent    --addr HOST:PORT --client I [--preset P] [--users N] [--seed S] [--name NAME]
   wolt metrics  --addr HOST:PORT [--output FILE]
+  wolt chaos    --workdir DIR [--preset P] [--users N] [--seed S] [--policy P] [--noise-seed S] [--chaos-seed S] [--point NAME] [--max-restarts N] [--output FILE]
 
 The network file is JSON: {\"capacities\": [c_j …], \"rates\": [[r_ij …] …]}.
 --threads caps the worker threads of policies that fan out internally
@@ -46,7 +48,13 @@ pick a port and hand it to the agents.
 metrics queries a live daemon's counters and histograms over the wire
 (a WOLT_OBS snapshot as JSON). serve's --metrics-out dumps the same
 snapshot to a file when the session ends; --linger-ms keeps the daemon
-answering metrics queries that long after the last event completes.";
+answering metrics queries that long after the last event completes.
+
+chaos sweeps the daemon's crash-point catalogue: for each point it
+spawns a real `wolt serve` child armed (via WOLT_CRASH) with a seeded
+CrashPlan, lets the plan abort it mid-write, restarts it unarmed against
+the same --snapshot store, and fails unless every recovered session's
+canonical report is byte-identical to an uncrashed baseline run.";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1)) {
@@ -145,6 +153,22 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
         }
         "metrics" => {
             let text = service::metrics(parsed.require("addr")?)?;
+            emit(&text, parsed.get("output"))?;
+            Ok(())
+        }
+        "chaos" => {
+            let opts = ChaosOptions {
+                preset: PresetChoice::parse(parsed.get("preset").unwrap_or("lab"))?,
+                users: parsed.get_parsed_or("users", 7usize)?,
+                seed: parsed.get_parsed_or("seed", 0u64)?,
+                policy: service::parse_controller_policy(parsed.get("policy").unwrap_or("wolt"))?,
+                noise_seed: parsed.get_parsed_or("noise-seed", 0u64)?,
+                chaos_seed: parsed.get_parsed_or("chaos-seed", 0u64)?,
+                point: parsed.get("point").map(Into::into),
+                max_restarts: parsed.get_parsed_or("max-restarts", 3u32)?,
+                workdir: parsed.require("workdir")?.into(),
+            };
+            let text = chaos::chaos(&opts)?;
             emit(&text, parsed.get("output"))?;
             Ok(())
         }

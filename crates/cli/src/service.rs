@@ -67,7 +67,8 @@ pub struct ServeOptions {
     pub policy: ControllerPolicy,
     /// Seed for the capacity-estimation noise.
     pub noise_seed: u64,
-    /// Snapshot file for crash/restart resume.
+    /// Snapshot store directory for crash/restart resume (the daemon
+    /// keeps a window of checksummed generations inside it).
     pub snapshot: Option<PathBuf>,
     /// File to write the bound address to, for scripts that pass port 0.
     pub addr_file: Option<PathBuf>,
@@ -92,7 +93,7 @@ pub fn serve(opts: &ServeOptions) -> Result<String, CliError> {
     let events: Vec<SessionEvent> = (0..opts.users).map(SessionEvent::Join).collect();
     let mut config = DaemonConfig::new(opts.policy);
     config.noise_seed = opts.noise_seed;
-    config.snapshot_path = opts.snapshot.clone();
+    config.snapshot_dir = opts.snapshot.clone();
     config.linger = opts.linger;
     let daemon = Daemon::bind(opts.addr.as_str(), scenario, events, config)?;
     let bound = daemon.local_addr()?;

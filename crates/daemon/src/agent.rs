@@ -8,15 +8,108 @@
 //! and ack every received transmission. A reconnecting agent adopts the
 //! attachment the daemon hands back in the handshake — the radio stayed
 //! associated while the controller was down.
+//!
+//! The agent *expects* the controller to flap: a failed connect, a
+//! [`Envelope::Busy`] refusal, or a connection lost mid-session all feed
+//! the same bounded, seeded-jitter backoff loop ([`AgentRetry`]) before
+//! the agent reconnects and re-adopts whatever state the (possibly
+//! rolled-back) controller hands it. Only an exhausted budget surfaces,
+//! as the typed [`DaemonError::GaveUp`].
 
+use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
 
 use wolt_sim::Scenario;
+use wolt_support::obs;
+use wolt_support::rng::{RngCore as _, SplitMix64};
 use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
 use wolt_units::Mbps;
 
 use crate::wire::{self, Envelope};
 use crate::DaemonError;
+
+/// Reconnect policy: bounded exponential backoff with seeded jitter.
+#[derive(Debug, Clone)]
+pub struct AgentRetry {
+    /// Connect attempts per reconnect round before giving up with
+    /// [`DaemonError::GaveUp`] (at least 1).
+    pub attempts: u32,
+    /// Backoff after the first failed attempt; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed. The wait is scaled by a factor in `[0.5, 1.0)`
+    /// derived from `(seed, client, attempt)`, so a fleet of agents
+    /// retrying after the same controller crash desynchronizes instead
+    /// of stampeding — deterministically, given their seeds.
+    pub seed: u64,
+}
+
+impl Default for AgentRetry {
+    fn default() -> Self {
+        Self {
+            attempts: 10,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl AgentRetry {
+    /// The wait after failed attempt `attempt` (1-based).
+    fn backoff(&self, client: usize, attempt: u32) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(20));
+        let capped = doubled.min(self.cap);
+        let mut mix = SplitMix64::new(self.seed ^ ((client as u64) << 32) ^ u64::from(attempt));
+        // Top 53 bits → a uniform fraction in [0, 1), mapped to [0.5, 1).
+        let fraction = (mix.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(0.5 + fraction / 2.0)
+    }
+}
+
+/// Whether a handshake failure is worth another attempt.
+enum ConnectFailure {
+    /// The daemon is down, restarting, or at its connection cap.
+    Retryable(String),
+    /// The peer is not a WOLT daemon (protocol violation): retrying
+    /// cannot help.
+    Fatal(DaemonError),
+}
+
+/// One connect + handshake; on success the agent holds an accepted
+/// stream and the controller's view of its attachment.
+fn connect_once(
+    addr: &impl ToSocketAddrs,
+    client: usize,
+    name: &str,
+) -> Result<(TcpStream, Option<usize>), ConnectFailure> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| ConnectFailure::Retryable(format!("connect: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    wire::send(
+        &mut stream,
+        &Envelope::Hello {
+            client,
+            name: name.to_string(),
+        },
+    )
+    .map_err(|e| ConnectFailure::Retryable(format!("handshake send: {e}")))?;
+    match wire::recv(&mut stream) {
+        Ok(Some(Envelope::HelloAck { attached })) => Ok((stream, attached)),
+        Ok(Some(Envelope::Busy { limit })) => Err(ConnectFailure::Retryable(
+            DaemonError::Busy { limit }.to_string(),
+        )),
+        Ok(other) => Err(ConnectFailure::Fatal(DaemonError::Protocol {
+            context: format!("expected hello_ack, got {other:?}"),
+        })),
+        Err(e) => Err(ConnectFailure::Retryable(format!("handshake recv: {e}"))),
+    }
+}
 
 /// What the agent observed, returned when the daemon dismisses it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,9 +120,27 @@ pub struct AgentOutcome {
     pub directives_applied: usize,
 }
 
-/// Runs one agent to completion: connect, handshake, then serve
-/// join/leave commands and directives until the daemon says shutdown or
-/// closes the connection.
+/// Runs one agent to completion with the default reconnect policy: see
+/// [`run_agent_with`].
+///
+/// # Errors
+///
+/// As [`run_agent_with`].
+pub fn run_agent(
+    addr: impl ToSocketAddrs,
+    scenario: &Scenario,
+    client: usize,
+    name: &str,
+) -> Result<AgentOutcome, DaemonError> {
+    run_agent_with(addr, scenario, client, name, &AgentRetry::default())
+}
+
+/// Runs one agent to completion: connect (with `retry`'s bounded
+/// backoff), handshake, then serve join/leave commands and directives
+/// until the daemon dismisses it. A connection lost mid-session —
+/// controller crash, restart, read-deadline kill — re-enters the same
+/// backoff loop and resumes from whatever attachment the daemon's
+/// (possibly rolled-back) state hands back in the new handshake.
 ///
 /// `client` is this agent's index in `scenario`; the scenario must be
 /// the same one the daemon runs (both sides regenerate it from the same
@@ -37,15 +148,16 @@ pub struct AgentOutcome {
 ///
 /// # Errors
 ///
-/// [`DaemonError::Io`] when the daemon cannot be reached or the
-/// connection drops mid-frame; [`DaemonError::InvalidConfig`] for an
-/// out-of-range client index; [`DaemonError::Protocol`] when the daemon
-/// violates the handshake.
-pub fn run_agent(
+/// [`DaemonError::GaveUp`] when a reconnect round exhausts
+/// `retry.attempts`; [`DaemonError::InvalidConfig`] for an out-of-range
+/// client index; [`DaemonError::Protocol`] when the daemon violates the
+/// handshake.
+pub fn run_agent_with(
     addr: impl ToSocketAddrs,
     scenario: &Scenario,
     client: usize,
     name: &str,
+    retry: &AgentRetry,
 ) -> Result<AgentOutcome, DaemonError> {
     let n_users = scenario.user_positions.len();
     let n_ext = scenario.extender_positions.len();
@@ -55,33 +167,102 @@ pub fn run_agent(
         });
     }
     let rates: Vec<Option<Mbps>> = (0..n_ext).map(|j| scenario.rate(client, j)).collect();
-
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    wire::send(
-        &mut stream,
-        &Envelope::Hello {
-            client,
-            name: name.to_string(),
-        },
-    )?;
-    let mut attached = match wire::recv(&mut stream)? {
-        Some(Envelope::HelloAck { attached }) => attached,
-        other => {
-            return Err(DaemonError::Protocol {
-                context: format!("expected hello_ack, got {other:?}"),
-            })
+    let mut directives_applied = 0usize;
+    loop {
+        // Connect round: a fresh budget each time the agent has to go
+        // back to dialing, so a controller that keeps crashing (and
+        // keeps being restarted) never strands a patient agent.
+        let attempts = retry.attempts.max(1);
+        let mut connected = None;
+        let mut last_error = String::new();
+        for attempt in 1..=attempts {
+            match connect_once(&addr, client, name) {
+                Ok(ok) => {
+                    connected = Some(ok);
+                    break;
+                }
+                Err(ConnectFailure::Fatal(e)) => return Err(e),
+                Err(ConnectFailure::Retryable(why)) => {
+                    last_error = why;
+                    if attempt < attempts {
+                        obs::counter_inc("agent.reconnects");
+                        thread::sleep(retry.backoff(client, attempt));
+                    }
+                }
+            }
         }
-    };
+        let Some((mut stream, attached)) = connected else {
+            return Err(DaemonError::GaveUp {
+                attempting: format!("connect to the daemon as client {client}"),
+                attempts,
+                last_error,
+            });
+        };
+        match serve(
+            &mut stream,
+            client,
+            attached,
+            &rates,
+            &mut directives_applied,
+        )? {
+            ServeEnd::Dismissed(outcome) => return Ok(outcome),
+            // The daemon vanished mid-session (crash, restart,
+            // read-deadline kill): dial again.
+            ServeEnd::Lost => {}
+        }
+    }
+}
+
+/// How one served connection ended.
+enum ServeEnd {
+    /// The daemon said shutdown: the agent is done.
+    Dismissed(AgentOutcome),
+    /// The connection died without a dismissal: reconnect.
+    Lost,
+}
+
+/// Whether a receive failure means the connection died (retryable) as
+/// opposed to the peer not speaking the protocol (fatal): a crashed or
+/// restarting daemon yields resets and truncations, never well-framed
+/// garbage.
+fn recv_failure_is_lost(e: &io::Error) -> bool {
+    e.kind() != io::ErrorKind::InvalidData
+}
+
+/// Serves one connection until the daemon dismisses the agent or the
+/// connection is lost.
+///
+/// # Errors
+///
+/// [`DaemonError::Protocol`] when the peer sends a well-formed frame an
+/// agent must never see — lost connections are a [`ServeEnd`], not an
+/// error.
+fn serve(
+    stream: &mut TcpStream,
+    client: usize,
+    mut attached: Option<usize>,
+    rates: &[Option<Mbps>],
+    directives_applied: &mut usize,
+) -> Result<ServeEnd, DaemonError> {
     // A restored attachment means this client was mid-session when the
     // controller died: the radio is still associated.
     let mut joined = attached.is_some();
     let mut last_applied: Option<u64> = None;
-    let mut directives_applied = 0usize;
 
-    // Serve until the daemon says shutdown or closes the connection.
-    while let Some(envelope) = wire::recv(&mut stream)? {
-        match envelope {
+    // Serve until the daemon says shutdown or the connection ends.
+    loop {
+        let envelope = match wire::recv(stream) {
+            Ok(Some(envelope)) => envelope,
+            // EOF without a dismissal is a dead daemon, not a goodbye.
+            Ok(None) => return Ok(ServeEnd::Lost),
+            Err(e) if recv_failure_is_lost(&e) => return Ok(ServeEnd::Lost),
+            Err(e) => {
+                return Err(DaemonError::Protocol {
+                    context: format!("agent receive: {e}"),
+                })
+            }
+        };
+        let sent = match envelope {
             Envelope::Agent(ToAgent::Join { epoch, attempt: _ }) => {
                 if !joined {
                     // Scan: strongest signal = highest achievable rate
@@ -105,14 +286,14 @@ pub fn run_agent(
                 // re-scanning, so an applied directive is never
                 // clobbered.
                 wire::send(
-                    &mut stream,
+                    stream,
                     &Envelope::Ctrl(ToController::Report {
                         client,
                         epoch,
-                        rates: rates.clone(),
+                        rates: rates.to_vec(),
                         attached: attached.expect("joined agent is attached"),
                     }),
-                )?;
+                )
             }
             Envelope::Agent(ToAgent::Leave { epoch, attempt: _ }) => {
                 if joined {
@@ -121,13 +302,18 @@ pub fn run_agent(
                 }
                 // Always (re-)notify: the CC dedups by epoch.
                 wire::send(
-                    &mut stream,
+                    stream,
                     &Envelope::Ctrl(ToController::Departed { client, epoch }),
-                )?;
+                )
             }
             Envelope::Agent(ToAgent::Shutdown)
             | Envelope::Client(ToClient::Shutdown)
-            | Envelope::Shutdown { .. } => break,
+            | Envelope::Shutdown { .. } => {
+                return Ok(ServeEnd::Dismissed(AgentOutcome {
+                    attached,
+                    directives_applied: *directives_applied,
+                }))
+            }
             Envelope::Client(ToClient::Directive {
                 extender,
                 seq,
@@ -141,28 +327,27 @@ pub fn run_agent(
                 if last_applied.is_none_or(|s| seq > s) {
                     attached = Some(extender);
                     last_applied = Some(seq);
-                    directives_applied += 1;
+                    *directives_applied += 1;
                 }
                 // Ack every received transmission (idempotent at the
                 // CC); report the *current* attachment.
                 wire::send(
-                    &mut stream,
+                    stream,
                     &Envelope::Ctrl(ToController::Ack {
                         client,
                         seq,
                         extender: attached.expect("joined agent is attached"),
                     }),
-                )?;
+                )
             }
             other => {
                 return Err(DaemonError::Protocol {
                     context: format!("unexpected envelope for an agent: {other:?}"),
                 })
             }
+        };
+        if sent.is_err() {
+            return Ok(ServeEnd::Lost);
         }
     }
-    Ok(AgentOutcome {
-        attached,
-        directives_applied,
-    })
 }

@@ -28,6 +28,31 @@ pub enum DaemonError {
         /// Human-readable description.
         context: String,
     },
+    /// Snapshot generations exist on disk but none verifies — restoring
+    /// would either lose acknowledged state or load garbage, so the
+    /// operator must decide (delete the store for a cold start, or
+    /// repair it). A *partially* damaged store is not an error: load
+    /// falls back to the newest generation that verifies.
+    SnapshotCorrupt {
+        /// The store directory and every generation's damage.
+        context: String,
+    },
+    /// A bounded retry loop exhausted its attempts (e.g. the agent's
+    /// reconnect backoff) without success.
+    GaveUp {
+        /// What was being attempted.
+        attempting: String,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's failure.
+        last_error: String,
+    },
+    /// The daemon refused a connection because its connection cap is
+    /// reached (the wire's typed `busy` reply).
+    Busy {
+        /// The daemon's configured connection limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for DaemonError {
@@ -40,6 +65,20 @@ impl fmt::Display for DaemonError {
                 write!(f, "deadline expired waiting for {waiting_for}")
             }
             DaemonError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+            DaemonError::SnapshotCorrupt { context } => {
+                write!(f, "snapshot store unrecoverable: {context}")
+            }
+            DaemonError::GaveUp {
+                attempting,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "gave up {attempting} after {attempts} attempts (last error: {last_error})"
+            ),
+            DaemonError::Busy { limit } => {
+                write!(f, "daemon is at its connection cap ({limit})")
+            }
         }
     }
 }

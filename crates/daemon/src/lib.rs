@@ -5,9 +5,11 @@
 //! ([`wolt_testbed::rig`]) emulates that with threads and channels; this
 //! crate runs it for real: a TCP [`server::Daemon`] speaking a
 //! length-prefixed JSON wire protocol ([`wire`]), an agent client
-//! ([`agent::run_agent`]) for the laptop side, and durable
-//! [`snapshot::DaemonSnapshot`]s so a restarted controller resumes
-//! mid-session without re-issuing directives.
+//! ([`agent::run_agent`]) for the laptop side, and a crash-safe
+//! generational snapshot store ([`store::SnapshotStore`]) so a restarted
+//! — or killed — controller resumes mid-session without re-issuing
+//! directives, rolling back over torn writes to the newest generation
+//! that checksums clean.
 //!
 //! Every association *decision* lives in the shared
 //! [`wolt_testbed::ControllerCore`]; this crate contributes only
@@ -26,12 +28,31 @@
 pub mod agent;
 pub mod server;
 pub mod snapshot;
+pub mod store;
 pub mod wire;
 
 mod error;
+mod inbox;
 
-pub use agent::{run_agent, AgentOutcome};
+pub use agent::{run_agent, run_agent_with, AgentOutcome, AgentRetry};
 pub use error::DaemonError;
 pub use server::{Daemon, DaemonConfig, DaemonOutcome, DaemonStats};
 pub use snapshot::DaemonSnapshot;
+pub use store::SnapshotStore;
 pub use wire::Envelope;
+
+/// Every named crash point the daemon's write paths declare, with the
+/// most scheduled hits that still land inside a short session (a seeded
+/// [`wolt_support::crash::CrashPlan`] picks a hit count in
+/// `1..=max_hits` per point). This is the catalogue the chaos harness
+/// sweeps: killing the daemon at any of these points must leave a store
+/// a restart recovers from with a byte-identical final report.
+pub fn crash_catalogue() -> Vec<(&'static str, u64)> {
+    vec![
+        (store::CRASH_MID_WRITE, 3),
+        (store::CRASH_PRE_PRUNE, 3),
+        (server::CRASH_PRE_SNAPSHOT, 3),
+        (server::CRASH_POST_SNAPSHOT, 3),
+        (wolt_testbed::codec::CRASH_MID_FRAME, 5),
+    ]
+}

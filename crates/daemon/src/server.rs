@@ -16,34 +16,49 @@
 //! # Concurrency
 //!
 //! One reader task per connection (on a [`TaskPool`]) parses frames and
-//! forwards them into a single mpsc queue; the session loop is the only
-//! thread that touches the [`ControllerCore`] or writes to agent
-//! sockets. The accept loop runs on its own thread with a nonblocking
-//! listener so shutdown is prompt.
+//! forwards them into a single bounded [`inbox`](crate::inbox) queue;
+//! the session loop is the only thread that touches the
+//! [`ControllerCore`] or writes to agent sockets. The accept loop runs
+//! on its own thread with a nonblocking listener so shutdown is prompt.
 //!
 //! # Persistence
 //!
 //! After every completed epoch the daemon snapshots its full state (see
-//! [`DaemonSnapshot`]) to `snapshot_path`, atomically. A restarted
-//! daemon restores the snapshot, hands each reconnecting agent its saved
-//! attachment in the handshake (the radio association outlives the
-//! controller process), and resumes at the saved epoch — issuing no
-//! extra directives for work already done.
+//! [`DaemonSnapshot`]) through the generational
+//! [`SnapshotStore`](crate::store::SnapshotStore): each save is a fresh
+//! checksummed `snapshot.<gen>.json` in `snapshot_dir`, and restore
+//! rolls back over torn or corrupt generations to the newest one that
+//! verifies. A restarted daemon restores that snapshot, hands each
+//! reconnecting agent its saved attachment in the handshake (the radio
+//! association outlives the controller process), and resumes at the
+//! saved epoch — issuing no extra directives for work already done.
+//!
+//! # Overload
+//!
+//! Three independent guards keep a misbehaving or excessive peer from
+//! taking the daemon down, each with an exact counter: connections past
+//! `max_connections` are refused with a typed [`Envelope::Busy`] reply
+//! (`daemon.conns_rejected`); a peer that stalls mid-frame past
+//! `read_stall` loses its connection (`daemon.read_timeouts`) while
+//! idling *between* frames stays free; and the session inbox is bounded
+//! at `inbox_cap` entries, shedding the oldest queued telemetry first —
+//! never acks or lifecycle messages (`daemon.frames_shed`).
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::Scenario;
-use wolt_support::obs;
 use wolt_support::pool::TaskPool;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
+use wolt_support::{crash_point, obs};
+use wolt_testbed::codec::ReadPatience;
 use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
 use wolt_testbed::{
     assemble_report, ControllerConfig, ControllerCore, ControllerPolicy, Deadlines, Directive,
@@ -51,9 +66,23 @@ use wolt_testbed::{
 };
 use wolt_units::Mbps;
 
+use crate::inbox::{self, Inbox, InboxSender};
 use crate::snapshot::DaemonSnapshot;
+use crate::store::{self, SnapshotStore};
 use crate::wire::{self, Envelope};
 use crate::DaemonError;
+
+/// Crash point after an epoch's event completed but before its snapshot
+/// is written: the restarted daemon replays the whole event.
+pub const CRASH_PRE_SNAPSHOT: &str = "daemon.epoch.pre_snapshot";
+
+/// Crash point right after an epoch's snapshot is durable: the restarted
+/// daemon resumes at the next event with zero replay.
+pub const CRASH_POST_SNAPSHOT: &str = "daemon.epoch.post_snapshot";
+
+/// The polling tick used when `read_stall` arms patient reads: the
+/// socket read timeout under the stall budget.
+const READ_TICK: Duration = Duration::from_millis(25);
 
 /// Wire-traffic counters, cached: the reader tasks account every frame
 /// and byte that crosses the daemon's sockets, in both directions.
@@ -90,8 +119,12 @@ pub struct DaemonConfig {
     pub deadlines: Deadlines,
     /// Seed for the capacity-estimation noise (the rig's `seed`).
     pub noise_seed: u64,
-    /// Where to persist [`DaemonSnapshot`]s; `None` disables persistence.
-    pub snapshot_path: Option<PathBuf>,
+    /// Directory for the generational snapshot store
+    /// ([`crate::store::SnapshotStore`]); `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Snapshot generations kept on disk (must be ≥ 1 when persistence
+    /// is on); older generations are pruned after each save.
+    pub snapshot_keep: usize,
     /// Stop (snapshot + graceful shutdown) after this many events have
     /// completed in total — an operational kill switch and the hook the
     /// restart tests use to stop deterministically mid-session.
@@ -114,6 +147,17 @@ pub struct DaemonConfig {
     /// window to read the finished session's counters over the
     /// [`Envelope::MetricsRequest`] envelope.
     pub linger: Duration,
+    /// Concurrent connections accepted before new arrivals are refused
+    /// with [`Envelope::Busy`]; `0` means unlimited.
+    pub max_connections: usize,
+    /// Session-inbox bound; past it the oldest queued telemetry frame is
+    /// shed (acks and lifecycle messages never are). `0` means
+    /// unbounded.
+    pub inbox_cap: usize,
+    /// How long a peer may stall *mid-frame* before its connection is
+    /// dropped (idle between frames is always allowed). `Duration::ZERO`
+    /// disables the deadline (fully blocking reads, as before).
+    pub read_stall: Duration,
 }
 
 impl DaemonConfig {
@@ -124,12 +168,16 @@ impl DaemonConfig {
             estimator: CapacityEstimator::default(),
             deadlines: Deadlines::default(),
             noise_seed: 0,
-            snapshot_path: None,
+            snapshot_dir: None,
+            snapshot_keep: store::DEFAULT_KEEP,
             stop_after: None,
             connect_deadline: Duration::from_secs(30),
             workers: 0,
             max_staleness: None,
             linger: Duration::ZERO,
+            max_connections: 0,
+            inbox_cap: 0,
+            read_stall: Duration::from_secs(5),
         }
     }
 }
@@ -160,6 +208,14 @@ pub struct DaemonOutcome {
     pub epochs_done: usize,
     /// Transport counters.
     pub stats: DaemonStats,
+}
+
+/// Whether the inbox shed policy may drop a queued message under
+/// pressure: only telemetry (scan reports), which the harness's
+/// retransmission schedule recovers. Acks and lifecycle messages are
+/// load-bearing — dropping one would wedge a transaction or the session.
+fn incoming_sheddable(msg: &Incoming) -> bool {
+    matches!(msg, Incoming::Msg(ToController::Report { .. }))
 }
 
 /// Everything a reader task can feed the session loop.
@@ -261,9 +317,15 @@ impl Daemon {
             strict: false,
         };
 
-        // Cold start or snapshot restore.
-        let restored = match &self.config.snapshot_path {
-            Some(path) => DaemonSnapshot::load(path)?,
+        // Cold start or snapshot restore. The store falls back over torn
+        // or corrupt generations by itself; only an unrecoverable store
+        // (every generation damaged) errors out.
+        let mut snapshot_store = match &self.config.snapshot_dir {
+            Some(dir) => Some(SnapshotStore::open(dir, self.config.snapshot_keep)?),
+            None => None,
+        };
+        let restored = match &snapshot_store {
+            Some(store) => store.load()?.map(|(_generation, snap)| snap),
             None => None,
         };
         let (core, mut epochs_done, mut present, mut unresponsive, mut initial_attach, retries) =
@@ -298,7 +360,7 @@ impl Daemon {
         // association at startup (always `None` on a cold start).
         let greeting: Arc<Vec<Option<usize>>> = Arc::new(core.association().to_vec());
 
-        let (tx, rx) = channel::<Incoming>();
+        let (tx, rx) = inbox::channel::<Incoming>(self.config.inbox_cap, incoming_sheddable);
         let stop = Arc::new(AtomicBool::new(false));
         let workers = if self.config.workers > 0 {
             self.config.workers
@@ -312,15 +374,46 @@ impl Daemon {
             let stop = Arc::clone(&stop);
             let tx = tx.clone();
             let greeting = Arc::clone(&greeting);
+            let max_connections = self.config.max_connections;
+            let read_stall = self.config.read_stall;
+            // Live connections, shared with the reader tasks so the cap
+            // reflects closures as they happen.
+            let active = Arc::new(AtomicUsize::new(0));
             thread::spawn(move || {
                 // The pool lives (and joins its readers) on this thread.
                 let pool = pool;
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => {
+                        Ok((mut stream, _)) => {
+                            if max_connections > 0
+                                && active.load(Ordering::Relaxed) >= max_connections
+                            {
+                                // Refuse with a typed reply so the peer
+                                // can tell overload from a dead daemon
+                                // and back off instead of hammering.
+                                obs::counter_inc("daemon.conns_rejected");
+                                pool.execute(move || {
+                                    let _ = stream.set_nodelay(true);
+                                    if let Ok(sent) = wire::send_counted(
+                                        &mut stream,
+                                        &Envelope::Busy {
+                                            limit: max_connections as u64,
+                                        },
+                                    ) {
+                                        note_frame_out(sent);
+                                    }
+                                });
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::Relaxed);
                             let tx = tx.clone();
                             let greeting = Arc::clone(&greeting);
-                            pool.execute(move || serve_connection(stream, greeting, tx));
+                            let stop = Arc::clone(&stop);
+                            let active = Arc::clone(&active);
+                            pool.execute(move || {
+                                serve_connection(stream, greeting, tx, stop, read_stall);
+                                active.fetch_sub(1, Ordering::Relaxed);
+                            });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(2));
@@ -348,6 +441,7 @@ impl Daemon {
             .and_then(|()| {
                 self.drive(
                     &mut session,
+                    &mut snapshot_store,
                     &mut epochs_done,
                     &mut present,
                     &mut unresponsive,
@@ -419,6 +513,7 @@ impl Daemon {
     fn drive(
         &self,
         session: &mut Session,
+        snapshot_store: &mut Option<SnapshotStore>,
         epochs_done: &mut usize,
         present: &mut [bool],
         unresponsive: &mut [bool],
@@ -485,19 +580,25 @@ impl Daemon {
             if let Some(bound) = self.config.max_staleness {
                 session.core.evict_stale(bound);
             }
-            if let Some(path) = &self.config.snapshot_path {
+            if let Some(store) = snapshot_store.as_mut() {
+                // A crash on either side of the save is recoverable: before
+                // it, the restarted daemon replays this event; after it, the
+                // daemon resumes at the next one. Both replays are
+                // byte-identical because the snapshot carries complete
+                // decision state and agents re-derive theirs from the
+                // handshake.
+                crash_point!(CRASH_PRE_SNAPSHOT);
                 let t0 = Instant::now();
-                DaemonSnapshot {
+                store.save(&DaemonSnapshot {
                     epochs_done: *epochs_done,
                     present: present.to_vec(),
                     unresponsive: unresponsive.to_vec(),
                     initial_attach: initial_attach.to_vec(),
                     retries: session.retries,
                     core: session.core.snapshot(),
-                }
-                .save(path)?;
-                obs::counter_inc("daemon.snapshots");
+                })?;
                 obs::observe_duration("daemon.snapshot_write_us", t0.elapsed());
+                crash_point!(CRASH_POST_SNAPSHOT);
             }
             if session.stop_reason.is_some() || self.config.stop_after == Some(*epochs_done) {
                 stopped = true;
@@ -510,18 +611,50 @@ impl Daemon {
 
 /// Per-connection reader: handshake, then forward frames to the session
 /// loop until the connection ends.
+///
+/// When `read_stall` is nonzero the socket read is *patient*: idling
+/// between frames is free (and ends cleanly once `stop` is set, so a
+/// silent control connection cannot hang teardown), but a peer that
+/// stalls mid-frame past the budget loses the connection and is counted
+/// in `daemon.read_timeouts`.
 fn serve_connection(
     mut stream: TcpStream,
     greeting: Arc<Vec<Option<usize>>>,
-    tx: Sender<Incoming>,
+    tx: InboxSender<Incoming>,
+    stop: Arc<AtomicBool>,
+    read_stall: Duration,
 ) {
     let _ = stream.set_nodelay(true);
+    let patient = !read_stall.is_zero();
+    let mid_frame_stalls = if patient {
+        let _ = stream.set_read_timeout(Some(READ_TICK));
+        (read_stall.as_millis() / READ_TICK.as_millis()).max(1) as u32
+    } else {
+        0
+    };
+    let recv = |stream: &mut TcpStream| -> std::io::Result<Option<(Envelope, usize)>> {
+        if !patient {
+            return wire::recv_counted(stream);
+        }
+        let mut keep_waiting = || !stop.load(Ordering::Relaxed);
+        let mut patience = ReadPatience {
+            keep_waiting: &mut keep_waiting,
+            mid_frame_stalls,
+        };
+        let result = wire::recv_counted_patient(stream, &mut patience);
+        if let Err(e) = &result {
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                obs::counter_inc("daemon.read_timeouts");
+            }
+        }
+        result
+    };
     // Pre-handshake: the connection is a control channel until it sends
     // `Hello`. Control connections may issue any number of metrics
     // queries (each answered inline — safe here because no session-loop
     // writer shares this stream yet) and/or a stop request.
     let client = loop {
-        match wire::recv_counted(&mut stream) {
+        match recv(&mut stream) {
             Ok(Some((Envelope::Hello { client, .. }, bytes))) if client < greeting.len() => {
                 note_frame_in(bytes);
                 break client;
@@ -563,7 +696,7 @@ fn serve_connection(
         return;
     }
     loop {
-        match wire::recv_counted(&mut stream) {
+        match recv(&mut stream) {
             Ok(Some((Envelope::Ctrl(msg), bytes))) => {
                 note_frame_in(bytes);
                 if tx.send(Incoming::Msg(msg)).is_err() {
@@ -596,7 +729,7 @@ struct Session {
     core: ControllerCore,
     deadlines: Deadlines,
     writers: Vec<Option<TcpStream>>,
-    rx: Receiver<Incoming>,
+    rx: Inbox<Incoming>,
     retries: usize,
     msgs_in: usize,
     latencies: Vec<Duration>,

@@ -8,15 +8,14 @@
 //! events completed, who is present, the initial attachments used for
 //! switch counting). Because `wolt_support::json` is deterministic, two
 //! snapshots of equal state are byte-identical on disk.
-
-use std::fs;
-use std::io;
-use std::path::Path;
+//!
+//! This module owns the snapshot's *shape*; durability lives in the
+//! generational [`crate::store::SnapshotStore`], which writes each
+//! snapshot as a fresh checksummed `snapshot.<gen>.json` and rolls back
+//! over torn or corrupt generations at load time.
 
 use wolt_support::json::{FromJson, Json, JsonError, ToJson};
 use wolt_testbed::ControllerSnapshot;
-
-use crate::DaemonError;
 
 /// The persisted daemon state.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,45 +61,6 @@ impl FromJson for DaemonSnapshot {
     }
 }
 
-impl DaemonSnapshot {
-    /// Writes the snapshot atomically: serialize to a sibling temp file,
-    /// then rename over the target, so a crash mid-write never leaves a
-    /// truncated snapshot behind.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem failures.
-    pub fn save(&self, path: &Path) -> Result<(), DaemonError> {
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, self.to_json().to_compact())?;
-        fs::rename(&tmp, path)?;
-        Ok(())
-    }
-
-    /// Loads a snapshot, or `Ok(None)` when the file does not exist yet
-    /// (a cold start).
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem failures; a present-but-malformed snapshot
-    /// is [`DaemonError::Protocol`], not silently ignored.
-    pub fn load(path: &Path) -> Result<Option<Self>, DaemonError> {
-        let text = match fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
-        let json = Json::parse(&text).map_err(|e| DaemonError::Protocol {
-            context: format!("corrupt snapshot {}: {e}", path.display()),
-        })?;
-        DaemonSnapshot::from_json(&json)
-            .map(Some)
-            .map_err(|e| DaemonError::Protocol {
-                context: format!("corrupt snapshot {}: {e}", path.display()),
-            })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,31 +96,5 @@ mod tests {
         assert_eq!(back, snap);
         // Canonical encoder: equal state, identical bytes.
         assert_eq!(back.to_json().to_compact(), text);
-    }
-
-    #[test]
-    fn save_load_round_trips_and_missing_file_is_none() {
-        let dir = std::env::temp_dir().join("wolt-daemon-snap-test");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("snap.json");
-        let _ = fs::remove_file(&path);
-        assert!(DaemonSnapshot::load(&path).unwrap().is_none());
-        let snap = sample();
-        snap.save(&path).unwrap();
-        assert_eq!(DaemonSnapshot::load(&path).unwrap(), Some(snap));
-        fs::remove_file(&path).unwrap();
-    }
-
-    #[test]
-    fn corrupt_snapshot_is_an_error_not_a_cold_start() {
-        let dir = std::env::temp_dir().join("wolt-daemon-snap-test");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("corrupt.json");
-        fs::write(&path, "{not json").unwrap();
-        assert!(matches!(
-            DaemonSnapshot::load(&path),
-            Err(DaemonError::Protocol { .. })
-        ));
-        fs::remove_file(&path).unwrap();
     }
 }

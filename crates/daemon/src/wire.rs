@@ -17,7 +17,9 @@ use std::io::{self, Read, Write};
 
 use wolt_support::json::{FromJson, Json, JsonError, ToJson};
 use wolt_support::obs::ObsSnapshot;
-use wolt_testbed::codec::{read_frame_counted, write_frame_counted};
+use wolt_testbed::codec::{
+    read_frame_counted, read_frame_counted_patient, write_frame_counted, ReadPatience,
+};
 use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
 
 /// One daemon wire message.
@@ -37,6 +39,14 @@ pub enum Envelope {
     HelloAck {
         /// Saved extender attachment, if the controller knows one.
         attached: Option<usize>,
+    },
+    /// The daemon's overload refusal, sent in place of any other reply
+    /// when a new connection arrives past the configured connection cap.
+    /// The peer should back off and retry; the daemon closes the
+    /// connection after sending it.
+    Busy {
+        /// The daemon's configured connection limit.
+        limit: u64,
     },
     /// An agent → controller protocol message.
     Ctrl(ToController),
@@ -76,6 +86,9 @@ impl ToJson for Envelope {
                 ("t", Json::Str("hello_ack".into())),
                 ("attached", attached.to_json()),
             ]),
+            Envelope::Busy { limit } => {
+                Json::obj([("t", Json::Str("busy".into())), ("limit", limit.to_json())])
+            }
             Envelope::Ctrl(m) => Json::obj([("t", Json::Str("ctrl".into())), ("m", m.to_json())]),
             Envelope::Client(m) => {
                 Json::obj([("t", Json::Str("client".into())), ("m", m.to_json())])
@@ -107,6 +120,9 @@ impl FromJson for Envelope {
             }),
             "hello_ack" => Ok(Envelope::HelloAck {
                 attached: Option::<usize>::from_json(value.field("attached")?)?,
+            }),
+            "busy" => Ok(Envelope::Busy {
+                limit: u64::from_json(value.field("limit")?)?,
             }),
             "ctrl" => Ok(Envelope::Ctrl(ToController::from_json(value.field("m")?)?)),
             "client" => Ok(Envelope::Client(ToClient::from_json(value.field("m")?)?)),
@@ -168,6 +184,27 @@ pub fn recv_counted(r: &mut impl Read) -> io::Result<Option<(Envelope, usize)>> 
     }
 }
 
+/// [`recv_counted`] over a stream whose read timeout is used as a
+/// polling tick: idle frame boundaries wait under the caller's control,
+/// mid-frame stalls are bounded (see
+/// [`wolt_testbed::codec::ReadPatience`]).
+///
+/// # Errors
+///
+/// As [`recv_counted`], plus [`io::ErrorKind::TimedOut`] when the peer
+/// stalls mid-frame past the budget.
+pub fn recv_counted_patient(
+    r: &mut impl Read,
+    patience: &mut ReadPatience<'_>,
+) -> io::Result<Option<(Envelope, usize)>> {
+    match read_frame_counted_patient(r, patience)? {
+        None => Ok(None),
+        Some((json, bytes)) => Envelope::from_json(&json)
+            .map(|envelope| Some((envelope, bytes)))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad envelope: {e}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +228,7 @@ mod tests {
         });
         round_trip(Envelope::HelloAck { attached: Some(2) });
         round_trip(Envelope::HelloAck { attached: None });
+        round_trip(Envelope::Busy { limit: 16 });
         round_trip(Envelope::Ctrl(ToController::Report {
             client: 0,
             epoch: 1,

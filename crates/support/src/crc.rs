@@ -1,0 +1,136 @@
+//! CRC-32 (IEEE 802.3, the `zlib`/`gzip` polynomial) over byte slices.
+//!
+//! The daemon's generational snapshot store appends a checksum trailer to
+//! every snapshot file so a torn or bit-flipped write is *detected* at
+//! load time instead of being parsed into silently-wrong controller
+//! state. CRC-32 is the right strength for that job: it is not a
+//! cryptographic integrity check (nothing on the snapshot path is
+//! adversarial), it is a torn-write and bit-rot detector with a
+//! well-known reference implementation to validate against.
+//!
+//! The implementation is the classic reflected table-driven form: one
+//! 256-entry table computed at first use, one table lookup per byte.
+
+use std::sync::OnceLock;
+
+/// The reversed IEEE 802.3 polynomial (0x04C11DB7 bit-reflected).
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// A streaming CRC-32 computation.
+///
+/// ```
+/// use wolt_support::crc::Crc32;
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh computation (initial state all-ones, per the standard).
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Feeds more bytes into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let table = table();
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ table[idx];
+        }
+    }
+
+    /// The final checksum (state inverted, per the standard).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_check_values() {
+        // The canonical CRC-32 check value, plus a few vectors computed
+        // with zlib's crc32().
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"generational snapshot payload";
+        let mut crc = Crc32::new();
+        crc.update(&data[..7]);
+        crc.update(&data[7..]);
+        assert_eq!(crc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"snapshot.3.json payload bytes".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    reference,
+                    "flip of byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_truncation_changes_the_checksum() {
+        let base = b"a torn write leaves a strict prefix behind".to_vec();
+        let reference = crc32(&base);
+        for len in 0..base.len() {
+            assert_ne!(crc32(&base[..len]), reference, "prefix of {len} collided");
+        }
+    }
+}

@@ -20,11 +20,16 @@
 //! * [`obs`] — a process-wide metrics registry (counters, gauges,
 //!   fixed-bucket histograms, trace ring) whose totals are deterministic
 //!   at any thread count and whose presence never perturbs results.
+//! * [`crc`] — CRC-32 (IEEE) for torn-write detection in durable state.
+//! * [`crash`] — seeded, named crash-point injection ([`crash_point!`])
+//!   for chaos-testing crash safety with real process aborts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod crash;
+pub mod crc;
 pub mod json;
 pub mod obs;
 pub mod pool;

@@ -25,6 +25,40 @@ use crate::protocol::{ToAgent, ToClient, ToController};
 /// length prefix must not trigger a giant allocation.
 pub const MAX_FRAME_BYTES: usize = 1 << 24;
 
+/// Crash point between a frame's length prefix and its body (see
+/// [`wolt_support::crash`]): an armed abort here leaves the peer holding
+/// a torn frame, the wire-level analogue of a torn snapshot write.
+pub const CRASH_MID_FRAME: &str = "codec.write.mid_frame";
+
+/// How a *patient* frame read reacts to socket-timeout stalls (reads
+/// failing with [`io::ErrorKind::WouldBlock`] or
+/// [`io::ErrorKind::TimedOut`] because the stream has a read timeout
+/// configured as a polling tick).
+///
+/// The policy distinguishes two kinds of silence. At a *frame boundary*
+/// (no byte of the next frame has arrived) idling is legitimate — a
+/// control connection may sit quiet between metrics polls for as long as
+/// it likes — so the read waits indefinitely, consulting `keep_waiting`
+/// each tick so the caller can end it cleanly (shutdown). *Mid-frame*
+/// silence is different: a peer that sent half a frame and stopped is
+/// either broken or a slowloris pinning the reader, so after
+/// `mid_frame_stalls` consecutive stalled ticks the read fails with
+/// [`io::ErrorKind::TimedOut`].
+pub struct ReadPatience<'a> {
+    /// Consulted on every frame-boundary stall; returning `false` ends
+    /// the read as a clean close (`Ok(None)`).
+    pub keep_waiting: &'a mut dyn FnMut() -> bool,
+    /// Consecutive stalled ticks tolerated once a frame has started.
+    pub mid_frame_stalls: u32,
+}
+
+fn is_stall(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Writes one JSON value as a length-prefixed frame.
 ///
 /// # Errors
@@ -45,6 +79,7 @@ pub fn write_frame_counted(w: &mut impl Write, value: &Json) -> io::Result<usize
     let len = u32::try_from(body.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     w.write_all(&len.to_be_bytes())?;
+    wolt_support::crash_point!(CRASH_MID_FRAME);
     w.write_all(body.as_bytes())?;
     w.flush()?;
     Ok(4 + body.len())
@@ -69,10 +104,36 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
 ///
 /// As [`read_frame`].
 pub fn read_frame_counted(r: &mut impl Read) -> io::Result<Option<(Json, usize)>> {
+    read_frame_impl(r, None)
+}
+
+/// [`read_frame_counted`] with a stall policy for streams that use a
+/// read timeout as a polling tick (see [`ReadPatience`]): idle frame
+/// boundaries wait (checking `keep_waiting` each tick), mid-frame stalls
+/// are bounded. On a plain blocking stream this behaves exactly like
+/// [`read_frame_counted`], since stalls never surface.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`io::ErrorKind::TimedOut`] when a peer
+/// stalls mid-frame past the configured budget.
+pub fn read_frame_counted_patient(
+    r: &mut impl Read,
+    patience: &mut ReadPatience<'_>,
+) -> io::Result<Option<(Json, usize)>> {
+    read_frame_impl(r, Some(patience))
+}
+
+fn read_frame_impl(
+    r: &mut impl Read,
+    mut patience: Option<&mut ReadPatience<'_>>,
+) -> io::Result<Option<(Json, usize)>> {
     let mut len_bytes = [0u8; 4];
     // A clean EOF before any length byte is a closed connection, not an
-    // error; EOF mid-prefix is truncation.
+    // error; EOF mid-prefix is truncation. Stall counting is consecutive:
+    // any successful read resets it.
     let mut filled = 0;
+    let mut stalls = 0u32;
     while filled < len_bytes.len() {
         match r.read(&mut len_bytes[filled..]) {
             Ok(0) if filled == 0 => return Ok(None),
@@ -82,8 +143,28 @@ pub fn read_frame_counted(r: &mut impl Read) -> io::Result<Option<(Json, usize)>
                     "stream truncated inside a frame length prefix",
                 ))
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_stall(&e) => match patience.as_mut() {
+                Some(p) if filled == 0 => {
+                    if !(p.keep_waiting)() {
+                        return Ok(None);
+                    }
+                }
+                Some(p) => {
+                    stalls += 1;
+                    if stalls > p.mid_frame_stalls {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame past the read deadline",
+                        ));
+                    }
+                }
+                None => return Err(e),
+            },
             Err(e) => return Err(e),
         }
     }
@@ -95,7 +176,35 @@ pub fn read_frame_counted(r: &mut impl Read) -> io::Result<Option<(Json, usize)>
         ));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream truncated inside a frame body",
+                ))
+            }
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_stall(&e) => match patience.as_mut() {
+                Some(p) => {
+                    stalls += 1;
+                    if stalls > p.mid_frame_stalls {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame past the read deadline",
+                        ));
+                    }
+                }
+                None => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
     let text = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))?;
     Json::parse(&text)
@@ -396,6 +505,136 @@ mod tests {
             read_frame(&mut r).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    /// A reader that replays a script of data chunks and stalls, so the
+    /// patient-read policy can be exercised without real sockets.
+    struct ScriptedRead {
+        script: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Read for ScriptedRead {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                None => Ok(0),
+                Some(Ok(mut chunk)) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        // Requeue what this short read did not consume.
+                        self.script.push_front(Ok(chunk.split_off(n)));
+                    }
+                    Ok(n)
+                }
+                Some(Err(kind)) => Err(io::Error::new(kind, "scripted stall")),
+            }
+        }
+    }
+
+    fn scripted(events: Vec<Result<Vec<u8>, io::ErrorKind>>) -> ScriptedRead {
+        ScriptedRead {
+            script: events.into(),
+        }
+    }
+
+    #[test]
+    fn patient_read_outwaits_boundary_idle_but_bounds_mid_frame_stalls() {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &ToAgent::Shutdown.to_json()).unwrap();
+        // Many stalls before the first byte, then the frame split around
+        // a couple of mid-frame stalls (within the budget of 3).
+        let mut r = scripted(vec![
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+            Ok(frame[..2].to_vec()),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+            Ok(frame[2..6].to_vec()),
+            Err(io::ErrorKind::TimedOut),
+            Ok(frame[6..].to_vec()),
+        ]);
+        let mut keep = || true;
+        let mut patience = ReadPatience {
+            keep_waiting: &mut keep,
+            mid_frame_stalls: 3,
+        };
+        let json = read_frame_counted_patient(&mut r, &mut patience)
+            .unwrap()
+            .expect("one frame")
+            .0;
+        assert_eq!(ToAgent::from_json(&json).unwrap(), ToAgent::Shutdown);
+    }
+
+    #[test]
+    fn patient_read_times_out_a_mid_frame_staller() {
+        // One length byte arrives, then the peer goes silent: a
+        // slowloris. The budget of 2 consecutive stalls expires.
+        let mut r = scripted(vec![
+            Ok(vec![0]),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+        ]);
+        let mut keep = || true;
+        let mut patience = ReadPatience {
+            keep_waiting: &mut keep,
+            mid_frame_stalls: 2,
+        };
+        assert_eq!(
+            read_frame_counted_patient(&mut r, &mut patience)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::TimedOut
+        );
+    }
+
+    #[test]
+    fn patient_read_ends_cleanly_when_told_to_stop_waiting() {
+        let mut r = scripted(vec![
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::WouldBlock),
+        ]);
+        // Stop waiting after the second boundary stall.
+        let mut ticks = 0;
+        let mut keep = move || {
+            ticks += 1;
+            ticks < 2
+        };
+        let mut patience = ReadPatience {
+            keep_waiting: &mut keep,
+            mid_frame_stalls: 100,
+        };
+        assert!(read_frame_counted_patient(&mut r, &mut patience)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn patient_read_matches_plain_read_on_blocking_streams() {
+        let mut frame = Vec::new();
+        write_frame(
+            &mut frame,
+            &ToAgent::Join {
+                epoch: 3,
+                attempt: 1,
+            }
+            .to_json(),
+        )
+        .unwrap();
+        let mut plain = frame.as_slice();
+        let mut patient_src = frame.as_slice();
+        let mut keep = || true;
+        let mut patience = ReadPatience {
+            keep_waiting: &mut keep,
+            mid_frame_stalls: 0,
+        };
+        let a = read_frame_counted(&mut plain).unwrap();
+        let b = read_frame_counted_patient(&mut patient_src, &mut patience).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

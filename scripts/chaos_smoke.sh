@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the wolt daemon: sweep every declared crash point
+# with `wolt chaos` — each run spawns a real `wolt serve` child armed
+# (via WOLT_CRASH) with a seeded crash plan, lets it abort mid-write,
+# restarts it unarmed against the same generational snapshot store, and
+# requires the recovered session's canonical report to be byte-identical
+# to an uncrashed baseline. Used by CI (with a hard timeout and
+# WOLT_THREADS=2) and runnable locally:
+#
+#   cargo build --release -p wolt-cli && bash scripts/chaos_smoke.sh
+set -euo pipefail
+
+BIN="${BIN:-target/release/wolt}"
+USERS="${USERS:-7}"
+SEED="${SEED:-1}"
+CHAOS_SEED="${CHAOS_SEED:-7}"
+# Where the sweep report lands; CI points this at a workspace path and
+# uploads it as an artifact.
+REPORT_OUT="${REPORT_OUT:-}"
+
+WORK="$(mktemp -d)"
+[ -n "$REPORT_OUT" ] || REPORT_OUT="$WORK/chaos.json"
+cleanup() {
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# `wolt chaos` exits non-zero on its own when a point never fires, a run
+# fails to recover within the restart budget, or any recovered run's
+# canonical report diverges from the baseline.
+"$BIN" chaos --workdir "$WORK/runs" --preset lab --users "$USERS" \
+    --seed "$SEED" --chaos-seed "$CHAOS_SEED" --max-restarts 3 \
+    --output "$REPORT_OUT"
+
+# Belt and braces over the report itself: the whole catalogue was swept,
+# every point actually crashed the daemon, and every recovery matched.
+POINTS="$(grep -c '"point":' "$REPORT_OUT" || echo 0)"
+if [ "$POINTS" -ne 5 ]; then
+    echo "expected 5 swept crash points, report shows $POINTS:" >&2
+    cat "$REPORT_OUT" >&2
+    exit 1
+fi
+if ! grep -q '"all_match": true' "$REPORT_OUT"; then
+    echo "chaos report does not assert all_match:" >&2
+    cat "$REPORT_OUT" >&2
+    exit 1
+fi
+if grep -q '"crashes": 0' "$REPORT_OUT"; then
+    echo "a swept point never crashed the daemon:" >&2
+    cat "$REPORT_OUT" >&2
+    exit 1
+fi
+
+echo "chaos smoke: $POINTS crash points fired, recovered from the same" \
+    "snapshot store, and matched the uncrashed baseline ($REPORT_OUT)"

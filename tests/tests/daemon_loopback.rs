@@ -116,27 +116,28 @@ fn snapshot_restore_resumes_with_no_resolve_regression() {
     events.push(SessionEvent::Leave(4));
     let reference = rig_reference(&scenario, ControllerPolicy::Wolt, &events);
 
-    let snap_path: PathBuf =
-        std::env::temp_dir().join(format!("wolt-daemon-restart-{}.json", std::process::id()));
-    let _ = std::fs::remove_file(&snap_path);
+    let snap_dir: PathBuf =
+        std::env::temp_dir().join(format!("wolt-daemon-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
 
     // First incarnation: dies (gracefully, but mid-session) after five
-    // completed epochs, leaving its snapshot behind.
+    // completed epochs, leaving its generational store behind.
     let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
     config.noise_seed = NOISE_SEED;
-    config.snapshot_path = Some(snap_path.clone());
+    config.snapshot_dir = Some(snap_dir.clone());
     config.stop_after = Some(5);
     let first = run_loopback(&scenario, &events, config);
     assert!(!first.completed);
     assert_eq!(first.epochs_done, 5);
 
-    // Second incarnation: restores the snapshot, hands reconnecting
-    // agents their saved attachments, and resumes at epoch 5.
+    // Second incarnation: restores the newest generation, hands
+    // reconnecting agents their saved attachments, and resumes at
+    // epoch 5.
     let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
     config.noise_seed = NOISE_SEED;
-    config.snapshot_path = Some(snap_path.clone());
+    config.snapshot_dir = Some(snap_dir.clone());
     let second = run_loopback(&scenario, &events, config);
-    std::fs::remove_file(&snap_path).unwrap();
+    std::fs::remove_dir_all(&snap_dir).unwrap();
 
     assert!(second.completed);
     assert_eq!(second.epochs_done, events.len());
@@ -144,6 +145,66 @@ fn snapshot_restore_resumes_with_no_resolve_regression() {
     // run issues exactly as many directives as an uninterrupted one
     // (canonical() covers the directive count, but assert it explicitly
     // since it is the acceptance criterion).
+    assert_eq!(second.report.canonical(), reference.canonical());
+    assert_eq!(
+        second.report.outcome.directives,
+        reference.outcome.directives
+    );
+}
+
+/// The newest snapshot generation inside a store directory.
+fn newest_generation(dir: &std::path::Path) -> PathBuf {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|entry| {
+            let name = entry.unwrap().file_name().into_string().ok()?;
+            let generation: u64 = name
+                .strip_prefix("snapshot.")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((generation, dir.join(name)))
+        })
+        .max_by_key(|(generation, _)| *generation)
+        .expect("store has at least one generation")
+        .1
+}
+
+#[test]
+fn torn_newest_generation_rolls_back_and_still_matches_the_rig() {
+    let scenario = lab_scenario(23);
+    let mut events = join_all(7);
+    events.push(SessionEvent::Leave(0));
+    events.push(SessionEvent::Leave(6));
+    let reference = rig_reference(&scenario, ControllerPolicy::Wolt, &events);
+
+    let snap_dir: PathBuf =
+        std::env::temp_dir().join(format!("wolt-daemon-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.snapshot_dir = Some(snap_dir.clone());
+    config.stop_after = Some(6);
+    let first = run_loopback(&scenario, &events, config);
+    assert_eq!(first.epochs_done, 6);
+
+    // Simulate the crash the mid-write chaos point produces: the newest
+    // generation is torn in half. The restarted daemon must silently
+    // roll back one generation (epoch 5) and *replay* epoch 6 — and the
+    // replay must be byte-identical, because the snapshot carries
+    // complete decision state.
+    let newest = newest_generation(&snap_dir);
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.snapshot_dir = Some(snap_dir.clone());
+    let second = run_loopback(&scenario, &events, config);
+    std::fs::remove_dir_all(&snap_dir).unwrap();
+
+    assert!(second.completed);
     assert_eq!(second.report.canonical(), reference.canonical());
     assert_eq!(
         second.report.outcome.directives,

@@ -1,0 +1,319 @@
+//! Overload-protection tests for `wolt-daemon`: connection caps, inbox
+//! shedding, and read deadlines must each engage with *exact* counter
+//! evidence — and none of them may perturb the session's decisions.
+//!
+//! Timing discipline: every test synchronizes on observable daemon state
+//! (counters over the metrics wire, or the daemon closing a socket)
+//! rather than sleeps, so the exact counts asserted here are forced by
+//! the protocol, not by scheduling luck. The `linger` window doubles as
+//! a deterministic overload stage: the session loop is provably done
+//! driving events (the snapshot counter says so) and not yet draining
+//! its inbox, so whatever a flood client pushes in that window meets the
+//! cap head-on.
+
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use wolt_daemon::{run_agent, wire, Daemon, DaemonConfig, DaemonOutcome, Envelope};
+use wolt_sim::scenario::ScenarioConfig;
+use wolt_sim::Scenario;
+use wolt_support::obs;
+use wolt_support::rng::{ChaCha8Rng, SeedableRng};
+use wolt_testbed::protocol::ToController;
+use wolt_testbed::{
+    run_faulty_session, ControllerPolicy, FaultPlan, RigConfig, SessionEvent, SessionReport,
+};
+
+const NOISE_SEED: u64 = 7;
+
+/// Serializes the tests in this binary: the obs counters they assert on
+/// are process-global.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn lab_scenario(users: usize, seed: u64) -> Scenario {
+    let cfg = ScenarioConfig::lab(users);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Scenario::generate(&cfg, &mut rng).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wolt-overload-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Polls the daemon's metrics endpoint over its own control connection
+/// until `done` approves a snapshot. Returns the connection too — a
+/// caller racing against connection-slot accounting must keep it open
+/// (or drop it) explicitly rather than having it die at a random tick.
+fn poll_metrics_until(
+    addr: SocketAddr,
+    what: &str,
+    done: impl Fn(&obs::ObsSnapshot) -> bool,
+) -> (TcpStream, obs::ObsSnapshot) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(_) if Instant::now() < deadline => thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("could not reach the daemon: {e}"),
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    loop {
+        wire::send(&mut stream, &Envelope::MetricsRequest).expect("metrics request sends");
+        match wire::recv(&mut stream).expect("metrics reply arrives") {
+            Some(Envelope::Metrics { metrics }) => {
+                if done(&metrics) {
+                    return (stream, metrics);
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "daemon never reached the expected state ({what}); \
+                     last snapshot: {metrics:?}"
+                );
+                thread::sleep(Duration::from_millis(25));
+            }
+            other => panic!("expected a metrics reply, got {other:?}"),
+        }
+    }
+}
+
+fn rig_reference(
+    scenario: &Scenario,
+    policy: ControllerPolicy,
+    events: &[SessionEvent],
+) -> SessionReport {
+    run_faulty_session(
+        scenario,
+        &RigConfig::new(policy),
+        events,
+        NOISE_SEED,
+        &FaultPlan::none(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn over_cap_connections_get_a_typed_busy_reply_and_exact_rejection_counts() {
+    let _guard = lock();
+    let before = obs::snapshot();
+
+    // Capacity 2 exactly fits the one real agent plus the metrics
+    // poller's control connection; everything beyond that must bounce.
+    let scenario = lab_scenario(1, 31);
+    let snap_dir = temp_dir("busy");
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.max_connections = 2;
+    config.snapshot_dir = Some(snap_dir.clone());
+    config.linger = Duration::from_secs(4);
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        scenario.clone(),
+        vec![SessionEvent::Join(0)],
+        config,
+    )
+    .unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let agent = {
+        let scenario = scenario.clone();
+        thread::spawn(move || run_agent(addr, &scenario, 0, "laptop-0"))
+    };
+    let daemon = thread::spawn(move || daemon.run());
+
+    // The one snapshot save marks the session loop done driving events;
+    // the agent provably holds its slot until dismissal (post-linger),
+    // and the poller's connection stays open as the second slot-holder.
+    let rejected_before = before.counter("daemon.conns_rejected");
+    let (holder, _) = poll_metrics_until(addr, "one snapshot saved", |m| {
+        m.counter("daemon.snapshots") > before.counter("daemon.snapshots")
+    });
+
+    let mut rejected = Vec::new();
+    for _ in 0..3 {
+        let mut extra = TcpStream::connect(addr).unwrap();
+        extra
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        match wire::recv(&mut extra).unwrap() {
+            Some(Envelope::Busy { limit }) => {
+                assert_eq!(limit, 2, "busy reply advertises the configured cap")
+            }
+            other => panic!("expected a busy reply, got {other:?}"),
+        }
+        // The daemon hangs up after the busy reply.
+        assert!(wire::recv(&mut extra).unwrap().is_none());
+        rejected.push(extra);
+    }
+    drop(holder);
+
+    let outcome = daemon.join().unwrap().unwrap();
+    agent.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&snap_dir).unwrap();
+    assert!(outcome.completed);
+    let after = obs::snapshot();
+    assert_eq!(
+        after.counter("daemon.conns_rejected") - rejected_before,
+        3,
+        "exactly the three over-cap connections were rejected"
+    );
+}
+
+#[test]
+fn telemetry_flood_sheds_exactly_the_frames_beyond_the_inbox_cap() {
+    let _guard = lock();
+    let before = obs::snapshot();
+
+    // Two expected agents: one real, one a hand-rolled flood client that
+    // handshakes (so its frames reach the session inbox) but is never
+    // the subject of any event.
+    let scenario = lab_scenario(2, 47);
+    let n_ext = scenario.extender_positions.len();
+    let events = vec![SessionEvent::Join(0)];
+    let reference = rig_reference(&scenario, ControllerPolicy::Wolt, &events);
+    let snap_dir = temp_dir("shed");
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.inbox_cap = 4;
+    config.snapshot_dir = Some(snap_dir.clone());
+    config.linger = Duration::from_secs(4);
+    let daemon = Daemon::bind("127.0.0.1:0", scenario.clone(), events, config).unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let agent = {
+        let scenario = scenario.clone();
+        thread::spawn(move || run_agent(addr, &scenario, 0, "laptop-0"))
+    };
+    let daemon = thread::spawn(move || daemon.run());
+    let mut flooder = TcpStream::connect(addr).unwrap();
+    flooder
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    wire::send(
+        &mut flooder,
+        &Envelope::Hello {
+            client: 1,
+            name: "flooder".into(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        wire::recv(&mut flooder).unwrap(),
+        Some(Envelope::HelloAck { .. })
+    ));
+
+    // Session loop provably inside the linger window: its one event is
+    // snapshotted and it will not recv again until teardown. Everything
+    // pushed now meets the cap: 20 reports, 4 admitted, 16 shed.
+    let shed_before = before.counter("daemon.frames_shed");
+    let _ = poll_metrics_until(addr, "one snapshot saved", |m| {
+        m.counter("daemon.snapshots") > before.counter("daemon.snapshots")
+    });
+    for _ in 0..20 {
+        wire::send(
+            &mut flooder,
+            &Envelope::Ctrl(ToController::Report {
+                client: 1,
+                epoch: 99,
+                rates: vec![None; n_ext],
+                attached: 0,
+            }),
+        )
+        .unwrap();
+    }
+    // Wait on the counter itself: once 16 sheds are visible, the flood
+    // has fully landed and the count can no longer move (the teardown
+    // drain *consumes* the 4 admitted frames, it does not shed them).
+    let _ = poll_metrics_until(addr, "16 frames shed", |m| {
+        m.counter("daemon.frames_shed") >= shed_before + 16
+    });
+
+    let outcome: DaemonOutcome = daemon.join().unwrap().unwrap();
+    agent.join().unwrap().unwrap();
+    drop(flooder);
+    std::fs::remove_dir_all(&snap_dir).unwrap();
+
+    assert!(outcome.completed);
+    let after = obs::snapshot();
+    assert_eq!(
+        after.counter("daemon.frames_shed") - shed_before,
+        16,
+        "exactly the frames beyond the cap were shed"
+    );
+    // Shedding never touched the decision path: the flooded session's
+    // report is byte-identical to the clean in-process rig.
+    assert_eq!(outcome.report.canonical(), reference.canonical());
+}
+
+#[test]
+fn mid_frame_staller_is_deadlined_closed_and_counted_once() {
+    let _guard = lock();
+    let before = obs::snapshot();
+
+    let scenario = lab_scenario(1, 13);
+    let snap_dir = temp_dir("stall");
+    let mut config = DaemonConfig::new(ControllerPolicy::Wolt);
+    config.noise_seed = NOISE_SEED;
+    config.read_stall = Duration::from_millis(200);
+    config.snapshot_dir = Some(snap_dir.clone());
+    config.linger = Duration::from_secs(4);
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        scenario.clone(),
+        vec![SessionEvent::Join(0)],
+        config,
+    )
+    .unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let agent = {
+        let scenario = scenario.clone();
+        thread::spawn(move || run_agent(addr, &scenario, 0, "laptop-0"))
+    };
+    let daemon = thread::spawn(move || daemon.run());
+    let _ = poll_metrics_until(addr, "one snapshot saved", |m| {
+        m.counter("daemon.snapshots") > before.counter("daemon.snapshots")
+    });
+
+    // A connection that starts a frame and never finishes it: length
+    // prefix promising 16 bytes, then 4 bytes, then silence. An idle
+    // connection would be tolerated forever; a mid-frame stall must be
+    // killed at the deadline.
+    let mut staller = TcpStream::connect(addr).unwrap();
+    staller
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    {
+        use std::io::Write as _;
+        staller.write_all(&16u32.to_be_bytes()).unwrap();
+        staller.write_all(b"{\"t\"").unwrap();
+        staller.flush().unwrap();
+    }
+    // The daemon hangs up on us — that EOF is the deadline firing.
+    {
+        use std::io::Read as _;
+        let mut buf = [0u8; 16];
+        let n = staller.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "daemon should close the stalled connection");
+    }
+
+    let outcome = daemon.join().unwrap().unwrap();
+    agent.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&snap_dir).unwrap();
+    assert!(outcome.completed);
+    let after = obs::snapshot();
+    assert_eq!(
+        after.counter("daemon.read_timeouts") - before.counter("daemon.read_timeouts"),
+        1,
+        "the one mid-frame staller is counted exactly once"
+    );
+}
