@@ -34,7 +34,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use wolt_bench::{columns, f2, header, measured, percentile_sorted, row};
-use wolt_daemon::{run_agent, wire, Daemon, DaemonConfig, DaemonOutcome, Envelope};
+use wolt_daemon::{
+    run_agent, run_site_agent, wire, AgentRetry, Daemon, DaemonConfig, DaemonOutcome, Envelope,
+};
+use wolt_fleet::{Fleet, FleetConfig, SiteDef};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
 use wolt_support::json::{Json, ToJson};
@@ -239,6 +242,7 @@ fn overload_probe() -> (u64, u64) {
         &Envelope::Hello {
             client: 1,
             name: "flooder".into(),
+            site: None,
         },
     )
     .expect("flooder hello");
@@ -352,6 +356,101 @@ fn stall_probe() -> u64 {
     obs::snapshot().counter("daemon.read_timeouts") - before.counter("daemon.read_timeouts")
 }
 
+/// What the multi-site fleet run measured, destined for the report's
+/// `fleet` block: sustained throughput across all sites sharing one
+/// daemon, and each site's tail re-solve latency.
+struct FleetProbe {
+    sites: usize,
+    users_per_site: usize,
+    epochs: usize,
+    msgs_in: usize,
+    elapsed_ms: f64,
+    msgs_per_sec: f64,
+    per_site_p99_us: Vec<(String, f64)>,
+}
+
+/// Fleet mode: three churn sessions with distinct seeds and policies
+/// multiplexed behind one `Fleet`, one agent per (site, user). The
+/// per-site latencies come out of each site's own `DaemonOutcome`, so
+/// a slow neighbour site shows up only through genuine contention.
+fn fleet_probe(users: usize, cycles: usize) -> FleetProbe {
+    let site_recipes: [(&str, u64, ControllerPolicy); 3] = [
+        ("alpha", SCENARIO_SEED, ControllerPolicy::Wolt),
+        ("beta", SCENARIO_SEED + 1, ControllerPolicy::Greedy),
+        ("gamma", SCENARIO_SEED + 2, ControllerPolicy::Rssi),
+    ];
+    let events = churn_events(users, cycles);
+    let defs: Vec<SiteDef> = site_recipes
+        .iter()
+        .map(|&(id, seed, policy)| SiteDef {
+            id: id.to_string(),
+            scenario: probe_scenario(users, seed),
+            events: events.clone(),
+            policy,
+            noise_seed: NOISE_SEED,
+            stop_after: None,
+        })
+        .collect();
+    let scenarios: Vec<(String, Scenario)> = defs
+        .iter()
+        .map(|d| (d.id.clone(), d.scenario.clone()))
+        .collect();
+    let fleet =
+        Fleet::bind("127.0.0.1:0", defs, FleetConfig::default()).expect("fleet loopback bind");
+    let addr = fleet.local_addr().expect("bound address");
+    let agents: Vec<_> = scenarios
+        .iter()
+        .flat_map(|(site, scenario)| {
+            (0..users).map(|i| {
+                let site = site.clone();
+                let scenario = scenario.clone();
+                thread::spawn(move || {
+                    run_site_agent(
+                        addr,
+                        &scenario,
+                        &site,
+                        i,
+                        &format!("{site}-{i}"),
+                        &AgentRetry::default(),
+                    )
+                })
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let outcome = fleet.run().expect("fleet runs");
+    let elapsed = started.elapsed();
+    for handle in agents {
+        handle
+            .join()
+            .expect("agent thread")
+            .expect("agent exits cleanly");
+    }
+    assert!(outcome.all_completed(), "fleet probe must complete");
+
+    let mut epochs = 0;
+    let mut msgs_in = 0usize;
+    let mut per_site_p99_us = Vec::new();
+    for (id, result) in &outcome.sites {
+        let o = result.as_ref().expect("site outcome");
+        epochs += o.epochs_done;
+        msgs_in += o.stats.msgs_in;
+        let mut sorted = o.stats.resolve_latencies.clone();
+        sorted.sort();
+        per_site_p99_us.push((id.clone(), micros(percentile(&sorted, 99.0))));
+    }
+    let elapsed_s = elapsed.as_secs_f64();
+    FleetProbe {
+        sites: site_recipes.len(),
+        users_per_site: users,
+        epochs,
+        msgs_in,
+        elapsed_ms: elapsed_s * 1e3,
+        msgs_per_sec: msgs_in as f64 / elapsed_s,
+        per_site_p99_us,
+    }
+}
+
 fn chaos_probes(users: usize) -> ChaosProbe {
     let (recovery_ms, replayed_epochs, snapshot_rollbacks, canonical_match) = recovery_probe(users);
     let (busy_rejections, frames_shed) = overload_probe();
@@ -436,9 +535,29 @@ fn main() {
         f2(micros(max)),
     ]);
 
-    // Freeze the load run's observability snapshot before the chaos
-    // probes add their own traffic to the process-global counters.
+    // Freeze the load run's observability snapshot before the fleet and
+    // chaos probes add their own traffic to the process-global counters.
     let load_metrics = obs::snapshot();
+
+    // Fleet mode: the same churn, three sites behind one daemon.
+    let fleet = fleet_probe(users, cycles);
+    let mut fleet_cols = vec![
+        "fleet_sites".to_string(),
+        "fleet_epochs".to_string(),
+        "fleet_msgs_per_sec".to_string(),
+    ];
+    let mut fleet_row = vec![
+        fleet.sites.to_string(),
+        fleet.epochs.to_string(),
+        f2(fleet.msgs_per_sec),
+    ];
+    for (site, p99) in &fleet.per_site_p99_us {
+        fleet_cols.push(format!("{site}_resolve_p99_us"));
+        fleet_row.push(f2(*p99));
+    }
+    columns(&fleet_cols.iter().map(String::as_str).collect::<Vec<_>>());
+    row(&fleet_row);
+
     let chaos = chaos_probes(users);
     assert!(
         chaos.canonical_match,
@@ -489,6 +608,30 @@ fn main() {
         // controller decisions, solver work — counted before the chaos
         // probes touch the process-global counters.
         ("metrics", load_metrics.to_json()),
+        // Fleet mode: three sites (distinct seeds and policies) behind
+        // one daemon, same churn per site — sustained throughput across
+        // the fleet and every site's own tail re-solve latency.
+        (
+            "fleet",
+            Json::obj(vec![
+                ("sites", fleet.sites.to_json()),
+                ("users_per_site", fleet.users_per_site.to_json()),
+                ("epochs", fleet.epochs.to_json()),
+                ("msgs_in", fleet.msgs_in.to_json()),
+                ("elapsed_ms", fleet.elapsed_ms.to_json()),
+                ("msgs_per_sec", fleet.msgs_per_sec.to_json()),
+                (
+                    "per_site_resolve_p99_us",
+                    Json::Obj(
+                        fleet
+                            .per_site_p99_us
+                            .iter()
+                            .map(|(site, p99)| (site.clone(), p99.to_json()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         // The robustness surface, measured live: torn-store recovery,
         // inbox shedding, connection-cap rejections, read deadlines.
         (
@@ -513,6 +656,18 @@ fn main() {
         outcome.epochs_done,
         micros(p50),
         micros(p99),
+    ));
+    measured(&format!(
+        "fleet of {} sites sustained {:.0} msgs/s over {} epochs; per-site re-solve p99: {}",
+        fleet.sites,
+        fleet.msgs_per_sec,
+        fleet.epochs,
+        fleet
+            .per_site_p99_us
+            .iter()
+            .map(|(site, p99)| format!("{site} = {p99:.0} us"))
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     measured(&format!(
         "torn-store recovery in {:.0} ms ({} epochs replayed, {} rollback, byte-identical); \

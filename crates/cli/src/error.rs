@@ -85,7 +85,8 @@ impl From<wolt_daemon::DaemonError> for CliError {
             | D::Timeout { .. }
             | D::Protocol { .. }
             | D::GaveUp { .. }
-            | D::Busy { .. } => CliError::Net { message },
+            | D::Busy { .. }
+            | D::SiteGone { .. } => CliError::Net { message },
             _ => CliError::Library { message },
         }
     }

@@ -17,9 +17,10 @@ use wolt_cli::commands::{
     compare_with_threads, generate, solve_explained_with_threads, solve_with_threads, PolicyChoice,
     PresetChoice,
 };
-use wolt_cli::service::{self, ServeOptions};
+use wolt_cli::service::{self, FleetServeOptions, ServeOptions};
 use wolt_cli::spec::NetworkSpec;
 use wolt_cli::CliError;
+use wolt_daemon::wire::{FleetOp, SiteSpec};
 use wolt_support::json::ToJson;
 
 const USAGE: &str = "\
@@ -30,7 +31,12 @@ USAGE:
   wolt solve    --input FILE [--policy <wolt|greedy|selfish|rssi|optimal|random>] [--seed S] [--threads T] [--explain true] [--output FILE]
   wolt compare  --input FILE [--seed S] [--threads T]
   wolt serve    --addr HOST:PORT [--preset P] [--users N] [--seed S] [--policy <wolt|greedy|rssi>] [--noise-seed S] [--snapshot DIR] [--addr-file FILE] [--metrics-out FILE] [--linger-ms MS] [--output FILE]
-  wolt agent    --addr HOST:PORT --client I [--preset P] [--users N] [--seed S] [--name NAME]
+  wolt serve    --addr HOST:PORT --sites SPEC.json [--shards T] [--snapshot DIR] [--addr-file FILE] [--metrics-out FILE] [--linger-ms MS] [--output FILE]
+  wolt agent    --addr HOST:PORT --client I [--site ID] [--preset P] [--users N] [--seed S] [--name NAME]
+  wolt fleet status --addr HOST:PORT [--output FILE]
+  wolt fleet drain  --addr HOST:PORT --site ID
+  wolt fleet remove --addr HOST:PORT --site ID
+  wolt fleet add    --addr HOST:PORT --site ID --preset P --users N --seed S [--policy P] [--stop-after N]
   wolt metrics  --addr HOST:PORT [--output FILE]
   wolt chaos    --workdir DIR [--preset P] [--users N] [--seed S] [--policy P] [--noise-seed S] [--chaos-seed S] [--point NAME] [--max-restarts N] [--output FILE]
 
@@ -54,7 +60,17 @@ chaos sweeps the daemon's crash-point catalogue: for each point it
 spawns a real `wolt serve` child armed (via WOLT_CRASH) with a seeded
 CrashPlan, lets the plan abort it mid-write, restarts it unarmed against
 the same --snapshot store, and fails unless every recovered session's
-canonical report is byte-identical to an uncrashed baseline run.";
+canonical report is byte-identical to an uncrashed baseline run.
+
+serve --sites runs a multi-site fleet: every site in the spec file gets
+its own controller session behind the one address, stepped on --shards
+threads (default WOLT_THREADS). Agents pick their segment with
+`agent --site ID` (the spec's per-site preset/users/seed must match the
+agent's flags). --snapshot becomes the fleet root: each site persists
+under <DIR>/<ID>/. The fleet verbs drive a live fleet over the wire:
+status lists every site, drain stops routing new agents to a site and
+lets it finish and persist, remove additionally forgets it, add boots a
+new site without restarting the daemon.";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1)) {
@@ -70,7 +86,22 @@ fn main() -> ExitCode {
 }
 
 fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
+    let mut args: Vec<String> = args.into_iter().collect();
+    // `fleet` carries a sub-verb (`wolt fleet drain --addr …`); lift it
+    // out before the flag parser, which allows no positionals.
+    let mut fleet_verb = None;
+    if args.first().map(String::as_str) == Some("fleet") {
+        if args.len() < 2 || args[1].starts_with('-') {
+            return Err(CliError::Usage {
+                message: "fleet needs a verb: status | drain | remove | add".into(),
+            });
+        }
+        fleet_verb = Some(args.remove(1));
+    }
     let parsed = ParsedArgs::parse(args)?;
+    if let Some(verb) = fleet_verb {
+        return run_fleet_verb(&verb, &parsed);
+    }
     match parsed.command.as_str() {
         "generate" => {
             let preset = PresetChoice::parse(parsed.require("preset")?)?;
@@ -117,6 +148,30 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "serve" if parsed.get("sites").is_some() => {
+            for single_only in ["users", "preset", "seed", "policy", "noise-seed"] {
+                if parsed.get(single_only).is_some() {
+                    return Err(CliError::Usage {
+                        message: format!(
+                            "--sites and --{single_only} do not combine; per-site settings \
+                             live in the spec file"
+                        ),
+                    });
+                }
+            }
+            let opts = FleetServeOptions {
+                addr: parsed.require("addr")?.to_string(),
+                sites: parsed.require("sites")?.into(),
+                shards: parsed.get_parsed_or("shards", 0usize)?,
+                snapshot: parsed.get("snapshot").map(Into::into),
+                addr_file: parsed.get("addr-file").map(Into::into),
+                metrics_out: parsed.get("metrics-out").map(Into::into),
+                linger: std::time::Duration::from_millis(parsed.get_parsed_or("linger-ms", 0u64)?),
+            };
+            let text = service::serve_fleet(&opts)?;
+            emit(&text, parsed.get("output"))?;
+            Ok(())
+        }
         "serve" => {
             let opts = ServeOptions {
                 addr: parsed.require("addr")?.to_string(),
@@ -147,6 +202,7 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
                         message: "--client must be a user index".into(),
                     })?,
                 parsed.get("name").unwrap_or("agent"),
+                parsed.get("site"),
             )?;
             eprintln!("{summary}");
             Ok(())
@@ -178,6 +234,51 @@ fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
         }
         other => Err(CliError::Usage {
             message: format!("unknown subcommand {other:?}"),
+        }),
+    }
+}
+
+/// Dispatches `wolt fleet <verb>` against a live fleet daemon.
+fn run_fleet_verb(verb: &str, parsed: &ParsedArgs) -> Result<(), CliError> {
+    let addr = parsed.require("addr")?;
+    match verb {
+        "status" => {
+            let text = service::fleet_status(addr)?;
+            emit(&text, parsed.get("output"))?;
+            Ok(())
+        }
+        "drain" => {
+            let site = parsed.require("site")?.to_string();
+            eprintln!("{}", service::fleet_mutate(addr, &FleetOp::Drain { site })?);
+            Ok(())
+        }
+        "remove" => {
+            let site = parsed.require("site")?.to_string();
+            eprintln!(
+                "{}",
+                service::fleet_mutate(addr, &FleetOp::Remove { site })?
+            );
+            Ok(())
+        }
+        "add" => {
+            let spec = SiteSpec {
+                id: parsed.require("site")?.to_string(),
+                preset: parsed.require("preset")?.to_string(),
+                users: parsed
+                    .require("users")?
+                    .parse()
+                    .map_err(|_| CliError::Usage {
+                        message: "--users must be a positive integer".into(),
+                    })?,
+                seed: parsed.get_parsed_or("seed", 0u64)?,
+                policy: parsed.get("policy").unwrap_or("wolt").to_string(),
+                stop_after: parsed.get_parsed::<usize>("stop-after")?,
+            };
+            eprintln!("{}", service::fleet_mutate(addr, &FleetOp::Add { spec })?);
+            Ok(())
+        }
+        other => Err(CliError::Usage {
+            message: format!("unknown fleet verb {other:?} (try status | drain | remove | add)"),
         }),
     }
 }

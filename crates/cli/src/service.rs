@@ -10,7 +10,9 @@ use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use wolt_daemon::{run_agent, wire, Daemon, DaemonConfig, Envelope};
+use wolt_daemon::wire::FleetOp;
+use wolt_daemon::{run_agent, run_site_agent, wire, AgentRetry, Daemon, DaemonConfig, Envelope};
+use wolt_fleet::{Fleet, FleetConfig, FleetSpec};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
 use wolt_support::json::{Json, ToJson};
@@ -118,6 +120,133 @@ pub fn serve(opts: &ServeOptions) -> Result<String, CliError> {
     Ok(json.to_pretty())
 }
 
+/// Everything `wolt serve --sites` needs, parsed off the command line.
+#[derive(Debug, Clone)]
+pub struct FleetServeOptions {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Path to the fleet spec file (`{"sites": [...]}`).
+    pub sites: PathBuf,
+    /// Shard threads (`0` resolves like `--threads`: `WOLT_THREADS`,
+    /// then the machine's parallelism).
+    pub shards: usize,
+    /// Fleet snapshot root; each site persists under `<root>/<id>/`.
+    pub snapshot: Option<PathBuf>,
+    /// File to write the bound address to, for scripts that pass port 0.
+    pub addr_file: Option<PathBuf>,
+    /// File to dump the final metrics snapshot to once the fleet ends.
+    pub metrics_out: Option<PathBuf>,
+    /// Listener grace period after the last site finishes.
+    pub linger: Duration,
+}
+
+/// Boots a multi-site fleet from a spec file, runs every site to
+/// completion (or drain), and returns per-site results as pretty JSON:
+/// `{"sites": {id: {completed, epochs_done, canonical} | {error}}}`.
+///
+/// # Errors
+///
+/// [`CliError::Io`] when the spec file cannot be read;
+/// [`CliError::Net`]/[`CliError::Library`] for bind and startup
+/// failures (per-site *session* failures land in the JSON instead).
+pub fn serve_fleet(opts: &FleetServeOptions) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(&opts.sites)?;
+    let spec = FleetSpec::parse(&text)?;
+    let defs = spec.materialize()?;
+    let n_sites = defs.len();
+    let config = FleetConfig {
+        shards: opts.shards,
+        snapshot_root: opts.snapshot.clone(),
+        linger: opts.linger,
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::bind(opts.addr.as_str(), defs, config)?;
+    let bound = fleet.local_addr()?;
+    if let Some(path) = &opts.addr_file {
+        std::fs::write(path, format!("{bound}\n"))?;
+    }
+    eprintln!("wolt-fleet listening on {bound} ({n_sites} sites)");
+    let outcome = fleet.run()?;
+    if let Some(path) = &opts.metrics_out {
+        write_atomic(path, &obs::snapshot().to_json().to_pretty())?;
+        eprintln!("wrote metrics to {}", path.display());
+    }
+    let sites: Vec<(String, Json)> = outcome
+        .sites
+        .iter()
+        .map(|(id, result)| {
+            let body = match result {
+                Ok(o) => Json::obj(vec![
+                    ("completed", o.completed.to_json()),
+                    ("epochs_done", o.epochs_done.to_json()),
+                    ("canonical", o.report.canonical().to_json()),
+                ]),
+                Err(e) => Json::obj(vec![("error", e.to_string().to_json())]),
+            };
+            (id.clone(), body)
+        })
+        .collect();
+    let json = Json::obj(vec![("sites", Json::Obj(sites))]);
+    Ok(json.to_pretty())
+}
+
+/// Queries a running fleet's site registry and returns it as pretty
+/// JSON.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the fleet cannot be reached or answers with
+/// the wrong envelope.
+pub fn fleet_status(addr: &str) -> Result<String, CliError> {
+    match fleet_roundtrip(addr, &FleetOp::Status)? {
+        Envelope::FleetStatus { sites } => Ok(sites.to_json().to_pretty()),
+        other => Err(CliError::Net {
+            message: format!("unexpected reply to fleet status: {other:?}"),
+        }),
+    }
+}
+
+/// Sends one fleet mutation (`drain` / `remove` / `add`) and returns
+/// the acknowledgement line.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the fleet cannot be reached or the operation
+/// is refused (the refusal detail is in the message).
+pub fn fleet_mutate(addr: &str, op: &FleetOp) -> Result<String, CliError> {
+    match fleet_roundtrip(addr, op)? {
+        Envelope::FleetAck {
+            op, site, ok: true, ..
+        } => Ok(format!("fleet {op} {site}: ok")),
+        Envelope::FleetAck {
+            op,
+            site,
+            ok: false,
+            detail,
+        } => Err(CliError::Net {
+            message: format!("fleet {op} {site} refused: {detail}"),
+        }),
+        other => Err(CliError::Net {
+            message: format!("unexpected reply to fleet op: {other:?}"),
+        }),
+    }
+}
+
+/// One control round-trip: connect, send the op, read the reply.
+fn fleet_roundtrip(addr: &str, op: &FleetOp) -> Result<Envelope, CliError> {
+    let net = |message: String| CliError::Net { message };
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| net(format!("connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| net(format!("configure socket: {e}")))?;
+    wire::send(&mut stream, &Envelope::Fleet(op.clone()))
+        .map_err(|e| net(format!("send fleet op: {e}")))?;
+    wire::recv(&mut stream)
+        .map_err(|e| net(format!("read fleet reply: {e}")))?
+        .ok_or_else(|| net("fleet closed the connection without a reply".into()))
+}
+
 /// Writes `text` to `path` via a sibling temp file and a rename, so a
 /// reader never observes a partial dump.
 fn write_atomic(path: &Path, text: &str) -> Result<(), CliError> {
@@ -157,12 +286,14 @@ pub fn metrics(addr: &str) -> Result<String, CliError> {
 }
 
 /// Connects one agent to a running daemon and serves the session; the
-/// returned line summarizes what the agent did.
+/// returned line summarizes what the agent did. With `site`, the hello
+/// names that fleet site, and a `site_gone` refusal (drained, removed,
+/// or never hosted) fails fast instead of retrying.
 ///
 /// # Errors
 ///
-/// [`CliError::Net`] when the daemon cannot be reached or the connection
-/// drops mid-session.
+/// [`CliError::Net`] when the daemon cannot be reached, the connection
+/// drops mid-session, or the named site is gone.
 pub fn agent(
     addr: &str,
     preset: PresetChoice,
@@ -170,9 +301,13 @@ pub fn agent(
     seed: u64,
     client: usize,
     name: &str,
+    site: Option<&str>,
 ) -> Result<String, CliError> {
     let scenario = scenario_for(preset, users, seed)?;
-    let outcome = run_agent(addr, &scenario, client, name)?;
+    let outcome = match site {
+        Some(site) => run_site_agent(addr, &scenario, site, client, name, &AgentRetry::default())?,
+        None => run_agent(addr, &scenario, client, name)?,
+    };
     Ok(format!(
         "agent {client} ({name}) done: attached={} directives_applied={}",
         outcome
@@ -237,7 +372,7 @@ mod tests {
         let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = probe.local_addr().unwrap().to_string();
         drop(probe);
-        let err = agent(&addr, PresetChoice::Lab, 7, 1, 0, "lonely").unwrap_err();
+        let err = agent(&addr, PresetChoice::Lab, 7, 1, 0, "lonely", None).unwrap_err();
         assert!(
             matches!(err, CliError::Net { .. }),
             "expected CliError::Net, got {err:?}"
@@ -246,7 +381,7 @@ mod tests {
 
     #[test]
     fn agent_with_out_of_range_client_is_not_a_net_error() {
-        let err = agent("127.0.0.1:1", PresetChoice::Lab, 7, 1, 99, "ghost").unwrap_err();
+        let err = agent("127.0.0.1:1", PresetChoice::Lab, 7, 1, 99, "ghost", None).unwrap_err();
         assert!(matches!(err, CliError::Library { .. }));
     }
 }

@@ -87,6 +87,7 @@ fn connect_once(
     addr: &impl ToSocketAddrs,
     client: usize,
     name: &str,
+    site: Option<&str>,
 ) -> Result<(TcpStream, Option<usize>), ConnectFailure> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| ConnectFailure::Retryable(format!("connect: {e}")))?;
@@ -96,6 +97,7 @@ fn connect_once(
         &Envelope::Hello {
             client,
             name: name.to_string(),
+            site: site.map(str::to_string),
         },
     )
     .map_err(|e| ConnectFailure::Retryable(format!("handshake send: {e}")))?;
@@ -104,6 +106,11 @@ fn connect_once(
         Ok(Some(Envelope::Busy { limit })) => Err(ConnectFailure::Retryable(
             DaemonError::Busy { limit }.to_string(),
         )),
+        // A drained or removed site never comes back under this address:
+        // retrying would spin against the refusal forever.
+        Ok(Some(Envelope::SiteGone { site })) => {
+            Err(ConnectFailure::Fatal(DaemonError::SiteGone { site }))
+        }
         Ok(other) => Err(ConnectFailure::Fatal(DaemonError::Protocol {
             context: format!("expected hello_ack, got {other:?}"),
         })),
@@ -135,6 +142,30 @@ pub fn run_agent(
     run_agent_with(addr, scenario, client, name, &AgentRetry::default())
 }
 
+/// Runs one agent against a *fleet*: identical to [`run_agent_with`],
+/// but the hello names `site`, so a multi-site daemon can route the
+/// connection to the segment that owns this client. A site-less hello
+/// ([`run_agent`]/[`run_agent_with`]) and a single-site daemon remain
+/// byte-compatible with each other; use this entry point only when the
+/// server is a fleet.
+///
+/// # Errors
+///
+/// As [`run_agent_with`], plus [`DaemonError::SiteGone`] when the fleet
+/// does not host (or no longer hosts) `site` — fatal, not retried,
+/// because a drained or removed site never comes back under the same
+/// address.
+pub fn run_site_agent(
+    addr: impl ToSocketAddrs,
+    scenario: &Scenario,
+    site: &str,
+    client: usize,
+    name: &str,
+    retry: &AgentRetry,
+) -> Result<AgentOutcome, DaemonError> {
+    run_agent_sited(addr, scenario, Some(site), client, name, retry)
+}
+
 /// Runs one agent to completion: connect (with `retry`'s bounded
 /// backoff), handshake, then serve join/leave commands and directives
 /// until the daemon dismisses it. A connection lost mid-session —
@@ -159,6 +190,19 @@ pub fn run_agent_with(
     name: &str,
     retry: &AgentRetry,
 ) -> Result<AgentOutcome, DaemonError> {
+    run_agent_sited(addr, scenario, None, client, name, retry)
+}
+
+/// The shared agent loop behind [`run_agent_with`] (site-less) and
+/// [`run_site_agent`] (sited).
+fn run_agent_sited(
+    addr: impl ToSocketAddrs,
+    scenario: &Scenario,
+    site: Option<&str>,
+    client: usize,
+    name: &str,
+    retry: &AgentRetry,
+) -> Result<AgentOutcome, DaemonError> {
     let n_users = scenario.user_positions.len();
     let n_ext = scenario.extender_positions.len();
     if client >= n_users {
@@ -176,7 +220,7 @@ pub fn run_agent_with(
         let mut connected = None;
         let mut last_error = String::new();
         for attempt in 1..=attempts {
-            match connect_once(&addr, client, name) {
+            match connect_once(&addr, client, name, site) {
                 Ok(ok) => {
                     connected = Some(ok);
                     break;

@@ -28,15 +28,11 @@ pub enum DaemonError {
         /// Human-readable description.
         context: String,
     },
-    /// Snapshot generations exist on disk but none verifies — restoring
-    /// would either lose acknowledged state or load garbage, so the
-    /// operator must decide (delete the store for a cold start, or
-    /// repair it). A *partially* damaged store is not an error: load
-    /// falls back to the newest generation that verifies.
-    SnapshotCorrupt {
-        /// The store directory and every generation's damage.
-        context: String,
-    },
+    /// The snapshot store cannot be restored from; see
+    /// [`SnapshotCorrupt`] for the typed reasons. A *partially* damaged
+    /// store is not an error: load falls back to the newest generation
+    /// that verifies.
+    SnapshotCorrupt(SnapshotCorrupt),
     /// A bounded retry loop exhausted its attempts (e.g. the agent's
     /// reconnect backoff) without success.
     GaveUp {
@@ -53,6 +49,59 @@ pub enum DaemonError {
         /// The daemon's configured connection limit.
         limit: u64,
     },
+    /// The daemon does not host (or no longer hosts) the site this
+    /// agent's hello named — the wire's typed `site_gone` reply. Fatal
+    /// for the agent: a drained or removed site never comes back under
+    /// this address, so the reconnect loop must not retry it.
+    SiteGone {
+        /// The site the hello named (empty when the hello named none).
+        site: String,
+    },
+}
+
+/// Why a snapshot store refused to restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotCorrupt {
+    /// Snapshot generations exist on disk but none verifies — restoring
+    /// would either lose acknowledged state or load garbage, so the
+    /// operator must decide (delete the store for a cold start, or
+    /// repair it).
+    AllInvalid {
+        /// The store directory and every generation's damage.
+        context: String,
+    },
+    /// A generation verified (intact magic, framing, checksum) but its
+    /// header stamps a *different* site id: the directory holds another
+    /// site's snapshots — a mis-wired fleet root, not bit rot. Loading
+    /// it would silently adopt another segment's controller state, so
+    /// this refuses immediately (no fallback to older generations,
+    /// which would be equally foreign).
+    WrongSite {
+        /// The store directory.
+        dir: String,
+        /// The site this store was opened for.
+        expected: String,
+        /// The site stamped in the snapshot header.
+        found: String,
+    },
+}
+
+impl fmt::Display for SnapshotCorrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotCorrupt::AllInvalid { context } => {
+                write!(f, "snapshot store unrecoverable: {context}")
+            }
+            SnapshotCorrupt::WrongSite {
+                dir,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot store {dir} belongs to site {found:?}, not {expected:?}"
+            ),
+        }
+    }
 }
 
 impl fmt::Display for DaemonError {
@@ -65,9 +114,7 @@ impl fmt::Display for DaemonError {
                 write!(f, "deadline expired waiting for {waiting_for}")
             }
             DaemonError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
-            DaemonError::SnapshotCorrupt { context } => {
-                write!(f, "snapshot store unrecoverable: {context}")
-            }
+            DaemonError::SnapshotCorrupt(reason) => write!(f, "{reason}"),
             DaemonError::GaveUp {
                 attempting,
                 attempts,
@@ -78,6 +125,9 @@ impl fmt::Display for DaemonError {
             ),
             DaemonError::Busy { limit } => {
                 write!(f, "daemon is at its connection cap ({limit})")
+            }
+            DaemonError::SiteGone { site } => {
+                write!(f, "site {site:?} is not hosted here (drained or removed)")
             }
         }
     }
@@ -127,6 +177,16 @@ mod tests {
             waiting_for: "agent 3 to connect".into(),
         };
         assert!(e.to_string().contains("agent 3"));
+        let e = DaemonError::SiteGone {
+            site: "floor-3".into(),
+        };
+        assert!(e.to_string().contains("floor-3"));
+        let e = DaemonError::SnapshotCorrupt(SnapshotCorrupt::WrongSite {
+            dir: "/tmp/fleet/alpha".into(),
+            expected: "alpha".into(),
+            found: "beta".into(),
+        });
+        assert!(e.to_string().contains("beta"));
     }
 
     #[test]

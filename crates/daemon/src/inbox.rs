@@ -25,6 +25,11 @@ use std::time::{Duration, Instant};
 
 use wolt_support::obs;
 
+/// The receiver hung up: the session loop is gone and the message was
+/// not enqueued (mirroring `mpsc::SendError`, minus the payload).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError;
+
 struct State<T> {
     queue: VecDeque<(bool, T)>,
     senders: usize,
@@ -42,7 +47,7 @@ struct Shared<T> {
 
 /// Creates a bounded inbox. `cap == 0` means unbounded; `sheddable`
 /// classifies entries the shed policy may drop.
-pub(crate) fn channel<T>(cap: usize, sheddable: fn(&T) -> bool) -> (InboxSender<T>, Inbox<T>) {
+pub fn channel<T>(cap: usize, sheddable: fn(&T) -> bool) -> (InboxSender<T>, Inbox<T>) {
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             queue: VecDeque::new(),
@@ -62,19 +67,19 @@ pub(crate) fn channel<T>(cap: usize, sheddable: fn(&T) -> bool) -> (InboxSender<
 }
 
 /// The producer half; clonable, one per reader task.
-pub(crate) struct InboxSender<T> {
+pub struct InboxSender<T> {
     shared: Arc<Shared<T>>,
 }
 
 impl<T> InboxSender<T> {
     /// Enqueues `msg`, applying the shed policy when the queue is at
-    /// capacity. `Err(())` means the receiver is gone (mirroring
+    /// capacity. `Err(SendError)` means the receiver is gone (mirroring
     /// `mpsc::Sender::send`); `Ok(shed)` reports whether an entry was
     /// shed to admit (or in place of) this message.
-    pub(crate) fn send(&self, msg: T) -> Result<bool, ()> {
+    pub fn send(&self, msg: T) -> Result<bool, SendError> {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         if !state.receiver_alive {
-            return Err(());
+            return Err(SendError);
         }
         let msg_sheddable = (self.shared.sheddable)(&msg);
         let mut shed = false;
@@ -128,7 +133,7 @@ impl<T> Drop for InboxSender<T> {
 }
 
 /// The consumer half (the session loop).
-pub(crate) struct Inbox<T> {
+pub struct Inbox<T> {
     shared: Arc<Shared<T>>,
 }
 
@@ -137,7 +142,7 @@ impl<T> Inbox<T> {
     /// mirror `mpsc::Receiver::recv_timeout`: `Timeout` when the window
     /// expires, `Disconnected` when every sender is gone and the queue
     /// is drained.
-    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -254,7 +259,7 @@ mod tests {
     fn send_after_receiver_drop_errors() {
         let (tx, rx) = channel::<u32>(0, odd_is_sheddable);
         drop(rx);
-        assert_eq!(tx.send(1), Err(()));
+        assert_eq!(tx.send(1), Err(SendError));
     }
 
     #[test]

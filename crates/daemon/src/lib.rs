@@ -26,16 +26,18 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod engine;
+pub mod inbox;
 pub mod server;
 pub mod snapshot;
 pub mod store;
 pub mod wire;
 
 mod error;
-mod inbox;
 
-pub use agent::{run_agent, run_agent_with, AgentOutcome, AgentRetry};
-pub use error::DaemonError;
+pub use agent::{run_agent, run_agent_with, run_site_agent, AgentOutcome, AgentRetry};
+pub use engine::{EngineStep, Incoming, SessionEngine};
+pub use error::{DaemonError, SnapshotCorrupt};
 pub use server::{Daemon, DaemonConfig, DaemonOutcome, DaemonStats};
 pub use snapshot::DaemonSnapshot;
 pub use store::SnapshotStore;

@@ -8,27 +8,32 @@
 //! speak exactly the [`wolt_testbed::protocol`] messages the rig speaks —
 //! while every *decision* (planning, sequencing, epoch dedup,
 //! declared-dead bookkeeping) stays in the shared
-//! [`ControllerCore`]. Because both transports drive the same core with
-//! the same inputs in the same order, a clean TCP session produces a
-//! [`SessionReport`] whose canonical rendering is byte-identical to the
-//! in-process run for the same scenario, seed, and policy.
+//! [`wolt_testbed::ControllerCore`]. Because both transports drive the
+//! same core with the same inputs in the same order, a clean TCP session
+//! produces a [`SessionReport`] whose canonical rendering is
+//! byte-identical to the in-process run for the same scenario, seed, and
+//! policy.
 //!
 //! # Concurrency
 //!
-//! One reader task per connection (on a [`TaskPool`]) parses frames and
-//! forwards them into a single bounded [`inbox`](crate::inbox) queue;
-//! the session loop is the only thread that touches the
-//! [`ControllerCore`] or writes to agent sockets. The accept loop runs
-//! on its own thread with a nonblocking listener so shutdown is prompt.
+//! One reader task per connection (on a [`wolt_support::pool::TaskPool`])
+//! parses frames and forwards them into a single bounded
+//! [`inbox`](crate::inbox) queue; the session loop — a
+//! [`SessionEngine`](crate::engine::SessionEngine) stepped by this one
+//! thread — is the only code that touches the controller core or writes
+//! to agent sockets. The accept loop runs on its own thread with a
+//! nonblocking listener so shutdown is prompt. (`Daemon` is exactly a
+//! one-engine fleet: `wolt_fleet` steps many of these engines on shared
+//! shard threads.)
 //!
 //! # Persistence
 //!
 //! After every completed epoch the daemon snapshots its full state (see
-//! [`DaemonSnapshot`]) through the generational
-//! [`SnapshotStore`](crate::store::SnapshotStore): each save is a fresh
-//! checksummed `snapshot.<gen>.json` in `snapshot_dir`, and restore
-//! rolls back over torn or corrupt generations to the newest one that
-//! verifies. A restarted daemon restores that snapshot, hands each
+//! [`DaemonSnapshot`](crate::snapshot::DaemonSnapshot)) through the
+//! generational [`SnapshotStore`](crate::store::SnapshotStore): each save
+//! is a fresh checksummed `snapshot.<gen>.json` in `snapshot_dir`, and
+//! restore rolls back over torn or corrupt generations to the newest one
+//! that verifies. A restarted daemon restores that snapshot, hands each
 //! reconnecting agent its saved attachment in the handshake (the radio
 //! association outlives the controller process), and resumes at the
 //! saved epoch — issuing no extra directives for work already done.
@@ -44,69 +49,24 @@
 //! at `inbox_cap` entries, shedding the oldest queued telemetry first —
 //! never acks or lifecycle messages (`daemon.frames_shed`).
 
-use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::RecvTimeoutError;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_sim::Scenario;
-use wolt_support::pool::TaskPool;
-use wolt_support::rng::{ChaCha8Rng, SeedableRng};
-use wolt_support::{crash_point, obs};
-use wolt_testbed::codec::ReadPatience;
-use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
-use wolt_testbed::{
-    assemble_report, ControllerConfig, ControllerCore, ControllerPolicy, Deadlines, Directive,
-    SessionEvent, SessionLedger, SessionReport, TestbedError,
-};
-use wolt_units::Mbps;
+use wolt_support::obs;
+use wolt_testbed::{ControllerPolicy, Deadlines, SessionEvent, SessionReport};
 
-use crate::inbox::{self, Inbox, InboxSender};
-use crate::snapshot::DaemonSnapshot;
-use crate::store::{self, SnapshotStore};
+use crate::engine::{self, EngineStep, HelloDecision, Incoming, SessionEngine};
+use crate::store;
 use crate::wire::{self, Envelope};
 use crate::DaemonError;
 
-/// Crash point after an epoch's event completed but before its snapshot
-/// is written: the restarted daemon replays the whole event.
-pub const CRASH_PRE_SNAPSHOT: &str = "daemon.epoch.pre_snapshot";
-
-/// Crash point right after an epoch's snapshot is durable: the restarted
-/// daemon resumes at the next event with zero replay.
-pub const CRASH_POST_SNAPSHOT: &str = "daemon.epoch.post_snapshot";
-
-/// The polling tick used when `read_stall` arms patient reads: the
-/// socket read timeout under the stall budget.
-const READ_TICK: Duration = Duration::from_millis(25);
-
-/// Wire-traffic counters, cached: the reader tasks account every frame
-/// and byte that crosses the daemon's sockets, in both directions.
-fn note_frame_in(bytes: usize) {
-    static FRAMES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
-    static BYTES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
-    FRAMES
-        .get_or_init(|| obs::counter("daemon.frames_in"))
-        .inc();
-    BYTES
-        .get_or_init(|| obs::counter("daemon.bytes_in"))
-        .add(bytes as u64);
-}
-
-fn note_frame_out(bytes: usize) {
-    static FRAMES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
-    static BYTES: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
-    FRAMES
-        .get_or_init(|| obs::counter("daemon.frames_out"))
-        .inc();
-    BYTES
-        .get_or_init(|| obs::counter("daemon.bytes_out"))
-        .add(bytes as u64);
-}
+pub use crate::engine::{CRASH_POST_SNAPSHOT, CRASH_PRE_SNAPSHOT};
 
 /// Daemon configuration beyond the scenario and event list.
 #[derive(Debug, Clone)]
@@ -210,33 +170,6 @@ pub struct DaemonOutcome {
     pub stats: DaemonStats,
 }
 
-/// Whether the inbox shed policy may drop a queued message under
-/// pressure: only telemetry (scan reports), which the harness's
-/// retransmission schedule recovers. Acks and lifecycle messages are
-/// load-bearing — dropping one would wedge a transaction or the session.
-fn incoming_sheddable(msg: &Incoming) -> bool {
-    matches!(msg, Incoming::Msg(ToController::Report { .. }))
-}
-
-/// Everything a reader task can feed the session loop.
-enum Incoming {
-    /// A connection completed its handshake for `client`.
-    Register { client: usize, writer: TcpStream },
-    /// A protocol message from a registered agent.
-    Msg(ToController),
-    /// An operator asked the daemon to stop.
-    Stop { reason: String },
-    /// A registered agent's connection ended.
-    Gone { client: usize },
-}
-
-/// How one driven event ended.
-enum EventEnd {
-    Completed,
-    Unresponsive,
-    Stopped,
-}
-
 /// The Central Controller as a TCP server.
 pub struct Daemon {
     listener: TcpListener,
@@ -297,756 +230,123 @@ impl Daemon {
     /// [`DaemonError::Io`] for socket failures.
     pub fn run(self) -> Result<DaemonOutcome, DaemonError> {
         let n_users = self.scenario.user_positions.len();
-
-        // Offline capacity estimation — identical to the rig's.
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.noise_seed);
-        let estimated: Vec<Mbps> = self
-            .scenario
-            .capacities
-            .iter()
-            .map(|&c| self.config.estimator.estimate(c, &mut rng))
-            .collect::<Result<_, _>>()
-            .map_err(|e| {
-                DaemonError::from(TestbedError::Layer {
-                    context: format!("capacity estimation: {e}"),
-                })
-            })?;
-        let core_config = ControllerConfig {
-            policy: self.config.policy,
-            estimated_capacities: estimated,
-            strict: false,
-        };
-
-        // Cold start or snapshot restore. The store falls back over torn
-        // or corrupt generations by itself; only an unrecoverable store
-        // (every generation damaged) errors out.
-        let mut snapshot_store = match &self.config.snapshot_dir {
-            Some(dir) => Some(SnapshotStore::open(dir, self.config.snapshot_keep)?),
-            None => None,
-        };
-        let restored = match &snapshot_store {
-            Some(store) => store.load()?.map(|(_generation, snap)| snap),
-            None => None,
-        };
-        let (core, mut epochs_done, mut present, mut unresponsive, mut initial_attach, retries) =
-            match restored {
-                Some(snap) => {
-                    if snap.present.len() != n_users {
-                        return Err(DaemonError::Protocol {
-                            context: "snapshot is for a different scenario size".into(),
-                        });
-                    }
-                    let core = ControllerCore::restore(core_config, snap.core)?;
-                    (
-                        core,
-                        snap.epochs_done,
-                        snap.present,
-                        snap.unresponsive,
-                        snap.initial_attach,
-                        snap.retries,
-                    )
-                }
-                None => (
-                    ControllerCore::new(n_users, core_config),
-                    0,
-                    vec![false; n_users],
-                    vec![false; n_users],
-                    vec![None; n_users],
-                    0,
-                ),
-            };
-
-        // What reconnecting agents are told in the handshake: the saved
-        // association at startup (always `None` on a cold start).
-        let greeting: Arc<Vec<Option<usize>>> = Arc::new(core.association().to_vec());
-
-        let (tx, rx) = inbox::channel::<Incoming>(self.config.inbox_cap, incoming_sheddable);
-        let stop = Arc::new(AtomicBool::new(false));
         let workers = if self.config.workers > 0 {
             self.config.workers
         } else {
             n_users + 2
         };
-        let pool = TaskPool::new(workers);
-        self.listener.set_nonblocking(true)?;
-        let acceptor = {
-            let listener = self.listener.try_clone()?;
+        let linger = self.config.linger;
+        let max_connections = self.config.max_connections;
+        let read_stall = self.config.read_stall;
+
+        // The daemon is a one-engine fleet: a site-less engine plus an
+        // accept path that routes every hello to it.
+        let (mut engine, tx) = SessionEngine::new("", self.scenario, self.events, self.config)?;
+        let greeting = engine.greeting();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = {
             let stop = Arc::clone(&stop);
             let tx = tx.clone();
-            let greeting = Arc::clone(&greeting);
-            let max_connections = self.config.max_connections;
-            let read_stall = self.config.read_stall;
-            // Live connections, shared with the reader tasks so the cap
-            // reflects closures as they happen.
-            let active = Arc::new(AtomicUsize::new(0));
-            thread::spawn(move || {
-                // The pool lives (and joins its readers) on this thread.
-                let pool = pool;
-                while !stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((mut stream, _)) => {
-                            if max_connections > 0
-                                && active.load(Ordering::Relaxed) >= max_connections
-                            {
-                                // Refuse with a typed reply so the peer
-                                // can tell overload from a dead daemon
-                                // and back off instead of hammering.
-                                obs::counter_inc("daemon.conns_rejected");
-                                pool.execute(move || {
-                                    let _ = stream.set_nodelay(true);
-                                    if let Ok(sent) = wire::send_counted(
-                                        &mut stream,
-                                        &Envelope::Busy {
-                                            limit: max_connections as u64,
-                                        },
-                                    ) {
-                                        note_frame_out(sent);
-                                    }
-                                });
-                                continue;
-                            }
-                            active.fetch_add(1, Ordering::Relaxed);
-                            let tx = tx.clone();
-                            let greeting = Arc::clone(&greeting);
-                            let stop = Arc::clone(&stop);
-                            let active = Arc::clone(&active);
-                            pool.execute(move || {
-                                serve_connection(stream, greeting, tx, stop, read_stall);
-                                active.fetch_sub(1, Ordering::Relaxed);
-                            });
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(2));
-                        }
-                        Err(_) => break,
+            Arc::new(move |stream| {
+                let route = |client: usize, site: Option<&str>| -> HelloDecision {
+                    if let Some(site) = site {
+                        // This daemon hosts exactly one anonymous site; a
+                        // sited hello is looking for a fleet.
+                        return HelloDecision::Reject(Envelope::SiteGone {
+                            site: site.to_string(),
+                        });
                     }
-                }
+                    if client < greeting.len() {
+                        HelloDecision::Accept {
+                            sender: tx.clone(),
+                            attached: greeting[client],
+                        }
+                    } else {
+                        HelloDecision::Close
+                    }
+                };
+                let control = |stream: &mut TcpStream, envelope: Envelope| -> bool {
+                    match envelope {
+                        Envelope::Shutdown { reason } => {
+                            obs::trace("daemon", format!("operator stop: {reason}"));
+                            let _ = tx.send(Incoming::Stop { reason });
+                            false
+                        }
+                        Envelope::MetricsRequest => {
+                            obs::counter_inc("daemon.metrics_requests");
+                            let reply = Envelope::Metrics {
+                                metrics: obs::snapshot(),
+                            };
+                            match wire::send_counted(stream, &reply) {
+                                Ok(sent) => {
+                                    engine::note_frame_out(sent);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        }
+                        Envelope::Fleet(op) => {
+                            // Answer honestly so `wolt fleet …` against a
+                            // single-site daemon fails with a reason, not
+                            // a hang.
+                            let reply = Envelope::FleetAck {
+                                op: op.name().to_string(),
+                                site: op.site().to_string(),
+                                ok: false,
+                                detail: "this daemon is not a fleet".to_string(),
+                            };
+                            match wire::send_counted(stream, &reply) {
+                                Ok(sent) => {
+                                    engine::note_frame_out(sent);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        }
+                        _ => false,
+                    }
+                };
+                engine::serve_connection(stream, &stop, read_stall, &route, &control);
             })
         };
+        let acceptor = engine::spawn_acceptor(
+            self.listener,
+            Arc::clone(&stop),
+            workers,
+            max_connections,
+            handler,
+        )?;
         drop(tx);
 
-        let mut session = Session {
-            core,
-            deadlines: self.config.deadlines,
-            writers: (0..n_users).map(|_| None).collect(),
-            rx,
-            retries,
-            msgs_in: 0,
-            latencies: Vec::new(),
-            stop_reason: None,
+        let result = loop {
+            match engine.step() {
+                Ok(EngineStep::Finished) => break Ok(()),
+                Ok(_) => {}
+                Err(e) => break Err(e),
+            }
         };
-
-        let result = session
-            .wait_for_agents(self.config.connect_deadline)
-            .and_then(|()| {
-                self.drive(
-                    &mut session,
-                    &mut snapshot_store,
-                    &mut epochs_done,
-                    &mut present,
-                    &mut unresponsive,
-                    &mut initial_attach,
-                )
-            });
         // Linger: keep the listener (and with it the metrics service)
         // alive for a beat before dismissing agents, so scrapers polling
         // over TCP deterministically observe the finished session.
-        if !self.config.linger.is_zero() {
-            thread::sleep(self.config.linger);
+        if !linger.is_zero() {
+            thread::sleep(linger);
         }
-        let started = Instant::now();
         // Graceful teardown happens even on error paths: tell every
         // connected agent to exit so their sockets close and the reader
         // pool can drain.
-        session.shutdown_agents();
+        engine.dismiss_agents();
         stop.store(true, Ordering::Relaxed);
         // Agents that registered after the session loop stopped reading
         // still need a dismissal, or their reader tasks (and the pool
         // join inside the acceptor thread) would wait forever.
         while !acceptor.is_finished() {
-            match session.rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(Incoming::Register { mut writer, .. }) => {
-                    let _ = wire::send(&mut writer, &Envelope::Agent(ToAgent::Shutdown));
-                }
-                Ok(_) => {}
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+            if engine.reap_strays(Duration::from_millis(20)) {
+                break;
             }
         }
         let _ = acceptor.join();
-        let elapsed_teardown = started.elapsed();
-        let (drive_elapsed, stopped) = result?;
-
-        let physical_assoc = session.core.association().to_vec();
-        let report = assemble_report(
-            &self.scenario,
-            &physical_assoc,
-            SessionLedger {
-                policy_name: self.config.policy.name().to_string(),
-                present,
-                unresponsive,
-                initial_attach,
-                crashed: Vec::new(),
-                wedged: Vec::new(),
-                declared_dead: session.core.declared_dead().to_vec(),
-                directives: session.core.directives(),
-                degraded_solves: session.core.degraded_solves(),
-                retries: session.retries,
-            },
-        )?;
-        let completed = !stopped && epochs_done == self.events.len();
-        Ok(DaemonOutcome {
-            report,
-            completed,
-            epochs_done,
-            stats: DaemonStats {
-                msgs_in: session.msgs_in,
-                resolve_latencies: session.latencies.clone(),
-                elapsed: drive_elapsed + elapsed_teardown,
-            },
-        })
-    }
-
-    /// Drives the configured events from `epochs_done` onward, mirroring
-    /// the in-process rig's harness loop. Returns the wall-clock time
-    /// spent and whether the run was stopped before finishing.
-    fn drive(
-        &self,
-        session: &mut Session,
-        snapshot_store: &mut Option<SnapshotStore>,
-        epochs_done: &mut usize,
-        present: &mut [bool],
-        unresponsive: &mut [bool],
-        initial_attach: &mut [Option<usize>],
-    ) -> Result<(Duration, bool), DaemonError> {
-        let started = Instant::now();
-        let mut stopped = false;
-        if self.config.stop_after.is_some_and(|k| *epochs_done >= k) {
-            return Ok((started.elapsed(), true));
-        }
-        for (idx, &event) in self.events.iter().enumerate().skip(*epochs_done) {
-            let epoch = idx as u64;
-            let (i, is_join) = match event {
-                SessionEvent::Join(i) => (i, true),
-                SessionEvent::Leave(i) => (i, false),
-            };
-            if i < self.scenario.user_positions.len() && unresponsive[i] {
-                // A client whose earlier event never completed is out of
-                // the session: later events for it are skipped.
-                *epochs_done = idx + 1;
-                continue;
-            }
-            let n_users = self.scenario.user_positions.len();
-            let valid = i < n_users && if is_join { !present[i] } else { present[i] };
-            if !valid {
-                return Err(TestbedError::InvalidConfig {
-                    context: if is_join {
-                        "join of an out-of-range or already-present client"
-                    } else {
-                        "leave of an out-of-range or absent client"
-                    },
-                }
-                .into());
-            }
-
-            match session.drive_event(epoch, i, is_join)? {
-                EventEnd::Completed => {
-                    if is_join {
-                        present[i] = true;
-                        if initial_attach[i].is_none() {
-                            // Strict-equivalent to the rig's read of the
-                            // physical state: on a fault-free network the
-                            // CC view after the join transaction *is* the
-                            // physical attachment.
-                            initial_attach[i] = session.core.association()[i];
-                        }
-                    } else {
-                        present[i] = false;
-                    }
-                }
-                EventEnd::Unresponsive => {
-                    if is_join {
-                        unresponsive[i] = true;
-                    } else {
-                        present[i] = false;
-                    }
-                }
-                EventEnd::Stopped => {
-                    stopped = true;
-                    break;
-                }
-            }
-            *epochs_done = idx + 1;
-            if let Some(bound) = self.config.max_staleness {
-                session.core.evict_stale(bound);
-            }
-            if let Some(store) = snapshot_store.as_mut() {
-                // A crash on either side of the save is recoverable: before
-                // it, the restarted daemon replays this event; after it, the
-                // daemon resumes at the next one. Both replays are
-                // byte-identical because the snapshot carries complete
-                // decision state and agents re-derive theirs from the
-                // handshake.
-                crash_point!(CRASH_PRE_SNAPSHOT);
-                let t0 = Instant::now();
-                store.save(&DaemonSnapshot {
-                    epochs_done: *epochs_done,
-                    present: present.to_vec(),
-                    unresponsive: unresponsive.to_vec(),
-                    initial_attach: initial_attach.to_vec(),
-                    retries: session.retries,
-                    core: session.core.snapshot(),
-                })?;
-                obs::observe_duration("daemon.snapshot_write_us", t0.elapsed());
-                crash_point!(CRASH_POST_SNAPSHOT);
-            }
-            if session.stop_reason.is_some() || self.config.stop_after == Some(*epochs_done) {
-                stopped = true;
-                break;
-            }
-        }
-        Ok((started.elapsed(), stopped))
-    }
-}
-
-/// Per-connection reader: handshake, then forward frames to the session
-/// loop until the connection ends.
-///
-/// When `read_stall` is nonzero the socket read is *patient*: idling
-/// between frames is free (and ends cleanly once `stop` is set, so a
-/// silent control connection cannot hang teardown), but a peer that
-/// stalls mid-frame past the budget loses the connection and is counted
-/// in `daemon.read_timeouts`.
-fn serve_connection(
-    mut stream: TcpStream,
-    greeting: Arc<Vec<Option<usize>>>,
-    tx: InboxSender<Incoming>,
-    stop: Arc<AtomicBool>,
-    read_stall: Duration,
-) {
-    let _ = stream.set_nodelay(true);
-    let patient = !read_stall.is_zero();
-    let mid_frame_stalls = if patient {
-        let _ = stream.set_read_timeout(Some(READ_TICK));
-        (read_stall.as_millis() / READ_TICK.as_millis()).max(1) as u32
-    } else {
-        0
-    };
-    let recv = |stream: &mut TcpStream| -> std::io::Result<Option<(Envelope, usize)>> {
-        if !patient {
-            return wire::recv_counted(stream);
-        }
-        let mut keep_waiting = || !stop.load(Ordering::Relaxed);
-        let mut patience = ReadPatience {
-            keep_waiting: &mut keep_waiting,
-            mid_frame_stalls,
-        };
-        let result = wire::recv_counted_patient(stream, &mut patience);
-        if let Err(e) = &result {
-            if e.kind() == std::io::ErrorKind::TimedOut {
-                obs::counter_inc("daemon.read_timeouts");
-            }
-        }
-        result
-    };
-    // Pre-handshake: the connection is a control channel until it sends
-    // `Hello`. Control connections may issue any number of metrics
-    // queries (each answered inline — safe here because no session-loop
-    // writer shares this stream yet) and/or a stop request.
-    let client = loop {
-        match recv(&mut stream) {
-            Ok(Some((Envelope::Hello { client, .. }, bytes))) if client < greeting.len() => {
-                note_frame_in(bytes);
-                break client;
-            }
-            Ok(Some((Envelope::Shutdown { reason }, bytes))) => {
-                note_frame_in(bytes);
-                obs::trace("daemon", format!("operator stop: {reason}"));
-                let _ = tx.send(Incoming::Stop { reason });
-                return;
-            }
-            Ok(Some((Envelope::MetricsRequest, bytes))) => {
-                note_frame_in(bytes);
-                obs::counter_inc("daemon.metrics_requests");
-                let reply = Envelope::Metrics {
-                    metrics: obs::snapshot(),
-                };
-                match wire::send_counted(&mut stream, &reply) {
-                    Ok(sent) => note_frame_out(sent),
-                    Err(_) => return,
-                }
-            }
-            _ => return,
-        }
-    };
-    match wire::send_counted(
-        &mut stream,
-        &Envelope::HelloAck {
-            attached: greeting[client],
-        },
-    ) {
-        Ok(sent) => note_frame_out(sent),
-        Err(_) => return,
-    }
-    let writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    if tx.send(Incoming::Register { client, writer }).is_err() {
-        return;
-    }
-    loop {
-        match recv(&mut stream) {
-            Ok(Some((Envelope::Ctrl(msg), bytes))) => {
-                note_frame_in(bytes);
-                if tx.send(Incoming::Msg(msg)).is_err() {
-                    return;
-                }
-            }
-            Ok(Some((Envelope::Shutdown { reason }, bytes))) => {
-                note_frame_in(bytes);
-                obs::trace("daemon", format!("operator stop: {reason}"));
-                let _ = tx.send(Incoming::Stop { reason });
-            }
-            Ok(Some((Envelope::MetricsRequest, bytes))) => {
-                // A registered agent connection shares its write half
-                // with the session loop; replying here could interleave
-                // frames. Count and drop.
-                note_frame_in(bytes);
-                obs::counter_inc("daemon.metrics_requests");
-            }
-            Ok(Some(_)) | Ok(None) | Err(_) => {
-                let _ = tx.send(Incoming::Gone { client });
-                return;
-            }
-        }
-    }
-}
-
-/// The session loop's mutable state: the decision core plus the TCP
-/// transport bookkeeping.
-struct Session {
-    core: ControllerCore,
-    deadlines: Deadlines,
-    writers: Vec<Option<TcpStream>>,
-    rx: Inbox<Incoming>,
-    retries: usize,
-    msgs_in: usize,
-    latencies: Vec<Duration>,
-    stop_reason: Option<String>,
-}
-
-/// A directive awaiting its ack over TCP.
-struct PendingDirective {
-    client: usize,
-    extender: usize,
-    seq: u64,
-    attempt: u32,
-    deadline: Instant,
-}
-
-impl Session {
-    /// Blocks until every expected agent has registered.
-    fn wait_for_agents(&mut self, budget: Duration) -> Result<(), DaemonError> {
-        let deadline = Instant::now() + budget;
-        while self.writers.iter().any(Option::is_none) {
-            let wait = deadline.saturating_duration_since(Instant::now());
-            match self.rx.recv_timeout(wait) {
-                Ok(Incoming::Register { client, writer }) => {
-                    self.writers[client] = Some(writer);
-                }
-                Ok(Incoming::Gone { client }) => {
-                    self.writers[client] = None;
-                }
-                Ok(Incoming::Stop { reason }) => {
-                    self.stop_reason = Some(reason);
-                    return Ok(());
-                }
-                Ok(Incoming::Msg(_)) => {
-                    // Agents do not speak before their first command;
-                    // drop pre-session noise.
-                    self.msgs_in += 1;
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    let missing: Vec<usize> = self
-                        .writers
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, w)| w.is_none().then_some(i))
-                        .collect();
-                    return Err(DaemonError::Timeout {
-                        waiting_for: format!("agents {missing:?} to connect"),
-                    });
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(TestbedError::ChannelClosed {
-                        endpoint: "acceptor",
-                    }
-                    .into())
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Drives one join/leave event: send the command, process the
-    /// resulting report/departure through the core, run the directive
-    /// transaction, retransmitting the command on the rig's schedule.
-    fn drive_event(
-        &mut self,
-        epoch: u64,
-        client: usize,
-        is_join: bool,
-    ) -> Result<EventEnd, DaemonError> {
-        if self.stop_reason.is_some() {
-            return Ok(EventEnd::Stopped);
-        }
-        for attempt in 1..=self.deadlines.event_attempts {
-            if attempt > 1 {
-                self.retries += 1;
-            }
-            let cmd = if is_join {
-                ToAgent::Join { epoch, attempt }
-            } else {
-                ToAgent::Leave { epoch, attempt }
-            };
-            if !self.send_agent(client, &cmd) {
-                // No connection to the client: its event can never
-                // complete. Treat like the rig's silent-agent path.
-                return Ok(EventEnd::Unresponsive);
-            }
-            let deadline = Instant::now() + self.deadlines.event;
-            loop {
-                let wait = deadline.saturating_duration_since(Instant::now());
-                let incoming = match self.rx.recv_timeout(wait) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return Err(TestbedError::ChannelClosed {
-                            endpoint: "acceptor",
-                        }
-                        .into())
-                    }
-                };
-                match incoming {
-                    Incoming::Register { client: c, writer } => {
-                        self.writers[c] = Some(writer);
-                    }
-                    Incoming::Gone { client: c } => {
-                        self.writers[c] = None;
-                    }
-                    Incoming::Stop { reason } => {
-                        self.stop_reason = Some(reason);
-                        return Ok(EventEnd::Stopped);
-                    }
-                    Incoming::Msg(msg) => {
-                        self.msgs_in += 1;
-                        if let Some(done_epoch) = self.process_event_msg(msg)? {
-                            if done_epoch == epoch {
-                                return Ok(EventEnd::Completed);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(EventEnd::Unresponsive)
-    }
-
-    /// Feeds one protocol message through the core; returns the epoch of
-    /// a completed event transaction, if this message triggered one.
-    fn process_event_msg(&mut self, msg: ToController) -> Result<Option<u64>, DaemonError> {
-        match msg {
-            ToController::Report {
-                client,
-                epoch,
-                rates,
-                attached,
-            } => {
-                if self.core.is_duplicate(epoch) {
-                    return Ok(None);
-                }
-                let t0 = Instant::now();
-                let directives = self.core.handle_report(client, epoch, &rates, attached)?;
-                self.transact(directives, epoch)?;
-                let took = t0.elapsed();
-                obs::observe_duration("daemon.resolve_us", took);
-                self.latencies.push(took);
-                Ok(Some(epoch))
-            }
-            ToController::Departed { client, epoch } => {
-                if self.core.is_duplicate(epoch) {
-                    return Ok(None);
-                }
-                let t0 = Instant::now();
-                let directives = self.core.handle_departed(client, epoch)?;
-                self.transact(directives, epoch)?;
-                let took = t0.elapsed();
-                obs::observe_duration("daemon.resolve_us", took);
-                self.latencies.push(took);
-                Ok(Some(epoch))
-            }
-            ToController::Ack {
-                client,
-                seq,
-                extender,
-            } => {
-                // A late ack refreshes the CC view iff it matches the
-                // newest directive.
-                self.core.handle_ack(client, seq, extender);
-                Ok(None)
-            }
-        }
-    }
-
-    /// One directive transaction over TCP — the rig's `run_transaction`
-    /// with socket writes for sends and the merged queue for receives.
-    fn transact(&mut self, directives: Vec<Directive>, epoch: u64) -> Result<(), DaemonError> {
-        let mut pending: Vec<PendingDirective> = Vec::new();
-        self.enqueue(&mut pending, directives);
-        while !pending.is_empty() {
-            let now = Instant::now();
-            let mut d = 0;
-            while d < pending.len() {
-                if pending[d].deadline > now {
-                    d += 1;
-                    continue;
-                }
-                if pending[d].attempt >= self.deadlines.ack_attempts {
-                    let casualty = pending.remove(d).client;
-                    // The dead client's load vanishes: re-optimize the
-                    // survivors (may supersede other in-flight
-                    // directives).
-                    let replan = self.core.declare_dead(casualty)?;
-                    self.enqueue(&mut pending, replan);
-                    d = 0;
-                } else {
-                    let p = &mut pending[d];
-                    p.attempt += 1;
-                    self.retries += 1;
-                    p.deadline = now + self.deadlines.backoff(p.attempt);
-                    let (client, extender, seq, attempt) = (p.client, p.extender, p.seq, p.attempt);
-                    self.send_directive(client, extender, seq, attempt);
-                    d += 1;
-                }
-            }
-            if pending.is_empty() {
-                break;
-            }
-            let next = pending
-                .iter()
-                .map(|p| p.deadline)
-                .min()
-                .expect("pending is non-empty");
-            let wait = next.saturating_duration_since(Instant::now());
-            let incoming = match self.rx.recv_timeout(wait) {
-                Ok(m) => m,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(TestbedError::ChannelClosed { endpoint: "client" }.into())
-                }
-            };
-            match incoming {
-                Incoming::Msg(ToController::Ack {
-                    client,
-                    seq,
-                    extender,
-                }) => {
-                    self.msgs_in += 1;
-                    if self.core.handle_ack(client, seq, extender) {
-                        pending.retain(|p| !(p.client == client && p.seq == seq));
-                    }
-                }
-                Incoming::Msg(ToController::Report { epoch: e, .. })
-                | Incoming::Msg(ToController::Departed { epoch: e, .. }) => {
-                    self.msgs_in += 1;
-                    // Retransmissions of the current (or an older) event
-                    // are expected; a genuinely new event mid-transaction
-                    // means serialization broke.
-                    if e > epoch {
-                        return Err(TestbedError::AssignmentFailed {
-                            context: "unexpected message during directive transaction".to_string(),
-                        }
-                        .into());
-                    }
-                }
-                Incoming::Register { client, writer } => {
-                    self.writers[client] = Some(writer);
-                }
-                Incoming::Gone { client } => {
-                    // The ack deadline machinery turns a dead connection
-                    // into a declared-dead client.
-                    self.writers[client] = None;
-                }
-                Incoming::Stop { reason } => {
-                    // Finish converging first; the driver stops after
-                    // this event.
-                    self.stop_reason.get_or_insert(reason);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Adds planned directives to the pending set (superseding in-flight
-    /// ones for the same client) and performs their first transmission.
-    fn enqueue(&mut self, pending: &mut Vec<PendingDirective>, directives: Vec<Directive>) {
-        for dir in directives {
-            pending.retain(|p| p.client != dir.client);
-            pending.push(PendingDirective {
-                client: dir.client,
-                extender: dir.extender,
-                seq: dir.seq,
-                attempt: 1,
-                deadline: Instant::now() + self.deadlines.backoff(1),
-            });
-            self.send_directive(dir.client, dir.extender, dir.seq, 1);
-        }
-    }
-
-    /// Sends one directive transmission; a broken pipe drops the writer
-    /// and lets the ack machinery handle the silence.
-    fn send_directive(&mut self, client: usize, extender: usize, seq: u64, attempt: u32) {
-        let env = Envelope::Client(ToClient::Directive {
-            extender,
-            seq,
-            attempt,
-        });
-        if let Some(w) = self.writers[client].as_mut() {
-            match wire::send_counted(w, &env) {
-                Ok(sent) => note_frame_out(sent),
-                Err(_) => self.writers[client] = None,
-            }
-        }
-    }
-
-    /// Sends one harness command; `false` when the client has no usable
-    /// connection.
-    fn send_agent(&mut self, client: usize, cmd: &ToAgent) -> bool {
-        let env = Envelope::Agent(cmd.clone());
-        match self.writers[client].as_mut() {
-            Some(w) => match wire::send_counted(w, &env) {
-                Ok(sent) => {
-                    note_frame_out(sent);
-                    true
-                }
-                Err(_) => {
-                    self.writers[client] = None;
-                    false
-                }
-            },
-            None => false,
-        }
-    }
-
-    /// Tells every connected agent to exit (so sockets close and reader
-    /// tasks drain) and flushes the writers.
-    fn shutdown_agents(&mut self) {
-        for w in self.writers.iter_mut().flatten() {
-            if let Ok(sent) = wire::send_counted(w, &Envelope::Agent(ToAgent::Shutdown)) {
-                note_frame_out(sent);
-            }
-            let _ = w.flush();
-        }
+        result?;
+        engine.finish()
     }
 }

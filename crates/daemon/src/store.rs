@@ -12,10 +12,17 @@
 //! * Every save writes a **new** file, `snapshot.<gen>.json`, and never
 //!   touches older generations — so a crash at any instant can tear at
 //!   most the newest file.
-//! * Each file ends in a 12-byte trailer — magic `WSNP`, payload length,
-//!   and CRC-32 of the payload (both big-endian) — so truncation, bit
-//!   rot, and partial writes are detected at load time instead of being
-//!   parsed into silently-wrong controller state.
+//! * Each file starts with a WSNP header — magic, site-id length
+//!   (u32 BE), site-id bytes — stamping *whose* snapshots these are, and
+//!   ends in a 12-byte trailer — magic `WSNP`, payload length, and
+//!   CRC-32 (both big-endian) — so truncation, bit rot, and partial
+//!   writes are detected at load time instead of being parsed into
+//!   silently-wrong controller state. The CRC covers header and payload
+//!   alike, so damage *anywhere* reads as damage (a rollback), while an
+//!   intact file stamped for a different site is the distinct, fatal
+//!   [`SnapshotCorrupt::WrongSite`]: a mis-wired fleet root must never
+//!   silently adopt another PLC segment's controller state. The
+//!   single-site daemon stamps the empty site id.
 //! * [`SnapshotStore::load`] walks generations newest-first and returns
 //!   the first one that verifies, counting each skipped generation in
 //!   `daemon.snapshot_rollbacks`. An empty store is a cold start, and so
@@ -40,14 +47,20 @@ use wolt_support::crc::crc32;
 use wolt_support::json::{FromJson, Json, ToJson};
 use wolt_support::obs;
 
+use crate::error::SnapshotCorrupt;
 use crate::snapshot::DaemonSnapshot;
 use crate::DaemonError;
 
-/// Trailer magic: marks a fully-written snapshot payload.
+/// Header and trailer magic: marks a fully-written snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"WSNP";
 
-/// Trailer size: magic, payload length (u32 BE), payload CRC-32 (u32 BE).
+/// Trailer size: magic, payload length (u32 BE), CRC-32 (u32 BE) of
+/// everything before the trailer (header + payload).
 pub const TRAILER_BYTES: usize = 12;
+
+/// Fixed header size before the site-id bytes: magic, site-id length
+/// (u32 BE).
+pub const HEADER_BYTES: usize = 8;
 
 /// Default number of generations kept on disk.
 pub const DEFAULT_KEEP: usize = 3;
@@ -60,23 +73,43 @@ pub const CRASH_MID_WRITE: &str = "daemon.snapshot.mid_write";
 /// are pruned, leaving more generations than `keep` behind.
 pub const CRASH_PRE_PRUNE: &str = "daemon.snapshot.pre_prune";
 
-/// A directory of checksummed snapshot generations.
+/// A directory of checksummed snapshot generations, stamped with the
+/// site they belong to.
 #[derive(Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
     keep: usize,
+    site: String,
     next_generation: u64,
 }
 
 impl SnapshotStore {
     /// Opens (creating if needed) the store at `dir`, keeping the last
-    /// `keep` generations on disk.
+    /// `keep` generations on disk. The store is stamped with the empty
+    /// site id — the single-site daemon's store; a fleet uses
+    /// [`SnapshotStore::open_site`] with each site's id.
     ///
     /// # Errors
     ///
     /// [`DaemonError::InvalidConfig`] when `keep` is zero;
     /// [`DaemonError::Io`] when the directory cannot be created or read.
     pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, DaemonError> {
+        Self::open_site(dir, keep, "")
+    }
+
+    /// Opens (creating if needed) the store at `dir` for `site`: saves
+    /// stamp the site id into every snapshot header, and loads refuse —
+    /// with the typed [`SnapshotCorrupt::WrongSite`] — a directory whose
+    /// intact snapshots are stamped for a different site.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotStore::open`].
+    pub fn open_site(
+        dir: impl Into<PathBuf>,
+        keep: usize,
+        site: &str,
+    ) -> Result<Self, DaemonError> {
         if keep == 0 {
             return Err(DaemonError::InvalidConfig {
                 context: "snapshot store must keep at least one generation".into(),
@@ -88,8 +121,15 @@ impl SnapshotStore {
         Ok(Self {
             dir,
             keep,
+            site: site.to_string(),
             next_generation,
         })
+    }
+
+    /// The site this store is stamped for (empty for a single-site
+    /// daemon's store).
+    pub fn site(&self) -> &str {
+        &self.site
     }
 
     /// The store's directory.
@@ -138,7 +178,7 @@ impl SnapshotStore {
     /// existing generations — each save is a fresh file.
     pub fn save(&mut self, snapshot: &DaemonSnapshot) -> Result<u64, DaemonError> {
         let generation = self.next_generation;
-        let bytes = encode_snapshot(snapshot);
+        let bytes = encode_snapshot(snapshot, &self.site);
         let path = self.generation_path(generation);
         {
             let mut file = File::create(&path)?;
@@ -190,9 +230,13 @@ impl SnapshotStore {
     ///
     /// # Errors
     ///
-    /// [`DaemonError::SnapshotCorrupt`] when generations beyond a lone
-    /// torn first save exist but none verifies; [`DaemonError::Io`] for
-    /// directory-read failures.
+    /// [`DaemonError::SnapshotCorrupt`] with
+    /// [`SnapshotCorrupt::AllInvalid`] when generations beyond a lone
+    /// torn first save exist but none verifies, or with
+    /// [`SnapshotCorrupt::WrongSite`] when an intact generation is
+    /// stamped for a different site (no fallback: the older generations
+    /// are equally foreign); [`DaemonError::Io`] for directory-read
+    /// failures.
     pub fn load(&self) -> Result<Option<(u64, DaemonSnapshot)>, DaemonError> {
         let generations = self.generations()?;
         if generations.is_empty() {
@@ -202,7 +246,7 @@ impl SnapshotStore {
         for &generation in generations.iter().rev() {
             let path = self.generation_path(generation);
             match fs::read(&path) {
-                Ok(bytes) => match decode_snapshot(&bytes) {
+                Ok(bytes) => match decode_snapshot(&bytes, &self.site) {
                     Ok(snapshot) => {
                         if !damage.is_empty() {
                             obs::counter_add("daemon.snapshot_rollbacks", damage.len() as u64);
@@ -216,7 +260,19 @@ impl SnapshotStore {
                         }
                         return Ok(Some((generation, snapshot)));
                     }
-                    Err(reason) => damage.push(format!("generation {generation}: {reason}")),
+                    // An intact snapshot for another site is not damage
+                    // to roll back over: the whole directory belongs to
+                    // someone else.
+                    Err(SnapshotDamage::WrongSite { found }) => {
+                        return Err(DaemonError::SnapshotCorrupt(SnapshotCorrupt::WrongSite {
+                            dir: self.dir.display().to_string(),
+                            expected: self.site.clone(),
+                            found,
+                        }))
+                    }
+                    Err(SnapshotDamage::Damaged(reason)) => {
+                        damage.push(format!("generation {generation}: {reason}"))
+                    }
                 },
                 // A file that vanished between the scan and the read
                 // (e.g. a concurrent prune) is treated like damage: fall
@@ -235,22 +291,54 @@ impl SnapshotStore {
             );
             return Ok(None);
         }
-        Err(DaemonError::SnapshotCorrupt {
+        Err(DaemonError::SnapshotCorrupt(SnapshotCorrupt::AllInvalid {
             context: format!(
                 "no valid snapshot generation in {}: {}",
                 self.dir.display(),
                 damage.join("; ")
             ),
-        })
+        }))
     }
 }
 
-/// Serializes a snapshot to its on-disk bytes: canonical compact JSON
-/// followed by the length+CRC trailer.
-pub fn encode_snapshot(snapshot: &DaemonSnapshot) -> Vec<u8> {
+/// Why [`decode_snapshot`] refused one generation's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDamage {
+    /// The bytes fail verification (torn write, bit rot, garbage): a
+    /// rollback candidate — older generations may still verify.
+    Damaged(String),
+    /// The bytes verify completely but the header stamps a different
+    /// site: the store belongs to someone else, and rolling back cannot
+    /// help.
+    WrongSite {
+        /// The site id stamped in the header.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDamage::Damaged(reason) => write!(f, "{reason}"),
+            SnapshotDamage::WrongSite { found } => {
+                write!(f, "snapshot is stamped for site {found:?}")
+            }
+        }
+    }
+}
+
+/// Serializes a snapshot to its on-disk bytes: the WSNP site header
+/// (magic, site-id length, site-id bytes), canonical compact JSON, then
+/// the length+CRC trailer. The CRC covers header and payload.
+pub fn encode_snapshot(snapshot: &DaemonSnapshot, site: &str) -> Vec<u8> {
     let payload = snapshot.to_json().to_compact().into_bytes();
-    let mut bytes = payload;
-    let len = u32::try_from(bytes.len()).expect("snapshot payload fits in u32");
+    let site_len = u32::try_from(site.len()).expect("site id fits in u32");
+    let mut bytes = Vec::with_capacity(HEADER_BYTES + site.len() + payload.len() + TRAILER_BYTES);
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&site_len.to_be_bytes());
+    bytes.extend_from_slice(site.as_bytes());
+    bytes.extend_from_slice(&payload);
+    let len = u32::try_from(payload.len()).expect("snapshot payload fits in u32");
     let crc = crc32(&bytes);
     bytes.extend_from_slice(&SNAPSHOT_MAGIC);
     bytes.extend_from_slice(&len.to_be_bytes());
@@ -258,42 +346,71 @@ pub fn encode_snapshot(snapshot: &DaemonSnapshot) -> Vec<u8> {
     bytes
 }
 
-/// Verifies and parses one generation's on-disk bytes. The `Err` string
-/// describes the damage (torn trailer, length mismatch, checksum
-/// mismatch, malformed JSON) for rollback traces.
+/// Verifies and parses one generation's on-disk bytes against the site
+/// the store was opened for.
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the first verification
-/// failure; never panics, whatever the input bytes.
-pub fn decode_snapshot(bytes: &[u8]) -> Result<DaemonSnapshot, String> {
-    if bytes.len() < TRAILER_BYTES {
-        return Err(format!(
-            "file of {} bytes is shorter than the {TRAILER_BYTES}-byte trailer (torn write)",
-            bytes.len()
-        ));
+/// [`SnapshotDamage::Damaged`] with a human-readable description of the
+/// first verification failure (torn trailer, length mismatch, checksum
+/// mismatch, malformed header or JSON);
+/// [`SnapshotDamage::WrongSite`] when the bytes verify but are stamped
+/// for a different site. Never panics, whatever the input bytes.
+pub fn decode_snapshot(
+    bytes: &[u8],
+    expected_site: &str,
+) -> Result<DaemonSnapshot, SnapshotDamage> {
+    let damaged = SnapshotDamage::Damaged;
+    if bytes.len() < HEADER_BYTES + TRAILER_BYTES {
+        return Err(damaged(format!(
+            "file of {} bytes is shorter than the {} header+trailer bytes (torn write)",
+            bytes.len(),
+            HEADER_BYTES + TRAILER_BYTES
+        )));
     }
-    let (payload, trailer) = bytes.split_at(bytes.len() - TRAILER_BYTES);
+    let (body, trailer) = bytes.split_at(bytes.len() - TRAILER_BYTES);
     if trailer[..4] != SNAPSHOT_MAGIC {
-        return Err("trailer magic missing (torn write)".into());
-    }
-    let stated_len = u32::from_be_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]) as usize;
-    if stated_len != payload.len() {
-        return Err(format!(
-            "trailer states {stated_len} payload bytes, file has {}",
-            payload.len()
-        ));
+        return Err(damaged("trailer magic missing (torn write)".into()));
     }
     let stated_crc = u32::from_be_bytes([trailer[8], trailer[9], trailer[10], trailer[11]]);
-    let actual_crc = crc32(payload);
+    let actual_crc = crc32(body);
     if stated_crc != actual_crc {
-        return Err(format!(
-            "checksum mismatch: trailer {stated_crc:#010x}, payload {actual_crc:#010x}"
-        ));
+        return Err(damaged(format!(
+            "checksum mismatch: trailer {stated_crc:#010x}, file {actual_crc:#010x}"
+        )));
     }
-    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
-    let json = Json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
-    DaemonSnapshot::from_json(&json).map_err(|e| format!("payload shape: {e}"))
+    // The checksum held, so the header and payload are exactly what a
+    // save wrote; any inconsistency past this point is an encoder bug,
+    // reported as damage rather than trusted.
+    if body[..4] != SNAPSHOT_MAGIC {
+        return Err(damaged("header magic missing".into()));
+    }
+    let site_len = u32::from_be_bytes([body[4], body[5], body[6], body[7]]) as usize;
+    if HEADER_BYTES + site_len > body.len() {
+        return Err(damaged(format!(
+            "header states a {site_len}-byte site id, file has {} bytes before the trailer",
+            body.len().saturating_sub(HEADER_BYTES)
+        )));
+    }
+    let (site_bytes, payload) = body[HEADER_BYTES..].split_at(site_len);
+    let site =
+        std::str::from_utf8(site_bytes).map_err(|_| damaged("site id is not UTF-8".into()))?;
+    let stated_len = u32::from_be_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]) as usize;
+    if stated_len != payload.len() {
+        return Err(damaged(format!(
+            "trailer states {stated_len} payload bytes, file has {}",
+            payload.len()
+        )));
+    }
+    if site != expected_site {
+        return Err(SnapshotDamage::WrongSite {
+            found: site.to_string(),
+        });
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|_| damaged("payload is not UTF-8".to_string()))?;
+    let json = Json::parse(text).map_err(|e| damaged(format!("payload is not JSON: {e}")))?;
+    DaemonSnapshot::from_json(&json).map_err(|e| damaged(format!("payload shape: {e}")))
 }
 
 #[cfg(test)]
@@ -441,23 +558,79 @@ mod tests {
 
     #[test]
     fn decode_rejects_every_trailer_violation() {
-        let bytes = encode_snapshot(&sample(3));
-        assert_eq!(decode_snapshot(&bytes).unwrap(), sample(3));
+        let bytes = encode_snapshot(&sample(3), "");
+        assert_eq!(decode_snapshot(&bytes, "").unwrap(), sample(3));
         // Too short for a trailer.
-        assert!(decode_snapshot(&bytes[..TRAILER_BYTES - 1]).is_err());
-        // Magic damaged.
+        assert!(decode_snapshot(&bytes[..TRAILER_BYTES - 1], "").is_err());
+        // Trailer magic damaged.
         let mut bad = bytes.clone();
         let magic_at = bad.len() - TRAILER_BYTES;
         bad[magic_at] = b'X';
-        assert!(decode_snapshot(&bad).is_err());
-        // Length field inconsistent (payload shrunk, trailer intact).
+        assert!(decode_snapshot(&bad, "").is_err());
+        // Length field inconsistent (bytes removed mid-file).
         let mut torn = bytes.clone();
         torn.drain(10..20);
-        assert!(decode_snapshot(&torn).is_err());
-        // Payload bit flip caught by the checksum.
-        let mut flipped = bytes.clone();
-        flipped[7] ^= 0x01;
-        assert!(decode_snapshot(&flipped).is_err());
+        assert!(decode_snapshot(&torn, "").is_err());
+        // Bit flips in the payload *and* in the header are both caught
+        // by the checksum — a flipped site byte must read as damage
+        // (rollback), never as a spurious wrong-site refusal.
+        for at in [0, 5, HEADER_BYTES + 3] {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x01;
+            assert!(matches!(
+                decode_snapshot(&flipped, ""),
+                Err(SnapshotDamage::Damaged(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn site_stamp_round_trips_and_mismatch_is_typed() {
+        let bytes = encode_snapshot(&sample(2), "floor-3");
+        assert_eq!(decode_snapshot(&bytes, "floor-3").unwrap(), sample(2));
+        assert_eq!(
+            decode_snapshot(&bytes, "annex"),
+            Err(SnapshotDamage::WrongSite {
+                found: "floor-3".into()
+            })
+        );
+        // The single-site daemon (empty stamp) refuses a fleet site's
+        // store, and vice versa.
+        assert_eq!(
+            decode_snapshot(&bytes, ""),
+            Err(SnapshotDamage::WrongSite {
+                found: "floor-3".into()
+            })
+        );
+        let unstamped = encode_snapshot(&sample(2), "");
+        assert_eq!(
+            decode_snapshot(&unstamped, "floor-3"),
+            Err(SnapshotDamage::WrongSite { found: "".into() })
+        );
+    }
+
+    #[test]
+    fn store_for_one_site_refuses_another_sites_directory() {
+        let store = temp_store("wrongsite");
+        let dir = store.dir().to_path_buf();
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+        let mut alpha = SnapshotStore::open_site(&dir, DEFAULT_KEEP, "alpha").unwrap();
+        alpha.save(&sample(1)).unwrap();
+        assert!(alpha.load().unwrap().is_some());
+        let beta = SnapshotStore::open_site(&dir, DEFAULT_KEEP, "beta").unwrap();
+        match beta.load() {
+            Err(DaemonError::SnapshotCorrupt(SnapshotCorrupt::WrongSite {
+                expected,
+                found,
+                ..
+            })) => {
+                assert_eq!(expected, "beta");
+                assert_eq!(found, "alpha");
+            }
+            other => panic!("expected WrongSite, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

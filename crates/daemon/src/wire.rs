@@ -33,6 +33,12 @@ pub enum Envelope {
         client: usize,
         /// Free-form agent label.
         name: String,
+        /// The site this agent belongs to. `None` addresses a
+        /// single-site daemon; a fleet requires it and refuses a
+        /// missing or unknown site with [`Envelope::SiteGone`]. The
+        /// field is omitted from the frame when `None`, so a sited
+        /// hello is byte-identical to the pre-fleet handshake.
+        site: Option<String>,
     },
     /// The daemon's handshake reply: the client's attachment according to
     /// the (possibly restored) controller state, which the agent adopts.
@@ -72,16 +78,239 @@ pub enum Envelope {
         /// The process-wide metrics snapshot at reply time.
         metrics: ObsSnapshot,
     },
+    /// Typed refusal of a sited [`Envelope::Hello`]: this daemon does
+    /// not host (or no longer hosts) the named site. Unlike
+    /// [`Envelope::Busy`] this is *fatal* for the agent — a drained or
+    /// removed site never comes back under this address, so retrying
+    /// cannot help.
+    SiteGone {
+        /// The site the hello named (empty when the hello named none).
+        site: String,
+    },
+    /// A fleet lifecycle operation, accepted on control connections
+    /// (ones that have not completed an agent handshake). Mutations are
+    /// answered with [`Envelope::FleetAck`], status queries with
+    /// [`Envelope::FleetStatus`].
+    Fleet(FleetOp),
+    /// Reply to [`FleetOp::Status`]: one entry per registered site, in
+    /// site-id order.
+    FleetStatus {
+        /// Per-site state, sorted by site id.
+        sites: Vec<SiteStatus>,
+    },
+    /// Reply to a fleet mutation ([`FleetOp::Drain`],
+    /// [`FleetOp::Remove`], [`FleetOp::Add`]).
+    FleetAck {
+        /// The operation this acknowledges (`"drain"`, `"remove"`,
+        /// `"add"`).
+        op: String,
+        /// The site the operation named.
+        site: String,
+        /// Whether the operation was applied.
+        ok: bool,
+        /// Free-form detail (the refusal reason when `ok` is false).
+        detail: String,
+    },
+}
+
+/// One fleet lifecycle operation (see [`Envelope::Fleet`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetOp {
+    /// Report every registered site's state.
+    Status,
+    /// Stop accepting new agents for `site`, finish its in-flight
+    /// epochs, persist, and detach it.
+    Drain {
+        /// The site to drain.
+        site: String,
+    },
+    /// Drain `site` and forget it entirely (its status entry goes away
+    /// once it finishes).
+    Remove {
+        /// The site to remove.
+        site: String,
+    },
+    /// Register and start a new site while the fleet is running.
+    Add {
+        /// The new site's definition.
+        spec: SiteSpec,
+    },
+}
+
+impl FleetOp {
+    /// The operation's wire name (`"status"`, `"drain"`, `"remove"`,
+    /// `"add"`) — what [`Envelope::FleetAck`] echoes in its `op` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetOp::Status => "status",
+            FleetOp::Drain { .. } => "drain",
+            FleetOp::Remove { .. } => "remove",
+            FleetOp::Add { .. } => "add",
+        }
+    }
+
+    /// The site the operation targets (the spec's id for
+    /// [`FleetOp::Add`]; empty for [`FleetOp::Status`]).
+    pub fn site(&self) -> &str {
+        match self {
+            FleetOp::Status => "",
+            FleetOp::Drain { site } | FleetOp::Remove { site } => site,
+            FleetOp::Add { spec } => &spec.id,
+        }
+    }
+}
+
+impl FromJson for FleetOp {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let op = value
+            .field("op")?
+            .as_str()
+            .ok_or_else(|| JsonError::shape("fleet op must be a string"))?;
+        match op {
+            "status" => Ok(FleetOp::Status),
+            "drain" => Ok(FleetOp::Drain {
+                site: String::from_json(value.field("site")?)?,
+            }),
+            "remove" => Ok(FleetOp::Remove {
+                site: String::from_json(value.field("site")?)?,
+            }),
+            "add" => Ok(FleetOp::Add {
+                spec: SiteSpec::from_json(value.field("spec")?)?,
+            }),
+            other => Err(JsonError::shape(format!("unknown fleet op {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for FleetOp {
+    fn to_json(&self) -> Json {
+        match self {
+            FleetOp::Status => Json::obj([("op", Json::Str("status".into()))]),
+            FleetOp::Drain { site } => Json::obj([
+                ("op", Json::Str("drain".into())),
+                ("site", Json::Str(site.clone())),
+            ]),
+            FleetOp::Remove { site } => Json::obj([
+                ("op", Json::Str("remove".into())),
+                ("site", Json::Str(site.clone())),
+            ]),
+            FleetOp::Add { spec } => {
+                Json::obj([("op", Json::Str("add".into())), ("spec", spec.to_json())])
+            }
+        }
+    }
+}
+
+/// A site's definition as shipped over the wire (and in `--sites`
+/// spec files): everything needed to regenerate its scenario and
+/// controller deterministically. The scenario itself never crosses the
+/// wire — both sides rebuild it from `(preset, users, seed)`, exactly
+/// like the single-site `wolt serve`/`wolt agent` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSpec {
+    /// Unique site id; must be filesystem-safe (it names the site's
+    /// snapshot subdirectory): `[A-Za-z0-9._-]+`, at most 64 bytes, and
+    /// not `.` or `..`.
+    pub id: String,
+    /// Scenario preset: `"lab"` or `"enterprise"`.
+    pub preset: String,
+    /// Users in the site's scenario.
+    pub users: usize,
+    /// Scenario *and* capacity-noise seed.
+    pub seed: u64,
+    /// Association policy: `"wolt"`, `"greedy"`, or `"rssi"`.
+    pub policy: String,
+    /// Stop this site after this many completed events (the restart
+    /// tests' deterministic kill switch); `None` runs to completion.
+    pub stop_after: Option<usize>,
+}
+
+impl ToJson for SiteSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("preset", Json::Str(self.preset.clone())),
+            ("users", self.users.to_json()),
+            ("seed", self.seed.to_json()),
+            ("policy", Json::Str(self.policy.clone())),
+            ("stop_after", self.stop_after.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SiteSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SiteSpec {
+            id: String::from_json(value.field("id")?)?,
+            preset: String::from_json(value.field("preset")?)?,
+            users: usize::from_json(value.field("users")?)?,
+            seed: u64::from_json(value.field("seed")?)?,
+            policy: String::from_json(value.field("policy")?)?,
+            // Optional in spec files: omitting it means run to the end.
+            stop_after: match value.get("stop_after") {
+                None => None,
+                Some(v) => Option::<usize>::from_json(v)?,
+            },
+        })
+    }
+}
+
+/// One site's state in a [`Envelope::FleetStatus`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStatus {
+    /// The site id.
+    pub site: String,
+    /// Lifecycle state: `"waiting"`, `"running"`, `"draining"`,
+    /// `"done"`, or `"failed"`.
+    pub state: String,
+    /// Users in the site's scenario.
+    pub users: u64,
+    /// Events completed so far (including restored ones).
+    pub epochs_done: u64,
+    /// Events configured in total.
+    pub events: u64,
+}
+
+impl ToJson for SiteStatus {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("site", Json::Str(self.site.clone())),
+            ("state", Json::Str(self.state.clone())),
+            ("users", self.users.to_json()),
+            ("epochs_done", self.epochs_done.to_json()),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SiteStatus {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SiteStatus {
+            site: String::from_json(value.field("site")?)?,
+            state: String::from_json(value.field("state")?)?,
+            users: u64::from_json(value.field("users")?)?,
+            epochs_done: u64::from_json(value.field("epochs_done")?)?,
+            events: u64::from_json(value.field("events")?)?,
+        })
+    }
 }
 
 impl ToJson for Envelope {
     fn to_json(&self) -> Json {
         match self {
-            Envelope::Hello { client, name } => Json::obj([
-                ("t", Json::Str("hello".into())),
-                ("client", client.to_json()),
-                ("name", Json::Str(name.clone())),
-            ]),
+            Envelope::Hello { client, name, site } => {
+                let mut fields = vec![
+                    ("t", Json::Str("hello".into())),
+                    ("client", client.to_json()),
+                    ("name", Json::Str(name.clone())),
+                ];
+                // Omitted when `None`: a site-less hello stays
+                // byte-identical to the pre-fleet handshake.
+                if let Some(site) = site {
+                    fields.push(("site", Json::Str(site.clone())));
+                }
+                Json::obj(fields)
+            }
             Envelope::HelloAck { attached } => Json::obj([
                 ("t", Json::Str("hello_ack".into())),
                 ("attached", attached.to_json()),
@@ -103,6 +332,29 @@ impl ToJson for Envelope {
                 ("t", Json::Str("metrics_reply".into())),
                 ("m", metrics.to_json()),
             ]),
+            Envelope::SiteGone { site } => Json::obj([
+                ("t", Json::Str("site_gone".into())),
+                ("site", Json::Str(site.clone())),
+            ]),
+            Envelope::Fleet(op) => {
+                Json::obj([("t", Json::Str("fleet".into())), ("m", op.to_json())])
+            }
+            Envelope::FleetStatus { sites } => Json::obj([
+                ("t", Json::Str("fleet_status".into())),
+                ("sites", sites.to_json()),
+            ]),
+            Envelope::FleetAck {
+                op,
+                site,
+                ok,
+                detail,
+            } => Json::obj([
+                ("t", Json::Str("fleet_ack".into())),
+                ("op", Json::Str(op.clone())),
+                ("site", Json::Str(site.clone())),
+                ("ok", ok.to_json()),
+                ("detail", Json::Str(detail.clone())),
+            ]),
         }
     }
 }
@@ -117,6 +369,11 @@ impl FromJson for Envelope {
             "hello" => Ok(Envelope::Hello {
                 client: usize::from_json(value.field("client")?)?,
                 name: String::from_json(value.field("name")?)?,
+                // Absent on pre-fleet agents: decode as site-less.
+                site: match value.get("site") {
+                    None => None,
+                    Some(v) => Some(String::from_json(v)?),
+                },
             }),
             "hello_ack" => Ok(Envelope::HelloAck {
                 attached: Option::<usize>::from_json(value.field("attached")?)?,
@@ -133,6 +390,19 @@ impl FromJson for Envelope {
             "metrics" => Ok(Envelope::MetricsRequest),
             "metrics_reply" => Ok(Envelope::Metrics {
                 metrics: ObsSnapshot::from_json(value.field("m")?)?,
+            }),
+            "site_gone" => Ok(Envelope::SiteGone {
+                site: String::from_json(value.field("site")?)?,
+            }),
+            "fleet" => Ok(Envelope::Fleet(FleetOp::from_json(value.field("m")?)?)),
+            "fleet_status" => Ok(Envelope::FleetStatus {
+                sites: Vec::<SiteStatus>::from_json(value.field("sites")?)?,
+            }),
+            "fleet_ack" => Ok(Envelope::FleetAck {
+                op: String::from_json(value.field("op")?)?,
+                site: String::from_json(value.field("site")?)?,
+                ok: bool::from_json(value.field("ok")?)?,
+                detail: String::from_json(value.field("detail")?)?,
             }),
             other => Err(JsonError::shape(format!("unknown envelope tag {other:?}"))),
         }
@@ -225,6 +495,12 @@ mod tests {
         round_trip(Envelope::Hello {
             client: 4,
             name: "laptop-4".into(),
+            site: None,
+        });
+        round_trip(Envelope::Hello {
+            client: 4,
+            name: "laptop-4".into(),
+            site: Some("floor-3".into()),
         });
         round_trip(Envelope::HelloAck { attached: Some(2) });
         round_trip(Envelope::HelloAck { attached: None });
@@ -265,6 +541,92 @@ mod tests {
         round_trip(Envelope::Metrics {
             metrics: ObsSnapshot::default(),
         });
+        round_trip(Envelope::SiteGone {
+            site: "floor-3".into(),
+        });
+        round_trip(Envelope::Fleet(FleetOp::Status));
+        round_trip(Envelope::Fleet(FleetOp::Drain {
+            site: "floor-3".into(),
+        }));
+        round_trip(Envelope::Fleet(FleetOp::Remove {
+            site: "floor-3".into(),
+        }));
+        round_trip(Envelope::Fleet(FleetOp::Add {
+            spec: SiteSpec {
+                id: "annex".into(),
+                preset: "lab".into(),
+                users: 4,
+                seed: 7,
+                policy: "wolt".into(),
+                stop_after: Some(2),
+            },
+        }));
+        round_trip(Envelope::FleetStatus {
+            sites: vec![
+                SiteStatus {
+                    site: "annex".into(),
+                    state: "running".into(),
+                    users: 4,
+                    epochs_done: 2,
+                    events: 4,
+                },
+                SiteStatus {
+                    site: "floor-3".into(),
+                    state: "done".into(),
+                    users: 3,
+                    epochs_done: 3,
+                    events: 3,
+                },
+            ],
+        });
+        round_trip(Envelope::FleetStatus { sites: Vec::new() });
+        round_trip(Envelope::FleetAck {
+            op: "drain".into(),
+            site: "floor-3".into(),
+            ok: false,
+            detail: "unknown site".into(),
+        });
+    }
+
+    #[test]
+    fn site_less_hello_is_byte_identical_to_the_pre_fleet_frame() {
+        // A fleet-aware agent talking to a single-site daemon must put
+        // exactly the old bytes on the wire: the `site` field is
+        // omitted, not null.
+        let mut buf = Vec::new();
+        send(
+            &mut buf,
+            &Envelope::Hello {
+                client: 2,
+                name: "laptop-2".into(),
+                site: None,
+            },
+        )
+        .unwrap();
+        let mut old = Vec::new();
+        write_frame(
+            &mut old,
+            &Json::obj([
+                ("t", Json::Str("hello".into())),
+                ("client", Json::Int(2)),
+                ("name", Json::Str("laptop-2".into())),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(buf, old);
+    }
+
+    #[test]
+    fn spec_files_may_omit_stop_after() {
+        let spec = SiteSpec::from_json(&Json::obj([
+            ("id", Json::Str("a".into())),
+            ("preset", Json::Str("lab".into())),
+            ("users", Json::Int(3)),
+            ("seed", Json::Int(1)),
+            ("policy", Json::Str("wolt".into())),
+        ]))
+        .unwrap();
+        assert_eq!(spec.stop_after, None);
     }
 
     #[test]
@@ -279,6 +641,7 @@ mod tests {
             round_trip(Envelope::Hello {
                 client: 0,
                 name: name.into(),
+                site: Some(name.into()),
             });
             round_trip(Envelope::Shutdown {
                 reason: name.into(),

@@ -1,0 +1,48 @@
+//! `wolt-fleet` — a sharded multi-site controller: many independent
+//! WOLT PLC segments multiplexed behind one daemon process.
+//!
+//! An enterprise deployment is rarely one PLC segment. Each floor (or
+//! building wing) is its own electrically-isolated powerline network
+//! with its own extenders, its own users, and its own Central
+//! Controller state — but operators want *one* long-running service,
+//! one address, one snapshot root, one metrics endpoint. The fleet is
+//! exactly that: a [`server::Fleet`] owns one TCP listener and N
+//! independent [`wolt_daemon::SessionEngine`]s, one per site.
+//!
+//! The determinism contract survives multiplexing by construction:
+//!
+//! - **Routing, not sharing.** Agents declare their site in the
+//!   handshake (`hello.site`); the [`router::FleetRouter`] maps the
+//!   hello to that site's session inbox. A hello naming a site the
+//!   fleet does not host (or no longer hosts) gets the typed
+//!   [`wolt_daemon::Envelope::SiteGone`] reject, which agents treat as
+//!   fatal — never retried.
+//! - **One owner per site.** Sites are partitioned across shard
+//!   threads by [`shard::partition`] — a pure function of the sorted
+//!   site list and the shard count, independent of registry insertion
+//!   order and seeds. A shard steps each of its engines in turn; an
+//!   engine is only ever touched by its shard, so every site's decision
+//!   sequence is exactly the single-daemon sequence.
+//! - **Isolated persistence.** Each site snapshots into its own
+//!   subdirectory of the fleet root (`<root>/<site-id>/`), and every
+//!   snapshot stamps the site id into its header — a mis-wired root
+//!   fails typed ([`wolt_daemon::SnapshotCorrupt::WrongSite`]) instead
+//!   of silently adopting another segment's state.
+//!
+//! The headline invariant, proven by the integration tests: a fleet
+//! running N sites produces, per site, a canonical
+//! [`wolt_testbed::SessionReport`] byte-identical to N separate
+//! single-site daemons — at any shard count, including across a
+//! kill/restart from the fleet snapshot root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod server;
+pub mod shard;
+pub mod spec;
+
+pub use router::FleetRouter;
+pub use server::{Fleet, FleetConfig, FleetOutcome, SiteDef};
+pub use spec::FleetSpec;

@@ -1,0 +1,134 @@
+//! Deterministic site→shard assignment.
+//!
+//! The partition is a pure function of the *sorted* site list and the
+//! shard count: sort, dedup, then deal round-robin. No hashes, no
+//! seeds, no dependence on the order sites were registered — so the
+//! same configuration lands the same site on the same shard index on
+//! every run and every machine, and the determinism matrix can vary
+//! `WOLT_THREADS` freely without moving any site's *owner semantics*
+//! (one thread steps it exclusively either way).
+
+/// Partitions `ids` across `shards` buckets: the sorted, deduplicated
+/// site list is dealt round-robin (site at sorted index `i` goes to
+/// bucket `i % shards`). Always returns exactly `shards` buckets (empty
+/// ones included) so callers can zip buckets with shard threads.
+///
+/// # Panics
+///
+/// Panics when `shards` is zero — resolve the shard count (e.g. via
+/// [`wolt_support::pool::resolve_threads`]) before partitioning.
+pub fn partition(ids: &[String], shards: usize) -> Vec<Vec<String>> {
+    assert!(shards > 0, "cannot partition across zero shards");
+    let mut sorted: Vec<String> = ids.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut buckets: Vec<Vec<String>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, id) in sorted.into_iter().enumerate() {
+        buckets[i % shards].push(id);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolt_support::check::Runner;
+    use wolt_support::rng::RngCore as _;
+
+    fn random_ids(rng: &mut wolt_support::rng::ChaCha8Rng, max: usize) -> Vec<String> {
+        let n = (rng.next_u64() as usize) % (max + 1);
+        (0..n)
+            .map(|_| format!("site-{:02}", rng.next_u64() % 40))
+            .collect()
+    }
+
+    #[test]
+    fn assignment_is_invariant_under_insertion_order() {
+        Runner::new("assignment_is_invariant_under_insertion_order").run(
+            |rng| {
+                let ids = random_ids(rng, 24);
+                let shards = 1 + (rng.next_u64() as usize) % 8;
+                // A deterministic permutation of the same ids.
+                let mut shuffled = ids.clone();
+                for i in (1..shuffled.len()).rev() {
+                    let j = (rng.next_u64() as usize) % (i + 1);
+                    shuffled.swap(i, j);
+                }
+                (ids, shuffled, shards)
+            },
+            |(ids, shuffled, shards)| {
+                if partition(ids, *shards) == partition(shuffled, *shards) {
+                    Ok(())
+                } else {
+                    Err("permuting the registry order moved a site".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn every_site_lands_in_exactly_one_bucket() {
+        Runner::new("every_site_lands_in_exactly_one_bucket").run(
+            |rng| {
+                let ids = random_ids(rng, 24);
+                let shards = 1 + (rng.next_u64() as usize) % 8;
+                (ids, shards)
+            },
+            |(ids, shards)| {
+                let buckets = partition(ids, *shards);
+                if buckets.len() != *shards {
+                    return Err(format!("expected {shards} buckets, got {}", buckets.len()));
+                }
+                let mut seen: Vec<String> = buckets.concat();
+                seen.sort();
+                let mut expected = ids.clone();
+                expected.sort();
+                expected.dedup();
+                if seen != expected {
+                    return Err("buckets do not cover the deduped site set exactly".into());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn load_is_balanced_within_one() {
+        Runner::new("load_is_balanced_within_one").run(
+            |rng| {
+                let ids = random_ids(rng, 24);
+                let shards = 1 + (rng.next_u64() as usize) % 8;
+                (ids, shards)
+            },
+            |(ids, shards)| {
+                let buckets = partition(ids, *shards);
+                let min = buckets.iter().map(Vec::len).min().unwrap_or(0);
+                let max = buckets.iter().map(Vec::len).max().unwrap_or(0);
+                if max - min <= 1 {
+                    Ok(())
+                } else {
+                    Err(format!("bucket sizes spread {min}..{max}"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn dealt_in_sorted_order() {
+        let ids: Vec<String> = ["c", "a", "b", "d"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            partition(&ids, 2),
+            vec![
+                vec!["a".to_string(), "c".into()],
+                vec!["b".into(), "d".into()]
+            ]
+        );
+        assert_eq!(
+            partition(&ids, 1),
+            vec![vec!["a", "b", "c", "d"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()]
+        );
+    }
+}

@@ -387,6 +387,37 @@ pub fn histogram_with(name: &'static str, bounds: &'static [u64]) -> Histogram {
     }
 }
 
+/// Interns a dynamically-built instrument name, so runtime-composed
+/// labels (a fleet's per-site counters) can use the `&'static str`-keyed
+/// registry. Each distinct name leaks exactly once, however many times
+/// it is interned; the set of names in one process is small and bounded
+/// by the configuration (sites × metrics), so the leak is a registration,
+/// not a growth path.
+fn intern(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("obs intern lock");
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Returns (registering on first use) the counter `site.<site>.<name>` —
+/// one site's deterministic per-segment metric in a multi-site process.
+/// Site labels merge shard-order-invariantly for free: every counter
+/// lives in the same [`BTreeMap`]-backed registry, keyed by its full
+/// name, so [`snapshot`] renders identical output however sites were
+/// partitioned across shards.
+pub fn site_counter(site: &str, name: &str) -> Counter {
+    counter(intern(&format!("site.{site}.{name}")))
+}
+
 /// Convenience: `counter(name).add(n)`. Cold paths only — hot paths
 /// should cache the [`Counter`] handle.
 pub fn counter_add(name: &'static str, n: u64) {

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the wolt fleet: boot one `wolt serve --sites`
+# process hosting three PLC segments on 127.0.0.1, connect four agents
+# per site, drain one site mid-run over the wire (`wolt fleet drain`),
+# and require that the survivors converge untouched while the drained
+# site reports incomplete. Used by CI (with a hard timeout and
+# WOLT_THREADS=2) and runnable locally:
+#
+#   cargo build --release -p wolt-cli && bash scripts/fleet_smoke.sh
+set -euo pipefail
+
+BIN="${BIN:-target/release/wolt}"
+USERS="${USERS:-4}"
+
+WORK="$(mktemp -d)"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Three sites; beta gets drained before its agents ever connect, so its
+# connect window (30 s default) also bounds the script's worst case.
+cat > "$WORK/sites.json" <<EOF
+{"sites": [
+    {"id": "alpha", "preset": "lab", "users": $USERS, "seed": 11, "policy": "wolt"},
+    {"id": "beta",  "preset": "lab", "users": $USERS, "seed": 12, "policy": "greedy"},
+    {"id": "gamma", "preset": "lab", "users": $USERS, "seed": 13, "policy": "rssi"}
+]}
+EOF
+
+"$BIN" serve --addr 127.0.0.1:0 --sites "$WORK/sites.json" \
+    --snapshot "$WORK/fleet-root" --addr-file "$WORK/addr" \
+    --output "$WORK/report.json" --linger-ms 1000 &
+SERVE_PID=$!
+
+for _ in $(seq 1 200); do
+    [ -s "$WORK/addr" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "fleet exited before binding" >&2; exit 1; }
+    sleep 0.05
+done
+[ -s "$WORK/addr" ] || { echo "fleet never published its address" >&2; exit 1; }
+ADDR="$(cat "$WORK/addr")"
+
+# The registry answers status before any agent shows up.
+"$BIN" fleet status --addr "$ADDR" --output "$WORK/status.json"
+for site in alpha beta gamma; do
+    grep -q "\"$site\"" "$WORK/status.json" ||
+        { echo "fleet status is missing $site:" >&2; cat "$WORK/status.json" >&2; exit 1; }
+done
+
+# Drain beta mid-run: no agents will be routed to it, and the fleet must
+# finish without them.
+"$BIN" fleet drain --addr "$ADDR" --site beta
+
+# Survivors get their agents; beta gets none (its hello would be
+# refused with site_gone anyway — proven by the late-agent probe below).
+for site in alpha gamma; do
+    case "$site" in
+        alpha) SEED=11 ;;
+        gamma) SEED=13 ;;
+    esac
+    for i in $(seq 0 $((USERS - 1))); do
+        "$BIN" agent --addr "$ADDR" --site "$site" --preset lab --users "$USERS" \
+            --seed "$SEED" --client "$i" --name "$site-$i" &
+    done
+done
+
+# A straggler naming the drained site must fail fast (site_gone is
+# fatal), not hang retrying.
+if "$BIN" agent --addr "$ADDR" --site beta --preset lab --users "$USERS" \
+    --seed 12 --client 0 --name beta-late 2> "$WORK/late.err"; then
+    echo "agent for the drained site unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -qiE "gone|not hosted" "$WORK/late.err" ||
+    { echo "drained-site agent failed without the typed refusal:" >&2; cat "$WORK/late.err" >&2; exit 1; }
+
+wait "$SERVE_PID"
+
+# Survivors converged; the drained site is present but incomplete.
+python3 - "$WORK/report.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+sites = report["sites"]
+for site in ("alpha", "gamma"):
+    if not sites.get(site, {}).get("completed"):
+        sys.exit(f"site {site} did not converge: {sites.get(site)}")
+beta = sites.get("beta", {})
+if beta.get("completed"):
+    sys.exit("drained site beta reports completed")
+if "error" in beta:
+    sys.exit(f"drained site beta errored instead of stopping: {beta['error']}")
+EOF
+
+# Per-site snapshot isolation on disk: each surviving site owns its own
+# subdirectory under the fleet root.
+for site in alpha gamma; do
+    ls "$WORK/fleet-root/$site"/snapshot.*.json >/dev/null 2>&1 ||
+        { echo "no snapshot generations under fleet-root/$site" >&2; exit 1; }
+done
+
+wait
+echo "fleet smoke: 3 sites over $ADDR, beta drained mid-run;" \
+    "alpha and gamma converged with $USERS agents each, typed site_gone verified"

@@ -204,6 +204,7 @@ fn telemetry_flood_sheds_exactly_the_frames_beyond_the_inbox_cap() {
         &Envelope::Hello {
             client: 1,
             name: "flooder".into(),
+            site: None,
         },
     )
     .unwrap();

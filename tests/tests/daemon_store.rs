@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use wolt_daemon::store::decode_snapshot;
-use wolt_daemon::{DaemonError, DaemonSnapshot, SnapshotStore};
+use wolt_daemon::{DaemonError, DaemonSnapshot, SnapshotCorrupt, SnapshotStore};
 use wolt_support::check::Runner;
 use wolt_support::rng::RngCore;
 use wolt_testbed::{ControllerConfig, ControllerCore, ControllerPolicy};
@@ -137,7 +137,7 @@ fn damaged_stores_load_the_newest_intact_generation_or_refuse() {
                 let damaged = damage.apply(&bytes);
                 // Damage must actually damage: the verifier is the
                 // oracle here, and it is unit-tested separately.
-                if decode_snapshot(&damaged).is_ok() {
+                if decode_snapshot(&damaged, "").is_ok() {
                     return Err(format!(
                         "mutation left generation {generation} valid: {damage:?}"
                     ));
@@ -166,6 +166,47 @@ fn damaged_stores_load_the_newest_intact_generation_or_refuse() {
             let _ = std::fs::remove_dir_all(&dir);
             verdict
         });
+}
+
+#[test]
+fn an_intact_snapshot_for_another_site_fails_typed_not_rolled_back() {
+    // The fleet half of the damage contract: bit rot is a rollback
+    // candidate (older generations may verify), but an *intact*
+    // snapshot stamped with a different site id means the directory is
+    // mis-wired — loading must refuse with the typed error rather than
+    // roll back past it or silently adopt another segment's state.
+    let dir = case_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = SnapshotStore::open_site(&dir, 3, "floor-1").unwrap();
+    store.save(&sample(1)).unwrap();
+    store.save(&sample(2)).unwrap();
+    drop(store);
+
+    let foreign = SnapshotStore::open_site(&dir, 3, "floor-2").unwrap();
+    match foreign.load() {
+        Err(DaemonError::SnapshotCorrupt(SnapshotCorrupt::WrongSite {
+            expected, found, ..
+        })) => {
+            assert_eq!(expected, "floor-2");
+            assert_eq!(found, "floor-1");
+        }
+        other => panic!(
+            "expected SnapshotCorrupt::WrongSite, got {:?}",
+            other.map(|ok| ok.map(|(g, _)| g))
+        ),
+    }
+
+    // The rightful owner still loads the newest generation, so the
+    // foreign probe was side-effect free.
+    let owner = SnapshotStore::open_site(&dir, 3, "floor-1").unwrap();
+    match owner.load() {
+        Ok(Some((1, snapshot))) => assert_eq!(snapshot, sample(2)),
+        other => panic!(
+            "owner should load generation 1, got {:?}",
+            other.map(|ok| ok.map(|(g, _)| g))
+        ),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -105,6 +105,11 @@ fn arbitrary_envelope(rng: &mut impl Rng) -> Envelope {
         0 => Envelope::Hello {
             client: rng.gen_range(0..64usize),
             name: nasty_string(rng),
+            site: if rng.gen_range(0..2u32) == 0 {
+                None
+            } else {
+                Some(nasty_string(rng))
+            },
         },
         1 => Envelope::HelloAck {
             attached: if rng.gen_range(0..2u32) == 0 {
