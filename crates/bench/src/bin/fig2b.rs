@@ -6,7 +6,7 @@
 //! four outlets of a random building, attenuation → capacity, measured
 //! through the noisy offline estimation procedure.
 
-use wolt_bench::{columns, f2, header, measured, row};
+use wolt_bench::{columns, f2, header, measured, row, sort_by_metric};
 use wolt_plc::capacity::CapacityEstimator;
 use wolt_plc::channel::PlcChannelModel;
 use wolt_plc::topology::{random_building, BuildingConfig, OutletId};
@@ -34,7 +34,13 @@ fn main() {
             (j, att.value())
         })
         .collect();
-    outlets.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite attenuation"));
+    if let Err(e) = sort_by_metric(&mut outlets) {
+        eprintln!(
+            "fig2b: unusable attenuation ({e}); outlet {}",
+            outlets[e.index].0
+        );
+        std::process::exit(1);
+    }
     let picks = [outlets[0].0, outlets[8].0, outlets[16].0, outlets[23].0];
 
     columns(&[

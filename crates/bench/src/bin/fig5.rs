@@ -4,7 +4,7 @@
 //! ≈ 6 Mbit/s in total versus Greedy, while its three best users gain
 //! ≈ 38 Mbit/s — a modest fairness hit buys a large efficiency win.
 
-use wolt_bench::{columns, f2, header, measured, row};
+use wolt_bench::{columns, f2, header, measured, row, sort_by_metric};
 use wolt_testbed::experiment::{best_worst_users, TestbedExperiment};
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
         .iter()
         .map(|c| (c.topology, c.wolt.aggregate - c.greedy.aggregate))
         .collect();
-    gains.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains"));
+    if let Err(e) = sort_by_metric(&mut gains) {
+        eprintln!("fig5: unusable gain ({e}); topology {}", gains[e.index].0);
+        std::process::exit(1);
+    }
     let median_topology = gains[gains.len() / 2].0;
     let chosen = &comparisons[median_topology];
 

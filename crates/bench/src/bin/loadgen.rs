@@ -44,7 +44,10 @@ use wolt_support::json::{Json, ToJson};
 use wolt_support::obs;
 use wolt_support::rng::{ChaCha8Rng, SeedableRng};
 use wolt_testbed::protocol::ToController;
-use wolt_testbed::{run_faulty_session, ControllerPolicy, FaultPlan, RigConfig, SessionEvent};
+use wolt_testbed::{
+    coalesce_frames, run_faulty_session, ControllerConfig, ControllerCore, ControllerPolicy,
+    FaultPlan, ReportFrame, RigConfig, SessionEvent,
+};
 
 const SCENARIO_SEED: u64 = 42;
 const NOISE_SEED: u64 = 7;
@@ -356,6 +359,94 @@ fn stall_probe() -> u64 {
     obs::snapshot().counter("daemon.read_timeouts") - before.counter("daemon.read_timeouts")
 }
 
+/// What the coalescing probe measured, destined for the report's
+/// `coalescing` block: the same deterministic burst of scan reports
+/// replayed through two identical `ControllerCore`s — one report at a
+/// time, then in drained batches — with the planning work counted both
+/// ways.
+struct CoalescingProbe {
+    frames: usize,
+    batch_size: usize,
+    per_report_solves: u64,
+    batched_solves: u64,
+    warm_solves: u64,
+    frames_coalesced: usize,
+    solve_reduction: f64,
+}
+
+/// Burst-telemetry probe at the controller level. The wire path absorbs
+/// same-epoch burst copies in the watermark dedup, so the planning
+/// saving of coalescing is measured where it happens: a fixed frame
+/// sequence (each client reporting twice back-to-back, epochs strictly
+/// increasing) costs one solve per frame replayed singly, but one
+/// planning pass per drained batch — cold or warm — when coalesced.
+fn coalescing_probe(users: usize) -> CoalescingProbe {
+    const FRAMES: usize = 160;
+    const BATCH: usize = 8;
+    let scenario = probe_scenario(users, SCENARIO_SEED + 3);
+    let n_ext = scenario.extender_positions.len();
+    let config = || ControllerConfig {
+        policy: ControllerPolicy::Wolt,
+        estimated_capacities: scenario.capacities.clone(),
+        strict: false,
+    };
+    let frames: Vec<ReportFrame> = (0..FRAMES)
+        .map(|i| {
+            let client = (i / 2) % users;
+            let rates: Vec<_> = (0..n_ext).map(|j| scenario.rate(client, j)).collect();
+            let attached = (0..n_ext)
+                .max_by(|&a, &b| {
+                    let r = |j: usize| rates[j].map_or(f64::NEG_INFINITY, f64::from);
+                    r(a).total_cmp(&r(b))
+                })
+                .expect("scenario has extenders");
+            ReportFrame {
+                client,
+                epoch: (i + 1) as u64,
+                rates,
+                attached,
+            }
+        })
+        .collect();
+
+    let before = obs::snapshot();
+    let mut plain = ControllerCore::new(users, config());
+    for f in &frames {
+        if plain.is_duplicate(f.epoch) {
+            continue;
+        }
+        plain
+            .handle_report(f.client, f.epoch, &f.rates, f.attached)
+            .expect("per-report replay plans");
+    }
+    let mid = obs::snapshot();
+
+    let mut batched = ControllerCore::new(users, config());
+    let mut frames_coalesced = 0usize;
+    for chunk in frames.chunks(BATCH) {
+        let (kept, dropped) = coalesce_frames(chunk.to_vec());
+        frames_coalesced += dropped;
+        batched
+            .handle_report_batch(&kept)
+            .expect("batched replay plans");
+    }
+    let after = obs::snapshot();
+
+    let per_report_solves = mid.counter("core.solves") - before.counter("core.solves");
+    let batched_solves = after.counter("core.solves") - mid.counter("core.solves");
+    let warm_solves = after.counter("core.warm_solves") - mid.counter("core.warm_solves");
+    let batched_passes = (batched_solves + warm_solves).max(1);
+    CoalescingProbe {
+        frames: FRAMES,
+        batch_size: BATCH,
+        per_report_solves,
+        batched_solves,
+        warm_solves,
+        frames_coalesced,
+        solve_reduction: per_report_solves as f64 / batched_passes as f64,
+    }
+}
+
 /// What the multi-site fleet run measured, destined for the report's
 /// `fleet` block: sustained throughput across all sites sharing one
 /// daemon, and each site's tail re-solve latency.
@@ -558,6 +649,33 @@ fn main() {
     columns(&fleet_cols.iter().map(String::as_str).collect::<Vec<_>>());
     row(&fleet_row);
 
+    // Burst coalescing: the same frame sequence costs one solve per
+    // report replayed singly, one planning pass per drained batch.
+    let coalescing = coalescing_probe(users);
+    assert!(
+        coalescing.solve_reduction >= 2.0,
+        "coalescing saved less than 2x planning work ({:.2}x)",
+        coalescing.solve_reduction
+    );
+    columns(&[
+        "burst_frames",
+        "burst_batch",
+        "per_report_solves",
+        "batched_solves",
+        "warm_solves",
+        "frames_coalesced",
+        "solve_reduction",
+    ]);
+    row(&[
+        coalescing.frames.to_string(),
+        coalescing.batch_size.to_string(),
+        coalescing.per_report_solves.to_string(),
+        coalescing.batched_solves.to_string(),
+        coalescing.warm_solves.to_string(),
+        coalescing.frames_coalesced.to_string(),
+        f2(coalescing.solve_reduction),
+    ]);
+
     let chaos = chaos_probes(users);
     assert!(
         chaos.canonical_match,
@@ -632,6 +750,22 @@ fn main() {
                 ),
             ]),
         ),
+        // Burst-telemetry coalescing at the controller: planning work
+        // per frame replayed singly vs per drained batch (cold solves
+        // plus warm-started refinements), and the frames dropped as
+        // stale burst copies along the way.
+        (
+            "coalescing",
+            Json::obj(vec![
+                ("frames", coalescing.frames.to_json()),
+                ("batch_size", coalescing.batch_size.to_json()),
+                ("per_report_solves", coalescing.per_report_solves.to_json()),
+                ("batched_solves", coalescing.batched_solves.to_json()),
+                ("warm_solves", coalescing.warm_solves.to_json()),
+                ("frames_coalesced", coalescing.frames_coalesced.to_json()),
+                ("solve_reduction", coalescing.solve_reduction.to_json()),
+            ]),
+        ),
         // The robustness surface, measured live: torn-store recovery,
         // inbox shedding, connection-cap rejections, read deadlines.
         (
@@ -668,6 +802,16 @@ fn main() {
             .map(|(site, p99)| format!("{site} = {p99:.0} us"))
             .collect::<Vec<_>>()
             .join(", "),
+    ));
+    measured(&format!(
+        "coalescing turned {} burst frames into {} planning passes ({} cold + {} warm, \
+         {} stale frames dropped): {:.1}x less solver work than per-report handling",
+        coalescing.frames,
+        coalescing.batched_solves + coalescing.warm_solves,
+        coalescing.batched_solves,
+        coalescing.warm_solves,
+        coalescing.frames_coalesced,
+        coalescing.solve_reduction,
     ));
     measured(&format!(
         "torn-store recovery in {:.0} ms ({} epochs replayed, {} rollback, byte-identical); \

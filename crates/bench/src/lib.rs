@@ -48,6 +48,40 @@ pub fn measured(summary: &str) {
     println!("# measured: {summary}");
 }
 
+/// A `(key, metric)` slice handed to [`sort_by_metric`] contained a NaN
+/// metric at `index` — the caller's spec or model produced an unusable
+/// value, which deserves a diagnostic, not a comparator panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NanMetric {
+    /// Position of the offending entry in the input slice.
+    pub index: usize,
+}
+
+impl std::fmt::Display for NanMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metric at index {} is NaN", self.index)
+    }
+}
+
+impl std::error::Error for NanMetric {}
+
+/// Sorts `(key, metric)` pairs ascending by metric, using the
+/// workspace's `f64::total_cmp` convention after rejecting NaN with a
+/// typed error (the first offender's index). Stable, so equal metrics —
+/// including `-0.0` vs `0.0`, which `total_cmp` distinguishes but keeps
+/// adjacent — preserve their input order deterministically.
+///
+/// # Errors
+///
+/// [`NanMetric`] when any metric is NaN; the slice is left unsorted.
+pub fn sort_by_metric<T>(items: &mut [(T, f64)]) -> Result<(), NanMetric> {
+    if let Some(index) = items.iter().position(|(_, m)| m.is_nan()) {
+        return Err(NanMetric { index });
+    }
+    items.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Ok(())
+}
+
 /// Nearest-rank percentile (`p` in percent, 0–100) over ascending-sorted
 /// samples.
 ///
@@ -110,6 +144,46 @@ mod tests {
         for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
             assert_eq!(percentile_sorted(&samples, p), Some(3));
         }
+    }
+
+    #[test]
+    fn sort_by_metric_orders_ascending() {
+        let mut items = vec![("c", 3.0), ("a", 1.0), ("b", 2.0)];
+        sort_by_metric(&mut items).unwrap();
+        assert_eq!(items, vec![("a", 1.0), ("b", 2.0), ("c", 3.0)]);
+    }
+
+    #[test]
+    fn sort_by_metric_rejects_nan_with_index() {
+        let mut items = vec![("a", 1.0), ("bad", f64::NAN), ("c", 3.0)];
+        assert_eq!(sort_by_metric(&mut items), Err(NanMetric { index: 1 }));
+        // The slice is untouched on rejection.
+        assert_eq!(items[0], ("a", 1.0));
+        assert_eq!(items[2], ("c", 3.0));
+        assert_eq!(
+            NanMetric { index: 1 }.to_string(),
+            "metric at index 1 is NaN"
+        );
+    }
+
+    #[test]
+    fn sort_by_metric_totally_orders_edge_floats() {
+        // total_cmp puts -0.0 before 0.0 and handles infinities without
+        // a comparator panic; equal keys keep input order (stable sort).
+        let mut items = vec![
+            ("pinf", f64::INFINITY),
+            ("zero", 0.0),
+            ("first", 1.0),
+            ("negzero", -0.0),
+            ("second", 1.0),
+            ("ninf", f64::NEG_INFINITY),
+        ];
+        sort_by_metric(&mut items).unwrap();
+        let keys: Vec<&str> = items.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            vec!["ninf", "negzero", "zero", "first", "second", "pinf"]
+        );
     }
 
     #[test]

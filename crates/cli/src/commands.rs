@@ -136,15 +136,19 @@ pub fn solve_with_threads(
     let instance = policy.instantiate(seed, threads);
     let assoc = instance.associate(&network)?;
     let eval = evaluate(&network, &assoc)?;
+    // Policies are contracted to return complete associations, but that
+    // contract is theirs to break on a user-supplied spec — surface a
+    // typed error, never a panic, if one does.
+    let association = (0..network.users())
+        .map(|i| {
+            assoc.target(i).ok_or_else(|| CliError::Library {
+                message: format!("policy {} left user {i} unassociated", instance.name()),
+            })
+        })
+        .collect::<Result<Vec<usize>, CliError>>()?;
     Ok(SolveReport {
         policy: instance.name().to_string(),
-        association: (0..network.users())
-            .map(|i| {
-                assoc
-                    .target(i)
-                    .expect("policies return complete associations")
-            })
-            .collect(),
+        association,
         per_user_mbps: eval.per_user.iter().map(|t| t.value()).collect(),
         aggregate_mbps: eval.aggregate.value(),
         jain: wolt_core::fairness::jain_index(&eval.per_user),
@@ -291,6 +295,38 @@ mod tests {
         assert_eq!(report.association, vec![1, 0]);
         let rssi = solve(&fig3_spec(), PolicyChoice::Rssi, 0).unwrap();
         assert!((rssi.aggregate_mbps - 240.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_specs_yield_typed_errors_not_panics() {
+        // Zero extenders and unreachable users are valid *user input*
+        // (a hand-written spec file); every policy must surface a typed
+        // CliError — the old `.expect("policies return complete
+        // associations")` path must never be reachable.
+        let no_extenders = NetworkSpec {
+            capacities: vec![],
+            rates: vec![vec![], vec![]],
+        };
+        let unreachable_user = NetworkSpec {
+            capacities: vec![60.0, 20.0],
+            rates: vec![vec![15.0, 10.0], vec![0.0, -1.0]],
+        };
+        for spec in [&no_extenders, &unreachable_user] {
+            for policy in [
+                PolicyChoice::Wolt,
+                PolicyChoice::Greedy,
+                PolicyChoice::SelfishGreedy,
+                PolicyChoice::Rssi,
+                PolicyChoice::Optimal,
+                PolicyChoice::Random,
+            ] {
+                let err = solve(spec, policy, 0).expect_err("degenerate spec must error");
+                assert!(
+                    matches!(err, CliError::Library { .. } | CliError::BadInput { .. }),
+                    "unexpected error shape: {err:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use wolt_daemon::wire::FleetOp;
-use wolt_daemon::{run_agent, run_site_agent, wire, AgentRetry, Daemon, DaemonConfig, Envelope};
+use wolt_daemon::{run_agent_burst, wire, AgentRetry, Daemon, DaemonConfig, Envelope};
 use wolt_fleet::{Fleet, FleetConfig, FleetSpec};
 use wolt_sim::scenario::ScenarioConfig;
 use wolt_sim::Scenario;
@@ -80,6 +80,8 @@ pub struct ServeOptions {
     /// How long the daemon keeps serving metrics queries after the last
     /// event, before dismissing agents.
     pub linger: Duration,
+    /// Telemetry coalescing at the session engine (`--coalesce on|off`).
+    pub coalesce: bool,
 }
 
 /// Boots the daemon, runs one session where every user joins in index
@@ -97,6 +99,7 @@ pub fn serve(opts: &ServeOptions) -> Result<String, CliError> {
     config.noise_seed = opts.noise_seed;
     config.snapshot_dir = opts.snapshot.clone();
     config.linger = opts.linger;
+    config.coalesce = opts.coalesce;
     let daemon = Daemon::bind(opts.addr.as_str(), scenario, events, config)?;
     let bound = daemon.local_addr()?;
     if let Some(path) = &opts.addr_file {
@@ -138,6 +141,8 @@ pub struct FleetServeOptions {
     pub metrics_out: Option<PathBuf>,
     /// Listener grace period after the last site finishes.
     pub linger: Duration,
+    /// Telemetry coalescing at every site engine (`--coalesce on|off`).
+    pub coalesce: bool,
 }
 
 /// Boots a multi-site fleet from a spec file, runs every site to
@@ -158,6 +163,7 @@ pub fn serve_fleet(opts: &FleetServeOptions) -> Result<String, CliError> {
         shards: opts.shards,
         snapshot_root: opts.snapshot.clone(),
         linger: opts.linger,
+        coalesce: opts.coalesce,
         ..FleetConfig::default()
     };
     let fleet = Fleet::bind(opts.addr.as_str(), defs, config)?;
@@ -294,6 +300,7 @@ pub fn metrics(addr: &str) -> Result<String, CliError> {
 ///
 /// [`CliError::Net`] when the daemon cannot be reached, the connection
 /// drops mid-session, or the named site is gone.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI flag surface one-to-one
 pub fn agent(
     addr: &str,
     preset: PresetChoice,
@@ -302,12 +309,18 @@ pub fn agent(
     client: usize,
     name: &str,
     site: Option<&str>,
+    burst: u32,
 ) -> Result<String, CliError> {
     let scenario = scenario_for(preset, users, seed)?;
-    let outcome = match site {
-        Some(site) => run_site_agent(addr, &scenario, site, client, name, &AgentRetry::default())?,
-        None => run_agent(addr, &scenario, client, name)?,
-    };
+    let outcome = run_agent_burst(
+        addr,
+        &scenario,
+        site,
+        client,
+        name,
+        &AgentRetry::default(),
+        burst,
+    )?;
     Ok(format!(
         "agent {client} ({name}) done: attached={} directives_applied={}",
         outcome
@@ -333,6 +346,7 @@ mod tests {
             addr_file: None,
             metrics_out: None,
             linger: Duration::ZERO,
+            coalesce: true,
         }
     }
 
@@ -372,7 +386,7 @@ mod tests {
         let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = probe.local_addr().unwrap().to_string();
         drop(probe);
-        let err = agent(&addr, PresetChoice::Lab, 7, 1, 0, "lonely", None).unwrap_err();
+        let err = agent(&addr, PresetChoice::Lab, 7, 1, 0, "lonely", None, 1).unwrap_err();
         assert!(
             matches!(err, CliError::Net { .. }),
             "expected CliError::Net, got {err:?}"
@@ -381,7 +395,7 @@ mod tests {
 
     #[test]
     fn agent_with_out_of_range_client_is_not_a_net_error() {
-        let err = agent("127.0.0.1:1", PresetChoice::Lab, 7, 1, 99, "ghost", None).unwrap_err();
+        let err = agent("127.0.0.1:1", PresetChoice::Lab, 7, 1, 99, "ghost", None, 1).unwrap_err();
         assert!(matches!(err, CliError::Library { .. }));
     }
 }

@@ -31,10 +31,24 @@ struct ClientEntry {
 
 /// Per-client last-known-good rate cache with exponential smoothing and
 /// staleness ages.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TelemetryCache {
     alpha: f64,
     entries: Vec<Option<ClientEntry>>,
+    /// Bumped on every mutation that can change the *rates* a planner
+    /// would read (accepted report, forget, eviction) — see
+    /// [`version`](Self::version).
+    version: u64,
+}
+
+impl PartialEq for TelemetryCache {
+    /// Equality compares cache *content* (alpha and entries), not
+    /// [`version`](Self::version): the version is a session-local
+    /// invalidation stamp, deliberately not part of snapshots, so a
+    /// restored cache must compare equal to its original.
+    fn eq(&self, other: &Self) -> bool {
+        self.alpha == other.alpha && self.entries == other.entries
+    }
 }
 
 impl TelemetryCache {
@@ -55,7 +69,24 @@ impl TelemetryCache {
         Self {
             alpha,
             entries: vec![None; clients],
+            version: 0,
         }
+    }
+
+    /// A monotone stamp of the cache's *rate content*: any mutation that
+    /// could change what a planner derives from the cache (an accepted
+    /// report whose smoothed rates differ from the cached ones, a
+    /// [`forget`](Self::forget), an eviction) bumps it, while content
+    /// no-ops — rejected duplicates, re-reports of unchanged rates (the
+    /// EWMA fixed point), [`advance_epoch`](Self::advance_epoch) aging,
+    /// forgetting an unknown client — do not. A planner caching a view
+    /// built from these rates can compare versions instead of rates.
+    ///
+    /// The version is session-local: it is not snapshotted, and a cache
+    /// rebuilt via [`from_entries`](Self::from_entries) restarts at a
+    /// fresh count (equality ignores it).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of client slots.
@@ -84,16 +115,25 @@ impl TelemetryCache {
                     return false;
                 }
                 wolt_support::obs::counter_inc("cc.telemetry_hits");
+                let mut changed = false;
                 for (cached, &new) in entry.rates.iter_mut().zip(rates) {
-                    *cached = match (*cached, new) {
+                    let next = match (*cached, new) {
                         (Some(old), Some(new)) => Some(Mbps::new(
                             self.alpha * new.value() + (1.0 - self.alpha) * old.value(),
                         )),
                         _ => new,
                     };
+                    changed |= next != *cached;
+                    *cached = next;
                 }
                 entry.staleness = 0;
                 entry.last_epoch = epoch;
+                // A re-report of unchanged rates (the EWMA fixed point)
+                // leaves the planning content intact: keep the version,
+                // so a cached planning view stays reusable across epochs.
+                if changed {
+                    self.version += 1;
+                }
                 true
             }
             slot @ None => {
@@ -102,6 +142,7 @@ impl TelemetryCache {
                     staleness: 0,
                     last_epoch: epoch,
                 });
+                self.version += 1;
                 true
             }
         }
@@ -121,7 +162,9 @@ impl TelemetryCache {
     ///
     /// Panics if `client` is out of range.
     pub fn forget(&mut self, client: usize) {
-        self.entries[client] = None;
+        if self.entries[client].take().is_some() {
+            self.version += 1;
+        }
     }
 
     /// Whether the cache holds rates for `client`.
@@ -166,6 +209,9 @@ impl TelemetryCache {
             }
         }
         wolt_support::obs::counter_add("cc.telemetry_evictions", evicted.len() as u64);
+        if !evicted.is_empty() {
+            self.version += 1;
+        }
         evicted
     }
 
@@ -334,6 +380,43 @@ mod tests {
         assert_eq!(cache.staleness(1), Some(2));
         assert_eq!(cache.evict_stale(2), Vec::<usize>::new());
         assert!(cache.is_known(1));
+    }
+
+    #[test]
+    fn version_tracks_rate_content_only() {
+        let mut cache = TelemetryCache::new(2, 0.5);
+        let v0 = cache.version();
+        // No-ops leave the version alone…
+        cache.advance_epoch();
+        cache.forget(0);
+        assert_eq!(cache.evict_stale(10), Vec::<usize>::new());
+        assert_eq!(cache.version(), v0);
+        // …accepted reports bump it…
+        assert!(cache.record(0, 0, &[mb(10.0)]));
+        let v1 = cache.version();
+        assert!(v1 > v0);
+        // …a rejected duplicate does not…
+        assert!(!cache.record(0, 0, &[mb(10.0)]));
+        assert_eq!(cache.version(), v1);
+        // …nor does an accepted re-report of unchanged rates (EWMA of
+        // identical samples is a fixed point at alpha = 0.5)…
+        assert!(cache.record(0, 1, &[mb(10.0)]));
+        assert_eq!(cache.version(), v1);
+        // …while genuinely new rates do.
+        assert!(cache.record(0, 2, &[mb(30.0)]));
+        assert!(cache.version() > v1);
+        // …and forgetting a known client does.
+        let v2 = cache.version();
+        cache.forget(0);
+        assert!(cache.version() > v2);
+        // Eviction of a real entry bumps too.
+        cache.record(1, 0, &[mb(5.0)]);
+        let v3 = cache.version();
+        for _ in 0..3 {
+            cache.advance_epoch();
+        }
+        assert_eq!(cache.evict_stale(1), vec![1]);
+        assert!(cache.version() > v3);
     }
 
     #[test]

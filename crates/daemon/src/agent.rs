@@ -59,16 +59,33 @@ impl Default for AgentRetry {
 }
 
 impl AgentRetry {
-    /// The wait after failed attempt `attempt` (1-based).
+    /// The wait after failed attempt `attempt` (1-based): a jittered
+    /// fraction in `[0.5, 1.0)` of `capped = min(base · 2^(attempt−1),
+    /// cap)`.
+    ///
+    /// Computed in integer nanoseconds so both documented bounds hold
+    /// *exactly*: the doubling saturates (never wraps or stalls below
+    /// `cap`, even past the old 20-bit shift boundary or from a
+    /// sub-millisecond `base`), and the jittered wait can never round up
+    /// to `capped` itself the way `mul_f64` could.
     fn backoff(&self, client: usize, attempt: u32) -> Duration {
-        let doubled = self
-            .base
-            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(20));
-        let capped = doubled.min(self.cap);
+        let base = self.base.as_nanos().max(1);
+        let cap = self.cap.as_nanos().max(1);
+        let shift = attempt.saturating_sub(1);
+        let doubled = if shift >= base.leading_zeros() {
+            u128::MAX
+        } else {
+            base << shift
+        };
+        let capped = doubled.min(cap);
         let mut mix = SplitMix64::new(self.seed ^ ((client as u64) << 32) ^ u64::from(attempt));
-        // Top 53 bits → a uniform fraction in [0, 1), mapped to [0.5, 1).
-        let fraction = (mix.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        capped.mul_f64(0.5 + fraction / 2.0)
+        // wait = half + floor(half · r / 2^64) ∈ [half, 2·half), i.e.
+        // within [capped/2, capped) — strictly below the ceiling. The
+        // product is split so a huge cap cannot overflow the u128.
+        let half = capped / 2;
+        let r = u128::from(mix.next_u64());
+        let extra = (half >> 64) * r + (((half & u128::from(u64::MAX)) * r) >> 64);
+        Duration::from_nanos(u64::try_from(half + extra).unwrap_or(u64::MAX))
     }
 }
 
@@ -163,7 +180,7 @@ pub fn run_site_agent(
     name: &str,
     retry: &AgentRetry,
 ) -> Result<AgentOutcome, DaemonError> {
-    run_agent_sited(addr, scenario, Some(site), client, name, retry)
+    run_agent_sited(addr, scenario, Some(site), client, name, retry, 1)
 }
 
 /// Runs one agent to completion: connect (with `retry`'s bounded
@@ -190,11 +207,34 @@ pub fn run_agent_with(
     name: &str,
     retry: &AgentRetry,
 ) -> Result<AgentOutcome, DaemonError> {
-    run_agent_sited(addr, scenario, None, client, name, retry)
+    run_agent_sited(addr, scenario, None, client, name, retry, 1)
 }
 
-/// The shared agent loop behind [`run_agent_with`] (site-less) and
-/// [`run_site_agent`] (sited).
+/// Runs one agent that answers every join with a *burst* of `burst`
+/// identical scan reports instead of one — a load-shape knob for
+/// exercising the daemon's telemetry-coalescing path. Protocol-safe at
+/// any burst size (the controller dedups repeated reports by epoch);
+/// `burst <= 1` is byte-identical to [`run_agent_with`] /
+/// [`run_site_agent`].
+///
+/// # Errors
+///
+/// As [`run_agent_with`] (and, when `site` is set,
+/// [`run_site_agent`]).
+pub fn run_agent_burst(
+    addr: impl ToSocketAddrs,
+    scenario: &Scenario,
+    site: Option<&str>,
+    client: usize,
+    name: &str,
+    retry: &AgentRetry,
+    burst: u32,
+) -> Result<AgentOutcome, DaemonError> {
+    run_agent_sited(addr, scenario, site, client, name, retry, burst)
+}
+
+/// The shared agent loop behind [`run_agent_with`] (site-less),
+/// [`run_site_agent`] (sited), and [`run_agent_burst`] (bursty).
 fn run_agent_sited(
     addr: impl ToSocketAddrs,
     scenario: &Scenario,
@@ -202,6 +242,7 @@ fn run_agent_sited(
     client: usize,
     name: &str,
     retry: &AgentRetry,
+    burst: u32,
 ) -> Result<AgentOutcome, DaemonError> {
     let n_users = scenario.user_positions.len();
     let n_ext = scenario.extender_positions.len();
@@ -248,6 +289,7 @@ fn run_agent_sited(
             attached,
             &rates,
             &mut directives_applied,
+            burst,
         )? {
             ServeEnd::Dismissed(outcome) => return Ok(outcome),
             // The daemon vanished mid-session (crash, restart,
@@ -287,6 +329,7 @@ fn serve(
     mut attached: Option<usize>,
     rates: &[Option<Mbps>],
     directives_applied: &mut usize,
+    burst: u32,
 ) -> Result<ServeEnd, DaemonError> {
     // A restored attachment means this client was mid-session when the
     // controller died: the radio is still associated.
@@ -328,16 +371,23 @@ fn serve(
                 }
                 // Retransmitted joins re-send the report without
                 // re-scanning, so an applied directive is never
-                // clobbered.
-                wire::send(
-                    stream,
-                    &Envelope::Ctrl(ToController::Report {
-                        client,
-                        epoch,
-                        rates: rates.to_vec(),
-                        attached: attached.expect("joined agent is attached"),
-                    }),
-                )
+                // clobbered. A bursty agent repeats the same report:
+                // the extras are redundant by construction (same epoch),
+                // which is exactly what coalescing should absorb.
+                let report = Envelope::Ctrl(ToController::Report {
+                    client,
+                    epoch,
+                    rates: rates.to_vec(),
+                    attached: attached.expect("joined agent is attached"),
+                });
+                let mut sent = wire::send(stream, &report);
+                for _ in 1..burst.max(1) {
+                    if sent.is_err() {
+                        break;
+                    }
+                    sent = wire::send(stream, &report);
+                }
+                sent
             }
             Envelope::Agent(ToAgent::Leave { epoch, attempt: _ }) => {
                 if joined {
@@ -393,5 +443,107 @@ fn serve(
         if sent.is_err() {
             return Ok(ServeEnd::Lost);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retry(base: Duration, cap: Duration) -> AgentRetry {
+        AgentRetry {
+            attempts: 10,
+            base,
+            cap,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The ceiling `capped = min(base · 2^(attempt−1), cap)` without
+    /// jitter, mirroring the documented contract.
+    fn ceiling(r: &AgentRetry, attempt: u32) -> Duration {
+        let base = r.base.as_nanos().max(1);
+        let shift = attempt.saturating_sub(1);
+        let doubled = if shift >= base.leading_zeros() {
+            u128::MAX
+        } else {
+            base << shift
+        };
+        Duration::from_nanos(
+            u64::try_from(doubled.min(r.cap.as_nanos().max(1))).unwrap_or(u64::MAX),
+        )
+    }
+
+    #[test]
+    fn backoff_stays_in_documented_jitter_range() {
+        let r = retry(Duration::from_millis(25), Duration::from_secs(1));
+        for client in 0..16 {
+            for attempt in 1..=64 {
+                let capped = ceiling(&r, attempt);
+                let wait = r.backoff(client, attempt);
+                assert!(
+                    wait >= capped / 2 && wait < capped,
+                    "client {client} attempt {attempt}: {wait:?} outside [{:?}, {capped:?})",
+                    capped / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_honors_cap_past_the_shift_boundary() {
+        // A sub-millisecond base needs > 20 doublings to reach a 1 s
+        // cap; the old 20-bit shift clamp stalled it at ~105 ms forever.
+        let r = retry(Duration::from_nanos(100), Duration::from_secs(1));
+        for attempt in [21, 24, 25, 40, 64, u32::MAX] {
+            let wait = r.backoff(3, attempt);
+            assert!(wait < r.cap, "attempt {attempt}: {wait:?} >= cap");
+        }
+        // Once doubled past the cap, the jittered wait must reach the
+        // cap's range — at least cap/2.
+        for attempt in [25, 40, 64, u32::MAX] {
+            let wait = r.backoff(3, attempt);
+            assert!(
+                wait >= r.cap / 2,
+                "attempt {attempt}: {wait:?} never reached the cap range"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_never_equals_the_ceiling_exactly() {
+        // mul_f64's rounding could return `capped` itself, violating the
+        // strict upper bound; integer math cannot.
+        let r = retry(Duration::from_secs(1), Duration::from_secs(1));
+        for client in 0..64 {
+            for attempt in 1..=8 {
+                assert!(r.backoff(client, attempt) < ceiling(&r, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_client_attempt() {
+        let r = retry(Duration::from_millis(25), Duration::from_secs(1));
+        assert_eq!(r.backoff(2, 3), r.backoff(2, 3));
+        assert_ne!(r.backoff(2, 3), r.backoff(3, 3));
+        let other = AgentRetry {
+            seed: 1,
+            ..r.clone()
+        };
+        assert_ne!(r.backoff(2, 3), other.backoff(2, 3));
+    }
+
+    #[test]
+    fn backoff_survives_degenerate_durations() {
+        // Zero base/cap clamp to 1 ns rather than dividing by zero or
+        // wrapping; huge caps saturate instead of overflowing.
+        let r = retry(Duration::ZERO, Duration::ZERO);
+        assert!(r.backoff(0, 1) <= Duration::from_nanos(1));
+        // A cap beyond u64 nanoseconds saturates the returned Duration
+        // at u64::MAX ns (~584 years) instead of wrapping.
+        let huge = retry(Duration::from_secs(u64::MAX), Duration::MAX);
+        let wait = huge.backoff(0, u32::MAX);
+        assert_eq!(wait, Duration::from_nanos(u64::MAX));
     }
 }

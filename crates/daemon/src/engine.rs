@@ -36,8 +36,8 @@ use wolt_support::{crash_point, obs};
 use wolt_testbed::codec::ReadPatience;
 use wolt_testbed::protocol::{ToAgent, ToClient, ToController};
 use wolt_testbed::{
-    assemble_report, ControllerConfig, ControllerCore, Deadlines, Directive, SessionEvent,
-    SessionLedger, TestbedError,
+    assemble_report, coalesce_frames, ControllerConfig, ControllerCore, Deadlines, Directive,
+    ReportFrame, SessionEvent, SessionLedger, TestbedError,
 };
 use wolt_units::Mbps;
 
@@ -96,6 +96,28 @@ pub fn note_frame_out(bytes: usize) {
 /// load-bearing — dropping one would wedge a transaction or the session.
 pub fn incoming_sheddable(msg: &Incoming) -> bool {
     matches!(msg, Incoming::Msg(ToController::Report { .. }))
+}
+
+/// Converts a drained run of sheddable messages into core report frames.
+/// The inbox only batches consecutive messages matching
+/// [`incoming_sheddable`], so everything here is a scan report.
+fn report_frames(run: Vec<Incoming>) -> Vec<ReportFrame> {
+    run.into_iter()
+        .filter_map(|m| match m {
+            Incoming::Msg(ToController::Report {
+                client,
+                epoch,
+                rates,
+                attached,
+            }) => Some(ReportFrame {
+                client,
+                epoch,
+                rates,
+                attached,
+            }),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Everything a reader task can feed a session engine.
@@ -284,6 +306,12 @@ impl SessionEngine {
             msgs_in: 0,
             latencies: Vec::new(),
             stop_reason: None,
+            coalesce: config.coalesce,
+            ctr_coalesced: if site.is_empty() {
+                None
+            } else {
+                Some(obs::site_counter(site, "frames_coalesced"))
+            },
         };
         let (ctr_epochs, ctr_solved) = if site.is_empty() {
             (None, None)
@@ -843,6 +871,10 @@ struct Session {
     msgs_in: usize,
     latencies: Vec<Duration>,
     stop_reason: Option<String>,
+    /// Drain-what's-queued telemetry coalescing (`DaemonConfig::coalesce`).
+    coalesce: bool,
+    /// Per-site twin of `daemon.frames_coalesced` (fleet engines only).
+    ctr_coalesced: Option<obs::Counter>,
 }
 
 /// A directive awaiting its ack over TCP.
@@ -884,8 +916,8 @@ impl Session {
             let deadline = Instant::now() + self.deadlines.event;
             loop {
                 let wait = deadline.saturating_duration_since(Instant::now());
-                let incoming = match self.rx.recv_timeout(wait) {
-                    Ok(m) => m,
+                let mut drained = match self.recv_run(wait) {
+                    Ok(batch) => batch,
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => {
                         return Err(TestbedError::ChannelClosed {
@@ -894,6 +926,19 @@ impl Session {
                         .into())
                     }
                 };
+                if drained.len() > 1 {
+                    // A multi-message drain is, by construction, a
+                    // consecutive run of scan reports: coalesce and plan
+                    // once for the whole burst.
+                    self.msgs_in += drained.len();
+                    if let Some(done_epoch) = self.process_report_run(drained)? {
+                        if done_epoch == epoch {
+                            return Ok(EventEnd::Completed);
+                        }
+                    }
+                    continue;
+                }
+                let incoming = drained.pop().expect("drained run is never empty");
                 match incoming {
                     Incoming::Register { client: c, writer } => {
                         self.writers[c] = Some(writer);
@@ -965,6 +1010,49 @@ impl Session {
         }
     }
 
+    /// Receives from the inbox: a consecutive run of coalescible scan
+    /// reports when coalescing is on, exactly one message when it is
+    /// off. Batching is structural (drain-what's-queued), never
+    /// time-based, so a clean serialized session — where at most one
+    /// report is ever queued — behaves identically either way.
+    fn recv_run(&self, wait: Duration) -> Result<Vec<Incoming>, RecvTimeoutError> {
+        if self.coalesce {
+            self.rx.recv_batch_timeout(wait, incoming_sheddable)
+        } else {
+            self.rx.recv_timeout(wait).map(|m| vec![m])
+        }
+    }
+
+    /// Counts frames dropped by coalescing, globally and per site.
+    fn note_coalesced(&self, dropped: usize) {
+        if dropped == 0 {
+            return;
+        }
+        obs::counter("daemon.frames_coalesced").add(dropped as u64);
+        if let Some(ctr) = &self.ctr_coalesced {
+            ctr.add(dropped as u64);
+        }
+    }
+
+    /// Feeds a drained run of scan reports through the core as one
+    /// batch: coalesce each client to its newest frame, ingest the
+    /// survivors, plan once, transact once. Returns the epoch of the
+    /// completed event transaction, if the batch contained one.
+    fn process_report_run(&mut self, run: Vec<Incoming>) -> Result<Option<u64>, DaemonError> {
+        let (kept, dropped) = coalesce_frames(report_frames(run));
+        self.note_coalesced(dropped);
+        let t0 = Instant::now();
+        let outcome = self.core.handle_report_batch(&kept)?;
+        let Some(last_epoch) = outcome.last_epoch else {
+            return Ok(None);
+        };
+        self.transact(outcome.directives, last_epoch)?;
+        let took = t0.elapsed();
+        obs::observe_duration("daemon.resolve_us", took);
+        self.latencies.push(took);
+        Ok(Some(last_epoch))
+    }
+
     /// One directive transaction over TCP — the rig's `run_transaction`
     /// with socket writes for sends and the merged queue for receives.
     fn transact(&mut self, directives: Vec<Directive>, epoch: u64) -> Result<(), DaemonError> {
@@ -1005,13 +1093,31 @@ impl Session {
                 .min()
                 .expect("pending is non-empty");
             let wait = next.saturating_duration_since(Instant::now());
-            let incoming = match self.rx.recv_timeout(wait) {
-                Ok(m) => m,
+            let mut drained = match self.recv_run(wait) {
+                Ok(batch) => batch,
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(TestbedError::ChannelClosed { endpoint: "client" }.into())
                 }
             };
+            if drained.len() > 1 {
+                // A run of reports mid-transaction: retransmissions of
+                // the current (or an older) event, consumed silently as
+                // the single-message arm below does — minus the stale
+                // copies, which count as coalesced.
+                self.msgs_in += drained.len();
+                let frames = report_frames(drained);
+                if frames.iter().any(|f| f.epoch > epoch) {
+                    return Err(TestbedError::AssignmentFailed {
+                        context: "unexpected message during directive transaction".to_string(),
+                    }
+                    .into());
+                }
+                let (_, dropped) = coalesce_frames(frames);
+                self.note_coalesced(dropped);
+                continue;
+            }
+            let incoming = drained.pop().expect("drained run is never empty");
             match incoming {
                 Incoming::Msg(ToController::Ack {
                     client,

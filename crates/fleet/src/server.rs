@@ -93,6 +93,9 @@ pub struct FleetConfig {
     pub read_stall: Duration,
     /// Reader-pool workers; `0` sizes to total users + shards + 2.
     pub workers: usize,
+    /// Drain-what's-queued telemetry coalescing at every site's engine
+    /// (see [`DaemonConfig::coalesce`]). On by default.
+    pub coalesce: bool,
 }
 
 impl Default for FleetConfig {
@@ -109,6 +112,7 @@ impl Default for FleetConfig {
             inbox_cap: 0,
             read_stall: single.read_stall,
             workers: 0,
+            coalesce: single.coalesce,
         }
     }
 }
@@ -124,6 +128,7 @@ fn daemon_config_for(def: &SiteDef, config: &FleetConfig) -> DaemonConfig {
     c.connect_deadline = config.connect_deadline;
     c.inbox_cap = config.inbox_cap;
     c.read_stall = config.read_stall;
+    c.coalesce = config.coalesce;
     c
 }
 

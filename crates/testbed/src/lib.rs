@@ -55,7 +55,10 @@ pub mod rig;
 
 mod error;
 
-pub use controller::{ControllerConfig, ControllerCore, ControllerSnapshot, Directive};
+pub use controller::{
+    coalesce_frames, BatchOutcome, ControllerConfig, ControllerCore, ControllerSnapshot, Directive,
+    ReportFrame,
+};
 pub use error::TestbedError;
 pub use faults::{FaultPlan, LinkFaults};
 pub use rig::{
